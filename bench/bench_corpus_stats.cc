@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Section IV-A prose numbers: collected/unique errata counts, the
+ * "errata in errata" defects, dedup accuracy and the classification
+ * prefilter reduction (DESIGN.md D2), with per-stage pipeline
+ * timings.
+ */
+
+#include "common.hh"
+
+#include <cstdio>
+
+namespace rememberr {
+namespace bench {
+namespace {
+
+void
+BM_FullPipeline(benchmark::State &state)
+{
+    setLogQuiet(true);
+    for (auto _ : state) {
+        PipelineResult result = runPipeline();
+        benchmark::DoNotOptimize(result.database.entries().size());
+    }
+}
+BENCHMARK(BM_FullPipeline)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void
+BM_ParseAllDocuments(benchmark::State &state)
+{
+    setLogQuiet(true);
+    const PipelineResult &result = pipeline();
+    std::vector<std::string> rendered;
+    for (const ErrataDocument &doc : result.corpus.documents)
+        rendered.push_back(renderDocument(doc));
+    for (auto _ : state) {
+        std::size_t errata = 0;
+        for (const std::string &text : rendered) {
+            auto parsed = parseDocument(text);
+            errata += parsed.value().errata.size();
+        }
+        benchmark::DoNotOptimize(errata);
+    }
+}
+BENCHMARK(BM_ParseAllDocuments)->Unit(benchmark::kMillisecond);
+
+void
+BM_Deduplicate(benchmark::State &state)
+{
+    const PipelineResult &result = pipeline();
+    for (auto _ : state) {
+        DedupResult dedup = deduplicate(result.corpus.documents);
+        benchmark::DoNotOptimize(dedup.clusters.size());
+    }
+}
+BENCHMARK(BM_Deduplicate)->Unit(benchmark::kMillisecond);
+
+void
+BM_FourEyes(benchmark::State &state)
+{
+    const PipelineResult &result = pipeline();
+    for (auto _ : state) {
+        FourEyesResult annotations = runFourEyes(result.corpus);
+        benchmark::DoNotOptimize(annotations.labelAccuracy);
+    }
+}
+BENCHMARK(BM_FourEyes)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void
+printStats()
+{
+    const PipelineResult &result = pipeline();
+    HeadlineStats stats = headlineStats(db());
+
+    std::printf("Section IV-A / V-B headline numbers "
+                "(measured vs paper)\n\n");
+    AsciiTable table;
+    table.setColumns({"statistic", "measured", "paper"},
+                     {Align::Left, Align::Right, Align::Right});
+    auto row = [&](const char *name, std::string measured,
+                   const char *paper) {
+        table.addRow({name, std::move(measured), paper});
+    };
+    row("Intel collected errata",
+        std::to_string(stats.intelRows), "2,057");
+    row("Intel unique errata",
+        std::to_string(stats.intelUnique), "743");
+    row("AMD collected errata", std::to_string(stats.amdRows),
+        "506");
+    row("AMD unique errata", std::to_string(stats.amdUnique),
+        "385");
+    row("total collected", std::to_string(stats.totalRows),
+        "2,563");
+    row("total unique", std::to_string(stats.totalUnique),
+        "1,128");
+    row("no clear trigger",
+        strings::formatPercent(stats.noTriggerFraction),
+        "14.4%");
+    row(">= 2 combined triggers",
+        strings::formatPercent(stats.multiTriggerFraction),
+        "49%");
+    row("complex conditions (Intel)",
+        strings::formatPercent(stats.complexIntel), "8.7%");
+    row("complex conditions (AMD)",
+        strings::formatPercent(stats.complexAmd), "20.8%");
+    row("simulation-only (Intel)",
+        std::to_string(stats.simulationOnlyIntel), "1");
+    row("simulation-only (AMD)",
+        std::to_string(stats.simulationOnlyAmd), "5");
+    row("no workaround (Intel)",
+        strings::formatPercent(stats.workaroundNoneIntel),
+        "35.9%");
+    row("no workaround (AMD)",
+        strings::formatPercent(stats.workaroundNoneAmd), "28.9%");
+    std::printf("%s\n", table.toString().c_str());
+
+    // "Errata in errata" (linter vs paper).
+    LintSummary lint = summarizeFindings(result.lintFindings);
+    std::printf("errata in errata (linter findings vs paper):\n");
+    std::printf("  revisions claiming the same erratum twice: %d "
+                "(paper: 8 across 3 documents)\n",
+                lint.duplicateRevisionClaims);
+    std::printf("  errata missing from revision notes:         %d "
+                "(paper: 12 across 2 documents)\n",
+                lint.missingFromNotes);
+    std::printf("  reused erratum names:                      %d "
+                "(paper: 1, the AAJ143 case)\n",
+                lint.reusedNames);
+    std::printf("  missing or duplicate fields:               %d "
+                "(paper: 7 across 4 documents)\n",
+                lint.missingFields + lint.duplicateFields);
+    std::printf("  erroneous MSR numbers:                     %d "
+                "(paper: 3 across 3 documents)\n",
+                lint.wrongMsrNumbers);
+    std::printf("  intra-document duplicate pairs:            %d "
+                "(paper: 11 across 6 documents)\n\n",
+                lint.intraDocDuplicates);
+
+    // Dedup pipeline accuracy against ground truth.
+    DedupAccuracy accuracy =
+        evaluateDedup(result.corpus, result.dedup);
+    std::printf("dedup: %zu clusters; pair precision %s, recall "
+                "%s; %zu pairs reviewed (paper: 29 manually "
+                "confirmed pairs)\n",
+                result.dedup.clusters.size(),
+                strings::formatPercent(accuracy.pairPrecision, 2)
+                    .c_str(),
+                strings::formatPercent(accuracy.pairRecall, 2)
+                    .c_str(),
+                result.dedup.reviewedPairs);
+
+    // Classification prefilter reduction (D2).
+    std::printf("classification: %zu naive decisions per "
+                "annotator (paper: 67,680), %zu after the "
+                "conservative prefilter (paper: ~2,064), label "
+                "accuracy %s\n",
+                result.annotations.naiveDecisionsPerAnnotator,
+                result.annotations.manualDecisionsPerAnnotator,
+                strings::formatPercent(
+                    result.annotations.labelAccuracy, 2)
+                    .c_str());
+}
+
+} // namespace
+} // namespace bench
+} // namespace rememberr
+
+REMEMBERR_BENCH_MAIN(rememberr::bench::printStats)

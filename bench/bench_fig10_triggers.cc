@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 10: most frequent triggers of all errata.
+ */
+
+#include "common.hh"
+
+#include <cstdio>
+
+namespace rememberr {
+namespace bench {
+namespace {
+
+void
+BM_TriggerFrequencies(benchmark::State &state)
+{
+    const Database &database = db();
+    for (auto _ : state) {
+        auto frequencies =
+            categoryFrequencies(database, Axis::Trigger);
+        benchmark::DoNotOptimize(frequencies.size());
+    }
+}
+BENCHMARK(BM_TriggerFrequencies)->Unit(benchmark::kMillisecond);
+
+void
+printFigure()
+{
+    auto frequencies =
+        categoryFrequencies(db(), Axis::Trigger, 12);
+
+    std::printf("Figure 10: most frequent triggers of all errata "
+                "(unique, both vendors)\n");
+    std::printf("(paper shape [O7]: trg_CFG_wrg, trg_POW_tht and "
+                "trg_POW_pwc on top — MSR configuration\n"
+                " combined with throttling, power transitions or "
+                "peripheral inputs)\n\n");
+
+    std::vector<Bar> bars;
+    for (const CategoryFrequency &freq : frequencies) {
+        bars.push_back(Bar{
+            freq.code, static_cast<double>(freq.total()),
+            std::to_string(freq.total()) + " (Intel " +
+                std::to_string(freq.intelCount) + ", AMD " +
+                std::to_string(freq.amdCount) + ")"});
+    }
+    std::printf("%s\n", renderBarChart(bars).c_str());
+    std::printf("paper's top 3: trg_CFG_wrg, trg_POW_tht, "
+                "trg_POW_pwc — measured top 3: %s, %s, %s\n",
+                frequencies[0].code.c_str(),
+                frequencies[1].code.c_str(),
+                frequencies[2].code.c_str());
+
+    writeSvg("fig10_triggers",
+             svgBarChart(bars, {.title = "Figure 10: most "
+                                         "frequent triggers"}));
+}
+
+} // namespace
+} // namespace bench
+} // namespace rememberr
+
+REMEMBERR_BENCH_MAIN(rememberr::bench::printFigure)

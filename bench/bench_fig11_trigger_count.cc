@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 11: number of errata by the number of triggers.
+ */
+
+#include "common.hh"
+
+#include <cstdio>
+
+namespace rememberr {
+namespace bench {
+namespace {
+
+void
+BM_TriggerCountHistogram(benchmark::State &state)
+{
+    const Database &database = db();
+    for (auto _ : state) {
+        TriggerCountHistogram histogram =
+            triggerCountHistogram(database);
+        benchmark::DoNotOptimize(histogram.totalWithTriggers);
+    }
+}
+BENCHMARK(BM_TriggerCountHistogram)->Unit(benchmark::kMicrosecond);
+
+void
+printFigure()
+{
+    TriggerCountHistogram histogram = triggerCountHistogram(db());
+    HeadlineStats stats = headlineStats(db());
+
+    std::printf("Figure 11: number of errata by number of "
+                "triggers\n");
+    std::printf("(paper: 14.4%% specify no clear trigger and are "
+                "excluded; of the rest, 49%% require at\n"
+                " least two combined triggers)\n\n");
+
+    std::vector<Bar> bars;
+    for (std::size_t k = 0; k < histogram.intelCounts.size();
+         ++k) {
+        std::size_t intel = histogram.intelCounts[k];
+        std::size_t amd = k < histogram.amdCounts.size()
+                              ? histogram.amdCounts[k]
+                              : 0;
+        bars.push_back(
+            Bar{std::to_string(k + 1) + " trigger(s)",
+                static_cast<double>(intel + amd),
+                std::to_string(intel + amd) + " (Intel " +
+                    std::to_string(intel) + ", AMD " +
+                    std::to_string(amd) + ")"});
+    }
+    std::printf("%s\n", renderBarChart(bars).c_str());
+    std::printf("no clear trigger: %s of unique errata "
+                "(paper: 14.4%%)\n",
+                strings::formatPercent(stats.noTriggerFraction)
+                    .c_str());
+    std::printf(">= 2 combined triggers: %s of triggered errata "
+                "(paper: 49%%)\n",
+                strings::formatPercent(stats.multiTriggerFraction)
+                    .c_str());
+    std::printf("complex set of conditions: Intel %s (paper: "
+                "8.7%%), AMD %s (paper: 20.8%%)\n",
+                strings::formatPercent(stats.complexIntel).c_str(),
+                strings::formatPercent(stats.complexAmd).c_str());
+
+    writeSvg("fig11_trigger_count",
+             svgBarChart(bars, {.title = "Figure 11: errata by "
+                                         "trigger count"}));
+}
+
+} // namespace
+} // namespace bench
+} // namespace rememberr
+
+REMEMBERR_BENCH_MAIN(rememberr::bench::printFigure)

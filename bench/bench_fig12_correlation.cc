@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 12: pairwise cross-correlation between distinct abstract
+ * triggers.
+ */
+
+#include "common.hh"
+
+#include <cstdio>
+
+namespace rememberr {
+namespace bench {
+namespace {
+
+void
+BM_TriggerCorrelation(benchmark::State &state)
+{
+    const Database &database = db();
+    for (auto _ : state) {
+        TriggerCorrelation matrix = triggerCorrelation(database);
+        benchmark::DoNotOptimize(matrix.counts.size());
+    }
+}
+BENCHMARK(BM_TriggerCorrelation)->Unit(benchmark::kMillisecond);
+
+void
+printFigure()
+{
+    TriggerCorrelation matrix = triggerCorrelation(db());
+
+    std::printf("Figure 12: errata requiring at least each pair of "
+                "abstract triggers\n");
+    std::printf("(paper shape [O8]: some triggers correlate "
+                "strongly — debug features with VM\n"
+                " transitions, DDR/PCIe with power-level changes — "
+                "while most pairs never interact)\n\n");
+    std::printf("%s\n",
+                renderHeatmap(matrix.codes, matrix.codes,
+                              matrix.counts)
+                    .c_str());
+
+    const Taxonomy &taxonomy = Taxonomy::instance();
+    std::printf("strongest trigger pairs:\n");
+    for (const auto &pair : matrix.topPairs(8)) {
+        std::printf("  %-14s + %-14s : %zu errata\n",
+                    taxonomy.categoryById(pair.a).code.c_str(),
+                    taxonomy.categoryById(pair.b).code.c_str(),
+                    pair.count);
+    }
+    std::printf("\nnon-interacting trigger pairs: %s of all pairs "
+                "(paper: 'most do not interact')\n",
+                strings::formatPercent(
+                    nonInteractingPairFraction(matrix))
+                    .c_str());
+
+    writeSvg("fig12_correlation",
+             svgHeatmap(matrix.codes, matrix.codes, matrix.counts,
+                        {.title = "Figure 12: trigger "
+                                  "cross-correlation"}));
+}
+
+} // namespace
+} // namespace bench
+} // namespace rememberr
+
+REMEMBERR_BENCH_MAIN(rememberr::bench::printFigure)

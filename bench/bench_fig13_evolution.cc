@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Figure 13: trigger classes over Intel Core generations.
+ */
+
+#include "common.hh"
+
+#include <cstdio>
+
+namespace rememberr {
+namespace bench {
+namespace {
+
+void
+BM_ClassEvolution(benchmark::State &state)
+{
+    const Database &database = db();
+    for (auto _ : state) {
+        ClassEvolution evolution =
+            classEvolution(database, Vendor::Intel);
+        benchmark::DoNotOptimize(evolution.generations.size());
+    }
+}
+BENCHMARK(BM_ClassEvolution)->Unit(benchmark::kMillisecond);
+
+void
+printFigure()
+{
+    ClassEvolution evolution = classEvolution(db(), Vendor::Intel);
+
+    std::printf("Figure 13: trigger classes over Intel Core "
+                "generations (share of generation's triggers)\n");
+    std::printf("(paper shape: Trg_MBR absent in the two latest "
+                "generations; Trg_FEA and external\n"
+                " communication dominate; Trg_PRV gains in the "
+                "last generation; all classes needed\n"
+                " everywhere else [O9])\n\n");
+
+    AsciiTable table;
+    std::vector<std::string> headers{"generation"};
+    for (const std::string &code : evolution.classCodes)
+        headers.push_back(code.substr(4)); // drop "Trg_"
+    std::vector<Align> aligns(headers.size(), Align::Right);
+    aligns[0] = Align::Left;
+    table.setColumns(headers, aligns);
+
+    for (const GenerationClassProfile &profile :
+         evolution.generations) {
+        std::vector<std::string> row{profile.label};
+        for (std::size_t c = 0; c < profile.classCounts.size();
+             ++c) {
+            double share =
+                profile.totalTriggers == 0
+                    ? 0.0
+                    : static_cast<double>(profile.classCounts[c]) /
+                          static_cast<double>(
+                              profile.totalTriggers);
+            row.push_back(profile.classCounts[c] == 0
+                              ? "-"
+                              : strings::formatPercent(share, 0));
+        }
+        table.addRow(std::move(row));
+    }
+    std::printf("%s\n", table.toString().c_str());
+
+    auto covered = generationsCoveringAllClasses(evolution);
+    std::printf("generations where every trigger class appears: ");
+    for (int generation : covered)
+        std::printf("%d ", generation);
+    std::printf("(paper: all except the latest two)\n");
+
+    writeSvg("fig13_evolution",
+             svgHeatmap(
+                 [&] {
+                     std::vector<std::string> labels;
+                     for (const auto &profile :
+                          evolution.generations)
+                         labels.push_back(profile.label);
+                     return labels;
+                 }(),
+                 evolution.classCodes,
+                 [&] {
+                     std::vector<std::vector<std::size_t>> cells;
+                     for (const auto &profile :
+                          evolution.generations)
+                         cells.push_back(profile.classCounts);
+                     return cells;
+                 }(),
+                 {.title = "Figure 13: trigger classes per "
+                           "generation"}));
+}
+
+} // namespace
+} // namespace bench
+} // namespace rememberr
+
+REMEMBERR_BENCH_MAIN(rememberr::bench::printFigure)

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 14: relative representation of trigger classes between
+ * Intel and AMD.
+ */
+
+#include "common.hh"
+
+#include <cstdio>
+
+namespace rememberr {
+namespace bench {
+namespace {
+
+void
+BM_TriggerClassShares(benchmark::State &state)
+{
+    const Database &database = db();
+    for (auto _ : state) {
+        auto rows = triggerClassShares(database);
+        benchmark::DoNotOptimize(rows.size());
+    }
+}
+BENCHMARK(BM_TriggerClassShares)->Unit(benchmark::kMicrosecond);
+
+void
+printFigure()
+{
+    auto rows = triggerClassShares(db());
+
+    std::printf("Figure 14: relative representation of trigger "
+                "classes, Intel vs AMD\n");
+    std::printf("(paper shape [O10]: the distributions are highly "
+                "similar; only the external-stimuli\n"
+                " and specific-features classes differ "
+                "significantly)\n\n");
+
+    std::vector<PairedBar> bars;
+    for (const VendorShareRow &row : rows) {
+        bars.push_back(
+            PairedBar{row.code, row.intelShare, row.amdShare});
+    }
+    std::printf("%s\n",
+                renderPairedBarChart(bars, "Intel", "AMD").c_str());
+    std::printf("total variation distance between the vendors' "
+                "class distributions: %s (small = similar)\n",
+                strings::formatPercent(classShareDistance(rows))
+                    .c_str());
+
+    std::vector<Bar> svgBars;
+    for (const VendorShareRow &row : rows) {
+        svgBars.push_back(
+            Bar{row.code + " (Intel)", row.intelShare * 100, ""});
+        svgBars.push_back(
+            Bar{row.code + " (AMD)", row.amdShare * 100, ""});
+    }
+    writeSvg("fig14_vendor_classes",
+             svgBarChart(svgBars, {.title = "Figure 14: trigger "
+                                            "class shares (%)"}));
+}
+
+} // namespace
+} // namespace bench
+} // namespace rememberr
+
+REMEMBERR_BENCH_MAIN(rememberr::bench::printFigure)

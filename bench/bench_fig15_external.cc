@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 15: relative representation of triggers related to
+ * external stimuli between Intel and AMD.
+ */
+
+#include "common.hh"
+
+#include <cstdio>
+
+namespace rememberr {
+namespace bench {
+namespace {
+
+void
+BM_ExternalShares(benchmark::State &state)
+{
+    const Database &database = db();
+    for (auto _ : state) {
+        auto rows =
+            triggerCategorySharesInClass(database, "Trg_EXT");
+        benchmark::DoNotOptimize(rows.size());
+    }
+}
+BENCHMARK(BM_ExternalShares)->Unit(benchmark::kMicrosecond);
+
+void
+printFigure()
+{
+    auto rows = triggerCategorySharesInClass(db(), "Trg_EXT");
+
+    std::printf("Figure 15: external-stimulus triggers, Intel vs "
+                "AMD (share within Trg_EXT)\n");
+    std::printf("(paper shape: Intel leans to PCIe/USB, AMD to "
+                "HyperTransport/IOMMU/DRAM; some\n"
+                " peripherals live in Intel's external chipset "
+                "whose errata are out of scope)\n\n");
+
+    std::vector<PairedBar> bars;
+    for (const VendorShareRow &row : rows) {
+        bars.push_back(
+            PairedBar{row.code, row.intelShare, row.amdShare});
+    }
+    std::printf("%s", renderPairedBarChart(bars, "Intel", "AMD")
+                          .c_str());
+
+    std::vector<Bar> svgBars;
+    for (const VendorShareRow &row : rows) {
+        svgBars.push_back(
+            Bar{row.code + " (Intel)", row.intelShare * 100, ""});
+        svgBars.push_back(
+            Bar{row.code + " (AMD)", row.amdShare * 100, ""});
+    }
+    writeSvg("fig15_external",
+             svgBarChart(svgBars, {.title = "Figure 15: Trg_EXT "
+                                            "triggers (%)"}));
+}
+
+} // namespace
+} // namespace bench
+} // namespace rememberr
+
+REMEMBERR_BENCH_MAIN(rememberr::bench::printFigure)

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 16: relative representation of triggers related to
+ * specific features between Intel and AMD.
+ */
+
+#include "common.hh"
+
+#include <cstdio>
+
+namespace rememberr {
+namespace bench {
+namespace {
+
+void
+BM_FeatureShares(benchmark::State &state)
+{
+    const Database &database = db();
+    for (auto _ : state) {
+        auto rows =
+            triggerCategorySharesInClass(database, "Trg_FEA");
+        benchmark::DoNotOptimize(rows.size());
+    }
+}
+BENCHMARK(BM_FeatureShares)->Unit(benchmark::kMicrosecond);
+
+void
+printFigure()
+{
+    auto rows = triggerCategorySharesInClass(db(), "Trg_FEA");
+
+    std::printf("Figure 16: feature triggers, Intel vs AMD (share "
+                "within Trg_FEA)\n");
+    std::printf("(paper shape: custom features and tracing "
+                "features clearly over-represented at Intel)\n\n");
+
+    std::vector<PairedBar> bars;
+    for (const VendorShareRow &row : rows) {
+        bars.push_back(
+            PairedBar{row.code, row.intelShare, row.amdShare});
+    }
+    std::printf("%s", renderPairedBarChart(bars, "Intel", "AMD")
+                          .c_str());
+
+    std::vector<Bar> svgBars;
+    for (const VendorShareRow &row : rows) {
+        svgBars.push_back(
+            Bar{row.code + " (Intel)", row.intelShare * 100, ""});
+        svgBars.push_back(
+            Bar{row.code + " (AMD)", row.amdShare * 100, ""});
+    }
+    writeSvg("fig16_features",
+             svgBarChart(svgBars, {.title = "Figure 16: Trg_FEA "
+                                            "triggers (%)"}));
+}
+
+} // namespace
+} // namespace bench
+} // namespace rememberr
+
+REMEMBERR_BENCH_MAIN(rememberr::bench::printFigure)

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 17: most frequent contexts of all errata.
+ */
+
+#include "common.hh"
+
+#include <cstdio>
+
+namespace rememberr {
+namespace bench {
+namespace {
+
+void
+BM_ContextFrequencies(benchmark::State &state)
+{
+    const Database &database = db();
+    for (auto _ : state) {
+        auto frequencies =
+            categoryFrequencies(database, Axis::Context);
+        benchmark::DoNotOptimize(frequencies.size());
+    }
+}
+BENCHMARK(BM_ContextFrequencies)->Unit(benchmark::kMicrosecond);
+
+void
+printFigure()
+{
+    auto frequencies = categoryFrequencies(db(), Axis::Context);
+
+    std::printf("Figure 17: most frequent contexts of all errata\n");
+    std::printf("(paper shape [O11]: running as a virtual machine "
+                "guest (ctx_PRV_vmg) dominates)\n\n");
+
+    std::vector<Bar> bars;
+    for (const CategoryFrequency &freq : frequencies) {
+        bars.push_back(Bar{
+            freq.code, static_cast<double>(freq.total()),
+            std::to_string(freq.total()) + " (Intel " +
+                std::to_string(freq.intelCount) + ", AMD " +
+                std::to_string(freq.amdCount) + ")"});
+    }
+    std::printf("%s\n", renderBarChart(bars).c_str());
+    std::printf("paper's top context: ctx_PRV_vmg — measured top: "
+                "%s\n",
+                frequencies[0].code.c_str());
+
+    writeSvg("fig17_contexts",
+             svgBarChart(bars, {.title = "Figure 17: most "
+                                         "frequent contexts"}));
+}
+
+} // namespace
+} // namespace bench
+} // namespace rememberr
+
+REMEMBERR_BENCH_MAIN(rememberr::bench::printFigure)

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 18: most frequent observable effects of all errata.
+ */
+
+#include "common.hh"
+
+#include <cstdio>
+
+namespace rememberr {
+namespace bench {
+namespace {
+
+void
+BM_EffectFrequencies(benchmark::State &state)
+{
+    const Database &database = db();
+    for (auto _ : state) {
+        auto frequencies =
+            categoryFrequencies(database, Axis::Effect);
+        benchmark::DoNotOptimize(frequencies.size());
+    }
+}
+BENCHMARK(BM_EffectFrequencies)->Unit(benchmark::kMicrosecond);
+
+void
+printFigure()
+{
+    auto frequencies = categoryFrequencies(db(), Axis::Effect);
+
+    std::printf("Figure 18: most frequent observable effects of "
+                "all errata\n");
+    std::printf("(paper shape [O12]: corrupted registers "
+                "(eff_CRP_reg), hangs (eff_HNG_hng) and\n"
+                " unpredictable behavior (eff_HNG_unp) on top)\n\n");
+
+    std::vector<Bar> bars;
+    for (const CategoryFrequency &freq : frequencies) {
+        bars.push_back(Bar{
+            freq.code, static_cast<double>(freq.total()),
+            std::to_string(freq.total()) + " (Intel " +
+                std::to_string(freq.intelCount) + ", AMD " +
+                std::to_string(freq.amdCount) + ")"});
+    }
+    std::printf("%s\n", renderBarChart(bars).c_str());
+    std::printf("paper's top 3: eff_CRP_reg, eff_HNG_hng, "
+                "eff_HNG_unp — measured top 3: %s, %s, %s\n",
+                frequencies[0].code.c_str(),
+                frequencies[1].code.c_str(),
+                frequencies[2].code.c_str());
+
+    writeSvg("fig18_effects",
+             svgBarChart(bars, {.title = "Figure 18: most "
+                                         "frequent effects"}));
+}
+
+} // namespace
+} // namespace bench
+} // namespace rememberr
+
+REMEMBERR_BENCH_MAIN(rememberr::bench::printFigure)

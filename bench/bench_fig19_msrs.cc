@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figure 19: most frequent MSRs containing observable effects.
+ */
+
+#include "common.hh"
+
+#include <cstdio>
+
+namespace rememberr {
+namespace bench {
+namespace {
+
+void
+BM_MsrFrequencies(benchmark::State &state)
+{
+    const Database &database = db();
+    for (auto _ : state) {
+        auto frequencies = msrFrequencies(database);
+        benchmark::DoNotOptimize(frequencies.size());
+    }
+}
+BENCHMARK(BM_MsrFrequencies)->Unit(benchmark::kMillisecond);
+
+void
+printFigure()
+{
+    auto frequencies = msrFrequencies(db());
+
+    std::printf("Figure 19: most frequent MSR families witnessing "
+                "observable effects\n");
+    std::printf("(paper shape [O13]: machine check status "
+                "registers (MCx_STATUS, MCx_ADDR) witness a\n"
+                " bug most often — 7.1%% to 8.5%% of unique errata "
+                "— followed by IBS registers and\n"
+                " performance counters)\n\n");
+
+    AsciiTable table;
+    table.setColumns({"MSR family", "Intel", "Intel %", "AMD",
+                      "AMD %"},
+                     {Align::Left, Align::Right, Align::Right,
+                      Align::Right, Align::Right});
+    std::vector<Bar> bars;
+    for (std::size_t i = 0;
+         i < frequencies.size() && i < 12; ++i) {
+        const MsrFrequency &freq = frequencies[i];
+        table.addRow({
+            freq.family,
+            std::to_string(freq.intelCount),
+            strings::formatPercent(freq.intelFraction),
+            std::to_string(freq.amdCount),
+            strings::formatPercent(freq.amdFraction),
+        });
+        bars.push_back(Bar{freq.family,
+                           static_cast<double>(freq.total()),
+                           std::to_string(freq.total())});
+    }
+    std::printf("%s\n", table.toString().c_str());
+    std::printf("top family: %s at %s (Intel) / %s (AMD) of "
+                "unique errata (paper: MCx_STATUS at "
+                "7.1%%-8.5%%)\n",
+                frequencies[0].family.c_str(),
+                strings::formatPercent(
+                    frequencies[0].intelFraction)
+                    .c_str(),
+                strings::formatPercent(frequencies[0].amdFraction)
+                    .c_str());
+
+    writeSvg("fig19_msrs",
+             svgBarChart(bars, {.title = "Figure 19: MSR families "
+                                         "witnessing effects"}));
+}
+
+} // namespace
+} // namespace bench
+} // namespace rememberr
+
+REMEMBERR_BENCH_MAIN(rememberr::bench::printFigure)

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 2: cumulative disclosure dates of Intel Core and AMD
+ * errata per document.
+ */
+
+#include "common.hh"
+
+#include <cstdio>
+
+namespace rememberr {
+namespace bench {
+namespace {
+
+void
+BM_DisclosureTimelines(benchmark::State &state)
+{
+    const Database &database = db();
+    for (auto _ : state) {
+        auto series = disclosureTimelines(database);
+        benchmark::DoNotOptimize(series.size());
+    }
+}
+BENCHMARK(BM_DisclosureTimelines)->Unit(benchmark::kMillisecond);
+
+void
+printFigure()
+{
+    auto series = disclosureTimelines(db());
+
+    std::vector<CumulativeSeries> intel, amd;
+    for (std::size_t d = 0; d < series.size(); ++d) {
+        if (d < firstAmdDocIndex)
+            intel.push_back(series[d]);
+        else
+            amd.push_back(series[d]);
+    }
+
+    std::printf("Figure 2: cumulative disclosed errata per "
+                "document (duplicates counted individually)\n");
+    std::printf("(paper shape: concave growth per document [O2]; "
+                "Intel updates much more often than AMD;\n"
+                " Desktop/Mobile pairs track each other)\n\n");
+
+    std::printf("Intel Core (cumulative count at each year "
+                "end):\n%s\n",
+                renderSeriesByYear(intel, 2008, 2022).c_str());
+    std::printf("AMD (cumulative count at each year end):\n%s\n",
+                renderSeriesByYear(amd, 2008, 2022).c_str());
+
+    // O2: concavity per mature document.
+    int mature = 0, concave = 0;
+    for (const CumulativeSeries &s : series) {
+        if (s.points.size() < 5)
+            continue;
+        ++mature;
+        if (concavityScore(s) > 0.6)
+            ++concave;
+    }
+    std::printf("O2 check: %d of %d mature documents show concave "
+                "growth (paper: 'usually concave')\n",
+                concave, mature);
+
+    SvgOptions options;
+    options.title =
+        "Figure 2 (top): Intel Core cumulative disclosures";
+    writeSvg("fig2_intel", svgLineChart(intel, options));
+    options.title = "Figure 2 (bottom): AMD cumulative disclosures";
+    writeSvg("fig2_amd", svgLineChart(amd, options));
+}
+
+} // namespace
+} // namespace bench
+} // namespace rememberr
+
+REMEMBERR_BENCH_MAIN(rememberr::bench::printFigure)

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 3: number of common bugs across Intel microprocessor
+ * generations (heredity matrix).
+ */
+
+#include "common.hh"
+
+#include <cstdio>
+
+namespace rememberr {
+namespace bench {
+namespace {
+
+void
+BM_HeredityMatrix(benchmark::State &state)
+{
+    const Database &database = db();
+    for (auto _ : state) {
+        HeredityMatrix matrix =
+            heredityMatrix(database, Vendor::Intel);
+        benchmark::DoNotOptimize(matrix.counts.size());
+    }
+}
+BENCHMARK(BM_HeredityMatrix)->Unit(benchmark::kMillisecond);
+
+void
+printFigure()
+{
+    HeredityMatrix matrix = heredityMatrix(db(), Vendor::Intel);
+
+    std::printf("Figure 3: identical errata between pairs of Intel "
+                "documents\n");
+    std::printf("(paper shape: Desktop/Mobile pairs share most "
+                "bugs; generations 6-10 form a salient\n"
+                " block; long horizontal non-zero lines are "
+                "long-lasting bugs)\n\n");
+    std::printf("%s\n",
+                renderHeatmap(matrix.labels, matrix.labels,
+                              matrix.counts)
+                    .c_str());
+
+    // The paper's named structures.
+    auto shared6to10 = entriesSharedByAll(db(), {10, 11, 12, 13});
+    std::printf("bugs shared by ALL generations 6-10: %zu "
+                "(paper: 104)\n",
+                shared6to10.size());
+    auto shared1to10 = entriesSharedByAll(
+        db(), {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13});
+    std::printf("bugs present from Core 1 through Core 10: %zu "
+                "(paper: 6)\n",
+                shared1to10.size());
+    std::printf("longest generation span of a single erratum: %zu "
+                "generations (paper: 11, Core 2 -> Core 12)\n",
+                longestGenerationSpan(db(), Vendor::Intel));
+
+    writeSvg("fig3_heredity",
+             svgHeatmap(matrix.labels, matrix.labels, matrix.counts,
+                        {.title = "Figure 3: bug heredity"}));
+}
+
+} // namespace
+} // namespace bench
+} // namespace rememberr
+
+REMEMBERR_BENCH_MAIN(rememberr::bench::printFigure)

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Figure 4: disclosure dates of the bugs shared by all Intel Core
+ * generations 6 to 10.
+ */
+
+#include "common.hh"
+
+#include <cstdio>
+
+namespace rememberr {
+namespace bench {
+namespace {
+
+const std::vector<int> sharedDocs{10, 11, 12, 13};
+
+void
+BM_SharedBugDisclosures(benchmark::State &state)
+{
+    const Database &database = db();
+    for (auto _ : state) {
+        auto series = sharedBugDisclosures(database, sharedDocs);
+        benchmark::DoNotOptimize(series.size());
+    }
+}
+BENCHMARK(BM_SharedBugDisclosures)->Unit(benchmark::kMillisecond);
+
+void
+printFigure()
+{
+    auto series = sharedBugDisclosures(db(), sharedDocs);
+    auto shared = entriesSharedByAll(db(), sharedDocs);
+
+    std::printf("Figure 4: disclosure dates of the %zu bugs shared "
+                "by all Intel Core generations 6-10 (paper: 104)\n",
+                shared.size());
+    std::printf("(paper shape: most shared errors were known "
+                "BEFORE the subsequent generation's release [O4])"
+                "\n\n");
+    std::printf("%s\n",
+                renderSeriesByYear(series, 2015, 2022).c_str());
+
+    // O4: per consecutive generation pair, how many of the shared
+    // bugs were disclosed before the next release?
+    for (std::size_t i = 0; i + 1 < sharedDocs.size(); ++i) {
+        const ErrataDocument &later =
+            db().documents()[static_cast<std::size_t>(
+                sharedDocs[i + 1])];
+        std::size_t before = 0;
+        for (const DbEntry *entry : shared) {
+            for (const Occurrence &occurrence :
+                 entry->occurrences) {
+                if (occurrence.docIndex == sharedDocs[i] &&
+                    occurrence.disclosed <
+                        later.design.releaseDate) {
+                    ++before;
+                    break;
+                }
+            }
+        }
+        const ErrataDocument &earlier =
+            db().documents()[static_cast<std::size_t>(
+                sharedDocs[i])];
+        std::printf("  known on %s before %s released: %zu / %zu\n",
+                    earlier.design.name.c_str(),
+                    later.design.name.c_str(), before,
+                    shared.size());
+    }
+    std::printf("O4 overall (shared errata known before the "
+                "subsequent design's release): %s (paper: 'most')\n",
+                strings::formatPercent(
+                    knownBeforeNextReleaseFraction(db(),
+                                                   Vendor::Intel))
+                    .c_str());
+
+    writeSvg("fig4_shared",
+             svgLineChart(series,
+                          {.title = "Figure 4: shared-bug "
+                                    "disclosures, gens 6-10"}));
+}
+
+} // namespace
+} // namespace bench
+} // namespace rememberr
+
+REMEMBERR_BENCH_MAIN(rememberr::bench::printFigure)

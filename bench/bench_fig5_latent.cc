@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 5: forward-latent and backward-latent errata among Intel
+ * Core generations.
+ */
+
+#include "common.hh"
+
+#include <cstdio>
+
+namespace rememberr {
+namespace bench {
+namespace {
+
+void
+BM_LatentErrata(benchmark::State &state)
+{
+    const Database &database = db();
+    for (auto _ : state) {
+        LatentSeries latent = latentErrata(database, Vendor::Intel);
+        benchmark::DoNotOptimize(latent.forwardCount);
+    }
+}
+BENCHMARK(BM_LatentErrata)->Unit(benchmark::kMillisecond);
+
+void
+printFigure()
+{
+    LatentSeries latent = latentErrata(db(), Vendor::Intel);
+
+    std::printf("Figure 5: forward-latent and backward-latent "
+                "errata among Intel Core generations\n");
+    std::printf("(paper shape: forward-latent always increasing, "
+                "accelerating since 2015; a salient\n"
+                " portion of backward-latent errata around "
+                "2015)\n\n");
+    std::printf("%s\n",
+                renderSeriesByYear({latent.forwardLatent,
+                                    latent.backwardLatent},
+                                   2009, 2022)
+                    .c_str());
+    std::printf("forward-latent errata:  %zu\n",
+                latent.forwardCount);
+    std::printf("backward-latent errata: %zu\n",
+                latent.backwardCount);
+
+    // The 2014-2016 backward bulge.
+    std::size_t before =
+        latent.backwardLatent.countAt(Date(2013, 12, 31));
+    std::size_t after =
+        latent.backwardLatent.countAt(Date(2016, 12, 31));
+    std::printf("backward-latent events dated 2014-2016: %zu of "
+                "%zu (paper: salient bulge around 2015)\n",
+                after - before, latent.backwardCount);
+
+    writeSvg("fig5_latent",
+             svgLineChart({latent.forwardLatent,
+                           latent.backwardLatent},
+                          {.title = "Figure 5: latent errata"}));
+}
+
+} // namespace
+} // namespace bench
+} // namespace rememberr
+
+REMEMBERR_BENCH_MAIN(rememberr::bench::printFigure)

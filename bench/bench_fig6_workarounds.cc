@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Figure 6: suggested workarounds of errata by category.
+ */
+
+#include "common.hh"
+
+#include <cstdio>
+
+namespace rememberr {
+namespace bench {
+namespace {
+
+void
+BM_WorkaroundBreakdown(benchmark::State &state)
+{
+    const Database &database = db();
+    for (auto _ : state) {
+        WorkaroundBreakdown breakdown =
+            workaroundBreakdown(database);
+        benchmark::DoNotOptimize(breakdown.intelTotal);
+    }
+}
+BENCHMARK(BM_WorkaroundBreakdown)->Unit(benchmark::kMicrosecond);
+
+void
+printFigure()
+{
+    WorkaroundBreakdown breakdown = workaroundBreakdown(db());
+
+    std::printf("Figure 6: suggested workarounds by category "
+                "(unique errata)\n");
+    std::printf("(paper: no workaround at all for 35.9%% of Intel "
+                "and 28.9%% of AMD unique errata [O5];\n"
+                " documentation fixes below 0.5%%)\n\n");
+
+    static const WorkaroundClass order[] = {
+        WorkaroundClass::None,       WorkaroundClass::Bios,
+        WorkaroundClass::Software,   WorkaroundClass::Peripherals,
+        WorkaroundClass::Absent,     WorkaroundClass::DocumentationFix,
+    };
+    std::vector<PairedBar> bars;
+    std::vector<Bar> svgBars;
+    for (WorkaroundClass cls : order) {
+        double intelShare =
+            static_cast<double>(breakdown.intel[cls]) /
+            static_cast<double>(breakdown.intelTotal);
+        double amdShare =
+            static_cast<double>(breakdown.amd[cls]) /
+            static_cast<double>(breakdown.amdTotal);
+        bars.push_back(
+            PairedBar{std::string(workaroundClassName(cls)),
+                      intelShare, amdShare});
+        svgBars.push_back(
+            Bar{std::string(workaroundClassName(cls)),
+                intelShare * 100.0, ""});
+    }
+    std::printf("%s\n",
+                renderPairedBarChart(bars, "Intel", "AMD").c_str());
+    std::printf("no-workaround fraction: Intel %s (paper: 35.9%%), "
+                "AMD %s (paper: 28.9%%)\n",
+                strings::formatPercent(
+                    breakdown.noneFraction(Vendor::Intel))
+                    .c_str(),
+                strings::formatPercent(
+                    breakdown.noneFraction(Vendor::Amd))
+                    .c_str());
+
+    writeSvg("fig6_workarounds",
+             svgBarChart(svgBars,
+                         {.title = "Figure 6: workarounds "
+                                   "(Intel %, by category)"}));
+}
+
+} // namespace
+} // namespace bench
+} // namespace rememberr
+
+REMEMBERR_BENCH_MAIN(rememberr::bench::printFigure)

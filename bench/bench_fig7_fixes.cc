@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure 7: proportion of fixed vs unfixed bugs per document.
+ */
+
+#include "common.hh"
+
+#include <cstdio>
+
+namespace rememberr {
+namespace bench {
+namespace {
+
+void
+BM_FixBreakdown(benchmark::State &state)
+{
+    const Database &database = db();
+    for (auto _ : state) {
+        auto rows = fixBreakdown(database);
+        benchmark::DoNotOptimize(rows.size());
+    }
+}
+BENCHMARK(BM_FixBreakdown)->Unit(benchmark::kMillisecond);
+
+void
+printFigure()
+{
+    auto rows = fixBreakdown(db());
+
+    std::printf("Figure 7: fixed vs unfixed bugs per document\n");
+    std::printf("(paper shape: the vast majority of bugs are never "
+                "fixed [O6]; a weak increasing fixing\n"
+                " trend in the latest Intel generations)\n\n");
+
+    AsciiTable table;
+    table.setColumns({"document", "fixed", "planned", "unfixed",
+                      "fixed share"},
+                     {Align::Left, Align::Right, Align::Right,
+                      Align::Right, Align::Right});
+    for (const FixRow &row : rows) {
+        std::size_t total = row.fixed + row.planned + row.unfixed;
+        if (row.docIndex == static_cast<int>(firstAmdDocIndex))
+            table.addSeparator();
+        table.addRow({
+            row.label,
+            std::to_string(row.fixed),
+            std::to_string(row.planned),
+            std::to_string(row.unfixed),
+            strings::formatPercent(
+                total == 0 ? 0.0
+                           : static_cast<double>(row.fixed) /
+                                 static_cast<double>(total)),
+        });
+    }
+    std::printf("%s\n", table.toString().c_str());
+    std::printf("never-fixed fraction over unique errata: %s "
+                "(paper: 'the vast majority')\n",
+                strings::formatPercent(neverFixedFraction(db()))
+                    .c_str());
+
+    std::vector<Bar> bars;
+    for (const FixRow &row : rows) {
+        std::size_t total = row.fixed + row.planned + row.unfixed;
+        bars.push_back(
+            Bar{row.label,
+                total == 0 ? 0.0
+                           : 100.0 * static_cast<double>(row.fixed) /
+                                 static_cast<double>(total),
+                ""});
+    }
+    writeSvg("fig7_fixes",
+             svgBarChart(bars, {.title = "Figure 7: fixed share "
+                                         "per document (%)"}));
+}
+
+} // namespace
+} // namespace bench
+} // namespace rememberr
+
+REMEMBERR_BENCH_MAIN(rememberr::bench::printFigure)

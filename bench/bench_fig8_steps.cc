@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 8: number of errata per classification discussion step.
+ */
+
+#include "common.hh"
+
+#include <cstdio>
+
+namespace rememberr {
+namespace bench {
+namespace {
+
+void
+BM_RunFourEyes(benchmark::State &state)
+{
+    const PipelineResult &result = pipeline();
+    for (auto _ : state) {
+        FourEyesResult annotations = runFourEyes(result.corpus);
+        benchmark::DoNotOptimize(annotations.steps.size());
+    }
+}
+BENCHMARK(BM_RunFourEyes)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void
+printFigure()
+{
+    const FourEyesResult &annotations = pipeline().annotations;
+
+    std::printf("Figure 8: cumulative errata per classification "
+                "discussion step\n");
+    std::printf("(paper shape: seven successive steps, Intel first "
+                "then AMD, reaching all 1,128 unique\n"
+                " errata)\n\n");
+
+    AsciiTable table;
+    table.setColumns({"step", "errata", "cumulative",
+                      "manual decisions", "mismatches"},
+                     {Align::Right, Align::Right, Align::Right,
+                      Align::Right, Align::Right});
+    for (const StepStats &step : annotations.steps) {
+        table.addRow({
+            std::to_string(step.step),
+            std::to_string(step.erratumCount),
+            std::to_string(step.cumulativeErrata),
+            std::to_string(step.manualDecisions),
+            std::to_string(step.mismatches),
+        });
+    }
+    std::printf("%s\n", table.toString().c_str());
+
+    std::vector<Bar> bars;
+    for (const StepStats &step : annotations.steps) {
+        bars.push_back(
+            Bar{"step " + std::to_string(step.step),
+                static_cast<double>(step.cumulativeErrata),
+                std::to_string(step.cumulativeErrata)});
+    }
+    std::printf("%s", renderBarChart(bars).c_str());
+    std::printf("\ntotal unique errata classified: %zu "
+                "(paper: 1,128)\n",
+                annotations.steps.back().cumulativeErrata);
+
+    writeSvg("fig8_steps",
+             svgBarChart(bars, {.title = "Figure 8: errata per "
+                                         "discussion step"}));
+}
+
+} // namespace
+} // namespace bench
+} // namespace rememberr
+
+REMEMBERR_BENCH_MAIN(rememberr::bench::printFigure)

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Figure 9: inter-annotator agreement per classification step.
+ */
+
+#include "common.hh"
+
+#include <cstdio>
+
+namespace rememberr {
+namespace bench {
+namespace {
+
+void
+BM_ClassifyAllErrata(benchmark::State &state)
+{
+    const PipelineResult &result = pipeline();
+    for (auto _ : state) {
+        std::size_t manual = 0;
+        for (const BugSpec &bug : result.corpus.bugs) {
+            Erratum erratum;
+            erratum.title = bug.title;
+            erratum.description = bug.description;
+            erratum.implications = bug.implications;
+            erratum.workaroundText = bug.workaroundText;
+            manual += classifyErratum(erratum).manualCount();
+        }
+        benchmark::DoNotOptimize(manual);
+    }
+}
+BENCHMARK(BM_ClassifyAllErrata)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void
+printFigure()
+{
+    const FourEyesResult &annotations = pipeline().annotations;
+
+    std::printf("Figure 9: percentage of errata-category pairs "
+                "classified identically by both humans\n");
+    std::printf("(paper shape: generally above 80%%, improving "
+                "over time, with a dip when the AMD corpus\n"
+                " starts at step 6)\n\n");
+
+    std::vector<Bar> bars;
+    for (const StepStats &step : annotations.steps) {
+        bars.push_back(
+            Bar{"step " + std::to_string(step.step),
+                step.agreement * 100.0,
+                strings::formatPercent(step.agreement)});
+    }
+    std::printf("%s\n", renderBarChart(bars).c_str());
+
+    std::printf("per-annotator workload: %zu manual decisions "
+                "(paper: ~2,064 out of 67,680 naive)\n",
+                annotations.manualDecisionsPerAnnotator);
+    std::printf("final label accuracy after discussion: %s\n",
+                strings::formatPercent(annotations.labelAccuracy,
+                                       2)
+                    .c_str());
+
+    writeSvg("fig9_agreement",
+             svgBarChart(bars, {.title = "Figure 9: agreement per "
+                                         "step (%)"}));
+}
+
+} // namespace
+} // namespace bench
+} // namespace rememberr
+
+REMEMBERR_BENCH_MAIN(rememberr::bench::printFigure)

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Section VI-A observation-space ablation: greedy maximum-coverage
+ * observation-point selection vs the naive top-frequency baseline,
+ * plus the Section V-A4 conservative criticality breakdown.
+ */
+
+#include "common.hh"
+
+#include <cstdio>
+
+#include "analysis/criticality.hh"
+
+namespace rememberr {
+namespace bench {
+namespace {
+
+void
+BM_GreedyObservationPlan(benchmark::State &state)
+{
+    const Database &database = db();
+    for (auto _ : state) {
+        ObservationPlan plan =
+            selectObservationPoints(database, 8);
+        benchmark::DoNotOptimize(plan.coverage());
+    }
+}
+BENCHMARK(BM_GreedyObservationPlan)->Unit(benchmark::kMillisecond);
+
+void
+BM_CriticalityBreakdown(benchmark::State &state)
+{
+    const Database &database = db();
+    for (auto _ : state) {
+        CriticalityBreakdown breakdown =
+            criticalityBreakdown(database);
+        benchmark::DoNotOptimize(breakdown.intel.size());
+    }
+}
+BENCHMARK(BM_CriticalityBreakdown)->Unit(benchmark::kMillisecond);
+
+void
+printFigure()
+{
+    const Taxonomy &taxonomy = Taxonomy::instance();
+
+    std::printf("Observation-budget ablation (Section VI-A: keep "
+                "the observation footprint minimal)\n\n");
+    AsciiTable table;
+    table.setColumns({"budget k", "greedy coverage",
+                      "top-frequency coverage"},
+                     {Align::Right, Align::Right, Align::Right});
+    for (std::size_t budget : {1u, 2u, 3u, 4u, 6u, 8u, 12u}) {
+        ObservationPlan greedy =
+            selectObservationPoints(db(), budget);
+        ObservationPlan baseline =
+            topFrequencyObservationPoints(db(), budget);
+        table.addRow({
+            std::to_string(budget),
+            strings::formatPercent(greedy.coverage()),
+            strings::formatPercent(baseline.coverage()),
+        });
+    }
+    std::printf("%s\n", table.toString().c_str());
+
+    ObservationPlan plan = selectObservationPoints(db(), 5);
+    std::printf("greedy picks for a budget of 5:\n");
+    for (std::size_t i = 0; i < plan.picks.size(); ++i) {
+        std::printf("  %zu. %-14s (cumulative coverage %s)\n",
+                    i + 1,
+                    taxonomy.categoryById(plan.picks[i])
+                        .code.c_str(),
+                    strings::formatPercent(
+                        static_cast<double>(
+                            plan.coverageCurve[i]) /
+                        static_cast<double>(plan.totalBugs))
+                        .c_str());
+    }
+
+    std::printf("\nConservative criticality (Section V-A4: 'only "
+                "a few bugs can be considered non-critical')\n\n");
+    CriticalityBreakdown breakdown = criticalityBreakdown(db());
+    AsciiTable crit;
+    crit.setColumns({"band", "Intel", "AMD", "total"},
+                    {Align::Left, Align::Right, Align::Right,
+                     Align::Right});
+    for (Criticality level :
+         {Criticality::SecurityCritical,
+          Criticality::LivenessCritical, Criticality::Functional,
+          Criticality::Low}) {
+        crit.addRow({
+            std::string(criticalityName(level)),
+            std::to_string(breakdown.intel[level]),
+            std::to_string(breakdown.amd[level]),
+            std::to_string(breakdown.total(level)),
+        });
+    }
+    std::printf("%s", crit.toString().c_str());
+    std::printf("\nnon-critical fraction: %s (paper: 'only a "
+                "few')\n",
+                strings::formatPercent(
+                    static_cast<double>(
+                        breakdown.total(Criticality::Low)) /
+                    static_cast<double>(db().entries().size()))
+                    .c_str());
+}
+
+} // namespace
+} // namespace bench
+} // namespace rememberr
+
+REMEMBERR_BENCH_MAIN(rememberr::bench::printFigure)

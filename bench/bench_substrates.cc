@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Substrate micro-benchmarks: the regex engine against the full rule
+ * set, the title-similarity metrics, the n-gram index and the JSON
+ * codec. These bound the cost of the pipeline's inner loops.
+ */
+
+#include "common.hh"
+
+#include <cstdio>
+
+namespace rememberr {
+namespace bench {
+namespace {
+
+const std::string &
+sampleBody()
+{
+    static const std::string body = [] {
+        const PipelineResult &result = pipeline();
+        // Longest description in the corpus: worst-ish case.
+        const std::string *longest =
+            &result.corpus.bugs.front().description;
+        for (const BugSpec &bug : result.corpus.bugs) {
+            if (bug.description.size() > longest->size())
+                longest = &bug.description;
+        }
+        return *longest;
+    }();
+    return body;
+}
+
+void
+BM_RegexFullRuleSet(benchmark::State &state)
+{
+    const RuleSet &rules = RuleSet::instance();
+    const std::string &body = sampleBody();
+    for (auto _ : state) {
+        std::size_t hits = 0;
+        for (const CategoryRule &rule : rules.rules()) {
+            for (const Regex &regex : rule.accept)
+                hits += regex.contains(body);
+            for (const Regex &regex : rule.relevance)
+                hits += regex.contains(body);
+        }
+        benchmark::DoNotOptimize(hits);
+    }
+}
+BENCHMARK(BM_RegexFullRuleSet)->Unit(benchmark::kMicrosecond);
+
+void
+BM_RegexCompile(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto regex = Regex::compile(
+            R"((warm|cold) reset|C[0-9] power state|\bMC\d+_(STATUS|ADDR)\b)");
+        benchmark::DoNotOptimize(regex.hasValue());
+    }
+}
+BENCHMARK(BM_RegexCompile)->Unit(benchmark::kMicrosecond);
+
+void
+BM_TitleSimilarity(benchmark::State &state)
+{
+    const PipelineResult &result = pipeline();
+    const std::string &a = result.corpus.bugs[0].title;
+    const std::string &b = result.corpus.bugs[1].title;
+    for (auto _ : state) {
+        double sim = titleSimilarity(a, b);
+        benchmark::DoNotOptimize(sim);
+    }
+}
+BENCHMARK(BM_TitleSimilarity)->Unit(benchmark::kMicrosecond);
+
+void
+BM_NgramIndexBuild(benchmark::State &state)
+{
+    const PipelineResult &result = pipeline();
+    for (auto _ : state) {
+        NgramIndex index(3);
+        for (const BugSpec &bug : result.corpus.bugs)
+            index.add(bug.title);
+        benchmark::DoNotOptimize(index.size());
+    }
+}
+BENCHMARK(BM_NgramIndexBuild)->Unit(benchmark::kMillisecond);
+
+void
+BM_NgramIndexQuery(benchmark::State &state)
+{
+    const PipelineResult &result = pipeline();
+    NgramIndex index(3);
+    for (const BugSpec &bug : result.corpus.bugs)
+        index.add(bug.title);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        auto hits = index.query(
+            result.corpus.bugs[i % result.corpus.bugs.size()]
+                .title,
+            0.3);
+        benchmark::DoNotOptimize(hits.size());
+        ++i;
+    }
+}
+BENCHMARK(BM_NgramIndexQuery)->Unit(benchmark::kMicrosecond);
+
+void
+BM_JsonSerializeDatabase(benchmark::State &state)
+{
+    const Database &database = db();
+    for (auto _ : state) {
+        std::string dump = database.toJson().dump();
+        benchmark::DoNotOptimize(dump.size());
+    }
+}
+BENCHMARK(BM_JsonSerializeDatabase)->Unit(benchmark::kMillisecond);
+
+void
+BM_JsonParseDatabase(benchmark::State &state)
+{
+    const std::string dump = db().toJson().dump();
+    for (auto _ : state) {
+        auto parsed = parseJson(dump);
+        benchmark::DoNotOptimize(parsed.hasValue());
+    }
+}
+BENCHMARK(BM_JsonParseDatabase)->Unit(benchmark::kMillisecond);
+
+void
+printSummary()
+{
+    std::printf("Substrate micro-benchmarks: see the timing table "
+                "above.\n");
+    std::printf("Context: the classification stage evaluates the "
+                "full rule set (60 categories,\n"
+                "~130 compiled patterns) once per unique erratum; "
+                "the dedup stage performs one\n"
+                "index query per Intel cluster representative.\n");
+}
+
+} // namespace
+} // namespace bench
+} // namespace rememberr
+
+REMEMBERR_BENCH_MAIN(rememberr::bench::printSummary)

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Table III: the inspected errata documents, plus corpus-generation
+ * throughput.
+ */
+
+#include "common.hh"
+
+#include <cstdio>
+
+namespace rememberr {
+namespace bench {
+namespace {
+
+void
+BM_GenerateCorpus(benchmark::State &state)
+{
+    setLogQuiet(true);
+    for (auto _ : state) {
+        Corpus corpus = generateDefaultCorpus();
+        benchmark::DoNotOptimize(corpus.bugs.size());
+    }
+}
+BENCHMARK(BM_GenerateCorpus)->Unit(benchmark::kMillisecond);
+
+void
+BM_RenderAllDocuments(benchmark::State &state)
+{
+    const PipelineResult &result = pipeline();
+    for (auto _ : state) {
+        std::size_t bytes = 0;
+        for (const ErrataDocument &doc : result.corpus.documents)
+            bytes += renderDocument(doc).size();
+        benchmark::DoNotOptimize(bytes);
+    }
+}
+BENCHMARK(BM_RenderAllDocuments)->Unit(benchmark::kMillisecond);
+
+void
+printTable()
+{
+    const PipelineResult &result = pipeline();
+    std::printf("Table III: inspected errata documents\n");
+    std::printf("(paper: 16 Intel Core documents, 12 AMD family "
+                "documents)\n\n");
+
+    AsciiTable table;
+    table.setColumns({"#", "vendor", "design", "reference",
+                      "release", "revisions", "errata"},
+                     {Align::Right, Align::Left, Align::Left,
+                      Align::Left, Align::Left, Align::Right,
+                      Align::Right});
+    for (std::size_t d = 0; d < result.corpus.documents.size();
+         ++d) {
+        const ErrataDocument &doc = result.corpus.documents[d];
+        if (d == firstAmdDocIndex)
+            table.addSeparator();
+        table.addRow({
+            std::to_string(d),
+            std::string(vendorName(doc.design.vendor)),
+            doc.design.name,
+            doc.design.reference,
+            doc.design.releaseDate.toString(),
+            std::to_string(doc.revisions.size()),
+            std::to_string(doc.errata.size()),
+        });
+    }
+    std::printf("%s", table.toString().c_str());
+
+    std::size_t intelDocs = 0, amdDocs = 0;
+    for (const ErrataDocument &doc : result.corpus.documents) {
+        if (doc.design.vendor == Vendor::Intel)
+            ++intelDocs;
+        else
+            ++amdDocs;
+    }
+    std::printf("\ndocuments: Intel %zu (paper: 16), AMD %zu "
+                "(paper: 12)\n",
+                intelDocs, amdDocs);
+}
+
+} // namespace
+} // namespace bench
+} // namespace rememberr
+
+REMEMBERR_BENCH_MAIN(rememberr::bench::printTable)

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Tables I, II and VII: the vendor erratum formats and the paper's
+ * proposed machine-friendly format, demonstrated on the
+ * corresponding entries of the reproduced corpus.
+ */
+
+#include "common.hh"
+
+#include <cstdio>
+
+namespace rememberr {
+namespace bench {
+namespace {
+
+void
+BM_RenderProposedFormat(benchmark::State &state)
+{
+    const Database &database = db();
+    for (auto _ : state) {
+        std::size_t bytes = 0;
+        for (const DbEntry &entry : database.entries())
+            bytes += renderProposedFormat(entry).size();
+        benchmark::DoNotOptimize(bytes);
+    }
+}
+BENCHMARK(BM_RenderProposedFormat)->Unit(benchmark::kMillisecond);
+
+void
+printFigure()
+{
+    const PipelineResult &result = pipeline();
+
+    // Table I analog: the first erratum of the Core 12 document in
+    // vendor style.
+    const ErrataDocument &core12 = result.corpus.documents[15];
+    const Erratum &first = core12.errata.front();
+    std::printf("Table I analog (vendor format, first Core 12 "
+                "erratum):\n\n");
+    std::printf("ID: %s\nTitle: %s\nDescription: %s\n"
+                "Implications: %s\nWorkaround: %s\nStatus: %s\n\n",
+                first.localId.c_str(), first.title.c_str(),
+                first.description.c_str(),
+                first.implications.c_str(),
+                first.workaroundText.c_str(),
+                statusText(first.status).c_str());
+
+    // Table II analog: the most recent erratum of the AMD 19h doc.
+    const ErrataDocument &zen3 = result.corpus.documents[27];
+    const Erratum &latest = zen3.errata.back();
+    std::printf("Table II analog (vendor format, most recent "
+                "Fam 19h erratum):\n\n");
+    std::printf("ID: %s\nTitle: %s\nDescription: %s\n"
+                "Implications: %s\nWorkaround: %s\nStatus: %s\n\n",
+                latest.localId.c_str(), latest.title.c_str(),
+                latest.description.c_str(),
+                latest.implications.c_str(),
+                latest.workaroundText.c_str(),
+                statusText(latest.status).c_str());
+
+    // Table VII: the same Core 12 entry in the proposed format.
+    std::uint32_t bug = result.corpus.bugOfRow(15, 0);
+    std::printf("Table VII (proposed format for the same "
+                "erratum):\n\n%s\n",
+                renderProposedFormat(
+                    db().entries()[bug])
+                    .c_str());
+}
+
+} // namespace
+} // namespace bench
+} // namespace rememberr
+
+REMEMBERR_BENCH_MAIN(rememberr::bench::printFigure)

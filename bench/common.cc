@@ -1,0 +1,54 @@
+#include "common.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace rememberr {
+namespace bench {
+
+const PipelineResult &
+pipeline()
+{
+    static const PipelineResult result = [] {
+        setLogQuiet(true);
+        return runPipeline();
+    }();
+    return result;
+}
+
+const Database &
+db()
+{
+    return pipeline().groundTruth;
+}
+
+void
+writeSvg(const std::string &name, const std::string &svg)
+{
+    std::error_code ec;
+    std::filesystem::create_directories("figures", ec);
+    if (ec)
+        return;
+    std::ofstream out("figures/" + name + ".svg");
+    out << svg;
+    if (out)
+        std::printf("[figure written to figures/%s.svg]\n",
+                    name.c_str());
+}
+
+int
+runBenchMain(int argc, char **argv, void (*print_figure)())
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    std::printf("\n");
+    print_figure();
+    return 0;
+}
+
+} // namespace bench
+} // namespace rememberr

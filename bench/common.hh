@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared infrastructure for the figure-reproduction benches.
+ *
+ * Each bench binary times the pipeline stage(s) behind one table or
+ * figure of the paper and then prints the reproduced rows/series,
+ * annotated with the paper's published values where the paper states
+ * them. SVG versions of the figures are written to ./figures/.
+ */
+
+#ifndef REMEMBERR_BENCH_COMMON_HH
+#define REMEMBERR_BENCH_COMMON_HH
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "core/rememberr.hh"
+
+namespace rememberr {
+namespace bench {
+
+/** The cached full pipeline result (built once per process). */
+const PipelineResult &pipeline();
+
+/** Shorthand for the ground-truth database of the cached pipeline. */
+const Database &db();
+
+/** Write an SVG figure under ./figures/ (best effort). */
+void writeSvg(const std::string &name, const std::string &svg);
+
+/**
+ * Bench main: run the registered benchmarks, then print the figure
+ * reproduction.
+ */
+int runBenchMain(int argc, char **argv, void (*print_figure)());
+
+} // namespace bench
+} // namespace rememberr
+
+/** Define main() for a bench binary with the given print function. */
+#define REMEMBERR_BENCH_MAIN(printFn)                                  \
+    int main(int argc, char **argv)                                    \
+    {                                                                  \
+        return ::rememberr::bench::runBenchMain(argc, argv, printFn); \
+    }
+
+#endif // REMEMBERR_BENCH_COMMON_HH

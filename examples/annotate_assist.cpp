@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Example: the computer-assisted annotation workflow of
+ * Section V-A, on one erratum.
+ *
+ * Shows the three-way split per category (auto-yes / auto-no /
+ * manual) and the syntax-highlighted text a human annotator would
+ * see for the manual decisions.
+ */
+
+#include <cstdio>
+
+#include "core/rememberr.hh"
+
+int
+main()
+{
+    using namespace rememberr;
+
+    setLogQuiet(true);
+
+    // The Table I erratum, transcribed.
+    Erratum erratum;
+    erratum.localId = "ADL001";
+    erratum.title = "X87 FDP Value May be Saved Incorrectly";
+    erratum.description =
+        "Execution of the FSAVE, FNSAVE, FSTENV, or FNSTENV "
+        "instructions in real-address mode or virtual-8086 mode "
+        "may save an incorrect value for the x87 FDP (FPU data "
+        "pointer). This erratum does not apply if the last "
+        "non-control x87 instruction had an unmasked exception.";
+    erratum.implications =
+        "Software operating in real-address mode or virtual-8086 "
+        "mode that depends on the FDP value for non-control x87 "
+        "instructions without unmasked exceptions may not operate "
+        "properly.";
+    erratum.workaroundText = "None identified.";
+
+    std::printf("Classifying the Table I erratum (%s)...\n\n",
+                erratum.localId.c_str());
+
+    EngineResult result = classifyErratum(erratum);
+    const Taxonomy &taxonomy = Taxonomy::instance();
+
+    std::printf("auto-accepted categories:\n");
+    for (CategoryId id : result.autoYes.toVector())
+        std::printf("  %s — %s\n",
+                    taxonomy.categoryById(id).code.c_str(),
+                    taxonomy.categoryById(id).description.c_str());
+
+    std::printf("\nmanual decisions required (%zu):\n",
+                result.manual.size());
+    for (CategoryId id : result.manual)
+        std::printf("  %s — %s\n",
+                    taxonomy.categoryById(id).code.c_str(),
+                    taxonomy.categoryById(id).description.c_str());
+
+    std::size_t autoNo = 60 - result.autoYes.size() -
+                         result.manual.size();
+    std::printf("\nauto-rejected (irrelevant) categories: %zu of "
+                "60\n",
+                autoNo);
+
+    // Show the highlighting an annotator would see for the first
+    // manual decision.
+    if (!result.manual.empty()) {
+        CategoryId id = result.manual.front();
+        std::string body = erratumBodyText(erratum);
+        auto spans = highlightCategory(body, id);
+        std::printf("\nhighlighted text for the %s decision "
+                    "(ANSI):\n\n%s\n",
+                    taxonomy.categoryById(id).code.c_str(),
+                    renderAnsi(body, spans).c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Example: the artifact appendix's "custom script" — how to write
+ * your own analyses against the database.
+ *
+ * The question answered here: are security-sensitive bugs (those
+ * reachable from a virtual machine guest with no workaround)
+ * getting fixed more often than other bugs? Also demonstrates
+ * exporting query results as JSON and CSV for downstream tooling.
+ */
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/rememberr.hh"
+
+int
+main()
+{
+    using namespace rememberr;
+
+    setLogQuiet(true);
+    PipelineResult result = runPipeline();
+    const Database &db = result.groundTruth;
+    const Taxonomy &taxonomy = Taxonomy::instance();
+
+    // ---- A custom research question ------------------------------
+    CategoryId vmg = *taxonomy.parseCategory("Ctx_PRV_vmg");
+
+    auto guestReachable = Query(db).hasCategory(vmg);
+    std::size_t total = guestReachable.count();
+    std::size_t fixedCount =
+        Query(db).hasCategory(vmg).status(FixStatus::Fixed).count();
+
+    std::size_t otherTotal = db.entries().size() - total;
+    std::size_t otherFixed =
+        Query(db).status(FixStatus::Fixed).count() - fixedCount;
+
+    std::printf("Custom query: are VM-guest-reachable bugs fixed "
+                "more often?\n\n");
+    std::printf("  guest-reachable bugs: %zu, fixed: %zu (%s)\n",
+                total, fixedCount,
+                strings::formatPercent(
+                    static_cast<double>(fixedCount) /
+                    static_cast<double>(total))
+                    .c_str());
+    std::printf("  all other bugs:       %zu, fixed: %zu (%s)\n\n",
+                otherTotal, otherFixed,
+                strings::formatPercent(
+                    static_cast<double>(otherFixed) /
+                    static_cast<double>(otherTotal))
+                    .c_str());
+
+    // ---- Breakdown of the guest-reachable bugs by effect class ----
+    std::printf("Effects of guest-reachable bugs by class:\n");
+    for (const auto &[cls, count] :
+         Query(db).hasCategory(vmg).countByClass(Axis::Effect)) {
+        std::printf("  %-8s %zu\n",
+                    taxonomy.classById(cls).code.c_str(), count);
+    }
+
+    // ---- How long do they survive across generations? -------------
+    std::size_t longLived = Query(db)
+                                .hasCategory(vmg)
+                                .occurrenceCountAtLeast(3)
+                                .count();
+    std::printf("\nguest-reachable bugs present in 3+ documents: "
+                "%zu\n",
+                longLived);
+
+    // ---- Export for downstream tooling -----------------------------
+    {
+        JsonValue json = JsonValue::makeArray();
+        for (const DbEntry *entry : guestReachable.run()) {
+            JsonValue item = JsonValue::makeObject();
+            item["key"] = static_cast<std::int64_t>(entry->key);
+            item["title"] = entry->title;
+            item["fixed"] = entry->status == FixStatus::Fixed;
+            json.append(std::move(item));
+        }
+        std::ofstream out("vm_guest_bugs.json");
+        out << json.dumpPretty() << "\n";
+        std::printf("\nwrote vm_guest_bugs.json (%zu entries)\n",
+                    json.size());
+    }
+    {
+        std::ofstream out("rememberr_db.csv");
+        out << db.toCsv();
+        std::printf("wrote rememberr_db.csv (%zu unique errata)\n",
+                    db.entries().size());
+    }
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Example: lint specification-update documents for "errata in
+ * errata".
+ *
+ * Section IV-A documents that the vendor documents contain errors
+ * themselves. This example renders every generated document to the
+ * text format, re-parses it (as a consumer of real documents would)
+ * and reports every defect the linter finds, then compares the
+ * totals with the paper's counts.
+ *
+ * Usage: errata_lint [path-to-document.txt]
+ *   With a path, lints that document instead of the built-in corpus.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/rememberr.hh"
+
+namespace {
+
+using namespace rememberr;
+
+int
+lintOneFile(const char *path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path);
+        return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    auto parsed = parseDocument(buffer.str());
+    if (!parsed) {
+        std::fprintf(stderr, "parse error in %s: %s\n", path,
+                     parsed.error().toString().c_str());
+        return 1;
+    }
+    auto findings = lintDocument(parsed.value());
+    std::printf("%s: %zu finding(s)\n", path, findings.size());
+    for (const LintFinding &finding : findings) {
+        std::printf("  [%s] %s\n",
+                    std::string(defectKindName(finding.kind))
+                        .c_str(),
+                    finding.detail.c_str());
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace rememberr;
+
+    if (argc > 1)
+        return lintOneFile(argv[1]);
+
+    setLogQuiet(true);
+    std::printf("Generating the corpus and linting all 28 "
+                "documents...\n\n");
+    Corpus corpus = generateDefaultCorpus();
+
+    std::vector<std::vector<LintFinding>> perDoc;
+    for (const ErrataDocument &document : corpus.documents) {
+        // Go through the text format, as a real consumer would.
+        auto parsed = parseDocument(renderDocument(document));
+        if (!parsed) {
+            std::fprintf(stderr, "%s failed to parse: %s\n",
+                         document.design.name.c_str(),
+                         parsed.error().toString().c_str());
+            return 1;
+        }
+        auto findings = lintDocument(parsed.value());
+        if (!findings.empty()) {
+            std::printf("%s (%s):\n", document.design.name.c_str(),
+                        document.design.reference.c_str());
+            for (const LintFinding &finding : findings)
+                std::printf("  [%s] %s\n",
+                            std::string(
+                                defectKindName(finding.kind))
+                                .c_str(),
+                            finding.detail.c_str());
+        }
+        perDoc.push_back(std::move(findings));
+    }
+
+    LintSummary summary = summarizeFindings(perDoc);
+    std::printf("\nTotals vs the paper (Section IV-A):\n");
+    std::printf("  duplicate revision claims: %d (paper: 8)\n",
+                summary.duplicateRevisionClaims);
+    std::printf("  missing from notes:        %d (paper: 12)\n",
+                summary.missingFromNotes);
+    std::printf("  reused names:              %d (paper: 1)\n",
+                summary.reusedNames);
+    std::printf("  missing/duplicate fields:  %d (paper: 7)\n",
+                summary.missingFields + summary.duplicateFields);
+    std::printf("  wrong MSR numbers:         %d (paper: 3)\n",
+                summary.wrongMsrNumbers);
+    std::printf("  intra-document duplicates: %d (paper: 11)\n",
+                summary.intraDocDuplicates);
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Quickstart: run the pipeline, print headline numbers, query the
+ * database and show one entry in the proposed Table VII format.
+ */
+
+#include <cstdio>
+
+#include "core/rememberr.hh"
+
+int
+main()
+{
+    using namespace rememberr;
+
+    std::printf("RemembERR quickstart\n");
+    std::printf("====================\n\n");
+    std::printf("Running the full pipeline "
+                "(generate -> parse -> dedup -> classify)...\n\n");
+
+    PipelineResult result = runPipeline();
+    const Database &db = result.database;
+
+    HeadlineStats stats = headlineStats(result.groundTruth);
+    std::printf("Collected errata: %zu (Intel %zu, AMD %zu)\n",
+                stats.totalRows, stats.intelRows, stats.amdRows);
+    std::printf("Unique errata:    %zu (Intel %zu, AMD %zu)\n\n",
+                stats.totalUnique, stats.intelUnique,
+                stats.amdUnique);
+
+    // A custom query: virtualization-context bugs that hang the CPU
+    // and have no workaround.
+    const Taxonomy &taxonomy = Taxonomy::instance();
+    CategoryId vmg = *taxonomy.parseCategory("Ctx_PRV_vmg");
+    CategoryId hng = *taxonomy.parseCategory("Eff_HNG_hng");
+
+    auto matches = Query(db)
+                       .hasCategory(vmg)
+                       .hasCategory(hng)
+                       .workaround(WorkaroundClass::None)
+                       .run();
+    std::printf("VM-guest hangs without workaround: %zu\n\n",
+                matches.size());
+
+    if (!matches.empty()) {
+        std::printf("First match in the proposed erratum format "
+                    "(Table VII):\n\n%s\n",
+                    renderProposedFormat(*matches.front()).c_str());
+    }
+
+    // Top triggers, the paper's headline insight (Observation O7).
+    std::printf("Top 5 triggers across both vendors:\n");
+    for (const CategoryFrequency &freq :
+         categoryFrequencies(db, Axis::Trigger, 5)) {
+        std::printf("  %-14s %4zu (Intel %zu, AMD %zu)\n",
+                    freq.code.c_str(), freq.total(),
+                    freq.intelCount, freq.amdCount);
+    }
+    return 0;
+}

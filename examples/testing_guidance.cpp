@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Example: derive a directed design-testing campaign from the
+ * database (the Section VI use case).
+ *
+ * Triggers are conjunctive and observations disjunctive, so an
+ * effective campaign (a) drives the trigger *combinations* that
+ * historically uncovered bugs and (b) watches the cheapest
+ * observation points. This example prints a ranked campaign plan:
+ * which stimulus pairs to exercise, in which contexts, and where to
+ * look for deviations.
+ */
+
+#include <cstdio>
+
+#include "core/rememberr.hh"
+
+int
+main()
+{
+    using namespace rememberr;
+
+    setLogQuiet(true);
+    std::printf("Building the RemembERR database...\n\n");
+    PipelineResult result = runPipeline();
+    const Database &db = result.groundTruth;
+    const Taxonomy &taxonomy = Taxonomy::instance();
+
+    std::printf("=== Directed testing campaign derived from %zu "
+                "unique errata ===\n\n",
+                db.entries().size());
+
+    // 1. Stimulus pairs: the strongest trigger correlations.
+    std::printf("1. Combined stimuli to exercise (Figure 12: "
+                "conjunctive triggers):\n");
+    TriggerCorrelation correlation = triggerCorrelation(db);
+    for (const auto &pair : correlation.topPairs(6)) {
+        const AbstractCategory &a = taxonomy.categoryById(pair.a);
+        const AbstractCategory &b = taxonomy.categoryById(pair.b);
+        std::printf("   - %s + %s (%zu past bugs)\n",
+                    a.description.c_str(), b.description.c_str(),
+                    pair.count);
+    }
+
+    // 2. Contexts to set up.
+    std::printf("\n2. Contexts to run the stimuli in (Figure 17: "
+                "disjunctive, any suffices per bug):\n");
+    for (const CategoryFrequency &freq :
+         categoryFrequencies(db, Axis::Context, 4)) {
+        std::printf("   - %s (%zu past bugs)\n",
+                    taxonomy.categoryById(freq.id)
+                        .description.c_str(),
+                    freq.total());
+    }
+
+    // 3. Observation points.
+    std::printf("\n3. Observation points, cheapest first "
+                "(Figure 18/19: one deviation suffices):\n");
+    for (const CategoryFrequency &freq :
+         categoryFrequencies(db, Axis::Effect, 4)) {
+        std::printf("   - watch for %s (%zu past bugs)\n",
+                    taxonomy.categoryById(freq.id)
+                        .description.c_str(),
+                    freq.total());
+    }
+    std::printf("   MSRs worth polling:\n");
+    auto msrs = msrFrequencies(db);
+    for (std::size_t i = 0; i < msrs.size() && i < 4; ++i) {
+        std::printf("   - %s (witnesses %zu past bugs)\n",
+                    msrs[i].family.c_str(), msrs[i].total());
+    }
+
+    // 4. The paper's headline recommendation, recomputed.
+    std::printf("\n4. Headline recommendation (Observation O7):\n");
+    CategoryId wrg = *taxonomy.parseCategory("Trg_CFG_wrg");
+    CategoryId tht = *taxonomy.parseCategory("Trg_POW_tht");
+    CategoryId pwc = *taxonomy.parseCategory("Trg_POW_pwc");
+    std::size_t msrPower =
+        Query(db)
+            .hasCategory(wrg)
+            .where([&](const DbEntry &entry) {
+                return entry.triggers.contains(tht) ||
+                       entry.triggers.contains(pwc);
+            })
+            .count();
+    std::printf("   %zu unique errata require MSR-determined "
+                "configurations combined with power level\n"
+                "   transitions or throttling — testing tools must "
+                "exert power transitions under\n"
+                "   MSR-determined configurations while operating "
+                "custom features.\n",
+                msrPower);
+
+    // 5. What a PCIe-focused campaign must add (Section III's
+    //    motivating example).
+    CategoryId pci = *taxonomy.parseCategory("Trg_EXT_pci");
+    CategoryId rst = *taxonomy.parseCategory("Trg_EXT_rst");
+    std::size_t pciBugs = Query(db).hasCategory(pci).count();
+    std::size_t pciNeedsReset = Query(db)
+                                    .hasCategory(pci)
+                                    .hasCategory(rst)
+                                    .count();
+    std::size_t pciNeedsPower =
+        Query(db)
+            .hasCategory(pci)
+            .where([&](const DbEntry &entry) {
+                return entry.triggers.contains(pwc) ||
+                       entry.triggers.contains(tht);
+            })
+            .count();
+    std::printf("\n5. PCIe example (Section III): of %zu "
+                "PCIe-trigger bugs, %zu additionally require a\n"
+                "   reset signal and %zu require power-level "
+                "changes — connecting a PCIe device alone\n"
+                "   is not enough.\n",
+                pciBugs, pciNeedsReset, pciNeedsPower);
+    return 0;
+}

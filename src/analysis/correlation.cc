@@ -1,0 +1,80 @@
+#include "correlation.hh"
+
+#include <algorithm>
+
+namespace rememberr {
+
+TriggerCorrelation
+triggerCorrelation(const Database &db)
+{
+    const Taxonomy &taxonomy = Taxonomy::instance();
+    TriggerCorrelation matrix;
+    matrix.categories = taxonomy.categoriesOfAxis(Axis::Trigger);
+    for (CategoryId id : matrix.categories)
+        matrix.codes.push_back(taxonomy.categoryById(id).code);
+
+    const std::size_t n = matrix.categories.size();
+    matrix.counts.assign(n, std::vector<std::size_t>(n, 0));
+
+    std::vector<std::size_t> columnOf(64, n);
+    for (std::size_t i = 0; i < n; ++i)
+        columnOf[matrix.categories[i]] = i;
+
+    for (const DbEntry &entry : db.entries()) {
+        auto ids = entry.triggers.toVector();
+        for (CategoryId a : ids) {
+            for (CategoryId b : ids) {
+                std::size_t i = columnOf[a];
+                std::size_t j = columnOf[b];
+                if (i < n && j < n)
+                    ++matrix.counts[i][j];
+            }
+        }
+    }
+    return matrix;
+}
+
+std::vector<TriggerCorrelation::Pair>
+TriggerCorrelation::topPairs(std::size_t n) const
+{
+    std::vector<Pair> pairs;
+    for (std::size_t i = 0; i < categories.size(); ++i) {
+        for (std::size_t j = i + 1; j < categories.size(); ++j) {
+            if (counts[i][j] > 0) {
+                pairs.push_back(Pair{categories[i], categories[j],
+                                     counts[i][j]});
+            }
+        }
+    }
+    std::sort(pairs.begin(), pairs.end(),
+              [](const Pair &a, const Pair &b) {
+                  if (a.count != b.count)
+                      return a.count > b.count;
+                  if (a.a != b.a)
+                      return a.a < b.a;
+                  return a.b < b.b;
+              });
+    if (pairs.size() > n)
+        pairs.resize(n);
+    return pairs;
+}
+
+double
+nonInteractingPairFraction(const TriggerCorrelation &matrix)
+{
+    std::size_t total = 0;
+    std::size_t zero = 0;
+    for (std::size_t i = 0; i < matrix.categories.size(); ++i) {
+        for (std::size_t j = i + 1; j < matrix.categories.size();
+             ++j) {
+            ++total;
+            if (matrix.counts[i][j] == 0)
+                ++zero;
+        }
+    }
+    return total == 0 ? 0.0
+                      : static_cast<double>(zero) /
+                            static_cast<double>(total);
+}
+
+} // namespace rememberr

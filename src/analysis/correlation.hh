@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Pairwise trigger cross-correlation (Figure 12, Observation O8).
+ *
+ * Cell (i, j) counts the errata that require *at least* triggers i
+ * and j together — the key input for directing combined-stimulus
+ * testing campaigns (Section VI-A).
+ */
+
+#ifndef REMEMBERR_ANALYSIS_CORRELATION_HH
+#define REMEMBERR_ANALYSIS_CORRELATION_HH
+
+#include <string>
+#include <vector>
+
+#include "db/database.hh"
+
+namespace rememberr {
+
+/** The symmetric trigger co-occurrence matrix. */
+struct TriggerCorrelation
+{
+    /** Abstract trigger categories covered (row/column order). */
+    std::vector<CategoryId> categories;
+    std::vector<std::string> codes;
+    /** counts[i][j] = errata requiring at least triggers i and j. */
+    std::vector<std::vector<std::size_t>> counts;
+
+    /** The strongest off-diagonal pairs, ranked by count. */
+    struct Pair
+    {
+        CategoryId a = 0;
+        CategoryId b = 0;
+        std::size_t count = 0;
+    };
+    std::vector<Pair> topPairs(std::size_t n) const;
+};
+
+/** Compute the matrix over all unique errata (both vendors). */
+TriggerCorrelation triggerCorrelation(const Database &db);
+
+/**
+ * Observation O8 support: fraction of trigger pairs that never
+ * co-occur ("most triggers do not interact with each other").
+ */
+double nonInteractingPairFraction(const TriggerCorrelation &matrix);
+
+} // namespace rememberr
+
+#endif // REMEMBERR_ANALYSIS_CORRELATION_HH

@@ -1,0 +1,157 @@
+#include "criticality.hh"
+
+#include "util/logging.hh"
+
+namespace rememberr {
+
+namespace {
+
+bool
+has(const DbEntry &entry, const char *code)
+{
+    auto id = Taxonomy::instance().parseCategory(code);
+    if (!id)
+        REMEMBERR_PANIC("criticality: unknown category ", code);
+    return entry.triggers.contains(*id) ||
+           entry.contexts.contains(*id) ||
+           entry.effects.contains(*id);
+}
+
+bool
+securityCritical(const DbEntry &entry, std::vector<std::string> *why)
+{
+    bool critical = false;
+    // Reachable from a virtual machine guest: unprivileged
+    // tenant-controlled code can trigger it.
+    if (has(entry, "Ctx_PRV_vmg")) {
+        critical = true;
+        if (why)
+            why->push_back("triggerable from a virtual machine "
+                           "guest (unprivileged tenant)");
+    }
+    // Performance-counter corruption undermines deployed
+    // counter-based defenses (Section V-A4's references).
+    if (has(entry, "Eff_CRP_prf")) {
+        critical = true;
+        if (why)
+            why->push_back("corrupts performance counters that "
+                           "security defenses depend on");
+    }
+    // Security features misbehaving while enabled.
+    if (has(entry, "Ctx_FEA_sec")) {
+        critical = true;
+        if (why)
+            why->push_back("manifests with a security feature "
+                           "(SGX/SVM-class) enabled");
+    }
+    // Missing faults let software proceed past a violated check.
+    if (has(entry, "Eff_FLT_fms")) {
+        critical = true;
+        if (why)
+            why->push_back("an expected fault is not delivered, "
+                           "so a protection check is skipped");
+    }
+    return critical;
+}
+
+bool
+livenessCritical(const DbEntry &entry, std::vector<std::string> *why)
+{
+    bool critical = false;
+    for (const char *code :
+         {"Eff_HNG_hng", "Eff_HNG_crh", "Eff_HNG_boo"}) {
+        if (has(entry, code)) {
+            critical = true;
+            if (why)
+                why->push_back(
+                    std::string("liveness effect: ") +
+                    std::string(Taxonomy::instance()
+                                    .categoryById(
+                                        *Taxonomy::instance()
+                                             .parseCategory(code))
+                                    .description));
+        }
+    }
+    return critical;
+}
+
+bool
+functional(const DbEntry &entry)
+{
+    for (const char *code :
+         {"Eff_HNG_unp", "Eff_FLT_mca", "Eff_FLT_unc",
+          "Eff_FLT_fsp", "Eff_FLT_fid", "Eff_CRP_reg"}) {
+        if (has(entry, code))
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+std::string_view
+criticalityName(Criticality level)
+{
+    switch (level) {
+      case Criticality::SecurityCritical: return "security-critical";
+      case Criticality::LivenessCritical: return "liveness-critical";
+      case Criticality::Functional: return "functional";
+      case Criticality::Low: return "low";
+    }
+    REMEMBERR_PANIC("criticalityName: bad level");
+}
+
+Criticality
+assessCriticality(const DbEntry &entry)
+{
+    if (securityCritical(entry, nullptr))
+        return Criticality::SecurityCritical;
+    if (livenessCritical(entry, nullptr))
+        return Criticality::LivenessCritical;
+    if (functional(entry))
+        return Criticality::Functional;
+    return Criticality::Low;
+}
+
+std::vector<std::string>
+criticalityReasons(const DbEntry &entry)
+{
+    std::vector<std::string> reasons;
+    securityCritical(entry, &reasons);
+    livenessCritical(entry, &reasons);
+    if (reasons.empty() && functional(entry))
+        reasons.push_back("functional deviation (wrong values, "
+                          "spurious faults or corruptions)");
+    if (reasons.empty())
+        reasons.push_back("externally observable nuisance only");
+    return reasons;
+}
+
+std::size_t
+CriticalityBreakdown::total(Criticality level) const
+{
+    std::size_t count = 0;
+    auto it = intel.find(level);
+    if (it != intel.end())
+        count += it->second;
+    it = amd.find(level);
+    if (it != amd.end())
+        count += it->second;
+    return count;
+}
+
+CriticalityBreakdown
+criticalityBreakdown(const Database &db)
+{
+    CriticalityBreakdown breakdown;
+    for (const DbEntry &entry : db.entries()) {
+        Criticality level = assessCriticality(entry);
+        if (entry.vendor == Vendor::Intel)
+            ++breakdown.intel[level];
+        else
+            ++breakdown.amd[level];
+    }
+    return breakdown;
+}
+
+} // namespace rememberr

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Conservative criticality assessment (Section V-A4).
+ *
+ * "Only a few bugs can be considered non-critical: criticality
+ * generally depends on the assumptions made by the software running
+ * on the faulty CPU. Therefore, it is necessary to be conservative."
+ * Crashes and hangs are evidently liveness-critical; bugs reachable
+ * from unprivileged or guest contexts are security-critical; even
+ * wrong performance-counter values are security-relevant because
+ * deployed defenses depend on counter integrity.
+ */
+
+#ifndef REMEMBERR_ANALYSIS_CRITICALITY_HH
+#define REMEMBERR_ANALYSIS_CRITICALITY_HH
+
+#include <map>
+#include <string_view>
+#include <vector>
+
+#include "db/database.hh"
+
+namespace rememberr {
+
+/** Conservative criticality bands, most severe first. */
+enum class Criticality : std::uint8_t
+{
+    SecurityCritical, ///< guest/unprivileged reachability or
+                      ///< defense-relevant corruption
+    LivenessCritical, ///< hangs, crashes, boot failures
+    Functional,       ///< wrong results, faults, corruptions
+    Low,              ///< externally observable nuisances only
+};
+
+std::string_view criticalityName(Criticality level);
+
+/** Assess one entry conservatively (the most severe band wins). */
+Criticality assessCriticality(const DbEntry &entry);
+
+/** Why the entry landed in its band, for reports. */
+std::vector<std::string> criticalityReasons(const DbEntry &entry);
+
+/** Band populations over the database, per vendor. */
+struct CriticalityBreakdown
+{
+    std::map<Criticality, std::size_t> intel;
+    std::map<Criticality, std::size_t> amd;
+
+    std::size_t total(Criticality level) const;
+};
+
+CriticalityBreakdown criticalityBreakdown(const Database &db);
+
+} // namespace rememberr
+
+#endif // REMEMBERR_ANALYSIS_CRITICALITY_HH

@@ -1,0 +1,91 @@
+#include "evolution.hh"
+
+#include <map>
+#include <set>
+
+namespace rememberr {
+
+ClassEvolution
+classEvolution(const Database &db, Vendor vendor)
+{
+    const Taxonomy &taxonomy = Taxonomy::instance();
+    ClassEvolution evolution;
+    evolution.classIds = taxonomy.classesOfAxis(Axis::Trigger);
+    for (ClassId id : evolution.classIds)
+        evolution.classCodes.push_back(taxonomy.classById(id).code);
+
+    std::map<ClassId, std::size_t> columnOf;
+    for (std::size_t i = 0; i < evolution.classIds.size(); ++i)
+        columnOf[evolution.classIds[i]] = i;
+
+    // Generations of this vendor, in order.
+    std::map<int, std::string> generationLabels;
+    for (const ErrataDocument &doc : db.documents()) {
+        if (doc.design.vendor != vendor)
+            continue;
+        auto [it, inserted] = generationLabels.try_emplace(
+            doc.design.generation, doc.design.name);
+        if (!inserted && doc.design.variant != DesignVariant::Unified)
+            it->second = "Core " +
+                         std::to_string(doc.design.generation);
+    }
+
+    std::map<int, GenerationClassProfile> profiles;
+    for (const auto &[generation, label] : generationLabels) {
+        GenerationClassProfile profile;
+        profile.generation = generation;
+        profile.label = label;
+        profile.classCounts.assign(evolution.classIds.size(), 0);
+        profiles[generation] = std::move(profile);
+    }
+
+    for (const DbEntry &entry : db.entries()) {
+        if (entry.vendor != vendor)
+            continue;
+        std::set<int> generations;
+        for (const Occurrence &occurrence : entry.occurrences) {
+            generations.insert(
+                db.documents()[static_cast<std::size_t>(
+                                   occurrence.docIndex)]
+                    .design.generation);
+        }
+        for (int generation : generations) {
+            auto it = profiles.find(generation);
+            if (it == profiles.end())
+                continue;
+            for (CategoryId id : entry.triggers.toVector()) {
+                ClassId cls = taxonomy.categoryById(id).classId;
+                auto column = columnOf.find(cls);
+                if (column != columnOf.end()) {
+                    ++it->second.classCounts[column->second];
+                    ++it->second.totalTriggers;
+                }
+            }
+        }
+    }
+
+    for (auto &[generation, profile] : profiles)
+        evolution.generations.push_back(std::move(profile));
+    return evolution;
+}
+
+std::vector<int>
+generationsCoveringAllClasses(const ClassEvolution &evolution)
+{
+    std::vector<int> covered;
+    for (const GenerationClassProfile &profile :
+         evolution.generations) {
+        bool all = true;
+        for (std::size_t c = 0; c < profile.classCounts.size(); ++c) {
+            if (profile.classCounts[c] == 0) {
+                all = false;
+                break;
+            }
+        }
+        if (all)
+            covered.push_back(profile.generation);
+    }
+    return covered;
+}
+
+} // namespace rememberr

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Trigger classes across Intel Core generations (Figure 13,
+ * Observation O9).
+ */
+
+#ifndef REMEMBERR_ANALYSIS_EVOLUTION_HH
+#define REMEMBERR_ANALYSIS_EVOLUTION_HH
+
+#include <string>
+#include <vector>
+
+#include "db/database.hh"
+
+namespace rememberr {
+
+/** Trigger-class breakdown of one generation. */
+struct GenerationClassProfile
+{
+    int generation = 0;
+    std::string label;
+    /** Count per trigger class, aligned with classIds. */
+    std::vector<std::size_t> classCounts;
+    std::size_t totalTriggers = 0;
+};
+
+/** The per-generation evolution data. */
+struct ClassEvolution
+{
+    /** Trigger class ids covered, in taxonomy order. */
+    std::vector<ClassId> classIds;
+    std::vector<std::string> classCodes;
+    std::vector<GenerationClassProfile> generations;
+};
+
+/**
+ * Compute trigger-class shares per generation for one vendor.
+ * Desktop/Mobile documents of the same generation merge. An entry
+ * counts towards every generation it occurs in.
+ */
+ClassEvolution classEvolution(const Database &db, Vendor vendor);
+
+/** Observation O9 helper: generations in which every trigger class is
+ * represented at least once. */
+std::vector<int> generationsCoveringAllClasses(
+    const ClassEvolution &evolution);
+
+} // namespace rememberr
+
+#endif // REMEMBERR_ANALYSIS_EVOLUTION_HH

@@ -1,0 +1,134 @@
+#include "frequency.hh"
+
+#include <algorithm>
+
+namespace rememberr {
+
+std::vector<CategoryFrequency>
+categoryFrequencies(const Database &db, Axis axis,
+                    std::optional<std::size_t> top_n)
+{
+    const Taxonomy &taxonomy = Taxonomy::instance();
+    std::vector<CategoryFrequency> frequencies;
+    for (CategoryId id : taxonomy.categoriesOfAxis(axis)) {
+        CategoryFrequency freq;
+        freq.id = id;
+        freq.code = taxonomy.categoryById(id).code;
+        frequencies.push_back(std::move(freq));
+    }
+
+    auto indexOf = [&](CategoryId id) -> CategoryFrequency * {
+        for (CategoryFrequency &freq : frequencies) {
+            if (freq.id == id)
+                return &freq;
+        }
+        return nullptr;
+    };
+
+    for (const DbEntry &entry : db.entries()) {
+        const CategorySet &set = axis == Axis::Trigger
+                                     ? entry.triggers
+                                     : axis == Axis::Context
+                                           ? entry.contexts
+                                           : entry.effects;
+        for (CategoryId id : set.toVector()) {
+            CategoryFrequency *freq = indexOf(id);
+            if (!freq)
+                continue;
+            if (entry.vendor == Vendor::Intel)
+                ++freq->intelCount;
+            else
+                ++freq->amdCount;
+        }
+    }
+
+    std::sort(frequencies.begin(), frequencies.end(),
+              [](const CategoryFrequency &a,
+                 const CategoryFrequency &b) {
+                  if (a.total() != b.total())
+                      return a.total() > b.total();
+                  return a.code < b.code;
+              });
+    if (top_n && frequencies.size() > *top_n)
+        frequencies.resize(*top_n);
+    return frequencies;
+}
+
+double
+TriggerCountHistogram::noTriggerFraction(
+    std::size_t unique_total) const
+{
+    return unique_total == 0
+               ? 0.0
+               : static_cast<double>(noTriggerCount) /
+                     static_cast<double>(unique_total);
+}
+
+double
+TriggerCountHistogram::multiTriggerFraction() const
+{
+    std::size_t multi = 0;
+    for (std::size_t k = 1; k < intelCounts.size(); ++k)
+        multi += intelCounts[k];
+    for (std::size_t k = 1; k < amdCounts.size(); ++k)
+        multi += amdCounts[k];
+    return totalWithTriggers == 0
+               ? 0.0
+               : static_cast<double>(multi) /
+                     static_cast<double>(totalWithTriggers);
+}
+
+TriggerCountHistogram
+triggerCountHistogram(const Database &db)
+{
+    TriggerCountHistogram histogram;
+    std::size_t maxCount = 0;
+    for (const DbEntry &entry : db.entries())
+        maxCount = std::max(maxCount, entry.triggers.size());
+    histogram.intelCounts.assign(maxCount, 0);
+    histogram.amdCounts.assign(maxCount, 0);
+
+    for (const DbEntry &entry : db.entries()) {
+        std::size_t count = entry.triggers.size();
+        if (count == 0) {
+            ++histogram.noTriggerCount;
+            continue;
+        }
+        ++histogram.totalWithTriggers;
+        if (entry.vendor == Vendor::Intel)
+            ++histogram.intelCounts[count - 1];
+        else
+            ++histogram.amdCounts[count - 1];
+    }
+    return histogram;
+}
+
+double
+complexConditionsFraction(const Database &db, Vendor vendor)
+{
+    std::size_t total = 0;
+    std::size_t complex = 0;
+    for (const DbEntry &entry : db.entries()) {
+        if (entry.vendor != vendor)
+            continue;
+        ++total;
+        if (entry.complexConditions)
+            ++complex;
+    }
+    return total == 0 ? 0.0
+                      : static_cast<double>(complex) /
+                            static_cast<double>(total);
+}
+
+std::size_t
+simulationOnlyCount(const Database &db, Vendor vendor)
+{
+    std::size_t count = 0;
+    for (const DbEntry &entry : db.entries()) {
+        if (entry.vendor == vendor && entry.simulationOnly)
+            ++count;
+    }
+    return count;
+}
+
+} // namespace rememberr

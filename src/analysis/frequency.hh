@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Category frequency analyses (Figures 10, 11, 17 and 18).
+ */
+
+#ifndef REMEMBERR_ANALYSIS_FREQUENCY_HH
+#define REMEMBERR_ANALYSIS_FREQUENCY_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/database.hh"
+
+namespace rememberr {
+
+/** One ranked category with its per-vendor counts. */
+struct CategoryFrequency
+{
+    CategoryId id = 0;
+    std::string code;
+    std::size_t intelCount = 0;
+    std::size_t amdCount = 0;
+
+    std::size_t total() const { return intelCount + amdCount; }
+};
+
+/**
+ * Figures 10/17/18: most frequent categories of an axis over unique
+ * errata, ranked by total count; topN = nullopt returns all.
+ */
+std::vector<CategoryFrequency>
+categoryFrequencies(const Database &db, Axis axis,
+                    std::optional<std::size_t> top_n = std::nullopt);
+
+/** Figure 11: number of errata per trigger count. */
+struct TriggerCountHistogram
+{
+    /** countsByVendor[k] for k = 1..maxTriggers; vendor-split. */
+    std::vector<std::size_t> intelCounts;
+    std::vector<std::size_t> amdCounts;
+    /** Errata without a clear trigger (excluded from the figure). */
+    std::size_t noTriggerCount = 0;
+    std::size_t totalWithTriggers = 0;
+
+    /** Fraction of errata without a clear trigger (paper: 14.4%). */
+    double noTriggerFraction(std::size_t unique_total) const;
+    /** Fraction of triggered errata requiring >= 2 triggers
+     * (paper: 49%). */
+    double multiTriggerFraction() const;
+};
+
+TriggerCountHistogram triggerCountHistogram(const Database &db);
+
+/** Fraction of unique errata mentioning a "complex set of
+ * conditions" (paper: 8.7% Intel, 20.8% AMD). */
+double complexConditionsFraction(const Database &db, Vendor vendor);
+
+/** Count of unique errata only triggerable in simulation
+ * (paper: 1 Intel, 5 AMD). */
+std::size_t simulationOnlyCount(const Database &db, Vendor vendor);
+
+} // namespace rememberr
+
+#endif // REMEMBERR_ANALYSIS_FREQUENCY_HH

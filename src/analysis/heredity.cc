@@ -1,0 +1,230 @@
+#include "heredity.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace rememberr {
+
+HeredityMatrix
+heredityMatrix(const Database &db, Vendor vendor)
+{
+    HeredityMatrix matrix;
+    for (std::size_t d = 0; d < db.documents().size(); ++d) {
+        if (db.documents()[d].design.vendor == vendor) {
+            matrix.docIndices.push_back(static_cast<int>(d));
+            matrix.labels.push_back(db.documents()[d].design.name);
+        }
+    }
+    const std::size_t n = matrix.docIndices.size();
+    matrix.counts.assign(n, std::vector<std::size_t>(n, 0));
+
+    std::map<int, std::size_t> column;
+    for (std::size_t i = 0; i < n; ++i)
+        column[matrix.docIndices[i]] = i;
+
+    for (const DbEntry &entry : db.entries()) {
+        if (entry.vendor != vendor)
+            continue;
+        std::set<std::size_t> present;
+        for (const Occurrence &occurrence : entry.occurrences) {
+            auto it = column.find(occurrence.docIndex);
+            if (it != column.end())
+                present.insert(it->second);
+        }
+        for (std::size_t i : present) {
+            for (std::size_t j : present)
+                ++matrix.counts[i][j];
+        }
+    }
+    return matrix;
+}
+
+std::vector<const DbEntry *>
+entriesSharedByAll(const Database &db, const std::vector<int> &docs)
+{
+    std::vector<const DbEntry *> shared;
+    for (const DbEntry &entry : db.entries()) {
+        std::set<int> present;
+        for (const Occurrence &occurrence : entry.occurrences)
+            present.insert(occurrence.docIndex);
+        bool all = true;
+        for (int doc : docs) {
+            if (!present.count(doc)) {
+                all = false;
+                break;
+            }
+        }
+        if (all)
+            shared.push_back(&entry);
+    }
+    return shared;
+}
+
+std::size_t
+longestGenerationSpan(const Database &db, Vendor vendor)
+{
+    std::size_t longest = 0;
+    for (const DbEntry &entry : db.entries()) {
+        if (entry.vendor != vendor)
+            continue;
+        std::set<int> generations;
+        for (const Occurrence &occurrence : entry.occurrences) {
+            for (int generation :
+                 db.documents()[static_cast<std::size_t>(
+                                    occurrence.docIndex)]
+                     .design.coveredGenerations()) {
+                generations.insert(generation);
+            }
+        }
+        longest = std::max(longest, generations.size());
+    }
+    return longest;
+}
+
+std::vector<CumulativeSeries>
+sharedBugDisclosures(const Database &db, const std::vector<int> &docs)
+{
+    auto shared = entriesSharedByAll(db, docs);
+    std::vector<CumulativeSeries> series;
+    for (int doc : docs) {
+        CumulativeSeries current;
+        current.label =
+            db.documents()[static_cast<std::size_t>(doc)].design.name;
+        std::map<Date, std::size_t> perDate;
+        // The first data point is the document's release date.
+        Date release = db.documents()[static_cast<std::size_t>(doc)]
+                           .design.releaseDate;
+        perDate[release] = 0;
+        for (const DbEntry *entry : shared) {
+            for (const Occurrence &occurrence : entry->occurrences) {
+                if (occurrence.docIndex == doc) {
+                    ++perDate[occurrence.disclosed];
+                    break;
+                }
+            }
+        }
+        std::size_t cumulative = 0;
+        for (const auto &[date, count] : perDate) {
+            cumulative += count;
+            current.points.emplace_back(date, cumulative);
+        }
+        series.push_back(std::move(current));
+    }
+    return series;
+}
+
+LatentSeries
+latentErrata(const Database &db, Vendor vendor)
+{
+    LatentSeries result;
+    result.forwardLatent.label = "forward-latent";
+    result.backwardLatent.label = "backward-latent";
+
+    std::map<Date, std::size_t> forwardEvents;
+    std::map<Date, std::size_t> backwardEvents;
+
+    for (const DbEntry &entry : db.entries()) {
+        if (entry.vendor != vendor ||
+            entry.occurrences.size() < 2) {
+            continue;
+        }
+        // Find the earliest qualifying event of each kind.
+        std::optional<Date> forwardAt;
+        std::optional<Date> backwardAt;
+        for (const Occurrence &a : entry.occurrences) {
+            Date releaseA =
+                db.documents()[static_cast<std::size_t>(a.docIndex)]
+                    .design.releaseDate;
+            for (const Occurrence &b : entry.occurrences) {
+                if (a.docIndex == b.docIndex)
+                    continue;
+                Date releaseB =
+                    db.documents()[static_cast<std::size_t>(
+                                       b.docIndex)]
+                        .design.releaseDate;
+                // a reported strictly before b.
+                if (a.disclosed >= b.disclosed)
+                    continue;
+                if (releaseA < releaseB) {
+                    // Earlier design first, later design later.
+                    if (!forwardAt || b.disclosed < *forwardAt)
+                        forwardAt = b.disclosed;
+                } else if (releaseB < releaseA) {
+                    // Later design first, earlier design later.
+                    if (!backwardAt || b.disclosed < *backwardAt)
+                        backwardAt = b.disclosed;
+                }
+            }
+        }
+        if (forwardAt) {
+            ++forwardEvents[*forwardAt];
+            ++result.forwardCount;
+        }
+        if (backwardAt) {
+            ++backwardEvents[*backwardAt];
+            ++result.backwardCount;
+        }
+    }
+
+    auto accumulate = [](const std::map<Date, std::size_t> &events,
+                         CumulativeSeries &series) {
+        std::size_t cumulative = 0;
+        for (const auto &[date, count] : events) {
+            cumulative += count;
+            series.points.emplace_back(date, cumulative);
+        }
+    };
+    accumulate(forwardEvents, result.forwardLatent);
+    accumulate(backwardEvents, result.backwardLatent);
+    return result;
+}
+
+double
+knownBeforeNextReleaseFraction(const Database &db, Vendor vendor)
+{
+    std::size_t shared = 0;
+    std::size_t knownBefore = 0;
+    for (const DbEntry &entry : db.entries()) {
+        if (entry.vendor != vendor || entry.occurrences.size() < 2)
+            continue;
+        // Order occurrences by design release.
+        std::vector<const Occurrence *> ordered;
+        for (const Occurrence &occurrence : entry.occurrences)
+            ordered.push_back(&occurrence);
+        std::sort(ordered.begin(), ordered.end(),
+                  [&](const Occurrence *a, const Occurrence *b) {
+                      Date ra =
+                          db.documents()[static_cast<std::size_t>(
+                                             a->docIndex)]
+                              .design.releaseDate;
+                      Date rb =
+                          db.documents()[static_cast<std::size_t>(
+                                             b->docIndex)]
+                              .design.releaseDate;
+                      return ra < rb;
+                  });
+        for (std::size_t i = 0; i + 1 < ordered.size(); ++i) {
+            Date thisRelease =
+                db.documents()[static_cast<std::size_t>(
+                                   ordered[i]->docIndex)]
+                    .design.releaseDate;
+            Date nextRelease =
+                db.documents()[static_cast<std::size_t>(
+                                   ordered[i + 1]->docIndex)]
+                    .design.releaseDate;
+            // O4 is about transmission to a *subsequent* design;
+            // same-day Desktop/Mobile document pairs do not count.
+            if (nextRelease <= thisRelease)
+                continue;
+            ++shared;
+            if (ordered[i]->disclosed < nextRelease)
+                ++knownBefore;
+        }
+    }
+    return shared == 0 ? 0.0
+                       : static_cast<double>(knownBefore) /
+                             static_cast<double>(shared);
+}
+
+} // namespace rememberr

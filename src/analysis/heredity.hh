@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Bug heredity across design generations (Section IV-B2).
+ *
+ * Figure 3: number of identical errata between pairs of Intel
+ * documents. Figure 4: disclosure dates of the bugs shared by all
+ * Intel Core generations 6-10. Figure 5: forward-/backward-latent
+ * errata over time.
+ */
+
+#ifndef REMEMBERR_ANALYSIS_HEREDITY_HH
+#define REMEMBERR_ANALYSIS_HEREDITY_HH
+
+#include <string>
+#include <vector>
+
+#include "db/database.hh"
+#include "analysis/timeline.hh"
+
+namespace rememberr {
+
+/** Figure 3: pairwise shared unique errata between documents. */
+struct HeredityMatrix
+{
+    /** Document indices covered (row/column order). */
+    std::vector<int> docIndices;
+    std::vector<std::string> labels;
+    /** counts[i][j] = unique errata present in both documents. */
+    std::vector<std::vector<std::size_t>> counts;
+};
+
+/** Compute the heredity matrix over one vendor's documents. */
+HeredityMatrix heredityMatrix(const Database &db, Vendor vendor);
+
+/** Entries occurring in every one of the given documents. */
+std::vector<const DbEntry *>
+entriesSharedByAll(const Database &db, const std::vector<int> &docs);
+
+/**
+ * Longest heredity chain: the maximum number of distinct generations
+ * (per the document's generation field) a single entry spans.
+ */
+std::size_t longestGenerationSpan(const Database &db, Vendor vendor);
+
+/** Figure 4: for each document of the shared set, the cumulative
+ * disclosure series of the shared bugs, prefixed by the document's
+ * release date. */
+std::vector<CumulativeSeries>
+sharedBugDisclosures(const Database &db, const std::vector<int> &docs);
+
+/** Figure 5: forward- and backward-latent cumulative series. */
+struct LatentSeries
+{
+    CumulativeSeries forwardLatent;
+    CumulativeSeries backwardLatent;
+    std::size_t forwardCount = 0;
+    std::size_t backwardCount = 0;
+};
+
+/**
+ * An erratum is forward-latent when it was reported in one design and
+ * strictly later in a later-released design; backward-latent when it
+ * was reported in a design strictly before being reported in an
+ * earlier-released design. Event timestamps are the date of the
+ * qualifying (later) report.
+ */
+LatentSeries latentErrata(const Database &db, Vendor vendor);
+
+/** Observation O4: of the entries shared between consecutive designs,
+ * the fraction already reported before the later design's release. */
+double knownBeforeNextReleaseFraction(const Database &db,
+                                      Vendor vendor);
+
+} // namespace rememberr
+
+#endif // REMEMBERR_ANALYSIS_HEREDITY_HH

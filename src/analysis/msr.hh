@@ -1,0 +1,40 @@
+/**
+ * @file
+ * MSR witness analysis (Figure 19, Observation O13).
+ *
+ * Which registers most often carry evidence that a bug was triggered?
+ * Individual bank registers (MC0_STATUS, MC4_STATUS, ...) group into
+ * families (MCx_STATUS) as in the paper's figure.
+ */
+
+#ifndef REMEMBERR_ANALYSIS_MSR_HH
+#define REMEMBERR_ANALYSIS_MSR_HH
+
+#include <string>
+#include <vector>
+
+#include "db/database.hh"
+
+namespace rememberr {
+
+/** One ranked MSR family. */
+struct MsrFrequency
+{
+    std::string family;      ///< e.g. "MCx_STATUS"
+    std::size_t intelCount = 0;
+    std::size_t amdCount = 0;
+    double intelFraction = 0.0; ///< of Intel unique errata
+    double amdFraction = 0.0;   ///< of AMD unique errata
+
+    std::size_t total() const { return intelCount + amdCount; }
+};
+
+/** Collapse a register name into its family. */
+std::string msrFamily(const std::string &name);
+
+/** Ranked MSR families over unique errata. */
+std::vector<MsrFrequency> msrFrequencies(const Database &db);
+
+} // namespace rememberr
+
+#endif // REMEMBERR_ANALYSIS_MSR_HH

@@ -1,0 +1,39 @@
+#include "stats.hh"
+
+#include "frequency.hh"
+#include "workfix.hh"
+
+namespace rememberr {
+
+HeadlineStats
+headlineStats(const Database &db)
+{
+    HeadlineStats stats;
+    stats.intelRows = db.rowCount(Vendor::Intel);
+    stats.intelUnique = db.uniqueCount(Vendor::Intel);
+    stats.amdRows = db.rowCount(Vendor::Amd);
+    stats.amdUnique = db.uniqueCount(Vendor::Amd);
+    stats.totalRows = stats.intelRows + stats.amdRows;
+    stats.totalUnique = stats.intelUnique + stats.amdUnique;
+
+    TriggerCountHistogram histogram = triggerCountHistogram(db);
+    stats.noTriggerFraction =
+        histogram.noTriggerFraction(stats.totalUnique);
+    stats.multiTriggerFraction = histogram.multiTriggerFraction();
+
+    stats.complexIntel =
+        complexConditionsFraction(db, Vendor::Intel);
+    stats.complexAmd = complexConditionsFraction(db, Vendor::Amd);
+    stats.simulationOnlyIntel =
+        simulationOnlyCount(db, Vendor::Intel);
+    stats.simulationOnlyAmd = simulationOnlyCount(db, Vendor::Amd);
+
+    WorkaroundBreakdown workarounds = workaroundBreakdown(db);
+    stats.workaroundNoneIntel =
+        workarounds.noneFraction(Vendor::Intel);
+    stats.workaroundNoneAmd = workarounds.noneFraction(Vendor::Amd);
+    stats.neverFixed = neverFixedFraction(db);
+    return stats;
+}
+
+} // namespace rememberr

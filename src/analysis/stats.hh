@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Headline corpus statistics (Section IV-A and V-B prose numbers).
+ */
+
+#ifndef REMEMBERR_ANALYSIS_STATS_HH
+#define REMEMBERR_ANALYSIS_STATS_HH
+
+#include <cstddef>
+
+#include "db/database.hh"
+
+namespace rememberr {
+
+/** All the single-number claims the paper states in prose. */
+struct HeadlineStats
+{
+    std::size_t intelRows = 0;      ///< paper: 2,057
+    std::size_t intelUnique = 0;    ///< paper: 743
+    std::size_t amdRows = 0;        ///< paper: 506
+    std::size_t amdUnique = 0;      ///< paper: 385
+    std::size_t totalRows = 0;      ///< paper: 2,563
+    std::size_t totalUnique = 0;    ///< paper: 1,128
+    double noTriggerFraction = 0.0;     ///< paper: 14.4%
+    double multiTriggerFraction = 0.0;  ///< paper: 49%
+    double complexIntel = 0.0;          ///< paper: 8.7%
+    double complexAmd = 0.0;            ///< paper: 20.8%
+    std::size_t simulationOnlyIntel = 0; ///< paper: 1
+    std::size_t simulationOnlyAmd = 0;   ///< paper: 5
+    double workaroundNoneIntel = 0.0;    ///< paper: 35.9%
+    double workaroundNoneAmd = 0.0;      ///< paper: 28.9%
+    double neverFixed = 0.0;             ///< paper: "vast majority"
+};
+
+HeadlineStats headlineStats(const Database &db);
+
+} // namespace rememberr
+
+#endif // REMEMBERR_ANALYSIS_STATS_HH

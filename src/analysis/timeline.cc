@@ -1,0 +1,93 @@
+#include "timeline.hh"
+
+#include <algorithm>
+#include <map>
+
+namespace rememberr {
+
+std::size_t
+CumulativeSeries::countAt(Date when) const
+{
+    std::size_t count = 0;
+    for (const auto &[date, cumulative] : points) {
+        if (date > when)
+            break;
+        count = cumulative;
+    }
+    return count;
+}
+
+std::vector<CumulativeSeries>
+disclosureTimelines(const Database &db)
+{
+    std::vector<CumulativeSeries> series;
+    for (std::size_t d = 0; d < db.documents().size(); ++d) {
+        const ErrataDocument &doc = db.documents()[d];
+        CumulativeSeries current;
+        current.label = doc.design.name;
+
+        std::map<Date, std::size_t> perDate;
+        for (const Erratum &erratum : doc.errata)
+            ++perDate[doc.approximateDisclosureDate(erratum.localId)];
+
+        std::size_t cumulative = 0;
+        for (const auto &[date, count] : perDate) {
+            cumulative += count;
+            current.points.emplace_back(date, cumulative);
+        }
+        series.push_back(std::move(current));
+    }
+    return series;
+}
+
+double
+concavityScore(const CumulativeSeries &series)
+{
+    if (series.points.size() < 2)
+        return 1.0;
+    const Date start = series.points.front().first;
+    const Date end = series.points.back().first;
+    const std::int64_t lifetime = start.daysUntil(end);
+    if (lifetime < 365)
+        return 1.0;
+
+    // Mean rate over the first year.
+    const Date firstYearEnd = start.addDays(365);
+    const double firstYearRate =
+        static_cast<double>(series.countAt(firstYearEnd)) / 365.0;
+    if (firstYearRate <= 0.0)
+        return 0.0;
+
+    // Quarterly rates afterwards.
+    std::size_t quarters = 0;
+    std::size_t flatOrSlower = 0;
+    Date cursor = firstYearEnd;
+    while (cursor < end) {
+        Date next = cursor.addDays(91);
+        double rate = static_cast<double>(series.countAt(next) -
+                                          series.countAt(cursor)) /
+                      91.0;
+        if (rate <= firstYearRate)
+            ++flatOrSlower;
+        ++quarters;
+        cursor = next;
+    }
+    return quarters == 0 ? 1.0
+                         : static_cast<double>(flatOrSlower) /
+                               static_cast<double>(quarters);
+}
+
+std::vector<std::pair<int, std::size_t>>
+errataPerReleaseYear(const Database &db, Vendor vendor)
+{
+    std::map<int, std::size_t> perYear;
+    for (std::size_t d = 0; d < db.documents().size(); ++d) {
+        const ErrataDocument &doc = db.documents()[d];
+        if (doc.design.vendor != vendor)
+            continue;
+        perYear[doc.design.releaseDate.year()] += doc.errata.size();
+    }
+    return {perYear.begin(), perYear.end()};
+}
+
+} // namespace rememberr

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Timeline reconstruction (Section IV-B1, Figure 2).
+ *
+ * Bug discoveries are not timestamped; disclosure dates come from the
+ * revision history via the approximation rules implemented in
+ * ErrataDocument::approximateDisclosureDate. The cumulative series
+ * per document shows errata growth over time; its concavity is
+ * Observation O2.
+ */
+
+#ifndef REMEMBERR_ANALYSIS_TIMELINE_HH
+#define REMEMBERR_ANALYSIS_TIMELINE_HH
+
+#include <string>
+#include <vector>
+
+#include "db/database.hh"
+#include "util/date.hh"
+
+namespace rememberr {
+
+/** A cumulative count series over dates. */
+struct CumulativeSeries
+{
+    std::string label;
+    /** Sorted points; count is cumulative at that date. */
+    std::vector<std::pair<Date, std::size_t>> points;
+
+    std::size_t
+    total() const
+    {
+        return points.empty() ? 0 : points.back().second;
+    }
+
+    /** Cumulative count at a given date (0 before the first point). */
+    std::size_t countAt(Date when) const;
+};
+
+/** Figure 2: one cumulative disclosure series per document; duplicate
+ * rows are counted individually (as in the paper). */
+std::vector<CumulativeSeries>
+disclosureTimelines(const Database &db);
+
+/** Concavity measure: fraction of the document's lifetime quarters in
+ * which the per-quarter rate does not exceed the first year's mean
+ * rate (O2 holds when late rates fall below early rates). */
+double concavityScore(const CumulativeSeries &series);
+
+/** Observation O1 helper: total errata per document release year. */
+std::vector<std::pair<int, std::size_t>>
+errataPerReleaseYear(const Database &db, Vendor vendor);
+
+} // namespace rememberr
+
+#endif // REMEMBERR_ANALYSIS_TIMELINE_HH

@@ -1,0 +1,103 @@
+#include "vendorcmp.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace rememberr {
+
+namespace {
+
+void
+normalize(std::vector<VendorShareRow> &rows)
+{
+    std::size_t intelTotal = 0;
+    std::size_t amdTotal = 0;
+    for (const VendorShareRow &row : rows) {
+        intelTotal += row.intelCount;
+        amdTotal += row.amdCount;
+    }
+    for (VendorShareRow &row : rows) {
+        row.intelShare =
+            intelTotal == 0 ? 0.0
+                            : static_cast<double>(row.intelCount) /
+                                  static_cast<double>(intelTotal);
+        row.amdShare =
+            amdTotal == 0 ? 0.0
+                          : static_cast<double>(row.amdCount) /
+                                static_cast<double>(amdTotal);
+    }
+}
+
+} // namespace
+
+std::vector<VendorShareRow>
+triggerClassShares(const Database &db)
+{
+    const Taxonomy &taxonomy = Taxonomy::instance();
+    std::vector<ClassId> classes =
+        taxonomy.classesOfAxis(Axis::Trigger);
+    std::vector<VendorShareRow> rows(classes.size());
+    for (std::size_t i = 0; i < classes.size(); ++i)
+        rows[i].code = taxonomy.classById(classes[i]).code;
+
+    for (const DbEntry &entry : db.entries()) {
+        for (CategoryId id : entry.triggers.toVector()) {
+            ClassId cls = taxonomy.categoryById(id).classId;
+            for (std::size_t i = 0; i < classes.size(); ++i) {
+                if (classes[i] == cls) {
+                    if (entry.vendor == Vendor::Intel)
+                        ++rows[i].intelCount;
+                    else
+                        ++rows[i].amdCount;
+                    break;
+                }
+            }
+        }
+    }
+    normalize(rows);
+    return rows;
+}
+
+std::vector<VendorShareRow>
+triggerCategorySharesInClass(const Database &db,
+                             const std::string &class_code)
+{
+    const Taxonomy &taxonomy = Taxonomy::instance();
+    auto cls = taxonomy.parseClass(class_code);
+    if (!cls)
+        REMEMBERR_PANIC("triggerCategorySharesInClass: unknown class ",
+                        class_code);
+    std::vector<CategoryId> categories =
+        taxonomy.categoriesOfClass(*cls);
+    std::vector<VendorShareRow> rows(categories.size());
+    for (std::size_t i = 0; i < categories.size(); ++i)
+        rows[i].code = taxonomy.categoryById(categories[i]).code;
+
+    for (const DbEntry &entry : db.entries()) {
+        for (CategoryId id : entry.triggers.toVector()) {
+            for (std::size_t i = 0; i < categories.size(); ++i) {
+                if (categories[i] == id) {
+                    if (entry.vendor == Vendor::Intel)
+                        ++rows[i].intelCount;
+                    else
+                        ++rows[i].amdCount;
+                    break;
+                }
+            }
+        }
+    }
+    normalize(rows);
+    return rows;
+}
+
+double
+classShareDistance(const std::vector<VendorShareRow> &rows)
+{
+    double distance = 0.0;
+    for (const VendorShareRow &row : rows)
+        distance += std::fabs(row.intelShare - row.amdShare);
+    return distance / 2.0;
+}
+
+} // namespace rememberr

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Intel/AMD relative trigger representation (Figures 14-16,
+ * Observation O10).
+ */
+
+#ifndef REMEMBERR_ANALYSIS_VENDORCMP_HH
+#define REMEMBERR_ANALYSIS_VENDORCMP_HH
+
+#include <string>
+#include <vector>
+
+#include "db/database.hh"
+
+namespace rememberr {
+
+/** One row of a vendor-comparison table. */
+struct VendorShareRow
+{
+    std::string code;
+    double intelShare = 0.0; ///< fraction of Intel's triggers
+    double amdShare = 0.0;   ///< fraction of AMD's triggers
+    std::size_t intelCount = 0;
+    std::size_t amdCount = 0;
+};
+
+/** Figure 14: relative representation of trigger *classes*. */
+std::vector<VendorShareRow> triggerClassShares(const Database &db);
+
+/** Figures 15/16: relative representation of the abstract triggers
+ * inside one class (Trg_EXT for Figure 15, Trg_FEA for Figure 16). */
+std::vector<VendorShareRow>
+triggerCategorySharesInClass(const Database &db,
+                             const std::string &class_code);
+
+/**
+ * Observation O10 support: total variation distance between the two
+ * vendors' class share distributions (small = very similar).
+ */
+double classShareDistance(const std::vector<VendorShareRow> &rows);
+
+} // namespace rememberr
+
+#endif // REMEMBERR_ANALYSIS_VENDORCMP_HH

@@ -1,0 +1,84 @@
+#include "workfix.hh"
+
+#include <set>
+
+namespace rememberr {
+
+double
+WorkaroundBreakdown::noneFraction(Vendor vendor) const
+{
+    const auto &counts = vendor == Vendor::Intel ? intel : amd;
+    std::size_t total = vendor == Vendor::Intel ? intelTotal
+                                                : amdTotal;
+    auto it = counts.find(WorkaroundClass::None);
+    std::size_t none = it == counts.end() ? 0 : it->second;
+    return total == 0 ? 0.0
+                      : static_cast<double>(none) /
+                            static_cast<double>(total);
+}
+
+WorkaroundBreakdown
+workaroundBreakdown(const Database &db)
+{
+    WorkaroundBreakdown breakdown;
+    for (const DbEntry &entry : db.entries()) {
+        if (entry.vendor == Vendor::Intel) {
+            ++breakdown.intel[entry.workaroundClass];
+            ++breakdown.intelTotal;
+        } else {
+            ++breakdown.amd[entry.workaroundClass];
+            ++breakdown.amdTotal;
+        }
+    }
+    return breakdown;
+}
+
+std::vector<FixRow>
+fixBreakdown(const Database &db)
+{
+    std::vector<FixRow> rows;
+    for (std::size_t d = 0; d < db.documents().size(); ++d) {
+        FixRow row;
+        row.docIndex = static_cast<int>(d);
+        row.label = db.documents()[d].design.name;
+        rows.push_back(std::move(row));
+    }
+    for (const DbEntry &entry : db.entries()) {
+        // Count each entry once per document it occurs in.
+        std::set<int> docs;
+        for (const Occurrence &occurrence : entry.occurrences)
+            docs.insert(occurrence.docIndex);
+        for (int doc : docs) {
+            FixRow &row = rows[static_cast<std::size_t>(doc)];
+            switch (entry.status) {
+              case FixStatus::Fixed:
+                ++row.fixed;
+                break;
+              case FixStatus::Planned:
+                ++row.planned;
+                break;
+              case FixStatus::NoFix:
+                ++row.unfixed;
+                break;
+            }
+        }
+    }
+    return rows;
+}
+
+double
+neverFixedFraction(const Database &db)
+{
+    std::size_t total = 0;
+    std::size_t unfixed = 0;
+    for (const DbEntry &entry : db.entries()) {
+        ++total;
+        if (entry.status == FixStatus::NoFix)
+            ++unfixed;
+    }
+    return total == 0 ? 0.0
+                      : static_cast<double>(unfixed) /
+                            static_cast<double>(total);
+}
+
+} // namespace rememberr

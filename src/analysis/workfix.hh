@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Workaround (Figure 6, Observation O5) and fix (Figure 7,
+ * Observation O6) statistics.
+ */
+
+#ifndef REMEMBERR_ANALYSIS_WORKFIX_HH
+#define REMEMBERR_ANALYSIS_WORKFIX_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "db/database.hh"
+
+namespace rememberr {
+
+/** Figure 6: unique-errata counts per workaround category/vendor. */
+struct WorkaroundBreakdown
+{
+    std::map<WorkaroundClass, std::size_t> intel;
+    std::map<WorkaroundClass, std::size_t> amd;
+    std::size_t intelTotal = 0;
+    std::size_t amdTotal = 0;
+
+    /** Fraction of a vendor's unique errata with no workaround
+     * (paper: 35.9% Intel, 28.9% AMD). */
+    double noneFraction(Vendor vendor) const;
+};
+
+WorkaroundBreakdown workaroundBreakdown(const Database &db);
+
+/** Figure 7: fixed vs unfixed per document. */
+struct FixRow
+{
+    int docIndex = 0;
+    std::string label;
+    std::size_t fixed = 0;
+    std::size_t planned = 0;
+    std::size_t unfixed = 0;
+};
+
+std::vector<FixRow> fixBreakdown(const Database &db);
+
+/** Overall fraction of unique errata that are never fixed (O6). */
+double neverFixedFraction(const Database &db);
+
+} // namespace rememberr
+
+#endif // REMEMBERR_ANALYSIS_WORKFIX_HH

@@ -1,0 +1,76 @@
+#include "engine.hh"
+
+#include "rules.hh"
+
+namespace rememberr {
+
+std::string
+erratumBodyText(const Erratum &erratum)
+{
+    std::string out = erratum.description;
+    out += '\n';
+    out += erratum.implications;
+    return out;
+}
+
+std::string
+erratumFullText(const Erratum &erratum)
+{
+    // The workaround field describes the mitigation, not the bug;
+    // including it floods the relevance filter ("BIOS code change"
+    // would make every mitigated erratum a boot-context candidate),
+    // so relevance sees title + description + implications only.
+    std::string out = erratum.title;
+    out += '\n';
+    out += erratum.description;
+    out += '\n';
+    out += erratum.implications;
+    return out;
+}
+
+EngineResult
+classifyText(const std::string &body, const std::string &full)
+{
+    const RuleSet &rules = RuleSet::instance();
+    const Taxonomy &taxonomy = Taxonomy::instance();
+
+    EngineResult result;
+    result.decisions.resize(taxonomy.categoryCount(),
+                            Decision::AutoNo);
+
+    for (const CategoryRule &rule : rules.rules()) {
+        bool accepted = false;
+        for (const Regex &regex : rule.accept) {
+            if (regex.contains(body)) {
+                accepted = true;
+                break;
+            }
+        }
+        if (accepted) {
+            result.decisions[rule.id] = Decision::AutoYes;
+            result.autoYes.insert(rule.id);
+            continue;
+        }
+        bool relevant = false;
+        for (const Regex &regex : rule.relevance) {
+            if (regex.contains(full)) {
+                relevant = true;
+                break;
+            }
+        }
+        if (relevant) {
+            result.decisions[rule.id] = Decision::Manual;
+            result.manual.push_back(rule.id);
+        }
+    }
+    return result;
+}
+
+EngineResult
+classifyErratum(const Erratum &erratum)
+{
+    return classifyText(erratumBodyText(erratum),
+                        erratumFullText(erratum));
+}
+
+} // namespace rememberr

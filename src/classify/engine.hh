@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The software-assisted classification engine.
+ *
+ * For every (erratum, category) pair the engine produces one of
+ * three outcomes: AutoYes (a conservative accept pattern matched the
+ * body), AutoNo (no relevance pattern matched anywhere) or Manual
+ * (relevant but not conclusive — a human decision is required).
+ * Accept patterns are evaluated over the description and implications
+ * only; titles are too terse to trust for automatic acceptance but do
+ * count towards relevance.
+ */
+
+#ifndef REMEMBERR_CLASSIFY_ENGINE_HH
+#define REMEMBERR_CLASSIFY_ENGINE_HH
+
+#include <string>
+#include <vector>
+
+#include "model/erratum.hh"
+#include "taxonomy/taxonomy.hh"
+
+namespace rememberr {
+
+/** Outcome of the automatic stage for one (erratum, category). */
+enum class Decision : std::uint8_t { AutoYes, AutoNo, Manual };
+
+/** Engine output for one erratum. */
+struct EngineResult
+{
+    /** Decision per category id (indexed by CategoryId). */
+    std::vector<Decision> decisions;
+    /** Categories auto-accepted. */
+    CategorySet autoYes;
+    /** Categories requiring a human decision. */
+    std::vector<CategoryId> manual;
+
+    std::size_t
+    manualCount() const
+    {
+        return manual.size();
+    }
+};
+
+/** Body text used for conservative acceptance. */
+std::string erratumBodyText(const Erratum &erratum);
+
+/** Full text (title + all prose) used for relevance filtering. */
+std::string erratumFullText(const Erratum &erratum);
+
+/** Classify one erratum against all 60 categories. */
+EngineResult classifyErratum(const Erratum &erratum);
+
+/** Classify raw text (body == full). Used by tests and tools. */
+EngineResult classifyText(const std::string &body,
+                          const std::string &full);
+
+} // namespace rememberr
+
+#endif // REMEMBERR_CLASSIFY_ENGINE_HH

@@ -1,0 +1,112 @@
+#include "highlight.hh"
+
+#include <algorithm>
+
+#include "rules.hh"
+
+namespace rememberr {
+
+namespace {
+
+void
+collectSpans(const std::string &text, const std::vector<Regex> &rules,
+             bool strong, std::vector<HighlightSpan> &spans)
+{
+    for (const Regex &regex : rules) {
+        for (const RegexMatch &match : regex.findAll(text)) {
+            if (match.end > match.begin)
+                spans.push_back(
+                    HighlightSpan{match.begin, match.end, strong});
+        }
+    }
+}
+
+/** HTML-escape a fragment. */
+std::string
+escapeHtml(const std::string &text)
+{
+    std::string out;
+    for (char c : text) {
+        switch (c) {
+          case '<': out += "&lt;"; break;
+          case '>': out += "&gt;"; break;
+          case '&': out += "&amp;"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<HighlightSpan>
+highlightCategory(const std::string &text, CategoryId id)
+{
+    const CategoryRule &rule = RuleSet::instance().ruleFor(id);
+    std::vector<HighlightSpan> spans;
+    collectSpans(text, rule.accept, true, spans);
+    collectSpans(text, rule.relevance, false, spans);
+
+    if (spans.empty())
+        return spans;
+
+    // Sort and merge overlapping spans; strength wins on overlap.
+    std::sort(spans.begin(), spans.end(),
+              [](const HighlightSpan &a, const HighlightSpan &b) {
+                  if (a.begin != b.begin)
+                      return a.begin < b.begin;
+                  return a.end > b.end;
+              });
+    std::vector<HighlightSpan> merged;
+    for (const HighlightSpan &span : spans) {
+        if (!merged.empty() && span.begin <= merged.back().end) {
+            merged.back().end = std::max(merged.back().end, span.end);
+            merged.back().strong |= span.strong;
+        } else {
+            merged.push_back(span);
+        }
+    }
+    return merged;
+}
+
+std::string
+renderAnsi(const std::string &text,
+           const std::vector<HighlightSpan> &spans)
+{
+    static const char *strongOn = "\x1b[1;31m";
+    static const char *weakOn = "\x1b[33m";
+    static const char *off = "\x1b[0m";
+
+    std::string out;
+    std::size_t pos = 0;
+    for (const HighlightSpan &span : spans) {
+        out += text.substr(pos, span.begin - pos);
+        out += span.strong ? strongOn : weakOn;
+        out += text.substr(span.begin, span.end - span.begin);
+        out += off;
+        pos = span.end;
+    }
+    out += text.substr(pos);
+    return out;
+}
+
+std::string
+renderHtml(const std::string &text,
+           const std::vector<HighlightSpan> &spans)
+{
+    std::string out;
+    std::size_t pos = 0;
+    for (const HighlightSpan &span : spans) {
+        out += escapeHtml(text.substr(pos, span.begin - pos));
+        out += span.strong ? "<mark class=\"strong\">"
+                           : "<mark class=\"weak\">";
+        out += escapeHtml(
+            text.substr(span.begin, span.end - span.begin));
+        out += "</mark>";
+        pos = span.end;
+    }
+    out += escapeHtml(text.substr(pos));
+    return out;
+}
+
+} // namespace rememberr

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The syntax-highlighting engine guiding human classification.
+ *
+ * Section V-A: "we designed a syntax highlighting engine with regular
+ * expressions to emphasize parts of the errata descriptions relevant
+ * to a given category". Spans come from the category's rule sets;
+ * accept-level matches render stronger than relevance-level ones.
+ */
+
+#ifndef REMEMBERR_CLASSIFY_HIGHLIGHT_HH
+#define REMEMBERR_CLASSIFY_HIGHLIGHT_HH
+
+#include <string>
+#include <vector>
+
+#include "taxonomy/taxonomy.hh"
+
+namespace rememberr {
+
+/** One highlighted region of the text. */
+struct HighlightSpan
+{
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    /** True when an accept pattern produced the span. */
+    bool strong = false;
+
+    bool operator==(const HighlightSpan &other) const = default;
+};
+
+/**
+ * Compute highlight spans for one category over the text. Overlapping
+ * spans are merged; a strong span absorbs weak overlaps.
+ */
+std::vector<HighlightSpan> highlightCategory(const std::string &text,
+                                             CategoryId id);
+
+/** Render with ANSI escapes (bold red = strong, yellow = weak). */
+std::string renderAnsi(const std::string &text,
+                       const std::vector<HighlightSpan> &spans);
+
+/** Render as HTML with <mark class="strong|weak"> tags. */
+std::string renderHtml(const std::string &text,
+                       const std::vector<HighlightSpan> &spans);
+
+} // namespace rememberr
+
+#endif // REMEMBERR_CLASSIFY_HIGHLIGHT_HH

@@ -1,0 +1,244 @@
+#include "rules.hh"
+
+#include "util/logging.hh"
+
+namespace rememberr {
+
+const RuleSet &
+RuleSet::instance()
+{
+    static const RuleSet rules;
+    return rules;
+}
+
+const CategoryRule &
+RuleSet::ruleFor(CategoryId id) const
+{
+    if (id >= rules_.size())
+        REMEMBERR_PANIC("RuleSet: bad category id ", id);
+    return rules_[id];
+}
+
+RuleSet::RuleSet()
+{
+    const Taxonomy &taxonomy = Taxonomy::instance();
+    rules_.resize(taxonomy.categoryCount());
+    for (CategoryId id = 0; id < taxonomy.categoryCount(); ++id)
+        rules_[id].id = id;
+
+    RegexOptions ci;
+    ci.ignoreCase = true;
+
+    auto def = [&](const char *code,
+                   std::vector<const char *> accept,
+                   std::vector<const char *> relevance) {
+        auto id = taxonomy.parseCategory(code);
+        if (!id)
+            REMEMBERR_PANIC("RuleSet: unknown category ", code);
+        CategoryRule &rule = rules_[*id];
+        for (const char *pattern : accept)
+            rule.accept.push_back(Regex::compileOrDie(pattern, ci));
+        for (const char *pattern : relevance)
+            rule.relevance.push_back(
+                Regex::compileOrDie(pattern, ci));
+    };
+
+    // ---- Triggers ---------------------------------------------------
+    def("Trg_MBR_cbr",
+        {R"((crosses|spans) (a cache line boundary|two cache lines))"},
+        {R"(cache line)"});
+    def("Trg_MBR_pgb",
+        {R"(page boundary)"},
+        {R"(boundary|last byte of a page)"});
+    def("Trg_MBR_mbr",
+        {R"(canonical|memory map limit)"},
+        {R"(boundary|\bwraps?\b)"});
+    def("Trg_MOP_mmp",
+        {R"(memory-mapped (APIC|I/O))"},
+        {R"(memory-mapped)"});
+    def("Trg_MOP_atp",
+        {R"(locked read-modify-write|transactional)"},
+        {R"(atomic|locked|transact)"});
+    def("Trg_MOP_fen",
+        {R"(memory fence|serializing instruction)"},
+        {R"(fence|serializ)"});
+    def("Trg_MOP_seg",
+        {R"(null selector|segment register is loaded)"},
+        {R"(segment)"});
+    def("Trg_MOP_ptw",
+        {R"(page table walk)"},
+        {R"(\bwalk\b|page directory)"});
+    def("Trg_MOP_nst",
+        {R"(nested (page )?table)"},
+        {R"(nested)"});
+    def("Trg_MOP_flc",
+        {R"(CLFLUSH|TLB invalidation)"},
+        {R"(flush|invalidat)"});
+    def("Trg_MOP_spe",
+        {R"(speculativ)"},
+        {R"(speculat|mispredict)"});
+    def("Trg_EXC_ovf",
+        {R"(counter overflow)"},
+        {R"(overflow|wraps around)"});
+    def("Trg_EXC_tmr",
+        {R"(timer fires)"},
+        {R"(timer)"});
+    def("Trg_EXC_mca",
+        {R"(machine check exception is signalled)",
+         R"(machine check event)"},
+        {R"(machine check)"});
+    def("Trg_EXC_ill",
+        {R"(illegal instruction)"},
+        {R"(undefined opcode|illegal)"});
+    def("Trg_PRV_ret",
+        {R"(\bRSM\b|resumes from System Management)"},
+        {R"(\bSMI\b|resume|System Management)"});
+    def("Trg_PRV_vmt",
+        {R"(VM (exit|entry))"},
+        {R"(\bVM\b|world switch|hypervisor|guest state)"});
+    def("Trg_CFG_pag",
+        {R"(paging mode)"},
+        {R"(paging|\bCR0\b|\bCR4\b)"});
+    def("Trg_CFG_vmc",
+        {R"(control structure|\bVMCS\b)"},
+        {R"(intercept|virtual machine)"});
+    def("Trg_CFG_wrg",
+        {R"(writes a model specific register)",
+         R"(programmed to a non-default)", R"(\bWRMSR\b)"},
+        {R"(writes|programmed|\bWRMSR\b|model specific register|configuration register)"});
+    def("Trg_POW_pwc",
+        {R"(C6 power state|C-state transition)"},
+        {R"(power state|C-state|deep sleep)"});
+    def("Trg_POW_tht",
+        {R"(throttling|voltage droops)"},
+        {R"(thermal|power limit|voltage)"});
+    def("Trg_EXT_rst",
+        {R"((warm|cold) reset)"},
+        {R"(reset)"});
+    def("Trg_EXT_pci",
+        {R"(PCIe (device|traffic))"},
+        {R"(PCIe)"});
+    def("Trg_EXT_usb",
+        {R"(isochronous)"},
+        {R"(\bUSB\b)"});
+    def("Trg_EXT_ram",
+        {R"(DRAM is configured|DDR refresh)"},
+        {R"(DRAM|\bDDR\b|refresh)"});
+    def("Trg_EXT_iom",
+        {R"(remapped through the IOMMU)"},
+        {R"(IOMMU)"});
+    def("Trg_EXT_bus",
+        {R"(system bus|HyperTransport)"},
+        {R"(fabric|\bprobe\b|\bbus\b)"});
+    def("Trg_FEA_fpu",
+        {R"(FSAVE|FNSAVE|floating-point instruction)"},
+        {R"(x87|\bFPU\b|floating-point)"});
+    def("Trg_FEA_dbg",
+        {R"(breakpoint|single-step)"},
+        {R"(debug)"});
+    def("Trg_FEA_cid",
+        {R"(queries the CPUID)"},
+        {R"(CPUID)"});
+    def("Trg_FEA_mon",
+        {R"(MONITOR/MWAIT)"},
+        {R"(\bMWAIT\b|\bMONITOR\b)"});
+    def("Trg_FEA_tra",
+        {R"(trace packets)"},
+        {R"(trace|tracing)"});
+    def("Trg_FEA_cus",
+        {R"(\bSSE\b|\bMMX\b)"},
+        {R"(accelerator|\bSSE\b|\bMMX\b|\bAVX\b)"});
+
+    // ---- Contexts ---------------------------------------------------
+    def("Ctx_PRV_boo",
+        {R"(BIOS initialization)"},
+        {R"(\bboot|BIOS initialization)"});
+    def("Ctx_PRV_vmg",
+        {R"(virtual machine guest|virtualized environment)"},
+        {R"(guest|virtual)"});
+    def("Ctx_PRV_rea",
+        {R"(real-address mode|\breal mode\b)"},
+        {R"(\breal\b|8086)"});
+    def("Ctx_PRV_vmh",
+        {R"(as a hypervisor)"},
+        {R"(hypervisor|\bhost\b)"});
+    def("Ctx_PRV_smm",
+        {R"(is in System Management Mode)"},
+        {R"(\bSMM\b|System Management)"});
+    def("Ctx_FEA_sec",
+        {R"(memory encryption|secure enclave)"},
+        {R"(secur|encrypt|enclave)"});
+    def("Ctx_FEA_sgc",
+        {R"(single-core)"},
+        {R"(one core|single)"});
+    def("Ctx_PHY_pkg",
+        {R"(land grid array)"},
+        {R"(package)"});
+    def("Ctx_PHY_tmp",
+        {R"(temperatures near)"},
+        {R"(temperature)"});
+    def("Ctx_PHY_vol",
+        {R"(minimum specified operating voltage)"},
+        {R"(voltage)"});
+
+    // ---- Effects ----------------------------------------------------
+    def("Eff_HNG_unp",
+        {R"(unpredictable)"},
+        {R"(unpredictable|incorrect data)"});
+    def("Eff_HNG_hng",
+        {R"(may \bhang\b|stop responding)"},
+        {R"(\bhang\b|respond)"});
+    def("Eff_HNG_crh",
+        {R"(crash)"},
+        {R"(crash|shutdown|reset)"});
+    def("Eff_HNG_boo",
+        {R"(fail to boot)"},
+        {R"(boot|power-on)"});
+    def("Eff_FLT_mca",
+        {R"(machine check exception may be generated)", R"(\bMCE\b)"},
+        {R"(machine check)"});
+    def("Eff_FLT_unc",
+        {R"(uncorrectable error)"},
+        {R"(uncorrectable)"});
+    def("Eff_FLT_fsp",
+        {R"(spurious|general protection fault)"},
+        {R"(fault)"});
+    def("Eff_FLT_fms",
+        {R"(may not be delivered)"},
+        {R"(may not be delivered|may be lost|missing)"});
+    def("Eff_FLT_fid",
+        {R"(wrong error code)"},
+        {R"(error code|out of order)"});
+    def("Eff_CRP_prf",
+        {R"(wrong count|over-counted)"},
+        {R"(performance)"});
+    def("Eff_CRP_reg",
+        {R"(register may hold an incorrect|stale value)"},
+        {R"(register \(MSR|register may|stale value|incorrect value for)"});
+    def("Eff_EXT_pci",
+        {R"(malformed transaction)"},
+        {R"(PCIe)"});
+    def("Eff_EXT_usb",
+        {R"(disconnect)"},
+        {R"(\bUSB\b)"});
+    def("Eff_EXT_mmd",
+        {R"(audio or graphics)"},
+        {R"(audio|graphic|display|multimedia)"});
+    def("Eff_EXT_ram",
+        {R"(abnormal DRAM)"},
+        {R"(DRAM|\bECC\b)"});
+    def("Eff_EXT_pow",
+        {R"(power consumption)"},
+        {R"(power consumption|low-power|power envelope)"});
+
+    // Every category must carry at least one rule of each kind.
+    for (const CategoryRule &rule : rules_) {
+        if (rule.accept.empty() || rule.relevance.empty())
+            REMEMBERR_PANIC(
+                "RuleSet: category ",
+                taxonomy.categoryById(rule.id).code,
+                " has no rules");
+    }
+}
+
+} // namespace rememberr

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Regex rule tables for software-assisted classification.
+ *
+ * Section V-A: "some errata contain expressions that are specific
+ * enough to be classified automatically using regular expressions
+ * into some categories", while conservative filtering marks most
+ * (erratum, category) pairs as clearly irrelevant; the remainder
+ * needs human decisions. Each category therefore carries two rule
+ * sets:
+ *
+ *   - accept:    conservative patterns; a match means the category
+ *                clearly applies (auto-yes);
+ *   - relevance: broad patterns; no match means the category clearly
+ *                does not apply (auto-no); a match without an accept
+ *                match leaves a manual decision.
+ */
+
+#ifndef REMEMBERR_CLASSIFY_RULES_HH
+#define REMEMBERR_CLASSIFY_RULES_HH
+
+#include <vector>
+
+#include "taxonomy/taxonomy.hh"
+#include "text/regex.hh"
+
+namespace rememberr {
+
+/** The rules attached to one abstract category. */
+struct CategoryRule
+{
+    CategoryId id = 0;
+    std::vector<Regex> accept;
+    std::vector<Regex> relevance;
+};
+
+/** Immutable registry of rules for all 60 categories. */
+class RuleSet
+{
+  public:
+    static const RuleSet &instance();
+
+    const CategoryRule &ruleFor(CategoryId id) const;
+
+    const std::vector<CategoryRule> &rules() const { return rules_; }
+
+  private:
+    RuleSet();
+
+    std::vector<CategoryRule> rules_;
+};
+
+} // namespace rememberr
+
+#endif // REMEMBERR_CLASSIFY_RULES_HH

@@ -1,0 +1,561 @@
+#include "commands.hh"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/correlation.hh"
+#include "analysis/frequency.hh"
+#include "analysis/heredity.hh"
+#include "analysis/msr.hh"
+#include "analysis/stats.hh"
+#include "analysis/timeline.hh"
+#include "classify/engine.hh"
+#include "classify/highlight.hh"
+#include "core/pipeline.hh"
+#include "corpus/calibration.hh"
+#include "db/query.hh"
+#include "document/format.hh"
+#include "document/lint.hh"
+#include "guidance/guidance.hh"
+#include "report/svg.hh"
+#include "report/table.hh"
+#include "util/strings.hh"
+
+namespace rememberr {
+namespace cli {
+
+ArgList
+ArgList::parse(const std::vector<std::string> &args)
+{
+    ArgList list;
+    std::size_t start = 0;
+    if (!args.empty() && !strings::startsWith(args[0], "--")) {
+        list.command_ = args[0];
+        start = 1;
+    }
+    for (std::size_t i = start; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (!strings::startsWith(arg, "--")) {
+            list.positionals_.push_back(arg);
+            continue;
+        }
+        std::string body = arg.substr(2);
+        std::size_t eq = body.find('=');
+        if (eq != std::string::npos) {
+            list.options_[body.substr(0, eq)] = body.substr(eq + 1);
+        } else if (i + 1 < args.size() &&
+                   !strings::startsWith(args[i + 1], "--")) {
+            list.options_[body] = args[i + 1];
+            ++i;
+        } else {
+            list.options_[body] = "";
+        }
+    }
+    return list;
+}
+
+bool
+ArgList::hasFlag(const std::string &name) const
+{
+    return options_.count(name) > 0;
+}
+
+std::optional<std::string>
+ArgList::option(const std::string &name) const
+{
+    auto it = options_.find(name);
+    if (it == options_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::optional<long>
+ArgList::intOption(const std::string &name) const
+{
+    auto text = option(name);
+    if (!text)
+        return std::nullopt;
+    char *end = nullptr;
+    long value = std::strtol(text->c_str(), &end, 10);
+    if (end == nullptr || *end != '\0')
+        return std::nullopt;
+    return value;
+}
+
+std::string
+usageText()
+{
+    return "usage: rememberr <command> [options]\n"
+           "\n"
+           "commands:\n"
+           "  stats                       headline numbers vs the "
+           "paper\n"
+           "  generate  --out DIR         write all documents + db "
+           "exports\n"
+           "  lint      FILE...           lint specification-update "
+           "documents\n"
+           "  classify  FILE              software-assisted "
+           "classification\n"
+           "  highlight FILE ID CATEGORY  show annotation "
+           "highlighting\n"
+           "  query     [filters]         query the annotated "
+           "database\n"
+           "    --vendor intel|amd  --category CODE  --class CODE\n"
+           "    --min-triggers N    --workaround NAME  --limit N\n"
+           "  campaign  [--pairs N]       derive a directed testing "
+           "campaign\n"
+           "  seeds     [--count N]       emit a fuzzer seed corpus "
+           "(JSON)\n"
+           "  figures   --out DIR         write every reproduced "
+           "figure (SVG)\n"
+           "\n"
+           "common options:\n"
+           "  --seed N                    corpus generator seed\n";
+}
+
+namespace {
+
+/**
+ * Build the pipeline with an optional seed override. Results are
+ * cached per seed: a CLI process (or a test binary driving runCli
+ * repeatedly) pays for each corpus once.
+ */
+const PipelineResult &
+buildPipeline(const ArgList &args)
+{
+    setLogQuiet(true);
+    PipelineOptions options;
+    if (auto seed = args.intOption("seed"))
+        options.generator.seed = static_cast<std::uint64_t>(*seed);
+
+    static std::map<std::uint64_t, PipelineResult> cache;
+    auto it = cache.find(options.generator.seed);
+    if (it == cache.end()) {
+        it = cache.emplace(options.generator.seed,
+                           runPipeline(options))
+                 .first;
+    }
+    return it->second;
+}
+
+int
+cmdStats(const ArgList &args, std::ostream &out)
+{
+    const PipelineResult &result = buildPipeline(args);
+    HeadlineStats stats = headlineStats(result.groundTruth);
+
+    AsciiTable table;
+    table.setColumns({"statistic", "measured", "paper"},
+                     {Align::Left, Align::Right, Align::Right});
+    table.addRow({"Intel errata (collected/unique)",
+                  std::to_string(stats.intelRows) + " / " +
+                      std::to_string(stats.intelUnique),
+                  "2,057 / 743"});
+    table.addRow({"AMD errata (collected/unique)",
+                  std::to_string(stats.amdRows) + " / " +
+                      std::to_string(stats.amdUnique),
+                  "506 / 385"});
+    table.addRow({"no clear trigger",
+                  strings::formatPercent(stats.noTriggerFraction),
+                  "14.4%"});
+    table.addRow({">= 2 combined triggers",
+                  strings::formatPercent(
+                      stats.multiTriggerFraction),
+                  "49%"});
+    table.addRow({"no workaround (Intel / AMD)",
+                  strings::formatPercent(
+                      stats.workaroundNoneIntel) +
+                      " / " +
+                      strings::formatPercent(
+                          stats.workaroundNoneAmd),
+                  "35.9% / 28.9%"});
+    out << table.toString();
+    return 0;
+}
+
+int
+cmdGenerate(const ArgList &args, std::ostream &out,
+            std::ostream &err)
+{
+    auto dir = args.option("out");
+    if (!dir || dir->empty()) {
+        err << "generate: --out DIR is required\n";
+        return 2;
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(*dir, ec);
+    if (ec) {
+        err << "generate: cannot create " << *dir << "\n";
+        return 1;
+    }
+
+    const PipelineResult &result = buildPipeline(args);
+    for (const ErrataDocument &doc : result.corpus.documents) {
+        std::string name = doc.design.key();
+        for (char &c : name) {
+            if (c == '/')
+                c = '_';
+        }
+        std::ofstream file(*dir + "/" + name + ".txt");
+        file << renderDocument(doc);
+        out << "wrote " << *dir << "/" << name << ".txt ("
+            << doc.errata.size() << " errata)\n";
+    }
+    {
+        std::ofstream file(*dir + "/rememberr_db.json");
+        file << result.groundTruth.toJson().dumpPretty() << "\n";
+    }
+    {
+        std::ofstream file(*dir + "/rememberr_db.csv");
+        file << result.groundTruth.toCsv();
+    }
+    out << "wrote " << *dir << "/rememberr_db.json and .csv ("
+        << result.groundTruth.entries().size()
+        << " unique errata)\n";
+    return 0;
+}
+
+int
+cmdLint(const ArgList &args, std::ostream &out, std::ostream &err)
+{
+    if (args.positionals().empty()) {
+        err << "lint: at least one FILE is required\n";
+        return 2;
+    }
+    int failures = 0;
+    for (const std::string &path : args.positionals()) {
+        std::ifstream in(path);
+        if (!in) {
+            err << "lint: cannot open " << path << "\n";
+            ++failures;
+            continue;
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        auto parsed = parseDocument(buffer.str());
+        if (!parsed) {
+            err << "lint: " << path << ": "
+                << parsed.error().toString() << "\n";
+            ++failures;
+            continue;
+        }
+        auto findings = lintDocument(parsed.value());
+        out << path << ": " << findings.size() << " finding(s)\n";
+        for (const LintFinding &finding : findings) {
+            out << "  [" << defectKindName(finding.kind) << "] "
+                << finding.detail << "\n";
+        }
+    }
+    return failures == 0 ? 0 : 1;
+}
+
+int
+cmdClassify(const ArgList &args, std::ostream &out,
+            std::ostream &err)
+{
+    if (args.positionals().size() != 1) {
+        err << "classify: exactly one FILE is required\n";
+        return 2;
+    }
+    std::ifstream in(args.positionals()[0]);
+    if (!in) {
+        err << "classify: cannot open " << args.positionals()[0]
+            << "\n";
+        return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    auto parsed = parseDocument(buffer.str());
+    if (!parsed) {
+        err << "classify: " << parsed.error().toString() << "\n";
+        return 1;
+    }
+    const Taxonomy &taxonomy = Taxonomy::instance();
+    for (const Erratum &erratum : parsed.value().errata) {
+        EngineResult result = classifyErratum(erratum);
+        out << erratum.localId << ": ";
+        bool first = true;
+        for (CategoryId id : result.autoYes.toVector()) {
+            if (!first)
+                out << ", ";
+            first = false;
+            out << taxonomy.categoryById(id).code;
+        }
+        if (first)
+            out << "(no auto-accepted categories)";
+        out << " [+" << result.manual.size()
+            << " manual decision(s)]\n";
+    }
+    return 0;
+}
+
+int
+cmdHighlight(const ArgList &args, std::ostream &out,
+             std::ostream &err)
+{
+    if (args.positionals().size() != 3) {
+        err << "highlight: FILE ERRATUM-ID CATEGORY required\n";
+        return 2;
+    }
+    const Taxonomy &taxonomy = Taxonomy::instance();
+    auto category = taxonomy.parseCategory(args.positionals()[2]);
+    if (!category) {
+        err << "highlight: unknown category '"
+            << args.positionals()[2] << "'\n";
+        return 2;
+    }
+    std::ifstream in(args.positionals()[0]);
+    if (!in) {
+        err << "highlight: cannot open " << args.positionals()[0]
+            << "\n";
+        return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    auto parsed = parseDocument(buffer.str());
+    if (!parsed) {
+        err << "highlight: " << parsed.error().toString() << "\n";
+        return 1;
+    }
+    const Erratum *erratum =
+        parsed.value().findErratum(args.positionals()[1]);
+    if (!erratum) {
+        err << "highlight: no erratum '" << args.positionals()[1]
+            << "' in the document\n";
+        return 1;
+    }
+    std::string body = erratumBodyText(*erratum);
+    auto spans = highlightCategory(body, *category);
+    bool html = args.hasFlag("html");
+    out << (html ? renderHtml(body, spans)
+                 : renderAnsi(body, spans))
+        << "\n";
+    return 0;
+}
+
+int
+cmdQuery(const ArgList &args, std::ostream &out, std::ostream &err)
+{
+    // Validate every filter before paying for the pipeline, so bad
+    // arguments fail fast.
+    const Taxonomy &taxonomy = Taxonomy::instance();
+    std::optional<Vendor> vendorFilter;
+    std::optional<CategoryId> categoryFilter;
+    std::optional<ClassId> classFilter;
+    std::optional<WorkaroundClass> workaroundFilter;
+
+    if (auto vendor = args.option("vendor")) {
+        std::string lowered = strings::toLower(*vendor);
+        if (lowered == "intel") {
+            vendorFilter = Vendor::Intel;
+        } else if (lowered == "amd") {
+            vendorFilter = Vendor::Amd;
+        } else {
+            err << "query: unknown vendor '" << *vendor << "'\n";
+            return 2;
+        }
+    }
+    if (auto code = args.option("category")) {
+        categoryFilter = taxonomy.parseCategory(*code);
+        if (!categoryFilter) {
+            err << "query: unknown category '" << *code << "'\n";
+            return 2;
+        }
+    }
+    if (auto code = args.option("class")) {
+        classFilter = taxonomy.parseClass(*code);
+        if (!classFilter) {
+            err << "query: unknown class '" << *code << "'\n";
+            return 2;
+        }
+    }
+    if (auto name = args.option("workaround")) {
+        for (int c = 0; c <= 5; ++c) {
+            auto cls = static_cast<WorkaroundClass>(c);
+            if (strings::toLower(
+                    std::string(workaroundClassName(cls))) ==
+                strings::toLower(*name)) {
+                workaroundFilter = cls;
+            }
+        }
+        if (!workaroundFilter) {
+            err << "query: unknown workaround class '" << *name
+                << "'\n";
+            return 2;
+        }
+    }
+
+    const PipelineResult &result = buildPipeline(args);
+    const Database &db = result.groundTruth;
+
+    Query query(db);
+    if (vendorFilter)
+        query.vendor(*vendorFilter);
+    if (categoryFilter)
+        query.hasCategory(*categoryFilter);
+    if (classFilter)
+        query.hasClass(*classFilter);
+    if (workaroundFilter)
+        query.workaround(*workaroundFilter);
+    if (auto n = args.intOption("min-triggers"))
+        query.triggerCountAtLeast(static_cast<std::size_t>(*n));
+
+    auto matches = query.run();
+    std::size_t limit = 20;
+    if (auto n = args.intOption("limit"))
+        limit = static_cast<std::size_t>(*n);
+
+    AsciiTable table;
+    table.setColumns({"key", "vendor", "title", "triggers",
+                      "occurrences"},
+                     {Align::Right, Align::Left, Align::Left,
+                      Align::Right, Align::Right});
+    for (std::size_t i = 0; i < matches.size() && i < limit; ++i) {
+        const DbEntry *entry = matches[i];
+        table.addRow({
+            std::to_string(entry->key),
+            std::string(vendorName(entry->vendor)),
+            entry->title.size() > 48
+                ? entry->title.substr(0, 45) + "..."
+                : entry->title,
+            std::to_string(entry->triggers.size()),
+            std::to_string(entry->occurrences.size()),
+        });
+    }
+    out << table.toString();
+    out << matches.size() << " matching unique errata";
+    if (matches.size() > limit)
+        out << " (showing " << limit << ")";
+    out << "\n";
+    return 0;
+}
+
+int
+cmdCampaign(const ArgList &args, std::ostream &out)
+{
+    const PipelineResult &result = buildPipeline(args);
+    CampaignOptions options;
+    if (auto n = args.intOption("pairs"))
+        options.stimulusPairs = static_cast<std::size_t>(*n);
+    TestCampaign campaign =
+        deriveCampaign(result.groundTruth, options);
+    if (args.hasFlag("json"))
+        out << campaign.toJson().dumpPretty() << "\n";
+    else
+        out << campaign.renderText();
+    return 0;
+}
+
+int
+cmdSeeds(const ArgList &args, std::ostream &out)
+{
+    const PipelineResult &result = buildPipeline(args);
+    SeedCorpusOptions options;
+    if (auto n = args.intOption("count"))
+        options.sequenceCount = static_cast<std::size_t>(*n);
+    SeedCorpus corpus =
+        generateSeedCorpus(result.groundTruth, options);
+    out << corpus.toJson().dumpPretty() << "\n";
+    return 0;
+}
+
+int
+cmdFigures(const ArgList &args, std::ostream &out,
+           std::ostream &err)
+{
+    auto dir = args.option("out");
+    if (!dir || dir->empty()) {
+        err << "figures: --out DIR is required\n";
+        return 2;
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(*dir, ec);
+    if (ec) {
+        err << "figures: cannot create " << *dir << "\n";
+        return 1;
+    }
+    const PipelineResult &result = buildPipeline(args);
+    const Database &db = result.groundTruth;
+
+    auto write = [&](const std::string &name,
+                     const std::string &svg) {
+        std::ofstream file(*dir + "/" + name + ".svg");
+        file << svg;
+        out << "wrote " << *dir << "/" << name << ".svg\n";
+    };
+
+    auto timelines = disclosureTimelines(db);
+    std::vector<CumulativeSeries> intel(
+        timelines.begin(),
+        timelines.begin() + firstAmdDocIndex);
+    std::vector<CumulativeSeries> amd(
+        timelines.begin() + firstAmdDocIndex, timelines.end());
+    write("fig2_intel",
+          svgLineChart(intel, {.title = "Figure 2: Intel"}));
+    write("fig2_amd", svgLineChart(amd, {.title = "Figure 2: AMD"}));
+
+    HeredityMatrix heredity = heredityMatrix(db, Vendor::Intel);
+    write("fig3_heredity",
+          svgHeatmap(heredity.labels, heredity.labels,
+                     heredity.counts,
+                     {.title = "Figure 3: heredity"}));
+
+    std::vector<Bar> triggers;
+    for (const CategoryFrequency &freq :
+         categoryFrequencies(db, Axis::Trigger, 12)) {
+        triggers.push_back(
+            Bar{freq.code, static_cast<double>(freq.total()),
+                std::to_string(freq.total())});
+    }
+    write("fig10_triggers",
+          svgBarChart(triggers, {.title = "Figure 10: triggers"}));
+
+    TriggerCorrelation correlation = triggerCorrelation(db);
+    write("fig12_correlation",
+          svgHeatmap(correlation.codes, correlation.codes,
+                     correlation.counts,
+                     {.title = "Figure 12: correlation"}));
+    return 0;
+}
+
+} // namespace
+
+int
+runCli(const std::vector<std::string> &args, std::ostream &out,
+       std::ostream &err)
+{
+    ArgList parsed = ArgList::parse(args);
+    const std::string &command = parsed.command();
+
+    if (command.empty() || command == "help" ||
+        parsed.hasFlag("help")) {
+        err << usageText();
+        return command.empty() ? 2 : 0;
+    }
+    if (command == "stats")
+        return cmdStats(parsed, out);
+    if (command == "generate")
+        return cmdGenerate(parsed, out, err);
+    if (command == "lint")
+        return cmdLint(parsed, out, err);
+    if (command == "classify")
+        return cmdClassify(parsed, out, err);
+    if (command == "highlight")
+        return cmdHighlight(parsed, out, err);
+    if (command == "query")
+        return cmdQuery(parsed, out, err);
+    if (command == "campaign")
+        return cmdCampaign(parsed, out);
+    if (command == "seeds")
+        return cmdSeeds(parsed, out);
+    if (command == "figures")
+        return cmdFigures(parsed, out, err);
+
+    err << "unknown command '" << command << "'\n" << usageText();
+    return 2;
+}
+
+} // namespace cli
+} // namespace rememberr

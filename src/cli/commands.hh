@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The rememberr command-line interface, as a testable library.
+ *
+ * Commands:
+ *   stats                       headline numbers vs the paper
+ *   generate  --out DIR         write the 28 documents + db exports
+ *   lint      FILE...           lint specification-update documents
+ *   classify  FILE              software-assisted classification
+ *   highlight FILE ID CATEGORY  show annotation highlighting
+ *   query     [filters]         query the annotated database
+ *   campaign                    derive a directed testing campaign
+ *   seeds     --count N         emit a fuzzer seed corpus (JSON)
+ *   figures   --out DIR         write every reproduced figure (SVG)
+ *
+ * All commands write to the supplied streams so tests can capture
+ * output; main() in tools/ forwards to runCli().
+ */
+
+#ifndef REMEMBERR_CLI_COMMANDS_HH
+#define REMEMBERR_CLI_COMMANDS_HH
+
+#include <map>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rememberr {
+namespace cli {
+
+/** Parsed command line: positionals plus --key[=| ]value options. */
+class ArgList
+{
+  public:
+    /** Parse argv-style arguments (excluding the program name). */
+    static ArgList parse(const std::vector<std::string> &args);
+
+    const std::string &command() const { return command_; }
+    const std::vector<std::string> &positionals() const
+    {
+        return positionals_;
+    }
+
+    bool hasFlag(const std::string &name) const;
+    std::optional<std::string> option(const std::string &name) const;
+    std::optional<long> intOption(const std::string &name) const;
+
+  private:
+    std::string command_;
+    std::vector<std::string> positionals_;
+    std::map<std::string, std::string> options_;
+};
+
+/**
+ * Run one CLI invocation.
+ *
+ * @param args argv-style arguments excluding the program name.
+ * @param out stream for normal output.
+ * @param err stream for errors and usage.
+ * @return process exit code.
+ */
+int runCli(const std::vector<std::string> &args, std::ostream &out,
+           std::ostream &err);
+
+/** The usage text. */
+std::string usageText();
+
+} // namespace cli
+} // namespace rememberr
+
+#endif // REMEMBERR_CLI_COMMANDS_HH

@@ -1,0 +1,89 @@
+#include "pipeline.hh"
+
+#include "document/format.hh"
+#include "util/logging.hh"
+
+namespace rememberr {
+
+PipelineResult
+runPipeline(const PipelineOptions &options)
+{
+    PipelineResult result;
+
+    // 1. Acquire.
+    result.corpus = CorpusGenerator(options.generator).generate();
+
+    // 2. Parse (round-trip through the text format).
+    if (options.roundTripDocuments) {
+        for (ErrataDocument &document : result.corpus.documents) {
+            std::string rendered = renderDocument(document);
+            auto parsed = parseDocument(rendered);
+            if (!parsed) {
+                REMEMBERR_PANIC("pipeline: document ",
+                                document.design.name,
+                                " failed to re-parse: ",
+                                parsed.error().toString());
+            }
+            document = std::move(parsed.value());
+        }
+    }
+
+    if (options.lint) {
+        for (const ErrataDocument &document :
+             result.corpus.documents) {
+            result.lintFindings.push_back(lintDocument(document));
+        }
+    }
+
+    // 3. Deduplicate.
+    result.dedup =
+        deduplicate(result.corpus.documents, options.dedup);
+
+    // 4. Classify.
+    result.annotations =
+        runFourEyes(result.corpus, options.foureyes);
+
+    // 5. Assemble.
+    result.database = Database::build(result.corpus, result.dedup,
+                                      result.annotations);
+    result.groundTruth =
+        Database::buildFromGroundTruth(result.corpus);
+    return result;
+}
+
+std::string
+renderProposedFormat(const DbEntry &entry)
+{
+    const Taxonomy &taxonomy = Taxonomy::instance();
+    auto codes = [&](const CategorySet &set) {
+        std::string out;
+        for (CategoryId id : set.toVector()) {
+            if (!out.empty())
+                out += ", ";
+            out += taxonomy.categoryById(id).code;
+        }
+        return out.empty() ? std::string("(none)") : out;
+    };
+
+    std::string out;
+    out += "ID: " + std::to_string(entry.key) + "\n";
+    out += "Title: " + entry.title + "\n";
+    out += "Triggers:\n";
+    out += "  Abstract: " + codes(entry.triggers) + "\n";
+    out += "  Concrete: " + entry.description + "\n";
+    out += "Contexts:\n";
+    out += "  Abstract: " + codes(entry.contexts) + "\n";
+    out += "Effects:\n";
+    out += "  Abstract: " + codes(entry.effects) + "\n";
+    out += "Root cause: ";
+    out += entry.rootCause.empty()
+               ? "(not published by the vendor)"
+               : entry.rootCause;
+    out += '\n';
+    out += "Workaround: " + entry.workaroundText + "\n";
+    out += "Status: " +
+           std::string(fixStatusName(entry.status)) + "\n";
+    return out;
+}
+
+} // namespace rememberr

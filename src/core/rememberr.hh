@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Umbrella header: the RemembERR public API.
+ *
+ * Include this to get the full pipeline, the database and query
+ * layer, every analysis of the paper's evaluation and the report
+ * writers. Individual headers remain includable for finer-grained
+ * dependencies.
+ */
+
+#ifndef REMEMBERR_CORE_REMEMBERR_HH
+#define REMEMBERR_CORE_REMEMBERR_HH
+
+// Substrates.
+#include "text/ngram_index.hh"
+#include "text/regex.hh"
+#include "text/similarity.hh"
+#include "text/tokenize.hh"
+#include "util/csv.hh"
+#include "util/date.hh"
+#include "util/json.hh"
+#include "util/rng.hh"
+#include "util/strings.hh"
+
+// Data model and taxonomy.
+#include "model/erratum.hh"
+#include "model/types.hh"
+#include "taxonomy/taxonomy.hh"
+
+// Corpus and documents.
+#include "corpus/calibration.hh"
+#include "corpus/corpus.hh"
+#include "corpus/generator.hh"
+#include "corpus/phrasebank.hh"
+#include "document/format.hh"
+#include "document/lint.hh"
+
+// Pipeline stages.
+#include "classify/engine.hh"
+#include "classify/foureyes.hh"
+#include "classify/highlight.hh"
+#include "classify/rules.hh"
+#include "dedup/dedup.hh"
+
+// Database and analyses.
+#include "analysis/correlation.hh"
+#include "analysis/criticality.hh"
+#include "analysis/evolution.hh"
+#include "analysis/frequency.hh"
+#include "analysis/heredity.hh"
+#include "analysis/msr.hh"
+#include "analysis/stats.hh"
+#include "analysis/timeline.hh"
+#include "analysis/vendorcmp.hh"
+#include "analysis/workfix.hh"
+#include "db/database.hh"
+#include "db/query.hh"
+#include "guidance/guidance.hh"
+
+// Reporting.
+#include "report/chart.hh"
+#include "report/svg.hh"
+#include "report/table.hh"
+
+// The end-to-end pipeline.
+#include "core/pipeline.hh"
+
+#endif // REMEMBERR_CORE_REMEMBERR_HH

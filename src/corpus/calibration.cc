@@ -1,0 +1,479 @@
+#include "calibration.hh"
+
+#include "util/logging.hh"
+
+namespace rememberr {
+
+namespace {
+
+DocumentSpec
+makeDoc(Vendor vendor, int generation, DesignVariant variant,
+        const char *name, const char *reference, Date release,
+        int interval_days)
+{
+    DocumentSpec spec;
+    spec.design.vendor = vendor;
+    spec.design.generation = generation;
+    spec.design.variant = variant;
+    spec.design.name = name;
+    spec.design.reference = reference;
+    spec.design.releaseDate = release;
+    spec.revisionIntervalDays = interval_days;
+    return spec;
+}
+
+} // namespace
+
+const std::vector<DocumentSpec> &
+documentInventory()
+{
+    static const std::vector<DocumentSpec> inventory = [] {
+        std::vector<DocumentSpec> docs;
+        const Vendor I = Vendor::Intel;
+        const Vendor A = Vendor::Amd;
+        const DesignVariant D = DesignVariant::Desktop;
+        const DesignVariant M = DesignVariant::Mobile;
+        const DesignVariant U = DesignVariant::Unified;
+
+        // Intel Core generations (Table III, left column).
+        docs.push_back(makeDoc(I, 1, D, "Core 1 (D)", "320836-037US",
+                               Date(2008, 11, 17), 75));
+        docs.push_back(makeDoc(I, 1, M, "Core 1 (M)", "322814-024US",
+                               Date(2009, 9, 8), 85));
+        docs.push_back(makeDoc(I, 2, D, "Core 2 (D)", "324643-037US",
+                               Date(2011, 1, 9), 75));
+        docs.push_back(makeDoc(I, 2, M, "Core 2 (M)", "324827-034US",
+                               Date(2011, 1, 9), 80));
+        docs.push_back(makeDoc(I, 3, D, "Core 3 (D)", "326766-022US",
+                               Date(2012, 4, 29), 90));
+        docs.push_back(makeDoc(I, 3, M, "Core 3 (M)", "326770-022US",
+                               Date(2012, 4, 29), 90));
+        docs.push_back(makeDoc(I, 4, D, "Core 4 (D)", "328899-039US",
+                               Date(2013, 6, 4), 75));
+        docs.push_back(makeDoc(I, 4, M, "Core 4 (M)", "328903-038US",
+                               Date(2013, 6, 4), 78));
+        docs.push_back(makeDoc(I, 5, D, "Core 5 (D)", "332381-023US",
+                               Date(2015, 6, 1), 95));
+        docs.push_back(makeDoc(I, 5, M, "Core 5 (M)", "330836-031US",
+                               Date(2014, 10, 27), 85));
+        docs.push_back(makeDoc(I, 6, U, "Core 6", "332689-028US",
+                               Date(2015, 8, 5), 80));
+        docs.push_back(makeDoc(I, 7, U, "Core 7/8", "334663-013US",
+                               Date(2016, 8, 30), 110));
+        docs.push_back(makeDoc(I, 8, U, "Core 8/9", "337346-002US",
+                               Date(2017, 10, 5), 120));
+        docs.push_back(makeDoc(I, 10, U, "Core 10", "615213-010US",
+                               Date(2019, 8, 1), 100));
+        docs.push_back(makeDoc(I, 11, U, "Core 11", "634808-008US",
+                               Date(2020, 9, 2), 80));
+        docs.push_back(makeDoc(I, 12, U, "Core 12", "682436-004US",
+                               Date(2021, 11, 4), 60));
+
+        // AMD families (Table III, right column).
+        docs.push_back(makeDoc(A, 1, U, "Fam 10h 00-0F", "41322-3.84",
+                               Date(2008, 4, 1), 240));
+        docs.push_back(makeDoc(A, 2, U, "Fam 11h 00-0F", "41788-3.00",
+                               Date(2008, 6, 4), 300));
+        docs.push_back(makeDoc(A, 3, U, "Fam 12h 00-0F", "44739-3.10",
+                               Date(2011, 6, 14), 300));
+        docs.push_back(makeDoc(A, 4, U, "Fam 14h 00-0F", "47534-3.18",
+                               Date(2011, 1, 4), 280));
+        docs.push_back(makeDoc(A, 5, U, "Fam 15h 00-0F", "48063-3.24",
+                               Date(2011, 10, 12), 260));
+        docs.push_back(makeDoc(A, 6, U, "Fam 15h 10-1F", "48931-3.08",
+                               Date(2012, 10, 2), 280));
+        docs.push_back(makeDoc(A, 7, U, "Fam 15h 30-3F", "51603-1.06",
+                               Date(2014, 1, 14), 300));
+        docs.push_back(makeDoc(A, 8, U, "Fam 15h 70-7F", "55370-3.00",
+                               Date(2015, 6, 1), 320));
+        docs.push_back(makeDoc(A, 9, U, "Fam 16h 00-0F", "51810-3.06",
+                               Date(2013, 5, 23), 300));
+        docs.push_back(makeDoc(A, 10, U, "Fam 17h 00-0F", "55449-1.12",
+                               Date(2017, 3, 2), 200));
+        docs.push_back(makeDoc(A, 11, U, "Fam 17h 30-3F", "56323-0.78",
+                               Date(2019, 7, 7), 200));
+        docs.push_back(makeDoc(A, 12, U, "Fam 19h 00-0F", "56683-1.04",
+                               Date(2020, 11, 5), 180));
+
+        if (docs.size() != 28)
+            REMEMBERR_PANIC("documentInventory: expected 28 docs");
+        if (docs[firstAmdDocIndex].design.vendor != Vendor::Amd)
+            REMEMBERR_PANIC("documentInventory: AMD offset wrong");
+        return docs;
+    }();
+    return inventory;
+}
+
+Date
+studyCutoffDate()
+{
+    return Date(2022, 6, 1);
+}
+
+namespace {
+
+HeredityGroup
+makeGroup(Vendor vendor, int count, const char *tag,
+          std::vector<std::vector<int>> sets)
+{
+    HeredityGroup group;
+    group.vendor = vendor;
+    group.bugCount = count;
+    group.tag = tag;
+    group.docSets = std::move(sets);
+    return group;
+}
+
+} // namespace
+
+const std::vector<HeredityGroup> &
+heredityPlan()
+{
+    static const std::vector<HeredityGroup> plan = [] {
+        std::vector<HeredityGroup> groups;
+        const Vendor I = Vendor::Intel;
+        const Vendor A = Vendor::Amd;
+
+        // Intel document indices:
+        //   0:1D 1:1M 2:2D 3:2M 4:3D 5:3M 6:4D 7:4M 8:5D 9:5M
+        //   10:Core6 11:Core7/8 12:Core8/9 13:Core10 14:Core11
+        //   15:Core12
+
+        // The single erratum first seen in Core 2 and identified 11
+        // generations later (Core 12).
+        groups.push_back(makeGroup(
+            I, 1, "intel-gen2-to-12",
+            {{2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}}));
+
+        // The 6 bugs that stayed from Core 1 to Core 10.
+        groups.push_back(makeGroup(
+            I, 6, "intel-gen1-to-10",
+            {{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}}));
+
+        // Together with the 7 bugs above, these make the 104 bugs
+        // shared by ALL generations 6 to 10 (Figure 4).
+        groups.push_back(makeGroup(I, 97, "intel-gen6-to-10",
+                                   {{10, 11, 12, 13}}));
+
+        // Three adjacent early generations, both variants (6 docs).
+        groups.push_back(makeGroup(I, 50, "intel-6doc",
+                                   {{0, 1, 2, 3, 4, 5},
+                                    {2, 3, 4, 5, 6, 7},
+                                    {4, 5, 6, 7, 8, 9}}));
+
+        // Two adjacent early generations (both variants) or four
+        // adjacent unified documents, avoiding a superset of the
+        // exact 6..10 span.
+        groups.push_back(makeGroup(I, 110, "intel-4doc",
+                                   {{0, 1, 2, 3},
+                                    {2, 3, 4, 5},
+                                    {4, 5, 6, 7},
+                                    {6, 7, 8, 9},
+                                    {11, 12, 13, 14},
+                                    {12, 13, 14, 15}}));
+
+        groups.push_back(makeGroup(I, 85, "intel-3doc",
+                                   {{8, 9, 10},
+                                    {10, 11, 12},
+                                    {11, 12, 13},
+                                    {13, 14, 15}}));
+
+        // Mostly same-generation Desktop/Mobile pairs ("Desktop and
+        // mobile processors share the vast majority of bugs").
+        groups.push_back(makeGroup(I, 171, "intel-2doc",
+                                   {{0, 1},
+                                    {2, 3},
+                                    {4, 5},
+                                    {6, 7},
+                                    {8, 9},
+                                    {0, 1},
+                                    {2, 3},
+                                    {4, 5},
+                                    {6, 7},
+                                    {8, 9},
+                                    {10, 11},
+                                    {11, 12},
+                                    {13, 14},
+                                    {14, 15}}));
+
+        groups.push_back(makeGroup(I, 223, "intel-1doc",
+                                   {{0}, {1}, {2}, {3}, {4}, {5},
+                                    {6}, {7}, {8}, {9}, {10}, {11},
+                                    {12}, {13}, {14}, {15}}));
+
+        // AMD document indices are relative to firstAmdDocIndex:
+        //   0:10h 1:11h 2:12h 3:14h 4:15h00 5:15h10 6:15h30 7:15h70
+        //   8:16h 9:17h00 10:17h30 11:19h
+        auto amdSet = [](std::vector<int> rel) {
+            for (int &idx : rel)
+                idx += static_cast<int>(firstAmdDocIndex);
+            return rel;
+        };
+
+        groups.push_back(makeGroup(A, 20, "amd-3doc",
+                                   {amdSet({4, 5, 6}),
+                                    amdSet({5, 6, 7}),
+                                    amdSet({9, 10, 11})}));
+
+        groups.push_back(makeGroup(A, 81, "amd-2doc",
+                                   {amdSet({4, 5}),
+                                    amdSet({5, 6}),
+                                    amdSet({6, 7}),
+                                    amdSet({9, 10}),
+                                    amdSet({10, 11}),
+                                    amdSet({0, 1}),
+                                    amdSet({2, 3})}));
+
+        groups.push_back(makeGroup(A, 284, "amd-1doc",
+                                   {amdSet({0}), amdSet({1}),
+                                    amdSet({2}), amdSet({3}),
+                                    amdSet({4}), amdSet({5}),
+                                    amdSet({6}), amdSet({7}),
+                                    amdSet({8}), amdSet({9}),
+                                    amdSet({10}), amdSet({11})}));
+        return groups;
+    }();
+    return plan;
+}
+
+CorpusTotals
+planTotals()
+{
+    CorpusTotals totals;
+    for (const HeredityGroup &group : heredityPlan()) {
+        // Appearances: bugs are assigned doc sets round-robin.
+        int appearances = 0;
+        for (int i = 0; i < group.bugCount; ++i) {
+            const auto &set =
+                group.docSets[static_cast<std::size_t>(i) %
+                              group.docSets.size()];
+            appearances += static_cast<int>(set.size());
+        }
+        if (group.vendor == Vendor::Intel) {
+            totals.intelUnique += group.bugCount;
+            totals.intelAppearances += appearances;
+        } else {
+            totals.amdUnique += group.bugCount;
+            totals.amdAppearances += appearances;
+        }
+    }
+    return totals;
+}
+
+const LabelModel &
+labelModel()
+{
+    static const LabelModel model;
+    return model;
+}
+
+namespace {
+
+/**
+ * Base weights per abstract category, shared by both vendors. The
+ * ranking encodes Figure 10 (trg_CFG_wrg, trg_POW_tht and
+ * trg_POW_pwc on top), Figure 17 (ctx_PRV_vmg dominating) and
+ * Figure 18 (eff_CRP_reg, eff_HNG_hng, eff_HNG_unp on top).
+ */
+double
+baseWeight(const AbstractCategory &cat)
+{
+    const std::string &code = cat.code;
+    // Triggers.
+    if (code == "Trg_CFG_wrg") return 10.0;
+    if (code == "Trg_POW_tht") return 8.5;
+    if (code == "Trg_POW_pwc") return 8.0;
+    if (code == "Trg_PRV_vmt") return 5.0;
+    if (code == "Trg_FEA_dbg") return 4.5;
+    if (code == "Trg_CFG_vmc") return 4.0;
+    if (code == "Trg_EXT_pci") return 4.0;
+    if (code == "Trg_FEA_cus") return 3.5;
+    if (code == "Trg_EXT_ram") return 3.0;
+    if (code == "Trg_MOP_mmp") return 3.0;
+    if (code == "Trg_EXC_mca") return 2.5;
+    if (code == "Trg_FEA_tra") return 2.5;
+    if (code == "Trg_MOP_ptw") return 2.5;
+    if (code == "Trg_EXT_rst") return 2.5;
+    if (code == "Trg_FEA_fpu") return 2.0;
+    if (code == "Trg_PRV_ret") return 2.0;
+    if (code == "Trg_CFG_pag") return 2.0;
+    if (code == "Trg_MOP_atp") return 1.8;
+    if (code == "Trg_MOP_flc") return 1.8;
+    if (code == "Trg_EXT_bus") return 1.6;
+    if (code == "Trg_FEA_mon") return 1.5;
+    if (code == "Trg_EXC_ovf") return 1.5;
+    if (code == "Trg_MOP_spe") return 1.4;
+    if (code == "Trg_EXT_iom") return 1.4;
+    if (code == "Trg_MOP_fen") return 1.2;
+    if (code == "Trg_MOP_seg") return 1.2;
+    if (code == "Trg_MOP_nst") return 1.2;
+    if (code == "Trg_EXC_tmr") return 1.2;
+    if (code == "Trg_EXC_ill") return 1.0;
+    if (code == "Trg_EXT_usb") return 1.0;
+    if (code == "Trg_FEA_cid") return 1.0;
+    if (code == "Trg_MBR_pgb") return 1.2;
+    if (code == "Trg_MBR_cbr") return 1.0;
+    if (code == "Trg_MBR_mbr") return 0.6;
+
+    // Contexts.
+    if (code == "Ctx_PRV_vmg") return 10.0;
+    if (code == "Ctx_PRV_smm") return 4.0;
+    if (code == "Ctx_PRV_vmh") return 3.5;
+    if (code == "Ctx_PRV_boo") return 3.0;
+    if (code == "Ctx_PRV_rea") return 2.0;
+    if (code == "Ctx_FEA_sec") return 2.0;
+    if (code == "Ctx_FEA_sgc") return 1.0;
+    if (code == "Ctx_PHY_pkg") return 1.0;
+    if (code == "Ctx_PHY_tmp") return 0.8;
+    if (code == "Ctx_PHY_vol") return 0.7;
+
+    // Effects.
+    if (code == "Eff_CRP_reg") return 10.0;
+    if (code == "Eff_HNG_hng") return 9.0;
+    if (code == "Eff_HNG_unp") return 8.5;
+    if (code == "Eff_FLT_mca") return 5.0;
+    if (code == "Eff_HNG_crh") return 4.0;
+    if (code == "Eff_FLT_fsp") return 3.5;
+    if (code == "Eff_CRP_prf") return 3.5;
+    if (code == "Eff_FLT_fms") return 2.5;
+    if (code == "Eff_FLT_unc") return 2.0;
+    if (code == "Eff_FLT_fid") return 1.8;
+    if (code == "Eff_HNG_boo") return 1.5;
+    if (code == "Eff_EXT_pci") return 1.5;
+    if (code == "Eff_EXT_ram") return 1.2;
+    if (code == "Eff_EXT_pow") return 1.0;
+    if (code == "Eff_EXT_mmd") return 0.9;
+    if (code == "Eff_EXT_usb") return 0.7;
+
+    REMEMBERR_PANIC("baseWeight: unhandled category ", code);
+}
+
+} // namespace
+
+double
+categoryWeight(CategoryId id, Vendor vendor, int generation)
+{
+    const Taxonomy &taxonomy = Taxonomy::instance();
+    const AbstractCategory &cat = taxonomy.categoryById(id);
+    double weight = baseWeight(cat);
+    const std::string &code = cat.code;
+    const CategoryClass &cls = taxonomy.classById(cat.classId);
+
+    if (vendor == Vendor::Intel) {
+        // Figure 16: custom and tracing features clearly
+        // over-represented at Intel.
+        if (code == "Trg_FEA_cus")
+            weight *= 2.2;
+        if (code == "Trg_FEA_tra")
+            weight *= 2.5;
+        // Figure 15: Intel external stimuli lean to PCIe/USB/bus.
+        if (code == "Trg_EXT_usb")
+            weight *= 1.8;
+        if (code == "Trg_EXT_pci")
+            weight *= 1.3;
+
+        // Figure 13: no memory-boundary triggers in the two latest
+        // generations.
+        if (cls.axis == Axis::Trigger && cls.suffix == "MBR" &&
+            generation >= 11) {
+            weight = 0.0;
+        }
+        // Feature triggers grow with generation, except the two
+        // latest (documents still too young).
+        if (cls.axis == Axis::Trigger && cls.suffix == "FEA") {
+            if (generation <= 10)
+                weight *= 1.0 + 0.08 * generation;
+            else
+                weight *= 0.8;
+        }
+        // Privilege-transition triggers gain importance in the
+        // latest generation.
+        if (cls.axis == Axis::Trigger && cls.suffix == "PRV" &&
+            generation >= 12) {
+            weight *= 2.0;
+        }
+    } else {
+        // Figure 15: AMD external stimuli lean to DRAM/IOMMU/bus
+        // (HyperTransport).
+        if (code == "Trg_EXT_ram")
+            weight *= 1.8;
+        if (code == "Trg_EXT_iom")
+            weight *= 2.0;
+        if (code == "Trg_EXT_bus")
+            weight *= 1.8;
+        if (code == "Trg_EXT_usb")
+            weight *= 0.5;
+        // Figure 16: fewer custom/tracing feature triggers at AMD.
+        if (code == "Trg_FEA_cus")
+            weight *= 0.6;
+        if (code == "Trg_FEA_tra")
+            weight *= 0.35;
+        // AMD's IBS makes counter effects a bit more prominent.
+        if (code == "Eff_CRP_prf")
+            weight *= 1.3;
+    }
+    return weight;
+}
+
+double
+pairBoost(CategoryId a, CategoryId b)
+{
+    const Taxonomy &taxonomy = Taxonomy::instance();
+    const std::string &ca = taxonomy.categoryById(a).code;
+    const std::string &cb = taxonomy.categoryById(b).code;
+    auto pairIs = [&](const char *x, const char *y) {
+        return (ca == x && cb == y) || (ca == y && cb == x);
+    };
+    // Figure 12's salient intersections.
+    if (pairIs("Trg_FEA_dbg", "Trg_PRV_vmt"))
+        return 8.0;
+    if (pairIs("Trg_EXT_ram", "Trg_POW_pwc"))
+        return 5.0;
+    if (pairIs("Trg_EXT_pci", "Trg_POW_pwc"))
+        return 5.0;
+    if (pairIs("Trg_CFG_wrg", "Trg_POW_tht"))
+        return 3.0;
+    if (pairIs("Trg_CFG_wrg", "Trg_POW_pwc"))
+        return 2.5;
+    if (pairIs("Trg_CFG_vmc", "Trg_PRV_vmt"))
+        return 4.0;
+    if (pairIs("Trg_CFG_wrg", "Trg_FEA_cus"))
+        return 2.0;
+    if (pairIs("Trg_MOP_ptw", "Trg_MOP_nst"))
+        return 3.0;
+    if (pairIs("Trg_EXT_rst", "Trg_EXT_pci"))
+        return 2.5;
+    return 1.0;
+}
+
+std::vector<double>
+workaroundWeights(Vendor vendor)
+{
+    // Order follows the WorkaroundClass enum:
+    //   None, Bios, Software, Peripherals, Absent, DocumentationFix.
+    if (vendor == Vendor::Intel) {
+        // None pinned at 35.9% of unique errata.
+        return {35.9, 24.0, 20.0, 4.6, 15.0, 0.5};
+    }
+    // AMD: None pinned at 28.9%.
+    return {28.9, 31.0, 26.0, 3.6, 10.0, 0.5};
+}
+
+double
+fixProbability(Vendor vendor, int generation)
+{
+    // Figure 7: the vast majority of bugs are never fixed; Intel
+    // shows a weak increasing trend in the latest generations.
+    if (vendor == Vendor::Intel)
+        return generation >= 10 ? 0.18 : 0.07;
+    return 0.06;
+}
+
+const DefectCounts &
+defectCounts()
+{
+    static const DefectCounts counts;
+    return counts;
+}
+
+} // namespace rememberr

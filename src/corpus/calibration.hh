@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Calibration constants: every population statistic the paper reports.
+ *
+ * The synthetic corpus is not free-running: document inventory
+ * (Table III), unique/duplicate bug counts (Section IV-A), the
+ * heredity structure (Figures 3-5), label distributions
+ * (Figures 6-19) and the "errata in errata" defect counts are all
+ * pinned here so the reproduced figures match the published ones in
+ * shape and, where the paper states them, in absolute numbers.
+ */
+
+#ifndef REMEMBERR_CORPUS_CALIBRATION_HH
+#define REMEMBERR_CORPUS_CALIBRATION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/types.hh"
+#include "taxonomy/taxonomy.hh"
+
+namespace rememberr {
+
+/** One examined document (a row of Table III) plus timeline model. */
+struct DocumentSpec
+{
+    Design design;
+    /** Mean days between successive document revisions. */
+    int revisionIntervalDays = 90;
+};
+
+/**
+ * The 28 inspected documents: 16 Intel (separate Desktop/Mobile up to
+ * generation 5) and 12 AMD, in Table III order. Intel documents
+ * occupy indices [0, 16), AMD documents [16, 28).
+ */
+const std::vector<DocumentSpec> &documentInventory();
+
+/** Index of the first AMD document in documentInventory(). */
+constexpr std::size_t firstAmdDocIndex = 16;
+
+/** Study cutoff date: no revision is dated after this. */
+Date studyCutoffDate();
+
+/**
+ * One group of unique bugs sharing the same heredity shape: bugCount
+ * bugs, each affecting one of the listed document-index sets
+ * (assigned round-robin for determinism).
+ */
+struct HeredityGroup
+{
+    Vendor vendor = Vendor::Intel;
+    int bugCount = 0;
+    std::vector<std::vector<int>> docSets;
+    /** Human-readable tag for diagnostics. */
+    std::string tag;
+};
+
+/**
+ * The heredity plan. Its totals are exact:
+ *   Intel: 743 unique bugs, 2,046 plan appearances — the 11
+ *   injected intra-document duplicate rows bring the collected
+ *   count to the paper's 2,057;
+ *   AMD:   385 unique bugs,   506 appearances;
+ * including the paper's named structures (104 bugs shared by all
+ * Intel generations 6-10, 6 bugs spanning generations 1-10, one bug
+ * spanning generations 2-12).
+ */
+const std::vector<HeredityGroup> &heredityPlan();
+
+/** Aggregate totals implied by the heredity plan. */
+struct CorpusTotals
+{
+    int intelUnique = 0;
+    int intelAppearances = 0;
+    int amdUnique = 0;
+    int amdAppearances = 0;
+};
+
+/** Compute totals from the plan (tests assert the paper's numbers). */
+CorpusTotals planTotals();
+
+/** Label-distribution knobs. */
+struct LabelModel
+{
+    /** Fraction of errata with no clear trigger (14.4%). */
+    double noTriggerFraction = 0.144;
+    /** P(k triggers | at least one), k = 1..4: 49% require >= 2. */
+    std::vector<double> triggerCountWeights{0.51, 0.40, 0.075, 0.015};
+    /** Fraction of errata specifying at least one context. */
+    double contextFraction = 0.45;
+    /** P(k contexts | at least one), k = 1..2. */
+    std::vector<double> contextCountWeights{0.85, 0.15};
+    /** P(k effects), k = 1..3. */
+    std::vector<double> effectCountWeights{0.55, 0.35, 0.10};
+    /** Fraction mentioning a "complex set of conditions". */
+    double complexConditionsIntel = 0.087;
+    double complexConditionsAmd = 0.208;
+    /** Absolute unique-errata counts flagged simulation-only. */
+    int simulationOnlyIntel = 1;
+    int simulationOnlyAmd = 5;
+};
+
+const LabelModel &labelModel();
+
+/**
+ * Marginal sampling weight of a trigger/context/effect category for a
+ * bug whose earliest affected design is the given one. Encodes the
+ * frequency ranking of Figures 10/17/18, the vendor differences of
+ * Figures 14-16 and the per-generation evolution of Figure 13
+ * (no Trg_MBR in the two latest Intel generations, growing Trg_FEA,
+ * Trg_PRV gaining in the last generation).
+ */
+double categoryWeight(CategoryId id, Vendor vendor, int generation);
+
+/**
+ * Multiplicative boost applied to category b's weight when category a
+ * is already among the bug's triggers; encodes the salient pairwise
+ * correlations of Figure 12 (debug+VM transitions, DDR/PCIe+power
+ * state changes, MSR configuration+throttling).
+ */
+double pairBoost(CategoryId a, CategoryId b);
+
+/** Workaround-category weights per vendor (Figure 6); the None
+ * fractions (Intel 35.9%, AMD 28.9%) are pinned. */
+std::vector<double> workaroundWeights(Vendor vendor);
+
+/** Probability that a bug is fixed/planned (Figure 7): rare, with a
+ * weak increasing trend for the latest Intel generations. */
+double fixProbability(Vendor vendor, int generation);
+
+/** The "errata in errata" injection counts (Section IV-A). */
+struct DefectCounts
+{
+    int duplicateAddedErrata = 8;   ///< across 3 documents
+    int duplicateAddedDocs = 3;
+    int missingFromNotesErrata = 12; ///< across 2 documents
+    int missingFromNotesDocs = 2;
+    int reusedNameErrata = 1;        ///< the AAJ143 case
+    int missingOrDupFieldErrata = 7; ///< across 4 documents
+    int missingOrDupFieldDocs = 4;
+    int wrongMsrErrata = 3;          ///< across 3 documents
+    int wrongMsrDocs = 3;
+    int intraDocDuplicatePairs = 11; ///< across 6 documents
+    int intraDocDuplicateDocs = 6;
+};
+
+const DefectCounts &defectCounts();
+
+} // namespace rememberr
+
+#endif // REMEMBERR_CORPUS_CALIBRATION_HH

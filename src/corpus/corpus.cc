@@ -1,0 +1,61 @@
+#include "corpus.hh"
+
+#include "util/logging.hh"
+
+namespace rememberr {
+
+std::string_view
+defectKindName(DefectKind kind)
+{
+    switch (kind) {
+      case DefectKind::DuplicateRevisionClaim:
+        return "DuplicateRevisionClaim";
+      case DefectKind::MissingFromNotes:
+        return "MissingFromNotes";
+      case DefectKind::ReusedName:
+        return "ReusedName";
+      case DefectKind::MissingField:
+        return "MissingField";
+      case DefectKind::DuplicateField:
+        return "DuplicateField";
+      case DefectKind::WrongMsrNumber:
+        return "WrongMsrNumber";
+      case DefectKind::IntraDocDuplicate:
+        return "IntraDocDuplicate";
+    }
+    REMEMBERR_PANIC("defectKindName: bad kind");
+}
+
+std::uint32_t
+Corpus::bugOfRow(int doc_index, int position) const
+{
+    auto it = rowToBug.find({doc_index, position});
+    if (it == rowToBug.end())
+        REMEMBERR_PANIC("bugOfRow: unknown row ", doc_index, ":",
+                        position);
+    return it->second;
+}
+
+std::size_t
+Corpus::totalRows(Vendor vendor) const
+{
+    std::size_t rows = 0;
+    for (const ErrataDocument &doc : documents) {
+        if (doc.design.vendor == vendor)
+            rows += doc.errata.size();
+    }
+    return rows;
+}
+
+std::size_t
+Corpus::uniqueBugs(Vendor vendor) const
+{
+    std::size_t count = 0;
+    for (const BugSpec &bug : bugs) {
+        if (bug.vendor == vendor)
+            ++count;
+    }
+    return count;
+}
+
+} // namespace rememberr

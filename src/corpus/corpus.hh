@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The generated corpus: documents plus ground truth.
+ *
+ * The ground truth (bug identities, category labels, injected
+ * defects) is what the paper's authors reconstructed by hand from the
+ * vendor PDFs; here it is available directly so the pipeline stages
+ * (dedup, classification, lint) can be evaluated against it.
+ */
+
+#ifndef REMEMBERR_CORPUS_CORPUS_HH
+#define REMEMBERR_CORPUS_CORPUS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "model/erratum.hh"
+#include "model/types.hh"
+#include "taxonomy/taxonomy.hh"
+#include "util/date.hh"
+
+namespace rememberr {
+
+/** Ground-truth description of one unique bug. */
+struct BugSpec
+{
+    /** Unique bug identity; duplicates share it. */
+    std::uint32_t bugKey = 0;
+    Vendor vendor = Vendor::Intel;
+    /** Affected document indices (into documentInventory()). */
+    std::vector<int> docIndices;
+    /** Conjunctive triggers; empty = "no clear trigger" (14.4%). */
+    CategorySet triggers;
+    /** Disjunctive contexts; may be empty. */
+    CategorySet contexts;
+    /** Disjunctive observable effects; at least one. */
+    CategorySet effects;
+    bool complexConditions = false;
+    bool simulationOnly = false;
+    WorkaroundClass workaroundClass = WorkaroundClass::None;
+    FixStatus fixStatus = FixStatus::NoFix;
+    std::vector<MsrRef> msrs;
+    std::string title;
+    std::string description;
+    std::string implications;
+    std::string workaroundText;
+    /** First report date anywhere. */
+    Date discoveryDate;
+    /** Report date per affected document index. */
+    std::map<int, Date> reportDates;
+    /** Heredity-plan group tag (diagnostics). */
+    std::string groupTag;
+    /** True when the discovery happened on the newest affected
+     * design first (backward-latent seed). */
+    bool discoveredOnNewest = false;
+};
+
+/** Kinds of injected document defects ("errata in errata"). */
+enum class DefectKind : std::uint8_t
+{
+    DuplicateRevisionClaim, ///< two revisions claim the same erratum
+    MissingFromNotes,       ///< erratum absent from revision notes
+    ReusedName,             ///< one name refers to two errata
+    MissingField,           ///< a mandatory field is empty
+    DuplicateField,         ///< a field duplicates another verbatim
+    WrongMsrNumber,         ///< MSR number contradicts its name
+    IntraDocDuplicate,      ///< same erratum twice in one document
+};
+
+std::string_view defectKindName(DefectKind kind);
+
+/** Ledger entry for one injected defect. */
+struct DefectRecord
+{
+    DefectKind kind = DefectKind::MissingFromNotes;
+    int docIndex = 0;
+    /** Local ids involved (one or two, depending on the kind). */
+    std::vector<std::string> localIds;
+};
+
+/** The complete generated corpus. */
+struct Corpus
+{
+    /** Documents, aligned with documentInventory() indices. */
+    std::vector<ErrataDocument> documents;
+    /** Ground-truth unique bugs, indexed by bugKey. */
+    std::vector<BugSpec> bugs;
+    /**
+     * Ground truth: (document index, row position) -> bug index.
+     * Positions key the map because local ids are not unique under
+     * the ReusedName defect.
+     */
+    std::map<std::pair<int, int>, std::uint32_t> rowToBug;
+
+    /** Bug index of one row; panics on unknown rows. */
+    std::uint32_t bugOfRow(int doc_index, int position) const;
+    /** Injected defects, for evaluating the linter. */
+    std::vector<DefectRecord> defects;
+
+    /** Total collected rows (duplicates counted individually). */
+    std::size_t totalRows(Vendor vendor) const;
+    /** Number of unique bugs of a vendor. */
+    std::size_t uniqueBugs(Vendor vendor) const;
+};
+
+} // namespace rememberr
+
+#endif // REMEMBERR_CORPUS_CORPUS_HH

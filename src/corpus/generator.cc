@@ -1,0 +1,867 @@
+#include "generator.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "calibration.hh"
+#include "phrasebank.hh"
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace rememberr {
+
+namespace {
+
+/** Intel document-local erratum id prefixes, one per Intel doc. */
+const char *const intelPrefixes[16] = {
+    "AAJ", "AAT", "BJ",  "BK",  "BV",  "BW",  "HSD", "HSM",
+    "BDD", "BDM", "SKL", "KBL", "CFL", "CML", "TGL", "ADL",
+};
+
+/** Exponential deviate with the given mean. */
+double
+nextExponential(Rng &rng, double mean)
+{
+    double u;
+    do {
+        u = rng.nextDouble();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+}
+
+/** Sample k distinct categories from an axis using the calibrated
+ * marginal weights, applying pair boosts to already-picked ones. */
+CategorySet
+sampleCategories(Rng &rng, Axis axis, Vendor vendor, int generation,
+                 std::size_t k, bool apply_boost)
+{
+    const Taxonomy &taxonomy = Taxonomy::instance();
+    std::vector<CategoryId> ids = taxonomy.categoriesOfAxis(axis);
+    CategorySet picked;
+    for (std::size_t round = 0; round < k; ++round) {
+        std::vector<double> weights(ids.size(), 0.0);
+        double total = 0.0;
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+            if (picked.contains(ids[i]))
+                continue;
+            double w = categoryWeight(ids[i], vendor, generation);
+            if (apply_boost) {
+                for (CategoryId prev : picked.toVector())
+                    w *= pairBoost(prev, ids[i]);
+            }
+            weights[i] = w;
+            total += w;
+        }
+        if (total <= 0.0)
+            break;
+        picked.insert(ids[rng.nextWeighted(weights)]);
+    }
+    return picked;
+}
+
+std::string
+hexMsrNumber(std::uint32_t number)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "0x%X", number);
+    return buf;
+}
+
+/** Produce a near-identical phrasing variant of a title. */
+std::string
+variantTitle(const std::string &title)
+{
+    if (title.find("May ") != std::string::npos)
+        return strings::replaceAll(title, "May ", "Might ");
+    return title + " in Specific Cases";
+}
+
+} // namespace
+
+std::uint32_t
+canonicalMsrNumber(const std::string &name)
+{
+    // FNV-1a over the name, folded into a plausible MSR range.
+    std::uint32_t hash = 2166136261u;
+    for (char c : name) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 16777619u;
+    }
+    return 0x400u + (hash & 0xFFFu);
+}
+
+CorpusGenerator::CorpusGenerator(GeneratorOptions options)
+    : options_(options), rng_(options.seed)
+{
+}
+
+Corpus
+CorpusGenerator::generate()
+{
+    Corpus corpus;
+    buildBugSkeletons(corpus);
+    assignLabels(corpus);
+    assignText(corpus);
+    assignDates(corpus);
+    assembleDocuments(corpus);
+    injectDefects(corpus);
+    return corpus;
+}
+
+void
+CorpusGenerator::buildBugSkeletons(Corpus &corpus)
+{
+    const auto &inventory = documentInventory();
+    for (const HeredityGroup &group : heredityPlan()) {
+        for (int i = 0; i < group.bugCount; ++i) {
+            BugSpec bug;
+            bug.bugKey = static_cast<std::uint32_t>(corpus.bugs.size());
+            bug.vendor = group.vendor;
+            bug.groupTag = group.tag;
+            bug.docIndices =
+                group.docSets[static_cast<std::size_t>(i) %
+                              group.docSets.size()];
+            // Order affected documents chronologically.
+            std::sort(bug.docIndices.begin(), bug.docIndices.end(),
+                      [&](int a, int b) {
+                          const Date da = inventory[a]
+                                              .design.releaseDate;
+                          const Date db = inventory[b]
+                                              .design.releaseDate;
+                          if (da != db)
+                              return da < db;
+                          return a < b;
+                      });
+            corpus.bugs.push_back(std::move(bug));
+        }
+    }
+}
+
+void
+CorpusGenerator::assignLabels(Corpus &corpus)
+{
+    const auto &inventory = documentInventory();
+    const LabelModel &model = labelModel();
+    int simulationOnlyLeftIntel = model.simulationOnlyIntel;
+    int simulationOnlyLeftAmd = model.simulationOnlyAmd;
+
+    for (BugSpec &bug : corpus.bugs) {
+        const Vendor vendor = bug.vendor;
+        // Trigger sampling uses the *latest* affected generation:
+        // Figure 13 counts a document's errata including inherited
+        // ones, so a bug reaching the latest generations must obey
+        // their constraints (e.g. no Trg_MBR in Core 11/12).
+        int generation = 0;
+        for (int doc : bug.docIndices) {
+            generation = std::max(generation,
+                                  inventory[doc].design.generation);
+        }
+        Rng rng = rng_.fork();
+
+        // Triggers: conjunctive; 14.4% have no clear trigger.
+        if (!rng.nextBool(model.noTriggerFraction)) {
+            std::size_t count =
+                1 + rng.nextWeighted(model.triggerCountWeights);
+            bug.triggers = sampleCategories(rng, Axis::Trigger, vendor,
+                                            generation, count, true);
+        }
+
+        // Contexts: disjunctive, often absent.
+        if (rng.nextBool(model.contextFraction)) {
+            std::size_t count =
+                1 + rng.nextWeighted(model.contextCountWeights);
+            bug.contexts = sampleCategories(rng, Axis::Context, vendor,
+                                            generation, count, false);
+        }
+
+        // Effects: disjunctive, at least one.
+        {
+            std::size_t count =
+                1 + rng.nextWeighted(model.effectCountWeights);
+            bug.effects = sampleCategories(rng, Axis::Effect, vendor,
+                                           generation, count, false);
+        }
+
+        double complexFraction = vendor == Vendor::Intel
+                                     ? model.complexConditionsIntel
+                                     : model.complexConditionsAmd;
+        bug.complexConditions = rng.nextBool(complexFraction);
+
+        int &simLeft = vendor == Vendor::Intel ? simulationOnlyLeftIntel
+                                               : simulationOnlyLeftAmd;
+        if (simLeft > 0 && bug.bugKey % 37 == 5) {
+            bug.simulationOnly = true;
+            --simLeft;
+        }
+
+        bug.workaroundClass = static_cast<WorkaroundClass>(
+            rng.nextWeighted(workaroundWeights(vendor)));
+
+        if (rng.nextBool(fixProbability(vendor, generation))) {
+            bug.fixStatus = rng.nextBool(0.8) ? FixStatus::Fixed
+                                              : FixStatus::Planned;
+        }
+
+        // MSR references witnessing effects (Figure 19).
+        const Taxonomy &taxonomy = Taxonomy::instance();
+        const PhraseBank &bank = PhraseBank::instance();
+        auto has = [&](const char *code) {
+            auto id = taxonomy.parseCategory(code);
+            return id && bug.effects.contains(*id);
+        };
+        auto hasTrigger = [&](const char *code) {
+            auto id = taxonomy.parseCategory(code);
+            return id && bug.triggers.contains(*id);
+        };
+        auto attach = [&](const std::vector<std::string> &pool) {
+            const std::string &name =
+                pool[rng.nextBelow(pool.size())];
+            for (const MsrRef &existing : bug.msrs) {
+                if (existing.name == name)
+                    return;
+            }
+            bug.msrs.push_back(
+                MsrRef{name, canonicalMsrNumber(name)});
+        };
+        // Attach probabilities are tuned so MCx_STATUS witnesses
+        // 7.1%-8.5% of unique errata (Observation O13), ahead of
+        // IBS registers and performance counters (Figure 19).
+        if ((has("Eff_FLT_mca") || has("Eff_FLT_unc")) &&
+            rng.nextBool(vendor == Vendor::Amd ? 0.62 : 0.5)) {
+            attach(bank.machineCheckMsrs());
+        }
+        if (has("Eff_CRP_prf") && rng.nextBool(0.7)) {
+            if (vendor == Vendor::Amd && rng.nextBool(0.55))
+                attach(bank.ibsMsrs());
+            else
+                attach(bank.performanceMsrs());
+        }
+        if (has("Eff_CRP_reg")) {
+            if (rng.nextBool(0.12))
+                attach(bank.machineCheckMsrs());
+            else if (vendor == Vendor::Amd && rng.nextBool(0.25))
+                attach(bank.ibsMsrs());
+            else if (rng.nextBool(0.75))
+                attach(bank.configMsrs());
+        }
+        if (hasTrigger("Trg_CFG_wrg") && rng.nextBool(0.5))
+            attach(bank.configMsrs());
+    }
+}
+
+void
+CorpusGenerator::assignText(Corpus &corpus)
+{
+    const PhraseBank &bank = PhraseBank::instance();
+    const Taxonomy &taxonomy = Taxonomy::instance();
+    std::set<std::string> usedTitles;
+
+    for (BugSpec &bug : corpus.bugs) {
+        Rng rng = rng_.fork();
+
+        // Pick one concrete phrase per category.
+        std::vector<const ConcretePhrase *> triggerPhrases;
+        std::vector<const ConcretePhrase *> contextPhrases;
+        std::vector<const ConcretePhrase *> effectPhrases;
+        auto pickPhrases = [&](const CategorySet &set,
+                               std::vector<const ConcretePhrase *>
+                                   &out) {
+            for (CategoryId id : set.toVector()) {
+                const auto &pool = bank.phrasesFor(id);
+                out.push_back(&pool[rng.nextBelow(pool.size())]);
+            }
+        };
+        pickPhrases(bug.triggers, triggerPhrases);
+        pickPhrases(bug.contexts, contextPhrases);
+        pickPhrases(bug.effects, effectPhrases);
+
+        // ---- Title ---------------------------------------------
+        const auto &nouns = bank.subjectNouns();
+        const auto &clauses = bank.defectClauses();
+        std::string title;
+        std::string subjectNoun;
+        for (int attempt = 0; attempt < 64; ++attempt) {
+            std::string candidate;
+            const std::string &noun =
+                nouns[rng.nextBelow(nouns.size())];
+            if (!triggerPhrases.empty() && rng.nextBool(0.6)) {
+                candidate = noun;
+                candidate += ' ';
+                candidate += clauses[rng.nextBelow(clauses.size())];
+                candidate += " When ";
+                candidate += triggerPhrases.front()->titleFragment;
+                candidate += " Occurs";
+            } else {
+                candidate = noun;
+                candidate += ' ';
+                candidate += clauses[rng.nextBelow(clauses.size())];
+                if (!effectPhrases.empty() && rng.nextBool(0.5)) {
+                    candidate += " Leading to ";
+                    candidate += effectPhrases.front()->titleFragment;
+                }
+            }
+            if (usedTitles.insert(strings::canonicalize(candidate))
+                    .second) {
+                title = candidate;
+                subjectNoun = noun;
+                break;
+            }
+        }
+        if (title.empty())
+            REMEMBERR_PANIC("assignText: could not find unique title "
+                            "for bug ", bug.bugKey);
+        bug.title = title;
+
+        // ---- Description ---------------------------------------
+        std::string desc;
+        if (bug.complexConditions) {
+            desc += "Under a highly specific and detailed set of "
+                    "internal timing conditions, ";
+        }
+        if (!triggerPhrases.empty()) {
+            desc += bug.complexConditions ? "if " : "If ";
+            for (std::size_t i = 0; i < triggerPhrases.size(); ++i) {
+                if (i > 0) {
+                    desc += i + 1 == triggerPhrases.size()
+                                ? " and at the same time "
+                                : ", ";
+                }
+                desc += triggerPhrases[i]->text;
+            }
+        } else {
+            desc += bug.complexConditions ? "during "
+                                          : "During ";
+            desc += "normal load and store operations under an "
+                    "intense workload";
+        }
+        if (!contextPhrases.empty()) {
+            desc += ' ';
+            desc += contextPhrases.front()->text;
+            for (std::size_t i = 1; i < contextPhrases.size(); ++i) {
+                desc += ", or ";
+                desc += contextPhrases[i]->text;
+            }
+        }
+        desc += ", then ";
+        for (std::size_t i = 0; i < effectPhrases.size(); ++i) {
+            if (i > 0)
+                desc += ", or ";
+            desc += effectPhrases[i]->text;
+        }
+        desc += '.';
+        for (const MsrRef &msr : bug.msrs) {
+            desc += " In this case, the ";
+            desc += msr.name;
+            desc += " register (MSR ";
+            desc += hexMsrNumber(msr.number);
+            desc += ") may contain an unexpected value.";
+        }
+        // Naming the affected unit keeps descriptions of distinct
+        // bugs textually distinct, as real erratum prose is.
+        desc += " The failure originates in the ";
+        desc += strings::toLower(subjectNoun);
+        desc += " logic.";
+        if (bug.simulationOnly) {
+            desc += " This erratum has only been observed in "
+                    "simulation environments.";
+        }
+        bug.description = desc;
+
+        // ---- Implications ---------------------------------------
+        std::string impl = "Software relying on the affected "
+                           "functionality may not operate properly";
+        if (!effectPhrases.empty()) {
+            impl += "; ";
+            impl += effectPhrases.front()->text;
+        }
+        impl += '.';
+        if (rng.nextBool(0.4)) {
+            impl += ' ';
+            impl += vendorName(bug.vendor);
+            impl += " has not observed this erratum in any "
+                    "commercially available software.";
+        }
+        bug.implications = impl;
+
+        // ---- Workaround -----------------------------------------
+        switch (bug.workaroundClass) {
+          case WorkaroundClass::None:
+            bug.workaroundText = "None identified.";
+            break;
+          case WorkaroundClass::Bios:
+            bug.workaroundText =
+                "A BIOS code change has been identified and may be "
+                "implemented as a workaround for this erratum.";
+            break;
+          case WorkaroundClass::Software:
+            bug.workaroundText =
+                "System software may contain the workaround for "
+                "this erratum.";
+            break;
+          case WorkaroundClass::Peripherals:
+            bug.workaroundText =
+                "Peripheral devices should avoid the described "
+                "transaction sequence as a workaround.";
+            break;
+          case WorkaroundClass::Absent:
+            bug.workaroundText =
+                "Contact your vendor representative for information "
+                "on a BIOS update that addresses this erratum.";
+            break;
+          case WorkaroundClass::DocumentationFix:
+            bug.workaroundText =
+                "The documentation will be updated to describe the "
+                "intended behavior.";
+            break;
+        }
+        (void)taxonomy;
+    }
+
+    // The paper's errata-1327/1329 case: two AMD errata in the same
+    // family document that are indistinguishable except for their
+    // suggested workaround and may originate from distinct root
+    // causes. Clone one AMD bug's prose and labels onto another bug
+    // of the same document with a different workaround class.
+    BugSpec *first = nullptr;
+    for (BugSpec &bug : corpus.bugs) {
+        if (bug.vendor != Vendor::Amd || bug.docIndices.size() != 1)
+            continue;
+        if (!first) {
+            first = &bug;
+            continue;
+        }
+        if (bug.docIndices == first->docIndices &&
+            bug.workaroundClass != first->workaroundClass) {
+            bug.title = first->title;
+            bug.description = first->description;
+            bug.implications = first->implications;
+            bug.triggers = first->triggers;
+            bug.contexts = first->contexts;
+            bug.effects = first->effects;
+            bug.msrs = first->msrs;
+            bug.complexConditions = first->complexConditions;
+            bug.simulationOnly = first->simulationOnly;
+            break;
+        }
+    }
+}
+
+void
+CorpusGenerator::assignDates(Corpus &corpus)
+{
+    const auto &inventory = documentInventory();
+    const Date cutoff = studyCutoffDate();
+
+    for (BugSpec &bug : corpus.bugs) {
+        Rng rng = rng_.fork();
+        const int earliestDoc = bug.docIndices.front();
+        const int latestDoc = bug.docIndices.back();
+        const Date earliestRelease =
+            inventory[earliestDoc].design.releaseDate;
+        const Date latestRelease =
+            inventory[latestDoc].design.releaseDate;
+
+        // Tentative forward discovery on the earliest design.
+        double offset =
+            rng.nextBool(options_.presentAtReleaseProbability)
+                ? 0.0
+                : nextExponential(rng_, options_.discoveryMeanDays);
+        Date tentative = earliestRelease.addDays(
+            static_cast<std::int64_t>(offset));
+        if (tentative > cutoff.addDays(-30))
+            tentative = cutoff.addDays(-30);
+
+        bool backward = false;
+        if (bug.docIndices.size() > 1) {
+            double p = options_.backwardLatentProbability;
+            int year = latestRelease.year();
+            if (year >= 2014 && year <= 2016)
+                p += options_.backwardLatentBoost2015;
+            backward = rng.nextBool(p);
+        }
+
+        bug.discoveredOnNewest = backward;
+        if (!backward) {
+            bug.discoveryDate = tentative;
+            bug.reportDates[earliestDoc] = tentative;
+            for (std::size_t i = 1; i < bug.docIndices.size(); ++i) {
+                int doc = bug.docIndices[i];
+                Date release = inventory[doc].design.releaseDate;
+                Date propagated = bug.discoveryDate.addDays(
+                    static_cast<std::int64_t>(nextExponential(
+                        rng, options_.propagationMeanDays)));
+                Date report = std::max(release, propagated);
+                if (report > cutoff)
+                    report = cutoff;
+                bug.reportDates[doc] = report;
+            }
+        } else {
+            // Backward-latent: first reported on the newest design,
+            // then confirmed on the older ones.
+            double newOffset = nextExponential(
+                rng, options_.discoveryMeanDays / 2.0);
+            Date discovery = latestRelease.addDays(
+                static_cast<std::int64_t>(newOffset));
+            if (discovery > cutoff.addDays(-30))
+                discovery = cutoff.addDays(-30);
+            bug.discoveryDate = discovery;
+            bug.reportDates[latestDoc] = discovery;
+            for (std::size_t i = 0; i + 1 < bug.docIndices.size();
+                 ++i) {
+                int doc = bug.docIndices[i];
+                Date propagated = discovery.addDays(
+                    static_cast<std::int64_t>(nextExponential(
+                        rng, options_.propagationMeanDays)));
+                Date report = std::min(propagated, cutoff);
+                bug.reportDates[doc] = report;
+            }
+        }
+    }
+}
+
+void
+CorpusGenerator::assembleDocuments(Corpus &corpus)
+{
+    const auto &inventory = documentInventory();
+    const Date cutoff = studyCutoffDate();
+    corpus.documents.resize(inventory.size());
+
+    // AMD errata share a numeric identifier across families; assign
+    // one number per unique AMD bug in discovery order.
+    std::vector<std::uint32_t> amdBugs;
+    for (const BugSpec &bug : corpus.bugs) {
+        if (bug.vendor == Vendor::Amd)
+            amdBugs.push_back(bug.bugKey);
+    }
+    std::sort(amdBugs.begin(), amdBugs.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                  const Date da = corpus.bugs[a].discoveryDate;
+                  const Date db = corpus.bugs[b].discoveryDate;
+                  if (da != db)
+                      return da < db;
+                  return a < b;
+              });
+    std::map<std::uint32_t, int> amdNumbers;
+    int nextAmdNumber = 600;
+    for (std::uint32_t key : amdBugs)
+        amdNumbers[key] = nextAmdNumber++;
+
+    // Pre-select the Intel duplicate pairs whose titles get a minor
+    // phrasing variation (the 29 manually-confirmed pairs).
+    std::set<std::uint32_t> titleVariantBugs;
+    for (const BugSpec &bug : corpus.bugs) {
+        if (static_cast<int>(titleVariantBugs.size()) >=
+            options_.titleVariantPairs) {
+            break;
+        }
+        if (bug.vendor == Vendor::Intel &&
+            bug.docIndices.size() == 2 && bug.bugKey % 5 == 3) {
+            titleVariantBugs.insert(bug.bugKey);
+        }
+    }
+
+    for (std::size_t docIdx = 0; docIdx < inventory.size(); ++docIdx) {
+        const DocumentSpec &spec = inventory[docIdx];
+        ErrataDocument &doc = corpus.documents[docIdx];
+        doc.design = spec.design;
+
+        // Revision schedule: release date, then jittered intervals.
+        Rng rng = rng_.fork();
+        Date when = spec.design.releaseDate;
+        int number = 1;
+        while (when <= cutoff) {
+            Revision revision;
+            revision.number = number++;
+            revision.date = when;
+            revision.note = number == 2
+                                ? "Initial release."
+                                : "Added and updated errata.";
+            doc.revisions.push_back(revision);
+            double jitter = 0.6 + 0.8 * rng.nextDouble();
+            when = when.addDays(static_cast<std::int64_t>(
+                spec.revisionIntervalDays * jitter));
+        }
+
+        // Rows reported in this document, in disclosure order.
+        struct Row
+        {
+            std::uint32_t bugKey;
+            Date report;
+        };
+        std::vector<Row> rows;
+        for (const BugSpec &bug : corpus.bugs) {
+            auto it = bug.reportDates.find(static_cast<int>(docIdx));
+            if (it != bug.reportDates.end())
+                rows.push_back(Row{bug.bugKey, it->second});
+        }
+        std::sort(rows.begin(), rows.end(),
+                  [](const Row &a, const Row &b) {
+                      if (a.report != b.report)
+                          return a.report < b.report;
+                      return a.bugKey < b.bugKey;
+                  });
+
+        int sequence = 1;
+        for (const Row &row : rows) {
+            const BugSpec &bug = corpus.bugs[row.bugKey];
+            Erratum erratum;
+            if (spec.design.vendor == Vendor::Intel) {
+                char buf[16];
+                std::snprintf(buf, sizeof(buf), "%s%03d",
+                              intelPrefixes[docIdx], sequence);
+                erratum.localId = buf;
+            } else {
+                erratum.localId =
+                    std::to_string(amdNumbers.at(row.bugKey));
+            }
+            ++sequence;
+            erratum.title = bug.title;
+            if (titleVariantBugs.count(row.bugKey) &&
+                static_cast<int>(docIdx) == bug.docIndices.back()) {
+                erratum.title = variantTitle(bug.title);
+            }
+            erratum.description = bug.description;
+            erratum.implications = bug.implications;
+            erratum.workaroundText = bug.workaroundText;
+            erratum.workaroundClass = bug.workaroundClass;
+            erratum.status = bug.fixStatus;
+            erratum.msrs = bug.msrs;
+
+            // Assign to the first revision at or after the report.
+            int revNumber = doc.revisions.front().number;
+            for (const Revision &revision : doc.revisions) {
+                revNumber = revision.number;
+                if (revision.date >= row.report)
+                    break;
+            }
+            erratum.addedInRevision = revNumber;
+            doc.revisions[static_cast<std::size_t>(revNumber - 1)]
+                .addedIds.push_back(erratum.localId);
+
+            corpus.rowToBug[{static_cast<int>(docIdx),
+                             static_cast<int>(doc.errata.size())}] =
+                row.bugKey;
+            doc.errata.push_back(std::move(erratum));
+        }
+
+        // About 2% of entries are only listed in the summary with
+        // their details withheld (Section VII "Patchable errors") —
+        // typically bugs fixed by a re-spin. They continue the id
+        // sequence but never enter the database.
+        std::size_t hiddenCount = (doc.errata.size() + 49) / 50;
+        for (std::size_t h = 0; h < hiddenCount; ++h) {
+            if (spec.design.vendor == Vendor::Intel) {
+                char buf[16];
+                std::snprintf(buf, sizeof(buf), "%s%03d",
+                              intelPrefixes[docIdx], sequence);
+                ++sequence;
+                doc.hiddenErrata.emplace_back(buf);
+            } else {
+                doc.hiddenErrata.push_back(
+                    std::to_string(nextAmdNumber++));
+            }
+        }
+    }
+}
+
+void
+CorpusGenerator::injectDefects(Corpus &corpus)
+{
+    const DefectCounts &counts = defectCounts();
+
+    auto docAt = [&](int idx) -> ErrataDocument & {
+        return corpus.documents[static_cast<std::size_t>(idx)];
+    };
+
+    // --- Two revisions pretending to have added the same erratum:
+    //     8 errata across 3 documents.
+    {
+        const int docs[3] = {2, 4, 6};
+        const int perDoc[3] = {3, 3, 2};
+        int injected = 0;
+        for (int d = 0; d < 3 && injected < counts.duplicateAddedErrata;
+             ++d) {
+            ErrataDocument &doc = docAt(docs[d]);
+            for (int k = 0;
+                 k < perDoc[d] &&
+                 injected < counts.duplicateAddedErrata;
+                 ++k) {
+                std::size_t pos = 5 + static_cast<std::size_t>(k) * 9;
+                if (pos >= doc.errata.size())
+                    break;
+                Erratum &erratum = doc.errata[pos];
+                int rev = erratum.addedInRevision;
+                if (rev <= 0 ||
+                    rev >= static_cast<int>(doc.revisions.size())) {
+                    continue;
+                }
+                doc.revisions[static_cast<std::size_t>(rev)]
+                    .addedIds.push_back(erratum.localId);
+                corpus.defects.push_back(
+                    DefectRecord{DefectKind::DuplicateRevisionClaim,
+                                 docs[d],
+                                 {erratum.localId}});
+                ++injected;
+            }
+        }
+    }
+
+    // --- Errata never mentioned in the revision notes: 12 errata
+    //     across 2 documents.
+    {
+        const int docs[2] = {11, 12};
+        const int perDoc[2] = {6, 6};
+        for (int d = 0; d < 2; ++d) {
+            ErrataDocument &doc = docAt(docs[d]);
+            for (int k = 0; k < perDoc[d]; ++k) {
+                std::size_t pos = 4 + static_cast<std::size_t>(k) * 7;
+                if (pos + 1 >= doc.errata.size())
+                    break;
+                Erratum &erratum = doc.errata[pos];
+                for (Revision &revision : doc.revisions) {
+                    auto &ids = revision.addedIds;
+                    ids.erase(std::remove(ids.begin(), ids.end(),
+                                          erratum.localId),
+                              ids.end());
+                }
+                erratum.addedInRevision = 0;
+                corpus.defects.push_back(
+                    DefectRecord{DefectKind::MissingFromNotes,
+                                 docs[d],
+                                 {erratum.localId}});
+            }
+        }
+    }
+
+    // --- The same name refers to two different errata (the AAJ143
+    //     case): rename one erratum in the first Intel document to a
+    //     name already in use.
+    {
+        ErrataDocument &doc = docAt(0);
+        if (doc.errata.size() > 30) {
+            const std::string reused = "AAJ143";
+            std::size_t first = 12, second = 25;
+            // Update the revision notes for both renamed entries;
+            // the ground truth is keyed by position, so it is
+            // unaffected by the rename.
+            for (std::size_t pos : {first, second}) {
+                Erratum &erratum = doc.errata[pos];
+                std::string old = erratum.localId;
+                for (Revision &revision : doc.revisions) {
+                    for (std::string &id : revision.addedIds) {
+                        if (id == old)
+                            id = reused;
+                    }
+                }
+                erratum.localId = reused;
+            }
+            corpus.defects.push_back(DefectRecord{
+                DefectKind::ReusedName, 0, {reused, reused}});
+        }
+    }
+
+    // --- Missing or duplicate fields: 7 errata across 4 documents.
+    {
+        const int docs[4] = {1, 3, 5, 7};
+        const int perDoc[4] = {2, 2, 2, 1};
+        int made = 0;
+        for (int d = 0; d < 4; ++d) {
+            ErrataDocument &doc = docAt(docs[d]);
+            for (int k = 0; k < perDoc[d]; ++k) {
+                std::size_t pos = 8 + static_cast<std::size_t>(k) * 11;
+                if (pos >= doc.errata.size())
+                    break;
+                Erratum &erratum = doc.errata[pos];
+                if (made % 2 == 0) {
+                    erratum.implications.clear();
+                    corpus.defects.push_back(
+                        DefectRecord{DefectKind::MissingField,
+                                     docs[d],
+                                     {erratum.localId}});
+                } else {
+                    erratum.implications = erratum.description;
+                    corpus.defects.push_back(
+                        DefectRecord{DefectKind::DuplicateField,
+                                     docs[d],
+                                     {erratum.localId}});
+                }
+                ++made;
+            }
+        }
+    }
+
+    // --- Errors in MSR numbers: 3 errata across 3 documents.
+    {
+        const int docs[3] = {10, 13, 16};
+        int made = 0;
+        for (int d = 0; d < 3 && made < counts.wrongMsrErrata; ++d) {
+            ErrataDocument &doc = docAt(docs[d]);
+            for (Erratum &erratum : doc.errata) {
+                if (erratum.msrs.empty())
+                    continue;
+                std::uint32_t wrong = erratum.msrs[0].number + 2;
+                erratum.description = strings::replaceAll(
+                    erratum.description,
+                    hexMsrNumber(erratum.msrs[0].number),
+                    hexMsrNumber(wrong));
+                erratum.msrs[0].number = wrong;
+                corpus.defects.push_back(
+                    DefectRecord{DefectKind::WrongMsrNumber, docs[d],
+                                 {erratum.localId}});
+                ++made;
+                break;
+            }
+        }
+    }
+
+    // --- Errata repeated inside the same document: 11 pairs across
+    //     6 documents. These extra rows bring the Intel collected
+    //     total from 2,046 to the paper's 2,057.
+    {
+        const int docs[6] = {0, 2, 4, 6, 8, 10};
+        const int perDoc[6] = {2, 2, 2, 2, 2, 1};
+        for (int d = 0; d < 6; ++d) {
+            ErrataDocument &doc = docAt(docs[d]);
+            for (int k = 0; k < perDoc[d]; ++k) {
+                std::size_t pos = 20 + static_cast<std::size_t>(k) * 13;
+                if (pos >= doc.errata.size())
+                    break;
+                Erratum copy = doc.errata[pos];
+                std::string originalId = copy.localId;
+                // New id continuing the document's sequence (past
+                // the hidden-errata ids as well).
+                char buf[16];
+                std::snprintf(buf, sizeof(buf), "%s%03d",
+                              intelPrefixes[docs[d]],
+                              static_cast<int>(
+                                  doc.errata.size() +
+                                  doc.hiddenErrata.size()) + 1);
+                copy.localId = buf;
+                copy.addedInRevision =
+                    doc.revisions.back().number;
+                doc.revisions.back().addedIds.push_back(copy.localId);
+                corpus.rowToBug[{docs[d],
+                                 static_cast<int>(
+                                     doc.errata.size())}] =
+                    corpus.bugOfRow(docs[d],
+                                    static_cast<int>(pos));
+                corpus.defects.push_back(DefectRecord{
+                    DefectKind::IntraDocDuplicate, docs[d],
+                    {originalId, copy.localId}});
+                doc.errata.push_back(std::move(copy));
+            }
+        }
+    }
+}
+
+Corpus
+generateDefaultCorpus(std::uint64_t seed)
+{
+    GeneratorOptions options;
+    if (seed != 0)
+        options.seed = seed;
+    return CorpusGenerator(options).generate();
+}
+
+} // namespace rememberr

@@ -1,0 +1,599 @@
+#include "phrasebank.hh"
+
+#include "util/logging.hh"
+
+namespace rememberr {
+
+const PhraseBank &
+PhraseBank::instance()
+{
+    static const PhraseBank bank;
+    return bank;
+}
+
+const std::vector<ConcretePhrase> &
+PhraseBank::phrasesFor(CategoryId id) const
+{
+    if (id >= phrases_.size())
+        REMEMBERR_PANIC("PhraseBank: bad category id ", id);
+    return phrases_[id];
+}
+
+const std::vector<std::string> &
+PhraseBank::subjectNouns() const
+{
+    return subjectNouns_;
+}
+
+const std::vector<std::string> &
+PhraseBank::defectClauses() const
+{
+    return defectClauses_;
+}
+
+const std::vector<std::string> &
+PhraseBank::machineCheckMsrs() const
+{
+    return machineCheckMsrs_;
+}
+
+const std::vector<std::string> &
+PhraseBank::ibsMsrs() const
+{
+    return ibsMsrs_;
+}
+
+const std::vector<std::string> &
+PhraseBank::performanceMsrs() const
+{
+    return performanceMsrs_;
+}
+
+const std::vector<std::string> &
+PhraseBank::configMsrs() const
+{
+    return configMsrs_;
+}
+
+PhraseBank::PhraseBank()
+{
+    const Taxonomy &taxonomy = Taxonomy::instance();
+    phrases_.resize(taxonomy.categoryCount());
+
+    auto add = [&](const char *code, const char *text,
+                   const char *title, bool explicit_phrase = true) {
+        auto id = taxonomy.parseCategory(code);
+        if (!id)
+            REMEMBERR_PANIC("PhraseBank: unknown category ", code);
+        phrases_[*id].push_back(
+            ConcretePhrase{text, title, explicit_phrase});
+    };
+
+    // ---- Trigger phrases (Table IV) --------------------------------
+
+    add("Trg_MBR_cbr",
+        "a load operation crosses a cache line boundary",
+        "Cache Line Split Access");
+    add("Trg_MBR_cbr",
+        "a misaligned store spans two cache lines",
+        "Misaligned Store Across Cache Lines");
+    add("Trg_MBR_cbr",
+        "a locked access straddles a cache line boundary",
+        "Split Lock Operation", false);
+
+    add("Trg_MBR_pgb",
+        "a memory access crosses a page boundary",
+        "Page Boundary Crossing Access");
+    add("Trg_MBR_pgb",
+        "an instruction fetch wraps across a 4-KByte page boundary",
+        "Instruction Fetch at Page Boundary");
+    add("Trg_MBR_pgb",
+        "a data access ends on the last byte of a page",
+        "Access at Page End", false);
+
+    add("Trg_MBR_mbr",
+        "a memory reference targets the canonical address boundary",
+        "Canonical Address Boundary Access");
+    add("Trg_MBR_mbr",
+        "an access wraps around the memory map limit",
+        "Address Wrap at Memory Map Boundary");
+
+    add("Trg_MOP_mmp",
+        "software accesses a memory-mapped APIC register",
+        "Memory-Mapped APIC Access");
+    add("Trg_MOP_mmp",
+        "a write targets a memory-mapped I/O range",
+        "Memory-Mapped I/O Write");
+    add("Trg_MOP_mmp",
+        "a read from an uncacheable memory-mapped device region "
+        "is outstanding",
+        "Uncacheable Device Read", false);
+
+    add("Trg_MOP_atp",
+        "a locked read-modify-write operation executes",
+        "Locked Atomic Operation");
+    add("Trg_MOP_atp",
+        "a transactional memory region aborts",
+        "Transactional Abort");
+    add("Trg_MOP_atp",
+        "an atomic compare-and-exchange targets write-back memory",
+        "Atomic Compare-Exchange", false);
+
+    add("Trg_MOP_fen",
+        "a memory fence instruction retires",
+        "Memory Fence Retirement");
+    add("Trg_MOP_fen",
+        "a serializing instruction executes between the two accesses",
+        "Serializing Instruction Sequence");
+
+    add("Trg_MOP_seg",
+        "a segment register is loaded with a null selector",
+        "Null Segment Selector Load");
+    add("Trg_MOP_seg",
+        "code executes with a 16-bit segment mode",
+        "16-Bit Segment Operation", false);
+
+    add("Trg_MOP_ptw",
+        "the core performs a page table walk",
+        "Page Table Walk");
+    add("Trg_MOP_ptw",
+        "a page table walk sets the accessed bit",
+        "Accessed Bit Update During Walk");
+    add("Trg_MOP_ptw",
+        "a walk encounters a not-present page directory entry",
+        "Not-Present PDE During Walk", false);
+
+    add("Trg_MOP_nst",
+        "an address is translated through nested page tables",
+        "Nested Page Table Translation");
+    add("Trg_MOP_nst",
+        "a guest access requires a nested table walk",
+        "Nested Walk for Guest Access");
+
+    add("Trg_MOP_flc",
+        "a cache line is flushed with CLFLUSH",
+        "Cache Line Flush");
+    add("Trg_MOP_flc",
+        "a TLB invalidation executes on another logical processor",
+        "Remote TLB Invalidation");
+    add("Trg_MOP_flc",
+        "the entire cache hierarchy is flushed with WBINVD",
+        "Cache Writeback and Invalidate", false);
+
+    add("Trg_MOP_spe",
+        "a speculative load executes past a mispredicted branch",
+        "Speculative Load Execution");
+    add("Trg_MOP_spe",
+        "a speculatively executed memory operation is cancelled",
+        "Cancelled Speculative Access");
+
+    add("Trg_EXC_ovf",
+        "a performance counter overflows",
+        "Performance Counter Overflow");
+    add("Trg_EXC_ovf",
+        "the fixed-function counter wraps around",
+        "Fixed Counter Wraparound", false);
+
+    add("Trg_EXC_tmr",
+        "the APIC timer fires in one-shot mode",
+        "APIC Timer Expiration");
+    add("Trg_EXC_tmr",
+        "a timer event arrives during the window",
+        "Timer Event Arrival", false);
+
+    add("Trg_EXC_mca",
+        "a machine check exception is signalled",
+        "Machine Check Signalling");
+    add("Trg_EXC_mca",
+        "a corrected error triggers a machine check event",
+        "Corrected Machine Check Event");
+
+    add("Trg_EXC_ill",
+        "an illegal instruction raises an undefined opcode fault",
+        "Illegal Opcode Execution");
+    add("Trg_EXC_ill",
+        "an undefined opcode is fetched behind the faulting "
+        "instruction",
+        "Undefined Opcode Fetch", false);
+
+    add("Trg_PRV_ret",
+        "the processor resumes from System Management Mode via RSM",
+        "SMM Resume");
+    add("Trg_PRV_ret",
+        "a return to the operating system follows an SMI handler",
+        "Return From SMI Handler", false);
+
+    add("Trg_PRV_vmt",
+        "a VM exit transfers control to the hypervisor",
+        "VM Exit Transition");
+    add("Trg_PRV_vmt",
+        "a VM entry to the guest completes",
+        "VM Entry Transition");
+    add("Trg_PRV_vmt",
+        "a world switch between host and guest occurs",
+        "World Switch", false);
+
+    add("Trg_CFG_pag",
+        "software changes the paging mode by writing CR0 or CR4",
+        "Paging Mode Change");
+    add("Trg_CFG_pag",
+        "a global page mapping is modified",
+        "Global Page Remapping", false);
+
+    add("Trg_CFG_vmc",
+        "the virtual machine control structure is reconfigured",
+        "VMCS Field Reconfiguration");
+    add("Trg_CFG_vmc",
+        "the hypervisor modifies an intercept control while the "
+        "guest is running",
+        "Intercept Control Update", false);
+
+    add("Trg_CFG_wrg",
+        "software writes a model specific register with a reserved "
+        "encoding",
+        "Reserved MSR Encoding Write");
+    add("Trg_CFG_wrg",
+        "a configuration register is programmed to a non-default "
+        "value",
+        "Non-Default Configuration Register");
+    add("Trg_CFG_wrg",
+        "WRMSR updates the control register while the feature is "
+        "active",
+        "MSR Update While Active");
+
+    add("Trg_POW_pwc",
+        "the core resumes from the C6 power state",
+        "C6 Power State Exit");
+    add("Trg_POW_pwc",
+        "a package C-state transition is in progress",
+        "Package C-State Transition");
+    add("Trg_POW_pwc",
+        "the processor enters a deep sleep state",
+        "Deep Sleep Entry", false);
+
+    add("Trg_POW_tht",
+        "thermal throttling engages under sustained load",
+        "Thermal Throttling Engagement");
+    add("Trg_POW_tht",
+        "the supply voltage droops below the specified threshold",
+        "Voltage Droop Condition");
+    add("Trg_POW_tht",
+        "the power limit is exceeded and frequency is reduced",
+        "Power Limit Throttling", false);
+
+    add("Trg_EXT_rst",
+        "a warm reset is applied to the processor",
+        "Warm Reset Application");
+    add("Trg_EXT_rst",
+        "a cold reset occurs while the link is training",
+        "Cold Reset During Link Training");
+
+    add("Trg_EXT_pci",
+        "a PCIe device issues a posted write upstream",
+        "PCIe Posted Write");
+    add("Trg_EXT_pci",
+        "ongoing PCIe traffic saturates the link",
+        "Saturated PCIe Link");
+    add("Trg_EXT_pci",
+        "a PCIe hot-plug event is signalled",
+        "PCIe Hot-Plug Event", false);
+
+    add("Trg_EXT_usb",
+        "a USB controller schedules an isochronous transfer",
+        "USB Isochronous Transfer");
+    add("Trg_EXT_usb",
+        "USB traffic resumes from a suspended port",
+        "USB Port Resume", false);
+
+    add("Trg_EXT_ram",
+        "the DRAM is configured with a non-power-of-two rank count",
+        "Unusual DRAM Rank Configuration");
+    add("Trg_EXT_ram",
+        "DDR refresh commands coincide with the access burst",
+        "Refresh Collision With Burst");
+
+    add("Trg_EXT_iom",
+        "a device access is remapped through the IOMMU",
+        "IOMMU Remapped Access");
+    add("Trg_EXT_iom",
+        "an IOMMU translation fault is reported",
+        "IOMMU Translation Fault", false);
+
+    add("Trg_EXT_bus",
+        "a system bus transaction is retried on the coherent fabric",
+        "Coherent Fabric Retry");
+    add("Trg_EXT_bus",
+        "a HyperTransport probe races with the local access",
+        "HyperTransport Probe Race");
+
+    add("Trg_FEA_fpu",
+        "execution of the FSAVE, FNSAVE, FSTENV, or FNSTENV "
+        "instructions",
+        "x87 State Save Instruction");
+    add("Trg_FEA_fpu",
+        "a floating-point instruction incurs an unmasked exception",
+        "Unmasked Floating-Point Exception");
+    add("Trg_FEA_fpu",
+        "an x87 non-control instruction updates the FPU data pointer",
+        "FPU Data Pointer Update", false);
+
+    add("Trg_FEA_dbg",
+        "a hardware breakpoint matches on the instruction",
+        "Hardware Breakpoint Match");
+    add("Trg_FEA_dbg",
+        "single-step debugging is enabled via the trap flag",
+        "Single-Step Debug Operation");
+    add("Trg_FEA_dbg",
+        "a debug register is reprogrammed inside the handler",
+        "Debug Register Reprogramming", false);
+
+    add("Trg_FEA_cid",
+        "software queries the CPUID leaf for topology information",
+        "CPUID Topology Query");
+    add("Trg_FEA_cid",
+        "the CPUID instruction reports the extended feature flags",
+        "CPUID Feature Report", false);
+
+    add("Trg_FEA_mon",
+        "a MONITOR/MWAIT pair arms the address monitor",
+        "MONITOR/MWAIT Arming");
+    add("Trg_FEA_mon",
+        "MWAIT enters an implementation-specific optimized state",
+        "MWAIT Optimized State", false);
+
+    add("Trg_FEA_tra",
+        "processor trace packets are generated for the region",
+        "Processor Trace Generation");
+    add("Trg_FEA_tra",
+        "branch trace messages are enabled",
+        "Branch Trace Messaging", false);
+
+    add("Trg_FEA_cus",
+        "an SSE shuffle instruction executes with a memory operand",
+        "SSE Shuffle With Memory Operand");
+    add("Trg_FEA_cus",
+        "an MMX instruction follows the x87 state transition",
+        "MMX After x87 Transition");
+    add("Trg_FEA_cus",
+        "the custom accelerator feature processes a descriptor",
+        "Accelerator Descriptor Processing", false);
+
+    // ---- Context phrases (Table V) ---------------------------------
+
+    add("Ctx_PRV_boo",
+        "during BIOS initialization before memory training completes",
+        "Early BIOS Initialization");
+    add("Ctx_PRV_boo",
+        "while the platform is booting",
+        "Platform Boot", false);
+
+    add("Ctx_PRV_vmg",
+        "while operating as a virtual machine guest",
+        "Virtual Machine Guest Operation");
+    add("Ctx_PRV_vmg",
+        "when executed inside a virtualized environment",
+        "Virtualized Execution");
+
+    add("Ctx_PRV_rea",
+        "in real-address mode or virtual-8086 mode",
+        "Real-Address Mode Operation");
+    add("Ctx_PRV_rea",
+        "while the processor operates in real mode",
+        "Real Mode Operation");
+
+    add("Ctx_PRV_vmh",
+        "while operating as a hypervisor with virtualization "
+        "extensions enabled",
+        "Hypervisor Operation");
+    add("Ctx_PRV_vmh",
+        "when host software manages guest state",
+        "Host-Mode Management", false);
+
+    add("Ctx_PRV_smm",
+        "while the processor is in System Management Mode",
+        "System Management Mode");
+    add("Ctx_PRV_smm",
+        "inside the SMM handler",
+        "SMM Handler Execution", false);
+
+    add("Ctx_FEA_sec",
+        "with the memory encryption security feature enabled",
+        "Memory Encryption Enabled");
+    add("Ctx_FEA_sec",
+        "when a secure enclave is active",
+        "Active Secure Enclave");
+
+    add("Ctx_FEA_sgc",
+        "in a single-core configuration with other cores disabled",
+        "Single-Core Configuration");
+    add("Ctx_FEA_sgc",
+        "when only one core is enabled by fuse or BIOS",
+        "One Active Core", false);
+
+    add("Ctx_PHY_pkg",
+        "on packages with the specific land grid array",
+        "Package-Specific Condition");
+    add("Ctx_PHY_pkg",
+        "only for the embedded package variant",
+        "Embedded Package Variant", false);
+
+    add("Ctx_PHY_tmp",
+        "at operating temperatures near the specification limit",
+        "Near-Limit Temperature");
+    add("Ctx_PHY_tmp",
+        "under specific temperature conditions",
+        "Specific Temperature Conditions", false);
+
+    add("Ctx_PHY_vol",
+        "at the minimum specified operating voltage",
+        "Minimum Operating Voltage");
+    add("Ctx_PHY_vol",
+        "under specific voltage conditions",
+        "Specific Voltage Conditions", false);
+
+    // ---- Effect phrases (Table VI) ---------------------------------
+
+    add("Eff_HNG_unp",
+        "unpredictable system behavior may occur",
+        "Unpredictable Behavior");
+    add("Eff_HNG_unp",
+        "the processor may operate with incorrect data",
+        "Incorrect Operation", false);
+
+    add("Eff_HNG_hng",
+        "the processor may hang",
+        "Processor Hang");
+    add("Eff_HNG_hng",
+        "the system may stop responding",
+        "System Unresponsive");
+
+    add("Eff_HNG_crh",
+        "the system may crash or reset",
+        "System Crash");
+    add("Eff_HNG_crh",
+        "an unexpected shutdown may result",
+        "Unexpected Shutdown", false);
+
+    add("Eff_HNG_boo",
+        "the platform may fail to boot",
+        "Boot Failure");
+    add("Eff_HNG_boo",
+        "the system may not complete its power-on sequence",
+        "Power-On Sequence Failure", false);
+
+    add("Eff_FLT_mca",
+        "a machine check exception may be generated",
+        "Machine Check Exception");
+    add("Eff_FLT_mca",
+        "an MCE with an incorrect error code may be logged",
+        "MCE With Incorrect Code");
+
+    add("Eff_FLT_unc",
+        "an uncorrectable error may be reported",
+        "Uncorrectable Error Report");
+    add("Eff_FLT_unc",
+        "data may be marked as uncorrectable",
+        "Uncorrectable Data Marking", false);
+
+    add("Eff_FLT_fsp",
+        "a spurious page fault may be reported",
+        "Spurious Page Fault");
+    add("Eff_FLT_fsp",
+        "an unexpected general protection fault may be raised",
+        "Unexpected General Protection Fault");
+
+    add("Eff_FLT_fms",
+        "an expected fault may not be delivered",
+        "Missing Fault Delivery");
+    add("Eff_FLT_fms",
+        "the debug exception may be lost",
+        "Lost Debug Exception", false);
+
+    add("Eff_FLT_fid",
+        "the fault may be reported with a wrong error code",
+        "Wrong Fault Error Code");
+    add("Eff_FLT_fid",
+        "exceptions may be delivered out of order",
+        "Out-of-Order Exception Delivery", false);
+
+    add("Eff_CRP_prf",
+        "the performance counter may contain a wrong count",
+        "Wrong Performance Count");
+    add("Eff_CRP_prf",
+        "performance monitoring events may be over-counted",
+        "Performance Event Overcount");
+
+    add("Eff_CRP_reg",
+        "the model specific register may hold an incorrect value",
+        "Incorrect MSR Value");
+    add("Eff_CRP_reg",
+        "a stale value may be saved into the status register",
+        "Stale Status Register Value");
+    add("Eff_CRP_reg",
+        "may save an incorrect value for the x87 FDP",
+        "Incorrect x87 FDP Save", false);
+
+    add("Eff_EXT_pci",
+        "a malformed transaction may be observed on the PCIe link",
+        "Malformed PCIe Transaction");
+    add("Eff_EXT_pci",
+        "the PCIe link may retrain unexpectedly",
+        "Unexpected PCIe Link Retrain", false);
+
+    add("Eff_EXT_usb",
+        "USB devices may disconnect unexpectedly",
+        "Unexpected USB Disconnect");
+    add("Eff_EXT_usb",
+        "the USB controller may drop the transfer",
+        "Dropped USB Transfer", false);
+
+    add("Eff_EXT_mmd",
+        "audio or graphics corruption may be visible",
+        "Multimedia Corruption");
+    add("Eff_EXT_mmd",
+        "display artifacts may appear",
+        "Display Artifacts", false);
+
+    add("Eff_EXT_ram",
+        "abnormal DRAM traffic may be issued",
+        "Abnormal DRAM Traffic");
+    add("Eff_EXT_ram",
+        "memory may be written with incorrect ECC",
+        "Incorrect ECC Write", false);
+
+    add("Eff_EXT_pow",
+        "power consumption may exceed the specified envelope",
+        "Excess Power Consumption");
+    add("Eff_EXT_pow",
+        "the package may fail to reach the low-power state",
+        "Low-Power State Not Reached", false);
+
+    // Every category must have at least one explicit phrase.
+    for (CategoryId id = 0; id < taxonomy.categoryCount(); ++id) {
+        bool explicitFound = false;
+        for (const auto &phrase : phrases_[id])
+            explicitFound |= phrase.explicitPhrase;
+        if (!explicitFound)
+            REMEMBERR_PANIC("PhraseBank: no explicit phrase for ",
+                            taxonomy.categoryById(id).code);
+    }
+
+    subjectNouns_ = {
+        "Instruction Fetch", "Data Cache", "Store Buffer",
+        "Translation Lookaside Buffer", "Branch Predictor",
+        "Interrupt Controller", "Memory Controller", "Core Clock",
+        "Retirement Unit", "Load Queue", "Prefetcher",
+        "Last Level Cache", "Integrated Graphics", "Voltage Regulator",
+        "Microcode Sequencer", "Op Cache", "Instruction Cache",
+        "Write Combining Buffer", "Snoop Filter", "Power Control Unit",
+    };
+
+    defectClauses_ = {
+        "May Be Corrupted", "May Cause Unexpected Results",
+        "May Hang the Processor", "May Report Incorrect Values",
+        "May Not Operate as Expected", "May Lead to a System Reset",
+        "May Be Saved Incorrectly", "May Signal a Spurious Fault",
+        "May Miss an Expected Event", "May Violate Ordering Rules",
+    };
+
+    machineCheckMsrs_ = {
+        "MC0_STATUS", "MC1_STATUS", "MC2_STATUS", "MC3_STATUS",
+        "MC4_STATUS", "MC0_ADDR",   "MC1_ADDR",   "MC4_ADDR",
+    };
+
+    ibsMsrs_ = {
+        "IBS_FETCH_CTL", "IBS_FETCH_LINADDR", "IBS_OP_CTL",
+        "IBS_OP_DATA",
+    };
+
+    performanceMsrs_ = {
+        "PERF_CTR0", "PERF_CTR1", "FIXED_CTR0", "PERF_GLOBAL_STATUS",
+    };
+
+    configMsrs_ = {
+        "MISC_ENABLE", "PLATFORM_INFO", "TURBO_RATIO_LIMIT",
+        "PKG_CST_CONFIG", "SMM_BASE", "EFER", "PAT", "MTRR_DEF_TYPE",
+    };
+}
+
+} // namespace rememberr

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Concrete-level phrase bank.
+ *
+ * The paper's *concrete* classification level is the exact action an
+ * erratum describes ("the core resumes from the C6 power state").
+ * The corpus generator composes erratum prose from this bank, one or
+ * more phrases per ground-truth abstract category, and the
+ * classification rule engine later has to recover the categories from
+ * that prose. Phrases deliberately vary in explicitness: some name
+ * the category's subject directly, some are oblique, which is what
+ * makes automatic classification conservative and the four-eyes step
+ * necessary.
+ */
+
+#ifndef REMEMBERR_CORPUS_PHRASEBANK_HH
+#define REMEMBERR_CORPUS_PHRASEBANK_HH
+
+#include <string>
+#include <vector>
+
+#include "taxonomy/taxonomy.hh"
+
+namespace rememberr {
+
+/** One concrete phrasing of an abstract category. */
+struct ConcretePhrase
+{
+    /** Text fragment inserted into the erratum description. */
+    std::string text;
+    /** Short noun phrase usable inside a title. */
+    std::string titleFragment;
+    /**
+     * Whether the fragment names the category explicitly enough for
+     * the conservative regex prefilter to auto-accept it. Oblique
+     * phrases force manual (four-eyes) decisions.
+     */
+    bool explicitPhrase = true;
+};
+
+/** Immutable registry of concrete phrases for all 60 categories. */
+class PhraseBank
+{
+  public:
+    static const PhraseBank &instance();
+
+    /** Concrete phrases available for one abstract category. */
+    const std::vector<ConcretePhrase> &
+    phrasesFor(CategoryId id) const;
+
+    /** Title noun pool for bug subjects ("Instruction Fetch", ...). */
+    const std::vector<std::string> &subjectNouns() const;
+
+    /** Title defect verb pool ("May Be Corrupted", ...). */
+    const std::vector<std::string> &defectClauses() const;
+
+    /** MSR names that witness machine-check effects. */
+    const std::vector<std::string> &machineCheckMsrs() const;
+
+    /** MSR names for Instruction Based Sampling (AMD). */
+    const std::vector<std::string> &ibsMsrs() const;
+
+    /** MSR names for performance counters. */
+    const std::vector<std::string> &performanceMsrs() const;
+
+    /** Miscellaneous configuration MSR names. */
+    const std::vector<std::string> &configMsrs() const;
+
+  private:
+    PhraseBank();
+
+    std::vector<std::vector<ConcretePhrase>> phrases_;
+    std::vector<std::string> subjectNouns_;
+    std::vector<std::string> defectClauses_;
+    std::vector<std::string> machineCheckMsrs_;
+    std::vector<std::string> ibsMsrs_;
+    std::vector<std::string> performanceMsrs_;
+    std::vector<std::string> configMsrs_;
+};
+
+} // namespace rememberr
+
+#endif // REMEMBERR_CORPUS_PHRASEBANK_HH

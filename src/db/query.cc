@@ -1,0 +1,199 @@
+#include "query.hh"
+
+namespace rememberr {
+
+Query &
+Query::vendor(Vendor v)
+{
+    predicates_.push_back(
+        [v](const DbEntry &entry) { return entry.vendor == v; });
+    return *this;
+}
+
+Query &
+Query::hasCategory(CategoryId id)
+{
+    predicates_.push_back([id](const DbEntry &entry) {
+        return entry.triggers.contains(id) ||
+               entry.contexts.contains(id) ||
+               entry.effects.contains(id);
+    });
+    return *this;
+}
+
+Query &
+Query::hasClass(ClassId id)
+{
+    predicates_.push_back([id](const DbEntry &entry) {
+        CategorySet all =
+            entry.triggers | entry.contexts | entry.effects;
+        for (ClassId cls : all.coveredClasses()) {
+            if (cls == id)
+                return true;
+        }
+        return false;
+    });
+    return *this;
+}
+
+Query &
+Query::triggerCountAtLeast(std::size_t n)
+{
+    predicates_.push_back([n](const DbEntry &entry) {
+        return entry.triggers.size() >= n;
+    });
+    return *this;
+}
+
+Query &
+Query::triggerCountExactly(std::size_t n)
+{
+    predicates_.push_back([n](const DbEntry &entry) {
+        return entry.triggers.size() == n;
+    });
+    return *this;
+}
+
+Query &
+Query::workaround(WorkaroundClass cls)
+{
+    predicates_.push_back([cls](const DbEntry &entry) {
+        return entry.workaroundClass == cls;
+    });
+    return *this;
+}
+
+Query &
+Query::status(FixStatus st)
+{
+    predicates_.push_back(
+        [st](const DbEntry &entry) { return entry.status == st; });
+    return *this;
+}
+
+Query &
+Query::complexConditions(bool value)
+{
+    predicates_.push_back([value](const DbEntry &entry) {
+        return entry.complexConditions == value;
+    });
+    return *this;
+}
+
+Query &
+Query::simulationOnly(bool value)
+{
+    predicates_.push_back([value](const DbEntry &entry) {
+        return entry.simulationOnly == value;
+    });
+    return *this;
+}
+
+Query &
+Query::disclosedBetween(Date from, Date to)
+{
+    predicates_.push_back([from, to](const DbEntry &entry) {
+        if (entry.occurrences.empty())
+            return false;
+        Date first = entry.firstDisclosed();
+        return first >= from && first <= to;
+    });
+    return *this;
+}
+
+Query &
+Query::inDocument(int doc_index)
+{
+    predicates_.push_back([doc_index](const DbEntry &entry) {
+        for (const Occurrence &occurrence : entry.occurrences) {
+            if (occurrence.docIndex == doc_index)
+                return true;
+        }
+        return false;
+    });
+    return *this;
+}
+
+Query &
+Query::occurrenceCountAtLeast(std::size_t n)
+{
+    predicates_.push_back([n](const DbEntry &entry) {
+        return entry.occurrences.size() >= n;
+    });
+    return *this;
+}
+
+Query &
+Query::where(std::function<bool(const DbEntry &)> predicate)
+{
+    predicates_.push_back(std::move(predicate));
+    return *this;
+}
+
+std::vector<const DbEntry *>
+Query::run() const
+{
+    std::vector<const DbEntry *> out;
+    for (const DbEntry &entry : db_->entries()) {
+        bool matched = true;
+        for (const auto &predicate : predicates_) {
+            if (!predicate(entry)) {
+                matched = false;
+                break;
+            }
+        }
+        if (matched)
+            out.push_back(&entry);
+    }
+    return out;
+}
+
+std::size_t
+Query::count() const
+{
+    return run().size();
+}
+
+std::map<CategoryId, std::size_t>
+Query::countByCategory(Axis axis) const
+{
+    std::map<CategoryId, std::size_t> counts;
+    for (const DbEntry *entry : run()) {
+        const CategorySet &set = axis == Axis::Trigger
+                                     ? entry->triggers
+                                     : axis == Axis::Context
+                                           ? entry->contexts
+                                           : entry->effects;
+        for (CategoryId id : set.toVector())
+            ++counts[id];
+    }
+    return counts;
+}
+
+std::map<ClassId, std::size_t>
+Query::countByClass(Axis axis) const
+{
+    const Taxonomy &taxonomy = Taxonomy::instance();
+    std::map<ClassId, std::size_t> counts;
+    for (const DbEntry *entry : run()) {
+        const CategorySet &set = axis == Axis::Trigger
+                                     ? entry->triggers
+                                     : axis == Axis::Context
+                                           ? entry->contexts
+                                           : entry->effects;
+        for (CategoryId id : set.toVector())
+            ++counts[taxonomy.categoryById(id).classId];
+    }
+    return counts;
+}
+
+std::map<WorkaroundClass, std::size_t>
+Query::countByWorkaround() const
+{
+    std::map<WorkaroundClass, std::size_t> counts;
+    for (const DbEntry *entry : run())
+        ++counts[entry->workaroundClass];
+    return counts;
+}
+
+} // namespace rememberr

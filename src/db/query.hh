@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fluent query builder over the annotated database.
+ *
+ * Mirrors the artifact's "example custom script": filter unique
+ * errata by vendor, categories, classes, trigger counts, workaround
+ * categories, fix status or disclosure window, then count or iterate.
+ */
+
+#ifndef REMEMBERR_DB_QUERY_HH
+#define REMEMBERR_DB_QUERY_HH
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "database.hh"
+
+namespace rememberr {
+
+/** A composable filter over database entries. */
+class Query
+{
+  public:
+    explicit Query(const Database &db) : db_(&db) {}
+
+    Query &vendor(Vendor v);
+    /** Entry has the abstract category on any axis. */
+    Query &hasCategory(CategoryId id);
+    /** Entry has at least one category of the class. */
+    Query &hasClass(ClassId id);
+    Query &triggerCountAtLeast(std::size_t n);
+    Query &triggerCountExactly(std::size_t n);
+    Query &workaround(WorkaroundClass cls);
+    Query &status(FixStatus st);
+    Query &complexConditions(bool value);
+    Query &simulationOnly(bool value);
+    /** First disclosure within [from, to]. */
+    Query &disclosedBetween(Date from, Date to);
+    /** Entry occurs in the given document. */
+    Query &inDocument(int doc_index);
+    /** Entry occurs in at least n documents. */
+    Query &occurrenceCountAtLeast(std::size_t n);
+    /** Arbitrary predicate. */
+    Query &where(std::function<bool(const DbEntry &)> predicate);
+
+    /** Execute: matching entries in database order. */
+    std::vector<const DbEntry *> run() const;
+
+    std::size_t count() const;
+
+    /** Count matches per abstract category of one axis. */
+    std::map<CategoryId, std::size_t> countByCategory(Axis axis) const;
+
+    /** Count matches per class of one axis. */
+    std::map<ClassId, std::size_t> countByClass(Axis axis) const;
+
+    /** Count matches per workaround class. */
+    std::map<WorkaroundClass, std::size_t> countByWorkaround() const;
+
+  private:
+    const Database *db_;
+    std::vector<std::function<bool(const DbEntry &)>> predicates_;
+};
+
+} // namespace rememberr
+
+#endif // REMEMBERR_DB_QUERY_HH

@@ -1,0 +1,261 @@
+#include "dedup.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "text/ngram_index.hh"
+#include "text/similarity.hh"
+#include "union_find.hh"
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace rememberr {
+
+namespace {
+
+/** Flattened view of all rows with precomputed canonical titles. */
+struct RowView
+{
+    ErratumRef ref;
+    const Erratum *erratum = nullptr;
+    Vendor vendor = Vendor::Intel;
+    std::string canonicalTitle;
+};
+
+bool
+defaultReviewOracle(const Erratum &a, const Erratum &b)
+{
+    return strings::canonicalize(a.description) ==
+           strings::canonicalize(b.description);
+}
+
+} // namespace
+
+DedupResult
+deduplicate(const std::vector<ErrataDocument> &documents,
+            const DedupOptions &options)
+{
+    auto reviewOracle =
+        options.reviewOracle ? options.reviewOracle
+                             : defaultReviewOracle;
+
+    // Flatten rows.
+    std::vector<RowView> rows;
+    for (std::size_t d = 0; d < documents.size(); ++d) {
+        const ErrataDocument &doc = documents[d];
+        for (std::size_t i = 0; i < doc.errata.size(); ++i) {
+            RowView row;
+            row.ref = ErratumRef{static_cast<int>(d), i};
+            row.erratum = &doc.errata[i];
+            row.vendor = doc.design.vendor;
+            row.canonicalTitle =
+                strings::canonicalize(doc.errata[i].title);
+            rows.push_back(std::move(row));
+        }
+    }
+
+    DedupResult result;
+    UnionFind forest(rows.size());
+
+    // ---- AMD: shared numeric identifiers ---------------------------
+    {
+        std::map<std::string, std::size_t> firstByNumber;
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            if (rows[i].vendor != Vendor::Amd)
+                continue;
+            auto [it, inserted] = firstByNumber.try_emplace(
+                rows[i].erratum->localId, i);
+            if (!inserted) {
+                if (forest.unite(it->second, i))
+                    ++result.numericIdMerges;
+            }
+        }
+    }
+
+    // ---- Intel step 1: (nearly) identical titles -------------------
+    {
+        std::map<std::string, std::size_t> firstByTitle;
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            if (rows[i].vendor != Vendor::Intel)
+                continue;
+            auto [it, inserted] =
+                firstByTitle.try_emplace(rows[i].canonicalTitle, i);
+            if (!inserted) {
+                if (forest.unite(it->second, i))
+                    ++result.exactTitleMerges;
+            }
+        }
+    }
+
+    // ---- Intel step 2: similarity-ranked review --------------------
+    // Collect one representative per current Intel cluster to avoid
+    // re-reviewing rows already merged by exact title.
+    std::vector<std::size_t> reps;
+    {
+        std::set<std::size_t> seen;
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            if (rows[i].vendor != Vendor::Intel)
+                continue;
+            if (seen.insert(forest.find(i)).second)
+                reps.push_back(i);
+        }
+    }
+
+    struct Candidate
+    {
+        std::size_t a = 0;
+        std::size_t b = 0;
+        double similarity = 0.0;
+    };
+    std::vector<Candidate> candidates;
+
+    if (options.useNgramIndex) {
+        NgramIndex index(3);
+        for (std::size_t rep : reps)
+            index.add(rows[rep].erratum->title);
+        for (std::size_t i = 0; i < reps.size(); ++i) {
+            auto hits = index.query(rows[reps[i]].erratum->title,
+                                    options.ngramMinOverlap,
+                                    static_cast<std::int64_t>(i));
+            for (const NgramCandidate &hit : hits) {
+                if (hit.docId <= i)
+                    continue; // count each unordered pair once
+                ++result.candidatePairsConsidered;
+                double sim = titleSimilarity(
+                    rows[reps[i]].erratum->title,
+                    rows[reps[hit.docId]].erratum->title);
+                if (sim >= options.reviewThreshold) {
+                    candidates.push_back(
+                        Candidate{reps[i], reps[hit.docId], sim});
+                }
+            }
+        }
+    } else {
+        for (std::size_t i = 0; i < reps.size(); ++i) {
+            for (std::size_t j = i + 1; j < reps.size(); ++j) {
+                ++result.candidatePairsConsidered;
+                double sim =
+                    titleSimilarity(rows[reps[i]].erratum->title,
+                                    rows[reps[j]].erratum->title);
+                if (sim >= options.reviewThreshold) {
+                    candidates.push_back(
+                        Candidate{reps[i], reps[j], sim});
+                }
+            }
+        }
+    }
+
+    // Review in decreasing title similarity, as the paper did.
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate &a, const Candidate &b) {
+                  if (a.similarity != b.similarity)
+                      return a.similarity > b.similarity;
+                  if (a.a != b.a)
+                      return a.a < b.a;
+                  return a.b < b.b;
+              });
+    for (const Candidate &candidate : candidates) {
+        if (forest.connected(candidate.a, candidate.b))
+            continue;
+        ++result.reviewedPairs;
+        if (reviewOracle(*rows[candidate.a].erratum,
+                         *rows[candidate.b].erratum)) {
+            if (forest.unite(candidate.a, candidate.b))
+                ++result.reviewConfirmedMerges;
+        }
+    }
+
+    // ---- Assign cluster keys ---------------------------------------
+    std::map<std::size_t, std::uint32_t> keyOfRoot;
+    result.keyByDoc.resize(documents.size());
+    for (std::size_t d = 0; d < documents.size(); ++d)
+        result.keyByDoc[d].resize(documents[d].errata.size());
+
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        std::size_t root = forest.find(i);
+        auto [it, inserted] = keyOfRoot.try_emplace(
+            root, static_cast<std::uint32_t>(result.clusters.size()));
+        if (inserted)
+            result.clusters.emplace_back();
+        std::uint32_t key = it->second;
+        result.clusters[key].push_back(rows[i].ref);
+        result.keyByDoc[static_cast<std::size_t>(rows[i].ref.docIndex)]
+                       [rows[i].ref.position] = key;
+    }
+    return result;
+}
+
+std::size_t
+DedupResult::uniqueCount(const std::vector<ErrataDocument> &docs,
+                         Vendor vendor) const
+{
+    std::size_t count = 0;
+    for (const auto &cluster : clusters) {
+        if (cluster.empty())
+            continue;
+        Vendor v = docs[static_cast<std::size_t>(
+                            cluster.front().docIndex)]
+                       .design.vendor;
+        if (v == vendor)
+            ++count;
+    }
+    return count;
+}
+
+DedupAccuracy
+evaluateDedup(const Corpus &corpus, const DedupResult &result)
+{
+    // Pair-level evaluation: for every unordered pair of rows, is it
+    // correctly placed in the same / different cluster?  Pairs are
+    // enumerated implicitly from cluster sizes to stay linear.
+    DedupAccuracy accuracy;
+
+    auto pairsOf = [](std::size_t n) {
+        return n * (n - 1) / 2;
+    };
+
+    // Ground-truth clusters: rows grouped by bugKey.
+    std::map<std::uint32_t, std::vector<ErratumRef>> truth;
+    for (const auto &[row, bug] : corpus.rowToBug) {
+        truth[bug].push_back(ErratumRef{
+            row.first, static_cast<std::size_t>(row.second)});
+    }
+    for (const auto &[bug, refs] : truth)
+        accuracy.truePairs += pairsOf(refs.size());
+
+    for (const auto &cluster : result.clusters)
+        accuracy.predictedPairs += pairsOf(cluster.size());
+
+    // Correct pairs: intersect predicted clusters with truth by
+    // mapping every row to its true bug.
+    std::map<std::pair<int, std::size_t>, std::uint32_t> rowToBug;
+    for (const auto &[bug, refs] : truth) {
+        for (const ErratumRef &ref : refs)
+            rowToBug[{ref.docIndex, ref.position}] = bug;
+    }
+    for (const auto &cluster : result.clusters) {
+        std::map<std::uint32_t, std::size_t> perBug;
+        for (const ErratumRef &ref : cluster) {
+            auto it = rowToBug.find({ref.docIndex, ref.position});
+            if (it != rowToBug.end())
+                ++perBug[it->second];
+        }
+        for (const auto &[bug, count] : perBug)
+            accuracy.correctPairs += pairsOf(count);
+    }
+
+    accuracy.pairPrecision =
+        accuracy.predictedPairs == 0
+            ? 1.0
+            : static_cast<double>(accuracy.correctPairs) /
+                  static_cast<double>(accuracy.predictedPairs);
+    accuracy.pairRecall =
+        accuracy.truePairs == 0
+            ? 1.0
+            : static_cast<double>(accuracy.correctPairs) /
+                  static_cast<double>(accuracy.truePairs);
+    return accuracy;
+}
+
+} // namespace rememberr

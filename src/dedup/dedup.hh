@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Duplicate detection across errata documents.
+ *
+ * Section IV-A: AMD identifies errata across families by a shared
+ * numeric identifier; Intel provides no such mechanism, so duplicates
+ * are found by title — first exact (canonicalized) title matches,
+ * then remaining pairs ranked by decreasing title similarity and
+ * confirmed by review (simulated here by comparing the full entries,
+ * which is what the manual inspection did). The resulting keying
+ * mechanism assigns one cluster key to every group of identical
+ * errata.
+ */
+
+#ifndef REMEMBERR_DEDUP_DEDUP_HH
+#define REMEMBERR_DEDUP_DEDUP_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.hh"
+#include "model/erratum.hh"
+
+namespace rememberr {
+
+/** Reference to one erratum row. */
+struct ErratumRef
+{
+    int docIndex = 0;
+    /** Position inside the document's errata vector. */
+    std::size_t position = 0;
+
+    bool operator==(const ErratumRef &other) const = default;
+};
+
+/** Tuning knobs for the Intel title pipeline. */
+struct DedupOptions
+{
+    /**
+     * Similarity above which a pair is surfaced for review. Titles
+     * identical after canonicalization merge without review (the
+     * paper's step 1); every other candidate pair is reviewed in
+     * decreasing similarity order (step 2) — near-identical titles
+     * are never merged blindly, since similar phrasing can describe
+     * distinct bugs (e.g. "overflow" vs "underflow").
+     */
+    double reviewThreshold = 0.85;
+    /** Use the n-gram index for candidate generation instead of the
+     * quadratic all-pairs scan (DESIGN.md D1). */
+    bool useNgramIndex = true;
+    /** Minimum n-gram overlap for index candidates. */
+    double ngramMinOverlap = 0.30;
+    /**
+     * Review decision for a surfaced pair. The default emulates the
+     * paper's manual inspection: confirm when the descriptions are
+     * identical up to canonicalization.
+     */
+    std::function<bool(const Erratum &, const Erratum &)> reviewOracle;
+};
+
+/** Outcome of deduplication. */
+struct DedupResult
+{
+    /** Cluster key for every row, aligned with documents/errata. */
+    std::vector<std::vector<std::uint32_t>> keyByDoc;
+    /** Rows grouped per cluster key. */
+    std::vector<std::vector<ErratumRef>> clusters;
+
+    // Pipeline statistics.
+    std::size_t exactTitleMerges = 0;
+    std::size_t reviewedPairs = 0;
+    std::size_t reviewConfirmedMerges = 0;
+    std::size_t numericIdMerges = 0;
+    std::size_t candidatePairsConsidered = 0;
+
+    /** Number of clusters whose rows all belong to the vendor. */
+    std::size_t uniqueCount(const std::vector<ErrataDocument> &docs,
+                            Vendor vendor) const;
+};
+
+/** Run deduplication over a set of documents. */
+DedupResult deduplicate(const std::vector<ErrataDocument> &documents,
+                        const DedupOptions &options = {});
+
+/** Pairwise precision/recall against the corpus ground truth. */
+struct DedupAccuracy
+{
+    double pairPrecision = 0.0;
+    double pairRecall = 0.0;
+    std::size_t truePairs = 0;
+    std::size_t predictedPairs = 0;
+    std::size_t correctPairs = 0;
+};
+
+DedupAccuracy evaluateDedup(const Corpus &corpus,
+                            const DedupResult &result);
+
+} // namespace rememberr
+
+#endif // REMEMBERR_DEDUP_DEDUP_HH

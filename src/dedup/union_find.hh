@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Disjoint-set forest with union by size and path compression.
+ */
+
+#ifndef REMEMBERR_DEDUP_UNION_FIND_HH
+#define REMEMBERR_DEDUP_UNION_FIND_HH
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace rememberr {
+
+/** Union-find over dense indices [0, n). */
+class UnionFind
+{
+  public:
+    explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1)
+    {
+        std::iota(parent_.begin(), parent_.end(), 0);
+    }
+
+    std::size_t
+    find(std::size_t x)
+    {
+        std::size_t root = x;
+        while (parent_[root] != root)
+            root = parent_[root];
+        while (parent_[x] != root) {
+            std::size_t next = parent_[x];
+            parent_[x] = root;
+            x = next;
+        }
+        return root;
+    }
+
+    /** Union the sets containing a and b; returns true when merged. */
+    bool
+    unite(std::size_t a, std::size_t b)
+    {
+        std::size_t ra = find(a);
+        std::size_t rb = find(b);
+        if (ra == rb)
+            return false;
+        if (size_[ra] < size_[rb])
+            std::swap(ra, rb);
+        parent_[rb] = ra;
+        size_[ra] += size_[rb];
+        return true;
+    }
+
+    bool
+    connected(std::size_t a, std::size_t b)
+    {
+        return find(a) == find(b);
+    }
+
+    std::size_t setSize(std::size_t x) { return size_[find(x)]; }
+
+    std::size_t elementCount() const { return parent_.size(); }
+
+    /** Number of disjoint sets. */
+    std::size_t
+    setCount()
+    {
+        std::size_t count = 0;
+        for (std::size_t i = 0; i < parent_.size(); ++i) {
+            if (find(i) == i)
+                ++count;
+        }
+        return count;
+    }
+
+  private:
+    std::vector<std::size_t> parent_;
+    std::vector<std::size_t> size_;
+};
+
+} // namespace rememberr
+
+#endif // REMEMBERR_DEDUP_UNION_FIND_HH

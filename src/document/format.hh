@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The plain-text specification-update document format.
+ *
+ * Substitutes for the vendor PDF documents: the corpus renders into
+ * this format and the parsing stage reads it back, so the pipeline
+ * exercises real (de)serialization with all the robustness concerns
+ * of Section IV-A (wrapped prose, missing fields, inconsistent
+ * revision notes). The workaround *category* and fix status are not
+ * stored as metadata — the parser infers them from the prose, just
+ * like the paper's annotation did.
+ *
+ * Format sketch:
+ *
+ *   SPECIFICATION UPDATE
+ *   Vendor: Intel
+ *   Design: Core 4 (D)
+ *   ...
+ *   == REVISION HISTORY ==
+ *   Revision: 1
+ *   Date: 2013-06-04
+ *   Note: Initial release.
+ *   Added: HSD001, HSD002
+ *   ...
+ *   == ERRATA ==
+ *   ID: HSD001
+ *   Title: ...
+ *   Description: ...        (wrapped; continuations indented)
+ *   Implications: ...
+ *   Workaround: ...
+ *   Status: No fix planned.
+ *   MSRs: MC4_STATUS=0x9A3
+ *   ...
+ *   == END ==
+ */
+
+#ifndef REMEMBERR_DOCUMENT_FORMAT_HH
+#define REMEMBERR_DOCUMENT_FORMAT_HH
+
+#include <string>
+
+#include "model/erratum.hh"
+#include "util/expected.hh"
+
+namespace rememberr {
+
+/** Render a document into the text format. */
+std::string renderDocument(const ErrataDocument &document);
+
+/** Parse a document from the text format. */
+Expected<ErrataDocument> parseDocument(const std::string &text);
+
+/**
+ * Infer the workaround category from its prose (Figure 6's
+ * classification). "Contact ... for information on a BIOS update"
+ * counts as Absent per Section IV-B3, even though it mentions the
+ * BIOS, because the actual information is withheld.
+ */
+WorkaroundClass classifyWorkaround(const std::string &text);
+
+/** Infer the fix status from the status prose. */
+FixStatus classifyStatus(const std::string &text);
+
+/** Render the status prose for a fix status. */
+std::string statusText(FixStatus status);
+
+} // namespace rememberr
+
+#endif // REMEMBERR_DOCUMENT_FORMAT_HH

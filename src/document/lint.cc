@@ -1,0 +1,177 @@
+#include "lint.hh"
+
+#include <map>
+#include <set>
+
+#include "corpus/generator.hh"
+#include "util/strings.hh"
+
+namespace rememberr {
+
+std::vector<LintFinding>
+lintDocument(const ErrataDocument &document, const LintOptions &options)
+{
+    std::vector<LintFinding> findings;
+    auto report = [&](DefectKind kind, std::vector<std::string> ids,
+                      std::string detail) {
+        findings.push_back(
+            LintFinding{kind, std::move(ids), std::move(detail)});
+    };
+
+    // Count how many entries carry each id; a reused name legitimately
+    // appears in multiple revision notes, so it must not also be
+    // flagged as a duplicate revision claim.
+    std::map<std::string, int> idCount;
+    for (const Erratum &erratum : document.errata)
+        ++idCount[erratum.localId];
+
+    // ---- Revision-note consistency ---------------------------------
+    std::map<std::string, int> claimCount;
+    for (const Revision &revision : document.revisions) {
+        std::set<std::string> inThisRevision;
+        for (const std::string &id : revision.addedIds) {
+            // The same id twice in one revision is a note defect too,
+            // but only cross-revision claims count for the paper's
+            // "added in two consecutive revisions" category.
+            if (inThisRevision.insert(id).second)
+                ++claimCount[id];
+        }
+    }
+    for (const auto &[id, count] : claimCount) {
+        if (count > 1 && idCount[id] <= 1) {
+            report(DefectKind::DuplicateRevisionClaim, {id},
+                   "revision notes claim '" + id + "' was added " +
+                       std::to_string(count) + " times");
+        }
+    }
+
+    std::set<std::string> everClaimed;
+    for (const auto &[id, count] : claimCount)
+        everClaimed.insert(id);
+    std::set<std::string> reportedMissing;
+    for (const Erratum &erratum : document.errata) {
+        if (!everClaimed.count(erratum.localId) &&
+            reportedMissing.insert(erratum.localId).second) {
+            report(DefectKind::MissingFromNotes, {erratum.localId},
+                   "'" + erratum.localId +
+                       "' never appears in the revision notes");
+        }
+    }
+
+    // ---- Identifier reuse ------------------------------------------
+    for (const auto &[id, count] : idCount) {
+        if (count > 1) {
+            report(DefectKind::ReusedName, {id, id},
+                   "name '" + id + "' refers to " +
+                       std::to_string(count) + " errata");
+        }
+    }
+
+    // ---- Field integrity -------------------------------------------
+    for (const Erratum &erratum : document.errata) {
+        if (erratum.title.empty() || erratum.description.empty() ||
+            erratum.implications.empty() ||
+            erratum.workaroundText.empty()) {
+            std::string which =
+                erratum.title.empty() ? "title"
+                : erratum.description.empty() ? "description"
+                : erratum.implications.empty() ? "implications"
+                                               : "workaround";
+            report(DefectKind::MissingField, {erratum.localId},
+                   "'" + erratum.localId + "' has an empty " + which +
+                       " field");
+        } else if (erratum.implications == erratum.description) {
+            report(DefectKind::DuplicateField, {erratum.localId},
+                   "'" + erratum.localId +
+                       "' duplicates the description into the "
+                       "implications field");
+        }
+    }
+
+    // ---- MSR numbers ------------------------------------------------
+    auto reference = options.msrReference
+                         ? options.msrReference
+                         : [](const std::string &name) {
+                               return canonicalMsrNumber(name);
+                           };
+    for (const Erratum &erratum : document.errata) {
+        for (const MsrRef &msr : erratum.msrs) {
+            std::uint32_t expected = reference(msr.name);
+            if (expected != 0 && msr.number != 0 &&
+                msr.number != expected) {
+                report(DefectKind::WrongMsrNumber, {erratum.localId},
+                       "'" + erratum.localId + "' lists " + msr.name +
+                           " with a number contradicting the "
+                           "reference manual");
+            }
+        }
+    }
+
+    // ---- Intra-document duplicates -----------------------------------
+    // Two entries with identical canonical title, description AND
+    // workaround but different ids are the same erratum repeated.
+    // The workaround is part of the fingerprint because entries that
+    // differ only there (the paper's errata-1327/1329 case) may
+    // originate from distinct root causes and must not be flagged.
+    std::map<std::string, std::vector<const Erratum *>> byContent;
+    for (const Erratum &erratum : document.errata) {
+        std::string fingerprint =
+            strings::canonicalize(erratum.title) + "\x1f" +
+            strings::canonicalize(erratum.description) + "\x1f" +
+            strings::canonicalize(erratum.workaroundText);
+        byContent[fingerprint].push_back(&erratum);
+    }
+    for (const auto &[fingerprint, entries] : byContent) {
+        if (entries.size() < 2)
+            continue;
+        for (std::size_t i = 1; i < entries.size(); ++i) {
+            if (entries[0]->localId == entries[i]->localId)
+                continue; // already reported as ReusedName
+            report(DefectKind::IntraDocDuplicate,
+                   {entries[0]->localId, entries[i]->localId},
+                   "'" + entries[0]->localId + "' and '" +
+                       entries[i]->localId +
+                       "' are the same erratum repeated in one "
+                       "document");
+        }
+    }
+
+    return findings;
+}
+
+LintSummary
+summarizeFindings(
+    const std::vector<std::vector<LintFinding>> &per_document)
+{
+    LintSummary summary;
+    for (const auto &findings : per_document) {
+        for (const LintFinding &finding : findings) {
+            switch (finding.kind) {
+              case DefectKind::DuplicateRevisionClaim:
+                ++summary.duplicateRevisionClaims;
+                break;
+              case DefectKind::MissingFromNotes:
+                ++summary.missingFromNotes;
+                break;
+              case DefectKind::ReusedName:
+                ++summary.reusedNames;
+                break;
+              case DefectKind::MissingField:
+                ++summary.missingFields;
+                break;
+              case DefectKind::DuplicateField:
+                ++summary.duplicateFields;
+                break;
+              case DefectKind::WrongMsrNumber:
+                ++summary.wrongMsrNumbers;
+                break;
+              case DefectKind::IntraDocDuplicate:
+                ++summary.intraDocDuplicates;
+                break;
+            }
+        }
+    }
+    return summary;
+}
+
+} // namespace rememberr

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The "errata in errata" linter.
+ *
+ * Section IV-A documents that errata documents contain errors
+ * themselves: revisions claiming the same erratum twice, errata never
+ * mentioned in the revision notes, reused names, missing or duplicate
+ * fields, wrong MSR numbers and intra-document duplicate entries.
+ * The linter detects all of these in a parsed document.
+ */
+
+#ifndef REMEMBERR_DOCUMENT_LINT_HH
+#define REMEMBERR_DOCUMENT_LINT_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.hh"
+#include "model/erratum.hh"
+
+namespace rememberr {
+
+/** One detected document defect. */
+struct LintFinding
+{
+    DefectKind kind = DefectKind::MissingFromNotes;
+    /** Local ids involved (one or two). */
+    std::vector<std::string> localIds;
+    /** Human-readable explanation. */
+    std::string detail;
+};
+
+/** Linter configuration. */
+struct LintOptions
+{
+    /**
+     * Reference resolver from MSR name to architectural number (the
+     * paper cross-checked numbers against the vendor manuals);
+     * returns 0 when the name is unknown. Defaults to the corpus's
+     * canonical numbering.
+     */
+    std::function<std::uint32_t(const std::string &)> msrReference;
+};
+
+/** Run all lint checks over one document. */
+std::vector<LintFinding> lintDocument(const ErrataDocument &document,
+                                      const LintOptions &options = {});
+
+/** Aggregated lint counts per defect kind. */
+struct LintSummary
+{
+    int duplicateRevisionClaims = 0;
+    int missingFromNotes = 0;
+    int reusedNames = 0;
+    int missingFields = 0;
+    int duplicateFields = 0;
+    int wrongMsrNumbers = 0;
+    int intraDocDuplicates = 0;
+
+    int
+    total() const
+    {
+        return duplicateRevisionClaims + missingFromNotes +
+               reusedNames + missingFields + duplicateFields +
+               wrongMsrNumbers + intraDocDuplicates;
+    }
+};
+
+/** Summarize findings across many documents. */
+LintSummary summarizeFindings(
+    const std::vector<std::vector<LintFinding>> &per_document);
+
+} // namespace rememberr
+
+#endif // REMEMBERR_DOCUMENT_LINT_HH

@@ -1,0 +1,74 @@
+#include "erratum.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace rememberr {
+
+const Erratum *
+ErrataDocument::findErratum(const std::string &local_id) const
+{
+    for (const Erratum &erratum : errata) {
+        if (erratum.localId == local_id)
+            return &erratum;
+    }
+    return nullptr;
+}
+
+Date
+ErrataDocument::approximateDisclosureDate(
+    const std::string &local_id) const
+{
+    if (revisions.empty())
+        REMEMBERR_PANIC("approximateDisclosureDate: no revisions in ",
+                        design.name);
+
+    // Rule 1: the earliest revision whose summary lists the id.
+    // (Contradicting logs pretending the same erratum was added twice
+    // resolve to the earlier revision.)
+    const Revision *earliest = nullptr;
+    for (const Revision &revision : revisions) {
+        bool listed = std::find(revision.addedIds.begin(),
+                                revision.addedIds.end(),
+                                local_id) != revision.addedIds.end();
+        if (listed && (!earliest || revision.date < earliest->date))
+            earliest = &revision;
+    }
+    if (earliest)
+        return earliest->date;
+
+    // Rule 2: errata are sequentially numbered inside a document, so
+    // an unlisted erratum was most likely added together with the
+    // nearest dated successor.
+    std::size_t index = errata.size();
+    for (std::size_t i = 0; i < errata.size(); ++i) {
+        if (errata[i].localId == local_id) {
+            index = i;
+            break;
+        }
+    }
+    if (index < errata.size()) {
+        for (std::size_t i = index + 1; i < errata.size(); ++i) {
+            for (const Revision &revision : revisions) {
+                bool listed =
+                    std::find(revision.addedIds.begin(),
+                              revision.addedIds.end(),
+                              errata[i].localId) !=
+                    revision.addedIds.end();
+                if (listed)
+                    return revision.date;
+            }
+        }
+    }
+
+    // Rule 3: fall back to the initial revision.
+    const Revision *first = &revisions.front();
+    for (const Revision &revision : revisions) {
+        if (revision.date < first->date)
+            first = &revision;
+    }
+    return first->date;
+}
+
+} // namespace rememberr

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The erratum entry and errata-document model.
+ *
+ * Mirrors the structure of vendor specification updates described in
+ * Section II-B: each erratum has a title, a description, implications,
+ * a workaround and a status; each document carries a revision history
+ * that dates the introduction of each erratum.
+ */
+
+#ifndef REMEMBERR_MODEL_ERRATUM_HH
+#define REMEMBERR_MODEL_ERRATUM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "types.hh"
+#include "util/date.hh"
+
+namespace rememberr {
+
+/** One published erratum entry. */
+struct Erratum
+{
+    /** Document-local identifier, e.g. "ADL001" (Intel) or "1361"
+     * (AMD). */
+    std::string localId;
+    std::string title;
+    std::string description;
+    std::string implications;
+    std::string workaroundText;
+    WorkaroundClass workaroundClass = WorkaroundClass::None;
+    FixStatus status = FixStatus::NoFix;
+    /**
+     * Revision number (1-based) in which this erratum first appeared,
+     * 0 when the revision summary omits it (one of the documented
+     * "errata in errata").
+     */
+    int addedInRevision = 0;
+    /** MSRs referenced by the description/implications. */
+    std::vector<MsrRef> msrs;
+};
+
+/** One entry of a document's revision history. */
+struct Revision
+{
+    int number = 0;       ///< 1-based revision number
+    Date date;            ///< release/update date of the revision
+    /** Local ids the revision summary claims were added. */
+    std::vector<std::string> addedIds;
+    std::string note;     ///< free-text summary line
+};
+
+/** A complete specification-update document for one design. */
+struct ErrataDocument
+{
+    Design design;
+    std::vector<Revision> revisions;
+    std::vector<Erratum> errata;
+    /**
+     * Errata listed in the document's summary whose details remain
+     * hidden — typically no longer valid after a re-spin
+     * (Section VII "Patchable errors", about 2% of entries). They
+     * carry no description and are excluded from the database.
+     */
+    std::vector<std::string> hiddenErrata;
+
+    /** Find an erratum by local id; nullptr when absent. */
+    const Erratum *findErratum(const std::string &local_id) const;
+
+    /**
+     * Date an erratum via its revision history, applying the
+     * approximation rules of Section IV-B1:
+     *   1. if a revision summary lists the id, use the earliest such
+     *      revision's date (contradicting logs resolve to the
+     *      earlier one);
+     *   2. otherwise, errata are sequentially numbered: use the date
+     *      of the nearest dated successor;
+     *   3. otherwise fall back to the first revision's date.
+     */
+    Date approximateDisclosureDate(const std::string &local_id) const;
+};
+
+} // namespace rememberr
+
+#endif // REMEMBERR_MODEL_ERRATUM_HH

@@ -1,0 +1,89 @@
+#include "types.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace rememberr {
+
+std::string_view
+vendorName(Vendor vendor)
+{
+    switch (vendor) {
+      case Vendor::Intel: return "Intel";
+      case Vendor::Amd: return "AMD";
+    }
+    REMEMBERR_PANIC("vendorName: bad vendor");
+}
+
+std::string_view
+variantName(DesignVariant variant)
+{
+    switch (variant) {
+      case DesignVariant::Desktop: return "D";
+      case DesignVariant::Mobile: return "M";
+      case DesignVariant::Unified: return "U";
+    }
+    REMEMBERR_PANIC("variantName: bad variant");
+}
+
+std::string
+Design::key() const
+{
+    std::string out = vendor == Vendor::Intel ? "intel/" : "amd/";
+    out += std::to_string(generation);
+    out += '/';
+    out += variantName(variant);
+    return out;
+}
+
+std::vector<int>
+Design::coveredGenerations() const
+{
+    // "Core 7/8" style names cover two consecutive generations.
+    std::size_t slash = name.find('/');
+    if (vendor == Vendor::Intel && slash != std::string::npos) {
+        // Parse the digits around the slash.
+        std::size_t start = slash;
+        while (start > 0 &&
+               std::isdigit(static_cast<unsigned char>(
+                   name[start - 1]))) {
+            --start;
+        }
+        int first = std::atoi(name.substr(start, slash - start)
+                                  .c_str());
+        int second = std::atoi(name.substr(slash + 1).c_str());
+        if (first > 0 && second > first)
+            return {first, second};
+    }
+    return {generation};
+}
+
+std::string_view
+workaroundClassName(WorkaroundClass cls)
+{
+    switch (cls) {
+      case WorkaroundClass::None: return "None";
+      case WorkaroundClass::Bios: return "BIOS";
+      case WorkaroundClass::Software: return "Software";
+      case WorkaroundClass::Peripherals: return "Peripherals";
+      case WorkaroundClass::Absent: return "Absent";
+      case WorkaroundClass::DocumentationFix:
+        return "DocumentationFix";
+    }
+    REMEMBERR_PANIC("workaroundClassName: bad class");
+}
+
+std::string_view
+fixStatusName(FixStatus status)
+{
+    switch (status) {
+      case FixStatus::NoFix: return "NoFix";
+      case FixStatus::Planned: return "Planned";
+      case FixStatus::Fixed: return "Fixed";
+    }
+    REMEMBERR_PANIC("fixStatusName: bad status");
+}
+
+} // namespace rememberr

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Basic identity types for vendors, designs and errata metadata.
+ */
+
+#ifndef REMEMBERR_MODEL_TYPES_HH
+#define REMEMBERR_MODEL_TYPES_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/date.hh"
+
+namespace rememberr {
+
+/** Microprocessor vendor. */
+enum class Vendor : std::uint8_t { Intel, Amd };
+
+std::string_view vendorName(Vendor vendor);
+
+/**
+ * Intel document variant. Intel released separate Mobile and Desktop
+ * documents up to Core generation 5 and one document per generation
+ * afterwards; AMD designs are always Unified.
+ */
+enum class DesignVariant : std::uint8_t { Desktop, Mobile, Unified };
+
+std::string_view variantName(DesignVariant variant);
+
+/**
+ * Identity of one examined design: an Intel Core generation(+variant)
+ * or an AMD family/model range, i.e. one row of Table III.
+ */
+struct Design
+{
+    Vendor vendor = Vendor::Intel;
+    /** Intel Core generation (1..12) or AMD family ordinal (1..12). */
+    int generation = 0;
+    DesignVariant variant = DesignVariant::Unified;
+    /** Human name, e.g. "Core 4 (D)" or "Fam 17h 00-0F". */
+    std::string name;
+    /** Vendor document reference, e.g. "328899-039US". */
+    std::string reference;
+    /** Approximate market release date of the design. */
+    Date releaseDate;
+
+    /** Stable key for maps: "intel/4/D" or "amd/10/U". */
+    std::string key() const;
+
+    /**
+     * Generations this document covers. Intel released combined
+     * documents for Core 7/8 and Core 8/9; the name encodes that
+     * ("Core 7/8" covers generations 7 and 8), everything else
+     * covers exactly its generation field.
+     */
+    std::vector<int> coveredGenerations() const;
+
+    bool operator==(const Design &other) const
+    {
+        return vendor == other.vendor &&
+               generation == other.generation &&
+               variant == other.variant;
+    }
+};
+
+/** Workaround categories of Section IV-B3 (Figure 6). */
+enum class WorkaroundClass : std::uint8_t {
+    None,          ///< "None identified."
+    Bios,          ///< mitigated by a BIOS/firmware update
+    Software,      ///< mitigated by system software
+    Peripherals,   ///< requires conditions on peripherals
+    Absent,        ///< workaround exists but details are withheld
+    DocumentationFix, ///< intended behavior was wrongly documented
+};
+
+std::string_view workaroundClassName(WorkaroundClass cls);
+
+/** Fix status of Section IV-B4 (Figure 7). */
+enum class FixStatus : std::uint8_t {
+    NoFix,       ///< "No fix planned."
+    Planned,     ///< fix announced for a future stepping
+    Fixed,       ///< root cause removed in a shipped stepping
+};
+
+std::string_view fixStatusName(FixStatus status);
+
+/** A Model Specific Register mentioned by an erratum. */
+struct MsrRef
+{
+    /** Architectural name, e.g. "MC4_STATUS" or "IBS_FETCH_CTL". */
+    std::string name;
+    /** Register number; 0 when the document omits it. */
+    std::uint32_t number = 0;
+
+    bool operator==(const MsrRef &other) const = default;
+};
+
+} // namespace rememberr
+
+#endif // REMEMBERR_MODEL_TYPES_HH

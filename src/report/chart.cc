@@ -1,0 +1,157 @@
+#include "chart.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.hh"
+
+namespace rememberr {
+
+std::string
+renderBarChart(const std::vector<Bar> &bars, std::size_t width)
+{
+    double maxValue = 0.0;
+    std::size_t labelWidth = 0;
+    for (const Bar &bar : bars) {
+        maxValue = std::max(maxValue, bar.value);
+        labelWidth = std::max(labelWidth, bar.label.size());
+    }
+    if (maxValue <= 0.0)
+        maxValue = 1.0;
+
+    std::string out;
+    for (const Bar &bar : bars) {
+        std::size_t filled = static_cast<std::size_t>(
+            std::lround(bar.value / maxValue *
+                        static_cast<double>(width)));
+        out += strings::padRight(bar.label, labelWidth);
+        out += " | ";
+        out += strings::repeat("#", filled);
+        if (!bar.annotation.empty()) {
+            out += ' ';
+            out += bar.annotation;
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+renderPairedBarChart(const std::vector<PairedBar> &bars,
+                     const std::string &first_name,
+                     const std::string &second_name,
+                     std::size_t width)
+{
+    double maxValue = 0.0;
+    std::size_t labelWidth =
+        std::max(first_name.size(), second_name.size());
+    for (const PairedBar &bar : bars) {
+        maxValue = std::max({maxValue, bar.first, bar.second});
+        labelWidth = std::max(labelWidth, bar.label.size());
+    }
+    if (maxValue <= 0.0)
+        maxValue = 1.0;
+
+    std::string out;
+    for (const PairedBar &bar : bars) {
+        auto renderOne = [&](const std::string &name, double value,
+                             char mark) {
+            std::size_t filled = static_cast<std::size_t>(
+                std::lround(value / maxValue *
+                            static_cast<double>(width)));
+            out += strings::padRight(bar.label, labelWidth);
+            out += ' ';
+            out += strings::padRight(name, 6);
+            out += "| ";
+            out += strings::repeat(std::string(1, mark), filled);
+            out += ' ';
+            out += strings::formatPercent(value, 1);
+            out += '\n';
+        };
+        renderOne(first_name, bar.first, '#');
+        renderOne(second_name, bar.second, '=');
+    }
+    return out;
+}
+
+std::string
+renderHeatmap(const std::vector<std::string> &row_labels,
+              const std::vector<std::string> &column_labels,
+              const std::vector<std::vector<std::size_t>> &cells)
+{
+    std::size_t maxValue = 0;
+    for (const auto &row : cells) {
+        for (std::size_t value : row)
+            maxValue = std::max(maxValue, value);
+    }
+    static const char shades[] = {' ', '.', ':', '*', '#'};
+
+    std::size_t labelWidth = 0;
+    for (const auto &label : row_labels)
+        labelWidth = std::max(labelWidth, label.size());
+
+    std::string out;
+    // Column header: first character of each column label, plus a
+    // legend below.
+    out += strings::repeat(" ", labelWidth + 1);
+    for (std::size_t c = 0; c < column_labels.size(); ++c)
+        out += std::to_string(c % 10);
+    out += '\n';
+    for (std::size_t r = 0; r < cells.size(); ++r) {
+        out += strings::padRight(
+            r < row_labels.size() ? row_labels[r] : "", labelWidth);
+        out += ' ';
+        for (std::size_t value : cells[r]) {
+            std::size_t shade =
+                maxValue == 0
+                    ? 0
+                    : (value * 4 + maxValue - 1) / maxValue;
+            shade = std::min<std::size_t>(shade, 4);
+            out += shades[shade];
+        }
+        out += '\n';
+    }
+    out += "legend: ' '=0 '.'<=25% ':'<=50% '*'<=75% '#'<=100% of max ";
+    out += std::to_string(maxValue);
+    out += "\ncolumns:\n";
+    for (std::size_t c = 0; c < column_labels.size(); ++c) {
+        out += "  " + std::to_string(c) + " (" +
+               std::to_string(c % 10) + "): " + column_labels[c] +
+               '\n';
+    }
+    return out;
+}
+
+std::string
+renderSeriesByYear(const std::vector<CumulativeSeries> &series,
+                   int first_year, int last_year)
+{
+    std::size_t labelWidth = 4;
+    for (const CumulativeSeries &s : series)
+        labelWidth = std::max(labelWidth, s.label.size());
+
+    std::string out = strings::padRight("", labelWidth);
+    for (int year = first_year; year <= last_year; ++year) {
+        out += ' ';
+        out += strings::padLeft(std::to_string(year % 100), 5);
+    }
+    out += '\n';
+    for (const CumulativeSeries &s : series) {
+        out += strings::padRight(s.label, labelWidth);
+        for (int year = first_year; year <= last_year; ++year) {
+            Date end(year, 12, 31);
+            std::size_t count = s.countAt(end);
+            out += ' ';
+            out += strings::padLeft(
+                count == 0 && (s.points.empty() ||
+                               end < s.points.front().first)
+                    ? "-"
+                    : std::to_string(count),
+                5);
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace rememberr

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Text-mode charts: horizontal bars, heatmaps and series dumps.
+ *
+ * The bench binaries print the reproduced figures as text; the SVG
+ * writer (svg.hh) produces graphical versions of the same data.
+ */
+
+#ifndef REMEMBERR_REPORT_CHART_HH
+#define REMEMBERR_REPORT_CHART_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/timeline.hh"
+
+namespace rememberr {
+
+/** One bar of a horizontal bar chart. */
+struct Bar
+{
+    std::string label;
+    double value = 0.0;
+    /** Optional annotation shown after the bar. */
+    std::string annotation;
+};
+
+/** Render a horizontal bar chart scaled to width characters. */
+std::string renderBarChart(const std::vector<Bar> &bars,
+                           std::size_t width = 50);
+
+/** Render paired bars (e.g. Intel vs AMD shares) per label. */
+struct PairedBar
+{
+    std::string label;
+    double first = 0.0;
+    double second = 0.0;
+};
+
+std::string renderPairedBarChart(const std::vector<PairedBar> &bars,
+                                 const std::string &first_name,
+                                 const std::string &second_name,
+                                 std::size_t width = 40);
+
+/** Render a heatmap with shade characters (' ', '.', ':', '*', '#'). */
+std::string
+renderHeatmap(const std::vector<std::string> &row_labels,
+              const std::vector<std::string> &column_labels,
+              const std::vector<std::vector<std::size_t>> &cells);
+
+/** Dump cumulative series as aligned yearly samples. */
+std::string renderSeriesByYear(
+    const std::vector<CumulativeSeries> &series, int first_year,
+    int last_year);
+
+} // namespace rememberr
+
+#endif // REMEMBERR_REPORT_CHART_HH

@@ -1,0 +1,278 @@
+#include "svg.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/strings.hh"
+
+namespace rememberr {
+
+namespace {
+
+const char *const palette[] = {
+    "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd",
+    "#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+    "#aec7e8", "#ffbb78", "#98df8a", "#ff9896", "#c5b0d5",
+    "#c49c94",
+};
+
+std::string
+attr(double value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f", value);
+    return buf;
+}
+
+std::string
+escapeXml(const std::string &text)
+{
+    std::string out;
+    for (char c : text) {
+        switch (c) {
+          case '<': out += "&lt;"; break;
+          case '>': out += "&gt;"; break;
+          case '&': out += "&amp;"; break;
+          case '"': out += "&quot;"; break;
+          default: out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+svgHeader(const SvgOptions &options)
+{
+    std::string out = "<svg xmlns=\"http://www.w3.org/2000/svg\" "
+                      "width=\"" +
+                      std::to_string(options.width) + "\" height=\"" +
+                      std::to_string(options.height) + "\">\n";
+    out += "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+    if (!options.title.empty()) {
+        out += "<text x=\"" + std::to_string(options.width / 2) +
+               "\" y=\"18\" text-anchor=\"middle\" "
+               "font-family=\"sans-serif\" font-size=\"14\">" +
+               escapeXml(options.title) + "</text>\n";
+    }
+    return out;
+}
+
+std::string
+text(double x, double y, const std::string &content,
+     const char *anchor = "start", int size = 10)
+{
+    return "<text x=\"" + attr(x) + "\" y=\"" + attr(y) +
+           "\" text-anchor=\"" + anchor +
+           "\" font-family=\"sans-serif\" font-size=\"" +
+           std::to_string(size) + "\">" + escapeXml(content) +
+           "</text>\n";
+}
+
+} // namespace
+
+std::string
+svgLineChart(const std::vector<CumulativeSeries> &series,
+             const SvgOptions &options)
+{
+    // Data extents.
+    std::int64_t minDay = 0, maxDay = 1;
+    std::size_t maxCount = 1;
+    bool first = true;
+    for (const CumulativeSeries &s : series) {
+        for (const auto &[date, count] : s.points) {
+            if (first) {
+                minDay = maxDay = date.serial();
+                first = false;
+            }
+            minDay = std::min(minDay, date.serial());
+            maxDay = std::max(maxDay, date.serial());
+            maxCount = std::max(maxCount, count);
+        }
+    }
+    if (maxDay == minDay)
+        maxDay = minDay + 1;
+
+    const double plotW = options.width - options.marginLeft -
+                         options.marginRight;
+    const double plotH = options.height - options.marginTop -
+                         options.marginBottom;
+    auto xOf = [&](Date date) {
+        return options.marginLeft +
+               plotW *
+                   static_cast<double>(date.serial() - minDay) /
+                   static_cast<double>(maxDay - minDay);
+    };
+    auto yOf = [&](std::size_t count) {
+        return options.marginTop +
+               plotH * (1.0 - static_cast<double>(count) /
+                                  static_cast<double>(maxCount));
+    };
+
+    std::string out = svgHeader(options);
+    // Axes.
+    out += "<line x1=\"" + attr(options.marginLeft) + "\" y1=\"" +
+           attr(options.marginTop) + "\" x2=\"" +
+           attr(options.marginLeft) + "\" y2=\"" +
+           attr(options.marginTop + plotH) +
+           "\" stroke=\"black\"/>\n";
+    out += "<line x1=\"" + attr(options.marginLeft) + "\" y1=\"" +
+           attr(options.marginTop + plotH) + "\" x2=\"" +
+           attr(options.marginLeft + plotW) + "\" y2=\"" +
+           attr(options.marginTop + plotH) +
+           "\" stroke=\"black\"/>\n";
+
+    // Year ticks.
+    int firstYear = Date::fromSerial(minDay).year();
+    int lastYear = Date::fromSerial(maxDay).year();
+    for (int year = firstYear; year <= lastYear; ++year) {
+        Date tick(year, 1, 1);
+        if (tick.serial() < minDay || tick.serial() > maxDay)
+            continue;
+        double x = xOf(tick);
+        out += "<line x1=\"" + attr(x) + "\" y1=\"" +
+               attr(options.marginTop + plotH) + "\" x2=\"" +
+               attr(x) + "\" y2=\"" +
+               attr(options.marginTop + plotH + 4) +
+               "\" stroke=\"black\"/>\n";
+        out += text(x, options.marginTop + plotH + 16,
+                    std::to_string(year), "middle");
+    }
+    // Count ticks.
+    for (int t = 0; t <= 4; ++t) {
+        std::size_t value = maxCount * t / 4;
+        double y = yOf(value);
+        out += text(options.marginLeft - 6, y + 3,
+                    std::to_string(value), "end");
+    }
+
+    // Series polylines and legend.
+    for (std::size_t s = 0; s < series.size(); ++s) {
+        if (series[s].points.empty())
+            continue;
+        std::string points;
+        // Step-style: carry the previous count to the next date.
+        std::size_t previous = 0;
+        bool began = false;
+        for (const auto &[date, count] : series[s].points) {
+            if (began) {
+                points += attr(xOf(date)) + "," +
+                          attr(yOf(previous)) + " ";
+            }
+            points += attr(xOf(date)) + "," + attr(yOf(count)) + " ";
+            previous = count;
+            began = true;
+        }
+        const char *color = palette[s % 16];
+        out += "<polyline fill=\"none\" stroke=\"";
+        out += color;
+        out += "\" stroke-width=\"1.5\" points=\"" + points +
+               "\"/>\n";
+        double ly = options.marginTop + 12.0 * (s + 1);
+        double lx = options.marginLeft + plotW - 150;
+        out += "<rect x=\"" + attr(lx) + "\" y=\"" + attr(ly - 8) +
+               "\" width=\"10\" height=\"10\" fill=\"";
+        out += color;
+        out += "\"/>\n";
+        out += text(lx + 14, ly, series[s].label);
+    }
+    out += "</svg>\n";
+    return out;
+}
+
+std::string
+svgBarChart(const std::vector<Bar> &bars, const SvgOptions &options)
+{
+    double maxValue = 1e-9;
+    for (const Bar &bar : bars)
+        maxValue = std::max(maxValue, bar.value);
+
+    const double plotW = options.width - options.marginLeft -
+                         options.marginRight - 120;
+    const double rowH = bars.empty()
+                            ? 10.0
+                            : (options.height - options.marginTop -
+                               options.marginBottom) /
+                                  static_cast<double>(bars.size());
+
+    std::string out = svgHeader(options);
+    for (std::size_t i = 0; i < bars.size(); ++i) {
+        double y = options.marginTop + rowH * i;
+        double w = plotW * bars[i].value / maxValue;
+        out += "<rect x=\"" + attr(options.marginLeft + 110) +
+               "\" y=\"" + attr(y + 2) + "\" width=\"" + attr(w) +
+               "\" height=\"" + attr(std::max(rowH - 4, 2.0)) +
+               "\" fill=\"";
+        out += palette[i % 16];
+        out += "\"/>\n";
+        out += text(options.marginLeft + 104, y + rowH / 2 + 3,
+                    bars[i].label, "end");
+        out += text(options.marginLeft + 114 + w, y + rowH / 2 + 3,
+                    bars[i].annotation.empty()
+                        ? strings::formatDouble(bars[i].value, 1)
+                        : bars[i].annotation);
+    }
+    out += "</svg>\n";
+    return out;
+}
+
+std::string
+svgHeatmap(const std::vector<std::string> &row_labels,
+           const std::vector<std::string> &column_labels,
+           const std::vector<std::vector<std::size_t>> &cells,
+           const SvgOptions &options)
+{
+    std::size_t maxValue = 1;
+    for (const auto &row : cells) {
+        for (std::size_t value : row)
+            maxValue = std::max(maxValue, value);
+    }
+    const std::size_t rows = cells.size();
+    const std::size_t cols = rows == 0 ? 0 : cells[0].size();
+    const double plotW = options.width - options.marginLeft -
+                         options.marginRight;
+    const double plotH = options.height - options.marginTop -
+                         options.marginBottom;
+    const double cellW = cols == 0 ? 1 : plotW / cols;
+    const double cellH = rows == 0 ? 1 : plotH / rows;
+
+    std::string out = svgHeader(options);
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            double intensity =
+                static_cast<double>(cells[r][c]) /
+                static_cast<double>(maxValue);
+            int blue = 255;
+            int other = static_cast<int>(
+                std::lround(255.0 * (1.0 - intensity)));
+            char color[16];
+            std::snprintf(color, sizeof(color), "#%02x%02x%02x",
+                          other, other, blue);
+            out += "<rect x=\"" +
+                   attr(options.marginLeft + cellW * c) + "\" y=\"" +
+                   attr(options.marginTop + cellH * r) +
+                   "\" width=\"" + attr(cellW) + "\" height=\"" +
+                   attr(cellH) + "\" fill=\"";
+            out += color;
+            out += "\" stroke=\"#ddd\" stroke-width=\"0.3\"/>\n";
+        }
+        if (r < row_labels.size()) {
+            out += text(options.marginLeft - 4,
+                        options.marginTop + cellH * r +
+                            cellH / 2 + 3,
+                        row_labels[r], "end", 8);
+        }
+    }
+    for (std::size_t c = 0; c < column_labels.size() && c < cols;
+         ++c) {
+        out += "<g transform=\"translate(" +
+               attr(options.marginLeft + cellW * c + cellW / 2) +
+               "," + attr(options.marginTop + plotH + 8) +
+               ") rotate(45)\">" +
+               text(0, 0, column_labels[c], "start", 7) + "</g>\n";
+    }
+    out += "</svg>\n";
+    return out;
+}
+
+} // namespace rememberr

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Minimal SVG chart writer.
+ *
+ * Produces standalone SVG documents for the reproduced figures: line
+ * charts over dates (Figures 2, 4 and 5), bar charts (Figures 6-11
+ * and 13-19) and heatmaps (Figures 3 and 12).
+ */
+
+#ifndef REMEMBERR_REPORT_SVG_HH
+#define REMEMBERR_REPORT_SVG_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/timeline.hh"
+#include "chart.hh"
+
+namespace rememberr {
+
+/** Chart geometry. */
+struct SvgOptions
+{
+    int width = 800;
+    int height = 420;
+    int marginLeft = 70;
+    int marginRight = 20;
+    int marginTop = 30;
+    int marginBottom = 50;
+    std::string title;
+};
+
+/** Cumulative line chart over dates, one polyline per series. */
+std::string svgLineChart(const std::vector<CumulativeSeries> &series,
+                         const SvgOptions &options = {});
+
+/** Horizontal bar chart. */
+std::string svgBarChart(const std::vector<Bar> &bars,
+                        const SvgOptions &options = {});
+
+/** Heatmap with a blue intensity ramp. */
+std::string
+svgHeatmap(const std::vector<std::string> &row_labels,
+           const std::vector<std::string> &column_labels,
+           const std::vector<std::vector<std::size_t>> &cells,
+           const SvgOptions &options = {});
+
+} // namespace rememberr
+
+#endif // REMEMBERR_REPORT_SVG_HH

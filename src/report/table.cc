@@ -1,0 +1,84 @@
+#include "table.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace rememberr {
+
+void
+AsciiTable::setColumns(std::vector<std::string> headers,
+                       std::vector<Align> alignments)
+{
+    headers_ = std::move(headers);
+    if (alignments.empty())
+        alignments.assign(headers_.size(), Align::Left);
+    if (alignments.size() != headers_.size())
+        REMEMBERR_PANIC("AsciiTable: alignment count mismatch");
+    alignments_ = std::move(alignments);
+}
+
+void
+AsciiTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        REMEMBERR_PANIC("AsciiTable: row width ", cells.size(),
+                        " != column count ", headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+AsciiTable::addSeparator()
+{
+    separators_.push_back(rows_.size());
+}
+
+std::string
+AsciiTable::toString() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto renderRow = [&](const std::vector<std::string> &cells) {
+        std::string line = "|";
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            line += ' ';
+            line += alignments_[c] == Align::Left
+                        ? strings::padRight(cells[c], widths[c])
+                        : strings::padLeft(cells[c], widths[c]);
+            line += " |";
+        }
+        line += '\n';
+        return line;
+    };
+    auto rule = [&]() {
+        std::string line = "+";
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            line += strings::repeat("-", widths[c] + 2);
+            line += '+';
+        }
+        line += '\n';
+        return line;
+    };
+
+    std::string out = rule();
+    out += renderRow(headers_);
+    out += rule();
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        for (std::size_t sep : separators_) {
+            if (sep == r)
+                out += rule();
+        }
+        out += renderRow(rows_[r]);
+    }
+    out += rule();
+    return out;
+}
+
+} // namespace rememberr

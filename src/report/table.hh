@@ -1,0 +1,44 @@
+/**
+ * @file
+ * ASCII table rendering for the bench harness output.
+ */
+
+#ifndef REMEMBERR_REPORT_TABLE_HH
+#define REMEMBERR_REPORT_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace rememberr {
+
+/** Column alignment. */
+enum class Align { Left, Right };
+
+/** A simple monospace table. */
+class AsciiTable
+{
+  public:
+    /** Define the columns; call before adding rows. */
+    void setColumns(std::vector<std::string> headers,
+                    std::vector<Align> alignments = {});
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Insert a horizontal separator after the current last row. */
+    void addSeparator();
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Render with column separators and a header rule. */
+    std::string toString() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<Align> alignments_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::size_t> separators_;
+};
+
+} // namespace rememberr
+
+#endif // REMEMBERR_REPORT_TABLE_HH

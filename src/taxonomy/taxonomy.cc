@@ -1,0 +1,334 @@
+#include "taxonomy.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace rememberr {
+
+std::string_view
+axisPrefix(Axis axis)
+{
+    switch (axis) {
+      case Axis::Trigger: return "Trg";
+      case Axis::Context: return "Ctx";
+      case Axis::Effect: return "Eff";
+    }
+    REMEMBERR_PANIC("axisPrefix: bad axis");
+}
+
+std::string_view
+axisName(Axis axis)
+{
+    switch (axis) {
+      case Axis::Trigger: return "trigger";
+      case Axis::Context: return "context";
+      case Axis::Effect: return "effect";
+    }
+    REMEMBERR_PANIC("axisName: bad axis");
+}
+
+const Taxonomy &
+Taxonomy::instance()
+{
+    static const Taxonomy taxonomy;
+    return taxonomy;
+}
+
+ClassId
+Taxonomy::addClass(Axis axis, std::string suffix,
+                   std::string description)
+{
+    CategoryClass cls;
+    cls.id = static_cast<ClassId>(classes_.size());
+    cls.axis = axis;
+    cls.suffix = suffix;
+    cls.code = std::string(axisPrefix(axis)) + "_" + suffix;
+    cls.description = std::move(description);
+    classes_.push_back(std::move(cls));
+    return classes_.back().id;
+}
+
+CategoryId
+Taxonomy::addCategory(ClassId cls, std::string suffix,
+                      std::string description)
+{
+    if (categories_.size() >= 64)
+        REMEMBERR_PANIC("Taxonomy: more than 64 abstract categories");
+    AbstractCategory cat;
+    cat.id = static_cast<CategoryId>(categories_.size());
+    cat.classId = cls;
+    cat.axis = classes_[cls].axis;
+    cat.suffix = suffix;
+    cat.code = classes_[cls].code + "_" + suffix;
+    cat.description = std::move(description);
+    categories_.push_back(std::move(cat));
+    return categories_.back().id;
+}
+
+Taxonomy::Taxonomy()
+{
+    // ---- Table IV: triggers (conjunctive) --------------------------
+    ClassId mbr = addClass(Axis::Trigger, "MBR",
+                           "a data operation on a memory boundary");
+    addCategory(mbr, "cbr", "a data operation on a cache line "
+                            "boundary");
+    addCategory(mbr, "pgb", "a data operation on a page boundary");
+    addCategory(mbr, "mbr", "a data operation on a memory map "
+                            "boundary such as canonical");
+
+    ClassId mop = addClass(Axis::Trigger, "MOP",
+                           "a memory operation");
+    addCategory(mop, "mmp", "an interaction with a memory-mapped "
+                            "element");
+    addCategory(mop, "atp", "an atomic/transactional memory "
+                            "operation");
+    addCategory(mop, "fen", "a memory fence or a serializing "
+                            "instruction");
+    addCategory(mop, "seg", "a condition on segment modes");
+    addCategory(mop, "ptw", "a core page table walk");
+    addCategory(mop, "nst", "translation on nested page tables");
+    addCategory(mop, "flc", "flushing some cache line or TLB");
+    addCategory(mop, "spe", "a speculative memory operation");
+
+    ClassId exc = addClass(Axis::Trigger, "EXC",
+                           "related to exceptions and faults");
+    addCategory(exc, "ovf", "a counter overflow");
+    addCategory(exc, "tmr", "a timer event");
+    addCategory(exc, "mca", "a machine check exception");
+    addCategory(exc, "ill", "an illegal instruction");
+
+    ClassId prv = addClass(Axis::Trigger, "PRV",
+                           "related to privilege transitions");
+    addCategory(prv, "ret", "a resume from System Management or OS "
+                            "mode");
+    addCategory(prv, "vmt", "a transition between hypervisor and "
+                            "guest");
+
+    ClassId cfg = addClass(Axis::Trigger, "CFG",
+                           "related to dynamic configuration");
+    addCategory(cfg, "pag", "a paging mechanism interaction");
+    addCategory(cfg, "vmc", "a virtual machine configuration "
+                            "interaction");
+    addCategory(cfg, "wrg", "a configuration register interaction");
+
+    ClassId pow = addClass(Axis::Trigger, "POW",
+                           "related to power states");
+    addCategory(pow, "pwc", "a transition between power states");
+    addCategory(pow, "tht", "a change in thermal or power supply "
+                            "conditions, or throttling");
+
+    ClassId ext = addClass(Axis::Trigger, "EXT",
+                           "related to external inputs");
+    addCategory(ext, "rst", "a (cold or warm) reset");
+    addCategory(ext, "pci", "an interaction with PCIe");
+    addCategory(ext, "usb", "an interaction with USB");
+    addCategory(ext, "ram", "a specific DRAM configuration");
+    addCategory(ext, "iom", "an access through the IOMMU");
+    addCategory(ext, "bus", "system bus (HyperTransport, QPI, etc.)");
+
+    ClassId fea = addClass(Axis::Trigger, "FEA",
+                           "related to features");
+    addCategory(fea, "fpu", "floating-point instructions");
+    addCategory(fea, "dbg", "debug features such as breakpoints");
+    addCategory(fea, "cid", "design identification (CPUID reports)");
+    addCategory(fea, "mon", "monitoring (MONITOR and MWAIT)");
+    addCategory(fea, "tra", "tracing features");
+    addCategory(fea, "cus", "other specific features (SSE, MMX, "
+                            "etc.)");
+
+    // ---- Table V: contexts (disjunctive) ---------------------------
+    ClassId cprv = addClass(Axis::Context, "PRV",
+                            "related to privileges");
+    addCategory(cprv, "boo", "booting or being in the BIOS");
+    addCategory(cprv, "vmg", "being a virtual machine guest");
+    addCategory(cprv, "rea", "operating in real mode");
+    addCategory(cprv, "vmh", "being a hypervisor");
+    addCategory(cprv, "smm", "being in SMM");
+
+    ClassId cfea = addClass(Axis::Context, "FEA",
+                            "related to features");
+    addCategory(cfea, "sec", "security feature enabled (SGX, SVM, "
+                             "etc.)");
+    addCategory(cfea, "sgc", "running in a single-core configuration");
+
+    ClassId cphy = addClass(Axis::Context, "PHY",
+                            "non-digital conditions");
+    addCategory(cphy, "pkg", "package-specific");
+    addCategory(cphy, "tmp", "temperature-specific");
+    addCategory(cphy, "vol", "voltage-specific");
+
+    // ---- Table VI: observable effects (disjunctive) ----------------
+    ClassId hng = addClass(Axis::Effect, "HNG",
+                           "related to hangs");
+    addCategory(hng, "unp", "an unpredictable behavior");
+    addCategory(hng, "hng", "a hang of the processor");
+    addCategory(hng, "crh", "a crash of the processor");
+    addCategory(hng, "boo", "a boot failure");
+
+    ClassId flt = addClass(Axis::Effect, "FLT",
+                           "related to faults");
+    addCategory(flt, "mca", "a machine check exception");
+    addCategory(flt, "unc", "an uncorrectable error");
+    addCategory(flt, "fsp", "one or multiple spurious faults");
+    addCategory(flt, "fms", "one or multiple missing faults");
+    addCategory(flt, "fid", "a wrong fault identifier or order");
+
+    ClassId crp = addClass(Axis::Effect, "CRP",
+                           "related to corruptions");
+    addCategory(crp, "prf", "a wrong performance counter value");
+    addCategory(crp, "reg", "a wrong MSR value");
+
+    ClassId eext = addClass(Axis::Effect, "EXT",
+                            "related to physical outputs");
+    addCategory(eext, "pci", "issues observable on the PCIe side");
+    addCategory(eext, "usb", "issues observable on the USB side");
+    addCategory(eext, "mmd", "multimedia issues (e.g., audio, "
+                             "graphics)");
+    addCategory(eext, "ram", "abnormal interaction with DRAM");
+    addCategory(eext, "pow", "abnormal power consumption");
+
+    // The paper defines exactly 60 abstract categories in total.
+    if (categories_.size() != 60)
+        REMEMBERR_PANIC("Taxonomy: expected 60 categories, have ",
+                        categories_.size());
+}
+
+const CategoryClass &
+Taxonomy::classById(ClassId id) const
+{
+    if (id >= classes_.size())
+        REMEMBERR_PANIC("Taxonomy: bad class id ", id);
+    return classes_[id];
+}
+
+const AbstractCategory &
+Taxonomy::categoryById(CategoryId id) const
+{
+    if (id >= categories_.size())
+        REMEMBERR_PANIC("Taxonomy: bad category id ", id);
+    return categories_[id];
+}
+
+std::vector<CategoryId>
+Taxonomy::categoriesOfClass(ClassId id) const
+{
+    std::vector<CategoryId> out;
+    for (const auto &cat : categories_) {
+        if (cat.classId == id)
+            out.push_back(cat.id);
+    }
+    return out;
+}
+
+std::vector<ClassId>
+Taxonomy::classesOfAxis(Axis axis) const
+{
+    std::vector<ClassId> out;
+    for (const auto &cls : classes_) {
+        if (cls.axis == axis)
+            out.push_back(cls.id);
+    }
+    return out;
+}
+
+std::vector<CategoryId>
+Taxonomy::categoriesOfAxis(Axis axis) const
+{
+    std::vector<CategoryId> out;
+    for (const auto &cat : categories_) {
+        if (cat.axis == axis)
+            out.push_back(cat.id);
+    }
+    return out;
+}
+
+namespace {
+
+/** Normalize the axis prefix case: "trg_EXT_rst" -> "Trg_EXT_rst". */
+std::string
+normalizeDescriptor(std::string_view code)
+{
+    std::string text(code);
+    if (text.size() >= 3) {
+        std::string prefix = strings::toLower(text.substr(0, 3));
+        if (prefix == "trg")
+            text.replace(0, 3, "Trg");
+        else if (prefix == "ctx")
+            text.replace(0, 3, "Ctx");
+        else if (prefix == "eff")
+            text.replace(0, 3, "Eff");
+    }
+    return text;
+}
+
+} // namespace
+
+std::optional<CategoryId>
+Taxonomy::parseCategory(std::string_view code) const
+{
+    std::string normalized = normalizeDescriptor(code);
+    for (const auto &cat : categories_) {
+        if (cat.code == normalized)
+            return cat.id;
+    }
+    return std::nullopt;
+}
+
+std::optional<ClassId>
+Taxonomy::parseClass(std::string_view code) const
+{
+    std::string normalized = normalizeDescriptor(code);
+    for (const auto &cls : classes_) {
+        if (cls.code == normalized)
+            return cls.id;
+    }
+    return std::nullopt;
+}
+
+std::size_t
+CategorySet::size() const
+{
+    return static_cast<std::size_t>(__builtin_popcountll(mask_));
+}
+
+std::vector<CategoryId>
+CategorySet::toVector() const
+{
+    std::vector<CategoryId> out;
+    for (CategoryId id = 0; id < 64; ++id) {
+        if (contains(id))
+            out.push_back(id);
+    }
+    return out;
+}
+
+CategorySet
+CategorySet::filterAxis(Axis axis) const
+{
+    const Taxonomy &taxonomy = Taxonomy::instance();
+    CategorySet out;
+    for (CategoryId id : toVector()) {
+        if (id < taxonomy.categoryCount() &&
+            taxonomy.categoryById(id).axis == axis) {
+            out.insert(id);
+        }
+    }
+    return out;
+}
+
+std::vector<ClassId>
+CategorySet::coveredClasses() const
+{
+    const Taxonomy &taxonomy = Taxonomy::instance();
+    std::set<ClassId> seen;
+    for (CategoryId id : toVector()) {
+        if (id < taxonomy.categoryCount())
+            seen.insert(taxonomy.categoryById(id).classId);
+    }
+    return {seen.begin(), seen.end()};
+}
+
+} // namespace rememberr

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * The RemembERR hierarchical classification scheme.
+ *
+ * Section V defines three axes — conjunctive *triggers* (Table IV),
+ * disjunctive *contexts* (Table V) and disjunctive *effects*
+ * (Table VI) — each organized on three abstraction levels:
+ *
+ *   - class level    e.g. Trg_EXT   ("related to external inputs")
+ *   - abstract level e.g. Trg_EXT_rst ("a (cold or warm) reset")
+ *   - concrete level free text specific to one erratum
+ *
+ * The paper defines exactly 60 abstract categories (34 trigger, 10
+ * context, 16 effect) in 15 classes; this module is the authoritative
+ * registry for them. Category identities are stable small integers so
+ * annotation sets can be stored as bitsets.
+ */
+
+#ifndef REMEMBERR_TAXONOMY_TAXONOMY_HH
+#define REMEMBERR_TAXONOMY_TAXONOMY_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rememberr {
+
+/** The three classification axes. */
+enum class Axis : std::uint8_t { Trigger, Context, Effect };
+
+/** Printable axis prefix: "Trg", "Ctx" or "Eff". */
+std::string_view axisPrefix(Axis axis);
+
+/** Printable axis name: "trigger", "context" or "effect". */
+std::string_view axisName(Axis axis);
+
+/** Stable identifier of an abstract category (index into registry). */
+using CategoryId = std::uint16_t;
+
+/** Stable identifier of a class-level category. */
+using ClassId = std::uint16_t;
+
+/** One class-level category, e.g. Trg_EXT. */
+struct CategoryClass
+{
+    ClassId id = 0;
+    Axis axis = Axis::Trigger;
+    std::string code;        ///< e.g. "Trg_EXT"
+    std::string suffix;      ///< e.g. "EXT"
+    std::string description; ///< e.g. "related to external inputs"
+};
+
+/** One abstract-level category, e.g. Trg_EXT_rst. */
+struct AbstractCategory
+{
+    CategoryId id = 0;
+    ClassId classId = 0;
+    Axis axis = Axis::Trigger;
+    std::string code;        ///< e.g. "Trg_EXT_rst"
+    std::string suffix;      ///< e.g. "rst"
+    std::string description; ///< e.g. "a (cold or warm) reset"
+};
+
+/**
+ * The immutable registry of Tables IV-VI.
+ *
+ * Access through Taxonomy::instance(); construction enumerates the
+ * paper's tables in order, so ids are deterministic.
+ */
+class Taxonomy
+{
+  public:
+    static const Taxonomy &instance();
+
+    const std::vector<CategoryClass> &classes() const
+    {
+        return classes_;
+    }
+    const std::vector<AbstractCategory> &categories() const
+    {
+        return categories_;
+    }
+
+    std::size_t classCount() const { return classes_.size(); }
+    std::size_t categoryCount() const { return categories_.size(); }
+
+    const CategoryClass &classById(ClassId id) const;
+    const AbstractCategory &categoryById(CategoryId id) const;
+
+    /** All abstract categories of one class, in table order. */
+    std::vector<CategoryId> categoriesOfClass(ClassId id) const;
+
+    /** All classes of one axis, in table order. */
+    std::vector<ClassId> classesOfAxis(Axis axis) const;
+
+    /** All abstract categories of one axis, in table order. */
+    std::vector<CategoryId> categoriesOfAxis(Axis axis) const;
+
+    /**
+     * Parse a descriptor like "Trg_EXT_rst" (abstract). The prefix is
+     * case-insensitive ("trg_EXT_rst" as used in the figures is
+     * accepted). Returns nullopt for unknown codes.
+     */
+    std::optional<CategoryId> parseCategory(std::string_view code) const;
+
+    /** Parse a class descriptor like "Trg_EXT". */
+    std::optional<ClassId> parseClass(std::string_view code) const;
+
+  private:
+    Taxonomy();
+
+    ClassId addClass(Axis axis, std::string suffix,
+                     std::string description);
+    CategoryId addCategory(ClassId cls, std::string suffix,
+                           std::string description);
+
+    std::vector<CategoryClass> classes_;
+    std::vector<AbstractCategory> categories_;
+};
+
+/**
+ * A set of abstract categories, stored as a 64-bit mask (the paper
+ * defines exactly 60 abstract categories).
+ */
+class CategorySet
+{
+  public:
+    CategorySet() = default;
+
+    void
+    insert(CategoryId id)
+    {
+        mask_ |= (std::uint64_t{1} << id);
+    }
+
+    void
+    erase(CategoryId id)
+    {
+        mask_ &= ~(std::uint64_t{1} << id);
+    }
+
+    bool
+    contains(CategoryId id) const
+    {
+        return (mask_ >> id) & 1;
+    }
+
+    bool empty() const { return mask_ == 0; }
+    std::size_t size() const;
+
+    CategorySet
+    operator|(CategorySet other) const
+    {
+        CategorySet out;
+        out.mask_ = mask_ | other.mask_;
+        return out;
+    }
+
+    CategorySet
+    operator&(CategorySet other) const
+    {
+        CategorySet out;
+        out.mask_ = mask_ & other.mask_;
+        return out;
+    }
+
+    bool operator==(const CategorySet &) const = default;
+
+    std::uint64_t mask() const { return mask_; }
+
+    /** Members in increasing id order. */
+    std::vector<CategoryId> toVector() const;
+
+    /** Restrict to categories of one axis. */
+    CategorySet filterAxis(Axis axis) const;
+
+    /** The set of classes covered by the members. */
+    std::vector<ClassId> coveredClasses() const;
+
+  private:
+    std::uint64_t mask_ = 0;
+};
+
+} // namespace rememberr
+
+#endif // REMEMBERR_TAXONOMY_TAXONOMY_HH

@@ -1,0 +1,80 @@
+#include "ngram_index.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "tokenize.hh"
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace rememberr {
+
+NgramIndex::NgramIndex(std::size_t n) : n_(n)
+{
+    if (n == 0)
+        REMEMBERR_PANIC("NgramIndex: n must be positive");
+}
+
+std::vector<std::string>
+NgramIndex::distinctGrams(std::string_view text) const
+{
+    std::string canon = strings::canonicalize(text);
+    std::set<std::string> grams;
+    for (auto &gram : characterNgrams(canon, n_))
+        grams.insert(std::move(gram));
+    // Short titles still need representation: fall back to the whole
+    // canonical string as a single gram.
+    if (grams.empty() && !canon.empty())
+        grams.insert(canon);
+    return {grams.begin(), grams.end()};
+}
+
+std::uint32_t
+NgramIndex::add(std::string_view text)
+{
+    std::uint32_t id =
+        static_cast<std::uint32_t>(docGramCounts_.size());
+    auto grams = distinctGrams(text);
+    for (const auto &gram : grams)
+        postings_[gram].push_back(id);
+    docGramCounts_.push_back(grams.size());
+    return id;
+}
+
+std::vector<NgramCandidate>
+NgramIndex::query(std::string_view text, double min_overlap,
+                  std::int64_t exclude_id) const
+{
+    auto grams = distinctGrams(text);
+    if (grams.empty())
+        return {};
+    std::unordered_map<std::uint32_t, std::size_t> shared;
+    for (const auto &gram : grams) {
+        auto it = postings_.find(gram);
+        if (it == postings_.end())
+            continue;
+        for (std::uint32_t doc : it->second)
+            ++shared[doc];
+    }
+    std::vector<NgramCandidate> out;
+    for (const auto &[doc, count] : shared) {
+        if (exclude_id >= 0 &&
+            doc == static_cast<std::uint32_t>(exclude_id)) {
+            continue;
+        }
+        double overlap =
+            static_cast<double>(count) / static_cast<double>(
+                grams.size());
+        if (overlap >= min_overlap)
+            out.push_back({doc, count, overlap});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const NgramCandidate &a, const NgramCandidate &b) {
+                  if (a.overlap != b.overlap)
+                      return a.overlap > b.overlap;
+                  return a.docId < b.docId;
+              });
+    return out;
+}
+
+} // namespace rememberr

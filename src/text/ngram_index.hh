@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Inverted n-gram index for duplicate-candidate generation.
+ *
+ * Comparing all ~2,000 Intel errata pairwise is quadratic; the index
+ * returns, for a query title, only the documents sharing at least one
+ * character n-gram, ranked by shared-gram count. DESIGN.md D1
+ * evaluates the index against the all-pairs baseline.
+ */
+
+#ifndef REMEMBERR_TEXT_NGRAM_INDEX_HH
+#define REMEMBERR_TEXT_NGRAM_INDEX_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace rememberr {
+
+/** A scored candidate from the index. */
+struct NgramCandidate
+{
+    std::uint32_t docId = 0;
+    /** Number of distinct query n-grams also present in the doc. */
+    std::size_t sharedGrams = 0;
+    /** sharedGrams / distinct query grams, in [0, 1]. */
+    double overlap = 0.0;
+};
+
+/** An inverted index from character n-grams to document ids. */
+class NgramIndex
+{
+  public:
+    /** @param n the gram length (3 works well for titles). */
+    explicit NgramIndex(std::size_t n = 3);
+
+    /** Add a document; ids are assigned sequentially from 0. */
+    std::uint32_t add(std::string_view text);
+
+    std::size_t size() const { return docGramCounts_.size(); }
+    std::size_t gramLength() const { return n_; }
+
+    /**
+     * Candidates sharing at least minOverlap fraction of the query's
+     * distinct grams, sorted by decreasing overlap. The query doc
+     * itself (by id) can be excluded with excludeId.
+     */
+    std::vector<NgramCandidate>
+    query(std::string_view text, double min_overlap = 0.2,
+          std::int64_t exclude_id = -1) const;
+
+  private:
+    std::vector<std::string> distinctGrams(std::string_view text) const;
+
+    std::size_t n_;
+    std::unordered_map<std::string, std::vector<std::uint32_t>>
+        postings_;
+    /** Distinct-gram count per document, for normalization. */
+    std::vector<std::size_t> docGramCounts_;
+};
+
+} // namespace rememberr
+
+#endif // REMEMBERR_TEXT_NGRAM_INDEX_HH

@@ -1,0 +1,908 @@
+#include "regex.hh"
+
+#include <cctype>
+#include <memory>
+
+#include "util/logging.hh"
+
+namespace rememberr {
+
+namespace {
+
+inline char
+foldCase(char c)
+{
+    return static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c)));
+}
+
+inline bool
+isWordChar(char c)
+{
+    unsigned char u = static_cast<unsigned char>(c);
+    return std::isalnum(u) || c == '_';
+}
+
+/** Parsed pattern AST. */
+struct Node
+{
+    enum class Kind {
+        Literal,    ///< a single byte
+        AnyChar,    ///< '.'
+        Class,      ///< character class (index into class table)
+        Concat,     ///< children in sequence
+        Alternate,  ///< children as alternatives
+        Repeat,     ///< child repeated [min, max] (max < 0: unbounded)
+        Group,      ///< capturing or non-capturing group
+        Anchor,     ///< ^ $ \b \B
+        Empty,      ///< matches the empty string
+    };
+
+    enum class AnchorType { Bol, Eol, WordB, NotWordB };
+
+    Kind kind = Kind::Empty;
+    char ch = 0;
+    int classIndex = -1;
+    std::vector<std::unique_ptr<Node>> children;
+    int min = 0;
+    int max = 0;
+    bool lazy = false;
+    int groupIndex = 0;  ///< 0 for non-capturing
+    AnchorType anchor = AnchorType::Bol;
+
+    std::unique_ptr<Node>
+    clone() const
+    {
+        auto copy = std::make_unique<Node>();
+        copy->kind = kind;
+        copy->ch = ch;
+        copy->classIndex = classIndex;
+        copy->min = min;
+        copy->max = max;
+        copy->lazy = lazy;
+        copy->groupIndex = groupIndex;
+        copy->anchor = anchor;
+        for (const auto &child : children)
+            copy->children.push_back(child->clone());
+        return copy;
+    }
+};
+
+} // namespace
+
+bool
+Regex::CharClass::matches(unsigned char c, bool ignore_case) const
+{
+    auto inRanges = [&](unsigned char probe) {
+        for (const auto &[lo, hi] : ranges) {
+            if (probe >= lo && probe <= hi)
+                return true;
+        }
+        return false;
+    };
+    bool hit = inRanges(c);
+    if (!hit && ignore_case) {
+        unsigned char other = static_cast<unsigned char>(
+            std::isupper(c) ? std::tolower(c)
+                            : std::isalpha(c) ? std::toupper(c) : c);
+        if (other != c)
+            hit = inRanges(other);
+    }
+    return negated ? !hit : hit;
+}
+
+/** Compiles a pattern string into a Regex program. */
+class RegexCompiler
+{
+  public:
+    RegexCompiler(std::string_view pattern, RegexOptions options)
+        : pattern_(pattern), options_(options)
+    {
+    }
+
+    Expected<Regex>
+    compile()
+    {
+        auto ast = parseAlternation();
+        if (!ast)
+            return makeError(error_);
+        if (pos_ != pattern_.size())
+            return makeError(syntaxError("unexpected ')'"));
+
+        Regex regex;
+        regex.pattern_ = std::string(pattern_);
+        regex.options_ = options_;
+        regex.classes_ = std::move(classes_);
+        regex.groupCount_ = groupCount_;
+
+        // Save(0)/Save(1) delimit the whole match.
+        emit(regex, {Regex::Op::Save, 0, 0, 0});
+        if (!emitNode(regex, *ast))
+            return makeError(error_);
+        emit(regex, {Regex::Op::Save, 1, 0, 0});
+        emit(regex, {Regex::Op::Accept, 0, 0, 0});
+        return regex;
+    }
+
+  private:
+    using NodePtr = std::unique_ptr<Node>;
+
+    std::string
+    syntaxError(const std::string &what)
+    {
+        return what + " at offset " + std::to_string(pos_) + " in /" +
+               std::string(pattern_) + "/";
+    }
+
+    NodePtr
+    fail(const std::string &what)
+    {
+        if (error_.empty())
+            error_ = syntaxError(what);
+        return nullptr;
+    }
+
+    bool atEnd() const { return pos_ >= pattern_.size(); }
+    char peek() const { return pattern_[pos_]; }
+    char take() { return pattern_[pos_++]; }
+
+    // alternation := concat ('|' concat)*
+    NodePtr
+    parseAlternation()
+    {
+        auto first = parseConcat();
+        if (!first)
+            return nullptr;
+        if (atEnd() || peek() != '|')
+            return first;
+        auto node = std::make_unique<Node>();
+        node->kind = Node::Kind::Alternate;
+        node->children.push_back(std::move(first));
+        while (!atEnd() && peek() == '|') {
+            take();
+            auto branch = parseConcat();
+            if (!branch)
+                return nullptr;
+            node->children.push_back(std::move(branch));
+        }
+        return node;
+    }
+
+    // concat := repeat*
+    NodePtr
+    parseConcat()
+    {
+        auto node = std::make_unique<Node>();
+        node->kind = Node::Kind::Concat;
+        while (!atEnd() && peek() != '|' && peek() != ')') {
+            auto piece = parseRepeat();
+            if (!piece)
+                return nullptr;
+            node->children.push_back(std::move(piece));
+        }
+        if (node->children.empty()) {
+            node->kind = Node::Kind::Empty;
+        } else if (node->children.size() == 1) {
+            return std::move(node->children[0]);
+        }
+        return node;
+    }
+
+    // repeat := atom ('*' | '+' | '?' | '{m,n}')? '?'?
+    NodePtr
+    parseRepeat()
+    {
+        auto atom = parseAtom();
+        if (!atom)
+            return nullptr;
+        if (atEnd())
+            return atom;
+
+        int min = -1, max = -1;
+        char q = peek();
+        if (q == '*') {
+            take();
+            min = 0;
+            max = -1;
+        } else if (q == '+') {
+            take();
+            min = 1;
+            max = -1;
+        } else if (q == '?') {
+            take();
+            min = 0;
+            max = 1;
+        } else if (q == '{') {
+            std::size_t mark = pos_;
+            take();
+            if (!parseBraceQuantifier(min, max)) {
+                // '{' not followed by a quantifier: treat literally.
+                pos_ = mark;
+                return atom;
+            }
+        } else {
+            return atom;
+        }
+
+        if (atom->kind == Node::Kind::Anchor)
+            return fail("quantifier on anchor");
+
+        auto node = std::make_unique<Node>();
+        node->kind = Node::Kind::Repeat;
+        node->min = min;
+        node->max = max;
+        if (!atEnd() && peek() == '?') {
+            take();
+            node->lazy = true;
+        }
+        node->children.push_back(std::move(atom));
+        return node;
+    }
+
+    bool
+    parseBraceQuantifier(int &min, int &max)
+    {
+        std::size_t start = pos_;
+        auto readInt = [&](int &out) {
+            int value = 0;
+            bool any = false;
+            while (!atEnd() &&
+                   std::isdigit(static_cast<unsigned char>(peek()))) {
+                value = value * 10 + (take() - '0');
+                any = true;
+                if (value > 1000)
+                    return false;
+            }
+            if (any)
+                out = value;
+            return any;
+        };
+        int lo = -1, hi = -1;
+        if (!readInt(lo)) {
+            pos_ = start;
+            return false;
+        }
+        if (!atEnd() && peek() == ',') {
+            take();
+            if (!atEnd() && peek() == '}') {
+                hi = -1; // open-ended
+            } else if (!readInt(hi)) {
+                pos_ = start;
+                return false;
+            }
+        } else {
+            hi = lo;
+        }
+        if (atEnd() || peek() != '}') {
+            pos_ = start;
+            return false;
+        }
+        take();
+        if (hi >= 0 && hi < lo) {
+            pos_ = start;
+            return false;
+        }
+        min = lo;
+        max = hi;
+        return true;
+    }
+
+    NodePtr
+    parseAtom()
+    {
+        if (atEnd())
+            return fail("pattern ends unexpectedly");
+        char c = take();
+        switch (c) {
+          case '(': {
+            bool capturing = true;
+            if (!atEnd() && peek() == '?') {
+                take();
+                if (atEnd() || take() != ':')
+                    return fail("only (?: groups are supported");
+                capturing = false;
+            }
+            auto node = std::make_unique<Node>();
+            node->kind = Node::Kind::Group;
+            node->groupIndex = capturing ? ++groupCount_ : 0;
+            auto body = parseAlternation();
+            if (!body)
+                return nullptr;
+            if (atEnd() || take() != ')')
+                return fail("unterminated group");
+            node->children.push_back(std::move(body));
+            return node;
+          }
+          case '[':
+            return parseClass();
+          case '.': {
+            auto node = std::make_unique<Node>();
+            node->kind = Node::Kind::AnyChar;
+            return node;
+          }
+          case '^':
+            return makeAnchor(Node::AnchorType::Bol);
+          case '$':
+            return makeAnchor(Node::AnchorType::Eol);
+          case '\\':
+            return parseEscape(false);
+          case '*':
+          case '+':
+          case '?':
+            return fail("quantifier with nothing to repeat");
+          case ')':
+            return fail("unmatched ')'");
+          default: {
+            auto node = std::make_unique<Node>();
+            node->kind = Node::Kind::Literal;
+            node->ch = c;
+            return node;
+          }
+        }
+    }
+
+    NodePtr
+    makeAnchor(Node::AnchorType type)
+    {
+        auto node = std::make_unique<Node>();
+        node->kind = Node::Kind::Anchor;
+        node->anchor = type;
+        return node;
+    }
+
+    /** Build a class node from predefined escape classes (\d, \w...). */
+    NodePtr
+    makeEscapeClass(char kind)
+    {
+        Regex::CharClass cls;
+        switch (kind) {
+          case 'D':
+            cls.negated = true;
+            [[fallthrough]];
+          case 'd':
+            cls.ranges.push_back({'0', '9'});
+            break;
+          case 'W':
+            cls.negated = true;
+            [[fallthrough]];
+          case 'w':
+            cls.ranges.push_back({'a', 'z'});
+            cls.ranges.push_back({'A', 'Z'});
+            cls.ranges.push_back({'0', '9'});
+            cls.ranges.push_back({'_', '_'});
+            break;
+          case 'S':
+            cls.negated = true;
+            [[fallthrough]];
+          case 's':
+            cls.ranges.push_back({' ', ' '});
+            cls.ranges.push_back({'\t', '\t'});
+            cls.ranges.push_back({'\n', '\n'});
+            cls.ranges.push_back({'\r', '\r'});
+            cls.ranges.push_back({'\f', '\f'});
+            cls.ranges.push_back({'\v', '\v'});
+            break;
+          default:
+            return fail("unknown escape class");
+        }
+        auto node = std::make_unique<Node>();
+        node->kind = Node::Kind::Class;
+        node->classIndex = static_cast<int>(classes_.size());
+        classes_.push_back(std::move(cls));
+        return node;
+    }
+
+    NodePtr
+    parseEscape(bool in_class)
+    {
+        if (atEnd())
+            return fail("trailing backslash");
+        char c = take();
+        switch (c) {
+          case 'd': case 'D': case 'w': case 'W': case 's': case 'S':
+            return makeEscapeClass(c);
+          case 'b':
+            if (!in_class)
+                return makeAnchor(Node::AnchorType::WordB);
+            return makeLiteral('\b');
+          case 'B':
+            if (!in_class)
+                return makeAnchor(Node::AnchorType::NotWordB);
+            return fail("\\B inside class");
+          case 'n': return makeLiteral('\n');
+          case 't': return makeLiteral('\t');
+          case 'r': return makeLiteral('\r');
+          case 'f': return makeLiteral('\f');
+          case 'v': return makeLiteral('\v');
+          case '0': return makeLiteral('\0');
+          default:
+            if (std::isalnum(static_cast<unsigned char>(c)))
+                return fail(std::string("unsupported escape \\") + c);
+            return makeLiteral(c);
+        }
+    }
+
+    NodePtr
+    makeLiteral(char c)
+    {
+        auto node = std::make_unique<Node>();
+        node->kind = Node::Kind::Literal;
+        node->ch = c;
+        return node;
+    }
+
+    NodePtr
+    parseClass()
+    {
+        Regex::CharClass cls;
+        if (!atEnd() && peek() == '^') {
+            take();
+            cls.negated = true;
+        }
+        bool first = true;
+        while (true) {
+            if (atEnd())
+                return fail("unterminated character class");
+            char c = peek();
+            if (c == ']' && !first) {
+                take();
+                break;
+            }
+            first = false;
+            take();
+            unsigned char lo;
+            if (c == '\\') {
+                // Inside classes, escape classes merge their ranges.
+                if (atEnd())
+                    return fail("trailing backslash in class");
+                char esc = peek();
+                if (esc == 'd' || esc == 'w' || esc == 's') {
+                    auto sub = parseEscape(true);
+                    if (!sub)
+                        return nullptr;
+                    const auto &subCls =
+                        classes_[static_cast<std::size_t>(
+                            sub->classIndex)];
+                    for (auto r : subCls.ranges)
+                        cls.ranges.push_back(r);
+                    classes_.pop_back();
+                    continue;
+                }
+                auto lit = parseEscape(true);
+                if (!lit)
+                    return nullptr;
+                if (lit->kind != Node::Kind::Literal)
+                    return fail("unsupported escape in class");
+                lo = static_cast<unsigned char>(lit->ch);
+            } else {
+                lo = static_cast<unsigned char>(c);
+            }
+            unsigned char hi = lo;
+            if (!atEnd() && peek() == '-' && pos_ + 1 < pattern_.size()
+                && pattern_[pos_ + 1] != ']') {
+                take(); // '-'
+                char rc = take();
+                if (rc == '\\') {
+                    auto lit = parseEscape(true);
+                    if (!lit || lit->kind != Node::Kind::Literal)
+                        return fail("bad range end in class");
+                    hi = static_cast<unsigned char>(lit->ch);
+                } else {
+                    hi = static_cast<unsigned char>(rc);
+                }
+                if (hi < lo)
+                    return fail("reversed range in class");
+            }
+            cls.ranges.push_back({lo, hi});
+        }
+        auto node = std::make_unique<Node>();
+        node->kind = Node::Kind::Class;
+        node->classIndex = static_cast<int>(classes_.size());
+        classes_.push_back(std::move(cls));
+        return node;
+    }
+
+    // ---- code generation -------------------------------------------
+
+    static std::int32_t
+    here(const Regex &regex)
+    {
+        return static_cast<std::int32_t>(regex.program_.size());
+    }
+
+    static void
+    emit(Regex &regex, Regex::Inst inst)
+    {
+        regex.program_.push_back(inst);
+    }
+
+    bool
+    compileError(const std::string &what)
+    {
+        if (error_.empty())
+            error_ = what + " in /" + std::string(pattern_) + "/";
+        return false;
+    }
+
+    bool
+    emitNode(Regex &regex, const Node &node)
+    {
+        switch (node.kind) {
+          case Node::Kind::Empty:
+            return true;
+          case Node::Kind::Literal: {
+            char c = options_.ignoreCase ? foldCase(node.ch) : node.ch;
+            emit(regex, {Regex::Op::Char, 0, 0, c});
+            return true;
+          }
+          case Node::Kind::AnyChar:
+            emit(regex, {Regex::Op::Any, 0, 0, 0});
+            return true;
+          case Node::Kind::Class:
+            emit(regex, {Regex::Op::Class, node.classIndex, 0, 0});
+            return true;
+          case Node::Kind::Anchor:
+            switch (node.anchor) {
+              case Node::AnchorType::Bol:
+                emit(regex, {Regex::Op::Bol, 0, 0, 0});
+                break;
+              case Node::AnchorType::Eol:
+                emit(regex, {Regex::Op::Eol, 0, 0, 0});
+                break;
+              case Node::AnchorType::WordB:
+                emit(regex, {Regex::Op::WordB, 0, 0, 0});
+                break;
+              case Node::AnchorType::NotWordB:
+                emit(regex, {Regex::Op::NotWordB, 0, 0, 0});
+                break;
+            }
+            return true;
+          case Node::Kind::Concat:
+            for (const auto &child : node.children) {
+                if (!emitNode(regex, *child))
+                    return false;
+            }
+            return true;
+          case Node::Kind::Group: {
+            if (node.groupIndex > 0) {
+                emit(regex,
+                     {Regex::Op::Save, node.groupIndex * 2, 0, 0});
+            }
+            if (!emitNode(regex, *node.children[0]))
+                return false;
+            if (node.groupIndex > 0) {
+                emit(regex,
+                     {Regex::Op::Save, node.groupIndex * 2 + 1, 0, 0});
+            }
+            return true;
+          }
+          case Node::Kind::Alternate: {
+            // split b1, (split b2, (... bn))  with jumps to the end.
+            std::vector<std::int32_t> jumpSites;
+            for (std::size_t i = 0; i < node.children.size(); ++i) {
+                bool last = (i + 1 == node.children.size());
+                std::int32_t splitSite = -1;
+                if (!last) {
+                    splitSite = here(regex);
+                    emit(regex, {Regex::Op::Split, 0, 0, 0});
+                    regex.program_[splitSite].arg1 = here(regex);
+                }
+                if (!emitNode(regex, *node.children[i]))
+                    return false;
+                if (!last) {
+                    jumpSites.push_back(here(regex));
+                    emit(regex, {Regex::Op::Jump, 0, 0, 0});
+                    regex.program_[splitSite].arg2 = here(regex);
+                }
+            }
+            for (std::int32_t site : jumpSites)
+                regex.program_[site].arg1 = here(regex);
+            return true;
+          }
+          case Node::Kind::Repeat:
+            return emitRepeat(regex, node);
+        }
+        return compileError("unreachable node kind");
+    }
+
+    bool
+    emitRepeat(Regex &regex, const Node &node)
+    {
+        const Node &body = *node.children[0];
+        const int min = node.min;
+        const int max = node.max;
+        const bool lazy = node.lazy;
+
+        if (min > 64 || (max >= 0 && max > 64))
+            return compileError("repetition bound too large (max 64)");
+
+        // Mandatory copies.
+        for (int i = 0; i < min; ++i) {
+            if (!emitNode(regex, body))
+                return false;
+        }
+
+        if (max < 0) {
+            // Kleene loop:  L: split body, end ; body ; jump L
+            std::int32_t loop = here(regex);
+            emit(regex, {Regex::Op::Split, 0, 0, 0});
+            std::int32_t bodyStart = here(regex);
+            if (!emitNode(regex, body))
+                return false;
+            emit(regex, {Regex::Op::Jump, loop, 0, 0});
+            std::int32_t end = here(regex);
+            if (lazy) {
+                regex.program_[loop].arg1 = end;
+                regex.program_[loop].arg2 = bodyStart;
+            } else {
+                regex.program_[loop].arg1 = bodyStart;
+                regex.program_[loop].arg2 = end;
+            }
+            return true;
+        }
+
+        // (max - min) optional copies, each guarded by a split that
+        // can bail straight to the end.
+        std::vector<std::int32_t> splitSites;
+        for (int i = min; i < max; ++i) {
+            splitSites.push_back(here(regex));
+            emit(regex, {Regex::Op::Split, 0, 0, 0});
+            std::int32_t bodyStart = here(regex);
+            if (!emitNode(regex, body))
+                return false;
+            // Fill the "take the body" arm now; the "skip" arm is
+            // patched to the common end below.
+            auto &inst = regex.program_[splitSites.back()];
+            if (lazy)
+                inst.arg2 = bodyStart;
+            else
+                inst.arg1 = bodyStart;
+        }
+        std::int32_t end = here(regex);
+        for (std::int32_t site : splitSites) {
+            auto &inst = regex.program_[site];
+            if (lazy)
+                inst.arg1 = end;
+            else
+                inst.arg2 = end;
+        }
+        return true;
+    }
+
+    std::string_view pattern_;
+    RegexOptions options_;
+    std::size_t pos_ = 0;
+    int groupCount_ = 0;
+    std::vector<Regex::CharClass> classes_;
+    std::string error_;
+};
+
+Expected<Regex>
+Regex::compile(std::string_view pattern, RegexOptions options)
+{
+    return RegexCompiler(pattern, options).compile();
+}
+
+Regex
+Regex::compileOrDie(std::string_view pattern, RegexOptions options)
+{
+    auto result = compile(pattern, options);
+    if (!result)
+        REMEMBERR_PANIC("regex compile failed: ",
+                        result.error().toString());
+    return result.value();
+}
+
+bool
+Regex::runFrom(std::string_view subject, std::size_t start,
+               RegexMatch &out, bool *exhausted,
+               bool require_full) const
+{
+    struct Frame
+    {
+        std::int32_t pc;
+        std::size_t pos;
+        std::vector<std::int64_t> saves;
+    };
+
+    const std::size_t slotCount =
+        static_cast<std::size_t>(groupCount_ + 1) * 2;
+    std::vector<std::int64_t> saves(slotCount, -1);
+    std::vector<Frame> stack;
+    std::int32_t pc = 0;
+    std::size_t pos = start;
+    std::size_t steps = 0;
+
+    auto backtrack = [&]() -> bool {
+        if (stack.empty())
+            return false;
+        Frame &frame = stack.back();
+        pc = frame.pc;
+        pos = frame.pos;
+        saves = std::move(frame.saves);
+        stack.pop_back();
+        return true;
+    };
+
+    for (;;) {
+        if (++steps > options_.stepLimit) {
+            if (exhausted)
+                *exhausted = true;
+            return false;
+        }
+        const Inst &inst = program_[static_cast<std::size_t>(pc)];
+        bool ok = true;
+        switch (inst.op) {
+          case Op::Char: {
+            if (pos >= subject.size()) {
+                ok = false;
+                break;
+            }
+            char c = subject[pos];
+            if (options_.ignoreCase)
+                c = foldCase(c);
+            if (c != inst.ch) {
+                ok = false;
+                break;
+            }
+            ++pos;
+            ++pc;
+            break;
+          }
+          case Op::Any:
+            if (pos >= subject.size() || subject[pos] == '\n') {
+                ok = false;
+                break;
+            }
+            ++pos;
+            ++pc;
+            break;
+          case Op::Class: {
+            if (pos >= subject.size()) {
+                ok = false;
+                break;
+            }
+            const CharClass &cls =
+                classes_[static_cast<std::size_t>(inst.arg1)];
+            if (!cls.matches(static_cast<unsigned char>(subject[pos]),
+                             options_.ignoreCase)) {
+                ok = false;
+                break;
+            }
+            ++pos;
+            ++pc;
+            break;
+          }
+          case Op::Split:
+            stack.push_back({inst.arg2, pos, saves});
+            pc = inst.arg1;
+            break;
+          case Op::Jump:
+            pc = inst.arg1;
+            break;
+          case Op::Save:
+            saves[static_cast<std::size_t>(inst.arg1)] =
+                static_cast<std::int64_t>(pos);
+            ++pc;
+            break;
+          case Op::Bol:
+            if (pos != 0 && subject[pos - 1] != '\n') {
+                ok = false;
+                break;
+            }
+            ++pc;
+            break;
+          case Op::Eol:
+            if (pos != subject.size() && subject[pos] != '\n') {
+                ok = false;
+                break;
+            }
+            ++pc;
+            break;
+          case Op::WordB:
+          case Op::NotWordB: {
+            bool before = pos > 0 && isWordChar(subject[pos - 1]);
+            bool after =
+                pos < subject.size() && isWordChar(subject[pos]);
+            bool boundary = before != after;
+            bool want = inst.op == Op::WordB;
+            if (boundary != want) {
+                ok = false;
+                break;
+            }
+            ++pc;
+            break;
+          }
+          case Op::Accept: {
+            if (require_full && pos != subject.size()) {
+                // Keep backtracking until a path consumes everything.
+                ok = false;
+                break;
+            }
+            out.begin = static_cast<std::size_t>(saves[0]);
+            out.end = static_cast<std::size_t>(saves[1]);
+            out.groups.clear();
+            for (int g = 1; g <= groupCount_; ++g) {
+                std::int64_t b = saves[static_cast<std::size_t>(g) * 2];
+                std::int64_t e =
+                    saves[static_cast<std::size_t>(g) * 2 + 1];
+                if (b >= 0 && e >= 0) {
+                    out.groups.emplace_back(std::make_pair(
+                        static_cast<std::size_t>(b),
+                        static_cast<std::size_t>(e)));
+                } else {
+                    out.groups.emplace_back(std::nullopt);
+                }
+            }
+            return true;
+          }
+        }
+        if (!ok && !backtrack())
+            return false;
+    }
+}
+
+bool
+Regex::fullMatch(std::string_view subject) const
+{
+    RegexMatch match;
+    return runFrom(subject, 0, match, nullptr, true);
+}
+
+std::optional<RegexMatch>
+Regex::search(std::string_view subject, std::size_t from,
+              bool *exhausted) const
+{
+    if (exhausted)
+        *exhausted = false;
+    for (std::size_t start = from; start <= subject.size(); ++start) {
+        RegexMatch match;
+        bool budget = false;
+        if (runFrom(subject, start, match, &budget))
+            return match;
+        if (budget) {
+            if (exhausted)
+                *exhausted = true;
+            return std::nullopt;
+        }
+    }
+    return std::nullopt;
+}
+
+std::vector<RegexMatch>
+Regex::findAll(std::string_view subject) const
+{
+    std::vector<RegexMatch> matches;
+    std::size_t from = 0;
+    while (from <= subject.size()) {
+        auto match = search(subject, from);
+        if (!match)
+            break;
+        matches.push_back(*match);
+        // Empty matches must still make progress.
+        from = match->end > match->begin ? match->end : match->end + 1;
+    }
+    return matches;
+}
+
+bool
+Regex::contains(std::string_view subject) const
+{
+    return search(subject).has_value();
+}
+
+std::string
+regexEscape(std::string_view literal)
+{
+    static const std::string meta = R"(.^$*+?()[]{}|\)";
+    std::string out;
+    out.reserve(literal.size());
+    for (char c : literal) {
+        if (meta.find(c) != std::string::npos)
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+} // namespace rememberr

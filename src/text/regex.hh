@@ -1,0 +1,160 @@
+/**
+ * @file
+ * A self-contained regular-expression engine.
+ *
+ * The software-assisted classification of Section V-A relies on
+ * regular expressions in two places: conservative category
+ * prefiltering and the syntax-highlighting engine that marks the
+ * erratum text spans relevant to a category. Match *spans* (not just
+ * booleans) are therefore part of the API.
+ *
+ * Supported syntax:
+ *   - literals, '.', escapes \d \D \w \W \s \S plus \n \t \r \\ etc.
+ *   - character classes [abc], [a-z0-9], negated [^...]
+ *   - groups (...) (capturing) and (?:...) (non-capturing)
+ *   - alternation a|b
+ *   - quantifiers * + ? {m} {m,} {m,n}, each with a lazy '?' variant
+ *   - anchors ^ $ and word boundaries \b \B
+ *
+ * The implementation compiles to a small bytecode program executed by
+ * a backtracking VM. A per-match step budget turns pathological
+ * backtracking into a reported error instead of a hang.
+ */
+
+#ifndef REMEMBERR_TEXT_REGEX_HH
+#define REMEMBERR_TEXT_REGEX_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/expected.hh"
+
+namespace rememberr {
+
+/** Result of a successful regex match. */
+struct RegexMatch
+{
+    /** Byte offset of the match start in the subject. */
+    std::size_t begin = 0;
+    /** Byte offset one past the match end. */
+    std::size_t end = 0;
+    /**
+     * Capture-group spans, 1-based group numbering mapped to index
+     * (group 1 is groups[0]); nullopt when the group did not
+     * participate in the match.
+     */
+    std::vector<std::optional<std::pair<std::size_t, std::size_t>>>
+        groups;
+
+    std::size_t length() const { return end - begin; }
+
+    /** Extract the matched text from the subject. */
+    std::string
+    text(std::string_view subject) const
+    {
+        return std::string(subject.substr(begin, end - begin));
+    }
+};
+
+/** Compilation and execution options. */
+struct RegexOptions
+{
+    /** ASCII case-insensitive matching. */
+    bool ignoreCase = false;
+    /** VM step budget per match attempt. */
+    std::size_t stepLimit = 1u << 20;
+};
+
+/** A compiled regular expression. Immutable and cheap to copy. */
+class Regex
+{
+  public:
+    /** Compile a pattern; reports syntax errors with offsets. */
+    static Expected<Regex> compile(std::string_view pattern,
+                                   RegexOptions options = {});
+
+    /**
+     * Compile a pattern that must be valid (library-internal rule
+     * tables). Panics on syntax errors.
+     */
+    static Regex compileOrDie(std::string_view pattern,
+                              RegexOptions options = {});
+
+    /** Anchored match over the whole subject. */
+    bool fullMatch(std::string_view subject) const;
+
+    /**
+     * Find the leftmost match at or after position from.
+     * Returns nullopt when there is no match (or the step budget is
+     * exhausted, in which case exhausted is set when non-null).
+     */
+    std::optional<RegexMatch> search(std::string_view subject,
+                                     std::size_t from = 0,
+                                     bool *exhausted = nullptr) const;
+
+    /** All non-overlapping matches, left to right. */
+    std::vector<RegexMatch> findAll(std::string_view subject) const;
+
+    /** True when the pattern occurs anywhere in the subject. */
+    bool contains(std::string_view subject) const;
+
+    /** The original pattern text. */
+    const std::string &pattern() const { return pattern_; }
+
+    /** Number of capturing groups. */
+    int groupCount() const { return groupCount_; }
+
+  private:
+    friend class RegexCompiler;
+
+    enum class Op : std::uint8_t {
+        Char,       ///< match a single (possibly case-folded) byte
+        Any,        ///< match any byte except '\n'
+        Class,      ///< match a character class by table index
+        Split,      ///< try arg1 first, then arg2 (priority)
+        Jump,       ///< unconditional jump to arg1
+        Save,       ///< record current position in slot arg1
+        Bol,        ///< assert beginning of subject or after '\n'
+        Eol,        ///< assert end of subject or before '\n'
+        WordB,      ///< assert a word boundary
+        NotWordB,   ///< assert no word boundary
+        Accept,     ///< match complete
+    };
+
+    struct Inst
+    {
+        Op op;
+        std::int32_t arg1 = 0;
+        std::int32_t arg2 = 0;
+        char ch = 0;
+    };
+
+    struct CharClass
+    {
+        bool negated = false;
+        /** Inclusive byte ranges. */
+        std::vector<std::pair<unsigned char, unsigned char>> ranges;
+
+        bool matches(unsigned char c, bool ignore_case) const;
+    };
+
+    bool runFrom(std::string_view subject, std::size_t start,
+                 RegexMatch &out, bool *exhausted,
+                 bool require_full = false) const;
+
+    std::string pattern_;
+    RegexOptions options_;
+    std::vector<Inst> program_;
+    std::vector<CharClass> classes_;
+    int groupCount_ = 0;
+};
+
+/** Escape all regex metacharacters so text matches literally. */
+std::string regexEscape(std::string_view literal);
+
+} // namespace rememberr
+
+#endif // REMEMBERR_TEXT_REGEX_HH

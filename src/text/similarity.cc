@@ -1,0 +1,217 @@
+#include "similarity.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "tokenize.hh"
+#include "util/strings.hh"
+
+namespace rememberr {
+
+std::size_t
+levenshteinDistance(std::string_view a, std::string_view b)
+{
+    if (a.size() < b.size())
+        std::swap(a, b);
+    // b is now the shorter string; keep one rolling row of |b|+1.
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diag = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            std::size_t next = std::min({
+                row[j] + 1,      // deletion
+                row[j - 1] + 1,  // insertion
+                diag + (a[i - 1] == b[j - 1] ? 0 : 1), // substitution
+            });
+            diag = row[j];
+            row[j] = next;
+        }
+    }
+    return row[b.size()];
+}
+
+std::size_t
+damerauDistance(std::string_view a, std::string_view b)
+{
+    const std::size_t n = a.size(), m = b.size();
+    if (n == 0)
+        return m;
+    if (m == 0)
+        return n;
+    // Full matrix; the transposition case reads two rows back.
+    std::vector<std::vector<std::size_t>> d(
+        n + 1, std::vector<std::size_t>(m + 1));
+    for (std::size_t i = 0; i <= n; ++i)
+        d[i][0] = i;
+    for (std::size_t j = 0; j <= m; ++j)
+        d[0][j] = j;
+    for (std::size_t i = 1; i <= n; ++i) {
+        for (std::size_t j = 1; j <= m; ++j) {
+            std::size_t cost = a[i - 1] == b[j - 1] ? 0 : 1;
+            d[i][j] = std::min({
+                d[i - 1][j] + 1,
+                d[i][j - 1] + 1,
+                d[i - 1][j - 1] + cost,
+            });
+            if (i > 1 && j > 1 && a[i - 1] == b[j - 2] &&
+                a[i - 2] == b[j - 1]) {
+                d[i][j] = std::min(d[i][j], d[i - 2][j - 2] + 1);
+            }
+        }
+    }
+    return d[n][m];
+}
+
+double
+levenshteinSimilarity(std::string_view a, std::string_view b)
+{
+    std::size_t longest = std::max(a.size(), b.size());
+    if (longest == 0)
+        return 1.0;
+    return 1.0 - static_cast<double>(levenshteinDistance(a, b)) /
+                     static_cast<double>(longest);
+}
+
+double
+jaroSimilarity(std::string_view a, std::string_view b)
+{
+    if (a.empty() && b.empty())
+        return 1.0;
+    if (a.empty() || b.empty())
+        return 0.0;
+    std::size_t window =
+        std::max(a.size(), b.size()) / 2;
+    if (window > 0)
+        --window;
+
+    std::vector<bool> aMatched(a.size(), false);
+    std::vector<bool> bMatched(b.size(), false);
+    std::size_t matches = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        std::size_t lo = i > window ? i - window : 0;
+        std::size_t hi = std::min(b.size(), i + window + 1);
+        for (std::size_t j = lo; j < hi; ++j) {
+            if (bMatched[j] || a[i] != b[j])
+                continue;
+            aMatched[i] = true;
+            bMatched[j] = true;
+            ++matches;
+            break;
+        }
+    }
+    if (matches == 0)
+        return 0.0;
+
+    std::size_t transpositions = 0;
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (!aMatched[i])
+            continue;
+        while (!bMatched[k])
+            ++k;
+        if (a[i] != b[k])
+            ++transpositions;
+        ++k;
+    }
+    double md = static_cast<double>(matches);
+    return (md / a.size() + md / b.size() +
+            (md - transpositions / 2.0) / md) /
+           3.0;
+}
+
+double
+jaroWinklerSimilarity(std::string_view a, std::string_view b)
+{
+    double jaro = jaroSimilarity(a, b);
+    std::size_t prefix = 0;
+    for (std::size_t i = 0;
+         i < std::min({a.size(), b.size(), std::size_t{4}}); ++i) {
+        if (a[i] == b[i])
+            ++prefix;
+        else
+            break;
+    }
+    return jaro + prefix * 0.1 * (1.0 - jaro);
+}
+
+double
+tokenJaccardSimilarity(const std::vector<std::string> &a,
+                       const std::vector<std::string> &b)
+{
+    if (a.empty() && b.empty())
+        return 1.0;
+    std::set<std::string> setA(a.begin(), a.end());
+    std::set<std::string> setB(b.begin(), b.end());
+    std::size_t inter = 0;
+    for (const auto &token : setA)
+        inter += setB.count(token);
+    std::size_t uni = setA.size() + setB.size() - inter;
+    if (uni == 0)
+        return 1.0;
+    return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double
+tokenDiceSimilarity(const std::vector<std::string> &a,
+                    const std::vector<std::string> &b)
+{
+    if (a.empty() && b.empty())
+        return 1.0;
+    std::set<std::string> setA(a.begin(), a.end());
+    std::set<std::string> setB(b.begin(), b.end());
+    if (setA.empty() && setB.empty())
+        return 1.0;
+    std::size_t inter = 0;
+    for (const auto &token : setA)
+        inter += setB.count(token);
+    return 2.0 * static_cast<double>(inter) /
+           static_cast<double>(setA.size() + setB.size());
+}
+
+double
+tokenCosineSimilarity(const std::vector<std::string> &a,
+                      const std::vector<std::string> &b)
+{
+    if (a.empty() && b.empty())
+        return 1.0;
+    if (a.empty() || b.empty())
+        return 0.0;
+    std::map<std::string, double> tfA, tfB;
+    for (const auto &token : a)
+        tfA[token] += 1.0;
+    for (const auto &token : b)
+        tfB[token] += 1.0;
+    double dot = 0.0;
+    for (const auto &[token, freq] : tfA) {
+        auto it = tfB.find(token);
+        if (it != tfB.end())
+            dot += freq * it->second;
+    }
+    double normA = 0.0, normB = 0.0;
+    for (const auto &[token, freq] : tfA)
+        normA += freq * freq;
+    for (const auto &[token, freq] : tfB)
+        normB += freq * freq;
+    return dot / (std::sqrt(normA) * std::sqrt(normB));
+}
+
+double
+titleSimilarity(std::string_view a, std::string_view b)
+{
+    std::string ca = strings::canonicalize(a);
+    std::string cb = strings::canonicalize(b);
+    double jw = jaroWinklerSimilarity(ca, cb);
+    TokenizerOptions opt;
+    opt.dropStopWords = true;
+    double jac =
+        tokenJaccardSimilarity(tokenizeWords(a, opt),
+                               tokenizeWords(b, opt));
+    return std::max(jw, jac);
+}
+
+} // namespace rememberr

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * String and token-set similarity metrics.
+ *
+ * The Intel duplicate-detection pipeline of Section IV-A marks errata
+ * with (nearly) identical titles as duplicates and then ranks the
+ * remaining pairs by decreasing title similarity for manual review.
+ * These metrics implement both steps. DESIGN.md D3 compares them.
+ */
+
+#ifndef REMEMBERR_TEXT_SIMILARITY_HH
+#define REMEMBERR_TEXT_SIMILARITY_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rememberr {
+
+/** Levenshtein edit distance (insert/delete/substitute, unit cost). */
+std::size_t levenshteinDistance(std::string_view a, std::string_view b);
+
+/**
+ * Damerau-Levenshtein distance (adds adjacent transposition), the
+ * restricted "optimal string alignment" variant.
+ */
+std::size_t damerauDistance(std::string_view a, std::string_view b);
+
+/** Levenshtein similarity normalized to [0, 1]; 1 means equal. */
+double levenshteinSimilarity(std::string_view a, std::string_view b);
+
+/** Jaro similarity in [0, 1]. */
+double jaroSimilarity(std::string_view a, std::string_view b);
+
+/**
+ * Jaro-Winkler similarity in [0, 1] with the standard prefix scale
+ * 0.1 over at most 4 common prefix characters.
+ */
+double jaroWinklerSimilarity(std::string_view a, std::string_view b);
+
+/** Jaccard similarity of the two token multiset supports, in [0, 1]. */
+double tokenJaccardSimilarity(const std::vector<std::string> &a,
+                              const std::vector<std::string> &b);
+
+/** Dice coefficient over token sets, in [0, 1]. */
+double tokenDiceSimilarity(const std::vector<std::string> &a,
+                           const std::vector<std::string> &b);
+
+/** Cosine similarity of term-frequency vectors, in [0, 1]. */
+double tokenCosineSimilarity(const std::vector<std::string> &a,
+                             const std::vector<std::string> &b);
+
+/**
+ * The composite title similarity used by the dedup pipeline: the
+ * maximum of Jaro-Winkler over canonicalized text and token Jaccard,
+ * which is robust to both small edits and word reorderings.
+ */
+double titleSimilarity(std::string_view a, std::string_view b);
+
+} // namespace rememberr
+
+#endif // REMEMBERR_TEXT_SIMILARITY_HH

@@ -1,0 +1,115 @@
+#include "tokenize.hh"
+
+#include <cctype>
+
+namespace rememberr {
+
+namespace {
+
+inline bool
+isTokenChar(char c)
+{
+    unsigned char u = static_cast<unsigned char>(c);
+    return std::isalnum(u) != 0;
+}
+
+inline bool
+isJoinerChar(char c)
+{
+    return c == '-' || c == '_' || c == '.';
+}
+
+inline char
+lowerChar(char c)
+{
+    return static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c)));
+}
+
+bool
+isNumeric(const std::string &token)
+{
+    for (char c : token) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return false;
+    }
+    return !token.empty();
+}
+
+} // namespace
+
+const std::unordered_set<std::string> &
+stopWords()
+{
+    static const std::unordered_set<std::string> words = {
+        "a",     "an",   "and",  "are",  "as",   "at",    "be",
+        "by",    "can",  "do",   "does", "for",  "from",  "has",
+        "have",  "if",   "in",   "into", "is",   "it",    "its",
+        "may",   "might","not",  "of",   "on",   "or",    "such",
+        "that",  "the",  "their","then", "there","these", "this",
+        "to",    "under","was",  "when", "which","while", "will",
+        "with",  "would",
+    };
+    return words;
+}
+
+std::vector<Token>
+tokenize(std::string_view text, const TokenizerOptions &options)
+{
+    std::vector<Token> tokens;
+    std::size_t i = 0;
+    while (i < text.size()) {
+        if (!isTokenChar(text[i])) {
+            ++i;
+            continue;
+        }
+        std::size_t start = i;
+        std::string word;
+        while (i < text.size()) {
+            if (isTokenChar(text[i])) {
+                word += lowerChar(text[i]);
+                ++i;
+            } else if (isJoinerChar(text[i]) && i + 1 < text.size() &&
+                       isTokenChar(text[i + 1])) {
+                word += text[i];
+                ++i;
+            } else {
+                break;
+            }
+        }
+        if (word.size() < options.minLength)
+            continue;
+        if (!options.keepNumbers && isNumeric(word))
+            continue;
+        if (options.dropStopWords && stopWords().count(word))
+            continue;
+        tokens.push_back(Token{std::move(word), start, i});
+    }
+    return tokens;
+}
+
+std::vector<std::string>
+tokenizeWords(std::string_view text, const TokenizerOptions &opt)
+{
+    std::vector<std::string> words;
+    for (auto &token : tokenize(text, opt))
+        words.push_back(std::move(token.text));
+    return words;
+}
+
+std::vector<std::string>
+characterNgrams(std::string_view text, std::size_t n)
+{
+    std::vector<std::string> grams;
+    if (n == 0 || text.size() < n)
+        return grams;
+    std::string lowered;
+    lowered.reserve(text.size());
+    for (char c : text)
+        lowered += lowerChar(c);
+    for (std::size_t i = 0; i + n <= lowered.size(); ++i)
+        grams.push_back(lowered.substr(i, n));
+    return grams;
+}
+
+} // namespace rememberr

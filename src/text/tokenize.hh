@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Word-level tokenization of erratum prose.
+ *
+ * The dedup candidate generator and the token-based similarity
+ * metrics operate on token streams. Tokens preserve their source
+ * spans so highlighting can map back into the original text.
+ */
+
+#ifndef REMEMBERR_TEXT_TOKENIZE_HH
+#define REMEMBERR_TEXT_TOKENIZE_HH
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace rememberr {
+
+/** One token with its span in the source text. */
+struct Token
+{
+    std::string text;       ///< lower-cased token text
+    std::size_t begin = 0;  ///< byte offset of the first character
+    std::size_t end = 0;    ///< one past the last character
+
+    bool operator==(const Token &other) const = default;
+};
+
+/** Tokenizer configuration. */
+struct TokenizerOptions
+{
+    /** Drop English stop words ("the", "may", "a", ...). */
+    bool dropStopWords = false;
+    /** Keep numeric tokens (register numbers etc.). */
+    bool keepNumbers = true;
+    /** Minimum token length; shorter tokens are dropped. */
+    std::size_t minLength = 1;
+};
+
+/**
+ * Split text into word tokens.
+ *
+ * A token is a maximal run of alphanumerics plus intra-word '-', '_'
+ * and '.' (so "C6", "x87", "MCi_STATUS" and "virtual-8086" survive as
+ * single tokens). Tokens are lower-cased.
+ */
+std::vector<Token> tokenize(std::string_view text,
+                            const TokenizerOptions &options = {});
+
+/** Just the token strings, in order. */
+std::vector<std::string> tokenizeWords(std::string_view text,
+                                       const TokenizerOptions &opt = {});
+
+/** The built-in stop-word list used when dropStopWords is set. */
+const std::unordered_set<std::string> &stopWords();
+
+/** Character n-grams of the (lower-cased) text, n >= 1. */
+std::vector<std::string> characterNgrams(std::string_view text,
+                                         std::size_t n);
+
+} // namespace rememberr
+
+#endif // REMEMBERR_TEXT_TOKENIZE_HH

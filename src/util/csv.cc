@@ -1,0 +1,156 @@
+#include "csv.hh"
+
+#include "logging.hh"
+
+namespace rememberr {
+
+void
+CsvWriter::setHeader(std::vector<std::string> header)
+{
+    if (!rows_.empty())
+        REMEMBERR_PANIC("CsvWriter: header after rows");
+    header_ = std::move(header);
+}
+
+void
+CsvWriter::addRow(std::vector<std::string> row)
+{
+    if (!header_.empty() && row.size() != header_.size())
+        REMEMBERR_PANIC("CsvWriter: row width ", row.size(),
+                        " != header width ", header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+csvQuote(const std::string &field)
+{
+    bool needsQuote = false;
+    for (char c : field) {
+        if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+            needsQuote = true;
+            break;
+        }
+    }
+    if (!needsQuote)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out += c;
+    }
+    out += '"';
+    return out;
+}
+
+namespace {
+
+void
+appendRecord(std::string &out, const std::vector<std::string> &fields)
+{
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i > 0)
+            out += ',';
+        out += csvQuote(fields[i]);
+    }
+    out += '\n';
+}
+
+} // namespace
+
+std::string
+CsvWriter::toString() const
+{
+    std::string out;
+    if (!header_.empty())
+        appendRecord(out, header_);
+    for (const auto &row : rows_)
+        appendRecord(out, row);
+    return out;
+}
+
+Expected<CsvDocument>
+parseCsv(const std::string &text, bool hasHeader)
+{
+    CsvDocument doc;
+    std::vector<std::string> record;
+    std::string field;
+    bool inQuotes = false;
+    bool fieldStarted = false;
+    int line = 1;
+
+    auto endField = [&]() {
+        record.push_back(field);
+        field.clear();
+        fieldStarted = false;
+    };
+    auto endRecord = [&]() {
+        endField();
+        // Skip blank records (e.g. trailing newline).
+        if (record.size() == 1 && record[0].empty()) {
+            record.clear();
+            return;
+        }
+        if (hasHeader && doc.header.empty())
+            doc.header = std::move(record);
+        else
+            doc.rows.push_back(std::move(record));
+        record.clear();
+    };
+
+    std::size_t i = 0;
+    while (i < text.size()) {
+        char c = text[i];
+        if (inQuotes) {
+            if (c == '"') {
+                if (i + 1 < text.size() && text[i + 1] == '"') {
+                    field += '"';
+                    i += 2;
+                    continue;
+                }
+                inQuotes = false;
+                ++i;
+                continue;
+            }
+            if (c == '\n')
+                ++line;
+            field += c;
+            ++i;
+            continue;
+        }
+        switch (c) {
+          case '"':
+            if (fieldStarted && !field.empty())
+                return makeError("quote inside unquoted field", line);
+            inQuotes = true;
+            fieldStarted = true;
+            ++i;
+            break;
+          case ',':
+            endField();
+            ++i;
+            break;
+          case '\r':
+            ++i;
+            break;
+          case '\n':
+            endRecord();
+            ++line;
+            ++i;
+            break;
+          default:
+            field += c;
+            fieldStarted = true;
+            ++i;
+            break;
+        }
+    }
+    if (inQuotes)
+        return makeError("unterminated quoted field", line);
+    if (fieldStarted || !field.empty() || !record.empty())
+        endRecord();
+    return doc;
+}
+
+} // namespace rememberr

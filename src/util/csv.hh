@@ -1,0 +1,60 @@
+/**
+ * @file
+ * RFC-4180-style CSV writing and reading.
+ *
+ * The bench harness exports every reproduced table and figure as CSV so
+ * downstream plotting scripts can consume them.
+ */
+
+#ifndef REMEMBERR_UTIL_CSV_HH
+#define REMEMBERR_UTIL_CSV_HH
+
+#include <string>
+#include <vector>
+
+#include "expected.hh"
+
+namespace rememberr {
+
+/** Accumulates rows and renders a CSV document. */
+class CsvWriter
+{
+  public:
+    /** Set the header row. Must be called before addRow. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row; must match the header width when one is set. */
+    void addRow(std::vector<std::string> row);
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Render the document, quoting fields as required. */
+    std::string toString() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Parsed CSV document: first row is the header when hasHeader. */
+struct CsvDocument
+{
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/**
+ * Parse CSV text with quoted-field support.
+ *
+ * @param text the document.
+ * @param hasHeader when true, the first record populates header.
+ */
+Expected<CsvDocument> parseCsv(const std::string &text,
+                               bool hasHeader = true);
+
+/** Quote a single field if it contains separators, quotes or newlines. */
+std::string csvQuote(const std::string &field);
+
+} // namespace rememberr
+
+#endif // REMEMBERR_UTIL_CSV_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * A minimal Expected<T> carrying either a value or an error message.
+ *
+ * C++20 lacks std::expected; parsers in this library return
+ * Expected<T> so malformed input is reported without exceptions on the
+ * happy path.
+ */
+
+#ifndef REMEMBERR_UTIL_EXPECTED_HH
+#define REMEMBERR_UTIL_EXPECTED_HH
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "logging.hh"
+
+namespace rememberr {
+
+/** Error payload: a message plus an optional source location. */
+struct Error
+{
+    std::string message;
+    /** 1-based line in the offending input, 0 when not applicable. */
+    int line = 0;
+
+    std::string
+    toString() const
+    {
+        if (line > 0)
+            return "line " + std::to_string(line) + ": " + message;
+        return message;
+    }
+};
+
+/**
+ * Value-or-error result type.
+ *
+ * @tparam T the success payload.
+ */
+template <typename T>
+class Expected
+{
+  public:
+    Expected(T value) : value_(std::move(value)) {}
+    Expected(Error error) : error_(std::move(error)) {}
+
+    bool hasValue() const { return value_.has_value(); }
+    explicit operator bool() const { return hasValue(); }
+
+    /** Access the value; panics if this holds an error. */
+    T &
+    value()
+    {
+        if (!value_)
+            REMEMBERR_PANIC("Expected::value() on error: ",
+                            error_->toString());
+        return *value_;
+    }
+
+    const T &
+    value() const
+    {
+        if (!value_)
+            REMEMBERR_PANIC("Expected::value() on error: ",
+                            error_->toString());
+        return *value_;
+    }
+
+    /** Access the error; panics if this holds a value. */
+    const Error &
+    error() const
+    {
+        if (!error_)
+            REMEMBERR_PANIC("Expected::error() on value");
+        return *error_;
+    }
+
+    T
+    valueOr(T fallback) const
+    {
+        return value_ ? *value_ : std::move(fallback);
+    }
+
+  private:
+    std::optional<T> value_;
+    std::optional<Error> error_;
+};
+
+/** Convenience factory mirroring std::unexpected. */
+inline Error
+makeError(std::string message, int line = 0)
+{
+    return Error{std::move(message), line};
+}
+
+} // namespace rememberr
+
+#endif // REMEMBERR_UTIL_EXPECTED_HH

@@ -1,0 +1,61 @@
+#include "logging.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <stdexcept>
+
+namespace rememberr {
+
+namespace {
+
+std::atomic<bool> quietFlag{false};
+
+} // namespace
+
+void
+setLogQuiet(bool quiet)
+{
+    quietFlag.store(quiet, std::memory_order_relaxed);
+}
+
+bool
+logQuiet()
+{
+    return quietFlag.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    // Throwing (instead of exit(1)) lets tests exercise fatal paths and
+    // lets embedding applications decide how to die.
+    throw std::runtime_error(
+        msg + " (" + file + ":" + std::to_string(line) + ")");
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (!logQuiet())
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!logQuiet())
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+
+} // namespace rememberr

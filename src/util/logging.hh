@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic() is for internal invariant violations (library bugs); fatal()
+ * is for unrecoverable user errors (bad input files, bad parameters).
+ * warn()/inform() report conditions without stopping.
+ */
+
+#ifndef REMEMBERR_UTIL_LOGGING_HH
+#define REMEMBERR_UTIL_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace rememberr {
+
+namespace detail {
+
+/** Fold any streamable arguments into a single string. */
+template <typename... Args>
+std::string
+formatMessage(const Args &...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Whether warn()/inform() print to stderr. Tests may silence them. */
+void setLogQuiet(bool quiet);
+bool logQuiet();
+
+} // namespace rememberr
+
+/** Abort: something happened that should never happen (library bug). */
+#define REMEMBERR_PANIC(...)                                              \
+    ::rememberr::detail::panicImpl(                                       \
+        __FILE__, __LINE__,                                               \
+        ::rememberr::detail::formatMessage(__VA_ARGS__))
+
+/** Exit: the user supplied input the library cannot continue with. */
+#define REMEMBERR_FATAL(...)                                              \
+    ::rememberr::detail::fatalImpl(                                       \
+        __FILE__, __LINE__,                                               \
+        ::rememberr::detail::formatMessage(__VA_ARGS__))
+
+/** Report a suspicious but survivable condition. */
+#define REMEMBERR_WARN(...)                                               \
+    ::rememberr::detail::warnImpl(                                        \
+        ::rememberr::detail::formatMessage(__VA_ARGS__))
+
+/** Report normal operating status. */
+#define REMEMBERR_INFORM(...)                                             \
+    ::rememberr::detail::informImpl(                                      \
+        ::rememberr::detail::formatMessage(__VA_ARGS__))
+
+#endif // REMEMBERR_UTIL_LOGGING_HH

@@ -1,0 +1,186 @@
+#include "rng.hh"
+
+#include <cmath>
+
+#include "logging.hh"
+
+namespace rememberr {
+
+namespace {
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+std::uint64_t
+SplitMix64::next()
+{
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed)
+{
+    SplitMix64 sm(seed);
+    for (auto &word : s_)
+        word = sm.next();
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    if (bound == 0)
+        REMEMBERR_PANIC("nextBelow(0)");
+    // Lemire-style rejection keeping the result bias-free.
+    std::uint64_t threshold = (-bound) % bound;
+    for (;;) {
+        std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::int64_t
+Rng::nextInRange(std::int64_t lo, std::int64_t hi)
+{
+    if (lo > hi)
+        REMEMBERR_PANIC("nextInRange: lo ", lo, " > hi ", hi);
+    std::uint64_t span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<std::int64_t>(next());
+    return lo + static_cast<std::int64_t>(nextBelow(span));
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 random mantissa bits -> uniform in [0, 1).
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+double
+Rng::nextGaussian()
+{
+    if (haveGaussian_) {
+        haveGaussian_ = false;
+        return cachedGaussian_;
+    }
+    double u1;
+    do {
+        u1 = nextDouble();
+    } while (u1 <= 0.0);
+    double u2 = nextDouble();
+    double mag = std::sqrt(-2.0 * std::log(u1));
+    cachedGaussian_ = mag * std::sin(2.0 * M_PI * u2);
+    haveGaussian_ = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+}
+
+std::size_t
+Rng::nextWeighted(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        if (w < 0.0)
+            REMEMBERR_PANIC("nextWeighted: negative weight");
+        total += w;
+    }
+    if (total <= 0.0)
+        REMEMBERR_PANIC("nextWeighted: zero total weight");
+    double target = nextDouble() * total;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (target < acc)
+            return i;
+    }
+    // Floating-point slack: fall back to the last non-zero weight.
+    for (std::size_t i = weights.size(); i-- > 0;) {
+        if (weights[i] > 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+int
+Rng::nextGeometric(double p)
+{
+    if (p <= 0.0 || p > 1.0)
+        REMEMBERR_PANIC("nextGeometric: p out of (0, 1]: ", p);
+    if (p == 1.0)
+        return 0;
+    double u;
+    do {
+        u = nextDouble();
+    } while (u <= 0.0);
+    return static_cast<int>(std::log(u) / std::log1p(-p));
+}
+
+int
+Rng::nextPoisson(double lambda)
+{
+    if (lambda < 0.0)
+        REMEMBERR_PANIC("nextPoisson: negative lambda");
+    if (lambda == 0.0)
+        return 0;
+    double limit = std::exp(-lambda);
+    double prod = nextDouble();
+    int n = 0;
+    while (prod > limit) {
+        prod *= nextDouble();
+        ++n;
+    }
+    return n;
+}
+
+std::vector<std::size_t>
+Rng::sampleIndices(std::size_t n, std::size_t k)
+{
+    if (k > n)
+        REMEMBERR_PANIC("sampleIndices: k ", k, " > n ", n);
+    // Floyd's algorithm would avoid the O(n) init, but n is small in
+    // every call site; favor the obviously correct version.
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i)
+        all[i] = i;
+    shuffle(all);
+    all.resize(k);
+    return all;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next() ^ 0xa0761d6478bd642fULL);
+}
+
+} // namespace rememberr

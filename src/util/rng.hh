@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * The corpus generator and the simulated annotators must be
+ * reproducible bit-for-bit across platforms, so the library ships its
+ * own xoshiro256** generator (seeded via SplitMix64) instead of relying
+ * on implementation-defined std::default_random_engine behaviour, and
+ * its own distribution transforms instead of the unspecified algorithms
+ * behind std::uniform_int_distribution and friends.
+ */
+
+#ifndef REMEMBERR_UTIL_RNG_HH
+#define REMEMBERR_UTIL_RNG_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace rememberr {
+
+/** SplitMix64: used to expand a 64-bit seed into generator state. */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t next();
+
+  private:
+    std::uint64_t state_;
+};
+
+/**
+ * xoshiro256** 1.0 (Blackman & Vigna), a fast all-purpose generator
+ * with 256 bits of state and a 2^256 - 1 period.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL);
+
+    /** Next raw 64-bit output. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound), bias-free via rejection. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextInRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial with success probability p. */
+    bool nextBool(double p = 0.5);
+
+    /** Standard normal deviate (Box-Muller, cached pair). */
+    double nextGaussian();
+
+    /**
+     * Sample an index from unnormalized non-negative weights.
+     * Panics if all weights are zero or the vector is empty.
+     */
+    std::size_t nextWeighted(const std::vector<double> &weights);
+
+    /** Geometric-ish integer: number of failures before success(p). */
+    int nextGeometric(double p);
+
+    /** Poisson deviate via Knuth's product method (small lambda). */
+    int nextPoisson(double lambda);
+
+    /** Fisher-Yates shuffle. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &items)
+    {
+        if (items.empty())
+            return;
+        for (std::size_t i = items.size() - 1; i > 0; --i) {
+            std::size_t j = nextBelow(i + 1);
+            std::swap(items[i], items[j]);
+        }
+    }
+
+    /** Pick k distinct indices out of [0, n) (k <= n). */
+    std::vector<std::size_t> sampleIndices(std::size_t n, std::size_t k);
+
+    /** Derive an independent child generator (for sub-streams). */
+    Rng fork();
+
+  private:
+    std::array<std::uint64_t, 4> s_;
+    bool haveGaussian_ = false;
+    double cachedGaussian_ = 0.0;
+};
+
+} // namespace rememberr
+
+#endif // REMEMBERR_UTIL_RNG_HH

@@ -1,0 +1,481 @@
+/**
+ * @file
+ * Unit tests for the analyses behind every figure of the paper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/correlation.hh"
+#include "analysis/evolution.hh"
+#include "analysis/frequency.hh"
+#include "analysis/heredity.hh"
+#include "analysis/msr.hh"
+#include "analysis/stats.hh"
+#include "analysis/timeline.hh"
+#include "analysis/vendorcmp.hh"
+#include "analysis/workfix.hh"
+#include "core/pipeline.hh"
+#include "util/logging.hh"
+
+namespace rememberr {
+namespace {
+
+class AnalysisTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        setLogQuiet(true);
+        PipelineOptions options;
+        options.roundTripDocuments = false;
+        options.lint = false;
+        result_ = new PipelineResult(runPipeline(options));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete result_;
+        result_ = nullptr;
+    }
+
+    static const Database &db() { return result_->groundTruth; }
+
+    static PipelineResult *result_;
+};
+
+PipelineResult *AnalysisTest::result_ = nullptr;
+
+// ---- Figure 2: timelines ------------------------------------------------
+
+TEST_F(AnalysisTest, TimelinesOnePerDocument)
+{
+    auto series = disclosureTimelines(db());
+    EXPECT_EQ(series.size(), 28u);
+    std::size_t total = 0;
+    for (const CumulativeSeries &s : series)
+        total += s.total();
+    EXPECT_EQ(total, 2563u);
+}
+
+TEST_F(AnalysisTest, TimelinesMonotone)
+{
+    for (const CumulativeSeries &s : disclosureTimelines(db())) {
+        for (std::size_t i = 1; i < s.points.size(); ++i) {
+            ASSERT_LT(s.points[i - 1].first, s.points[i].first);
+            ASSERT_LT(s.points[i - 1].second, s.points[i].second);
+        }
+    }
+}
+
+TEST_F(AnalysisTest, CountAtInterpolates)
+{
+    auto series = disclosureTimelines(db());
+    const CumulativeSeries &s = series[0];
+    ASSERT_FALSE(s.points.empty());
+    EXPECT_EQ(s.countAt(s.points.front().first.addDays(-1)), 0u);
+    EXPECT_EQ(s.countAt(Date(2030, 1, 1)), s.total());
+}
+
+TEST_F(AnalysisTest, ObservationO2CurvesConcave)
+{
+    // O2: the increase in errata for a given design is usually
+    // concave. Score every mature document.
+    int mature = 0, concave = 0;
+    for (const CumulativeSeries &s : disclosureTimelines(db())) {
+        if (s.points.size() < 5)
+            continue;
+        ++mature;
+        if (concavityScore(s) > 0.6)
+            ++concave;
+    }
+    ASSERT_GT(mature, 15);
+    EXPECT_GT(static_cast<double>(concave) /
+                  static_cast<double>(mature),
+              0.8);
+}
+
+TEST_F(AnalysisTest, ObservationO1NoStrongDecline)
+{
+    // O1: the number of reported errata does not significantly
+    // decrease with new designs (the latest documents are too young
+    // to compare, so look at released-before-2020 Intel docs).
+    auto perYear = errataPerReleaseYear(db(), Vendor::Intel);
+    std::size_t early = 0, late = 0;
+    for (const auto &[year, count] : perYear) {
+        if (year <= 2013)
+            early += count;
+        else if (year <= 2019)
+            late += count;
+    }
+    EXPECT_GT(late, early / 2);
+}
+
+// ---- Figure 3: heredity ---------------------------------------------------
+
+TEST_F(AnalysisTest, HeredityMatrixSymmetricWithUniqueDiagonal)
+{
+    HeredityMatrix matrix = heredityMatrix(db(), Vendor::Intel);
+    ASSERT_EQ(matrix.docIndices.size(), 16u);
+    for (std::size_t i = 0; i < matrix.counts.size(); ++i) {
+        for (std::size_t j = 0; j < matrix.counts.size(); ++j)
+            ASSERT_EQ(matrix.counts[i][j], matrix.counts[j][i]);
+    }
+    // Diagonal = unique entries occurring in that document.
+    for (std::size_t i = 0; i < matrix.counts.size(); ++i)
+        ASSERT_GT(matrix.counts[i][i], 0u);
+}
+
+TEST_F(AnalysisTest, DesktopMobilePairsShareMostBugs)
+{
+    HeredityMatrix matrix = heredityMatrix(db(), Vendor::Intel);
+    // Docs 0/1 are Core 1 (D)/(M): the off-diagonal must be a large
+    // fraction of the diagonal.
+    double shared = static_cast<double>(matrix.counts[0][1]);
+    double total = static_cast<double>(matrix.counts[0][0]);
+    EXPECT_GT(shared / total, 0.5);
+}
+
+TEST_F(AnalysisTest, AmdSharesFewerBugsThanIntel)
+{
+    HeredityMatrix intel = heredityMatrix(db(), Vendor::Intel);
+    HeredityMatrix amd = heredityMatrix(db(), Vendor::Amd);
+    auto offDiagonalSum = [](const HeredityMatrix &matrix) {
+        std::size_t sum = 0;
+        for (std::size_t i = 0; i < matrix.counts.size(); ++i) {
+            for (std::size_t j = i + 1; j < matrix.counts.size();
+                 ++j) {
+                sum += matrix.counts[i][j];
+            }
+        }
+        return sum;
+    };
+    EXPECT_GT(offDiagonalSum(intel), 4 * offDiagonalSum(amd));
+}
+
+TEST_F(AnalysisTest, SharedGen6To10Is104)
+{
+    auto shared = entriesSharedByAll(db(), {10, 11, 12, 13});
+    EXPECT_EQ(shared.size(), 104u);
+}
+
+TEST_F(AnalysisTest, LongestSpanEleven)
+{
+    EXPECT_EQ(longestGenerationSpan(db(), Vendor::Intel), 11u);
+}
+
+// ---- Figure 4 ------------------------------------------------------------
+
+TEST_F(AnalysisTest, SharedBugDisclosuresStartAtRelease)
+{
+    auto series = sharedBugDisclosures(db(), {10, 11, 12, 13});
+    ASSERT_EQ(series.size(), 4u);
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        ASSERT_FALSE(series[i].points.empty());
+        EXPECT_EQ(series[i].total(), 104u) << series[i].label;
+        // The first point is the document release date.
+        EXPECT_EQ(series[i].points.front().first,
+                  db().documents()[static_cast<std::size_t>(
+                                       std::vector<int>{
+                                           10, 11, 12, 13}[i])]
+                      .design.releaseDate);
+    }
+}
+
+TEST_F(AnalysisTest, ObservationO4MostKnownBeforeNextRelease)
+{
+    double fraction =
+        knownBeforeNextReleaseFraction(db(), Vendor::Intel);
+    EXPECT_GT(fraction, 0.5);
+}
+
+// ---- Figure 5 ------------------------------------------------------------
+
+TEST_F(AnalysisTest, LatentSeriesShapes)
+{
+    LatentSeries latent = latentErrata(db(), Vendor::Intel);
+    // Forward-latent errata far outnumber backward-latent ones.
+    EXPECT_GT(latent.forwardCount, latent.backwardCount);
+    EXPECT_GT(latent.forwardCount, 100u);
+    EXPECT_GT(latent.backwardCount, 10u);
+    // Cumulative and monotone.
+    for (const CumulativeSeries *s :
+         {&latent.forwardLatent, &latent.backwardLatent}) {
+        for (std::size_t i = 1; i < s->points.size(); ++i)
+            ASSERT_LT(s->points[i - 1].second,
+                      s->points[i].second);
+    }
+}
+
+TEST_F(AnalysisTest, BackwardLatentBulgeAround2015)
+{
+    LatentSeries latent = latentErrata(db(), Vendor::Intel);
+    const CumulativeSeries &b = latent.backwardLatent;
+    std::size_t before2014 = b.countAt(Date(2013, 12, 31));
+    std::size_t by2017 = b.countAt(Date(2017, 12, 31));
+    // The 2014-2016 window contributes a salient share.
+    EXPECT_GT(by2017 - before2014, latent.backwardCount / 3);
+}
+
+// ---- Figures 6 and 7 -------------------------------------------------------
+
+TEST_F(AnalysisTest, WorkaroundNoneFractionsMatchPaper)
+{
+    WorkaroundBreakdown breakdown = workaroundBreakdown(db());
+    EXPECT_NEAR(breakdown.noneFraction(Vendor::Intel), 0.359,
+                0.05);
+    EXPECT_NEAR(breakdown.noneFraction(Vendor::Amd), 0.289, 0.06);
+    EXPECT_EQ(breakdown.intelTotal, 743u);
+    EXPECT_EQ(breakdown.amdTotal, 385u);
+}
+
+TEST_F(AnalysisTest, DocumentationFixNegligible)
+{
+    WorkaroundBreakdown breakdown = workaroundBreakdown(db());
+    std::size_t docfix =
+        breakdown.intel[WorkaroundClass::DocumentationFix] +
+        breakdown.amd[WorkaroundClass::DocumentationFix];
+    EXPECT_LT(static_cast<double>(docfix) / 1128.0, 0.015);
+}
+
+TEST_F(AnalysisTest, FixBreakdownObservationO6)
+{
+    EXPECT_GT(neverFixedFraction(db()), 0.75);
+    auto rows = fixBreakdown(db());
+    ASSERT_EQ(rows.size(), 28u);
+    // Intel's latest generations show the weak fixing trend.
+    const FixRow &core12 = rows[15];
+    const FixRow &core1 = rows[0];
+    double lateRate =
+        static_cast<double>(core12.fixed) /
+        static_cast<double>(core12.fixed + core12.planned +
+                            core12.unfixed);
+    double earlyRate =
+        static_cast<double>(core1.fixed) /
+        static_cast<double>(core1.fixed + core1.planned +
+                            core1.unfixed);
+    EXPECT_GT(lateRate, earlyRate);
+}
+
+// ---- Figures 10/17/18 -------------------------------------------------------
+
+TEST_F(AnalysisTest, ObservationO7TopTriggers)
+{
+    auto top = categoryFrequencies(db(), Axis::Trigger, 3);
+    ASSERT_EQ(top.size(), 3u);
+    std::set<std::string> codes{top[0].code, top[1].code,
+                                top[2].code};
+    EXPECT_TRUE(codes.count("Trg_CFG_wrg"));
+    EXPECT_TRUE(codes.count("Trg_POW_tht"));
+    EXPECT_TRUE(codes.count("Trg_POW_pwc"));
+}
+
+TEST_F(AnalysisTest, ObservationO11TopContext)
+{
+    auto top = categoryFrequencies(db(), Axis::Context, 1);
+    ASSERT_EQ(top.size(), 1u);
+    EXPECT_EQ(top[0].code, "Ctx_PRV_vmg");
+}
+
+TEST_F(AnalysisTest, ObservationO12TopEffects)
+{
+    auto top = categoryFrequencies(db(), Axis::Effect, 3);
+    std::set<std::string> codes{top[0].code, top[1].code,
+                                top[2].code};
+    EXPECT_TRUE(codes.count("Eff_CRP_reg"));
+    EXPECT_TRUE(codes.count("Eff_HNG_hng"));
+    EXPECT_TRUE(codes.count("Eff_HNG_unp"));
+}
+
+TEST_F(AnalysisTest, FrequenciesSortedDescending)
+{
+    for (Axis axis :
+         {Axis::Trigger, Axis::Context, Axis::Effect}) {
+        auto freqs = categoryFrequencies(db(), axis);
+        for (std::size_t i = 1; i < freqs.size(); ++i)
+            ASSERT_GE(freqs[i - 1].total(), freqs[i].total());
+    }
+}
+
+// ---- Figure 11 ---------------------------------------------------------------
+
+TEST_F(AnalysisTest, TriggerHistogramMatchesPaperFractions)
+{
+    TriggerCountHistogram histogram = triggerCountHistogram(db());
+    EXPECT_NEAR(histogram.noTriggerFraction(1128), 0.144, 0.03);
+    EXPECT_NEAR(histogram.multiTriggerFraction(), 0.49, 0.05);
+    ASSERT_GE(histogram.intelCounts.size(), 2u);
+    // Single-trigger errata are the most common bucket.
+    EXPECT_GT(histogram.intelCounts[0], histogram.intelCounts[1]);
+}
+
+// ---- Figure 12 ---------------------------------------------------------------
+
+TEST_F(AnalysisTest, CorrelationMatrixSymmetric)
+{
+    TriggerCorrelation matrix = triggerCorrelation(db());
+    ASSERT_EQ(matrix.categories.size(), 34u);
+    for (std::size_t i = 0; i < matrix.counts.size(); ++i) {
+        for (std::size_t j = 0; j < matrix.counts.size(); ++j)
+            ASSERT_EQ(matrix.counts[i][j], matrix.counts[j][i]);
+    }
+}
+
+TEST_F(AnalysisTest, ObservationO8SalientPairs)
+{
+    TriggerCorrelation matrix = triggerCorrelation(db());
+    auto top = matrix.topPairs(6);
+    ASSERT_FALSE(top.empty());
+    const Taxonomy &taxonomy = Taxonomy::instance();
+    bool sawDbgVmt = false;
+    for (const auto &pair : top) {
+        std::string a = taxonomy.categoryById(pair.a).code;
+        std::string b = taxonomy.categoryById(pair.b).code;
+        if ((a == "Trg_FEA_dbg" && b == "Trg_PRV_vmt") ||
+            (a == "Trg_PRV_vmt" && b == "Trg_FEA_dbg")) {
+            sawDbgVmt = true;
+        }
+    }
+    EXPECT_TRUE(sawDbgVmt);
+    // Most trigger pairs never interact (O8).
+    EXPECT_GT(nonInteractingPairFraction(matrix), 0.3);
+}
+
+// ---- Figure 13 ---------------------------------------------------------------
+
+TEST_F(AnalysisTest, EvolutionMbrAbsentInLatestGenerations)
+{
+    ClassEvolution evolution = classEvolution(db(), Vendor::Intel);
+    std::size_t mbrColumn = evolution.classCodes.size();
+    for (std::size_t c = 0; c < evolution.classCodes.size(); ++c) {
+        if (evolution.classCodes[c] == "Trg_MBR")
+            mbrColumn = c;
+    }
+    ASSERT_LT(mbrColumn, evolution.classCodes.size());
+    for (const GenerationClassProfile &profile :
+         evolution.generations) {
+        if (profile.generation >= 11) {
+            EXPECT_EQ(profile.classCounts[mbrColumn], 0u)
+                << profile.label;
+        }
+        if (profile.generation >= 2 && profile.generation <= 8) {
+            EXPECT_GT(profile.classCounts[mbrColumn], 0u)
+                << profile.label;
+        }
+    }
+}
+
+TEST_F(AnalysisTest, ObservationO9AllClassesNeededBeforeGen11)
+{
+    ClassEvolution evolution = classEvolution(db(), Vendor::Intel);
+    auto covered = generationsCoveringAllClasses(evolution);
+    // All trigger classes are necessary for every generation except
+    // the latest two.
+    std::set<int> coveredSet(covered.begin(), covered.end());
+    for (int generation : {2, 3, 4, 5, 6, 7, 8, 10})
+        EXPECT_TRUE(coveredSet.count(generation)) << generation;
+    EXPECT_FALSE(coveredSet.count(11));
+    EXPECT_FALSE(coveredSet.count(12));
+}
+
+// ---- Figures 14-16 ------------------------------------------------------------
+
+TEST_F(AnalysisTest, ObservationO10ClassSharesSimilar)
+{
+    auto rows = triggerClassShares(db());
+    ASSERT_EQ(rows.size(), 8u);
+    // The vendors' distributions are close overall (the paper notes
+    // only the EXT and FEA classes vary significantly).
+    EXPECT_LT(classShareDistance(rows), 0.20);
+    double intelTotal = 0, amdTotal = 0;
+    for (const VendorShareRow &row : rows) {
+        intelTotal += row.intelShare;
+        amdTotal += row.amdShare;
+    }
+    EXPECT_NEAR(intelTotal, 1.0, 1e-9);
+    EXPECT_NEAR(amdTotal, 1.0, 1e-9);
+}
+
+TEST_F(AnalysisTest, Figure15ExternalStimuliDiffer)
+{
+    auto rows = triggerCategorySharesInClass(db(), "Trg_EXT");
+    ASSERT_EQ(rows.size(), 6u);
+    // AMD leans to HyperTransport/IOMMU/DRAM, Intel to USB.
+    for (const VendorShareRow &row : rows) {
+        if (row.code == "Trg_EXT_usb") {
+            EXPECT_GT(row.intelShare, row.amdShare);
+        }
+        if (row.code == "Trg_EXT_iom") {
+            EXPECT_GT(row.amdShare, row.intelShare);
+        }
+    }
+}
+
+TEST_F(AnalysisTest, Figure16FeatureTriggersDiffer)
+{
+    auto rows = triggerCategorySharesInClass(db(), "Trg_FEA");
+    bool checkedTra = false, checkedCus = false;
+    for (const VendorShareRow &row : rows) {
+        if (row.code == "Trg_FEA_tra") {
+            EXPECT_GT(row.intelShare, row.amdShare * 1.5);
+            checkedTra = true;
+        }
+        if (row.code == "Trg_FEA_cus") {
+            EXPECT_GT(row.intelShare, row.amdShare);
+            checkedCus = true;
+        }
+    }
+    EXPECT_TRUE(checkedTra);
+    EXPECT_TRUE(checkedCus);
+}
+
+// ---- Figure 19 -----------------------------------------------------------------
+
+TEST(MsrFamily, GroupsNames)
+{
+    EXPECT_EQ(msrFamily("MC0_STATUS"), "MCx_STATUS");
+    EXPECT_EQ(msrFamily("MC4_STATUS"), "MCx_STATUS");
+    EXPECT_EQ(msrFamily("MC4_ADDR"), "MCx_ADDR");
+    EXPECT_EQ(msrFamily("IBS_OP_CTL"), "IBS_*");
+    EXPECT_EQ(msrFamily("PERF_CTR0"), "PERF_*");
+    EXPECT_EQ(msrFamily("FIXED_CTR0"), "PERF_*");
+    EXPECT_EQ(msrFamily("MISC_ENABLE"), "MISC_ENABLE");
+    EXPECT_EQ(msrFamily("MCX_STATUS"), "MCX_STATUS"); // no digits
+}
+
+TEST_F(AnalysisTest, ObservationO13MachineCheckRegistersOnTop)
+{
+    auto frequencies = msrFrequencies(db());
+    ASSERT_FALSE(frequencies.empty());
+    EXPECT_EQ(frequencies[0].family, "MCx_STATUS");
+    // 7.1%-8.5% of unique errata witness via MC status registers
+    // in the paper; allow a generous band.
+    EXPECT_GT(frequencies[0].intelFraction, 0.04);
+    EXPECT_LT(frequencies[0].intelFraction, 0.15);
+    // IBS registers appear for AMD only.
+    for (const MsrFrequency &freq : frequencies) {
+        if (freq.family == "IBS_*") {
+            EXPECT_GT(freq.amdCount, 0u);
+            EXPECT_EQ(freq.intelCount, 0u);
+        }
+    }
+}
+
+// ---- Headline stats ---------------------------------------------------------
+
+TEST_F(AnalysisTest, HeadlineStatsConsistency)
+{
+    HeadlineStats stats = headlineStats(db());
+    EXPECT_EQ(stats.totalRows,
+              stats.intelRows + stats.amdRows);
+    EXPECT_EQ(stats.totalUnique,
+              stats.intelUnique + stats.amdUnique);
+    EXPECT_GT(stats.neverFixed, 0.5);
+    EXPECT_LT(stats.neverFixed, 1.0);
+}
+
+} // namespace
+} // namespace rememberr

@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Unit tests for the classification engine, highlighting and the
+ * four-eyes protocol.
+ */
+
+#include <gtest/gtest.h>
+
+#include "classify/engine.hh"
+#include "classify/foureyes.hh"
+#include "classify/highlight.hh"
+#include "classify/rules.hh"
+#include "corpus/generator.hh"
+#include "util/logging.hh"
+
+namespace rememberr {
+namespace {
+
+CategoryId
+id(const char *code)
+{
+    auto parsed = Taxonomy::instance().parseCategory(code);
+    EXPECT_TRUE(parsed) << code;
+    return *parsed;
+}
+
+TEST(RuleSet, EveryCategoryHasRules)
+{
+    const RuleSet &rules = RuleSet::instance();
+    EXPECT_EQ(rules.rules().size(), 60u);
+    for (const CategoryRule &rule : rules.rules()) {
+        EXPECT_FALSE(rule.accept.empty());
+        EXPECT_FALSE(rule.relevance.empty());
+    }
+}
+
+TEST(Engine, AutoAcceptsExplicitTriggerPhrase)
+{
+    Erratum erratum;
+    erratum.title = "Some Title";
+    erratum.description =
+        "If a warm reset is applied to the processor, then the "
+        "processor may hang.";
+    erratum.implications = "System may hang.";
+    erratum.workaroundText = "None identified.";
+
+    EngineResult result = classifyErratum(erratum);
+    EXPECT_TRUE(result.autoYes.contains(id("Trg_EXT_rst")));
+    EXPECT_TRUE(result.autoYes.contains(id("Eff_HNG_hng")));
+}
+
+TEST(Engine, ResetAsEffectIsManualForResetTrigger)
+{
+    // The paper's canonical hard case: "the system may crash or
+    // reset" mentions a reset without it being a trigger.
+    Erratum erratum;
+    erratum.title = "Some Title";
+    erratum.description =
+        "If the core resumes from the C6 power state, then the "
+        "system may crash or reset.";
+    erratum.implications = "System may reset.";
+    erratum.workaroundText = "None identified.";
+
+    EngineResult result = classifyErratum(erratum);
+    EXPECT_FALSE(result.autoYes.contains(id("Trg_EXT_rst")));
+    EXPECT_EQ(result.decisions[id("Trg_EXT_rst")],
+              Decision::Manual);
+    EXPECT_TRUE(result.autoYes.contains(id("Trg_POW_pwc")));
+    EXPECT_TRUE(result.autoYes.contains(id("Eff_HNG_crh")));
+}
+
+TEST(Engine, IrrelevantCategoriesAutoNo)
+{
+    Erratum erratum;
+    erratum.title = "Short";
+    erratum.description =
+        "If a warm reset is applied to the processor, then the "
+        "processor may hang.";
+    erratum.implications = "May hang.";
+    erratum.workaroundText = "None identified.";
+
+    EngineResult result = classifyErratum(erratum);
+    EXPECT_EQ(result.decisions[id("Trg_FEA_fpu")],
+              Decision::AutoNo);
+    EXPECT_EQ(result.decisions[id("Ctx_PRV_rea")],
+              Decision::AutoNo);
+    EXPECT_EQ(result.decisions[id("Eff_EXT_usb")],
+              Decision::AutoNo);
+}
+
+TEST(Engine, TitleCountsForRelevanceNotAcceptance)
+{
+    Erratum erratum;
+    erratum.title = "Core Clock May Hang the Processor";
+    erratum.description = "Under some condition, nothing happens.";
+    erratum.implications = "None.";
+    erratum.workaroundText = "None identified.";
+
+    EngineResult result = classifyErratum(erratum);
+    // "hang" in the title makes Eff_HNG_hng relevant but must not
+    // auto-accept it.
+    EXPECT_EQ(result.decisions[id("Eff_HNG_hng")],
+              Decision::Manual);
+}
+
+TEST(Engine, SmmContextVsSmmResumeTrigger)
+{
+    Erratum erratum;
+    erratum.title = "T";
+    erratum.description =
+        "If the processor resumes from System Management Mode via "
+        "RSM, then unpredictable system behavior may occur.";
+    erratum.implications = "Unpredictable behavior.";
+    erratum.workaroundText = "None identified.";
+
+    EngineResult result = classifyErratum(erratum);
+    EXPECT_TRUE(result.autoYes.contains(id("Trg_PRV_ret")));
+    // The SMM *context* must not auto-fire from the resume phrase.
+    EXPECT_NE(result.decisions[id("Ctx_PRV_smm")],
+              Decision::AutoYes);
+}
+
+TEST(Engine, PrefilterReducesDecisionsByOrderOfMagnitude)
+{
+    setLogQuiet(true);
+    Corpus corpus = generateDefaultCorpus();
+    std::size_t manual = 0;
+    std::size_t naive = corpus.bugs.size() * 60;
+    for (const BugSpec &bug : corpus.bugs) {
+        Erratum erratum;
+        erratum.title = bug.title;
+        erratum.description = bug.description;
+        erratum.implications = bug.implications;
+        erratum.workaroundText = bug.workaroundText;
+        manual += classifyErratum(erratum).manualCount();
+    }
+    // The paper reduced 67,680 decisions to ~2,064 per annotator.
+    EXPECT_EQ(naive, 67680u);
+    EXPECT_LT(manual, naive / 8);
+    EXPECT_GT(manual, 500u);
+}
+
+TEST(Engine, AutoAcceptIsPrecise)
+{
+    // Auto-accepted categories must be in the ground truth — the
+    // prefilter is conservative (no auto-yes false positives).
+    setLogQuiet(true);
+    Corpus corpus = generateDefaultCorpus();
+    std::size_t falseAccepts = 0;
+    std::size_t accepts = 0;
+    for (const BugSpec &bug : corpus.bugs) {
+        Erratum erratum;
+        erratum.title = bug.title;
+        erratum.description = bug.description;
+        erratum.implications = bug.implications;
+        erratum.workaroundText = bug.workaroundText;
+        EngineResult result = classifyErratum(erratum);
+        CategorySet truth =
+            bug.triggers | bug.contexts | bug.effects;
+        for (CategoryId cat : result.autoYes.toVector()) {
+            ++accepts;
+            if (!truth.contains(cat))
+                ++falseAccepts;
+        }
+    }
+    ASSERT_GT(accepts, 1000u);
+    EXPECT_LT(static_cast<double>(falseAccepts) /
+                  static_cast<double>(accepts),
+              0.02);
+}
+
+// ---- Highlighting -----------------------------------------------------
+
+TEST(Highlight, SpansCoverMatchedText)
+{
+    std::string text =
+        "If a warm reset is applied, the system may reset again.";
+    auto spans = highlightCategory(text, id("Trg_EXT_rst"));
+    ASSERT_FALSE(spans.empty());
+    // The accept match "warm reset" must be a strong span.
+    bool strongFound = false;
+    for (const HighlightSpan &span : spans) {
+        std::string slice =
+            text.substr(span.begin, span.end - span.begin);
+        if (span.strong)
+            strongFound = true;
+        EXPECT_NE(slice.find("reset"), std::string::npos);
+    }
+    EXPECT_TRUE(strongFound);
+}
+
+TEST(Highlight, SpansAreSortedAndDisjoint)
+{
+    std::string text =
+        "warm reset, cold reset, reset again, reset everywhere";
+    auto spans = highlightCategory(text, id("Trg_EXT_rst"));
+    for (std::size_t i = 1; i < spans.size(); ++i)
+        EXPECT_GE(spans[i].begin, spans[i - 1].end);
+}
+
+TEST(Highlight, AnsiRenderingWrapsSpans)
+{
+    std::string text = "a warm reset here";
+    auto spans = highlightCategory(text, id("Trg_EXT_rst"));
+    std::string ansi = renderAnsi(text, spans);
+    EXPECT_NE(ansi.find("\x1b["), std::string::npos);
+    EXPECT_NE(ansi.find("\x1b[0m"), std::string::npos);
+}
+
+TEST(Highlight, HtmlRenderingEscapes)
+{
+    std::string text = "a warm reset <now>";
+    auto spans = highlightCategory(text, id("Trg_EXT_rst"));
+    std::string html = renderHtml(text, spans);
+    EXPECT_NE(html.find("<mark"), std::string::npos);
+    EXPECT_EQ(html.find("<now>"), std::string::npos);
+    EXPECT_NE(html.find("&lt;now&gt;"), std::string::npos);
+}
+
+TEST(Highlight, NoSpansForIrrelevantCategory)
+{
+    std::string text = "completely unrelated prose";
+    auto spans = highlightCategory(text, id("Trg_EXT_usb"));
+    EXPECT_TRUE(spans.empty());
+}
+
+// ---- Four-eyes protocol -------------------------------------------------
+
+class FourEyesTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        setLogQuiet(true);
+        corpus_ = new Corpus(generateDefaultCorpus());
+        result_ = new FourEyesResult(runFourEyes(*corpus_));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete result_;
+        delete corpus_;
+        result_ = nullptr;
+        corpus_ = nullptr;
+    }
+
+    static Corpus *corpus_;
+    static FourEyesResult *result_;
+};
+
+Corpus *FourEyesTest::corpus_ = nullptr;
+FourEyesResult *FourEyesTest::result_ = nullptr;
+
+TEST_F(FourEyesTest, SevenStepsCoverAllErrata)
+{
+    ASSERT_EQ(result_->steps.size(), 7u);
+    EXPECT_EQ(result_->steps.back().cumulativeErrata, 1128u);
+    // Cumulative counts are non-decreasing (Figure 8).
+    for (std::size_t i = 1; i < result_->steps.size(); ++i) {
+        EXPECT_GT(result_->steps[i].cumulativeErrata,
+                  result_->steps[i - 1].cumulativeErrata);
+    }
+}
+
+TEST_F(FourEyesTest, NaiveDecisionCountMatchesPaper)
+{
+    EXPECT_EQ(result_->naiveDecisionsPerAnnotator, 67680u);
+    EXPECT_LT(result_->manualDecisionsPerAnnotator, 67680u / 8);
+}
+
+TEST_F(FourEyesTest, AgreementGenerallyAbove80Percent)
+{
+    for (const StepStats &step : result_->steps)
+        EXPECT_GT(step.agreement, 0.80) << "step " << step.step;
+}
+
+TEST_F(FourEyesTest, AmdStepShowsAgreementDip)
+{
+    // Step 6 starts the AMD corpus; its agreement dips below the
+    // neighbouring Intel steps (Figure 9's chronology).
+    ASSERT_EQ(result_->steps.size(), 7u);
+    EXPECT_LT(result_->steps[5].agreement,
+              result_->steps[4].agreement);
+    EXPECT_LT(result_->steps[5].agreement,
+              result_->steps[6].agreement);
+}
+
+TEST_F(FourEyesTest, AnnotationsMatchGroundTruthClosely)
+{
+    EXPECT_GT(result_->labelAccuracy, 0.98);
+    std::size_t exact = 0;
+    for (const BugSpec &bug : corpus_->bugs) {
+        const AnnotatedBug &annotated =
+            result_->annotations[bug.bugKey];
+        CategorySet truth =
+            bug.triggers | bug.contexts | bug.effects;
+        if (FourEyesResult::allCategories(annotated) == truth)
+            ++exact;
+    }
+    EXPECT_GT(static_cast<double>(exact) /
+                  static_cast<double>(corpus_->bugs.size()),
+              0.80);
+}
+
+TEST_F(FourEyesTest, AnnotationsSplitByAxis)
+{
+    const Taxonomy &taxonomy = Taxonomy::instance();
+    for (const AnnotatedBug &annotated : result_->annotations) {
+        for (CategoryId cat : annotated.triggers.toVector())
+            ASSERT_EQ(taxonomy.categoryById(cat).axis,
+                      Axis::Trigger);
+        for (CategoryId cat : annotated.contexts.toVector())
+            ASSERT_EQ(taxonomy.categoryById(cat).axis,
+                      Axis::Context);
+        for (CategoryId cat : annotated.effects.toVector())
+            ASSERT_EQ(taxonomy.categoryById(cat).axis,
+                      Axis::Effect);
+    }
+}
+
+TEST_F(FourEyesTest, DeterministicRerun)
+{
+    FourEyesResult again = runFourEyes(*corpus_);
+    ASSERT_EQ(again.steps.size(), result_->steps.size());
+    for (std::size_t i = 0; i < again.steps.size(); ++i) {
+        EXPECT_DOUBLE_EQ(again.steps[i].agreement,
+                         result_->steps[i].agreement);
+    }
+    EXPECT_DOUBLE_EQ(again.labelAccuracy, result_->labelAccuracy);
+}
+
+TEST(FourEyes, RejectsMismatchedStepTables)
+{
+    setLogQuiet(true);
+    Corpus corpus = generateDefaultCorpus();
+    FourEyesOptions options;
+    options.stepSizes = {1128}; // one step, but 7 error rates
+    EXPECT_THROW(
+        {
+            try {
+                runFourEyes(corpus, options);
+            } catch (...) {
+                throw;
+            }
+        },
+        std::exception);
+}
+
+} // namespace
+} // namespace rememberr

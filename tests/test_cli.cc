@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Unit tests for the command-line interface.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "cli/commands.hh"
+#include "core/pipeline.hh"
+#include "document/format.hh"
+#include "util/logging.hh"
+
+namespace rememberr {
+namespace cli {
+namespace {
+
+/** Run the CLI capturing both streams. */
+struct CliResult
+{
+    int code = 0;
+    std::string out;
+    std::string err;
+};
+
+CliResult
+run(std::vector<std::string> args)
+{
+    std::ostringstream out, err;
+    CliResult result;
+    result.code = runCli(args, out, err);
+    result.out = out.str();
+    result.err = err.str();
+    return result;
+}
+
+// ---- Argument parsing ---------------------------------------------------
+
+TEST(ArgList, ParsesCommandAndPositionals)
+{
+    ArgList args = ArgList::parse({"lint", "a.txt", "b.txt"});
+    EXPECT_EQ(args.command(), "lint");
+    EXPECT_EQ(args.positionals(),
+              (std::vector<std::string>{"a.txt", "b.txt"}));
+}
+
+TEST(ArgList, ParsesOptionsBothStyles)
+{
+    ArgList args = ArgList::parse(
+        {"query", "--vendor=intel", "--limit", "5", "--json"});
+    EXPECT_EQ(args.option("vendor"), "intel");
+    EXPECT_EQ(args.intOption("limit"), 5);
+    EXPECT_TRUE(args.hasFlag("json"));
+    EXPECT_FALSE(args.hasFlag("vendors"));
+    EXPECT_EQ(args.option("absent"), std::nullopt);
+}
+
+TEST(ArgList, IntOptionRejectsNonNumeric)
+{
+    ArgList args = ArgList::parse({"x", "--limit", "abc"});
+    EXPECT_EQ(args.intOption("limit"), std::nullopt);
+}
+
+// ---- Commands --------------------------------------------------------------
+
+TEST(Cli, NoCommandPrintsUsage)
+{
+    CliResult result = run({});
+    EXPECT_EQ(result.code, 2);
+    EXPECT_NE(result.err.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, HelpExitsCleanly)
+{
+    CliResult result = run({"help"});
+    EXPECT_EQ(result.code, 0);
+    EXPECT_NE(result.err.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandFails)
+{
+    CliResult result = run({"frobnicate"});
+    EXPECT_EQ(result.code, 2);
+    EXPECT_NE(result.err.find("unknown command"),
+              std::string::npos);
+}
+
+TEST(Cli, StatsPrintsPaperComparison)
+{
+    CliResult result = run({"stats"});
+    EXPECT_EQ(result.code, 0);
+    EXPECT_NE(result.out.find("2,057 / 743"), std::string::npos);
+    EXPECT_NE(result.out.find("14.4%"), std::string::npos);
+}
+
+TEST(Cli, QueryFiltersAndLimits)
+{
+    CliResult result = run({"query", "--vendor", "amd",
+                            "--min-triggers", "2", "--limit",
+                            "3"});
+    EXPECT_EQ(result.code, 0);
+    EXPECT_NE(result.out.find("matching unique errata"),
+              std::string::npos);
+    EXPECT_NE(result.out.find("AMD"), std::string::npos);
+    EXPECT_EQ(result.out.find("Intel"), std::string::npos);
+}
+
+TEST(Cli, QueryRejectsUnknownVendorAndCategory)
+{
+    EXPECT_EQ(run({"query", "--vendor", "via"}).code, 2);
+    EXPECT_EQ(run({"query", "--category", "Trg_FOO_bar"}).code, 2);
+    EXPECT_EQ(run({"query", "--class", "Nope"}).code, 2);
+    EXPECT_EQ(run({"query", "--workaround", "magic"}).code, 2);
+}
+
+TEST(Cli, CampaignRendersPlanAndJson)
+{
+    CliResult text = run({"campaign", "--pairs", "3"});
+    EXPECT_EQ(text.code, 0);
+    EXPECT_NE(text.out.find("Combined stimuli"),
+              std::string::npos);
+
+    CliResult json = run({"campaign", "--pairs", "3", "--json"});
+    EXPECT_EQ(json.code, 0);
+    auto parsed = parseJson(json.out);
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(parsed.value().at("stimuli").size(), 3u);
+}
+
+TEST(Cli, SeedsEmitValidJson)
+{
+    CliResult result = run({"seeds", "--count", "5"});
+    EXPECT_EQ(result.code, 0);
+    auto parsed = parseJson(result.out);
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(parsed.value().size(), 5u);
+}
+
+TEST(Cli, LintRequiresFiles)
+{
+    CliResult result = run({"lint"});
+    EXPECT_EQ(result.code, 2);
+}
+
+TEST(Cli, LintMissingFileFails)
+{
+    CliResult result = run({"lint", "/nonexistent/doc.txt"});
+    EXPECT_EQ(result.code, 1);
+    EXPECT_NE(result.err.find("cannot open"), std::string::npos);
+}
+
+class CliFileTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        setLogQuiet(true);
+        dir_ = std::filesystem::temp_directory_path() /
+               "rememberr_cli_test";
+        std::filesystem::create_directories(dir_);
+        // Write one small document (the defect-bearing Core 1 D).
+        Corpus corpus = generateDefaultCorpus();
+        path_ = (dir_ / "core1d.txt").string();
+        std::ofstream out(path_);
+        out << renderDocument(corpus.documents[0]);
+        firstId_ = corpus.documents[0].errata[0].localId;
+    }
+
+    void
+    TearDown() override
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(dir_, ec);
+    }
+
+    std::filesystem::path dir_;
+    std::string path_;
+    std::string firstId_;
+};
+
+TEST_F(CliFileTest, LintFindsInjectedDefects)
+{
+    CliResult result = run({"lint", path_});
+    EXPECT_EQ(result.code, 0);
+    EXPECT_NE(result.out.find("ReusedName"), std::string::npos);
+    EXPECT_NE(result.out.find("IntraDocDuplicate"),
+              std::string::npos);
+}
+
+TEST_F(CliFileTest, ClassifyAnnotatesEveryErratum)
+{
+    CliResult result = run({"classify", path_});
+    EXPECT_EQ(result.code, 0);
+    EXPECT_NE(result.out.find(firstId_ + ":"), std::string::npos);
+    EXPECT_NE(result.out.find("manual decision"),
+              std::string::npos);
+}
+
+TEST_F(CliFileTest, HighlightProducesMarkup)
+{
+    CliResult ansi = run(
+        {"highlight", path_, firstId_, "Trg_CFG_wrg"});
+    EXPECT_EQ(ansi.code, 0);
+
+    CliResult html = run({"highlight", path_, firstId_,
+                          "Trg_CFG_wrg", "--html"});
+    EXPECT_EQ(html.code, 0);
+
+    CliResult bad = run(
+        {"highlight", path_, firstId_, "Not_A_Category"});
+    EXPECT_EQ(bad.code, 2);
+
+    CliResult missing =
+        run({"highlight", path_, "ZZZ999", "Trg_CFG_wrg"});
+    EXPECT_EQ(missing.code, 1);
+}
+
+TEST_F(CliFileTest, GenerateWritesDocumentsAndExports)
+{
+    std::string outDir = (dir_ / "generated").string();
+    CliResult result = run({"generate", "--out", outDir});
+    EXPECT_EQ(result.code, 0);
+    EXPECT_TRUE(std::filesystem::exists(outDir +
+                                        "/intel_1_D.txt"));
+    EXPECT_TRUE(std::filesystem::exists(outDir +
+                                        "/rememberr_db.json"));
+    EXPECT_TRUE(std::filesystem::exists(outDir +
+                                        "/rememberr_db.csv"));
+
+    // The written document parses back.
+    std::ifstream in(outDir + "/intel_1_D.txt");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_TRUE(parseDocument(buffer.str()));
+}
+
+TEST_F(CliFileTest, FiguresWritesSvgs)
+{
+    std::string outDir = (dir_ / "figures").string();
+    CliResult result = run({"figures", "--out", outDir});
+    EXPECT_EQ(result.code, 0);
+    EXPECT_TRUE(std::filesystem::exists(outDir +
+                                        "/fig3_heredity.svg"));
+    EXPECT_TRUE(std::filesystem::exists(outDir +
+                                        "/fig12_correlation.svg"));
+}
+
+TEST(Cli, GenerateRequiresOut)
+{
+    EXPECT_EQ(run({"generate"}).code, 2);
+    EXPECT_EQ(run({"figures"}).code, 2);
+}
+
+} // namespace
+} // namespace cli
+} // namespace rememberr

@@ -1,0 +1,466 @@
+/**
+ * @file
+ * Unit tests for the calibrated corpus generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <map>
+#include <set>
+
+#include "corpus/calibration.hh"
+#include "corpus/generator.hh"
+#include "corpus/phrasebank.hh"
+#include "util/logging.hh"
+
+namespace rememberr {
+namespace {
+
+class CorpusTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        setLogQuiet(true);
+        corpus_ = new Corpus(generateDefaultCorpus());
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete corpus_;
+        corpus_ = nullptr;
+    }
+
+    static Corpus *corpus_;
+};
+
+Corpus *CorpusTest::corpus_ = nullptr;
+
+// ---- Calibration plan ------------------------------------------------
+
+TEST(Calibration, DocumentInventoryMatchesTableIII)
+{
+    const auto &inventory = documentInventory();
+    ASSERT_EQ(inventory.size(), 28u);
+    // 16 Intel docs, then 12 AMD docs.
+    for (std::size_t i = 0; i < firstAmdDocIndex; ++i)
+        EXPECT_EQ(inventory[i].design.vendor, Vendor::Intel);
+    for (std::size_t i = firstAmdDocIndex; i < inventory.size();
+         ++i) {
+        EXPECT_EQ(inventory[i].design.vendor, Vendor::Amd);
+    }
+    // Intel generations 1..5 come as Desktop/Mobile pairs.
+    int paired = 0;
+    for (std::size_t i = 0; i < firstAmdDocIndex; ++i) {
+        if (inventory[i].design.variant != DesignVariant::Unified)
+            ++paired;
+    }
+    EXPECT_EQ(paired, 10);
+    // References from Table III are present.
+    std::set<std::string> refs;
+    for (const DocumentSpec &spec : inventory)
+        refs.insert(spec.design.reference);
+    EXPECT_TRUE(refs.count("320836-037US"));
+    EXPECT_TRUE(refs.count("682436-004US"));
+    EXPECT_TRUE(refs.count("41322-3.84"));
+    EXPECT_TRUE(refs.count("56683-1.04"));
+}
+
+TEST(Calibration, PlanTotalsMatchPaper)
+{
+    CorpusTotals totals = planTotals();
+    EXPECT_EQ(totals.intelUnique, 743);
+    // 2,046 plan appearances + 11 injected intra-document
+    // duplicates = the paper's 2,057 collected rows.
+    EXPECT_EQ(totals.intelAppearances, 2046);
+    EXPECT_EQ(totals.amdUnique, 385);
+    EXPECT_EQ(totals.amdAppearances, 506);
+}
+
+TEST(Calibration, HeredityPlanContainsNamedStructures)
+{
+    bool sawElevenGen = false, sawGen1To10 = false,
+         sawGen6To10 = false;
+    for (const HeredityGroup &group : heredityPlan()) {
+        if (group.tag == "intel-gen2-to-12") {
+            sawElevenGen = true;
+            EXPECT_EQ(group.bugCount, 1);
+            EXPECT_EQ(group.docSets[0].size(), 14u);
+        }
+        if (group.tag == "intel-gen1-to-10") {
+            sawGen1To10 = true;
+            EXPECT_EQ(group.bugCount, 6);
+        }
+        if (group.tag == "intel-gen6-to-10") {
+            sawGen6To10 = true;
+            // 97 + 6 + 1 = the 104 bugs shared by gens 6-10.
+            EXPECT_EQ(group.bugCount, 97);
+            EXPECT_EQ(group.docSets[0],
+                      (std::vector<int>{10, 11, 12, 13}));
+        }
+    }
+    EXPECT_TRUE(sawElevenGen);
+    EXPECT_TRUE(sawGen1To10);
+    EXPECT_TRUE(sawGen6To10);
+}
+
+TEST(Calibration, CategoryWeightsEncodeFigure13)
+{
+    const Taxonomy &taxonomy = Taxonomy::instance();
+    // No memory-boundary triggers in the two latest Intel
+    // generations.
+    for (const char *code :
+         {"Trg_MBR_cbr", "Trg_MBR_pgb", "Trg_MBR_mbr"}) {
+        CategoryId id = *taxonomy.parseCategory(code);
+        EXPECT_EQ(categoryWeight(id, Vendor::Intel, 11), 0.0);
+        EXPECT_EQ(categoryWeight(id, Vendor::Intel, 12), 0.0);
+        EXPECT_GT(categoryWeight(id, Vendor::Intel, 10), 0.0);
+        EXPECT_GT(categoryWeight(id, Vendor::Amd, 11), 0.0);
+    }
+    // Tracing features over-represented at Intel (Figure 16).
+    CategoryId tra = *taxonomy.parseCategory("Trg_FEA_tra");
+    EXPECT_GT(categoryWeight(tra, Vendor::Intel, 6),
+              categoryWeight(tra, Vendor::Amd, 6) * 2);
+}
+
+TEST(Calibration, PairBoostsEncodeFigure12)
+{
+    const Taxonomy &taxonomy = Taxonomy::instance();
+    CategoryId dbg = *taxonomy.parseCategory("Trg_FEA_dbg");
+    CategoryId vmt = *taxonomy.parseCategory("Trg_PRV_vmt");
+    CategoryId ram = *taxonomy.parseCategory("Trg_EXT_ram");
+    CategoryId pwc = *taxonomy.parseCategory("Trg_POW_pwc");
+    CategoryId cbr = *taxonomy.parseCategory("Trg_MBR_cbr");
+    EXPECT_GT(pairBoost(dbg, vmt), 1.0);
+    EXPECT_EQ(pairBoost(dbg, vmt), pairBoost(vmt, dbg));
+    EXPECT_GT(pairBoost(ram, pwc), 1.0);
+    EXPECT_EQ(pairBoost(cbr, vmt), 1.0);
+}
+
+TEST(Calibration, WorkaroundWeightsPinNoneFractions)
+{
+    auto intel = workaroundWeights(Vendor::Intel);
+    auto amd = workaroundWeights(Vendor::Amd);
+    double intelTotal = 0, amdTotal = 0;
+    for (double w : intel)
+        intelTotal += w;
+    for (double w : amd)
+        amdTotal += w;
+    EXPECT_NEAR(intel[0] / intelTotal, 0.359, 0.002);
+    EXPECT_NEAR(amd[0] / amdTotal, 0.289, 0.002);
+}
+
+// ---- Phrase bank ------------------------------------------------------
+
+TEST(PhraseBank, EveryCategoryHasPhrases)
+{
+    const PhraseBank &bank = PhraseBank::instance();
+    const Taxonomy &taxonomy = Taxonomy::instance();
+    for (CategoryId id = 0; id < taxonomy.categoryCount(); ++id) {
+        const auto &phrases = bank.phrasesFor(id);
+        ASSERT_FALSE(phrases.empty())
+            << taxonomy.categoryById(id).code;
+        bool explicitFound = false;
+        for (const ConcretePhrase &phrase : phrases) {
+            EXPECT_FALSE(phrase.text.empty());
+            EXPECT_FALSE(phrase.titleFragment.empty());
+            explicitFound |= phrase.explicitPhrase;
+        }
+        EXPECT_TRUE(explicitFound)
+            << taxonomy.categoryById(id).code;
+    }
+}
+
+TEST(PhraseBank, MsrPoolsNonEmpty)
+{
+    const PhraseBank &bank = PhraseBank::instance();
+    EXPECT_FALSE(bank.machineCheckMsrs().empty());
+    EXPECT_FALSE(bank.ibsMsrs().empty());
+    EXPECT_FALSE(bank.performanceMsrs().empty());
+    EXPECT_FALSE(bank.configMsrs().empty());
+}
+
+// ---- Generated corpus --------------------------------------------------
+
+TEST_F(CorpusTest, RowTotalsMatchPaper)
+{
+    EXPECT_EQ(corpus_->totalRows(Vendor::Intel), 2057u);
+    EXPECT_EQ(corpus_->totalRows(Vendor::Amd), 506u);
+    EXPECT_EQ(corpus_->uniqueBugs(Vendor::Intel), 743u);
+    EXPECT_EQ(corpus_->uniqueBugs(Vendor::Amd), 385u);
+    EXPECT_EQ(corpus_->bugs.size(), 1128u);
+}
+
+TEST_F(CorpusTest, Deterministic)
+{
+    Corpus again = generateDefaultCorpus();
+    ASSERT_EQ(again.bugs.size(), corpus_->bugs.size());
+    for (std::size_t i = 0; i < again.bugs.size(); ++i) {
+        ASSERT_EQ(again.bugs[i].title, corpus_->bugs[i].title);
+        ASSERT_EQ(again.bugs[i].triggers.mask(),
+                  corpus_->bugs[i].triggers.mask());
+        ASSERT_EQ(again.bugs[i].discoveryDate,
+                  corpus_->bugs[i].discoveryDate);
+    }
+    for (std::size_t d = 0; d < again.documents.size(); ++d) {
+        ASSERT_EQ(again.documents[d].errata.size(),
+                  corpus_->documents[d].errata.size());
+    }
+}
+
+TEST_F(CorpusTest, DifferentSeedDiffers)
+{
+    Corpus other = generateDefaultCorpus(12345);
+    int sameTitles = 0;
+    for (std::size_t i = 0; i < 100; ++i) {
+        if (other.bugs[i].title == corpus_->bugs[i].title)
+            ++sameTitles;
+    }
+    EXPECT_LT(sameTitles, 50);
+    // Structure (heredity plan) stays identical across seeds.
+    EXPECT_EQ(other.bugs.size(), corpus_->bugs.size());
+    for (std::size_t i = 0; i < other.bugs.size(); ++i) {
+        ASSERT_EQ(other.bugs[i].docIndices,
+                  corpus_->bugs[i].docIndices);
+    }
+}
+
+TEST_F(CorpusTest, EveryBugHasAtLeastOneEffect)
+{
+    for (const BugSpec &bug : corpus_->bugs)
+        EXPECT_FALSE(bug.effects.empty()) << bug.bugKey;
+}
+
+TEST_F(CorpusTest, TriggersRespectAxis)
+{
+    const Taxonomy &taxonomy = Taxonomy::instance();
+    for (const BugSpec &bug : corpus_->bugs) {
+        for (CategoryId id : bug.triggers.toVector())
+            ASSERT_EQ(taxonomy.categoryById(id).axis,
+                      Axis::Trigger);
+        for (CategoryId id : bug.contexts.toVector())
+            ASSERT_EQ(taxonomy.categoryById(id).axis,
+                      Axis::Context);
+        for (CategoryId id : bug.effects.toVector())
+            ASSERT_EQ(taxonomy.categoryById(id).axis, Axis::Effect);
+    }
+}
+
+TEST_F(CorpusTest, ReportDatesWithinDocumentLifetime)
+{
+    const auto &inventory = documentInventory();
+    const Date cutoff = studyCutoffDate();
+    for (const BugSpec &bug : corpus_->bugs) {
+        for (const auto &[doc, date] : bug.reportDates) {
+            ASSERT_GE(date,
+                      inventory[static_cast<std::size_t>(doc)]
+                          .design.releaseDate);
+            ASSERT_LE(date, cutoff);
+        }
+    }
+}
+
+TEST_F(CorpusTest, DiscoveryIsEarliestReport)
+{
+    for (const BugSpec &bug : corpus_->bugs) {
+        Date earliest = bug.reportDates.begin()->second;
+        for (const auto &[doc, date] : bug.reportDates)
+            earliest = std::min(earliest, date);
+        ASSERT_EQ(bug.discoveryDate, earliest) << bug.bugKey;
+    }
+}
+
+TEST_F(CorpusTest, AmdDuplicatesShareNumericIds)
+{
+    // For every AMD bug in >= 2 documents, the local id is the same
+    // number in all of them.
+    std::map<std::uint32_t, std::set<std::string>> idsPerBug;
+    for (const auto &[row, bug] : corpus_->rowToBug) {
+        const ErrataDocument &doc =
+            corpus_->documents[static_cast<std::size_t>(row.first)];
+        if (doc.design.vendor == Vendor::Amd) {
+            idsPerBug[bug].insert(
+                doc.errata[static_cast<std::size_t>(row.second)]
+                    .localId);
+        }
+    }
+    for (const auto &[bug, ids] : idsPerBug)
+        EXPECT_EQ(ids.size(), 1u) << "bug " << bug;
+}
+
+TEST_F(CorpusTest, IntelIdsFollowDocPrefixFormat)
+{
+    for (std::size_t d = 0; d < firstAmdDocIndex; ++d) {
+        const ErrataDocument &doc = corpus_->documents[d];
+        for (const Erratum &erratum : doc.errata) {
+            // Prefix letters followed by digits.
+            std::size_t i = 0;
+            while (i < erratum.localId.size() &&
+                   std::isalpha(static_cast<unsigned char>(
+                       erratum.localId[i]))) {
+                ++i;
+            }
+            ASSERT_GT(i, 0u) << erratum.localId;
+            ASSERT_LT(i, erratum.localId.size())
+                << erratum.localId;
+        }
+    }
+}
+
+TEST_F(CorpusTest, RevisionsAreChronological)
+{
+    for (const ErrataDocument &doc : corpus_->documents) {
+        for (std::size_t i = 1; i < doc.revisions.size(); ++i) {
+            ASSERT_LT(doc.revisions[i - 1].date,
+                      doc.revisions[i].date);
+            ASSERT_EQ(doc.revisions[i].number,
+                      doc.revisions[i - 1].number + 1);
+        }
+    }
+}
+
+TEST_F(CorpusTest, DefectLedgerMatchesPaperCounts)
+{
+    const DefectCounts &expected = defectCounts();
+    std::map<DefectKind, int> counts;
+    std::map<DefectKind, std::set<int>> docs;
+    for (const DefectRecord &record : corpus_->defects) {
+        ++counts[record.kind];
+        docs[record.kind].insert(record.docIndex);
+    }
+    EXPECT_EQ(counts[DefectKind::DuplicateRevisionClaim],
+              expected.duplicateAddedErrata);
+    EXPECT_EQ(static_cast<int>(
+                  docs[DefectKind::DuplicateRevisionClaim].size()),
+              expected.duplicateAddedDocs);
+    EXPECT_EQ(counts[DefectKind::MissingFromNotes],
+              expected.missingFromNotesErrata);
+    EXPECT_EQ(static_cast<int>(
+                  docs[DefectKind::MissingFromNotes].size()),
+              expected.missingFromNotesDocs);
+    EXPECT_EQ(counts[DefectKind::ReusedName],
+              expected.reusedNameErrata);
+    EXPECT_EQ(counts[DefectKind::MissingField] +
+                  counts[DefectKind::DuplicateField],
+              expected.missingOrDupFieldErrata);
+    EXPECT_EQ(counts[DefectKind::WrongMsrNumber],
+              expected.wrongMsrErrata);
+    EXPECT_EQ(static_cast<int>(
+                  docs[DefectKind::WrongMsrNumber].size()),
+              expected.wrongMsrDocs);
+    EXPECT_EQ(counts[DefectKind::IntraDocDuplicate],
+              expected.intraDocDuplicatePairs);
+    EXPECT_EQ(static_cast<int>(
+                  docs[DefectKind::IntraDocDuplicate].size()),
+              expected.intraDocDuplicateDocs);
+}
+
+TEST_F(CorpusTest, ReusedNameAppearsTwiceInDocument)
+{
+    const ErrataDocument &doc = corpus_->documents[0];
+    int count = 0;
+    for (const Erratum &erratum : doc.errata) {
+        if (erratum.localId == "AAJ143")
+            ++count;
+    }
+    EXPECT_EQ(count, 2);
+}
+
+TEST_F(CorpusTest, SimulationOnlyCountsExact)
+{
+    int intel = 0, amd = 0;
+    for (const BugSpec &bug : corpus_->bugs) {
+        if (!bug.simulationOnly)
+            continue;
+        if (bug.vendor == Vendor::Intel)
+            ++intel;
+        else
+            ++amd;
+    }
+    EXPECT_EQ(intel, 1);
+    EXPECT_EQ(amd, 5);
+}
+
+TEST_F(CorpusTest, TitlesDistinctExceptForTheAmdTwinPair)
+{
+    // Exactly one AMD pair (the errata-1327/1329 analog) shares its
+    // title; every other bug's title is unique.
+    std::map<std::string, std::vector<const BugSpec *>> byTitle;
+    for (const BugSpec &bug : corpus_->bugs)
+        byTitle[bug.title].push_back(&bug);
+    int sharedPairs = 0;
+    for (const auto &[title, bugs] : byTitle) {
+        if (bugs.size() == 1)
+            continue;
+        ASSERT_EQ(bugs.size(), 2u) << title;
+        ++sharedPairs;
+        EXPECT_EQ(bugs[0]->vendor, Vendor::Amd);
+        EXPECT_EQ(bugs[1]->vendor, Vendor::Amd);
+        EXPECT_EQ(bugs[0]->docIndices, bugs[1]->docIndices);
+        EXPECT_NE(bugs[0]->workaroundClass,
+                  bugs[1]->workaroundClass);
+        EXPECT_EQ(bugs[0]->description, bugs[1]->description);
+    }
+    EXPECT_EQ(sharedPairs, 1);
+}
+
+TEST_F(CorpusTest, AmdTwinPairStaysDistinctInDocuments)
+{
+    // The twin pair appears as two entries with different numeric
+    // ids in the same document; AMD's keying keeps them distinct.
+    std::map<std::string, std::vector<std::string>> idsByTitle;
+    for (std::size_t d = firstAmdDocIndex;
+         d < corpus_->documents.size(); ++d) {
+        const ErrataDocument &doc = corpus_->documents[d];
+        for (const Erratum &erratum : doc.errata) {
+            idsByTitle[erratum.title].push_back(erratum.localId);
+        }
+    }
+    bool sawTwin = false;
+    for (const auto &[title, ids] : idsByTitle) {
+        std::set<std::string> unique(ids.begin(), ids.end());
+        if (unique.size() > 1)
+            sawTwin = true;
+    }
+    EXPECT_TRUE(sawTwin);
+}
+
+TEST_F(CorpusTest, HiddenErrataAboutTwoPercent)
+{
+    // Section VII: ~2% of entries are summary-only with details
+    // withheld; they never enter the database or the row counts.
+    std::size_t hidden = 0, visible = 0;
+    std::set<std::string> allIds;
+    for (const ErrataDocument &doc : corpus_->documents) {
+        hidden += doc.hiddenErrata.size();
+        visible += doc.errata.size();
+        // Hidden ids never collide with published ids.
+        for (const Erratum &erratum : doc.errata)
+            allIds.insert(doc.design.key() + "/" +
+                          erratum.localId);
+        for (const std::string &id : doc.hiddenErrata) {
+            EXPECT_TRUE(
+                allIds.insert(doc.design.key() + "/" + id).second)
+                << id;
+        }
+    }
+    double fraction = static_cast<double>(hidden) /
+                      static_cast<double>(visible);
+    EXPECT_NEAR(fraction, 0.02, 0.01);
+    // Row totals exclude the hidden entries by construction.
+    EXPECT_EQ(visible, 2563u);
+}
+
+TEST(CanonicalMsrNumber, StableAndPlausible)
+{
+    std::uint32_t a = canonicalMsrNumber("MC4_STATUS");
+    EXPECT_EQ(a, canonicalMsrNumber("MC4_STATUS"));
+    EXPECT_NE(a, canonicalMsrNumber("MC4_ADDR"));
+    EXPECT_GE(a, 0x400u);
+}
+
+} // namespace
+} // namespace rememberr

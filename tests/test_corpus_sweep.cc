@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Seed-sweep property tests: the calibrated invariants of the corpus
+ * must hold for every seed, not just the default one.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "corpus/calibration.hh"
+#include "corpus/generator.hh"
+#include "document/format.hh"
+#include "document/lint.hh"
+#include "util/logging.hh"
+
+namespace rememberr {
+namespace {
+
+class CorpusSeedSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    static Corpus
+    corpusFor(std::uint64_t seed)
+    {
+        setLogQuiet(true);
+        return generateDefaultCorpus(seed);
+    }
+};
+
+TEST_P(CorpusSeedSweep, RowAndUniqueTotalsAreSeedIndependent)
+{
+    Corpus corpus = corpusFor(GetParam());
+    EXPECT_EQ(corpus.totalRows(Vendor::Intel), 2057u);
+    EXPECT_EQ(corpus.totalRows(Vendor::Amd), 506u);
+    EXPECT_EQ(corpus.uniqueBugs(Vendor::Intel), 743u);
+    EXPECT_EQ(corpus.uniqueBugs(Vendor::Amd), 385u);
+}
+
+TEST_P(CorpusSeedSweep, DefectCountsAreSeedIndependent)
+{
+    Corpus corpus = corpusFor(GetParam());
+    std::vector<std::vector<LintFinding>> perDoc;
+    for (const ErrataDocument &doc : corpus.documents)
+        perDoc.push_back(lintDocument(doc));
+    LintSummary summary = summarizeFindings(perDoc);
+    EXPECT_EQ(summary.duplicateRevisionClaims, 8);
+    EXPECT_EQ(summary.missingFromNotes, 12);
+    EXPECT_EQ(summary.reusedNames, 1);
+    EXPECT_EQ(summary.missingFields + summary.duplicateFields, 7);
+    EXPECT_EQ(summary.wrongMsrNumbers, 3);
+    EXPECT_EQ(summary.intraDocDuplicates, 11);
+}
+
+TEST_P(CorpusSeedSweep, EveryDocumentRoundTrips)
+{
+    Corpus corpus = corpusFor(GetParam());
+    for (const ErrataDocument &doc : corpus.documents) {
+        auto parsed = parseDocument(renderDocument(doc));
+        ASSERT_TRUE(parsed) << doc.design.name << " seed "
+                            << GetParam() << ": "
+                            << parsed.error().toString();
+        ASSERT_EQ(parsed.value().errata.size(),
+                  doc.errata.size());
+    }
+}
+
+TEST_P(CorpusSeedSweep, DistributionsStayInPaperBands)
+{
+    Corpus corpus = corpusFor(GetParam());
+    std::size_t noTrigger = 0, multiTrigger = 0, withTrigger = 0;
+    std::size_t noneWorkaroundIntel = 0, intel = 0;
+    for (const BugSpec &bug : corpus.bugs) {
+        if (bug.triggers.empty()) {
+            ++noTrigger;
+        } else {
+            ++withTrigger;
+            if (bug.triggers.size() >= 2)
+                ++multiTrigger;
+        }
+        if (bug.vendor == Vendor::Intel) {
+            ++intel;
+            if (bug.workaroundClass == WorkaroundClass::None)
+                ++noneWorkaroundIntel;
+        }
+    }
+    double noTriggerFraction =
+        static_cast<double>(noTrigger) /
+        static_cast<double>(corpus.bugs.size());
+    double multiFraction = static_cast<double>(multiTrigger) /
+                           static_cast<double>(withTrigger);
+    double noneFraction = static_cast<double>(noneWorkaroundIntel) /
+                          static_cast<double>(intel);
+    EXPECT_NEAR(noTriggerFraction, 0.144, 0.04);
+    EXPECT_NEAR(multiFraction, 0.49, 0.06);
+    EXPECT_NEAR(noneFraction, 0.359, 0.06);
+}
+
+TEST_P(CorpusSeedSweep, HeredityStructureIsSeedIndependent)
+{
+    Corpus corpus = corpusFor(GetParam());
+    // The 104-bug shared structure is part of the plan, not of the
+    // sampled labels.
+    std::size_t sharedAll = 0;
+    for (const BugSpec &bug : corpus.bugs) {
+        std::set<int> docs(bug.docIndices.begin(),
+                           bug.docIndices.end());
+        if (docs.count(10) && docs.count(11) && docs.count(12) &&
+            docs.count(13)) {
+            ++sharedAll;
+        }
+    }
+    EXPECT_EQ(sharedAll, 104u);
+}
+
+TEST_P(CorpusSeedSweep, DatesRemainOrdered)
+{
+    Corpus corpus = corpusFor(GetParam());
+    const Date cutoff = studyCutoffDate();
+    for (const BugSpec &bug : corpus.bugs) {
+        for (const auto &[doc, date] : bug.reportDates) {
+            ASSERT_GE(date, bug.discoveryDate);
+            ASSERT_LE(date, cutoff);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorpusSeedSweep,
+                         ::testing::Values(1, 2, 3, 1337,
+                                           0xdeadbeefULL));
+
+} // namespace
+} // namespace rememberr

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Unit tests for conservative criticality assessment and the
+ * observation-budget planner.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/criticality.hh"
+#include "analysis/frequency.hh"
+#include "core/pipeline.hh"
+#include "guidance/guidance.hh"
+#include "util/logging.hh"
+
+namespace rememberr {
+namespace {
+
+CategoryId
+id(const char *code)
+{
+    return *Taxonomy::instance().parseCategory(code);
+}
+
+DbEntry
+entryWith(std::vector<const char *> codes)
+{
+    DbEntry entry;
+    const Taxonomy &taxonomy = Taxonomy::instance();
+    for (const char *code : codes) {
+        CategoryId cat = id(code);
+        switch (taxonomy.categoryById(cat).axis) {
+          case Axis::Trigger: entry.triggers.insert(cat); break;
+          case Axis::Context: entry.contexts.insert(cat); break;
+          case Axis::Effect: entry.effects.insert(cat); break;
+        }
+    }
+    return entry;
+}
+
+TEST(Criticality, GuestReachableIsSecurityCritical)
+{
+    DbEntry entry = entryWith({"Ctx_PRV_vmg", "Eff_HNG_unp"});
+    EXPECT_EQ(assessCriticality(entry),
+              Criticality::SecurityCritical);
+}
+
+TEST(Criticality, PerformanceCounterCorruptionIsSecurityCritical)
+{
+    // Section V-A4: wrong counter values break counter-based
+    // defenses, so they are conservatively security-critical.
+    DbEntry entry = entryWith({"Eff_CRP_prf"});
+    EXPECT_EQ(assessCriticality(entry),
+              Criticality::SecurityCritical);
+}
+
+TEST(Criticality, MissingFaultIsSecurityCritical)
+{
+    DbEntry entry = entryWith({"Eff_FLT_fms"});
+    EXPECT_EQ(assessCriticality(entry),
+              Criticality::SecurityCritical);
+}
+
+TEST(Criticality, HangIsLivenessCritical)
+{
+    DbEntry entry = entryWith({"Eff_HNG_hng"});
+    EXPECT_EQ(assessCriticality(entry),
+              Criticality::LivenessCritical);
+    DbEntry crash = entryWith({"Eff_HNG_crh"});
+    EXPECT_EQ(assessCriticality(crash),
+              Criticality::LivenessCritical);
+}
+
+TEST(Criticality, SecurityOutranksLiveness)
+{
+    DbEntry entry =
+        entryWith({"Ctx_PRV_vmg", "Eff_HNG_hng"});
+    EXPECT_EQ(assessCriticality(entry),
+              Criticality::SecurityCritical);
+}
+
+TEST(Criticality, WrongRegisterIsFunctional)
+{
+    DbEntry entry = entryWith({"Eff_CRP_reg"});
+    EXPECT_EQ(assessCriticality(entry), Criticality::Functional);
+}
+
+TEST(Criticality, NuisanceOnlyIsLow)
+{
+    DbEntry entry = entryWith({"Eff_EXT_mmd"});
+    EXPECT_EQ(assessCriticality(entry), Criticality::Low);
+}
+
+TEST(Criticality, ReasonsAreNeverEmpty)
+{
+    for (auto codes :
+         std::vector<std::vector<const char *>>{
+             {"Ctx_PRV_vmg"},
+             {"Eff_HNG_boo"},
+             {"Eff_FLT_fsp"},
+             {"Eff_EXT_usb"}}) {
+        DbEntry entry = entryWith(codes);
+        EXPECT_FALSE(criticalityReasons(entry).empty());
+    }
+}
+
+TEST(Criticality, NamesAreStable)
+{
+    EXPECT_EQ(criticalityName(Criticality::SecurityCritical),
+              "security-critical");
+    EXPECT_EQ(criticalityName(Criticality::Low), "low");
+}
+
+class CriticalityCorpus : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        setLogQuiet(true);
+        PipelineOptions options;
+        options.roundTripDocuments = false;
+        options.lint = false;
+        result_ = new PipelineResult(runPipeline(options));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete result_;
+        result_ = nullptr;
+    }
+
+    static const Database &db() { return result_->groundTruth; }
+
+    static PipelineResult *result_;
+};
+
+PipelineResult *CriticalityCorpus::result_ = nullptr;
+
+TEST_F(CriticalityCorpus, BreakdownCoversEveryEntry)
+{
+    CriticalityBreakdown breakdown = criticalityBreakdown(db());
+    std::size_t total = 0;
+    for (Criticality level :
+         {Criticality::SecurityCritical,
+          Criticality::LivenessCritical, Criticality::Functional,
+          Criticality::Low}) {
+        total += breakdown.total(level);
+    }
+    EXPECT_EQ(total, 1128u);
+}
+
+TEST_F(CriticalityCorpus, OnlyAFewBugsAreNonCritical)
+{
+    // Section V-A4: "Only a few bugs can be considered
+    // non-critical".
+    CriticalityBreakdown breakdown = criticalityBreakdown(db());
+    double lowFraction =
+        static_cast<double>(breakdown.total(Criticality::Low)) /
+        1128.0;
+    EXPECT_LT(lowFraction, 0.10);
+}
+
+// ---- Observation-budget planner ------------------------------------------
+
+TEST_F(CriticalityCorpus, GreedyPlanCurveIsMonotone)
+{
+    ObservationPlan plan = selectObservationPoints(db(), 6);
+    ASSERT_EQ(plan.picks.size(), 6u);
+    ASSERT_EQ(plan.coverageCurve.size(), 6u);
+    for (std::size_t i = 1; i < plan.coverageCurve.size(); ++i)
+        EXPECT_GE(plan.coverageCurve[i],
+                  plan.coverageCurve[i - 1]);
+    EXPECT_LE(plan.coverageCurve.back(), plan.totalBugs);
+}
+
+TEST_F(CriticalityCorpus, GreedyNeverWorseThanTopFrequency)
+{
+    for (std::size_t budget : {1u, 2u, 4u, 8u}) {
+        ObservationPlan greedy =
+            selectObservationPoints(db(), budget);
+        ObservationPlan baseline =
+            topFrequencyObservationPoints(db(), budget);
+        ASSERT_FALSE(greedy.coverageCurve.empty());
+        ASSERT_FALSE(baseline.coverageCurve.empty());
+        EXPECT_GE(greedy.coverageCurve.back(),
+                  baseline.coverageCurve.back())
+            << "budget " << budget;
+    }
+}
+
+TEST_F(CriticalityCorpus, SmallBudgetCoversMostBugs)
+{
+    // Observations are disjunctive; a handful of points covers the
+    // overwhelming majority of bugs — the paper's point about
+    // keeping the observation footprint minimal.
+    ObservationPlan plan = selectObservationPoints(db(), 5);
+    EXPECT_GT(plan.coverage(), 0.70);
+    ObservationPlan all = selectObservationPoints(db(), 16);
+    EXPECT_GT(all.coverage(), 0.99);
+}
+
+TEST_F(CriticalityCorpus, FirstGreedyPickIsTopEffect)
+{
+    ObservationPlan plan = selectObservationPoints(db(), 1);
+    auto top = categoryFrequencies(db(), Axis::Effect, 1);
+    ASSERT_FALSE(plan.picks.empty());
+    EXPECT_EQ(plan.picks[0], top[0].id);
+}
+
+TEST_F(CriticalityCorpus, PlanStopsWhenNothingToGain)
+{
+    // A budget beyond the effect-category count terminates early.
+    ObservationPlan plan = selectObservationPoints(db(), 64);
+    EXPECT_LE(plan.picks.size(), 16u);
+    EXPECT_DOUBLE_EQ(plan.coverage(), 1.0);
+}
+
+} // namespace
+} // namespace rememberr

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for calendar dates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/date.hh"
+
+namespace rememberr {
+namespace {
+
+TEST(Date, EpochIsZero)
+{
+    EXPECT_EQ(Date(1970, 1, 1).serial(), 0);
+}
+
+TEST(Date, KnownSerials)
+{
+    EXPECT_EQ(Date(1970, 1, 2).serial(), 1);
+    EXPECT_EQ(Date(1969, 12, 31).serial(), -1);
+    EXPECT_EQ(Date(2000, 3, 1).serial(), 11017);
+}
+
+TEST(Date, CivilRoundTrip)
+{
+    Date d(2022, 6, 1);
+    EXPECT_EQ(d.year(), 2022);
+    EXPECT_EQ(d.month(), 6u);
+    EXPECT_EQ(d.day(), 1u);
+}
+
+TEST(Date, ToStringFormat)
+{
+    EXPECT_EQ(Date(2013, 6, 4).toString(), "2013-06-04");
+    EXPECT_EQ(Date(2008, 11, 17).toString(), "2008-11-17");
+}
+
+TEST(Date, ParseValid)
+{
+    auto d = Date::parse("2015-08-05");
+    ASSERT_TRUE(d);
+    EXPECT_EQ(d.value(), Date(2015, 8, 5));
+}
+
+TEST(Date, ParseRejectsGarbage)
+{
+    EXPECT_FALSE(Date::parse("not-a-date"));
+    EXPECT_FALSE(Date::parse("2015-13-01"));
+    EXPECT_FALSE(Date::parse("2015-02-30"));
+    EXPECT_FALSE(Date::parse(""));
+    EXPECT_FALSE(Date::parse("2015-08"));
+}
+
+TEST(Date, ParseToStringRoundTrip)
+{
+    Date d(1999, 2, 28);
+    auto parsed = Date::parse(d.toString());
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(parsed.value(), d);
+}
+
+TEST(Date, Ordering)
+{
+    EXPECT_LT(Date(2010, 1, 1), Date(2010, 1, 2));
+    EXPECT_LT(Date(2009, 12, 31), Date(2010, 1, 1));
+    EXPECT_EQ(Date(2010, 5, 5), Date(2010, 5, 5));
+    EXPECT_GT(Date(2011, 1, 1), Date(2010, 12, 31));
+}
+
+TEST(Date, DaysUntil)
+{
+    EXPECT_EQ(Date(2020, 1, 1).daysUntil(Date(2020, 1, 31)), 30);
+    EXPECT_EQ(Date(2020, 1, 31).daysUntil(Date(2020, 1, 1)), -30);
+    // 2020 is a leap year.
+    EXPECT_EQ(Date(2020, 1, 1).daysUntil(Date(2021, 1, 1)), 366);
+    EXPECT_EQ(Date(2021, 1, 1).daysUntil(Date(2022, 1, 1)), 365);
+}
+
+TEST(Date, AddDays)
+{
+    EXPECT_EQ(Date(2020, 2, 28).addDays(1), Date(2020, 2, 29));
+    EXPECT_EQ(Date(2021, 2, 28).addDays(1), Date(2021, 3, 1));
+    EXPECT_EQ(Date(2020, 1, 1).addDays(-1), Date(2019, 12, 31));
+}
+
+TEST(Date, AddMonthsClampsDay)
+{
+    EXPECT_EQ(Date(2013, 1, 31).addMonths(1), Date(2013, 2, 28));
+    EXPECT_EQ(Date(2020, 1, 31).addMonths(1), Date(2020, 2, 29));
+    EXPECT_EQ(Date(2013, 3, 15).addMonths(2), Date(2013, 5, 15));
+}
+
+TEST(Date, AddMonthsCrossYear)
+{
+    EXPECT_EQ(Date(2013, 11, 10).addMonths(3), Date(2014, 2, 10));
+    EXPECT_EQ(Date(2013, 2, 10).addMonths(-3), Date(2012, 11, 10));
+    EXPECT_EQ(Date(2013, 6, 1).addMonths(12), Date(2014, 6, 1));
+}
+
+TEST(Date, LeapYears)
+{
+    EXPECT_TRUE(isLeapYear(2000));
+    EXPECT_TRUE(isLeapYear(2020));
+    EXPECT_FALSE(isLeapYear(1900));
+    EXPECT_FALSE(isLeapYear(2021));
+}
+
+TEST(Date, DaysInMonth)
+{
+    EXPECT_EQ(daysInMonth(2021, 2), 28u);
+    EXPECT_EQ(daysInMonth(2020, 2), 29u);
+    EXPECT_EQ(daysInMonth(2021, 4), 30u);
+    EXPECT_EQ(daysInMonth(2021, 12), 31u);
+}
+
+TEST(Date, FractionalYear)
+{
+    EXPECT_DOUBLE_EQ(Date(2013, 1, 1).toFractionalYear(), 2013.0);
+    double mid = Date(2013, 7, 2).toFractionalYear();
+    EXPECT_NEAR(mid, 2013.5, 0.01);
+}
+
+TEST(Date, FromSerialRoundTrip)
+{
+    for (std::int64_t serial : {-1000, 0, 1, 10000, 20000}) {
+        Date d = Date::fromSerial(serial);
+        EXPECT_EQ(d.serial(), serial);
+        EXPECT_EQ(Date(d.year(), d.month(), d.day()), d);
+    }
+}
+
+/** Property sweep: serial/civil round trip over a wide range. */
+class DateRoundTripSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DateRoundTripSweep, SerialCivilBijection)
+{
+    // Sweep a year's worth of days starting at the parameter year.
+    Date start(GetParam(), 1, 1);
+    for (int i = 0; i < 400; ++i) {
+        Date d = start.addDays(i);
+        Date rebuilt(d.year(), d.month(), d.day());
+        ASSERT_EQ(rebuilt.serial(), d.serial());
+        ASSERT_GE(d.month(), 1u);
+        ASSERT_LE(d.month(), 12u);
+        ASSERT_GE(d.day(), 1u);
+        ASSERT_LE(d.day(), daysInMonth(d.year(), d.month()));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Years, DateRoundTripSweep,
+                         ::testing::Values(1970, 1999, 2000, 2008,
+                                           2016, 2022, 2100));
+
+} // namespace
+} // namespace rememberr

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Unit tests for the annotated database and the query layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hh"
+#include "db/query.hh"
+#include "util/csv.hh"
+#include "util/logging.hh"
+
+namespace rememberr {
+namespace {
+
+class DatabaseTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        setLogQuiet(true);
+        PipelineOptions options;
+        options.roundTripDocuments = false;
+        options.lint = false;
+        result_ = new PipelineResult(runPipeline(options));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete result_;
+        result_ = nullptr;
+    }
+
+    static const Database &db() { return result_->groundTruth; }
+
+    static PipelineResult *result_;
+};
+
+PipelineResult *DatabaseTest::result_ = nullptr;
+
+TEST_F(DatabaseTest, CountsMatchPaper)
+{
+    EXPECT_EQ(db().uniqueCount(Vendor::Intel), 743u);
+    EXPECT_EQ(db().uniqueCount(Vendor::Amd), 385u);
+    EXPECT_EQ(db().rowCount(Vendor::Intel), 2057u);
+    EXPECT_EQ(db().rowCount(Vendor::Amd), 506u);
+}
+
+TEST_F(DatabaseTest, EveryEntryHasOccurrences)
+{
+    for (const DbEntry &entry : db().entries()) {
+        ASSERT_FALSE(entry.occurrences.empty()) << entry.key;
+        // Occurrences sorted by disclosure.
+        for (std::size_t i = 1; i < entry.occurrences.size(); ++i) {
+            ASSERT_LE(entry.occurrences[i - 1].disclosed,
+                      entry.occurrences[i].disclosed);
+        }
+        ASSERT_EQ(entry.firstDisclosed(),
+                  entry.occurrences.front().disclosed);
+    }
+}
+
+TEST_F(DatabaseTest, PipelineDatabaseAgreesWithGroundTruthCounts)
+{
+    const Database &pipeline = result_->database;
+    EXPECT_NEAR(
+        static_cast<double>(pipeline.uniqueCount(Vendor::Intel)),
+        743.0, 5.0);
+    EXPECT_EQ(pipeline.uniqueCount(Vendor::Amd), 385u);
+}
+
+TEST_F(DatabaseTest, JsonRoundTrip)
+{
+    JsonValue json = db().toJson();
+    auto restored = Database::fromJson(json);
+    ASSERT_TRUE(restored) << restored.error().toString();
+    const Database &copy = restored.value();
+    ASSERT_EQ(copy.entries().size(), db().entries().size());
+    for (std::size_t i = 0; i < copy.entries().size(); ++i) {
+        const DbEntry &a = db().entries()[i];
+        const DbEntry &b = copy.entries()[i];
+        ASSERT_EQ(a.key, b.key);
+        ASSERT_EQ(a.vendor, b.vendor);
+        ASSERT_EQ(a.title, b.title);
+        ASSERT_EQ(a.description, b.description);
+        ASSERT_EQ(a.workaroundClass, b.workaroundClass);
+        ASSERT_EQ(a.status, b.status);
+        ASSERT_EQ(a.triggers, b.triggers);
+        ASSERT_EQ(a.contexts, b.contexts);
+        ASSERT_EQ(a.effects, b.effects);
+        ASSERT_EQ(a.msrs, b.msrs);
+        ASSERT_EQ(a.complexConditions, b.complexConditions);
+        ASSERT_EQ(a.simulationOnly, b.simulationOnly);
+        ASSERT_EQ(a.occurrences.size(), b.occurrences.size());
+        for (std::size_t j = 0; j < a.occurrences.size(); ++j) {
+            ASSERT_EQ(a.occurrences[j].docIndex,
+                      b.occurrences[j].docIndex);
+            ASSERT_EQ(a.occurrences[j].localId,
+                      b.occurrences[j].localId);
+            ASSERT_EQ(a.occurrences[j].disclosed,
+                      b.occurrences[j].disclosed);
+        }
+    }
+}
+
+TEST(DatabaseRootCause, SurvivesJsonRoundTrip)
+{
+    // Build a tiny database by hand, annotate a root cause and
+    // round-trip it (Section VII's internally-maintained-database
+    // scenario).
+    setLogQuiet(true);
+    Corpus corpus = generateDefaultCorpus();
+    Database db = Database::buildFromGroundTruth(corpus);
+    JsonValue json = db.toJson();
+    // Inject a root cause into the first serialized entry.
+    json["entries"].asArray()[0]["rootCause"] =
+        "Race between the op-cache fill FSM and the fetch "
+        "redirect path.";
+    auto restored = Database::fromJson(json);
+    ASSERT_TRUE(restored);
+    EXPECT_EQ(restored.value().entries()[0].rootCause,
+              "Race between the op-cache fill FSM and the fetch "
+              "redirect path.");
+    EXPECT_TRUE(restored.value().entries()[1].rootCause.empty());
+
+    // The proposed format renders the note in the root-cause slot.
+    std::string rendered =
+        renderProposedFormat(restored.value().entries()[0]);
+    EXPECT_NE(rendered.find("op-cache fill FSM"),
+              std::string::npos);
+    std::string placeholder =
+        renderProposedFormat(restored.value().entries()[1]);
+    EXPECT_NE(placeholder.find("(not published by the vendor)"),
+              std::string::npos);
+}
+
+TEST_F(DatabaseTest, JsonRejectsWrongShape)
+{
+    EXPECT_FALSE(Database::fromJson(JsonValue(3)));
+    EXPECT_FALSE(Database::fromJson(JsonValue::makeObject()));
+}
+
+TEST_F(DatabaseTest, CsvExportParsesBack)
+{
+    std::string csv = db().toCsv();
+    auto parsed = parseCsv(csv);
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(parsed.value().rows.size(), db().entries().size());
+    EXPECT_EQ(parsed.value().header.front(), "key");
+}
+
+TEST(MentionsDetectors, MatchGeneratedPhrasings)
+{
+    EXPECT_TRUE(mentionsComplexConditions(
+        "Under a highly specific and detailed set of internal "
+        "timing conditions, the processor may hang."));
+    EXPECT_TRUE(mentionsComplexConditions(
+        "A complex set of conditions is required."));
+    EXPECT_FALSE(mentionsComplexConditions("If a reset occurs."));
+    EXPECT_TRUE(mentionsSimulationOnly(
+        "This erratum has only been observed in simulation "
+        "environments."));
+    EXPECT_FALSE(mentionsSimulationOnly("Observed in the field."));
+}
+
+// ---- Query layer --------------------------------------------------------
+
+TEST_F(DatabaseTest, QueryByVendor)
+{
+    EXPECT_EQ(Query(db()).vendor(Vendor::Intel).count(), 743u);
+    EXPECT_EQ(Query(db()).vendor(Vendor::Amd).count(), 385u);
+    EXPECT_EQ(Query(db()).count(), 1128u);
+}
+
+TEST_F(DatabaseTest, QueryByCategoryAndClass)
+{
+    const Taxonomy &taxonomy = Taxonomy::instance();
+    CategoryId wrg = *taxonomy.parseCategory("Trg_CFG_wrg");
+    ClassId pow = *taxonomy.parseClass("Trg_POW");
+
+    std::size_t withWrg = Query(db()).hasCategory(wrg).count();
+    EXPECT_GT(withWrg, 100u);
+    std::size_t withPow = Query(db()).hasClass(pow).count();
+    EXPECT_GT(withPow, 150u);
+
+    // Conjunction narrows.
+    std::size_t both =
+        Query(db()).hasCategory(wrg).hasClass(pow).count();
+    EXPECT_LT(both, withWrg);
+    EXPECT_LT(both, withPow);
+    EXPECT_GT(both, 0u);
+}
+
+TEST_F(DatabaseTest, QueryTriggerCounts)
+{
+    std::size_t atLeastTwo =
+        Query(db()).triggerCountAtLeast(2).count();
+    std::size_t exactlyTwo =
+        Query(db()).triggerCountExactly(2).count();
+    std::size_t atLeastThree =
+        Query(db()).triggerCountAtLeast(3).count();
+    EXPECT_EQ(atLeastTwo, exactlyTwo + atLeastThree);
+    EXPECT_GT(atLeastTwo, 300u);
+}
+
+TEST_F(DatabaseTest, QueryWorkaroundAndStatus)
+{
+    std::size_t none =
+        Query(db()).workaround(WorkaroundClass::None).count();
+    EXPECT_GT(none, 300u);
+    std::size_t fixed =
+        Query(db()).status(FixStatus::Fixed).count();
+    std::size_t unfixed =
+        Query(db()).status(FixStatus::NoFix).count();
+    EXPECT_GT(unfixed, fixed * 4);
+}
+
+TEST_F(DatabaseTest, QueryDisclosureWindow)
+{
+    std::size_t early =
+        Query(db())
+            .disclosedBetween(Date(2008, 1, 1), Date(2012, 12, 31))
+            .count();
+    std::size_t late =
+        Query(db())
+            .disclosedBetween(Date(2013, 1, 1), Date(2022, 12, 31))
+            .count();
+    EXPECT_EQ(early + late, 1128u);
+    EXPECT_GT(early, 0u);
+    EXPECT_GT(late, 0u);
+}
+
+TEST_F(DatabaseTest, QueryInDocument)
+{
+    std::size_t inCore6 = Query(db()).inDocument(10).count();
+    EXPECT_GT(inCore6, 100u);
+    // Everything in Core 6 is Intel.
+    EXPECT_EQ(Query(db())
+                  .inDocument(10)
+                  .vendor(Vendor::Amd)
+                  .count(),
+              0u);
+}
+
+TEST_F(DatabaseTest, QueryOccurrenceCount)
+{
+    std::size_t multi =
+        Query(db()).occurrenceCountAtLeast(2).count();
+    std::size_t single =
+        Query(db()).where([](const DbEntry &entry) {
+            return entry.occurrences.size() == 1;
+        }).count();
+    EXPECT_EQ(multi + single, 1128u);
+}
+
+TEST_F(DatabaseTest, QueryCountByCategory)
+{
+    auto counts = Query(db()).countByCategory(Axis::Trigger);
+    const Taxonomy &taxonomy = Taxonomy::instance();
+    CategoryId wrg = *taxonomy.parseCategory("Trg_CFG_wrg");
+    ASSERT_TRUE(counts.count(wrg));
+    EXPECT_EQ(counts[wrg],
+              Query(db()).hasCategory(wrg).count());
+}
+
+TEST_F(DatabaseTest, QueryCountByWorkaround)
+{
+    auto counts = Query(db()).countByWorkaround();
+    std::size_t total = 0;
+    for (const auto &[cls, count] : counts)
+        total += count;
+    EXPECT_EQ(total, 1128u);
+}
+
+TEST_F(DatabaseTest, QuerySimulationOnly)
+{
+    EXPECT_EQ(Query(db()).simulationOnly(true).count(), 6u);
+    EXPECT_EQ(Query(db())
+                  .simulationOnly(true)
+                  .vendor(Vendor::Amd)
+                  .count(),
+              5u);
+}
+
+TEST_F(DatabaseTest, QueryComplexConditions)
+{
+    std::size_t complex =
+        Query(db()).complexConditions(true).count();
+    // Roughly 8.7% of 743 + 20.8% of 385.
+    EXPECT_GT(complex, 90u);
+    EXPECT_LT(complex, 220u);
+}
+
+} // namespace
+} // namespace rememberr

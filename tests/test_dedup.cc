@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Unit tests for duplicate detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "corpus/generator.hh"
+#include "dedup/dedup.hh"
+#include "dedup/union_find.hh"
+#include "util/logging.hh"
+
+namespace rememberr {
+namespace {
+
+// ---- Union-find -------------------------------------------------------
+
+TEST(UnionFind, InitiallyDisjoint)
+{
+    UnionFind forest(5);
+    EXPECT_EQ(forest.setCount(), 5u);
+    EXPECT_FALSE(forest.connected(0, 1));
+}
+
+TEST(UnionFind, UniteAndFind)
+{
+    UnionFind forest(6);
+    EXPECT_TRUE(forest.unite(0, 1));
+    EXPECT_TRUE(forest.unite(1, 2));
+    EXPECT_FALSE(forest.unite(0, 2)); // already joined
+    EXPECT_TRUE(forest.connected(0, 2));
+    EXPECT_FALSE(forest.connected(0, 3));
+    EXPECT_EQ(forest.setCount(), 4u);
+    EXPECT_EQ(forest.setSize(2), 3u);
+    EXPECT_EQ(forest.setSize(5), 1u);
+}
+
+TEST(UnionFind, TransitiveChains)
+{
+    UnionFind forest(100);
+    for (std::size_t i = 0; i + 1 < 100; ++i)
+        forest.unite(i, i + 1);
+    EXPECT_EQ(forest.setCount(), 1u);
+    EXPECT_TRUE(forest.connected(0, 99));
+    EXPECT_EQ(forest.setSize(50), 100u);
+}
+
+// ---- Hand-crafted dedup cases -----------------------------------------
+
+ErrataDocument
+docWith(Vendor vendor, const std::string &name,
+        std::vector<std::pair<std::string, std::string>> idAndTitle)
+{
+    ErrataDocument doc;
+    doc.design.vendor = vendor;
+    doc.design.name = name;
+    doc.design.releaseDate = Date(2015, 1, 1);
+    Revision r1;
+    r1.number = 1;
+    r1.date = doc.design.releaseDate;
+    doc.revisions.push_back(r1);
+    for (auto &[id, title] : idAndTitle) {
+        Erratum erratum;
+        erratum.localId = id;
+        erratum.title = title;
+        erratum.description = "Description of " + title + ".";
+        erratum.implications = "Implications.";
+        erratum.workaroundText = "None identified.";
+        doc.errata.push_back(std::move(erratum));
+    }
+    return doc;
+}
+
+TEST(Dedup, AmdMergesByNumericId)
+{
+    std::vector<ErrataDocument> docs;
+    docs.push_back(docWith(Vendor::Amd, "Fam A",
+                           {{"700", "Title A"}, {"701", "Title B"}}));
+    docs.push_back(docWith(Vendor::Amd, "Fam B",
+                           {{"700", "Title A"}, {"702", "Title C"}}));
+    DedupResult result = deduplicate(docs);
+    EXPECT_EQ(result.clusters.size(), 3u);
+    EXPECT_EQ(result.numericIdMerges, 1u);
+    // Row (0,0) and (1,0) share a key.
+    EXPECT_EQ(result.keyByDoc[0][0], result.keyByDoc[1][0]);
+    EXPECT_NE(result.keyByDoc[0][1], result.keyByDoc[1][1]);
+}
+
+TEST(Dedup, AmdSameTitleDifferentNumberStaysDistinct)
+{
+    // The paper's errata 1327/1329 case: indistinguishable text,
+    // distinct identifiers -> distinct entries.
+    std::vector<ErrataDocument> docs;
+    docs.push_back(docWith(Vendor::Amd, "Fam A",
+                           {{"1327", "Same Title"},
+                            {"1329", "Same Title"}}));
+    DedupResult result = deduplicate(docs);
+    EXPECT_EQ(result.clusters.size(), 2u);
+}
+
+TEST(Dedup, IntelMergesIdenticalTitles)
+{
+    std::vector<ErrataDocument> docs;
+    docs.push_back(docWith(Vendor::Intel, "Core 1 (D)",
+                           {{"AAJ001", "Processor May Hang"}}));
+    docs.push_back(docWith(Vendor::Intel, "Core 1 (M)",
+                           {{"AAT001", "Processor May Hang"}}));
+    DedupResult result = deduplicate(docs);
+    EXPECT_EQ(result.clusters.size(), 1u);
+    EXPECT_EQ(result.exactTitleMerges, 1u);
+}
+
+TEST(Dedup, IntelMergesNearIdenticalTitlesViaCanonicalization)
+{
+    std::vector<ErrataDocument> docs;
+    docs.push_back(docWith(Vendor::Intel, "A",
+                           {{"X001", "Processor May Hang."}}));
+    docs.push_back(docWith(Vendor::Intel, "B",
+                           {{"Y001", "processor may hang"}}));
+    DedupResult result = deduplicate(docs);
+    EXPECT_EQ(result.clusters.size(), 1u);
+}
+
+TEST(Dedup, IntelReviewMergesVariantTitleWithSameDescription)
+{
+    std::vector<ErrataDocument> docs;
+    auto a = docWith(Vendor::Intel, "A",
+                     {{"X001", "Store Buffer May Be Corrupted When "
+                               "C6 Exit Occurs"}});
+    auto b = docWith(Vendor::Intel, "B",
+                     {{"Y001", "Store Buffer Might Be Corrupted "
+                               "When C6 Exit Occurs"}});
+    // Same description -> review oracle confirms.
+    b.errata[0].description = a.errata[0].description;
+    docs.push_back(std::move(a));
+    docs.push_back(std::move(b));
+    DedupResult result = deduplicate(docs);
+    EXPECT_EQ(result.clusters.size(), 1u);
+    EXPECT_GE(result.reviewedPairs, 1u);
+    EXPECT_EQ(result.reviewConfirmedMerges, 1u);
+}
+
+TEST(Dedup, IntelSimilarTitleDifferentDescriptionStaysDistinct)
+{
+    std::vector<ErrataDocument> docs;
+    docs.push_back(
+        docWith(Vendor::Intel, "A",
+                {{"X001", "Counter May Report Wrong Value When "
+                          "Overflow Occurs"}}));
+    docs.push_back(
+        docWith(Vendor::Intel, "B",
+                {{"Y001", "Counter May Report Wrong Value When "
+                          "Underflow Occurs"}}));
+    // Descriptions differ (docWith derives them from titles).
+    DedupResult result = deduplicate(docs);
+    EXPECT_EQ(result.clusters.size(), 2u);
+}
+
+TEST(Dedup, VendorsNeverMerge)
+{
+    std::vector<ErrataDocument> docs;
+    docs.push_back(docWith(Vendor::Intel, "Core",
+                           {{"X001", "Processor May Hang"}}));
+    docs.push_back(docWith(Vendor::Amd, "Fam",
+                           {{"1361", "Processor May Hang"}}));
+    DedupResult result = deduplicate(docs);
+    // Same title across vendors stays distinct (Section IV-A found
+    // no cross-vendor duplicates).
+    EXPECT_EQ(result.clusters.size(), 2u);
+}
+
+TEST(Dedup, IntraDocumentDuplicateMerges)
+{
+    std::vector<ErrataDocument> docs;
+    docs.push_back(docWith(Vendor::Intel, "A",
+                           {{"X001", "Repeated Erratum"},
+                            {"X077", "Repeated Erratum"}}));
+    DedupResult result = deduplicate(docs);
+    EXPECT_EQ(result.clusters.size(), 1u);
+    EXPECT_EQ(result.clusters[0].size(), 2u);
+}
+
+// ---- Full-corpus accuracy ----------------------------------------------
+
+class DedupCorpus : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        setLogQuiet(true);
+        corpus_ = new Corpus(generateDefaultCorpus());
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete corpus_;
+        corpus_ = nullptr;
+    }
+
+    static Corpus *corpus_;
+};
+
+Corpus *DedupCorpus::corpus_ = nullptr;
+
+TEST_F(DedupCorpus, RecoversUniqueCountsWithIndex)
+{
+    DedupResult result = deduplicate(corpus_->documents);
+    EXPECT_EQ(result.uniqueCount(corpus_->documents, Vendor::Amd),
+              385u);
+    std::size_t intel =
+        result.uniqueCount(corpus_->documents, Vendor::Intel);
+    EXPECT_NEAR(static_cast<double>(intel), 743.0, 5.0);
+}
+
+TEST_F(DedupCorpus, IndexAndAllPairsAgree)
+{
+    // DESIGN.md D1: the n-gram index prefilter must not change the
+    // outcome, only the number of pairs considered.
+    DedupOptions withIndex;
+    withIndex.useNgramIndex = true;
+    DedupOptions allPairs;
+    allPairs.useNgramIndex = false;
+
+    DedupResult a = deduplicate(corpus_->documents, withIndex);
+    DedupResult b = deduplicate(corpus_->documents, allPairs);
+    EXPECT_EQ(a.clusters.size(), b.clusters.size());
+    EXPECT_LT(a.candidatePairsConsidered,
+              b.candidatePairsConsidered / 3);
+
+    DedupAccuracy accA = evaluateDedup(*corpus_, a);
+    DedupAccuracy accB = evaluateDedup(*corpus_, b);
+    EXPECT_DOUBLE_EQ(accA.pairRecall, accB.pairRecall);
+    EXPECT_DOUBLE_EQ(accA.pairPrecision, accB.pairPrecision);
+}
+
+TEST_F(DedupCorpus, HighPairAccuracy)
+{
+    DedupResult result = deduplicate(corpus_->documents);
+    DedupAccuracy accuracy = evaluateDedup(*corpus_, result);
+    EXPECT_GT(accuracy.pairPrecision, 0.99);
+    EXPECT_GT(accuracy.pairRecall, 0.99);
+    EXPECT_GT(accuracy.truePairs, 2000u);
+}
+
+TEST_F(DedupCorpus, ReviewStageRecoversTitleVariants)
+{
+    DedupResult result = deduplicate(corpus_->documents);
+    // The generator injects 29 Intel pairs with minor title
+    // variations; the review stage must confirm them.
+    EXPECT_GE(result.reviewConfirmedMerges, 25u);
+}
+
+} // namespace
+} // namespace rememberr

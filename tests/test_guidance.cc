@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Unit tests for the Section VI guidance module.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/pipeline.hh"
+#include "guidance/guidance.hh"
+#include "util/logging.hh"
+
+namespace rememberr {
+namespace {
+
+class GuidanceTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        setLogQuiet(true);
+        PipelineOptions options;
+        options.roundTripDocuments = false;
+        options.lint = false;
+        result_ = new PipelineResult(runPipeline(options));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete result_;
+        result_ = nullptr;
+    }
+
+    static const Database &db() { return result_->groundTruth; }
+
+    static PipelineResult *result_;
+};
+
+PipelineResult *GuidanceTest::result_ = nullptr;
+
+// ---- Campaign derivation ------------------------------------------------
+
+TEST_F(GuidanceTest, CampaignHasRequestedShape)
+{
+    CampaignOptions options;
+    options.stimulusPairs = 6;
+    options.contexts = 3;
+    options.observationPoints = 4;
+    TestCampaign campaign = deriveCampaign(db(), options);
+    EXPECT_EQ(campaign.stimuli.size(), 6u);
+    EXPECT_EQ(campaign.contexts.size(), 3u);
+    EXPECT_EQ(campaign.observations.size(), 4u);
+}
+
+TEST_F(GuidanceTest, StimuliRankedByEvidence)
+{
+    TestCampaign campaign = deriveCampaign(db());
+    for (std::size_t i = 1; i < campaign.stimuli.size(); ++i) {
+        EXPECT_GE(campaign.stimuli[i - 1].evidence,
+                  campaign.stimuli[i].evidence);
+    }
+    // Every stimulus pair carries historical examples.
+    for (const StimulusStep &step : campaign.stimuli) {
+        EXPECT_GT(step.evidence, 0u);
+        EXPECT_FALSE(step.concreteActions.empty());
+        EXPECT_NE(step.first, step.second);
+    }
+}
+
+TEST_F(GuidanceTest, TopContextIsVmGuest)
+{
+    TestCampaign campaign = deriveCampaign(db());
+    ASSERT_FALSE(campaign.contexts.empty());
+    EXPECT_EQ(Taxonomy::instance()
+                  .categoryById(campaign.contexts[0])
+                  .code,
+              "Ctx_PRV_vmg");
+}
+
+TEST_F(GuidanceTest, ObservationPointsCarryMsrs)
+{
+    TestCampaign campaign = deriveCampaign(db());
+    // At least one observation point names registers to poll.
+    bool anyMsrs = false;
+    for (const ObservationPoint &point : campaign.observations)
+        anyMsrs |= !point.msrFamilies.empty();
+    EXPECT_TRUE(anyMsrs);
+}
+
+TEST_F(GuidanceTest, CampaignRendersAndSerializes)
+{
+    TestCampaign campaign = deriveCampaign(db());
+    std::string text = campaign.renderText();
+    EXPECT_NE(text.find("Combined stimuli"), std::string::npos);
+    EXPECT_NE(text.find("Observation points"), std::string::npos);
+
+    JsonValue json = campaign.toJson();
+    EXPECT_TRUE(json.contains("stimuli"));
+    EXPECT_TRUE(json.contains("contexts"));
+    EXPECT_TRUE(json.contains("observations"));
+    EXPECT_EQ(json.at("stimuli").size(),
+              campaign.stimuli.size());
+    // Round-trips through the JSON text form.
+    auto reparsed = parseJson(json.dump());
+    ASSERT_TRUE(reparsed);
+    EXPECT_EQ(reparsed.value(), json);
+}
+
+TEST_F(GuidanceTest, VendorScopedCampaignUsesVendorExamples)
+{
+    CampaignOptions options;
+    options.vendor = Vendor::Amd;
+    TestCampaign campaign = deriveCampaign(db(), options);
+    // All quoted examples exist among AMD entries.
+    std::set<std::string> amdTitles;
+    for (const DbEntry &entry : db().entries()) {
+        if (entry.vendor == Vendor::Amd)
+            amdTitles.insert(entry.title);
+    }
+    for (const StimulusStep &step : campaign.stimuli) {
+        for (const std::string &example : step.concreteActions)
+            EXPECT_TRUE(amdTitles.count(example)) << example;
+    }
+}
+
+// ---- Seed corpus ----------------------------------------------------------
+
+TEST_F(GuidanceTest, SeedCorpusHasRequestedCount)
+{
+    SeedCorpusOptions options;
+    options.sequenceCount = 32;
+    SeedCorpus corpus = generateSeedCorpus(db(), options);
+    EXPECT_EQ(corpus.sequences.size(), 32u);
+}
+
+TEST_F(GuidanceTest, SeedSequencesAreValidAndDistinct)
+{
+    SeedCorpus corpus = generateSeedCorpus(db());
+    const Taxonomy &taxonomy = Taxonomy::instance();
+    std::set<std::vector<CategoryId>> seen;
+    for (const StimulusSequence &sequence : corpus.sequences) {
+        ASSERT_FALSE(sequence.triggers.empty());
+        ASSERT_LE(sequence.triggers.size(), 4u);
+        EXPECT_TRUE(seen.insert(sequence.triggers).second);
+        std::set<CategoryId> unique(sequence.triggers.begin(),
+                                    sequence.triggers.end());
+        EXPECT_EQ(unique.size(), sequence.triggers.size());
+        for (CategoryId id : sequence.triggers)
+            EXPECT_EQ(taxonomy.categoryById(id).axis,
+                      Axis::Trigger);
+        if (sequence.context) {
+            EXPECT_EQ(taxonomy.categoryById(*sequence.context)
+                          .axis,
+                      Axis::Context);
+        }
+        EXPECT_GT(sequence.weight, 0.0);
+    }
+}
+
+TEST_F(GuidanceTest, SeedCorpusCoversTopPairs)
+{
+    SeedCorpusOptions options;
+    options.sequenceCount = 96;
+    SeedCorpus corpus = generateSeedCorpus(db(), options);
+    // The corpus must exercise most of the strongest historical
+    // trigger pairs — that is its whole purpose.
+    EXPECT_GT(corpus.pairCoverage(db(), 10), 0.7);
+}
+
+TEST_F(GuidanceTest, SeedCorpusDeterministic)
+{
+    SeedCorpus a = generateSeedCorpus(db());
+    SeedCorpus b = generateSeedCorpus(db());
+    ASSERT_EQ(a.sequences.size(), b.sequences.size());
+    for (std::size_t i = 0; i < a.sequences.size(); ++i)
+        EXPECT_EQ(a.sequences[i].triggers,
+                  b.sequences[i].triggers);
+}
+
+TEST_F(GuidanceTest, SeedCorpusJsonShape)
+{
+    SeedCorpusOptions options;
+    options.sequenceCount = 8;
+    SeedCorpus corpus = generateSeedCorpus(db(), options);
+    JsonValue json = corpus.toJson();
+    ASSERT_EQ(json.size(), 8u);
+    for (const JsonValue &item : json.asArray()) {
+        EXPECT_TRUE(item.contains("triggers"));
+        EXPECT_TRUE(item.contains("weight"));
+    }
+}
+
+// ---- Monitor rules ----------------------------------------------------------
+
+TEST_F(GuidanceTest, MonitorRulesRankedAndBounded)
+{
+    auto rules = deriveMonitorRules(db(), 5);
+    ASSERT_EQ(rules.size(), 5u);
+    for (std::size_t i = 1; i < rules.size(); ++i)
+        EXPECT_GE(rules[i - 1].evidence, rules[i].evidence);
+    for (const MonitorRule &rule : rules) {
+        EXPECT_FALSE(rule.name.empty());
+        EXPECT_LE(rule.armedBy.size(), 3u);
+        EXPECT_FALSE(rule.renderText().empty());
+    }
+}
+
+TEST_F(GuidanceTest, RegisterCorruptionRuleNamesMsrs)
+{
+    auto rules = deriveMonitorRules(db(), 5);
+    const Taxonomy &taxonomy = Taxonomy::instance();
+    bool found = false;
+    for (const MonitorRule &rule : rules) {
+        if (taxonomy.categoryById(rule.effect).code ==
+            "Eff_CRP_reg") {
+            found = true;
+            EXPECT_FALSE(rule.msrs.empty());
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+} // namespace
+} // namespace rememberr

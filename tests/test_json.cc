@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for the JSON reader/writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/json.hh"
+
+namespace rememberr {
+namespace {
+
+TEST(JsonValue, ScalarTypes)
+{
+    EXPECT_TRUE(JsonValue().isNull());
+    EXPECT_TRUE(JsonValue(true).isBool());
+    EXPECT_TRUE(JsonValue(3.5).isNumber());
+    EXPECT_TRUE(JsonValue("x").isString());
+    EXPECT_TRUE(JsonValue::makeArray().isArray());
+    EXPECT_TRUE(JsonValue::makeObject().isObject());
+}
+
+TEST(JsonValue, Accessors)
+{
+    EXPECT_EQ(JsonValue(true).asBool(), true);
+    EXPECT_DOUBLE_EQ(JsonValue(2.5).asNumber(), 2.5);
+    EXPECT_EQ(JsonValue(7).asInt(), 7);
+    EXPECT_EQ(JsonValue("hi").asString(), "hi");
+}
+
+TEST(JsonValue, ObjectFieldAccess)
+{
+    JsonValue obj = JsonValue::makeObject();
+    obj["a"] = 1;
+    obj["b"] = "two";
+    EXPECT_TRUE(obj.contains("a"));
+    EXPECT_FALSE(obj.contains("c"));
+    EXPECT_EQ(obj.at("a").asInt(), 1);
+    EXPECT_EQ(obj.at("b").asString(), "two");
+    EXPECT_EQ(obj.size(), 2u);
+}
+
+TEST(JsonValue, ArrayAppend)
+{
+    JsonValue arr = JsonValue::makeArray();
+    arr.append(1);
+    arr.append("x");
+    EXPECT_EQ(arr.size(), 2u);
+    EXPECT_EQ(arr.asArray()[1].asString(), "x");
+}
+
+TEST(JsonDump, Compact)
+{
+    JsonValue obj = JsonValue::makeObject();
+    obj["n"] = 3;
+    obj["s"] = "a\"b";
+    obj["arr"] = JsonValue::makeArray();
+    obj["arr"].append(true);
+    obj["arr"].append(nullptr);
+    EXPECT_EQ(obj.dump(),
+              R"({"arr":[true,null],"n":3,"s":"a\"b"})");
+}
+
+TEST(JsonDump, IntegersWithoutDecimalPoint)
+{
+    EXPECT_EQ(JsonValue(42).dump(), "42");
+    EXPECT_EQ(JsonValue(-1).dump(), "-1");
+    EXPECT_EQ(JsonValue(2.5).dump(), "2.5");
+}
+
+TEST(JsonDump, PrettyIndents)
+{
+    JsonValue obj = JsonValue::makeObject();
+    obj["a"] = 1;
+    std::string pretty = obj.dumpPretty();
+    EXPECT_NE(pretty.find("\n  \"a\": 1"), std::string::npos);
+}
+
+TEST(JsonParse, Scalars)
+{
+    EXPECT_TRUE(parseJson("null").value().isNull());
+    EXPECT_EQ(parseJson("true").value().asBool(), true);
+    EXPECT_EQ(parseJson("false").value().asBool(), false);
+    EXPECT_DOUBLE_EQ(parseJson("-2.5e2").value().asNumber(),
+                     -250.0);
+    EXPECT_EQ(parseJson(R"("hi")").value().asString(), "hi");
+}
+
+TEST(JsonParse, NestedStructure)
+{
+    auto doc = parseJson(
+        R"({"a": [1, {"b": "c"}, null], "d": {"e": true}})");
+    ASSERT_TRUE(doc);
+    const JsonValue &root = doc.value();
+    EXPECT_EQ(root.at("a").size(), 3u);
+    EXPECT_EQ(root.at("a").asArray()[1].at("b").asString(), "c");
+    EXPECT_TRUE(root.at("d").at("e").asBool());
+}
+
+TEST(JsonParse, StringEscapes)
+{
+    auto doc = parseJson(R"("a\n\t\"\\bA")");
+    ASSERT_TRUE(doc);
+    EXPECT_EQ(doc.value().asString(), "a\n\t\"\\bA");
+}
+
+TEST(JsonParse, UnicodeEscapesToUtf8)
+{
+    auto doc = parseJson(R"("é")"); // é
+    ASSERT_TRUE(doc);
+    EXPECT_EQ(doc.value().asString(), "\xc3\xa9");
+}
+
+TEST(JsonParse, RejectsMalformed)
+{
+    EXPECT_FALSE(parseJson(""));
+    EXPECT_FALSE(parseJson("{"));
+    EXPECT_FALSE(parseJson("[1,]"));
+    EXPECT_FALSE(parseJson("{\"a\" 1}"));
+    EXPECT_FALSE(parseJson("tru"));
+    EXPECT_FALSE(parseJson("\"unterminated"));
+    EXPECT_FALSE(parseJson("1 2"));
+    EXPECT_FALSE(parseJson("{\"a\":1,}"));
+}
+
+TEST(JsonParse, ReportsLineNumbers)
+{
+    auto doc = parseJson("{\n\"a\": tru\n}");
+    ASSERT_FALSE(doc);
+    EXPECT_EQ(doc.error().line, 2);
+}
+
+TEST(JsonRoundTrip, DumpParseIdentity)
+{
+    JsonValue obj = JsonValue::makeObject();
+    obj["name"] = "erratum \"AAJ143\"";
+    obj["count"] = 2563;
+    obj["ratio"] = 0.359;
+    obj["flags"] = JsonValue::makeArray();
+    obj["flags"].append(true);
+    obj["flags"].append(false);
+    obj["nested"] = JsonValue::makeObject();
+    obj["nested"]["deep"] = JsonValue::makeArray();
+    obj["nested"]["deep"].append("multi\nline\ttext");
+
+    auto reparsed = parseJson(obj.dump());
+    ASSERT_TRUE(reparsed);
+    EXPECT_EQ(reparsed.value(), obj);
+
+    auto reparsedPretty = parseJson(obj.dumpPretty());
+    ASSERT_TRUE(reparsedPretty);
+    EXPECT_EQ(reparsedPretty.value(), obj);
+}
+
+TEST(JsonEscape, ControlCharacters)
+{
+    EXPECT_EQ(jsonEscape(std::string("a\x01") + "b"),
+              "\"a\\u0001b\"");
+}
+
+} // namespace
+} // namespace rememberr

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Unit tests for the "errata in errata" linter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "corpus/generator.hh"
+#include "document/lint.hh"
+#include "util/logging.hh"
+
+namespace rememberr {
+namespace {
+
+ErrataDocument
+cleanDoc()
+{
+    ErrataDocument doc;
+    doc.design.vendor = Vendor::Intel;
+    doc.design.name = "Core T";
+    doc.design.releaseDate = Date(2015, 1, 1);
+
+    Revision r1;
+    r1.number = 1;
+    r1.date = Date(2015, 1, 1);
+    r1.addedIds = {"T001", "T002"};
+    Revision r2;
+    r2.number = 2;
+    r2.date = Date(2015, 6, 1);
+    r2.addedIds = {"T003"};
+    doc.revisions = {r1, r2};
+
+    int i = 0;
+    for (const char *id : {"T001", "T002", "T003"}) {
+        Erratum erratum;
+        erratum.localId = id;
+        erratum.title = std::string("Title ") + std::to_string(i);
+        erratum.description =
+            "Description " + std::to_string(i) + ".";
+        erratum.implications = "Implications.";
+        erratum.workaroundText = "None identified.";
+        erratum.addedInRevision = i < 2 ? 1 : 2;
+        doc.errata.push_back(std::move(erratum));
+        ++i;
+    }
+    return doc;
+}
+
+int
+countKind(const std::vector<LintFinding> &findings, DefectKind kind)
+{
+    int count = 0;
+    for (const LintFinding &finding : findings) {
+        if (finding.kind == kind)
+            ++count;
+    }
+    return count;
+}
+
+TEST(Lint, CleanDocumentHasNoFindings)
+{
+    EXPECT_TRUE(lintDocument(cleanDoc()).empty());
+}
+
+TEST(Lint, DetectsDuplicateRevisionClaim)
+{
+    ErrataDocument doc = cleanDoc();
+    doc.revisions[1].addedIds.push_back("T001");
+    auto findings = lintDocument(doc);
+    EXPECT_EQ(countKind(findings,
+                        DefectKind::DuplicateRevisionClaim),
+              1);
+}
+
+TEST(Lint, SameIdTwiceInOneRevisionNotDoubleCounted)
+{
+    ErrataDocument doc = cleanDoc();
+    doc.revisions[0].addedIds.push_back("T001");
+    auto findings = lintDocument(doc);
+    EXPECT_EQ(countKind(findings,
+                        DefectKind::DuplicateRevisionClaim),
+              0);
+}
+
+TEST(Lint, DetectsMissingFromNotes)
+{
+    ErrataDocument doc = cleanDoc();
+    doc.revisions[1].addedIds.clear();
+    auto findings = lintDocument(doc);
+    EXPECT_EQ(countKind(findings, DefectKind::MissingFromNotes), 1);
+}
+
+TEST(Lint, DetectsReusedName)
+{
+    ErrataDocument doc = cleanDoc();
+    doc.errata[2].localId = "T001";
+    auto findings = lintDocument(doc);
+    EXPECT_EQ(countKind(findings, DefectKind::ReusedName), 1);
+    // The reused name in two revisions must not also be reported as
+    // a duplicate claim.
+    EXPECT_EQ(countKind(findings,
+                        DefectKind::DuplicateRevisionClaim),
+              0);
+}
+
+TEST(Lint, DetectsMissingField)
+{
+    ErrataDocument doc = cleanDoc();
+    doc.errata[0].implications.clear();
+    auto findings = lintDocument(doc);
+    EXPECT_EQ(countKind(findings, DefectKind::MissingField), 1);
+}
+
+TEST(Lint, DetectsDuplicateField)
+{
+    ErrataDocument doc = cleanDoc();
+    doc.errata[1].implications = doc.errata[1].description;
+    auto findings = lintDocument(doc);
+    EXPECT_EQ(countKind(findings, DefectKind::DuplicateField), 1);
+}
+
+TEST(Lint, DetectsWrongMsrNumber)
+{
+    ErrataDocument doc = cleanDoc();
+    doc.errata[0].msrs.push_back(MsrRef{"MC4_STATUS", 1});
+    LintOptions options;
+    options.msrReference = [](const std::string &) {
+        return 0x9A3u;
+    };
+    auto findings = lintDocument(doc, options);
+    EXPECT_EQ(countKind(findings, DefectKind::WrongMsrNumber), 1);
+}
+
+TEST(Lint, CorrectMsrNumberPasses)
+{
+    ErrataDocument doc = cleanDoc();
+    doc.errata[0].msrs.push_back(MsrRef{"MC4_STATUS", 0x9A3});
+    LintOptions options;
+    options.msrReference = [](const std::string &) {
+        return 0x9A3u;
+    };
+    EXPECT_TRUE(lintDocument(doc, options).empty());
+}
+
+TEST(Lint, UnknownMsrNameIsNotFlagged)
+{
+    ErrataDocument doc = cleanDoc();
+    doc.errata[0].msrs.push_back(MsrRef{"UNKNOWN_REG", 7});
+    LintOptions options;
+    options.msrReference = [](const std::string &) { return 0u; };
+    EXPECT_TRUE(lintDocument(doc, options).empty());
+}
+
+TEST(Lint, EntriesDifferingOnlyInWorkaroundAreNotDuplicates)
+{
+    // The errata-1327/1329 case: identical prose, different
+    // workaround, possibly distinct root causes.
+    ErrataDocument doc = cleanDoc();
+    Erratum twin = doc.errata[0];
+    twin.localId = "T042";
+    twin.workaroundText =
+        "System software may contain the workaround.";
+    doc.errata.push_back(twin);
+    doc.revisions[1].addedIds.push_back("T042");
+    auto findings = lintDocument(doc);
+    EXPECT_EQ(countKind(findings, DefectKind::IntraDocDuplicate),
+              0);
+}
+
+TEST(Lint, DetectsIntraDocDuplicate)
+{
+    ErrataDocument doc = cleanDoc();
+    Erratum copy = doc.errata[0];
+    copy.localId = "T009";
+    doc.errata.push_back(copy);
+    doc.revisions[1].addedIds.push_back("T009");
+    auto findings = lintDocument(doc);
+    EXPECT_EQ(countKind(findings, DefectKind::IntraDocDuplicate),
+              1);
+}
+
+TEST(Lint, SummaryAggregatesAcrossDocuments)
+{
+    ErrataDocument a = cleanDoc();
+    a.revisions[1].addedIds.push_back("T001");
+    ErrataDocument b = cleanDoc();
+    b.errata[0].implications.clear();
+    LintSummary summary = summarizeFindings(
+        {lintDocument(a), lintDocument(b)});
+    EXPECT_EQ(summary.duplicateRevisionClaims, 1);
+    EXPECT_EQ(summary.missingFields, 1);
+    EXPECT_EQ(summary.total(), 2);
+}
+
+TEST(Lint, FullCorpusCountsMatchPaper)
+{
+    setLogQuiet(true);
+    Corpus corpus = generateDefaultCorpus();
+    std::vector<std::vector<LintFinding>> perDoc;
+    for (const ErrataDocument &doc : corpus.documents)
+        perDoc.push_back(lintDocument(doc));
+    LintSummary summary = summarizeFindings(perDoc);
+    // Section IV-A's counts.
+    EXPECT_EQ(summary.duplicateRevisionClaims, 8);
+    EXPECT_EQ(summary.missingFromNotes, 12);
+    EXPECT_EQ(summary.reusedNames, 1);
+    EXPECT_EQ(summary.missingFields + summary.duplicateFields, 7);
+    EXPECT_EQ(summary.wrongMsrNumbers, 3);
+    EXPECT_EQ(summary.intraDocDuplicates, 11);
+}
+
+} // namespace
+} // namespace rememberr

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for the data model, in particular the disclosure-date
+ * approximation rules of Section IV-B1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/erratum.hh"
+
+namespace rememberr {
+namespace {
+
+ErrataDocument
+makeDoc()
+{
+    ErrataDocument doc;
+    doc.design.vendor = Vendor::Intel;
+    doc.design.generation = 4;
+    doc.design.variant = DesignVariant::Desktop;
+    doc.design.name = "Core 4 (D)";
+    doc.design.releaseDate = Date(2013, 6, 4);
+
+    Revision r1;
+    r1.number = 1;
+    r1.date = Date(2013, 6, 4);
+    r1.addedIds = {"HSD001", "HSD002"};
+    Revision r2;
+    r2.number = 2;
+    r2.date = Date(2013, 9, 1);
+    r2.addedIds = {"HSD003"};
+    Revision r3;
+    r3.number = 3;
+    r3.date = Date(2014, 1, 15);
+    r3.addedIds = {"HSD005"};
+    doc.revisions = {r1, r2, r3};
+
+    for (const char *id :
+         {"HSD001", "HSD002", "HSD003", "HSD004", "HSD005"}) {
+        Erratum erratum;
+        erratum.localId = id;
+        erratum.title = std::string("Erratum ") + id;
+        doc.errata.push_back(std::move(erratum));
+    }
+    return doc;
+}
+
+TEST(ErrataDocument, FindErratum)
+{
+    ErrataDocument doc = makeDoc();
+    ASSERT_NE(doc.findErratum("HSD003"), nullptr);
+    EXPECT_EQ(doc.findErratum("HSD003")->localId, "HSD003");
+    EXPECT_EQ(doc.findErratum("HSD999"), nullptr);
+}
+
+TEST(DisclosureDate, Rule1UsesRevisionNotes)
+{
+    ErrataDocument doc = makeDoc();
+    EXPECT_EQ(doc.approximateDisclosureDate("HSD001"),
+              Date(2013, 6, 4));
+    EXPECT_EQ(doc.approximateDisclosureDate("HSD003"),
+              Date(2013, 9, 1));
+}
+
+TEST(DisclosureDate, Rule1ContradictionResolvesToEarlier)
+{
+    ErrataDocument doc = makeDoc();
+    // Revision 3 falsely claims HSD003 was added again.
+    doc.revisions[2].addedIds.push_back("HSD003");
+    EXPECT_EQ(doc.approximateDisclosureDate("HSD003"),
+              Date(2013, 9, 1));
+}
+
+TEST(DisclosureDate, Rule2UsesDatedSuccessor)
+{
+    ErrataDocument doc = makeDoc();
+    // HSD004 is absent from all revision notes; its successor
+    // HSD005 was added in revision 3.
+    EXPECT_EQ(doc.approximateDisclosureDate("HSD004"),
+              Date(2014, 1, 15));
+}
+
+TEST(DisclosureDate, Rule3FallsBackToFirstRevision)
+{
+    ErrataDocument doc = makeDoc();
+    // HSD005 unlisted and it has no successor: remove its claim.
+    doc.revisions[2].addedIds.clear();
+    EXPECT_EQ(doc.approximateDisclosureDate("HSD005"),
+              Date(2013, 6, 4));
+}
+
+TEST(Design, Key)
+{
+    Design design;
+    design.vendor = Vendor::Intel;
+    design.generation = 4;
+    design.variant = DesignVariant::Mobile;
+    EXPECT_EQ(design.key(), "intel/4/M");
+    design.vendor = Vendor::Amd;
+    design.variant = DesignVariant::Unified;
+    EXPECT_EQ(design.key(), "amd/4/U");
+}
+
+TEST(Design, CoveredGenerationsSingle)
+{
+    Design design;
+    design.vendor = Vendor::Intel;
+    design.generation = 6;
+    design.name = "Core 6";
+    EXPECT_EQ(design.coveredGenerations(), (std::vector<int>{6}));
+}
+
+TEST(Design, CoveredGenerationsCombinedDoc)
+{
+    Design design;
+    design.vendor = Vendor::Intel;
+    design.generation = 7;
+    design.name = "Core 7/8";
+    EXPECT_EQ(design.coveredGenerations(),
+              (std::vector<int>{7, 8}));
+    design.generation = 8;
+    design.name = "Core 8/9";
+    EXPECT_EQ(design.coveredGenerations(),
+              (std::vector<int>{8, 9}));
+}
+
+TEST(Design, CoveredGenerationsAmdNeverSplits)
+{
+    Design design;
+    design.vendor = Vendor::Amd;
+    design.generation = 5;
+    design.name = "Fam 15h 00-0F"; // no slash -> single
+    EXPECT_EQ(design.coveredGenerations(), (std::vector<int>{5}));
+}
+
+TEST(EnumNames, RoundTripStrings)
+{
+    EXPECT_EQ(vendorName(Vendor::Intel), "Intel");
+    EXPECT_EQ(vendorName(Vendor::Amd), "AMD");
+    EXPECT_EQ(variantName(DesignVariant::Desktop), "D");
+    EXPECT_EQ(workaroundClassName(WorkaroundClass::Bios), "BIOS");
+    EXPECT_EQ(workaroundClassName(WorkaroundClass::None), "None");
+    EXPECT_EQ(fixStatusName(FixStatus::NoFix), "NoFix");
+    EXPECT_EQ(fixStatusName(FixStatus::Fixed), "Fixed");
+}
+
+} // namespace
+} // namespace rememberr

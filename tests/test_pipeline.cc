@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for the end-to-end pipeline facade.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hh"
+#include "util/logging.hh"
+
+namespace rememberr {
+namespace {
+
+TEST(Pipeline, RoundTripAndDirectPathsAgree)
+{
+    setLogQuiet(true);
+    PipelineOptions direct;
+    direct.roundTripDocuments = false;
+    direct.lint = false;
+    PipelineOptions roundTrip;
+    roundTrip.roundTripDocuments = true;
+    roundTrip.lint = false;
+
+    PipelineResult a = runPipeline(direct);
+    PipelineResult b = runPipeline(roundTrip);
+
+    // The text format round-trip must not change the corpus in any
+    // way visible to the downstream stages.
+    ASSERT_EQ(a.corpus.documents.size(), b.corpus.documents.size());
+    for (std::size_t d = 0; d < a.corpus.documents.size(); ++d) {
+        ASSERT_EQ(a.corpus.documents[d].errata.size(),
+                  b.corpus.documents[d].errata.size());
+    }
+    EXPECT_EQ(a.dedup.clusters.size(), b.dedup.clusters.size());
+    EXPECT_EQ(a.database.entries().size(),
+              b.database.entries().size());
+}
+
+TEST(Pipeline, DeterministicAcrossRuns)
+{
+    setLogQuiet(true);
+    PipelineOptions options;
+    options.roundTripDocuments = false;
+    options.lint = false;
+    PipelineResult a = runPipeline(options);
+    PipelineResult b = runPipeline(options);
+
+    ASSERT_EQ(a.database.entries().size(),
+              b.database.entries().size());
+    for (std::size_t i = 0; i < a.database.entries().size(); ++i) {
+        const DbEntry &ea = a.database.entries()[i];
+        const DbEntry &eb = b.database.entries()[i];
+        ASSERT_EQ(ea.title, eb.title);
+        ASSERT_EQ(ea.triggers, eb.triggers);
+        ASSERT_EQ(ea.contexts, eb.contexts);
+        ASSERT_EQ(ea.effects, eb.effects);
+    }
+    // Same JSON dump byte-for-byte.
+    EXPECT_EQ(a.groundTruth.toJson().dump(),
+              b.groundTruth.toJson().dump());
+}
+
+TEST(Pipeline, SeedChangesTextButNotStructure)
+{
+    setLogQuiet(true);
+    PipelineOptions options;
+    options.roundTripDocuments = false;
+    options.lint = false;
+    options.generator.seed = 99;
+    PipelineResult other = runPipeline(options);
+    EXPECT_EQ(other.corpus.totalRows(Vendor::Intel), 2057u);
+    EXPECT_EQ(other.corpus.totalRows(Vendor::Amd), 506u);
+    EXPECT_EQ(other.groundTruth.entries().size(), 1128u);
+}
+
+TEST(Pipeline, LintTogglesFindings)
+{
+    setLogQuiet(true);
+    PipelineOptions noLint;
+    noLint.roundTripDocuments = false;
+    noLint.lint = false;
+    EXPECT_TRUE(runPipeline(noLint).lintFindings.empty());
+
+    PipelineOptions withLint;
+    withLint.roundTripDocuments = false;
+    withLint.lint = true;
+    PipelineResult result = runPipeline(withLint);
+    EXPECT_EQ(result.lintFindings.size(), 28u);
+}
+
+TEST(Pipeline, ProposedFormatContainsAllSections)
+{
+    setLogQuiet(true);
+    PipelineOptions options;
+    options.roundTripDocuments = false;
+    options.lint = false;
+    PipelineResult result = runPipeline(options);
+    const DbEntry &entry = result.groundTruth.entries().front();
+    std::string rendered = renderProposedFormat(entry);
+    for (const char *section :
+         {"ID:", "Title:", "Triggers:", "Contexts:", "Effects:",
+          "Root cause:", "Workaround:", "Status:", "Abstract:",
+          "Concrete:"}) {
+        EXPECT_NE(rendered.find(section), std::string::npos)
+            << section;
+    }
+}
+
+} // namespace
+} // namespace rememberr

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Differential property tests for the regex engine: a tiny,
+ * obviously-correct exponential reference matcher is compared with
+ * the production engine over a generated space of patterns and
+ * subjects drawn from a small alphabet.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "text/regex.hh"
+#include "util/rng.hh"
+
+namespace rememberr {
+namespace {
+
+/**
+ * Reference matcher supporting the core subset: literals, '.',
+ * alternation of two branches, '*', '+', '?' on single atoms, and
+ * concatenation. Implemented by brute-force expansion with explicit
+ * recursion over (pattern position, subject position).
+ */
+class ReferenceMatcher
+{
+  public:
+    explicit ReferenceMatcher(std::string pattern)
+        : pattern_(std::move(pattern))
+    {
+    }
+
+    /** True when the pattern matches the whole subject. */
+    bool
+    fullMatch(const std::string &subject) const
+    {
+        return matchHere(0, subject, 0);
+    }
+
+    /** True when the pattern matches anywhere. */
+    bool
+    contains(const std::string &subject) const
+    {
+        // Try as a whole-match of any substring.
+        for (std::size_t begin = 0; begin <= subject.size();
+             ++begin) {
+            for (std::size_t end = begin; end <= subject.size();
+                 ++end) {
+                if (fullMatch(subject.substr(begin, end - begin)))
+                    return true;
+            }
+        }
+        return false;
+    }
+
+  private:
+    bool
+    atomMatches(char atom, char c) const
+    {
+        return atom == '.' || atom == c;
+    }
+
+    // match pattern_[p..] against subject[s..] to the exact end.
+    bool
+    matchHere(std::size_t p, const std::string &subject,
+              std::size_t s) const
+    {
+        // Top-level alternation: split on '|' outside any
+        // quantifier (the generated patterns have no groups).
+        if (p == 0) {
+            std::size_t bar = pattern_.find('|');
+            if (bar != std::string::npos) {
+                ReferenceMatcher left(pattern_.substr(0, bar));
+                ReferenceMatcher right(pattern_.substr(bar + 1));
+                return left.fullMatch(subject.substr(s)) ||
+                       right.fullMatch(subject.substr(s));
+            }
+        }
+        if (p == pattern_.size())
+            return s == subject.size();
+        char atom = pattern_[p];
+        char quant = p + 1 < pattern_.size() ? pattern_[p + 1] : 0;
+        if (quant == '*' || quant == '+' || quant == '?') {
+            std::size_t minReps = quant == '+' ? 1 : 0;
+            std::size_t maxReps =
+                quant == '?' ? 1 : subject.size() - s;
+            // Try every repetition count (exponential but tiny).
+            for (std::size_t reps = minReps; reps <= maxReps;
+                 ++reps) {
+                bool ok = true;
+                for (std::size_t k = 0; k < reps; ++k) {
+                    if (s + k >= subject.size() ||
+                        !atomMatches(atom, subject[s + k])) {
+                        ok = false;
+                        break;
+                    }
+                }
+                if (ok && matchHere(p + 2, subject, s + reps))
+                    return true;
+            }
+            return false;
+        }
+        if (s < subject.size() && atomMatches(atom, subject[s]))
+            return matchHere(p + 1, subject, s + 1);
+        return false;
+    }
+
+    std::string pattern_;
+};
+
+/** Generate a random pattern over {a, b, .} with quantifiers. */
+std::string
+randomPattern(Rng &rng)
+{
+    static const char atoms[] = {'a', 'b', 'c', '.'};
+    std::string pattern;
+    std::size_t atomCount = 1 + rng.nextBelow(4);
+    for (std::size_t i = 0; i < atomCount; ++i) {
+        pattern += atoms[rng.nextBelow(4)];
+        switch (rng.nextBelow(5)) {
+          case 0: pattern += '*'; break;
+          case 1: pattern += '+'; break;
+          case 2: pattern += '?'; break;
+          default: break;
+        }
+    }
+    if (rng.nextBool(0.3)) {
+        pattern += '|';
+        std::size_t tailCount = 1 + rng.nextBelow(2);
+        for (std::size_t i = 0; i < tailCount; ++i)
+            pattern += atoms[rng.nextBelow(4)];
+    }
+    return pattern;
+}
+
+std::string
+randomSubject(Rng &rng)
+{
+    static const char chars[] = {'a', 'b', 'c'};
+    std::string subject;
+    std::size_t length = rng.nextBelow(7);
+    for (std::size_t i = 0; i < length; ++i)
+        subject += chars[rng.nextBelow(3)];
+    return subject;
+}
+
+class RegexDifferential : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RegexDifferential, AgreesWithReference)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+    for (int round = 0; round < 300; ++round) {
+        std::string pattern = randomPattern(rng);
+        auto compiled = Regex::compile(pattern);
+        ASSERT_TRUE(compiled) << pattern;
+        ReferenceMatcher reference(pattern);
+        for (int s = 0; s < 8; ++s) {
+            std::string subject = randomSubject(rng);
+            bool expectedFull = reference.fullMatch(subject);
+            bool actualFull = compiled.value().fullMatch(subject);
+            ASSERT_EQ(actualFull, expectedFull)
+                << "/" << pattern << "/ fullMatch '" << subject
+                << "'";
+            bool expectedFind = reference.contains(subject);
+            bool actualFind = compiled.value().contains(subject);
+            ASSERT_EQ(actualFind, expectedFind)
+                << "/" << pattern << "/ contains '" << subject
+                << "'";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegexDifferential,
+                         ::testing::Range(0, 8));
+
+} // namespace
+} // namespace rememberr

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Unit tests for the deterministic PRNG and distributions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/rng.hh"
+
+namespace rememberr {
+namespace {
+
+TEST(SplitMix64, KnownSequence)
+{
+    // Reference values for seed 0 from the SplitMix64 definition.
+    SplitMix64 sm(0);
+    EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafULL);
+    EXPECT_EQ(sm.next(), 0x6e789e6aa1b965f4ULL);
+    EXPECT_EQ(sm.next(), 0x06c45d188009454fULL);
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowRespectsBound)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            ASSERT_LT(rng.nextBelow(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowCoversAllValues)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(rng.nextBelow(5));
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NextInRangeInclusive)
+{
+    Rng rng(11);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        std::int64_t v = rng.nextInRange(-2, 2);
+        ASSERT_GE(v, -2);
+        ASSERT_LE(v, 2);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.nextDouble();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, NextDoubleMeanIsHalf)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextDouble();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NextBoolFrequencyTracksP)
+{
+    Rng rng(19);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.nextBool(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(23);
+    double sum = 0.0, sumSq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double v = rng.nextGaussian();
+        sum += v;
+        sumSq += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sumSq / n, 1.0, 0.05);
+}
+
+TEST(Rng, WeightedSamplingFollowsWeights)
+{
+    Rng rng(29);
+    std::vector<double> weights{1.0, 3.0, 0.0, 6.0};
+    std::vector<int> counts(4, 0);
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.nextWeighted(weights)];
+    EXPECT_EQ(counts[2], 0);
+    EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.1, 0.02);
+    EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.3, 0.02);
+    EXPECT_NEAR(static_cast<double>(counts[3]) / n, 0.6, 0.02);
+}
+
+TEST(Rng, WeightedSingleElement)
+{
+    Rng rng(31);
+    std::vector<double> weights{5.0};
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.nextWeighted(weights), 0u);
+}
+
+TEST(Rng, GeometricMean)
+{
+    Rng rng(37);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextGeometric(0.25);
+    // Mean of failures-before-success is (1-p)/p = 3.
+    EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(Rng, GeometricCertainSuccessIsZero)
+{
+    Rng rng(41);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.nextGeometric(1.0), 0);
+}
+
+TEST(Rng, PoissonMean)
+{
+    Rng rng(43);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextPoisson(4.0);
+    EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, PoissonZeroLambda)
+{
+    Rng rng(47);
+    EXPECT_EQ(rng.nextPoisson(0.0), 0);
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng rng(53);
+    std::vector<int> items{1, 2, 3, 4, 5, 6, 7};
+    std::vector<int> original = items;
+    rng.shuffle(items);
+    std::sort(items.begin(), items.end());
+    EXPECT_EQ(items, original);
+}
+
+TEST(Rng, ShuffleEmptyAndSingle)
+{
+    Rng rng(59);
+    std::vector<int> empty;
+    rng.shuffle(empty);
+    EXPECT_TRUE(empty.empty());
+    std::vector<int> one{9};
+    rng.shuffle(one);
+    EXPECT_EQ(one, std::vector<int>{9});
+}
+
+TEST(Rng, SampleIndicesDistinct)
+{
+    Rng rng(61);
+    auto sample = rng.sampleIndices(10, 4);
+    EXPECT_EQ(sample.size(), 4u);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 4u);
+    for (std::size_t idx : sample)
+        EXPECT_LT(idx, 10u);
+}
+
+TEST(Rng, SampleAllIndices)
+{
+    Rng rng(67);
+    auto sample = rng.sampleIndices(5, 5);
+    std::sort(sample.begin(), sample.end());
+    EXPECT_EQ(sample,
+              (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng a(71);
+    Rng child = a.fork();
+    // The child stream must differ from the parent continuation.
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == child.next())
+            ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkDeterministic)
+{
+    Rng a(73), b(73);
+    Rng ca = a.fork(), cb = b.fork();
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(ca.next(), cb.next());
+}
+
+/** Property sweep: nextBelow is within bound for many bounds. */
+class RngBoundSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RngBoundSweep, AlwaysBelowBound)
+{
+    Rng rng(GetParam());
+    std::uint64_t bound = GetParam() * 977 + 1;
+    for (int i = 0; i < 300; ++i)
+        ASSERT_LT(rng.nextBelow(bound), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundSweep,
+                         ::testing::Values(1, 2, 3, 5, 17, 255, 256,
+                                           1000, 65536, 1u << 20));
+
+} // namespace
+} // namespace rememberr

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * End-to-end smoke test: the full pipeline reproduces the paper's
+ * headline numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/rememberr.hh"
+
+namespace rememberr {
+namespace {
+
+class PipelineSmoke : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        setLogQuiet(true);
+        result_ = new PipelineResult(runPipeline());
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete result_;
+        result_ = nullptr;
+    }
+
+    static PipelineResult *result_;
+};
+
+PipelineResult *PipelineSmoke::result_ = nullptr;
+
+TEST_F(PipelineSmoke, CorpusRowTotalsMatchPaper)
+{
+    EXPECT_EQ(result_->corpus.totalRows(Vendor::Intel), 2057u);
+    EXPECT_EQ(result_->corpus.totalRows(Vendor::Amd), 506u);
+    EXPECT_EQ(result_->corpus.uniqueBugs(Vendor::Intel), 743u);
+    EXPECT_EQ(result_->corpus.uniqueBugs(Vendor::Amd), 385u);
+}
+
+TEST_F(PipelineSmoke, GroundTruthDatabaseMatchesPaper)
+{
+    const Database &db = result_->groundTruth;
+    EXPECT_EQ(db.uniqueCount(Vendor::Intel), 743u);
+    EXPECT_EQ(db.uniqueCount(Vendor::Amd), 385u);
+}
+
+TEST_F(PipelineSmoke, DedupRecoversUniqueCounts)
+{
+    const DedupResult &dedup = result_->dedup;
+    // Title-based dedup should recover the unique counts closely;
+    // the reused-name defect and intra-document duplicates make an
+    // exact match impossible by construction, so allow slack.
+    std::size_t intel = dedup.uniqueCount(
+        result_->corpus.documents, Vendor::Intel);
+    std::size_t amd = dedup.uniqueCount(
+        result_->corpus.documents, Vendor::Amd);
+    EXPECT_NEAR(static_cast<double>(intel), 743.0, 5.0);
+    EXPECT_EQ(amd, 385u);
+
+    DedupAccuracy accuracy =
+        evaluateDedup(result_->corpus, dedup);
+    EXPECT_GT(accuracy.pairPrecision, 0.99);
+    EXPECT_GT(accuracy.pairRecall, 0.99);
+}
+
+TEST_F(PipelineSmoke, LintFindsInjectedDefects)
+{
+    LintSummary summary =
+        summarizeFindings(result_->lintFindings);
+    EXPECT_EQ(summary.duplicateRevisionClaims, 8);
+    EXPECT_EQ(summary.missingFromNotes, 12);
+    EXPECT_EQ(summary.reusedNames, 1);
+    EXPECT_EQ(summary.missingFields + summary.duplicateFields, 7);
+    EXPECT_EQ(summary.wrongMsrNumbers, 3);
+    EXPECT_EQ(summary.intraDocDuplicates, 11);
+}
+
+TEST_F(PipelineSmoke, HeadlineStatsInPaperBands)
+{
+    HeadlineStats stats = headlineStats(result_->groundTruth);
+    EXPECT_EQ(stats.totalRows, 2563u);
+    EXPECT_EQ(stats.totalUnique, 1128u);
+    EXPECT_NEAR(stats.noTriggerFraction, 0.144, 0.03);
+    EXPECT_NEAR(stats.multiTriggerFraction, 0.49, 0.05);
+    EXPECT_NEAR(stats.complexIntel, 0.087, 0.03);
+    EXPECT_NEAR(stats.complexAmd, 0.208, 0.05);
+    EXPECT_EQ(stats.simulationOnlyIntel, 1u);
+    EXPECT_EQ(stats.simulationOnlyAmd, 5u);
+    EXPECT_NEAR(stats.workaroundNoneIntel, 0.359, 0.05);
+    EXPECT_NEAR(stats.workaroundNoneAmd, 0.289, 0.06);
+    EXPECT_GT(stats.neverFixed, 0.75);
+}
+
+TEST_F(PipelineSmoke, FourEyesAgreementAbove80Percent)
+{
+    for (const StepStats &step : result_->annotations.steps) {
+        EXPECT_GT(step.agreement, 0.80)
+            << "step " << step.step;
+    }
+    EXPECT_GT(result_->annotations.labelAccuracy, 0.98);
+}
+
+TEST_F(PipelineSmoke, SharedBugStructuresMatchPaper)
+{
+    const Database &db = result_->groundTruth;
+    // The 104 bugs shared by all Intel generations 6 to 10
+    // (documents 10..13).
+    auto shared = entriesSharedByAll(db, {10, 11, 12, 13});
+    EXPECT_EQ(shared.size(), 104u);
+    // One erratum spans 11 generations (Core 2 to Core 12).
+    EXPECT_EQ(longestGenerationSpan(db, Vendor::Intel), 11u);
+}
+
+} // namespace
+} // namespace rememberr

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Unit tests for the classification taxonomy (Tables IV-VI).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "taxonomy/taxonomy.hh"
+
+namespace rememberr {
+namespace {
+
+TEST(Taxonomy, SixtyAbstractCategories)
+{
+    // Section V-A: "in total, we defined 60 categories".
+    EXPECT_EQ(Taxonomy::instance().categoryCount(), 60u);
+}
+
+TEST(Taxonomy, FifteenClasses)
+{
+    // 8 trigger + 3 context + 4 effect classes.
+    const Taxonomy &taxonomy = Taxonomy::instance();
+    EXPECT_EQ(taxonomy.classCount(), 15u);
+    EXPECT_EQ(taxonomy.classesOfAxis(Axis::Trigger).size(), 8u);
+    EXPECT_EQ(taxonomy.classesOfAxis(Axis::Context).size(), 3u);
+    EXPECT_EQ(taxonomy.classesOfAxis(Axis::Effect).size(), 4u);
+}
+
+TEST(Taxonomy, AxisCategoryCountsMatchTables)
+{
+    const Taxonomy &taxonomy = Taxonomy::instance();
+    EXPECT_EQ(taxonomy.categoriesOfAxis(Axis::Trigger).size(), 34u);
+    EXPECT_EQ(taxonomy.categoriesOfAxis(Axis::Context).size(), 10u);
+    EXPECT_EQ(taxonomy.categoriesOfAxis(Axis::Effect).size(), 16u);
+}
+
+TEST(Taxonomy, ClassMemberCountsMatchTableIV)
+{
+    const Taxonomy &taxonomy = Taxonomy::instance();
+    auto sizeOf = [&](const char *code) {
+        auto cls = taxonomy.parseClass(code);
+        EXPECT_TRUE(cls) << code;
+        return taxonomy.categoriesOfClass(*cls).size();
+    };
+    EXPECT_EQ(sizeOf("Trg_MBR"), 3u);
+    EXPECT_EQ(sizeOf("Trg_MOP"), 8u);
+    EXPECT_EQ(sizeOf("Trg_EXC"), 4u);
+    EXPECT_EQ(sizeOf("Trg_PRV"), 2u);
+    EXPECT_EQ(sizeOf("Trg_CFG"), 3u);
+    EXPECT_EQ(sizeOf("Trg_POW"), 2u);
+    EXPECT_EQ(sizeOf("Trg_EXT"), 6u);
+    EXPECT_EQ(sizeOf("Trg_FEA"), 6u);
+    EXPECT_EQ(sizeOf("Ctx_PRV"), 5u);
+    EXPECT_EQ(sizeOf("Ctx_FEA"), 2u);
+    EXPECT_EQ(sizeOf("Ctx_PHY"), 3u);
+    EXPECT_EQ(sizeOf("Eff_HNG"), 4u);
+    EXPECT_EQ(sizeOf("Eff_FLT"), 5u);
+    EXPECT_EQ(sizeOf("Eff_CRP"), 2u);
+    EXPECT_EQ(sizeOf("Eff_EXT"), 5u);
+}
+
+TEST(Taxonomy, DescriptorCodec)
+{
+    const Taxonomy &taxonomy = Taxonomy::instance();
+    auto id = taxonomy.parseCategory("Trg_EXT_rst");
+    ASSERT_TRUE(id);
+    const AbstractCategory &cat = taxonomy.categoryById(*id);
+    EXPECT_EQ(cat.code, "Trg_EXT_rst");
+    EXPECT_EQ(cat.suffix, "rst");
+    EXPECT_EQ(cat.axis, Axis::Trigger);
+    EXPECT_EQ(taxonomy.classById(cat.classId).code, "Trg_EXT");
+}
+
+TEST(Taxonomy, FigureStyleLowercasePrefixAccepted)
+{
+    // The figures write trg_CFG_wrg / ctx_PRV_vmg / eff_CRP_reg.
+    const Taxonomy &taxonomy = Taxonomy::instance();
+    EXPECT_TRUE(taxonomy.parseCategory("trg_CFG_wrg"));
+    EXPECT_TRUE(taxonomy.parseCategory("ctx_PRV_vmg"));
+    EXPECT_TRUE(taxonomy.parseCategory("eff_CRP_reg"));
+    EXPECT_TRUE(taxonomy.parseClass("trg_POW"));
+}
+
+TEST(Taxonomy, RejectsUnknownDescriptors)
+{
+    const Taxonomy &taxonomy = Taxonomy::instance();
+    EXPECT_FALSE(taxonomy.parseCategory("Trg_EXT_xyz"));
+    EXPECT_FALSE(taxonomy.parseCategory("Foo_BAR_baz"));
+    EXPECT_FALSE(taxonomy.parseCategory(""));
+    EXPECT_FALSE(taxonomy.parseClass("Trg_XXX"));
+}
+
+TEST(Taxonomy, AllCodesUniqueAndParseable)
+{
+    const Taxonomy &taxonomy = Taxonomy::instance();
+    std::set<std::string> codes;
+    for (const AbstractCategory &cat : taxonomy.categories()) {
+        EXPECT_TRUE(codes.insert(cat.code).second)
+            << "duplicate " << cat.code;
+        auto parsed = taxonomy.parseCategory(cat.code);
+        ASSERT_TRUE(parsed);
+        EXPECT_EQ(*parsed, cat.id);
+        EXPECT_FALSE(cat.description.empty());
+    }
+}
+
+TEST(Taxonomy, PaperExampleCategoriesExist)
+{
+    // Categories named in the running examples of the paper.
+    const Taxonomy &taxonomy = Taxonomy::instance();
+    for (const char *code :
+         {"Trg_FEA_fpu", "Ctx_PRV_rea", "Eff_HNG_unp",
+          "Trg_POW_pwc", "Trg_POW_tht", "Trg_FEA_dbg",
+          "Trg_PRV_vmt", "Trg_EXT_pci", "Trg_EXT_ram",
+          "Eff_CRP_prf", "Eff_FLT_fsp", "Eff_CRP_reg"}) {
+        EXPECT_TRUE(taxonomy.parseCategory(code)) << code;
+    }
+}
+
+// ---- CategorySet ----------------------------------------------------
+
+TEST(CategorySet, InsertEraseContains)
+{
+    CategorySet set;
+    EXPECT_TRUE(set.empty());
+    set.insert(3);
+    set.insert(59);
+    EXPECT_TRUE(set.contains(3));
+    EXPECT_TRUE(set.contains(59));
+    EXPECT_FALSE(set.contains(4));
+    EXPECT_EQ(set.size(), 2u);
+    set.erase(3);
+    EXPECT_FALSE(set.contains(3));
+    EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(CategorySet, SetOperations)
+{
+    CategorySet a, b;
+    a.insert(1);
+    a.insert(2);
+    b.insert(2);
+    b.insert(3);
+    CategorySet u = a | b;
+    CategorySet i = a & b;
+    EXPECT_EQ(u.size(), 3u);
+    EXPECT_EQ(i.size(), 1u);
+    EXPECT_TRUE(i.contains(2));
+}
+
+TEST(CategorySet, ToVectorSorted)
+{
+    CategorySet set;
+    set.insert(40);
+    set.insert(2);
+    set.insert(17);
+    EXPECT_EQ(set.toVector(),
+              (std::vector<CategoryId>{2, 17, 40}));
+}
+
+TEST(CategorySet, FilterAxis)
+{
+    const Taxonomy &taxonomy = Taxonomy::instance();
+    CategorySet set;
+    set.insert(*taxonomy.parseCategory("Trg_EXT_rst"));
+    set.insert(*taxonomy.parseCategory("Ctx_PRV_vmg"));
+    set.insert(*taxonomy.parseCategory("Eff_HNG_hng"));
+
+    EXPECT_EQ(set.filterAxis(Axis::Trigger).size(), 1u);
+    EXPECT_EQ(set.filterAxis(Axis::Context).size(), 1u);
+    EXPECT_EQ(set.filterAxis(Axis::Effect).size(), 1u);
+    EXPECT_TRUE(set.filterAxis(Axis::Trigger)
+                    .contains(*taxonomy.parseCategory(
+                        "Trg_EXT_rst")));
+}
+
+TEST(CategorySet, CoveredClasses)
+{
+    const Taxonomy &taxonomy = Taxonomy::instance();
+    CategorySet set;
+    set.insert(*taxonomy.parseCategory("Trg_EXT_rst"));
+    set.insert(*taxonomy.parseCategory("Trg_EXT_pci"));
+    set.insert(*taxonomy.parseCategory("Trg_POW_tht"));
+    auto classes = set.coveredClasses();
+    EXPECT_EQ(classes.size(), 2u);
+}
+
+TEST(CategorySet, Equality)
+{
+    CategorySet a, b;
+    a.insert(5);
+    b.insert(5);
+    EXPECT_EQ(a, b);
+    b.insert(6);
+    EXPECT_NE(a, b);
+}
+
+/** Sweep: every abstract category round-trips through its code. */
+class CategoryRoundTrip
+    : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CategoryRoundTrip, CodeParsesToSameId)
+{
+    const Taxonomy &taxonomy = Taxonomy::instance();
+    CategoryId id = static_cast<CategoryId>(GetParam());
+    const AbstractCategory &cat = taxonomy.categoryById(id);
+    auto parsed = taxonomy.parseCategory(cat.code);
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(*parsed, id);
+    // The class prefix is consistent.
+    const CategoryClass &cls = taxonomy.classById(cat.classId);
+    EXPECT_EQ(cat.code.substr(0, cls.code.size()), cls.code);
+    EXPECT_EQ(cls.axis, cat.axis);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCategories, CategoryRoundTrip,
+                         ::testing::Range(0, 60));
+
+} // namespace
+} // namespace rememberr

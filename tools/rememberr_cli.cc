@@ -1,0 +1,19 @@
+/**
+ * @file
+ * The rememberr command-line tool. All logic lives in
+ * src/cli/commands.cc so it can be unit-tested; this file only
+ * forwards argv.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    return rememberr::cli::runCli(args, std::cout, std::cerr);
+}
