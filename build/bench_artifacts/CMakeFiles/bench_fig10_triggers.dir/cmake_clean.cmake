@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_triggers"
+  "../bench/bench_fig10_triggers.pdb"
+  "CMakeFiles/bench_fig10_triggers.dir/bench_fig10_triggers.cc.o"
+  "CMakeFiles/bench_fig10_triggers.dir/bench_fig10_triggers.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_triggers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

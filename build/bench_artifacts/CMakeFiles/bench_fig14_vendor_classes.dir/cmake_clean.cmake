@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_vendor_classes"
+  "../bench/bench_fig14_vendor_classes.pdb"
+  "CMakeFiles/bench_fig14_vendor_classes.dir/bench_fig14_vendor_classes.cc.o"
+  "CMakeFiles/bench_fig14_vendor_classes.dir/bench_fig14_vendor_classes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_vendor_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

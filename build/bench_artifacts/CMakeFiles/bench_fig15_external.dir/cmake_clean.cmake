@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_external"
+  "../bench/bench_fig15_external.pdb"
+  "CMakeFiles/bench_fig15_external.dir/bench_fig15_external.cc.o"
+  "CMakeFiles/bench_fig15_external.dir/bench_fig15_external.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_external.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

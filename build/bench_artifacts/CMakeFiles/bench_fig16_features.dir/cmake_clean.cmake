@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_features"
+  "../bench/bench_fig16_features.pdb"
+  "CMakeFiles/bench_fig16_features.dir/bench_fig16_features.cc.o"
+  "CMakeFiles/bench_fig16_features.dir/bench_fig16_features.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig17_contexts"
+  "../bench/bench_fig17_contexts.pdb"
+  "CMakeFiles/bench_fig17_contexts.dir/bench_fig17_contexts.cc.o"
+  "CMakeFiles/bench_fig17_contexts.dir/bench_fig17_contexts.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_contexts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

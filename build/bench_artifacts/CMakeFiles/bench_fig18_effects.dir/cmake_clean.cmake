@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig18_effects"
+  "../bench/bench_fig18_effects.pdb"
+  "CMakeFiles/bench_fig18_effects.dir/bench_fig18_effects.cc.o"
+  "CMakeFiles/bench_fig18_effects.dir/bench_fig18_effects.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_effects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

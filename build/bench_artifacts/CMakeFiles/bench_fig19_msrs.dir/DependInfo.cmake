@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig19_msrs.cc" "bench_artifacts/CMakeFiles/bench_fig19_msrs.dir/bench_fig19_msrs.cc.o" "gcc" "bench_artifacts/CMakeFiles/bench_fig19_msrs.dir/bench_fig19_msrs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench_artifacts/CMakeFiles/rememberr_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rememberr.dir/DependInfo.cmake"
+  "/root/repo/build/src/document/CMakeFiles/rememberr_document.dir/DependInfo.cmake"
+  "/root/repo/build/src/guidance/CMakeFiles/rememberr_guidance.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/rememberr_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/rememberr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/rememberr_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/rememberr_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/dedup/CMakeFiles/rememberr_dedup.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/rememberr_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/rememberr_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/taxonomy/CMakeFiles/rememberr_taxonomy.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/rememberr_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rememberr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig19_msrs"
+  "../bench/bench_fig19_msrs.pdb"
+  "CMakeFiles/bench_fig19_msrs.dir/bench_fig19_msrs.cc.o"
+  "CMakeFiles/bench_fig19_msrs.dir/bench_fig19_msrs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_msrs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_timeline"
+  "../bench/bench_fig2_timeline.pdb"
+  "CMakeFiles/bench_fig2_timeline.dir/bench_fig2_timeline.cc.o"
+  "CMakeFiles/bench_fig2_timeline.dir/bench_fig2_timeline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

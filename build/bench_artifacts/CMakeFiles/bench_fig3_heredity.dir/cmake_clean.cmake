@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_heredity"
+  "../bench/bench_fig3_heredity.pdb"
+  "CMakeFiles/bench_fig3_heredity.dir/bench_fig3_heredity.cc.o"
+  "CMakeFiles/bench_fig3_heredity.dir/bench_fig3_heredity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_heredity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_shared"
+  "../bench/bench_fig4_shared.pdb"
+  "CMakeFiles/bench_fig4_shared.dir/bench_fig4_shared.cc.o"
+  "CMakeFiles/bench_fig4_shared.dir/bench_fig4_shared.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_shared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_latent"
+  "../bench/bench_fig5_latent.pdb"
+  "CMakeFiles/bench_fig5_latent.dir/bench_fig5_latent.cc.o"
+  "CMakeFiles/bench_fig5_latent.dir/bench_fig5_latent.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_latent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

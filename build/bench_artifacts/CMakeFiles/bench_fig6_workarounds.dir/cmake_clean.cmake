@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_workarounds"
+  "../bench/bench_fig6_workarounds.pdb"
+  "CMakeFiles/bench_fig6_workarounds.dir/bench_fig6_workarounds.cc.o"
+  "CMakeFiles/bench_fig6_workarounds.dir/bench_fig6_workarounds.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_workarounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

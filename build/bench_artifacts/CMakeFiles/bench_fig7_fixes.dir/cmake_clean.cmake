@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_fixes"
+  "../bench/bench_fig7_fixes.pdb"
+  "CMakeFiles/bench_fig7_fixes.dir/bench_fig7_fixes.cc.o"
+  "CMakeFiles/bench_fig7_fixes.dir/bench_fig7_fixes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_fixes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

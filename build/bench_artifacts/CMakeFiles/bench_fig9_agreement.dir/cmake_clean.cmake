@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_agreement"
+  "../bench/bench_fig9_agreement.pdb"
+  "CMakeFiles/bench_fig9_agreement.dir/bench_fig9_agreement.cc.o"
+  "CMakeFiles/bench_fig9_agreement.dir/bench_fig9_agreement.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_agreement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

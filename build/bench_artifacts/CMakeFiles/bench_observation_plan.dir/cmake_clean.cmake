@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_observation_plan"
+  "../bench/bench_observation_plan.pdb"
+  "CMakeFiles/bench_observation_plan.dir/bench_observation_plan.cc.o"
+  "CMakeFiles/bench_observation_plan.dir/bench_observation_plan.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_observation_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

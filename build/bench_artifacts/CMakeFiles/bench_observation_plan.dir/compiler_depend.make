@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_observation_plan.
+# This may be replaced when dependencies are built.

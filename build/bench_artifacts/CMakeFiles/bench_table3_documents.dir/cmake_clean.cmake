@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_documents"
+  "../bench/bench_table3_documents.pdb"
+  "CMakeFiles/bench_table3_documents.dir/bench_table3_documents.cc.o"
+  "CMakeFiles/bench_table3_documents.dir/bench_table3_documents.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_documents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table7_format"
+  "../bench/bench_table7_format.pdb"
+  "CMakeFiles/bench_table7_format.dir/bench_table7_format.cc.o"
+  "CMakeFiles/bench_table7_format.dir/bench_table7_format.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

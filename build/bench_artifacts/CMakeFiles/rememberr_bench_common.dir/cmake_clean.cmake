@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rememberr_bench_common.dir/common.cc.o"
+  "CMakeFiles/rememberr_bench_common.dir/common.cc.o.d"
+  "librememberr_bench_common.a"
+  "librememberr_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rememberr_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annotate_assist.dir/annotate_assist.cpp.o"
+  "CMakeFiles/annotate_assist.dir/annotate_assist.cpp.o.d"
+  "annotate_assist"
+  "annotate_assist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annotate_assist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_isa.dir/cross_isa.cpp.o"
+  "CMakeFiles/cross_isa.dir/cross_isa.cpp.o.d"
+  "cross_isa"
+  "cross_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

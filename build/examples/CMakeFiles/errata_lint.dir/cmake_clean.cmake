@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/errata_lint.dir/errata_lint.cpp.o"
+  "CMakeFiles/errata_lint.dir/errata_lint.cpp.o.d"
+  "errata_lint"
+  "errata_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/errata_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testing_guidance.dir/testing_guidance.cpp.o"
+  "CMakeFiles/testing_guidance.dir/testing_guidance.cpp.o.d"
+  "testing_guidance"
+  "testing_guidance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testing_guidance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("text")
+subdirs("taxonomy")
+subdirs("model")
+subdirs("document")
+subdirs("corpus")
+subdirs("dedup")
+subdirs("classify")
+subdirs("db")
+subdirs("analysis")
+subdirs("guidance")
+subdirs("report")
+subdirs("core")
+subdirs("cli")

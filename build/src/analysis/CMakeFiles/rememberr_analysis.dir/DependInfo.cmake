@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/correlation.cc" "src/analysis/CMakeFiles/rememberr_analysis.dir/correlation.cc.o" "gcc" "src/analysis/CMakeFiles/rememberr_analysis.dir/correlation.cc.o.d"
+  "/root/repo/src/analysis/criticality.cc" "src/analysis/CMakeFiles/rememberr_analysis.dir/criticality.cc.o" "gcc" "src/analysis/CMakeFiles/rememberr_analysis.dir/criticality.cc.o.d"
+  "/root/repo/src/analysis/evolution.cc" "src/analysis/CMakeFiles/rememberr_analysis.dir/evolution.cc.o" "gcc" "src/analysis/CMakeFiles/rememberr_analysis.dir/evolution.cc.o.d"
+  "/root/repo/src/analysis/frequency.cc" "src/analysis/CMakeFiles/rememberr_analysis.dir/frequency.cc.o" "gcc" "src/analysis/CMakeFiles/rememberr_analysis.dir/frequency.cc.o.d"
+  "/root/repo/src/analysis/heredity.cc" "src/analysis/CMakeFiles/rememberr_analysis.dir/heredity.cc.o" "gcc" "src/analysis/CMakeFiles/rememberr_analysis.dir/heredity.cc.o.d"
+  "/root/repo/src/analysis/msr.cc" "src/analysis/CMakeFiles/rememberr_analysis.dir/msr.cc.o" "gcc" "src/analysis/CMakeFiles/rememberr_analysis.dir/msr.cc.o.d"
+  "/root/repo/src/analysis/stats.cc" "src/analysis/CMakeFiles/rememberr_analysis.dir/stats.cc.o" "gcc" "src/analysis/CMakeFiles/rememberr_analysis.dir/stats.cc.o.d"
+  "/root/repo/src/analysis/timeline.cc" "src/analysis/CMakeFiles/rememberr_analysis.dir/timeline.cc.o" "gcc" "src/analysis/CMakeFiles/rememberr_analysis.dir/timeline.cc.o.d"
+  "/root/repo/src/analysis/vendorcmp.cc" "src/analysis/CMakeFiles/rememberr_analysis.dir/vendorcmp.cc.o" "gcc" "src/analysis/CMakeFiles/rememberr_analysis.dir/vendorcmp.cc.o.d"
+  "/root/repo/src/analysis/workfix.cc" "src/analysis/CMakeFiles/rememberr_analysis.dir/workfix.cc.o" "gcc" "src/analysis/CMakeFiles/rememberr_analysis.dir/workfix.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/rememberr_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/rememberr_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/taxonomy/CMakeFiles/rememberr_taxonomy.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/rememberr_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rememberr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/rememberr_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/dedup/CMakeFiles/rememberr_dedup.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/rememberr_corpus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

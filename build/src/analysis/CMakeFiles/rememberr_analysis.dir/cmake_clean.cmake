@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rememberr_analysis.dir/correlation.cc.o"
+  "CMakeFiles/rememberr_analysis.dir/correlation.cc.o.d"
+  "CMakeFiles/rememberr_analysis.dir/criticality.cc.o"
+  "CMakeFiles/rememberr_analysis.dir/criticality.cc.o.d"
+  "CMakeFiles/rememberr_analysis.dir/evolution.cc.o"
+  "CMakeFiles/rememberr_analysis.dir/evolution.cc.o.d"
+  "CMakeFiles/rememberr_analysis.dir/frequency.cc.o"
+  "CMakeFiles/rememberr_analysis.dir/frequency.cc.o.d"
+  "CMakeFiles/rememberr_analysis.dir/heredity.cc.o"
+  "CMakeFiles/rememberr_analysis.dir/heredity.cc.o.d"
+  "CMakeFiles/rememberr_analysis.dir/msr.cc.o"
+  "CMakeFiles/rememberr_analysis.dir/msr.cc.o.d"
+  "CMakeFiles/rememberr_analysis.dir/stats.cc.o"
+  "CMakeFiles/rememberr_analysis.dir/stats.cc.o.d"
+  "CMakeFiles/rememberr_analysis.dir/timeline.cc.o"
+  "CMakeFiles/rememberr_analysis.dir/timeline.cc.o.d"
+  "CMakeFiles/rememberr_analysis.dir/vendorcmp.cc.o"
+  "CMakeFiles/rememberr_analysis.dir/vendorcmp.cc.o.d"
+  "CMakeFiles/rememberr_analysis.dir/workfix.cc.o"
+  "CMakeFiles/rememberr_analysis.dir/workfix.cc.o.d"
+  "librememberr_analysis.a"
+  "librememberr_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rememberr_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/classify/engine.cc" "src/classify/CMakeFiles/rememberr_classify.dir/engine.cc.o" "gcc" "src/classify/CMakeFiles/rememberr_classify.dir/engine.cc.o.d"
+  "/root/repo/src/classify/foureyes.cc" "src/classify/CMakeFiles/rememberr_classify.dir/foureyes.cc.o" "gcc" "src/classify/CMakeFiles/rememberr_classify.dir/foureyes.cc.o.d"
+  "/root/repo/src/classify/highlight.cc" "src/classify/CMakeFiles/rememberr_classify.dir/highlight.cc.o" "gcc" "src/classify/CMakeFiles/rememberr_classify.dir/highlight.cc.o.d"
+  "/root/repo/src/classify/rules.cc" "src/classify/CMakeFiles/rememberr_classify.dir/rules.cc.o" "gcc" "src/classify/CMakeFiles/rememberr_classify.dir/rules.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/corpus/CMakeFiles/rememberr_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/rememberr_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/taxonomy/CMakeFiles/rememberr_taxonomy.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/rememberr_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rememberr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rememberr_classify.dir/engine.cc.o"
+  "CMakeFiles/rememberr_classify.dir/engine.cc.o.d"
+  "CMakeFiles/rememberr_classify.dir/foureyes.cc.o"
+  "CMakeFiles/rememberr_classify.dir/foureyes.cc.o.d"
+  "CMakeFiles/rememberr_classify.dir/highlight.cc.o"
+  "CMakeFiles/rememberr_classify.dir/highlight.cc.o.d"
+  "CMakeFiles/rememberr_classify.dir/rules.cc.o"
+  "CMakeFiles/rememberr_classify.dir/rules.cc.o.d"
+  "librememberr_classify.a"
+  "librememberr_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rememberr_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

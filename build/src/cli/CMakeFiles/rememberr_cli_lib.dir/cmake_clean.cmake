@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rememberr_cli_lib.dir/commands.cc.o"
+  "CMakeFiles/rememberr_cli_lib.dir/commands.cc.o.d"
+  "librememberr_cli_lib.a"
+  "librememberr_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rememberr_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rememberr.dir/pipeline.cc.o"
+  "CMakeFiles/rememberr.dir/pipeline.cc.o.d"
+  "librememberr.a"
+  "librememberr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rememberr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rememberr_corpus.dir/calibration.cc.o"
+  "CMakeFiles/rememberr_corpus.dir/calibration.cc.o.d"
+  "CMakeFiles/rememberr_corpus.dir/corpus.cc.o"
+  "CMakeFiles/rememberr_corpus.dir/corpus.cc.o.d"
+  "CMakeFiles/rememberr_corpus.dir/generator.cc.o"
+  "CMakeFiles/rememberr_corpus.dir/generator.cc.o.d"
+  "CMakeFiles/rememberr_corpus.dir/phrasebank.cc.o"
+  "CMakeFiles/rememberr_corpus.dir/phrasebank.cc.o.d"
+  "librememberr_corpus.a"
+  "librememberr_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rememberr_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rememberr_db.dir/database.cc.o"
+  "CMakeFiles/rememberr_db.dir/database.cc.o.d"
+  "CMakeFiles/rememberr_db.dir/query.cc.o"
+  "CMakeFiles/rememberr_db.dir/query.cc.o.d"
+  "librememberr_db.a"
+  "librememberr_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rememberr_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

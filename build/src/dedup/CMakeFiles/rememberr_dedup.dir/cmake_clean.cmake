@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rememberr_dedup.dir/dedup.cc.o"
+  "CMakeFiles/rememberr_dedup.dir/dedup.cc.o.d"
+  "librememberr_dedup.a"
+  "librememberr_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rememberr_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

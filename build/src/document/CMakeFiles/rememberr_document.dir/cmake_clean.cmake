@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rememberr_document.dir/format.cc.o"
+  "CMakeFiles/rememberr_document.dir/format.cc.o.d"
+  "CMakeFiles/rememberr_document.dir/lint.cc.o"
+  "CMakeFiles/rememberr_document.dir/lint.cc.o.d"
+  "librememberr_document.a"
+  "librememberr_document.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rememberr_document.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rememberr_guidance.dir/guidance.cc.o"
+  "CMakeFiles/rememberr_guidance.dir/guidance.cc.o.d"
+  "librememberr_guidance.a"
+  "librememberr_guidance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rememberr_guidance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rememberr_model.dir/erratum.cc.o"
+  "CMakeFiles/rememberr_model.dir/erratum.cc.o.d"
+  "CMakeFiles/rememberr_model.dir/types.cc.o"
+  "CMakeFiles/rememberr_model.dir/types.cc.o.d"
+  "librememberr_model.a"
+  "librememberr_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rememberr_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librememberr_model.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rememberr_report.dir/chart.cc.o"
+  "CMakeFiles/rememberr_report.dir/chart.cc.o.d"
+  "CMakeFiles/rememberr_report.dir/svg.cc.o"
+  "CMakeFiles/rememberr_report.dir/svg.cc.o.d"
+  "CMakeFiles/rememberr_report.dir/table.cc.o"
+  "CMakeFiles/rememberr_report.dir/table.cc.o.d"
+  "librememberr_report.a"
+  "librememberr_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rememberr_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librememberr_report.a"
+)

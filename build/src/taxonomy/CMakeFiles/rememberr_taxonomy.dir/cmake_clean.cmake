@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rememberr_taxonomy.dir/taxonomy.cc.o"
+  "CMakeFiles/rememberr_taxonomy.dir/taxonomy.cc.o.d"
+  "librememberr_taxonomy.a"
+  "librememberr_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rememberr_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

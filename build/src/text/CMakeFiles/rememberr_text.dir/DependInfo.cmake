@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/ngram_index.cc" "src/text/CMakeFiles/rememberr_text.dir/ngram_index.cc.o" "gcc" "src/text/CMakeFiles/rememberr_text.dir/ngram_index.cc.o.d"
+  "/root/repo/src/text/regex.cc" "src/text/CMakeFiles/rememberr_text.dir/regex.cc.o" "gcc" "src/text/CMakeFiles/rememberr_text.dir/regex.cc.o.d"
+  "/root/repo/src/text/similarity.cc" "src/text/CMakeFiles/rememberr_text.dir/similarity.cc.o" "gcc" "src/text/CMakeFiles/rememberr_text.dir/similarity.cc.o.d"
+  "/root/repo/src/text/tokenize.cc" "src/text/CMakeFiles/rememberr_text.dir/tokenize.cc.o" "gcc" "src/text/CMakeFiles/rememberr_text.dir/tokenize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rememberr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rememberr_text.dir/ngram_index.cc.o"
+  "CMakeFiles/rememberr_text.dir/ngram_index.cc.o.d"
+  "CMakeFiles/rememberr_text.dir/regex.cc.o"
+  "CMakeFiles/rememberr_text.dir/regex.cc.o.d"
+  "CMakeFiles/rememberr_text.dir/similarity.cc.o"
+  "CMakeFiles/rememberr_text.dir/similarity.cc.o.d"
+  "CMakeFiles/rememberr_text.dir/tokenize.cc.o"
+  "CMakeFiles/rememberr_text.dir/tokenize.cc.o.d"
+  "librememberr_text.a"
+  "librememberr_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rememberr_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rememberr_util.dir/csv.cc.o"
+  "CMakeFiles/rememberr_util.dir/csv.cc.o.d"
+  "CMakeFiles/rememberr_util.dir/date.cc.o"
+  "CMakeFiles/rememberr_util.dir/date.cc.o.d"
+  "CMakeFiles/rememberr_util.dir/json.cc.o"
+  "CMakeFiles/rememberr_util.dir/json.cc.o.d"
+  "CMakeFiles/rememberr_util.dir/logging.cc.o"
+  "CMakeFiles/rememberr_util.dir/logging.cc.o.d"
+  "CMakeFiles/rememberr_util.dir/rng.cc.o"
+  "CMakeFiles/rememberr_util.dir/rng.cc.o.d"
+  "CMakeFiles/rememberr_util.dir/strings.cc.o"
+  "CMakeFiles/rememberr_util.dir/strings.cc.o.d"
+  "librememberr_util.a"
+  "librememberr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rememberr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

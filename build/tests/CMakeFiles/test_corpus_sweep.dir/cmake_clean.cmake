@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_corpus_sweep.dir/test_corpus_sweep.cc.o"
+  "CMakeFiles/test_corpus_sweep.dir/test_corpus_sweep.cc.o.d"
+  "test_corpus_sweep"
+  "test_corpus_sweep.pdb"
+  "test_corpus_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_corpus_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_date.dir/test_date.cc.o"
+  "CMakeFiles/test_date.dir/test_date.cc.o.d"
+  "test_date"
+  "test_date.pdb"
+  "test_date[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_date.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

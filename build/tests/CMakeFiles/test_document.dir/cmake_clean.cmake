@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_document.dir/test_document.cc.o"
+  "CMakeFiles/test_document.dir/test_document.cc.o.d"
+  "test_document"
+  "test_document.pdb"
+  "test_document[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_document.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_guidance.dir/test_guidance.cc.o"
+  "CMakeFiles/test_guidance.dir/test_guidance.cc.o.d"
+  "test_guidance"
+  "test_guidance.pdb"
+  "test_guidance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_guidance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_regex_differential.dir/test_regex_differential.cc.o"
+  "CMakeFiles/test_regex_differential.dir/test_regex_differential.cc.o.d"
+  "test_regex_differential"
+  "test_regex_differential.pdb"
+  "test_regex_differential[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_regex_differential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

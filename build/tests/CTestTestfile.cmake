@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_classify[1]_include.cmake")
+include("/root/repo/build/tests/test_cli[1]_include.cmake")
+include("/root/repo/build/tests/test_corpus[1]_include.cmake")
+include("/root/repo/build/tests/test_corpus_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_criticality[1]_include.cmake")
+include("/root/repo/build/tests/test_csv[1]_include.cmake")
+include("/root/repo/build/tests/test_date[1]_include.cmake")
+include("/root/repo/build/tests/test_db[1]_include.cmake")
+include("/root/repo/build/tests/test_dedup[1]_include.cmake")
+include("/root/repo/build/tests/test_document[1]_include.cmake")
+include("/root/repo/build/tests/test_guidance[1]_include.cmake")
+include("/root/repo/build/tests/test_lint[1]_include.cmake")
+include("/root/repo/build/tests/test_json[1]_include.cmake")
+include("/root/repo/build/tests/test_model[1]_include.cmake")
+include("/root/repo/build/tests/test_parser_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_regex[1]_include.cmake")
+include("/root/repo/build/tests/test_regex_differential[1]_include.cmake")
+include("/root/repo/build/tests/test_report[1]_include.cmake")
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_strings[1]_include.cmake")
+include("/root/repo/build/tests/test_taxonomy[1]_include.cmake")
+include("/root/repo/build/tests/test_text[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rememberr_cli.dir/rememberr_cli.cc.o"
+  "CMakeFiles/rememberr_cli.dir/rememberr_cli.cc.o.d"
+  "rememberr_cli"
+  "rememberr_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rememberr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
