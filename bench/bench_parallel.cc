@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Serial-vs-parallel wall time for the pipeline's hot stages
+ * (dedup candidate generation + the classification prefilter) on
+ * the generated corpus, plus an equivalence check: the parallel
+ * executor (src/util/parallel.hh) must reproduce the serial results
+ * bit-identically at every thread count it speeds up.
+ */
+
+#include "common.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+
+#include "util/parallel.hh"
+
+namespace rememberr {
+namespace bench {
+namespace {
+
+void
+BM_DedupThreads(benchmark::State &state)
+{
+    const PipelineResult &result = pipeline();
+    DedupOptions options;
+    options.threads = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        DedupResult dedup =
+            deduplicate(result.corpus.documents, options);
+        benchmark::DoNotOptimize(dedup.clusters.size());
+    }
+}
+BENCHMARK(BM_DedupThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_DedupAllPairsThreads(benchmark::State &state)
+{
+    const PipelineResult &result = pipeline();
+    DedupOptions options;
+    options.useNgramIndex = false;
+    options.threads = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        DedupResult dedup =
+            deduplicate(result.corpus.documents, options);
+        benchmark::DoNotOptimize(dedup.clusters.size());
+    }
+}
+BENCHMARK(BM_DedupAllPairsThreads)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void
+BM_ClassifyThreads(benchmark::State &state)
+{
+    const PipelineResult &result = pipeline();
+    FourEyesOptions options;
+    options.threads = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        FourEyesResult annotations =
+            runFourEyes(result.corpus, options);
+        benchmark::DoNotOptimize(annotations.labelAccuracy);
+    }
+}
+BENCHMARK(BM_ClassifyThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+double
+wallMs(const std::function<void()> &fn)
+{
+    auto begin = std::chrono::steady_clock::now();
+    fn();
+    auto end = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(end - begin)
+        .count();
+}
+
+void
+printParallel()
+{
+    const PipelineResult &result = pipeline();
+    const std::size_t hardware = resolveThreadCount(0);
+    std::printf("parallel executor: %zu hardware thread(s) "
+                "available\n\n",
+                hardware);
+
+    struct Stage
+    {
+        const char *name;
+        std::function<void(std::size_t)> run;
+    };
+    const Stage stages[] = {
+        {"dedup (n-gram index)",
+         [&](std::size_t threads) {
+             DedupOptions options;
+             options.threads = threads;
+             benchmark::DoNotOptimize(
+                 deduplicate(result.corpus.documents, options));
+         }},
+        {"classification prefilter",
+         [&](std::size_t threads) {
+             FourEyesOptions options;
+             options.threads = threads;
+             benchmark::DoNotOptimize(
+                 runFourEyes(result.corpus, options));
+         }},
+    };
+
+    std::printf("%-26s %10s %10s %9s\n", "stage", "serial ms",
+                "4-thr ms", "speedup");
+    double serialTotal = 0.0;
+    double parallelTotal = 0.0;
+    for (const Stage &stage : stages) {
+        stage.run(1); // warm caches before timing
+        double serial = wallMs([&] { stage.run(1); });
+        double parallel = wallMs([&] { stage.run(4); });
+        serialTotal += serial;
+        parallelTotal += parallel;
+        std::printf("%-26s %10.1f %10.1f %8.2fx\n", stage.name,
+                    serial, parallel,
+                    parallel > 0.0 ? serial / parallel : 0.0);
+    }
+    std::printf("%-26s %10.1f %10.1f %8.2fx\n",
+                "dedup+classify total", serialTotal, parallelTotal,
+                parallelTotal > 0.0 ? serialTotal / parallelTotal
+                                    : 0.0);
+
+    // Equivalence: parallel output must be byte-identical.
+    DedupOptions serialDedup;
+    serialDedup.threads = 1;
+    DedupOptions parallelDedup;
+    parallelDedup.threads = 4;
+    bool dedupIdentical =
+        deduplicate(result.corpus.documents, serialDedup)
+                .keyByDoc ==
+        deduplicate(result.corpus.documents, parallelDedup)
+            .keyByDoc;
+    std::printf("\nequivalence: parallel cluster keys %s serial "
+                "ones\n",
+                dedupIdentical ? "match" : "DIVERGE FROM");
+    if (hardware < 4) {
+        std::printf("note: fewer than 4 hardware threads — "
+                    "speedups above are bounded by the host, not "
+                    "the executor\n");
+    }
+}
+
+} // namespace
+} // namespace bench
+} // namespace rememberr
+
+REMEMBERR_BENCH_MAIN(rememberr::bench::printParallel)

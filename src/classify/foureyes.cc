@@ -2,6 +2,7 @@
 
 #include "engine.hh"
 #include "util/logging.hh"
+#include "util/parallel.hh"
 #include "util/rng.hh"
 
 namespace rememberr {
@@ -60,6 +61,18 @@ runFourEyes(const Corpus &corpus, const FourEyesOptions &options)
     result.naiveDecisionsPerAnnotator =
         corpus.bugs.size() * taxonomy.categoryCount();
 
+    // The regex prefilter dominates the protocol's cost and each
+    // erratum is independent, so it runs up front across threads.
+    // The annotator loop below draws from sequential RNG streams and
+    // therefore stays serial, consuming the precomputed results in
+    // bug order — output is identical for every thread count.
+    std::vector<EngineResult> engineResults(corpus.bugs.size());
+    parallelFor(corpus.bugs.size(), options.threads,
+                [&](std::size_t i) {
+                    engineResults[i] = classifyErratum(
+                        representative(corpus.bugs[i]));
+                });
+
     std::size_t correctLabels = 0;
     std::size_t totalLabels = 0;
     std::size_t nextBug = 0;
@@ -79,8 +92,7 @@ runFourEyes(const Corpus &corpus, const FourEyesOptions &options)
             const BugSpec &bug = corpus.bugs[nextBug];
             const CategorySet truth = groundTruth(bug);
 
-            EngineResult engine =
-                classifyErratum(representative(bug));
+            const EngineResult &engine = engineResults[nextBug];
 
             AnnotatedBug annotation;
             annotation.bugKey = bug.bugKey;

@@ -44,6 +44,14 @@ struct FourEyesOptions
      * invent). */
     double missFactor = 1.3;
     double inventFactor = 0.8;
+    /**
+     * Worker threads for the regex prefilter (0 = all hardware
+     * threads, 1 = serial). Only the per-erratum engine runs is
+     * parallel; the stochastic annotator protocol consumes the
+     * precomputed results in bug order, so annotations are
+     * bit-identical for every thread count.
+     */
+    std::size_t threads = 1;
 };
 
 /** Per-step protocol statistics. */

@@ -1,5 +1,6 @@
 #include "commands.hh"
 
+#include <cerrno>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -75,12 +76,18 @@ std::optional<long>
 ArgList::intOption(const std::string &name) const
 {
     auto text = option(name);
-    if (!text)
+    // An empty value must be rejected explicitly: strtol("") leaves
+    // end at the start of the string, where *end == '\0' would pass
+    // the trailing-junk check and silently yield 0.
+    if (!text || text->empty())
         return std::nullopt;
+    errno = 0;
     char *end = nullptr;
     long value = std::strtol(text->c_str(), &end, 10);
-    if (end == nullptr || *end != '\0')
+    if (end == text->c_str() || *end != '\0')
         return std::nullopt;
+    if (errno == ERANGE)
+        return std::nullopt; // saturated at LONG_MIN/LONG_MAX
     return value;
 }
 
@@ -112,7 +119,10 @@ usageText()
            "figure (SVG)\n"
            "\n"
            "common options:\n"
-           "  --seed N                    corpus generator seed\n";
+           "  --seed N                    corpus generator seed\n"
+           "  --threads N                 pipeline worker threads "
+           "(default 1;\n"
+           "                              0 = all hardware threads)\n";
 }
 
 namespace {
@@ -129,7 +139,11 @@ buildPipeline(const ArgList &args)
     PipelineOptions options;
     if (auto seed = args.intOption("seed"))
         options.generator.seed = static_cast<std::uint64_t>(*seed);
+    if (auto threads = args.intOption("threads"))
+        options.threads = static_cast<std::size_t>(*threads);
 
+    // The cache is keyed by seed alone: the parallel stages merge
+    // deterministically, so the thread count never changes results.
     static std::map<std::uint64_t, PipelineResult> cache;
     auto it = cache.find(options.generator.seed);
     if (it == cache.end()) {
@@ -520,6 +534,36 @@ cmdFigures(const ArgList &args, std::ostream &out,
     return 0;
 }
 
+/**
+ * Validate every numeric option up front so a malformed, empty or
+ * out-of-range value fails fast with a message instead of being
+ * silently treated as absent (and replaced by the default).
+ */
+int
+checkIntOptions(const ArgList &args, std::ostream &err)
+{
+    static constexpr const char *intOptions[] = {
+        "seed", "limit", "min-triggers", "pairs", "count",
+        "threads"};
+    for (const char *name : intOptions) {
+        auto text = args.option(name);
+        if (!text)
+            continue;
+        auto value = args.intOption(name);
+        if (!value) {
+            err << "invalid integer '" << *text << "' for --"
+                << name << "\n";
+            return 2;
+        }
+        if (*value < 0) {
+            err << "--" << name << " must be non-negative, got "
+                << *value << "\n";
+            return 2;
+        }
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -534,6 +578,8 @@ runCli(const std::vector<std::string> &args, std::ostream &out,
         err << usageText();
         return command.empty() ? 2 : 0;
     }
+    if (int rc = checkIntOptions(parsed, err))
+        return rc;
     if (command == "stats")
         return cmdStats(parsed, out);
     if (command == "generate")

@@ -2,6 +2,7 @@
 
 #include "document/format.hh"
 #include "util/logging.hh"
+#include "util/parallel.hh"
 
 namespace rememberr {
 
@@ -12,36 +13,55 @@ runPipeline(const PipelineOptions &options)
 
     // 1. Acquire.
     result.corpus = CorpusGenerator(options.generator).generate();
+    std::vector<ErrataDocument> &documents =
+        result.corpus.documents;
 
-    // 2. Parse (round-trip through the text format).
+    // 2. Parse (round-trip through the text format). Documents
+    // render and re-parse independently; failures are collected per
+    // slot and reported after the join so the panic message does not
+    // depend on thread scheduling.
     if (options.roundTripDocuments) {
-        for (ErrataDocument &document : result.corpus.documents) {
-            std::string rendered = renderDocument(document);
-            auto parsed = parseDocument(rendered);
-            if (!parsed) {
+        std::vector<std::string> parseErrors(documents.size());
+        parallelFor(documents.size(), options.threads,
+                    [&](std::size_t d) {
+                        auto parsed = parseDocument(
+                            renderDocument(documents[d]));
+                        if (!parsed) {
+                            parseErrors[d] =
+                                parsed.error().toString();
+                            return;
+                        }
+                        documents[d] = std::move(parsed.value());
+                    });
+        for (std::size_t d = 0; d < documents.size(); ++d) {
+            if (!parseErrors[d].empty()) {
                 REMEMBERR_PANIC("pipeline: document ",
-                                document.design.name,
+                                documents[d].design.name,
                                 " failed to re-parse: ",
-                                parsed.error().toString());
+                                parseErrors[d]);
             }
-            document = std::move(parsed.value());
         }
     }
 
     if (options.lint) {
-        for (const ErrataDocument &document :
-             result.corpus.documents) {
-            result.lintFindings.push_back(lintDocument(document));
-        }
+        result.lintFindings.resize(documents.size());
+        parallelFor(documents.size(), options.threads,
+                    [&](std::size_t d) {
+                        result.lintFindings[d] =
+                            lintDocument(documents[d]);
+                    });
     }
 
     // 3. Deduplicate.
-    result.dedup =
-        deduplicate(result.corpus.documents, options.dedup);
+    DedupOptions dedupOptions = options.dedup;
+    dedupOptions.threads = options.threads;
+    result.dedup = deduplicate(documents, dedupOptions);
 
     // 4. Classify.
+    FourEyesOptions foureyesOptions = options.foureyes;
+    foureyesOptions.threads = options.threads;
     result.annotations =
-        runFourEyes(result.corpus, options.foureyes);
+        runFourEyes(result.corpus, foureyesOptions);
 
     // 5. Assemble.
     result.database = Database::build(result.corpus, result.dedup,

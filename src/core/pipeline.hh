@@ -39,6 +39,14 @@ struct PipelineOptions
     bool roundTripDocuments = true;
     /** Run the linter over every document. */
     bool lint = true;
+    /**
+     * Worker threads for the parse, dedup and classify stages
+     * (0 = all hardware threads, 1 = serial). Propagated into
+     * DedupOptions/FourEyesOptions; every stage merges
+     * deterministically, so the pipeline result is bit-identical
+     * for any thread count.
+     */
+    std::size_t threads = 1;
 };
 
 /** Everything the pipeline produces. */

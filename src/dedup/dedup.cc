@@ -8,6 +8,7 @@
 #include "text/similarity.hh"
 #include "union_find.hh"
 #include "util/logging.hh"
+#include "util/parallel.hh"
 #include "util/strings.hh"
 
 namespace rememberr {
@@ -108,43 +109,80 @@ deduplicate(const std::vector<ErrataDocument> &documents,
         std::size_t b = 0;
         double similarity = 0.0;
     };
-    std::vector<Candidate> candidates;
 
+    // Candidate generation + similarity scoring is the hot loop and
+    // is read-only over rows/index, so it shards across threads by
+    // representative index. Partial candidate lists are concatenated
+    // in chunk order, which reproduces the serial append order
+    // exactly; the union-find below stays strictly serial.
+    struct CandidateShard
+    {
+        std::vector<Candidate> candidates;
+        std::size_t pairsConsidered = 0;
+    };
+    auto mergeShards = [](CandidateShard &acc, CandidateShard &&part) {
+        acc.candidates.insert(
+            acc.candidates.end(),
+            std::make_move_iterator(part.candidates.begin()),
+            std::make_move_iterator(part.candidates.end()));
+        acc.pairsConsidered += part.pairsConsidered;
+    };
+
+    CandidateShard generated;
     if (options.useNgramIndex) {
         NgramIndex index(3);
         for (std::size_t rep : reps)
             index.add(rows[rep].erratum->title);
-        for (std::size_t i = 0; i < reps.size(); ++i) {
-            auto hits = index.query(rows[reps[i]].erratum->title,
-                                    options.ngramMinOverlap,
-                                    static_cast<std::int64_t>(i));
-            for (const NgramCandidate &hit : hits) {
-                if (hit.docId <= i)
-                    continue; // count each unordered pair once
-                ++result.candidatePairsConsidered;
-                double sim = titleSimilarity(
-                    rows[reps[i]].erratum->title,
-                    rows[reps[hit.docId]].erratum->title);
-                if (sim >= options.reviewThreshold) {
-                    candidates.push_back(
-                        Candidate{reps[i], reps[hit.docId], sim});
+        generated = parallelMapReduce<CandidateShard>(
+            reps.size(), options.threads,
+            [&](std::size_t begin, std::size_t end) {
+                CandidateShard shard;
+                for (std::size_t i = begin; i < end; ++i) {
+                    auto hits = index.query(
+                        rows[reps[i]].erratum->title,
+                        options.ngramMinOverlap,
+                        static_cast<std::int64_t>(i));
+                    for (const NgramCandidate &hit : hits) {
+                        if (hit.docId <= i)
+                            continue; // count each unordered pair once
+                        ++shard.pairsConsidered;
+                        double sim = titleSimilarity(
+                            rows[reps[i]].erratum->title,
+                            rows[reps[hit.docId]].erratum->title);
+                        if (sim >= options.reviewThreshold) {
+                            shard.candidates.push_back(Candidate{
+                                reps[i], reps[hit.docId], sim});
+                        }
+                    }
                 }
-            }
-        }
+                return shard;
+            },
+            mergeShards);
     } else {
-        for (std::size_t i = 0; i < reps.size(); ++i) {
-            for (std::size_t j = i + 1; j < reps.size(); ++j) {
-                ++result.candidatePairsConsidered;
-                double sim =
-                    titleSimilarity(rows[reps[i]].erratum->title,
-                                    rows[reps[j]].erratum->title);
-                if (sim >= options.reviewThreshold) {
-                    candidates.push_back(
-                        Candidate{reps[i], reps[j], sim});
+        generated = parallelMapReduce<CandidateShard>(
+            reps.size(), options.threads,
+            [&](std::size_t begin, std::size_t end) {
+                CandidateShard shard;
+                for (std::size_t i = begin; i < end; ++i) {
+                    for (std::size_t j = i + 1; j < reps.size();
+                         ++j) {
+                        ++shard.pairsConsidered;
+                        double sim = titleSimilarity(
+                            rows[reps[i]].erratum->title,
+                            rows[reps[j]].erratum->title);
+                        if (sim >= options.reviewThreshold) {
+                            shard.candidates.push_back(
+                                Candidate{reps[i], reps[j], sim});
+                        }
+                    }
                 }
-            }
-        }
+                return shard;
+            },
+            mergeShards);
     }
+    std::vector<Candidate> candidates =
+        std::move(generated.candidates);
+    result.candidatePairsConsidered = generated.pairsConsidered;
 
     // Review in decreasing title similarity, as the paper did.
     std::sort(candidates.begin(), candidates.end(),

@@ -58,6 +58,13 @@ struct DedupOptions
      * identical up to canonicalization.
      */
     std::function<bool(const Erratum &, const Erratum &)> reviewOracle;
+    /**
+     * Worker threads for candidate generation + similarity scoring
+     * (0 = all hardware threads, 1 = serial). Results are
+     * bit-identical for every thread count: shards merge in index
+     * order and union-find merges stay serial.
+     */
+    std::size_t threads = 1;
 };
 
 /** Outcome of deduplication. */

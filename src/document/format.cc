@@ -1,5 +1,6 @@
 #include "format.hh"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 
@@ -234,6 +235,41 @@ parseDateField(const std::string &value, int line)
     return date;
 }
 
+/**
+ * Strictly parse a numeric field: the whole value must be one
+ * integer in [minValue, maxValue]. Malformed input ("abc", "12x",
+ * "", out-of-range) is a structured parse error with a line number
+ * — never a silent zero, which is exactly the "errata in errata"
+ * corruption class the linter exists to surface.
+ */
+Expected<long>
+parseIntField(const char *field, const std::string &value, int line,
+              long minValue, long maxValue, int base = 10)
+{
+    std::string trimmed = strings::trim(value);
+    if (trimmed.empty()) {
+        return makeError(std::string(field) +
+                             ": empty numeric field",
+                         line);
+    }
+    errno = 0;
+    char *end = nullptr;
+    long parsed = std::strtol(trimmed.c_str(), &end, base);
+    if (end != trimmed.c_str() + trimmed.size()) {
+        return makeError(std::string(field) +
+                             ": invalid number '" + value + "'",
+                         line);
+    }
+    if (errno == ERANGE || parsed < minValue || parsed > maxValue) {
+        return makeError(std::string(field) + ": value '" + value +
+                             "' out of range [" +
+                             std::to_string(minValue) + ", " +
+                             std::to_string(maxValue) + "]",
+                         line);
+    }
+    return parsed;
+}
+
 } // namespace
 
 Expected<ErrataDocument>
@@ -267,9 +303,12 @@ parseDocument(const std::string &text)
         } else if (key == "Reference") {
             document.design.reference = value;
         } else if (key == "Generation") {
+            auto generation = parseIntField(
+                "Generation", value, reader.lineNumber(), 0, 9999);
+            if (!generation)
+                return generation.error();
             document.design.generation =
-                static_cast<int>(std::strtol(value.c_str(),
-                                             nullptr, 10));
+                static_cast<int>(generation.value());
         } else if (key == "Variant") {
             if (value == "D")
                 document.design.variant = DesignVariant::Desktop;
@@ -307,8 +346,13 @@ parseDocument(const std::string &text)
         while (reader.readField(key, value)) {
             any = true;
             if (key == "Revision") {
-                revision.number = static_cast<int>(
-                    std::strtol(value.c_str(), nullptr, 10));
+                auto number = parseIntField("Revision", value,
+                                            reader.lineNumber(), 0,
+                                            1000000);
+                if (!number)
+                    return number.error();
+                revision.number =
+                    static_cast<int>(number.value());
             } else if (key == "Date") {
                 auto date = parseDateField(value,
                                            reader.lineNumber());
@@ -378,10 +422,14 @@ parseDocument(const std::string &text)
                     } else {
                         msr.name =
                             strings::trim(trimmed.substr(0, eq));
+                        auto number = parseIntField(
+                            "MSRs", trimmed.substr(eq + 1),
+                            reader.lineNumber(), 0, 0xFFFFFFFFL,
+                            16);
+                        if (!number)
+                            return number.error();
                         msr.number = static_cast<std::uint32_t>(
-                            std::strtoul(
-                                trimmed.substr(eq + 1).c_str(),
-                                nullptr, 16));
+                            number.value());
                     }
                     erratum.msrs.push_back(std::move(msr));
                 }

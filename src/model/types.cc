@@ -1,7 +1,7 @@
 #include "types.hh"
 
 #include <cctype>
-#include <cstdlib>
+#include <charconv>
 
 #include "util/logging.hh"
 
@@ -41,22 +41,42 @@ Design::key() const
 std::vector<int>
 Design::coveredGenerations() const
 {
-    // "Core 7/8" style names cover two consecutive generations.
+    // "Core 7/8" style names cover two consecutive generations. The
+    // digit spans on both sides of the slash are located explicitly
+    // and parsed with std::from_chars; a malformed name ("Core /8",
+    // "Core 9/", overflowing digits) never yields a half-parsed
+    // range — it falls back to the generation field.
     std::size_t slash = name.find('/');
-    if (vendor == Vendor::Intel && slash != std::string::npos) {
-        // Parse the digits around the slash.
-        std::size_t start = slash;
-        while (start > 0 &&
-               std::isdigit(static_cast<unsigned char>(
-                   name[start - 1]))) {
-            --start;
-        }
-        int first = std::atoi(name.substr(start, slash - start)
-                                  .c_str());
-        int second = std::atoi(name.substr(slash + 1).c_str());
-        if (first > 0 && second > first)
-            return {first, second};
+    if (vendor != Vendor::Intel || slash == std::string::npos)
+        return {generation};
+
+    std::size_t firstBegin = slash;
+    while (firstBegin > 0 &&
+           std::isdigit(static_cast<unsigned char>(
+               name[firstBegin - 1]))) {
+        --firstBegin;
     }
+    std::size_t secondEnd = slash + 1;
+    while (secondEnd < name.size() &&
+           std::isdigit(
+               static_cast<unsigned char>(name[secondEnd]))) {
+        ++secondEnd;
+    }
+    if (firstBegin == slash || secondEnd == slash + 1)
+        return {generation}; // digits missing on either side
+
+    int first = 0;
+    int second = 0;
+    auto firstResult = std::from_chars(
+        name.data() + firstBegin, name.data() + slash, first);
+    auto secondResult = std::from_chars(
+        name.data() + slash + 1, name.data() + secondEnd, second);
+    if (firstResult.ec != std::errc() ||
+        secondResult.ec != std::errc()) {
+        return {generation};
+    }
+    if (first > 0 && second > first)
+        return {first, second};
     return {generation};
 }
 

@@ -1,0 +1,112 @@
+#include "parallel.hh"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+
+namespace rememberr {
+
+std::size_t
+resolveThreadCount(std::size_t threads)
+{
+    if (threads != 0)
+        return threads;
+    unsigned hardware = std::thread::hardware_concurrency();
+    return hardware == 0 ? 1 : hardware;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>>
+chunkRanges(std::size_t n, std::size_t chunks)
+{
+    std::vector<std::pair<std::size_t, std::size_t>> ranges;
+    if (n == 0 || chunks == 0)
+        return ranges;
+    if (chunks > n)
+        chunks = n;
+    std::size_t base = n / chunks;
+    std::size_t extra = n % chunks;
+    std::size_t begin = 0;
+    for (std::size_t c = 0; c < chunks; ++c) {
+        std::size_t size = base + (c < extra ? 1 : 0);
+        ranges.emplace_back(begin, begin + size);
+        begin += size;
+    }
+    return ranges;
+}
+
+namespace detail {
+
+void
+runChunked(std::size_t chunkCount, std::size_t workers,
+           const std::function<void(std::size_t)> &body)
+{
+    if (chunkCount == 0)
+        return;
+    if (workers > chunkCount)
+        workers = chunkCount;
+    if (workers <= 1) {
+        for (std::size_t c = 0; c < chunkCount; ++c)
+            body(c);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    // First failure by *chunk index*, so the rethrown exception does
+    // not depend on thread scheduling.
+    std::vector<std::exception_ptr> failures(chunkCount);
+    std::atomic<bool> failed{false};
+
+    auto work = [&] {
+        for (;;) {
+            std::size_t chunk =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (chunk >= chunkCount)
+                return;
+            try {
+                body(chunk);
+            } catch (...) {
+                failures[chunk] = std::current_exception();
+                failed.store(true, std::memory_order_release);
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (std::size_t w = 1; w < workers; ++w)
+        pool.emplace_back(work);
+    work();
+    for (std::thread &thread : pool)
+        thread.join();
+
+    if (failed.load(std::memory_order_acquire)) {
+        for (std::exception_ptr &failure : failures) {
+            if (failure)
+                std::rethrow_exception(failure);
+        }
+    }
+}
+
+} // namespace detail
+
+void
+parallelFor(std::size_t n, std::size_t threads,
+            const std::function<void(std::size_t)> &body)
+{
+    std::size_t workers = resolveThreadCount(threads);
+    if (workers <= 1 || n <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+    auto ranges = chunkRanges(
+        n, std::min(n, workers * detail::chunksPerWorker));
+    detail::runChunked(ranges.size(), workers,
+                       [&](std::size_t chunk) {
+                           for (std::size_t i = ranges[chunk].first;
+                                i < ranges[chunk].second; ++i)
+                               body(i);
+                       });
+}
+
+} // namespace rememberr

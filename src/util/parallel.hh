@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Fork-join work pool for the pipeline's hot stages.
+ *
+ * Every primitive here preserves serial semantics exactly: work is
+ * split into contiguous index chunks, chunks are claimed by worker
+ * threads through an atomic counter (so skewed chunks load-balance),
+ * and per-chunk results are merged on the calling thread in chunk
+ * order. Because chunks partition [0, n) in increasing index order,
+ * an order-preserving merge (e.g. vector concatenation) yields
+ * bit-identical output to the serial loop regardless of the thread
+ * count. With `threads <= 1` (or trivially small inputs) everything
+ * runs inline on the calling thread — no spawn, no overhead.
+ *
+ * Thread-count convention used across the library:
+ *   0  — use every hardware thread;
+ *   1  — serial (the default everywhere);
+ *   N  — exactly N worker threads.
+ */
+
+#ifndef REMEMBERR_UTIL_PARALLEL_HH
+#define REMEMBERR_UTIL_PARALLEL_HH
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace rememberr {
+
+/** Resolve the 0/1/N thread-count convention to a worker count. */
+std::size_t resolveThreadCount(std::size_t threads);
+
+/**
+ * Partition [0, n) into at most `chunks` contiguous half-open
+ * ranges, in increasing index order. Sizes differ by at most one.
+ */
+std::vector<std::pair<std::size_t, std::size_t>>
+chunkRanges(std::size_t n, std::size_t chunks);
+
+namespace detail {
+
+/**
+ * Run body(chunkIndex) for every chunk in [0, chunkCount) on up to
+ * `workers` threads. Chunks are claimed via an atomic counter. The
+ * first exception (by chunk index) thrown by any body is rethrown on
+ * the calling thread after all workers join.
+ */
+void runChunked(std::size_t chunkCount, std::size_t workers,
+                const std::function<void(std::size_t)> &body);
+
+/** Chunk-count multiplier used for load balancing. */
+constexpr std::size_t chunksPerWorker = 8;
+
+} // namespace detail
+
+/**
+ * Run body(i) for every i in [0, n). Bodies touching distinct data
+ * per index need no synchronization; the call returns after every
+ * index has been processed.
+ */
+void parallelFor(std::size_t n, std::size_t threads,
+                 const std::function<void(std::size_t)> &body);
+
+/**
+ * Map contiguous index ranges to partial results and fold them in
+ * chunk order.
+ *
+ * @param map    (begin, end) -> Result over one contiguous range.
+ * @param reduce (Result &acc, Result &&part), applied serially on
+ *               the calling thread in increasing chunk order.
+ *
+ * When `map` appends to its result in index order and `reduce`
+ * concatenates, the merged result is identical to map(0, n).
+ */
+template <typename Result, typename MapFn, typename ReduceFn>
+Result
+parallelMapReduce(std::size_t n, std::size_t threads,
+                  const MapFn &map, const ReduceFn &reduce)
+{
+    std::size_t workers = resolveThreadCount(threads);
+    if (workers <= 1 || n <= 1)
+        return map(static_cast<std::size_t>(0), n);
+
+    auto ranges = chunkRanges(
+        n, std::min(n, workers * detail::chunksPerWorker));
+    std::vector<std::optional<Result>> parts(ranges.size());
+    detail::runChunked(
+        ranges.size(), workers, [&](std::size_t chunk) {
+            parts[chunk].emplace(map(ranges[chunk].first,
+                                     ranges[chunk].second));
+        });
+
+    Result merged = std::move(*parts[0]);
+    for (std::size_t chunk = 1; chunk < parts.size(); ++chunk)
+        reduce(merged, std::move(*parts[chunk]));
+    return merged;
+}
+
+} // namespace rememberr
+
+#endif // REMEMBERR_UTIL_PARALLEL_HH

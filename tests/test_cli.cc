@@ -64,6 +64,35 @@ TEST(ArgList, IntOptionRejectsNonNumeric)
     EXPECT_EQ(args.intOption("limit"), std::nullopt);
 }
 
+TEST(ArgList, IntOptionRejectsEmptyValue)
+{
+    // "--limit=" and a bare "--limit" flag both carry an empty
+    // value; strtol("") would silently return 0.
+    ArgList equals = ArgList::parse({"x", "--limit="});
+    EXPECT_EQ(equals.intOption("limit"), std::nullopt);
+    ArgList bare = ArgList::parse({"x", "--limit"});
+    EXPECT_EQ(bare.intOption("limit"), std::nullopt);
+}
+
+TEST(ArgList, IntOptionRejectsTrailingJunkAndOverflow)
+{
+    ArgList junk = ArgList::parse({"x", "--limit=12x"});
+    EXPECT_EQ(junk.intOption("limit"), std::nullopt);
+    // Out of range for long: strtol saturates with errno == ERANGE.
+    ArgList overflow = ArgList::parse(
+        {"x", "--limit=99999999999999999999999999"});
+    EXPECT_EQ(overflow.intOption("limit"), std::nullopt);
+    ArgList underflow = ArgList::parse(
+        {"x", "--limit=-99999999999999999999999999"});
+    EXPECT_EQ(underflow.intOption("limit"), std::nullopt);
+}
+
+TEST(ArgList, IntOptionAcceptsNegative)
+{
+    ArgList args = ArgList::parse({"x", "--limit=-7"});
+    EXPECT_EQ(args.intOption("limit"), -7);
+}
+
 // ---- Commands --------------------------------------------------------------
 
 TEST(Cli, NoCommandPrintsUsage)
@@ -94,6 +123,53 @@ TEST(Cli, StatsPrintsPaperComparison)
     EXPECT_EQ(result.code, 0);
     EXPECT_NE(result.out.find("2,057 / 743"), std::string::npos);
     EXPECT_NE(result.out.find("14.4%"), std::string::npos);
+}
+
+TEST(Cli, MalformedIntOptionFailsFast)
+{
+    CliResult result = run({"query", "--limit", "abc"});
+    EXPECT_EQ(result.code, 2);
+    EXPECT_NE(result.err.find("invalid integer"),
+              std::string::npos);
+    EXPECT_NE(result.err.find("--limit"), std::string::npos);
+}
+
+TEST(Cli, EmptyIntOptionFailsFast)
+{
+    CliResult result = run({"query", "--limit="});
+    EXPECT_EQ(result.code, 2);
+    EXPECT_NE(result.err.find("invalid integer"),
+              std::string::npos);
+}
+
+TEST(Cli, OutOfRangeIntOptionFailsFast)
+{
+    CliResult result =
+        run({"query", "--limit=99999999999999999999999999"});
+    EXPECT_EQ(result.code, 2);
+    EXPECT_NE(result.err.find("invalid integer"),
+              std::string::npos);
+}
+
+TEST(Cli, NegativeThreadsRejected)
+{
+    CliResult result = run({"stats", "--threads=-2"});
+    EXPECT_EQ(result.code, 2);
+    EXPECT_NE(result.err.find("non-negative"), std::string::npos);
+}
+
+TEST(Cli, ThreadsOptionMatchesSerialOutput)
+{
+    CliResult serial = run({"stats"});
+    CliResult parallel = run({"stats", "--threads", "4"});
+    EXPECT_EQ(parallel.code, 0);
+    EXPECT_EQ(serial.out, parallel.out);
+}
+
+TEST(Cli, UsageMentionsThreads)
+{
+    CliResult result = run({"help"});
+    EXPECT_NE(result.err.find("--threads"), std::string::npos);
 }
 
 TEST(Cli, QueryFiltersAndLimits)

@@ -140,6 +140,91 @@ TEST(DocumentFormat, ParserRejectsBadDate)
     EXPECT_FALSE(parseDocument(text));
 }
 
+TEST(DocumentFormat, ParserRejectsNonNumericGeneration)
+{
+    std::string text = renderDocument(sampleDoc());
+    text = strings::replaceAll(text, "Generation: 12",
+                               "Generation: abc");
+    auto parsed = parseDocument(text);
+    ASSERT_FALSE(parsed);
+    EXPECT_NE(parsed.error().message.find("Generation"),
+              std::string::npos)
+        << parsed.error().toString();
+    EXPECT_GT(parsed.error().line, 0);
+}
+
+TEST(DocumentFormat, ParserRejectsTrailingJunkGeneration)
+{
+    // strtol would silently parse "12x" as 12; the strict parser
+    // must reject the whole field.
+    std::string text = renderDocument(sampleDoc());
+    text = strings::replaceAll(text, "Generation: 12",
+                               "Generation: 12x");
+    EXPECT_FALSE(parseDocument(text));
+}
+
+TEST(DocumentFormat, ParserRejectsEmptyGeneration)
+{
+    std::string text = renderDocument(sampleDoc());
+    text = strings::replaceAll(text, "Generation: 12",
+                               "Generation:");
+    auto parsed = parseDocument(text);
+    ASSERT_FALSE(parsed);
+    EXPECT_NE(parsed.error().message.find("empty"),
+              std::string::npos)
+        << parsed.error().toString();
+}
+
+TEST(DocumentFormat, ParserRejectsOutOfRangeGeneration)
+{
+    std::string text = renderDocument(sampleDoc());
+    text = strings::replaceAll(
+        text, "Generation: 12",
+        "Generation: 99999999999999999999999");
+    auto parsed = parseDocument(text);
+    ASSERT_FALSE(parsed);
+    EXPECT_NE(parsed.error().message.find("out of range"),
+              std::string::npos)
+        << parsed.error().toString();
+}
+
+TEST(DocumentFormat, ParserRejectsNonNumericRevision)
+{
+    std::string text = renderDocument(sampleDoc());
+    text = strings::replaceAll(text, "Revision: 1\n",
+                               "Revision: one\n");
+    auto parsed = parseDocument(text);
+    ASSERT_FALSE(parsed);
+    EXPECT_NE(parsed.error().message.find("Revision"),
+              std::string::npos)
+        << parsed.error().toString();
+    EXPECT_GT(parsed.error().line, 0);
+}
+
+TEST(DocumentFormat, ParserRejectsMalformedMsrNumber)
+{
+    std::string text = renderDocument(sampleDoc());
+    text = strings::replaceAll(text, "MC4_STATUS=0x9A3",
+                               "MC4_STATUS=0xZZZ");
+    auto parsed = parseDocument(text);
+    ASSERT_FALSE(parsed);
+    EXPECT_NE(parsed.error().message.find("MSRs"),
+              std::string::npos)
+        << parsed.error().toString();
+}
+
+TEST(DocumentFormat, NegativeGenerationIsOutOfRange)
+{
+    std::string text = renderDocument(sampleDoc());
+    text = strings::replaceAll(text, "Generation: 12",
+                               "Generation: -3");
+    auto parsed = parseDocument(text);
+    ASSERT_FALSE(parsed);
+    EXPECT_NE(parsed.error().message.find("out of range"),
+              std::string::npos)
+        << parsed.error().toString();
+}
+
 TEST(DocumentFormat, MissingFromNotesRecoversZeroRevision)
 {
     ErrataDocument original = sampleDoc();

@@ -133,6 +133,51 @@ TEST(Design, CoveredGenerationsAmdNeverSplits)
     EXPECT_EQ(design.coveredGenerations(), (std::vector<int>{5}));
 }
 
+TEST(Design, CoveredGenerationsMalformedNamesFallBack)
+{
+    Design design;
+    design.vendor = Vendor::Intel;
+    design.generation = 7;
+
+    // No digits before the slash.
+    design.name = "Core /8";
+    EXPECT_EQ(design.coveredGenerations(), (std::vector<int>{7}));
+
+    // No digits after the slash.
+    design.name = "Core 9/";
+    EXPECT_EQ(design.coveredGenerations(), (std::vector<int>{7}));
+
+    // A bare slash.
+    design.name = "Core /";
+    EXPECT_EQ(design.coveredGenerations(), (std::vector<int>{7}));
+
+    // Non-increasing range is not a combined document.
+    design.name = "Core 9/8";
+    EXPECT_EQ(design.coveredGenerations(), (std::vector<int>{7}));
+    design.name = "Core 8/8";
+    EXPECT_EQ(design.coveredGenerations(), (std::vector<int>{7}));
+
+    // Zero on either side never produces a half-parsed range.
+    design.name = "Core 0/8";
+    EXPECT_EQ(design.coveredGenerations(), (std::vector<int>{7}));
+
+    // Overflowing digit spans must not wrap or crash.
+    design.name = "Core 99999999999999999999/3";
+    EXPECT_EQ(design.coveredGenerations(), (std::vector<int>{7}));
+    design.name = "Core 2/99999999999999999999";
+    EXPECT_EQ(design.coveredGenerations(), (std::vector<int>{7}));
+}
+
+TEST(Design, CoveredGenerationsCombinedDocWithSuffix)
+{
+    Design design;
+    design.vendor = Vendor::Intel;
+    design.generation = 7;
+    design.name = "Core 7/8 (D)";
+    EXPECT_EQ(design.coveredGenerations(),
+              (std::vector<int>{7, 8}));
+}
+
 TEST(EnumNames, RoundTripStrings)
 {
     EXPECT_EQ(vendorName(Vendor::Intel), "Intel");

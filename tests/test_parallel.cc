@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Unit tests for the fork-join work pool and serial-vs-parallel
+ * equivalence of the pipeline's hot stages.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+#include "classify/foureyes.hh"
+#include "core/pipeline.hh"
+#include "corpus/generator.hh"
+#include "dedup/dedup.hh"
+#include "util/logging.hh"
+#include "util/parallel.hh"
+
+namespace rememberr {
+namespace {
+
+// ---- Primitives ---------------------------------------------------------
+
+TEST(Parallel, ResolveThreadCount)
+{
+    EXPECT_GE(resolveThreadCount(0), 1u);
+    EXPECT_EQ(resolveThreadCount(1), 1u);
+    EXPECT_EQ(resolveThreadCount(7), 7u);
+}
+
+TEST(Parallel, ChunkRangesPartitionInOrder)
+{
+    auto ranges = chunkRanges(10, 3);
+    ASSERT_EQ(ranges.size(), 3u);
+    EXPECT_EQ(ranges[0], (std::pair<std::size_t, std::size_t>{0, 4}));
+    EXPECT_EQ(ranges[1], (std::pair<std::size_t, std::size_t>{4, 7}));
+    EXPECT_EQ(ranges[2],
+              (std::pair<std::size_t, std::size_t>{7, 10}));
+
+    // More chunks than items collapses to one chunk per item.
+    EXPECT_EQ(chunkRanges(2, 8).size(), 2u);
+    EXPECT_TRUE(chunkRanges(0, 4).empty());
+    EXPECT_TRUE(chunkRanges(4, 0).empty());
+}
+
+TEST(Parallel, ForVisitsEveryIndexExactlyOnce)
+{
+    for (std::size_t threads : {std::size_t(0), std::size_t(1),
+                                std::size_t(4)}) {
+        std::vector<int> visits(1000, 0);
+        std::atomic<int> total{0};
+        parallelFor(visits.size(), threads, [&](std::size_t i) {
+            ++visits[i]; // distinct slots: no race
+            total.fetch_add(1, std::memory_order_relaxed);
+        });
+        EXPECT_EQ(total.load(), 1000) << "threads=" << threads;
+        for (int count : visits)
+            EXPECT_EQ(count, 1);
+    }
+}
+
+TEST(Parallel, ForHandlesEmptyAndSingle)
+{
+    int calls = 0;
+    parallelFor(0, 4, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    parallelFor(1, 4, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(Parallel, MapReduceMatchesSerialOrder)
+{
+    const std::size_t n = 257; // not a multiple of the chunk count
+    auto map = [](std::size_t begin, std::size_t end) {
+        std::vector<std::size_t> out;
+        for (std::size_t i = begin; i < end; ++i)
+            out.push_back(i * i);
+        return out;
+    };
+    auto reduce = [](std::vector<std::size_t> &acc,
+                     std::vector<std::size_t> &&part) {
+        acc.insert(acc.end(), part.begin(), part.end());
+    };
+    auto serial = parallelMapReduce<std::vector<std::size_t>>(
+        n, 1, map, reduce);
+    auto parallel = parallelMapReduce<std::vector<std::size_t>>(
+        n, 4, map, reduce);
+    EXPECT_EQ(serial, parallel);
+    ASSERT_EQ(serial.size(), n);
+    EXPECT_EQ(serial[10], 100u);
+}
+
+TEST(Parallel, ForPropagatesFirstExceptionByIndex)
+{
+    auto boom = [](std::size_t i) {
+        if (i >= 100)
+            throw std::runtime_error("boom@" +
+                                     std::to_string(i));
+    };
+    EXPECT_THROW(parallelFor(500, 4, boom), std::runtime_error);
+    EXPECT_NO_THROW(parallelFor(100, 4, boom));
+}
+
+// ---- Serial vs parallel equivalence -------------------------------------
+
+const Corpus &
+sharedCorpus()
+{
+    static const Corpus corpus = [] {
+        setLogQuiet(true);
+        return CorpusGenerator().generate();
+    }();
+    return corpus;
+}
+
+TEST(ParallelEquivalence, DedupIdenticalAcrossThreadCounts)
+{
+    const Corpus &corpus = sharedCorpus();
+
+    DedupOptions serialOptions;
+    serialOptions.threads = 1;
+    DedupResult serial =
+        deduplicate(corpus.documents, serialOptions);
+
+    for (std::size_t threads : {std::size_t(0), std::size_t(4)}) {
+        DedupOptions options;
+        options.threads = threads;
+        DedupResult parallel =
+            deduplicate(corpus.documents, options);
+        EXPECT_EQ(serial.keyByDoc, parallel.keyByDoc)
+            << "threads=" << threads;
+        EXPECT_EQ(serial.clusters, parallel.clusters);
+        EXPECT_EQ(serial.exactTitleMerges,
+                  parallel.exactTitleMerges);
+        EXPECT_EQ(serial.reviewedPairs, parallel.reviewedPairs);
+        EXPECT_EQ(serial.reviewConfirmedMerges,
+                  parallel.reviewConfirmedMerges);
+        EXPECT_EQ(serial.numericIdMerges,
+                  parallel.numericIdMerges);
+        EXPECT_EQ(serial.candidatePairsConsidered,
+                  parallel.candidatePairsConsidered);
+    }
+}
+
+TEST(ParallelEquivalence, DedupAllPairsFallbackIdentical)
+{
+    const Corpus &corpus = sharedCorpus();
+
+    DedupOptions serialOptions;
+    serialOptions.useNgramIndex = false;
+    serialOptions.threads = 1;
+    DedupResult serial =
+        deduplicate(corpus.documents, serialOptions);
+
+    DedupOptions parallelOptions = serialOptions;
+    parallelOptions.threads = 4;
+    DedupResult parallel =
+        deduplicate(corpus.documents, parallelOptions);
+
+    EXPECT_EQ(serial.keyByDoc, parallel.keyByDoc);
+    EXPECT_EQ(serial.clusters, parallel.clusters);
+    EXPECT_EQ(serial.candidatePairsConsidered,
+              parallel.candidatePairsConsidered);
+}
+
+TEST(ParallelEquivalence, FourEyesIdenticalAcrossThreadCounts)
+{
+    const Corpus &corpus = sharedCorpus();
+
+    FourEyesOptions serialOptions;
+    serialOptions.threads = 1;
+    FourEyesResult serial = runFourEyes(corpus, serialOptions);
+
+    FourEyesOptions parallelOptions;
+    parallelOptions.threads = 4;
+    FourEyesResult parallel = runFourEyes(corpus, parallelOptions);
+
+    EXPECT_EQ(serial.labelAccuracy, parallel.labelAccuracy);
+    EXPECT_EQ(serial.manualDecisionsPerAnnotator,
+              parallel.manualDecisionsPerAnnotator);
+    ASSERT_EQ(serial.annotations.size(),
+              parallel.annotations.size());
+    for (std::size_t i = 0; i < serial.annotations.size(); ++i) {
+        const AnnotatedBug &a = serial.annotations[i];
+        const AnnotatedBug &b = parallel.annotations[i];
+        EXPECT_EQ(a.bugKey, b.bugKey);
+        EXPECT_EQ(a.triggers, b.triggers) << "bug " << i;
+        EXPECT_EQ(a.contexts, b.contexts) << "bug " << i;
+        EXPECT_EQ(a.effects, b.effects) << "bug " << i;
+        EXPECT_EQ(a.autoAccepted, b.autoAccepted) << "bug " << i;
+        EXPECT_EQ(a.manualDecisions, b.manualDecisions);
+    }
+    ASSERT_EQ(serial.steps.size(), parallel.steps.size());
+    for (std::size_t s = 0; s < serial.steps.size(); ++s) {
+        EXPECT_EQ(serial.steps[s].manualDecisions,
+                  parallel.steps[s].manualDecisions);
+        EXPECT_EQ(serial.steps[s].mismatches,
+                  parallel.steps[s].mismatches);
+    }
+}
+
+TEST(ParallelEquivalence, FullPipelineDatabaseByteIdentical)
+{
+    setLogQuiet(true);
+    PipelineOptions serialOptions;
+    serialOptions.threads = 1;
+    PipelineResult serial = runPipeline(serialOptions);
+
+    PipelineOptions parallelOptions;
+    parallelOptions.threads = 4;
+    PipelineResult parallel = runPipeline(parallelOptions);
+
+    // Byte-identical database exports are the strongest equivalence
+    // statement: every stage's output feeds into them.
+    EXPECT_EQ(serial.database.toJson().dumpPretty(),
+              parallel.database.toJson().dumpPretty());
+    EXPECT_EQ(serial.database.toCsv(), parallel.database.toCsv());
+    EXPECT_EQ(serial.dedup.keyByDoc, parallel.dedup.keyByDoc);
+    ASSERT_EQ(serial.lintFindings.size(),
+              parallel.lintFindings.size());
+    for (std::size_t d = 0; d < serial.lintFindings.size(); ++d) {
+        EXPECT_EQ(serial.lintFindings[d].size(),
+                  parallel.lintFindings[d].size())
+            << "doc " << d;
+    }
+}
+
+} // namespace
+} // namespace rememberr
