@@ -1,10 +1,13 @@
 #include "commands.hh"
 
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+
+#include "util/parallel.hh"
 
 #include "analysis/correlation.hh"
 #include "analysis/frequency.hh"
@@ -20,8 +23,10 @@
 #include "document/format.hh"
 #include "document/lint.hh"
 #include "guidance/guidance.hh"
+#include "obs/pool_metrics.hh"
 #include "report/svg.hh"
 #include "report/table.hh"
+#include "util/logging.hh"
 #include "util/strings.hh"
 
 namespace rememberr {
@@ -117,12 +122,25 @@ usageText()
            "(JSON)\n"
            "  figures   --out DIR         write every reproduced "
            "figure (SVG)\n"
+           "  profile                     run the pipeline and "
+           "print per-stage\n"
+           "                              timings, counters and "
+           "worker stats\n"
            "\n"
            "common options:\n"
            "  --seed N                    corpus generator seed\n"
            "  --threads N                 pipeline worker threads "
            "(default 1;\n"
-           "                              0 = all hardware threads)\n";
+           "                              0 = all hardware threads)\n"
+           "  --metrics-out FILE          dump pipeline metrics "
+           "(JSON, or CSV\n"
+           "                              when FILE ends in .csv)\n"
+           "  --trace-out FILE            dump Chrome trace_event "
+           "JSON (open in\n"
+           "                              chrome://tracing or "
+           "Perfetto)\n"
+           "  --verbose | --quiet         raise/silence warn+debug "
+           "logging\n";
 }
 
 namespace {
@@ -132,15 +150,22 @@ namespace {
  * cached per seed: a CLI process (or a test binary driving runCli
  * repeatedly) pays for each corpus once.
  */
-const PipelineResult &
-buildPipeline(const ArgList &args)
+/** Apply --seed/--threads to fresh pipeline options. */
+PipelineOptions
+pipelineOptionsFromArgs(const ArgList &args)
 {
-    setLogQuiet(true);
     PipelineOptions options;
     if (auto seed = args.intOption("seed"))
         options.generator.seed = static_cast<std::uint64_t>(*seed);
     if (auto threads = args.intOption("threads"))
         options.threads = static_cast<std::size_t>(*threads);
+    return options;
+}
+
+const PipelineResult &
+buildPipeline(const ArgList &args)
+{
+    PipelineOptions options = pipelineOptionsFromArgs(args);
 
     // The cache is keyed by seed alone: the parallel stages merge
     // deterministically, so the thread count never changes results.
@@ -534,6 +559,157 @@ cmdFigures(const ArgList &args, std::ostream &out,
     return 0;
 }
 
+/** Write `content` to `path`, reporting failures on err. */
+int
+writeTextFile(const std::string &path, const std::string &content,
+              const char *what, std::ostream &err)
+{
+    std::ofstream file(path);
+    file << content;
+    if (!file) {
+        err << "cannot write " << what << " to " << path << "\n";
+        return 1;
+    }
+    return 0;
+}
+
+/**
+ * Handle --metrics-out/--trace-out against the given registry and
+ * recorder. Metrics are JSON unless FILE ends in .csv; traces are
+ * always Chrome trace_event JSON.
+ */
+int
+writeObsExports(const ArgList &args, std::ostream &err,
+                const MetricsRegistry &metrics,
+                const TraceRecorder &trace)
+{
+    if (auto path = args.option("metrics-out")) {
+        if (path->empty()) {
+            err << "--metrics-out requires a file name\n";
+            return 2;
+        }
+        bool csv = strings::endsWith(*path, ".csv");
+        std::string body = csv
+                               ? metrics.toCsv()
+                               : metrics.toJson().dumpPretty() + "\n";
+        if (int rc = writeTextFile(*path, body, "metrics", err))
+            return rc;
+    }
+    if (auto path = args.option("trace-out")) {
+        if (path->empty()) {
+            err << "--trace-out requires a file name\n";
+            return 2;
+        }
+        if (int rc = writeTextFile(
+                *path, trace.toChromeJson() + "\n", "trace", err))
+            return rc;
+    }
+    return 0;
+}
+
+int
+cmdProfile(const ArgList &args, std::ostream &out,
+           std::ostream &err)
+{
+    // Profile against private instruments (not the process-global
+    // ones) so the report reflects exactly one fresh pipeline run,
+    // uncontaminated by earlier commands in the same process and
+    // never served from the per-seed cache.
+    PipelineOptions options = pipelineOptionsFromArgs(args);
+    MetricsRegistry metrics;
+    TraceRecorder trace;
+    options.metrics = &metrics;
+    options.trace = &trace;
+    attachPoolMetrics(metrics);
+    PipelineResult result = runPipeline(options);
+    detachPoolMetrics();
+
+    auto gaugeUs = [&](const std::string &name) -> std::int64_t {
+        const Gauge *gauge = metrics.findGauge(name);
+        return gauge ? gauge->value() : 0;
+    };
+    auto count = [&](const std::string &name) -> std::uint64_t {
+        const Counter *counter = metrics.findCounter(name);
+        return counter ? counter->value() : 0;
+    };
+    auto ms = [](double us) {
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), "%.1f", us / 1000.0);
+        return std::string(buffer);
+    };
+
+    struct StageRow
+    {
+        const char *stage;
+        const char *counter;
+        const char *unit;
+    };
+    static constexpr StageRow stages[] = {
+        {"acquire", "pipeline.acquire.errata", "errata"},
+        {"parse", "pipeline.parse.documents", "documents"},
+        {"lint", "pipeline.lint.findings", "findings"},
+        {"dedup", "pipeline.dedup.candidate_pairs",
+         "candidate pairs"},
+        {"classify", "pipeline.classify.annotations",
+         "annotations"},
+        {"assemble", "pipeline.assemble.entries", "db entries"},
+    };
+
+    std::int64_t totalUs = gaugeUs("pipeline.total_us");
+    std::int64_t stageSumUs = 0;
+    AsciiTable table;
+    table.setColumns({"stage", "time ms", "share", "items", "unit",
+                      "items/s"},
+                     {Align::Left, Align::Right, Align::Right,
+                      Align::Right, Align::Left, Align::Right});
+    for (const StageRow &row : stages) {
+        std::int64_t us =
+            gaugeUs(std::string("pipeline.stage_us.") + row.stage);
+        stageSumUs += us;
+        std::uint64_t items = count(row.counter);
+        double share =
+            totalUs > 0 ? static_cast<double>(us) / totalUs : 0.0;
+        double rate = us > 0 ? items * 1e6 / us : 0.0;
+        char rateText[32];
+        std::snprintf(rateText, sizeof(rateText), "%.0f", rate);
+        table.addRow({row.stage, ms(static_cast<double>(us)),
+                      strings::formatPercent(share),
+                      std::to_string(items), row.unit, rateText});
+    }
+    table.addSeparator();
+    double coverage =
+        totalUs > 0 ? static_cast<double>(stageSumUs) / totalUs
+                    : 0.0;
+    table.addRow({"total", ms(static_cast<double>(totalUs)),
+                  strings::formatPercent(coverage),
+                  std::to_string(
+                      result.groundTruth.entries().size()),
+                  "unique errata", ""});
+    out << table.toString();
+
+    std::size_t workers = resolveThreadCount(options.threads);
+    out << "\nthreads: " << workers
+        << (options.threads == 0 ? " (all hardware)" : "") << "\n";
+    if (std::uint64_t regions = count("parallel.regions")) {
+        std::uint64_t busy = count("parallel.busy_us");
+        std::uint64_t idle = count("parallel.idle_us");
+        double idleShare =
+            busy + idle > 0
+                ? static_cast<double>(idle) / (busy + idle)
+                : 0.0;
+        out << "work pool: " << regions << " fork-join region(s), "
+            << count("parallel.chunks") << " chunk(s) over "
+            << count("parallel.workers") << " worker run(s); idle "
+            << strings::formatPercent(idleShare)
+            << " of worker time\n";
+    } else {
+        out << "work pool: not used (serial run; pass --threads N "
+               "to engage it)\n";
+    }
+
+    return writeObsExports(args, err, metrics, trace);
+}
+
 /**
  * Validate every numeric option up front so a malformed, empty or
  * out-of-range value fails fast with a message instead of being
@@ -580,27 +756,53 @@ runCli(const std::vector<std::string> &args, std::ostream &out,
     }
     if (int rc = checkIntOptions(parsed, err))
         return rc;
-    if (command == "stats")
-        return cmdStats(parsed, out);
-    if (command == "generate")
-        return cmdGenerate(parsed, out, err);
-    if (command == "lint")
-        return cmdLint(parsed, out, err);
-    if (command == "classify")
-        return cmdClassify(parsed, out, err);
-    if (command == "highlight")
-        return cmdHighlight(parsed, out, err);
-    if (command == "query")
-        return cmdQuery(parsed, out, err);
-    if (command == "campaign")
-        return cmdCampaign(parsed, out);
-    if (command == "seeds")
-        return cmdSeeds(parsed, out);
-    if (command == "figures")
-        return cmdFigures(parsed, out, err);
 
-    err << "unknown command '" << command << "'\n" << usageText();
-    return 2;
+    // Verbosity: commands run quiet by default (the pipeline's
+    // warn/inform chatter would drown their output); --verbose
+    // enables debug traces, --quiet is the explicit form of the
+    // default.
+    if (parsed.hasFlag("verbose") && parsed.hasFlag("quiet")) {
+        err << "--verbose and --quiet are mutually exclusive\n";
+        return 2;
+    }
+    setLogLevel(parsed.hasFlag("verbose") ? LogLevel::Debug
+                                          : LogLevel::Quiet);
+
+    auto dispatch = [&]() -> int {
+        if (command == "stats")
+            return cmdStats(parsed, out);
+        if (command == "generate")
+            return cmdGenerate(parsed, out, err);
+        if (command == "lint")
+            return cmdLint(parsed, out, err);
+        if (command == "classify")
+            return cmdClassify(parsed, out, err);
+        if (command == "highlight")
+            return cmdHighlight(parsed, out, err);
+        if (command == "query")
+            return cmdQuery(parsed, out, err);
+        if (command == "campaign")
+            return cmdCampaign(parsed, out);
+        if (command == "seeds")
+            return cmdSeeds(parsed, out);
+        if (command == "figures")
+            return cmdFigures(parsed, out, err);
+        if (command == "profile")
+            return cmdProfile(parsed, out, err);
+        err << "unknown command '" << command << "'\n"
+            << usageText();
+        return 2;
+    };
+    int rc = dispatch();
+
+    // profile exports its own private instruments; every other
+    // command records into the process-global registry/recorder, so
+    // dump those when asked to.
+    if (rc == 0 && command != "profile") {
+        rc = writeObsExports(parsed, err, MetricsRegistry::global(),
+                             TraceRecorder::global());
+    }
+    return rc;
 }
 
 } // namespace cli

@@ -12,6 +12,11 @@
  *   campaign                    derive a directed testing campaign
  *   seeds     --count N         emit a fuzzer seed corpus (JSON)
  *   figures   --out DIR         write every reproduced figure (SVG)
+ *   profile                     per-stage timing/counter report
+ *
+ * Every command accepts --metrics-out FILE and --trace-out FILE
+ * (pipeline metrics as JSON/CSV, Chrome trace_event JSON) and the
+ * --verbose/--quiet log-level pair.
  *
  * All commands write to the supplied streams so tests can capture
  * output; main() in tools/ forwards to runCli().

@@ -24,6 +24,8 @@
 #include "db/database.hh"
 #include "dedup/dedup.hh"
 #include "document/lint.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace rememberr {
 
@@ -47,6 +49,22 @@ struct PipelineOptions
      * for any thread count.
      */
     std::size_t threads = 1;
+    /**
+     * Metrics target. Every stage records its duration (gauge
+     * `pipeline.stage_us.<stage>`) and flow counters (documents
+     * parsed, lint findings, dedup candidates/merges/clusters,
+     * annotations, database entries) here. Defaults to the
+     * process-global registry; null disables metrics entirely — the
+     * remaining cost is one pointer test per instrumentation site.
+     */
+    MetricsRegistry *metrics = &MetricsRegistry::global();
+    /**
+     * Trace target. Each stage is wrapped in a ScopedSpan
+     * (`pipeline.<stage>`) plus one umbrella `pipeline` span;
+     * export with TraceRecorder::toChromeJson(). Defaults to the
+     * process-global recorder; null disables span recording.
+     */
+    TraceRecorder *trace = &TraceRecorder::global();
 };
 
 /** Everything the pipeline produces. */

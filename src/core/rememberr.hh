@@ -57,6 +57,11 @@
 #include "db/query.hh"
 #include "guidance/guidance.hh"
 
+// Observability.
+#include "obs/metrics.hh"
+#include "obs/pool_metrics.hh"
+#include "obs/trace.hh"
+
 // Reporting.
 #include "report/chart.hh"
 #include "report/svg.hh"

@@ -1,0 +1,233 @@
+#include "metrics.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/csv.hh"
+#include "util/logging.hh"
+
+namespace rememberr {
+
+namespace {
+
+/** Format a double the way the CSV/JSON goldens expect: integral
+ * values without a fractional part, others with full precision. */
+std::string
+formatNumber(double value)
+{
+    if (value == static_cast<double>(static_cast<std::int64_t>(value)))
+        return std::to_string(static_cast<std::int64_t>(value));
+    std::ostringstream os;
+    os << value;
+    return os.str();
+}
+
+} // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1)
+{
+    if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+        REMEMBERR_PANIC("histogram bounds must be ascending");
+}
+
+void
+Histogram::observe(double value)
+{
+    std::size_t bucket = 0;
+    while (bucket < bounds_.size() && value > bounds_[bucket])
+        ++bucket;
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // atomic<double>::fetch_add is C++20 but not universally lowered;
+    // a CAS loop is portable and the histogram path is not hot.
+    double expected = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(expected, expected + value,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+void
+Histogram::reset()
+{
+    for (auto &bucket : buckets_)
+        bucket.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::uint64_t
+Histogram::bucketCount(std::size_t i) const
+{
+    if (i >= buckets_.size())
+        REMEMBERR_PANIC("histogram bucket ", i, " out of range");
+    return buckets_[i].load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+Histogram::count() const
+{
+    return count_.load(std::memory_order_relaxed);
+}
+
+double
+Histogram::sum() const
+{
+    return sum_.load(std::memory_order_relaxed);
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           std::vector<double> bounds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>(std::move(bounds));
+    return *slot;
+}
+
+const Counter *
+MetricsRegistry::findCounter(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counters_.find(name);
+    return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge *
+MetricsRegistry::findGauge(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram *
+MetricsRegistry::findHistogram(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &entry : counters_)
+        entry.second->reset();
+    for (auto &entry : gauges_)
+        entry.second->set(0);
+    for (auto &entry : histograms_)
+        entry.second->reset();
+}
+
+JsonValue
+MetricsRegistry::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    JsonValue counters = JsonValue::makeObject();
+    for (const auto &entry : counters_)
+        counters[entry.first] =
+            JsonValue(static_cast<double>(entry.second->value()));
+    JsonValue gauges = JsonValue::makeObject();
+    for (const auto &entry : gauges_)
+        gauges[entry.first] =
+            JsonValue(static_cast<double>(entry.second->value()));
+    JsonValue histograms = JsonValue::makeObject();
+    for (const auto &entry : histograms_) {
+        const Histogram &h = *entry.second;
+        JsonValue buckets = JsonValue::makeArray();
+        for (std::size_t b = 0; b < h.bounds().size(); ++b) {
+            JsonValue bucket = JsonValue::makeObject();
+            bucket["le"] = JsonValue(h.bounds()[b]);
+            bucket["count"] = JsonValue(
+                static_cast<double>(h.bucketCount(b)));
+            buckets.append(std::move(bucket));
+        }
+        JsonValue overflow = JsonValue::makeObject();
+        overflow["le"] = JsonValue("inf");
+        overflow["count"] = JsonValue(static_cast<double>(
+            h.bucketCount(h.bounds().size())));
+        buckets.append(std::move(overflow));
+        JsonValue body = JsonValue::makeObject();
+        body["count"] = JsonValue(static_cast<double>(h.count()));
+        body["sum"] = JsonValue(h.sum());
+        body["buckets"] = std::move(buckets);
+        histograms[entry.first] = std::move(body);
+    }
+    JsonValue root = JsonValue::makeObject();
+    root["counters"] = std::move(counters);
+    root["gauges"] = std::move(gauges);
+    root["histograms"] = std::move(histograms);
+    return root;
+}
+
+std::string
+MetricsRegistry::toCsv() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    CsvWriter csv;
+    csv.setHeader({"kind", "name", "field", "value"});
+    for (const auto &entry : counters_) {
+        csv.addRow({"counter", entry.first, "value",
+                    std::to_string(entry.second->value())});
+    }
+    for (const auto &entry : gauges_) {
+        csv.addRow({"gauge", entry.first, "value",
+                    std::to_string(entry.second->value())});
+    }
+    for (const auto &entry : histograms_) {
+        const Histogram &h = *entry.second;
+        csv.addRow({"histogram", entry.first, "count",
+                    std::to_string(h.count())});
+        csv.addRow({"histogram", entry.first, "sum",
+                    formatNumber(h.sum())});
+        for (std::size_t b = 0; b < h.bounds().size(); ++b) {
+            csv.addRow({"histogram", entry.first,
+                        "le " + formatNumber(h.bounds()[b]),
+                        std::to_string(h.bucketCount(b))});
+        }
+        csv.addRow({"histogram", entry.first, "le inf",
+                    std::to_string(
+                        h.bucketCount(h.bounds().size()))});
+    }
+    return csv.toString();
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+std::vector<double>
+MetricsRegistry::defaultBounds()
+{
+    return {10.0,     100.0,     1000.0,     10000.0,
+            100000.0, 1000000.0, 10000000.0};
+}
+
+} // namespace rememberr

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Metrics registry: named counters, gauges and fixed-bucket
+ * histograms for pipeline observability.
+ *
+ * Design goals, in order:
+ *   1. the hot path (incrementing an already-created instrument) is
+ *      lock-free — a single relaxed atomic RMW;
+ *   2. creation/lookup by name takes a registry mutex but returns a
+ *      stable reference, so instrumentation sites look up once and
+ *      increment many times;
+ *   3. a disabled pipeline passes a null `MetricsRegistry *` and
+ *      pays only a pointer test per instrumentation site.
+ *
+ * Snapshots (`toJson`/`toCsv`) iterate the registry under the mutex
+ * and read every atomic with relaxed ordering: values written by
+ * worker threads become visible through the fork-join joins the
+ * pipeline already performs, so a snapshot taken after a stage sees
+ * everything that stage counted.
+ */
+
+#ifndef REMEMBERR_OBS_METRICS_HH
+#define REMEMBERR_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/json.hh"
+
+namespace rememberr {
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t delta = 1)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Last-write-wins instantaneous value. */
+class Gauge
+{
+  public:
+    void
+    set(std::int64_t value)
+    {
+        value_.store(value, std::memory_order_relaxed);
+    }
+
+    std::int64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::int64_t> value_{0};
+};
+
+/**
+ * Fixed-bucket histogram. Bucket i counts observations with
+ * `value <= bounds[i]`; one overflow bucket counts the rest. Bounds
+ * are fixed at creation, so observe() is a branch-free scan plus one
+ * relaxed atomic increment — no allocation, no lock.
+ */
+class Histogram
+{
+  public:
+    /** @param bounds ascending inclusive upper bounds. */
+    explicit Histogram(std::vector<double> bounds);
+
+    void observe(double value);
+    void reset();
+
+    const std::vector<double> &bounds() const { return bounds_; }
+    /** Count in bucket i (i == bounds().size() is overflow). */
+    std::uint64_t bucketCount(std::size_t i) const;
+    std::uint64_t count() const;
+    double sum() const;
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<std::atomic<std::uint64_t>> buckets_;
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+};
+
+/**
+ * Thread-safe registry of named instruments. Lookup-or-create takes
+ * a mutex; returned references stay valid for the registry's
+ * lifetime (instruments are never removed, reset() zeroes them in
+ * place). Names are independent per instrument kind.
+ */
+class MetricsRegistry
+{
+  public:
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    /** Bounds apply on creation; later calls reuse the instrument. */
+    Histogram &histogram(const std::string &name,
+                         std::vector<double> bounds = defaultBounds());
+
+    /** Lookup without creating; null when absent. */
+    const Counter *findCounter(const std::string &name) const;
+    const Gauge *findGauge(const std::string &name) const;
+    const Histogram *findHistogram(const std::string &name) const;
+
+    /** Zero every instrument, keeping registrations (and therefore
+     * outstanding references) intact. */
+    void reset();
+
+    /**
+     * Snapshot as JSON:
+     *   {"counters": {name: n}, "gauges": {name: n},
+     *    "histograms": {name: {"count": n, "sum": x,
+     *                          "buckets": [{"le": b, "count": n}]}}}
+     * Keys are sorted (std::map), so output is deterministic.
+     */
+    JsonValue toJson() const;
+
+    /** Snapshot as CSV with columns kind,name,field,value. */
+    std::string toCsv() const;
+
+    /** The process-global registry (default pipeline target). */
+    static MetricsRegistry &global();
+
+    /** Default histogram bounds: microsecond-scale powers of ten. */
+    static std::vector<double> defaultBounds();
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+} // namespace rememberr
+
+#endif // REMEMBERR_OBS_METRICS_HH

@@ -1,0 +1,45 @@
+#include "pool_metrics.hh"
+
+#include "util/parallel.hh"
+
+namespace rememberr {
+
+void
+attachPoolMetrics(MetricsRegistry &registry)
+{
+    // Resolve every instrument once; the sink then only performs
+    // atomic adds, so it is safe to invoke from concurrent regions.
+    Counter &regions = registry.counter("parallel.regions");
+    Counter &workers = registry.counter("parallel.workers");
+    Counter &chunks = registry.counter("parallel.chunks");
+    Counter &busyUs = registry.counter("parallel.busy_us");
+    Counter &idleUs = registry.counter("parallel.idle_us");
+    Histogram &workerChunks = registry.histogram(
+        "parallel.worker_chunks",
+        {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
+    Histogram &workerIdle =
+        registry.histogram("parallel.worker_idle_us");
+
+    setPoolStatsSink([&regions, &workers, &chunks, &busyUs, &idleUs,
+                      &workerChunks, &workerIdle](
+                         const std::vector<WorkerStats> &stats) {
+        regions.add(1);
+        workers.add(stats.size());
+        for (const WorkerStats &worker : stats) {
+            chunks.add(worker.chunks);
+            busyUs.add(worker.busyUs);
+            idleUs.add(worker.idleUs);
+            workerChunks.observe(
+                static_cast<double>(worker.chunks));
+            workerIdle.observe(static_cast<double>(worker.idleUs));
+        }
+    });
+}
+
+void
+detachPoolMetrics()
+{
+    setPoolStatsSink(nullptr);
+}
+
+} // namespace rememberr

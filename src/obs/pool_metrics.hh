@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Bridges the work pool's per-region worker stats
+ * (util/parallel.hh's PoolStatsSink) into a MetricsRegistry, so
+ * scheduling skew shows up next to the pipeline's stage counters.
+ *
+ * Instruments maintained while attached:
+ *   counter   parallel.regions           fork-join regions joined
+ *   counter   parallel.workers           worker activations
+ *   counter   parallel.chunks            chunks claimed
+ *   counter   parallel.busy_us           total in-body time
+ *   counter   parallel.idle_us           total claim/drain overhead
+ *   histogram parallel.worker_chunks     chunks claimed per worker
+ *   histogram parallel.worker_idle_us    idle time per worker
+ */
+
+#ifndef REMEMBERR_OBS_POOL_METRICS_HH
+#define REMEMBERR_OBS_POOL_METRICS_HH
+
+#include "obs/metrics.hh"
+
+namespace rememberr {
+
+/**
+ * Install a process-wide pool stats sink that accumulates into
+ * `registry`. The registry must outlive the attachment. Replaces
+ * any previously attached sink.
+ */
+void attachPoolMetrics(MetricsRegistry &registry);
+
+/** Remove the pool stats sink (the pool reverts to zero-cost). */
+void detachPoolMetrics();
+
+} // namespace rememberr
+
+#endif // REMEMBERR_OBS_POOL_METRICS_HH

@@ -1,0 +1,162 @@
+#include "trace.hh"
+
+#include <algorithm>
+#include <atomic>
+
+#include "util/json.hh"
+
+namespace rememberr {
+
+namespace {
+
+/** Sequential ids so events from different OS threads stay
+ * distinguishable even after thread-id reuse. */
+std::uint32_t
+currentTid()
+{
+    static std::atomic<std::uint32_t> next{1};
+    thread_local std::uint32_t tid =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return tid;
+}
+
+/** Recorder ids for the thread-local buffer cache. Never reused, so
+ * a stale cache entry for a destroyed recorder can never alias a
+ * newly constructed one. */
+std::uint64_t
+nextRecorderId()
+{
+    static std::atomic<std::uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace
+
+TraceRecorder::TraceRecorder()
+    : epoch_(std::chrono::steady_clock::now()),
+      recorderId_(nextRecorderId())
+{
+}
+
+std::uint64_t
+TraceRecorder::nowUs() const
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+}
+
+TraceRecorder::ThreadBuffer &
+TraceRecorder::localBuffer()
+{
+    // One-entry cache: pool workers record against a single recorder
+    // for their whole (short) life, so a map would be overkill.
+    thread_local std::uint64_t cachedRecorder = 0;
+    thread_local ThreadBuffer *cachedBuffer = nullptr;
+    if (cachedRecorder == recorderId_ && cachedBuffer)
+        return *cachedBuffer;
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto buffer = std::make_unique<ThreadBuffer>();
+    buffer->tid = currentTid();
+    buffers_.push_back(std::move(buffer));
+    cachedRecorder = recorderId_;
+    cachedBuffer = buffers_.back().get();
+    return *cachedBuffer;
+}
+
+void
+TraceRecorder::record(std::string name, std::uint64_t tsUs,
+                      std::uint64_t durUs)
+{
+    ThreadBuffer &buffer = localBuffer();
+    TraceEvent event;
+    event.name = std::move(name);
+    event.tsUs = tsUs;
+    event.durUs = durUs;
+    event.tid = buffer.tid;
+    std::lock_guard<std::mutex> lock(buffer.mutex);
+    buffer.events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent>
+TraceRecorder::snapshot() const
+{
+    std::vector<TraceEvent> merged;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto &buffer : buffers_) {
+            std::lock_guard<std::mutex> bufferLock(buffer->mutex);
+            merged.insert(merged.end(), buffer->events.begin(),
+                          buffer->events.end());
+        }
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const TraceEvent &a, const TraceEvent &b) {
+                  if (a.tsUs != b.tsUs)
+                      return a.tsUs < b.tsUs;
+                  if (a.durUs != b.durUs)
+                      return a.durUs > b.durUs;
+                  return a.name < b.name;
+              });
+    return merged;
+}
+
+void
+TraceRecorder::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &buffer : buffers_) {
+        std::lock_guard<std::mutex> bufferLock(buffer->mutex);
+        buffer->events.clear();
+    }
+}
+
+std::string
+TraceRecorder::toChromeJson() const
+{
+    JsonValue events = JsonValue::makeArray();
+    for (const TraceEvent &event : snapshot()) {
+        JsonValue entry = JsonValue::makeObject();
+        entry["name"] = JsonValue(event.name);
+        entry["ph"] = JsonValue("X");
+        entry["ts"] = JsonValue(static_cast<double>(event.tsUs));
+        entry["dur"] = JsonValue(static_cast<double>(event.durUs));
+        entry["pid"] = JsonValue(1);
+        entry["tid"] =
+            JsonValue(static_cast<double>(event.tid));
+        events.append(std::move(entry));
+    }
+    return events.dumpPretty();
+}
+
+TraceRecorder &
+TraceRecorder::global()
+{
+    static TraceRecorder recorder;
+    return recorder;
+}
+
+ScopedSpan::ScopedSpan(TraceRecorder *recorder, std::string name)
+    : recorder_(recorder), name_(std::move(name))
+{
+    if (recorder_)
+        startUs_ = recorder_->nowUs();
+}
+
+ScopedSpan::~ScopedSpan()
+{
+    if (recorder_) {
+        recorder_->record(std::move(name_), startUs_,
+                          recorder_->nowUs() - startUs_);
+    }
+}
+
+std::uint64_t
+ScopedSpan::elapsedUs() const
+{
+    return recorder_ ? recorder_->nowUs() - startUs_ : 0;
+}
+
+} // namespace rememberr

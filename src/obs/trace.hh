@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Trace spans: RAII duration events collected into per-thread
+ * buffers and exported as Chrome `trace_event` JSON, loadable in
+ * chrome://tracing and Perfetto.
+ *
+ * A `ScopedSpan` stamps its start against the recorder's monotonic
+ * epoch (std::chrono::steady_clock) on construction and appends one
+ * complete event (ph "X") to the *recording thread's* buffer on
+ * destruction. Each thread's first record against a recorder
+ * registers a buffer under the recorder mutex; subsequent records
+ * append under that buffer's own (uncontended) mutex, so concurrent
+ * workers never share a buffer and never serialize against each
+ * other. Buffers are owned by the recorder and outlive the threads
+ * that fill them — short-lived pool workers are fine. `snapshot()`
+ * merges every buffer and sorts by (start, longest-first), giving a
+ * stable order where enclosing spans precede the spans they nest.
+ *
+ * A null `TraceRecorder *` disables a span entirely: no clock read,
+ * no allocation, no buffer touch.
+ */
+
+#ifndef REMEMBERR_OBS_TRACE_HH
+#define REMEMBERR_OBS_TRACE_HH
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rememberr {
+
+/** One complete ("X") trace event. Times are in microseconds since
+ * the recorder's construction. */
+struct TraceEvent
+{
+    std::string name;
+    std::uint64_t tsUs = 0;
+    std::uint64_t durUs = 0;
+    std::uint32_t tid = 0;
+
+    bool operator==(const TraceEvent &other) const = default;
+};
+
+/** Collects trace events from any number of threads. */
+class TraceRecorder
+{
+  public:
+    TraceRecorder();
+
+    /** Microseconds elapsed since this recorder was constructed. */
+    std::uint64_t nowUs() const;
+
+    /** Append one complete event to the calling thread's buffer. */
+    void record(std::string name, std::uint64_t tsUs,
+                std::uint64_t durUs);
+
+    /** Merge all buffers, sorted by (tsUs, durUs desc, name). */
+    std::vector<TraceEvent> snapshot() const;
+
+    /** Drop every recorded event (buffers stay registered). */
+    void clear();
+
+    /**
+     * Chrome trace_event format: a JSON array of objects
+     * {"name", "ph": "X", "ts", "dur", "pid", "tid"} — the "JSON
+     * Array Format" accepted by chrome://tracing and Perfetto.
+     */
+    std::string toChromeJson() const;
+
+    /** The process-global recorder (default pipeline target). */
+    static TraceRecorder &global();
+
+  private:
+    struct ThreadBuffer
+    {
+        std::uint32_t tid = 0;
+        mutable std::mutex mutex;
+        std::vector<TraceEvent> events;
+    };
+
+    ThreadBuffer &localBuffer();
+
+    std::chrono::steady_clock::time_point epoch_;
+    std::uint64_t recorderId_;
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/**
+ * RAII span: records [construction, destruction) of the current
+ * thread against `recorder`, or nothing when `recorder` is null.
+ */
+class ScopedSpan
+{
+  public:
+    ScopedSpan(TraceRecorder *recorder, std::string name);
+    ~ScopedSpan();
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+    /** Microseconds since the span started (0 when disabled). */
+    std::uint64_t elapsedUs() const;
+
+  private:
+    TraceRecorder *recorder_;
+    std::string name_;
+    std::uint64_t startUs_ = 0;
+};
+
+} // namespace rememberr
+
+#endif // REMEMBERR_OBS_TRACE_HH

@@ -2,26 +2,63 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
 #include <stdexcept>
 
 namespace rememberr {
 
 namespace {
 
-std::atomic<bool> quietFlag{false};
+std::atomic<int> levelFlag{static_cast<int>(LogLevel::Info)};
+
+/**
+ * Write one already-formatted line to stderr. The message is
+ * assembled into a single buffer and written with one fwrite under a
+ * mutex: stdio locks individual fprintf calls, but a multi-part
+ * emission (prefix, body, newline) could interleave between pool
+ * workers without this.
+ */
+void
+emitLine(const char *prefix, const std::string &msg)
+{
+    std::string line;
+    line.reserve(msg.size() + 16);
+    line += prefix;
+    line += ": ";
+    line += msg;
+    line += '\n';
+    static std::mutex emitMutex;
+    std::lock_guard<std::mutex> lock(emitMutex);
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
+}
 
 } // namespace
 
 void
+setLogLevel(LogLevel level)
+{
+    levelFlag.store(static_cast<int>(level),
+                    std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return static_cast<LogLevel>(
+        levelFlag.load(std::memory_order_relaxed));
+}
+
+void
 setLogQuiet(bool quiet)
 {
-    quietFlag.store(quiet, std::memory_order_relaxed);
+    setLogLevel(quiet ? LogLevel::Quiet : LogLevel::Info);
 }
 
 bool
 logQuiet()
 {
-    return quietFlag.load(std::memory_order_relaxed);
+    return logLevel() == LogLevel::Quiet;
 }
 
 namespace detail {
@@ -29,7 +66,8 @@ namespace detail {
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    emitLine("panic",
+             msg + " (" + file + ":" + std::to_string(line) + ")");
     std::abort();
 }
 
@@ -45,15 +83,22 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    if (!logQuiet())
-        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    if (logLevel() >= LogLevel::Info)
+        emitLine("warn", msg);
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (!logQuiet())
-        std::fprintf(stderr, "info: %s\n", msg.c_str());
+    if (logLevel() >= LogLevel::Info)
+        emitLine("info", msg);
+}
+
+void
+debugImpl(const std::string &msg)
+{
+    if (logLevel() == LogLevel::Debug)
+        emitLine("debug", msg);
 }
 
 } // namespace detail

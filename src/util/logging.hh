@@ -4,7 +4,12 @@
  *
  * panic() is for internal invariant violations (library bugs); fatal()
  * is for unrecoverable user errors (bad input files, bad parameters).
- * warn()/inform() report conditions without stopping.
+ * warn()/inform() report conditions without stopping; debug() traces
+ * internals and only prints at the Debug verbosity level.
+ *
+ * Emission is thread-safe: each message is formatted into one
+ * complete line and written with a single locked write, so warnings
+ * fired concurrently from pool workers never interleave.
  */
 
 #ifndef REMEMBERR_UTIL_LOGGING_HH
@@ -35,10 +40,23 @@ formatMessage(const Args &...args)
                             const std::string &msg);
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
+void debugImpl(const std::string &msg);
 
 } // namespace detail
 
-/** Whether warn()/inform() print to stderr. Tests may silence them. */
+/**
+ * Verbosity of warn()/inform()/debug() (panic/fatal are never
+ * silenced). Quiet drops everything, Info (the default) drops only
+ * debug traces, Debug prints all three.
+ */
+enum class LogLevel : int { Quiet = 0, Info = 1, Debug = 2 };
+
+/** Set/read the process-wide verbosity. Thread-safe. */
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/** Back-compat quiet switch: quiet == LogLevel::Quiet, not quiet ==
+ * LogLevel::Info. Tests silence warn()/inform() through this. */
 void setLogQuiet(bool quiet);
 bool logQuiet();
 
@@ -65,5 +83,17 @@ bool logQuiet();
 #define REMEMBERR_INFORM(...)                                             \
     ::rememberr::detail::informImpl(                                      \
         ::rememberr::detail::formatMessage(__VA_ARGS__))
+
+/** Trace internals; printed only at LogLevel::Debug. The level test
+ * happens before formatting, so disabled traces cost one atomic
+ * load and never evaluate their arguments' stream operators. */
+#define REMEMBERR_DEBUG(...)                                              \
+    do {                                                                  \
+        if (::rememberr::logLevel() ==                                    \
+            ::rememberr::LogLevel::Debug) {                               \
+            ::rememberr::detail::debugImpl(                               \
+                ::rememberr::detail::formatMessage(__VA_ARGS__));         \
+        }                                                                 \
+    } while (0)
 
 #endif // REMEMBERR_UTIL_LOGGING_HH

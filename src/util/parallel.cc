@@ -1,7 +1,10 @@
 #include "parallel.hh"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
+#include <memory>
+#include <mutex>
 #include <thread>
 
 namespace rememberr {
@@ -34,6 +37,49 @@ chunkRanges(std::size_t n, std::size_t chunks)
     return ranges;
 }
 
+namespace {
+
+// The sink is shared_ptr-swapped so a region that already grabbed a
+// reference keeps a valid callable even if another thread replaces
+// the sink mid-region.
+std::mutex poolSinkMutex;
+std::shared_ptr<const PoolStatsSink> poolSink;
+std::atomic<bool> poolSinkInstalled{false};
+
+std::shared_ptr<const PoolStatsSink>
+currentPoolSink()
+{
+    if (!poolSinkInstalled.load(std::memory_order_acquire))
+        return nullptr;
+    std::lock_guard<std::mutex> lock(poolSinkMutex);
+    return poolSink;
+}
+
+std::uint64_t
+nowUs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+void
+setPoolStatsSink(PoolStatsSink sink)
+{
+    std::lock_guard<std::mutex> lock(poolSinkMutex);
+    if (sink) {
+        poolSink =
+            std::make_shared<const PoolStatsSink>(std::move(sink));
+        poolSinkInstalled.store(true, std::memory_order_release);
+    } else {
+        poolSinkInstalled.store(false, std::memory_order_release);
+        poolSink.reset();
+    }
+}
+
 namespace detail {
 
 void
@@ -50,34 +96,55 @@ runChunked(std::size_t chunkCount, std::size_t workers,
         return;
     }
 
+    auto sink = currentPoolSink();
+
     std::atomic<std::size_t> next{0};
     // First failure by *chunk index*, so the rethrown exception does
     // not depend on thread scheduling.
     std::vector<std::exception_ptr> failures(chunkCount);
     std::atomic<bool> failed{false};
+    std::vector<WorkerStats> stats(sink ? workers : 0);
 
-    auto work = [&] {
+    auto work = [&](std::size_t worker) {
+        std::uint64_t begin = sink ? nowUs() : 0;
+        std::uint64_t busy = 0;
+        std::size_t claimed = 0;
         for (;;) {
             std::size_t chunk =
                 next.fetch_add(1, std::memory_order_relaxed);
             if (chunk >= chunkCount)
-                return;
+                break;
+            std::uint64_t chunkBegin = sink ? nowUs() : 0;
             try {
                 body(chunk);
             } catch (...) {
                 failures[chunk] = std::current_exception();
                 failed.store(true, std::memory_order_release);
             }
+            if (sink) {
+                busy += nowUs() - chunkBegin;
+                ++claimed;
+            }
+        }
+        if (sink) {
+            std::uint64_t wall = nowUs() - begin;
+            stats[worker].worker = worker;
+            stats[worker].chunks = claimed;
+            stats[worker].busyUs = busy;
+            stats[worker].idleUs = wall > busy ? wall - busy : 0;
         }
     };
 
     std::vector<std::thread> pool;
     pool.reserve(workers - 1);
     for (std::size_t w = 1; w < workers; ++w)
-        pool.emplace_back(work);
-    work();
+        pool.emplace_back(work, w);
+    work(0);
     for (std::thread &thread : pool)
         thread.join();
+
+    if (sink)
+        (*sink)(stats);
 
     if (failed.load(std::memory_order_acquire)) {
         for (std::exception_ptr &failure : failures) {

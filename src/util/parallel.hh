@@ -22,6 +22,7 @@
 #define REMEMBERR_UTIL_PARALLEL_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <utility>
@@ -31,6 +32,40 @@ namespace rememberr {
 
 /** Resolve the 0/1/N thread-count convention to a worker count. */
 std::size_t resolveThreadCount(std::size_t threads);
+
+/**
+ * Per-worker accounting for one fork-join region, reported through
+ * the pool stats sink so scheduling skew (uneven chunk claims, long
+ * tail waits) is visible to the observability layer.
+ */
+struct WorkerStats
+{
+    /** Worker index within the region (0 = the calling thread). */
+    std::size_t worker = 0;
+    /** Chunks this worker claimed. */
+    std::size_t chunks = 0;
+    /** Time spent inside chunk bodies. */
+    std::uint64_t busyUs = 0;
+    /** Wall time minus busy time: chunk-claim overhead plus the wait
+     * for the region to drain after this worker ran out of work. */
+    std::uint64_t idleUs = 0;
+};
+
+/**
+ * Observer for fork-join regions; invoked on the calling thread
+ * after every multi-worker region joins, with one entry per worker.
+ * Serial (inline) execution reports nothing. The sink must be
+ * thread-safe if parallel regions run from several threads at once.
+ */
+using PoolStatsSink =
+    std::function<void(const std::vector<WorkerStats> &)>;
+
+/**
+ * Install (or, with nullptr, remove) the process-wide pool stats
+ * sink. With no sink installed the executor takes no timestamps —
+ * the only cost is one atomic flag test per region.
+ */
+void setPoolStatsSink(PoolStatsSink sink);
 
 /**
  * Partition [0, n) into at most `chunks` contiguous half-open

@@ -9,9 +9,13 @@
 #include <fstream>
 #include <sstream>
 
+#include <unistd.h>
+
 #include "cli/commands.hh"
 #include "core/pipeline.hh"
 #include "document/format.hh"
+#include "util/csv.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
 
 namespace rememberr {
@@ -235,8 +239,11 @@ class CliFileTest : public ::testing::Test
     SetUp() override
     {
         setLogQuiet(true);
+        // Unique per process: ctest runs each case as its own
+        // process, possibly in parallel, and TearDown's remove_all
+        // on a shared directory would race against sibling cases.
         dir_ = std::filesystem::temp_directory_path() /
-               "rememberr_cli_test";
+               ("rememberr_cli_test_" + std::to_string(getpid()));
         std::filesystem::create_directories(dir_);
         // Write one small document (the defect-bearing Core 1 D).
         Corpus corpus = generateDefaultCorpus();
@@ -329,6 +336,159 @@ TEST(Cli, GenerateRequiresOut)
 {
     EXPECT_EQ(run({"generate"}).code, 2);
     EXPECT_EQ(run({"figures"}).code, 2);
+}
+
+// ---- Observability ------------------------------------------------------
+
+TEST(Cli, VerboseAndQuietAreMutuallyExclusive)
+{
+    CliResult result = run({"stats", "--verbose", "--quiet"});
+    EXPECT_EQ(result.code, 2);
+    EXPECT_NE(result.err.find("mutually exclusive"),
+              std::string::npos);
+}
+
+TEST(Cli, UsageMentionsObservabilityOptions)
+{
+    CliResult result = run({"help"});
+    EXPECT_NE(result.err.find("profile"), std::string::npos);
+    EXPECT_NE(result.err.find("--metrics-out"), std::string::npos);
+    EXPECT_NE(result.err.find("--trace-out"), std::string::npos);
+    EXPECT_NE(result.err.find("--verbose"), std::string::npos);
+}
+
+TEST(Cli, ProfilePrintsPerStageTable)
+{
+    CliResult result = run({"profile"});
+    EXPECT_EQ(result.code, 0);
+    for (const char *stage : {"acquire", "parse", "lint", "dedup",
+                              "classify", "assemble", "total"}) {
+        EXPECT_NE(result.out.find(stage), std::string::npos)
+            << "missing stage row: " << stage;
+    }
+    EXPECT_NE(result.out.find("items/s"), std::string::npos);
+    EXPECT_NE(result.out.find("work pool"), std::string::npos);
+}
+
+class CliObsFileTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        setLogQuiet(true);
+        // Unique per process; see CliFileTest::SetUp.
+        dir_ = std::filesystem::temp_directory_path() /
+               ("rememberr_cli_obs_test_" +
+                std::to_string(getpid()));
+        std::filesystem::create_directories(dir_);
+    }
+
+    void
+    TearDown() override
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(dir_, ec);
+    }
+
+    std::string
+    slurp(const std::string &path) const
+    {
+        std::ifstream in(path);
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        return buffer.str();
+    }
+
+    std::filesystem::path dir_;
+};
+
+TEST_F(CliObsFileTest, ProfileWritesValidMetricsAndTrace)
+{
+    std::string metricsPath = (dir_ / "metrics.json").string();
+    std::string tracePath = (dir_ / "trace.json").string();
+    CliResult result =
+        run({"profile", "--threads", "2", "--metrics-out",
+             metricsPath, "--trace-out", tracePath});
+    EXPECT_EQ(result.code, 0);
+
+    auto metrics = parseJson(slurp(metricsPath));
+    ASSERT_TRUE(metrics);
+    const JsonValue &counters = metrics.value().at("counters");
+    EXPECT_GT(counters.at("pipeline.parse.documents").asInt(), 0);
+    EXPECT_GT(counters.at("pipeline.dedup.candidate_pairs").asInt(),
+              0);
+    // --threads 2 engages the pool, so worker stats must be there.
+    EXPECT_GT(counters.at("parallel.chunks").asInt(), 0);
+    const JsonValue &gauges = metrics.value().at("gauges");
+    std::int64_t total = gauges.at("pipeline.total_us").asInt();
+    EXPECT_GT(total, 0);
+
+    // Stage durations must cover the pipeline wall time (>= 90%).
+    std::int64_t stageSum = 0;
+    for (const char *stage : {"acquire", "parse", "lint", "dedup",
+                              "classify", "assemble"}) {
+        stageSum += gauges
+                        .at(std::string("pipeline.stage_us.") +
+                            stage)
+                        .asInt();
+    }
+    EXPECT_GE(stageSum * 10, total * 9);
+    EXPECT_LE(stageSum, total);
+
+    // The trace validates against the Chrome trace_event shape.
+    auto trace = parseJson(slurp(tracePath));
+    ASSERT_TRUE(trace);
+    ASSERT_TRUE(trace.value().isArray());
+    EXPECT_GE(trace.value().size(), 7u); // 6 stages + umbrella
+    bool sawPipeline = false;
+    for (const JsonValue &event : trace.value().asArray()) {
+        ASSERT_TRUE(event.isObject());
+        EXPECT_EQ(event.at("ph").asString(), "X");
+        EXPECT_TRUE(event.at("name").isString());
+        EXPECT_TRUE(event.at("ts").isNumber());
+        EXPECT_TRUE(event.at("dur").isNumber());
+        EXPECT_TRUE(event.at("pid").isNumber());
+        EXPECT_TRUE(event.at("tid").isNumber());
+        sawPipeline |= event.at("name").asString() == "pipeline";
+    }
+    EXPECT_TRUE(sawPipeline);
+}
+
+TEST_F(CliObsFileTest, ProfileWritesCsvMetricsByExtension)
+{
+    std::string path = (dir_ / "metrics.csv").string();
+    CliResult result = run({"profile", "--metrics-out", path});
+    EXPECT_EQ(result.code, 0);
+    auto parsed = parseCsv(slurp(path));
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(parsed.value().header,
+              (std::vector<std::string>{"kind", "name", "field",
+                                        "value"}));
+    EXPECT_FALSE(parsed.value().rows.empty());
+}
+
+TEST_F(CliObsFileTest, StatsAcceptsMetricsAndTraceOut)
+{
+    std::string metricsPath = (dir_ / "stats_metrics.json").string();
+    std::string tracePath = (dir_ / "stats_trace.json").string();
+    CliResult result = run({"stats", "--metrics-out", metricsPath,
+                            "--trace-out", tracePath});
+    EXPECT_EQ(result.code, 0);
+    auto metrics = parseJson(slurp(metricsPath));
+    ASSERT_TRUE(metrics);
+    EXPECT_TRUE(metrics.value().contains("counters"));
+    auto trace = parseJson(slurp(tracePath));
+    ASSERT_TRUE(trace);
+    EXPECT_TRUE(trace.value().isArray());
+}
+
+TEST(Cli, MetricsOutToUnwritablePathFails)
+{
+    CliResult result = run(
+        {"stats", "--metrics-out", "/nonexistent/dir/m.json"});
+    EXPECT_EQ(result.code, 1);
+    EXPECT_NE(result.err.find("cannot write"), std::string::npos);
 }
 
 } // namespace

@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Unit tests for the observability layer: metrics registry
+ * correctness under concurrent increments, trace span
+ * nesting/ordering, JSON/CSV export goldens, and the work-pool
+ * stats sink.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "obs/metrics.hh"
+#include "obs/pool_metrics.hh"
+#include "obs/trace.hh"
+#include "util/json.hh"
+#include "util/parallel.hh"
+
+namespace rememberr {
+namespace {
+
+// ---- Counters and gauges ------------------------------------------------
+
+TEST(Metrics, CounterStartsAtZeroAndAccumulates)
+{
+    MetricsRegistry registry;
+    Counter &counter = registry.counter("x");
+    EXPECT_EQ(counter.value(), 0u);
+    counter.add();
+    counter.add(41);
+    EXPECT_EQ(counter.value(), 42u);
+    // Lookup by name returns the same instrument.
+    EXPECT_EQ(registry.counter("x").value(), 42u);
+    EXPECT_EQ(&registry.counter("x"), &counter);
+}
+
+TEST(Metrics, CounterConcurrentIncrementsLoseNothing)
+{
+    MetricsRegistry registry;
+    Counter &counter = registry.counter("hits");
+    constexpr std::size_t n = 100000;
+    parallelFor(n, 4, [&](std::size_t) { counter.add(); });
+    EXPECT_EQ(counter.value(), n);
+}
+
+TEST(Metrics, GaugeLastWriteWins)
+{
+    MetricsRegistry registry;
+    Gauge &gauge = registry.gauge("depth");
+    gauge.set(-3);
+    EXPECT_EQ(gauge.value(), -3);
+    gauge.set(17);
+    EXPECT_EQ(gauge.value(), 17);
+}
+
+TEST(Metrics, FindDoesNotCreate)
+{
+    MetricsRegistry registry;
+    EXPECT_EQ(registry.findCounter("absent"), nullptr);
+    EXPECT_EQ(registry.findGauge("absent"), nullptr);
+    EXPECT_EQ(registry.findHistogram("absent"), nullptr);
+    registry.counter("present");
+    EXPECT_NE(registry.findCounter("present"), nullptr);
+    EXPECT_EQ(registry.findGauge("present"), nullptr);
+}
+
+// ---- Histograms ---------------------------------------------------------
+
+TEST(Metrics, HistogramBucketsByInclusiveUpperBound)
+{
+    MetricsRegistry registry;
+    Histogram &h =
+        registry.histogram("lat", {1.0, 10.0, 100.0});
+    h.observe(0.5);  // bucket 0
+    h.observe(1.0);  // bucket 0 (inclusive)
+    h.observe(5.0);  // bucket 1
+    h.observe(100.0); // bucket 2
+    h.observe(1e9);  // overflow
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(2), 1u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 5.0 + 100.0 + 1e9);
+}
+
+TEST(Metrics, HistogramConcurrentObservesLoseNothing)
+{
+    MetricsRegistry registry;
+    Histogram &h = registry.histogram("v", {10.0, 100.0});
+    constexpr std::size_t n = 50000;
+    parallelFor(n, 4, [&](std::size_t i) {
+        h.observe(static_cast<double>(i % 150));
+    });
+    EXPECT_EQ(h.count(), n);
+    std::uint64_t total =
+        h.bucketCount(0) + h.bucketCount(1) + h.bucketCount(2);
+    EXPECT_EQ(total, n);
+    // Sum of 0..149 repeated; exact because all values are small
+    // integers (no FP rounding at this magnitude).
+    double expected = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        expected += static_cast<double>(i % 150);
+    EXPECT_DOUBLE_EQ(h.sum(), expected);
+}
+
+TEST(Metrics, ResetZeroesEverythingKeepingReferences)
+{
+    MetricsRegistry registry;
+    Counter &counter = registry.counter("c");
+    Gauge &gauge = registry.gauge("g");
+    Histogram &h = registry.histogram("h", {1.0});
+    counter.add(5);
+    gauge.set(5);
+    h.observe(0.5);
+    registry.reset();
+    EXPECT_EQ(counter.value(), 0u);
+    EXPECT_EQ(gauge.value(), 0);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.bucketCount(0), 0u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+    // The instruments are still the registered ones.
+    counter.add();
+    EXPECT_EQ(registry.counter("c").value(), 1u);
+}
+
+// ---- Export goldens -----------------------------------------------------
+
+TEST(Metrics, JsonExportGolden)
+{
+    MetricsRegistry registry;
+    registry.counter("b.count").add(3);
+    registry.counter("a.count").add(1);
+    registry.gauge("depth").set(-2);
+    Histogram &h = registry.histogram("lat", {1.0, 10.0});
+    h.observe(0.5);
+    h.observe(7.0);
+    h.observe(99.0);
+    EXPECT_EQ(
+        registry.toJson().dump(),
+        "{\"counters\":{\"a.count\":1,\"b.count\":3},"
+        "\"gauges\":{\"depth\":-2},"
+        "\"histograms\":{\"lat\":{\"buckets\":["
+        "{\"count\":1,\"le\":1},"
+        "{\"count\":1,\"le\":10},"
+        "{\"count\":1,\"le\":\"inf\"}],"
+        "\"count\":3,\"sum\":106.5}}}");
+}
+
+TEST(Metrics, CsvExportGolden)
+{
+    MetricsRegistry registry;
+    registry.counter("runs").add(2);
+    registry.gauge("depth").set(7);
+    Histogram &h = registry.histogram("lat", {1.0});
+    h.observe(0.25);
+    h.observe(4.0);
+    EXPECT_EQ(registry.toCsv(),
+              "kind,name,field,value\n"
+              "counter,runs,value,2\n"
+              "gauge,depth,value,7\n"
+              "histogram,lat,count,2\n"
+              "histogram,lat,sum,4.25\n"
+              "histogram,lat,le 1,1\n"
+              "histogram,lat,le inf,1\n");
+}
+
+TEST(Metrics, JsonExportRoundTripsThroughParser)
+{
+    MetricsRegistry registry;
+    registry.counter("pipeline.runs").add(1);
+    registry.histogram("h").observe(3.0);
+    auto parsed = parseJson(registry.toJson().dumpPretty());
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(parsed.value()
+                  .at("counters")
+                  .at("pipeline.runs")
+                  .asInt(),
+              1);
+    EXPECT_EQ(
+        parsed.value().at("histograms").at("h").at("count").asInt(),
+        1);
+}
+
+// ---- Trace spans --------------------------------------------------------
+
+TEST(Trace, NestedSpansOrderAndContainment)
+{
+    TraceRecorder recorder;
+    {
+        ScopedSpan outer(&recorder, "outer");
+        {
+            ScopedSpan inner(&recorder, "inner");
+        }
+    }
+    auto events = recorder.snapshot();
+    ASSERT_EQ(events.size(), 2u);
+    // Sorted by start: the enclosing span comes first.
+    EXPECT_EQ(events[0].name, "outer");
+    EXPECT_EQ(events[1].name, "inner");
+    EXPECT_LE(events[0].tsUs, events[1].tsUs);
+    EXPECT_GE(events[0].durUs, events[1].durUs);
+    EXPECT_LE(events[1].tsUs + events[1].durUs,
+              events[0].tsUs + events[0].durUs);
+    EXPECT_EQ(events[0].tid, events[1].tid);
+}
+
+TEST(Trace, NullRecorderIsNoOp)
+{
+    ScopedSpan span(nullptr, "nothing");
+    EXPECT_EQ(span.elapsedUs(), 0u);
+}
+
+TEST(Trace, PerThreadBuffersMergeOnSnapshot)
+{
+    TraceRecorder recorder;
+    constexpr std::size_t n = 64;
+    parallelFor(n, 4, [&](std::size_t i) {
+        ScopedSpan span(&recorder,
+                        "work." + std::to_string(i));
+    });
+    auto events = recorder.snapshot();
+    EXPECT_EQ(events.size(), n);
+    for (const TraceEvent &event : events)
+        EXPECT_GE(event.tid, 1u);
+}
+
+TEST(Trace, ClearDropsEvents)
+{
+    TraceRecorder recorder;
+    { ScopedSpan span(&recorder, "a"); }
+    EXPECT_EQ(recorder.snapshot().size(), 1u);
+    recorder.clear();
+    EXPECT_TRUE(recorder.snapshot().empty());
+    { ScopedSpan span(&recorder, "b"); }
+    EXPECT_EQ(recorder.snapshot().size(), 1u);
+}
+
+TEST(Trace, ChromeJsonMatchesTraceEventSchema)
+{
+    TraceRecorder recorder;
+    {
+        ScopedSpan outer(&recorder, "stage");
+        ScopedSpan inner(&recorder, "sub");
+    }
+    auto parsed = parseJson(recorder.toChromeJson());
+    ASSERT_TRUE(parsed);
+    ASSERT_TRUE(parsed.value().isArray());
+    ASSERT_EQ(parsed.value().size(), 2u);
+    for (const JsonValue &event : parsed.value().asArray()) {
+        ASSERT_TRUE(event.isObject());
+        EXPECT_TRUE(event.at("name").isString());
+        EXPECT_EQ(event.at("ph").asString(), "X");
+        EXPECT_TRUE(event.at("ts").isNumber());
+        EXPECT_TRUE(event.at("dur").isNumber());
+        EXPECT_TRUE(event.at("pid").isNumber());
+        EXPECT_TRUE(event.at("tid").isNumber());
+    }
+}
+
+// ---- Work-pool stats ----------------------------------------------------
+
+TEST(PoolStats, SinkSeesEveryChunkOnce)
+{
+    std::vector<std::vector<WorkerStats>> regions;
+    std::mutex mutex;
+    setPoolStatsSink([&](const std::vector<WorkerStats> &stats) {
+        std::lock_guard<std::mutex> lock(mutex);
+        regions.push_back(stats);
+    });
+    constexpr std::size_t n = 1000;
+    std::atomic<std::size_t> touched{0};
+    parallelFor(n, 4, [&](std::size_t) {
+        touched.fetch_add(1, std::memory_order_relaxed);
+    });
+    setPoolStatsSink(nullptr);
+
+    EXPECT_EQ(touched.load(), n);
+    ASSERT_EQ(regions.size(), 1u);
+    std::size_t chunks = 0;
+    for (const WorkerStats &worker : regions[0])
+        chunks += worker.chunks;
+    // parallelFor(n, 4) splits into min(n, 4 * chunksPerWorker)
+    // chunks; every chunk is claimed by exactly one worker.
+    EXPECT_EQ(chunks, std::min<std::size_t>(
+                          n, 4 * detail::chunksPerWorker));
+    EXPECT_LE(regions[0].size(), 4u);
+}
+
+TEST(PoolStats, SerialRunsReportNothing)
+{
+    bool fired = false;
+    setPoolStatsSink(
+        [&](const std::vector<WorkerStats> &) { fired = true; });
+    parallelFor(100, 1, [](std::size_t) {});
+    setPoolStatsSink(nullptr);
+    EXPECT_FALSE(fired);
+}
+
+TEST(PoolStats, AttachPoolMetricsAccumulates)
+{
+    MetricsRegistry registry;
+    attachPoolMetrics(registry);
+    parallelFor(500, 2, [](std::size_t) {});
+    parallelFor(500, 2, [](std::size_t) {});
+    detachPoolMetrics();
+
+    const Counter *reg = registry.findCounter("parallel.regions");
+    ASSERT_NE(reg, nullptr);
+    EXPECT_EQ(reg->value(), 2u);
+    const Counter *chunks = registry.findCounter("parallel.chunks");
+    ASSERT_NE(chunks, nullptr);
+    EXPECT_EQ(chunks->value(),
+              2 * std::min<std::size_t>(
+                      500, 2 * detail::chunksPerWorker));
+    const Histogram *perWorker =
+        registry.findHistogram("parallel.worker_chunks");
+    ASSERT_NE(perWorker, nullptr);
+    EXPECT_EQ(perWorker->count(),
+              registry.findCounter("parallel.workers")->value());
+
+    // Detached: further regions leave the registry untouched.
+    parallelFor(500, 2, [](std::size_t) {});
+    EXPECT_EQ(reg->value(), 2u);
+}
+
+} // namespace
+} // namespace rememberr

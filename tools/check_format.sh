@@ -1,0 +1,35 @@
+#!/bin/sh
+# Source-hygiene smoke check (a clang-format stand-in that needs no
+# tooling): no tab indentation, no trailing whitespace, and a final
+# newline in every C++ source file. Run from the repository root,
+# or via the `check_format` CMake target.
+#
+# Exit status: 0 when clean, 1 with one line per offending file.
+
+set -u
+
+fail=0
+tab=$(printf '\t')
+
+files=$(find src tests bench tools examples \
+    \( -name '*.cc' -o -name '*.hh' \) 2>/dev/null | sort)
+
+for f in $files; do
+    if grep -n "^${tab}" "$f" > /dev/null; then
+        echo "check_format: $f: tab indentation"
+        fail=1
+    fi
+    if grep -n "[ ${tab}]\$" "$f" > /dev/null; then
+        echo "check_format: $f: trailing whitespace"
+        fail=1
+    fi
+    if [ -s "$f" ] && [ "$(tail -c 1 "$f" | wc -l)" -eq 0 ]; then
+        echo "check_format: $f: missing final newline"
+        fail=1
+    fi
+done
+
+if [ "$fail" -eq 0 ]; then
+    echo "check_format: $(echo "$files" | wc -l | tr -d ' ') files clean"
+fi
+exit "$fail"
