@@ -1,6 +1,8 @@
 #include "engine.hh"
 
+#include "prefilter.hh"
 #include "rules.hh"
+#include "text/literal_scan.hh"
 
 namespace rememberr {
 
@@ -29,7 +31,8 @@ erratumFullText(const Erratum &erratum)
 }
 
 EngineResult
-classifyText(const std::string &body, const std::string &full)
+classifyText(const std::string &body, const std::string &full,
+             const ClassifyOptions &options)
 {
     const RuleSet &rules = RuleSet::instance();
     const Taxonomy &taxonomy = Taxonomy::instance();
@@ -38,10 +41,40 @@ classifyText(const std::string &body, const std::string &full)
     result.decisions.resize(taxonomy.categoryCount(),
                             Decision::AutoNo);
 
+    ClassifyStats localStats;
+    ClassifyStats &stats = options.stats ? *options.stats
+                                         : localStats;
+
+    // One linear scan per haystack answers, for every pattern at
+    // once, whether its required literal factors occur; the VM then
+    // only runs on possible matches. A skipped pattern cannot match,
+    // so the first-match-wins loops below take the same branches as
+    // without the prefilter.
+    const ClassifyPrefilter *prefilter = nullptr;
+    std::vector<std::uint8_t> bodyHits;
+    std::vector<std::uint8_t> fullHits;
+    if (options.usePrefilter) {
+        prefilter = &ClassifyPrefilter::instance();
+        prefilter->scanBody(foldForScan(body), bodyHits);
+        prefilter->scanFull(foldForScan(full), fullHits);
+    }
+
+    std::size_t category = 0;
     for (const CategoryRule &rule : rules.rules()) {
         bool accepted = false;
-        for (const Regex &regex : rule.accept) {
-            if (regex.contains(body)) {
+        for (std::size_t p = 0; p < rule.accept.size(); ++p) {
+            if (prefilter) {
+                const PrefilterState state =
+                    prefilter->acceptState(bodyHits, category, p);
+                if (state == PrefilterState::Skip) {
+                    ++stats.skipped;
+                    continue;
+                }
+                if (state == PrefilterState::FactorHit)
+                    ++stats.prefilterHits;
+            }
+            ++stats.vmRuns;
+            if (rule.accept[p].contains(body)) {
                 accepted = true;
                 break;
             }
@@ -49,11 +82,23 @@ classifyText(const std::string &body, const std::string &full)
         if (accepted) {
             result.decisions[rule.id] = Decision::AutoYes;
             result.autoYes.insert(rule.id);
+            ++category;
             continue;
         }
         bool relevant = false;
-        for (const Regex &regex : rule.relevance) {
-            if (regex.contains(full)) {
+        for (std::size_t p = 0; p < rule.relevance.size(); ++p) {
+            if (prefilter) {
+                const PrefilterState state =
+                    prefilter->relevanceState(fullHits, category, p);
+                if (state == PrefilterState::Skip) {
+                    ++stats.skipped;
+                    continue;
+                }
+                if (state == PrefilterState::FactorHit)
+                    ++stats.prefilterHits;
+            }
+            ++stats.vmRuns;
+            if (rule.relevance[p].contains(full)) {
                 relevant = true;
                 break;
             }
@@ -62,15 +107,16 @@ classifyText(const std::string &body, const std::string &full)
             result.decisions[rule.id] = Decision::Manual;
             result.manual.push_back(rule.id);
         }
+        ++category;
     }
     return result;
 }
 
 EngineResult
-classifyErratum(const Erratum &erratum)
+classifyErratum(const Erratum &erratum, const ClassifyOptions &options)
 {
     return classifyText(erratumBodyText(erratum),
-                        erratumFullText(erratum));
+                        erratumFullText(erratum), options);
 }
 
 } // namespace rememberr

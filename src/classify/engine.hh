@@ -14,6 +14,7 @@
 #ifndef REMEMBERR_CLASSIFY_ENGINE_HH
 #define REMEMBERR_CLASSIFY_ENGINE_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -48,12 +49,46 @@ std::string erratumBodyText(const Erratum &erratum);
 /** Full text (title + all prose) used for relevance filtering. */
 std::string erratumFullText(const Erratum &erratum);
 
+/** Counters describing one classification's prefilter behavior. */
+struct ClassifyStats
+{
+    /** Patterns the VM ran because a literal factor occurred. */
+    std::uint64_t prefilterHits = 0;
+    /** Patterns the backtracking VM actually evaluated. */
+    std::uint64_t vmRuns = 0;
+    /** Patterns skipped because a required factor was absent. */
+    std::uint64_t skipped = 0;
+
+    ClassifyStats &
+    operator+=(const ClassifyStats &o)
+    {
+        prefilterHits += o.prefilterHits;
+        vmRuns += o.vmRuns;
+        skipped += o.skipped;
+        return *this;
+    }
+};
+
+/** Engine knobs. Defaults preserve the historical behavior (the
+ * prefilter changes no decision, only the work done). */
+struct ClassifyOptions
+{
+    /** Screen patterns with the Aho–Corasick literal prefilter and
+     * run the regex VM only on possible matches. Decisions are
+     * identical either way. */
+    bool usePrefilter = true;
+    /** Optional per-call counters (not thread-shared). */
+    ClassifyStats *stats = nullptr;
+};
+
 /** Classify one erratum against all 60 categories. */
-EngineResult classifyErratum(const Erratum &erratum);
+EngineResult classifyErratum(const Erratum &erratum,
+                             const ClassifyOptions &options = {});
 
 /** Classify raw text (body == full). Used by tests and tools. */
 EngineResult classifyText(const std::string &body,
-                          const std::string &full);
+                          const std::string &full,
+                          const ClassifyOptions &options = {});
 
 } // namespace rememberr
 

@@ -67,11 +67,28 @@ runFourEyes(const Corpus &corpus, const FourEyesOptions &options)
     // therefore stays serial, consuming the precomputed results in
     // bug order — output is identical for every thread count.
     std::vector<EngineResult> engineResults(corpus.bugs.size());
+    std::vector<ClassifyStats> engineStats(corpus.bugs.size());
     parallelFor(corpus.bugs.size(), options.threads,
                 [&](std::size_t i) {
+                    ClassifyOptions classifyOptions;
+                    classifyOptions.usePrefilter =
+                        options.usePrefilter;
+                    classifyOptions.stats = &engineStats[i];
                     engineResults[i] = classifyErratum(
-                        representative(corpus.bugs[i]));
+                        representative(corpus.bugs[i]),
+                        classifyOptions);
                 });
+    if (options.metrics) {
+        ClassifyStats total;
+        for (const ClassifyStats &stats : engineStats)
+            total += stats;
+        options.metrics->counter("classify.prefilter.hits")
+            .add(total.prefilterHits);
+        options.metrics->counter("classify.prefilter.vm_runs")
+            .add(total.vmRuns);
+        options.metrics->counter("classify.prefilter.skipped")
+            .add(total.skipped);
+    }
 
     std::size_t correctLabels = 0;
     std::size_t totalLabels = 0;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "corpus/corpus.hh"
+#include "obs/metrics.hh"
 #include "taxonomy/taxonomy.hh"
 
 namespace rememberr {
@@ -52,6 +53,12 @@ struct FourEyesOptions
      * bit-identical for every thread count.
      */
     std::size_t threads = 1;
+    /** Screen rule patterns with the literal prefilter before
+     * running the regex VM (decision-neutral; see engine.hh). */
+    bool usePrefilter = true;
+    /** When set, receives classify.prefilter.{hits,vm_runs,skipped}
+     * counters for the engine stage. */
+    MetricsRegistry *metrics = nullptr;
 };
 
 /** Per-step protocol statistics. */

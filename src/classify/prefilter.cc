@@ -1,0 +1,62 @@
+#include "prefilter.hh"
+
+#include "obs/trace.hh"
+#include "rules.hh"
+
+namespace rememberr {
+
+namespace {
+
+/** Register one pattern list with a scanner, recording per-pattern
+ * factor availability and the category's base offset. */
+void
+registerPatterns(const std::vector<Regex> &patterns,
+                 LiteralScanner &scanner,
+                 std::vector<std::size_t> &bases,
+                 std::vector<std::uint8_t> &hasFactors,
+                 std::size_t &factored)
+{
+    bases.push_back(hasFactors.size());
+    for (const Regex &regex : patterns) {
+        const std::uint32_t id =
+            static_cast<std::uint32_t>(hasFactors.size());
+        const std::vector<std::string> factors =
+            regex.literalFactors();
+        if (factors.empty()) {
+            hasFactors.push_back(0);
+            // Keep owner ids dense even for factor-less patterns so
+            // the hit bitmap and the flattened id space line up.
+            scanner.addOwner(id, {});
+        } else {
+            hasFactors.push_back(1);
+            ++factored;
+            scanner.addOwner(id, factors);
+        }
+    }
+}
+
+} // namespace
+
+ClassifyPrefilter::ClassifyPrefilter()
+{
+    ScopedSpan span(&TraceRecorder::global(),
+                    "classify.prefilter.build");
+    for (const CategoryRule &rule : RuleSet::instance().rules()) {
+        registerPatterns(rule.accept, bodyScanner_, acceptBase_,
+                         acceptHasFactors_, factoredAccept_);
+        registerPatterns(rule.relevance, fullScanner_,
+                         relevanceBase_, relevanceHasFactors_,
+                         factoredRelevance_);
+    }
+    bodyScanner_.build();
+    fullScanner_.build();
+}
+
+const ClassifyPrefilter &
+ClassifyPrefilter::instance()
+{
+    static const ClassifyPrefilter prefilter;
+    return prefilter;
+}
+
+} // namespace rememberr

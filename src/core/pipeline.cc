@@ -130,6 +130,7 @@ runPipeline(const PipelineOptions &options)
         StageScope stage(options, "dedup");
         DedupOptions dedupOptions = options.dedup;
         dedupOptions.threads = options.threads;
+        dedupOptions.metrics = metrics;
         result.dedup = deduplicate(documents, dedupOptions);
         if (metrics) {
             const DedupResult &dedup = result.dedup;
@@ -153,6 +154,7 @@ runPipeline(const PipelineOptions &options)
         StageScope stage(options, "classify");
         FourEyesOptions foureyesOptions = options.foureyes;
         foureyesOptions.threads = options.threads;
+        foureyesOptions.metrics = metrics;
         result.annotations =
             runFourEyes(result.corpus, foureyesOptions);
         if (metrics) {

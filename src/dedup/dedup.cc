@@ -110,15 +110,29 @@ deduplicate(const std::vector<ErrataDocument> &documents,
         double similarity = 0.0;
     };
 
+    // Scoring compares each representative against many others, so
+    // canonicalization, tokenization and the byte histogram move out
+    // of the pair loop into one profile per representative; the
+    // thresholded kernel then screens most pairs without running the
+    // quadratic Jaro window loop. Kept pairs and scores are
+    // bit-identical to titleSimilarity (see similarity.hh).
+    std::vector<TitleProfile> profiles(reps.size());
+    parallelFor(reps.size(), options.threads, [&](std::size_t i) {
+        profiles[i] =
+            makeTitleProfile(rows[reps[i]].erratum->title);
+    });
+
     // Candidate generation + similarity scoring is the hot loop and
-    // is read-only over rows/index, so it shards across threads by
-    // representative index. Partial candidate lists are concatenated
-    // in chunk order, which reproduces the serial append order
-    // exactly; the union-find below stays strictly serial.
+    // is read-only over rows/index/profiles, so it shards across
+    // threads by representative index. Partial candidate lists are
+    // concatenated in chunk order, which reproduces the serial
+    // append order exactly; the union-find below stays strictly
+    // serial.
     struct CandidateShard
     {
         std::vector<Candidate> candidates;
         std::size_t pairsConsidered = 0;
+        SimilarityKernelStats stats;
     };
     auto mergeShards = [](CandidateShard &acc, CandidateShard &&part) {
         acc.candidates.insert(
@@ -126,6 +140,7 @@ deduplicate(const std::vector<ErrataDocument> &documents,
             std::make_move_iterator(part.candidates.begin()),
             std::make_move_iterator(part.candidates.end()));
         acc.pairsConsidered += part.pairsConsidered;
+        acc.stats += part.stats;
     };
 
     CandidateShard generated;
@@ -137,21 +152,22 @@ deduplicate(const std::vector<ErrataDocument> &documents,
             reps.size(), options.threads,
             [&](std::size_t begin, std::size_t end) {
                 CandidateShard shard;
+                NgramQueryScratch scratch;
                 for (std::size_t i = begin; i < end; ++i) {
                     auto hits = index.query(
-                        rows[reps[i]].erratum->title,
+                        rows[reps[i]].erratum->title, scratch,
                         options.ngramMinOverlap,
                         static_cast<std::int64_t>(i));
                     for (const NgramCandidate &hit : hits) {
                         if (hit.docId <= i)
                             continue; // count each unordered pair once
                         ++shard.pairsConsidered;
-                        double sim = titleSimilarity(
-                            rows[reps[i]].erratum->title,
-                            rows[reps[hit.docId]].erratum->title);
-                        if (sim >= options.reviewThreshold) {
+                        auto sim = titleSimilarityAtLeast(
+                            profiles[i], profiles[hit.docId],
+                            options.reviewThreshold, &shard.stats);
+                        if (sim) {
                             shard.candidates.push_back(Candidate{
-                                reps[i], reps[hit.docId], sim});
+                                reps[i], reps[hit.docId], *sim});
                         }
                     }
                 }
@@ -167,12 +183,12 @@ deduplicate(const std::vector<ErrataDocument> &documents,
                     for (std::size_t j = i + 1; j < reps.size();
                          ++j) {
                         ++shard.pairsConsidered;
-                        double sim = titleSimilarity(
-                            rows[reps[i]].erratum->title,
-                            rows[reps[j]].erratum->title);
-                        if (sim >= options.reviewThreshold) {
+                        auto sim = titleSimilarityAtLeast(
+                            profiles[i], profiles[j],
+                            options.reviewThreshold, &shard.stats);
+                        if (sim) {
                             shard.candidates.push_back(
-                                Candidate{reps[i], reps[j], sim});
+                                Candidate{reps[i], reps[j], *sim});
                         }
                     }
                 }
@@ -183,6 +199,17 @@ deduplicate(const std::vector<ErrataDocument> &documents,
     std::vector<Candidate> candidates =
         std::move(generated.candidates);
     result.candidatePairsConsidered = generated.pairsConsidered;
+    result.simKernel = generated.stats;
+    if (options.metrics) {
+        options.metrics->counter("dedup.simkernel.pairs")
+            .add(generated.stats.pairs);
+        options.metrics->counter("dedup.simkernel.screen_rejects")
+            .add(generated.stats.screenRejects);
+        options.metrics->counter("dedup.simkernel.jaro_runs")
+            .add(generated.stats.jaroRuns);
+        options.metrics->counter("dedup.simkernel.kept")
+            .add(generated.stats.kept);
+    }
 
     // Review in decreasing title similarity, as the paper did.
     std::sort(candidates.begin(), candidates.end(),

@@ -22,6 +22,8 @@
 
 #include "corpus/corpus.hh"
 #include "model/erratum.hh"
+#include "obs/metrics.hh"
+#include "text/similarity.hh"
 
 namespace rememberr {
 
@@ -65,6 +67,9 @@ struct DedupOptions
      * order and union-find merges stay serial.
      */
     std::size_t threads = 1;
+    /** When set, receives dedup.simkernel.* counters describing how
+     * often the thresholded similarity kernel short-circuited. */
+    MetricsRegistry *metrics = nullptr;
 };
 
 /** Outcome of deduplication. */
@@ -81,6 +86,8 @@ struct DedupResult
     std::size_t reviewConfirmedMerges = 0;
     std::size_t numericIdMerges = 0;
     std::size_t candidatePairsConsidered = 0;
+    /** Thresholded-similarity kernel behavior over the scoring loop. */
+    SimilarityKernelStats simKernel;
 
     /** Number of clusters whose rows all belong to the vendor. */
     std::size_t uniqueCount(const std::vector<ErrataDocument> &docs,

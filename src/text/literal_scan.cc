@@ -1,0 +1,136 @@
+#include "literal_scan.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/logging.hh"
+
+namespace rememberr {
+
+std::string
+foldForScan(std::string_view text)
+{
+    std::string out(text);
+    for (char &c : out) {
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+    }
+    return out;
+}
+
+void
+LiteralScanner::addOwner(std::uint32_t owner,
+                         const std::vector<std::string> &needles)
+{
+    if (built_)
+        REMEMBERR_PANIC("LiteralScanner: addOwner after build");
+    ownerLimit_ = std::max(ownerLimit_,
+                           static_cast<std::size_t>(owner) + 1);
+    for (const std::string &needle : needles) {
+        if (needle.empty()) {
+            REMEMBERR_PANIC(
+                "LiteralScanner: empty needle for owner ", owner);
+        }
+        std::int32_t state = 0;
+        for (char c : needle) {
+            unsigned char byte = static_cast<unsigned char>(c);
+            std::int32_t next = nodes_[static_cast<std::size_t>(
+                                           state)]
+                                    .next[byte];
+            if (next < 0) {
+                next = static_cast<std::int32_t>(nodes_.size());
+                nodes_.emplace_back();
+                nodes_[static_cast<std::size_t>(state)].next[byte] =
+                    next;
+            }
+            state = next;
+        }
+        auto &owners =
+            nodes_[static_cast<std::size_t>(state)].owners;
+        if (std::find(owners.begin(), owners.end(), owner) ==
+            owners.end()) {
+            owners.push_back(owner);
+        }
+        ++needleCount_;
+    }
+}
+
+void
+LiteralScanner::build()
+{
+    if (built_)
+        return;
+    built_ = true;
+
+    // BFS over the trie: compute each node's failure link, merge the
+    // failure target's owner list (so a state reports every needle
+    // ending at any of its suffixes), and resolve missing byte
+    // transitions through the failure link into full DFA moves.
+    std::vector<std::int32_t> fail(nodes_.size(), 0);
+    std::vector<std::int32_t> queue;
+    queue.reserve(nodes_.size());
+
+    for (int byte = 0; byte < 256; ++byte) {
+        std::int32_t child = nodes_[0].next[static_cast<
+            std::size_t>(byte)];
+        if (child < 0) {
+            nodes_[0].next[static_cast<std::size_t>(byte)] = 0;
+        } else {
+            fail[static_cast<std::size_t>(child)] = 0;
+            queue.push_back(child);
+        }
+    }
+
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+        std::int32_t state = queue[head];
+        Node &node = nodes_[static_cast<std::size_t>(state)];
+        const std::int32_t failState =
+            fail[static_cast<std::size_t>(state)];
+        // Merge suffix owners; keep the list sorted and unique so
+        // scan() emits each owner at most a handful of times.
+        const auto &suffixOwners =
+            nodes_[static_cast<std::size_t>(failState)].owners;
+        if (!suffixOwners.empty()) {
+            node.owners.insert(node.owners.end(),
+                               suffixOwners.begin(),
+                               suffixOwners.end());
+            std::sort(node.owners.begin(), node.owners.end());
+            node.owners.erase(std::unique(node.owners.begin(),
+                                          node.owners.end()),
+                              node.owners.end());
+        }
+        for (int byte = 0; byte < 256; ++byte) {
+            std::int32_t child =
+                node.next[static_cast<std::size_t>(byte)];
+            std::int32_t viaFail =
+                nodes_[static_cast<std::size_t>(failState)]
+                    .next[static_cast<std::size_t>(byte)];
+            if (child < 0) {
+                node.next[static_cast<std::size_t>(byte)] = viaFail;
+            } else {
+                fail[static_cast<std::size_t>(child)] = viaFail;
+                queue.push_back(child);
+            }
+        }
+    }
+}
+
+void
+LiteralScanner::scan(std::string_view foldedHaystack,
+                     std::vector<std::uint8_t> &hits) const
+{
+    if (!built_)
+        REMEMBERR_PANIC("LiteralScanner: scan before build");
+    hits.assign(ownerLimit_, 0);
+    std::int32_t state = 0;
+    for (char c : foldedHaystack) {
+        state = nodes_[static_cast<std::size_t>(state)]
+                    .next[static_cast<unsigned char>(c)];
+        const auto &owners =
+            nodes_[static_cast<std::size_t>(state)].owners;
+        for (std::uint32_t owner : owners)
+            hits[owner] = 1;
+    }
+}
+
+} // namespace rememberr

@@ -1,7 +1,6 @@
 #include "ngram_index.hh"
 
 #include <algorithm>
-#include <set>
 
 #include "tokenize.hh"
 #include "util/logging.hh"
@@ -19,14 +18,15 @@ std::vector<std::string>
 NgramIndex::distinctGrams(std::string_view text) const
 {
     std::string canon = strings::canonicalize(text);
-    std::set<std::string> grams;
-    for (auto &gram : characterNgrams(canon, n_))
-        grams.insert(std::move(gram));
+    std::vector<std::string> grams = characterNgrams(canon, n_);
+    std::sort(grams.begin(), grams.end());
+    grams.erase(std::unique(grams.begin(), grams.end()),
+                grams.end());
     // Short titles still need representation: fall back to the whole
     // canonical string as a single gram.
     if (grams.empty() && !canon.empty())
-        grams.insert(canon);
-    return {grams.begin(), grams.end()};
+        grams.push_back(std::move(canon));
+    return grams;
 }
 
 std::uint32_t
@@ -45,19 +45,34 @@ std::vector<NgramCandidate>
 NgramIndex::query(std::string_view text, double min_overlap,
                   std::int64_t exclude_id) const
 {
+    NgramQueryScratch scratch;
+    return query(text, scratch, min_overlap, exclude_id);
+}
+
+std::vector<NgramCandidate>
+NgramIndex::query(std::string_view text, NgramQueryScratch &scratch,
+                  double min_overlap, std::int64_t exclude_id) const
+{
     auto grams = distinctGrams(text);
     if (grams.empty())
         return {};
-    std::unordered_map<std::uint32_t, std::size_t> shared;
+    if (scratch.sharedCounts.size() < docGramCounts_.size())
+        scratch.sharedCounts.resize(docGramCounts_.size(), 0);
+    scratch.touched.clear();
     for (const auto &gram : grams) {
         auto it = postings_.find(gram);
         if (it == postings_.end())
             continue;
-        for (std::uint32_t doc : it->second)
-            ++shared[doc];
+        for (std::uint32_t doc : it->second) {
+            if (scratch.sharedCounts[doc]++ == 0)
+                scratch.touched.push_back(doc);
+        }
     }
     std::vector<NgramCandidate> out;
-    for (const auto &[doc, count] : shared) {
+    out.reserve(scratch.touched.size());
+    for (std::uint32_t doc : scratch.touched) {
+        const std::size_t count = scratch.sharedCounts[doc];
+        scratch.sharedCounts[doc] = 0; // sparse reset for next query
         if (exclude_id >= 0 &&
             doc == static_cast<std::uint32_t>(exclude_id)) {
             continue;

@@ -29,6 +29,21 @@ struct NgramCandidate
     double overlap = 0.0;
 };
 
+/**
+ * Reusable per-caller scratch for NgramIndex::query(): the
+ * shared-gram counting table and touched list survive across queries
+ * so a dedup pass over thousands of titles does not rebuild a hash
+ * map per call. Not thread-safe; use one scratch per worker thread.
+ */
+struct NgramQueryScratch
+{
+    /** Shared-gram count per doc id; sized to the index lazily and
+     * reset sparsely via touched after every query. */
+    std::vector<std::size_t> sharedCounts;
+    /** Doc ids with a nonzero count in sharedCounts. */
+    std::vector<std::uint32_t> touched;
+};
+
 /** An inverted index from character n-grams to document ids. */
 class NgramIndex
 {
@@ -50,6 +65,17 @@ class NgramIndex
     std::vector<NgramCandidate>
     query(std::string_view text, double min_overlap = 0.2,
           std::int64_t exclude_id = -1) const;
+
+    /**
+     * Same results as the overload above, but counts shared grams in
+     * caller-owned scratch instead of a per-call hash map. Results
+     * are sorted by (overlap desc, docId asc), so they do not depend
+     * on accumulation order.
+     */
+    std::vector<NgramCandidate>
+    query(std::string_view text, NgramQueryScratch &scratch,
+          double min_overlap = 0.2, std::int64_t exclude_id = -1)
+        const;
 
   private:
     std::vector<std::string> distinctGrams(std::string_view text) const;

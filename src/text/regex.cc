@@ -1,5 +1,6 @@
 #include "regex.hh"
 
+#include <algorithm>
 #include <cctype>
 #include <memory>
 
@@ -122,6 +123,20 @@ class RegexCompiler
         emit(regex, {Regex::Op::Save, 1, 0, 0});
         emit(regex, {Regex::Op::Accept, 0, 0, 0});
         return regex;
+    }
+
+    /**
+     * Parse only, for factor analysis. Returns null on any syntax
+     * error; the caller falls back to "no factors" (always run the
+     * VM), so analysis can never be less correct than compilation.
+     */
+    std::unique_ptr<Node>
+    parseForAnalysis()
+    {
+        auto ast = parseAlternation();
+        if (!ast || pos_ != pattern_.size())
+            return nullptr;
+        return ast;
     }
 
   private:
@@ -676,6 +691,242 @@ class RegexCompiler
     std::vector<Regex::CharClass> classes_;
     std::string error_;
 };
+
+namespace {
+
+// ---- required-literal-factor analysis ------------------------------
+//
+// For every AST node we compute either the node's *exact* language
+// (a small set of literal strings) or a set of *factor alternatives*
+// — strings of which at least one must appear inside any match of the
+// node. Exact sets compose under concatenation (cross product) and
+// alternation (union); factor sets only survive alternation when
+// every branch contributes one. All strings are ASCII-lower-cased so
+// a scanner can fold the haystack once: folding is a conservative
+// over-approximation for case-sensitive patterns and exact for
+// case-insensitive ones.
+
+constexpr std::size_t kMaxFactorAlternatives = 16;
+constexpr std::size_t kMaxFactorLength = 64;
+
+struct FactorInfo
+{
+    /** strings is the node's complete language (not just factors). */
+    bool exact = false;
+    /** Exact language, or factor alternatives; empty = no factors. */
+    std::vector<std::string> strings;
+};
+
+bool
+usableAsFactors(const std::vector<std::string> &strings)
+{
+    if (strings.empty() || strings.size() > kMaxFactorAlternatives)
+        return false;
+    for (const std::string &s : strings) {
+        if (s.empty() || s.size() > kMaxFactorLength)
+            return false;
+    }
+    return true;
+}
+
+/** Lexicographic score: (min alternative length, -alternatives). */
+std::pair<std::size_t, std::size_t>
+factorScore(const std::vector<std::string> &strings)
+{
+    std::size_t minLen = kMaxFactorLength + 1;
+    for (const std::string &s : strings)
+        minLen = std::min(minLen, s.size());
+    return {minLen, kMaxFactorAlternatives - strings.size()};
+}
+
+/** Keep the better of best and candidate (longer minimum factor). */
+void
+considerCandidate(std::vector<std::string> &best,
+                  const std::vector<std::string> &candidate)
+{
+    if (!usableAsFactors(candidate))
+        return;
+    if (best.empty() || factorScore(candidate) > factorScore(best))
+        best = candidate;
+}
+
+/** Cross product into acc; false (acc untouched) on overflow. */
+bool
+productInto(std::vector<std::string> &acc,
+            const std::vector<std::string> &next)
+{
+    if (acc.size() * next.size() > kMaxFactorAlternatives)
+        return false;
+    std::vector<std::string> out;
+    out.reserve(acc.size() * next.size());
+    for (const std::string &a : acc) {
+        for (const std::string &b : next) {
+            if (a.size() + b.size() > kMaxFactorLength)
+                return false;
+            out.push_back(a + b);
+        }
+    }
+    acc = std::move(out);
+    return true;
+}
+
+/** The node's factor alternatives (empty when unusable). */
+std::vector<std::string>
+factorsOf(const FactorInfo &info)
+{
+    if (!usableAsFactors(info.strings))
+        return {};
+    return info.strings;
+}
+
+FactorInfo
+analyzeFactors(const Node &node)
+{
+    switch (node.kind) {
+      case Node::Kind::Empty:
+      case Node::Kind::Anchor:
+        // Anchors consume nothing; as a language fragment they
+        // contribute the empty string to any concatenation.
+        return {true, {std::string()}};
+      case Node::Kind::Literal:
+        return {true, {std::string(1, foldCase(node.ch))}};
+      case Node::Kind::AnyChar:
+      case Node::Kind::Class:
+        // Could enumerate tiny classes; not worth it for the rule
+        // tables, which gate on literal phrases.
+        return {false, {}};
+      case Node::Kind::Group:
+        return analyzeFactors(*node.children[0]);
+      case Node::Kind::Concat: {
+        // Greedily cross-product maximal runs of exact children;
+        // every finished run is a valid factor-alternative set for
+        // the whole concatenation (a match embeds the run's text as
+        // a contiguous substring). Non-exact children contribute
+        // their own factor sets as candidates.
+        std::vector<std::string> best;
+        std::vector<std::string> run;
+        bool runOpen = false;
+        bool allExact = true;
+        bool overflowed = false;
+        for (const auto &child : node.children) {
+            FactorInfo sub = analyzeFactors(*child);
+            if (sub.exact) {
+                if (!runOpen) {
+                    run = sub.strings;
+                    runOpen = true;
+                } else if (!productInto(run, sub.strings)) {
+                    overflowed = true;
+                    considerCandidate(best, run);
+                    run = sub.strings;
+                }
+            } else {
+                allExact = false;
+                if (runOpen) {
+                    considerCandidate(best, run);
+                    runOpen = false;
+                }
+                considerCandidate(best, factorsOf(sub));
+            }
+        }
+        if (allExact && !overflowed && runOpen)
+            return {true, std::move(run)};
+        if (runOpen)
+            considerCandidate(best, run);
+        return {false, std::move(best)};
+      }
+      case Node::Kind::Alternate: {
+        bool allExact = true;
+        std::vector<std::string> unionSet;
+        for (const auto &child : node.children) {
+            FactorInfo sub = analyzeFactors(*child);
+            if (!sub.exact) {
+                allExact = false;
+                // A factor union is only sound when every branch
+                // guarantees one of its own factors.
+                if (factorsOf(sub).empty())
+                    return {false, {}};
+            } else if (!usableAsFactors(sub.strings)) {
+                // Exact branch that matches "" (or is too big):
+                // sound for an exact union, useless as a factor.
+                allExact = allExact && true;
+                if (!sub.strings.empty() &&
+                    sub.strings.size() <= kMaxFactorAlternatives) {
+                    // keep for the exact union below
+                } else {
+                    return {false, {}};
+                }
+            }
+            for (std::string &s : sub.strings)
+                unionSet.push_back(std::move(s));
+            if (unionSet.size() > kMaxFactorAlternatives)
+                return {false, {}};
+        }
+        std::sort(unionSet.begin(), unionSet.end());
+        unionSet.erase(
+            std::unique(unionSet.begin(), unionSet.end()),
+            unionSet.end());
+        if (allExact)
+            return {true, std::move(unionSet)};
+        if (!usableAsFactors(unionSet))
+            return {false, {}};
+        return {false, std::move(unionSet)};
+      }
+      case Node::Kind::Repeat: {
+        FactorInfo body = analyzeFactors(*node.children[0]);
+        if (node.min == 0) {
+            // The repeat can match the empty string, so nothing
+            // inside it is required; enumerate x? / x{0,n} exactly
+            // when the body language is small.
+            if (body.exact && node.max >= 0) {
+                std::vector<std::string> langUnion{std::string()};
+                std::vector<std::string> power{std::string()};
+                for (int i = 1; i <= node.max; ++i) {
+                    if (!productInto(power, body.strings))
+                        return {false, {}};
+                    for (const std::string &s : power)
+                        langUnion.push_back(s);
+                    if (langUnion.size() > kMaxFactorAlternatives)
+                        return {false, {}};
+                }
+                std::sort(langUnion.begin(), langUnion.end());
+                langUnion.erase(std::unique(langUnion.begin(),
+                                            langUnion.end()),
+                                langUnion.end());
+                return {true, std::move(langUnion)};
+            }
+            return {false, {}};
+        }
+        // min >= 1: at least one body occurrence appears in full.
+        if (body.exact && node.max == node.min) {
+            std::vector<std::string> power = body.strings;
+            bool ok = true;
+            for (int i = 1; i < node.min && ok; ++i)
+                ok = productInto(power, body.strings);
+            if (ok)
+                return {true, std::move(power)};
+        }
+        return {false, factorsOf(body)};
+      }
+    }
+    return {false, {}};
+}
+
+} // namespace
+
+std::vector<std::string>
+Regex::literalFactors() const
+{
+    RegexCompiler compiler(pattern_, options_);
+    auto ast = compiler.parseForAnalysis();
+    if (!ast)
+        return {};
+    FactorInfo info = analyzeFactors(*ast);
+    std::vector<std::string> factors = factorsOf(info);
+    std::sort(factors.begin(), factors.end());
+    factors.erase(std::unique(factors.begin(), factors.end()),
+                  factors.end());
+    return factors;
+}
 
 Expected<Regex>
 Regex::compile(std::string_view pattern, RegexOptions options)

@@ -107,6 +107,21 @@ class Regex
     /** Number of capturing groups. */
     int groupCount() const { return groupCount_; }
 
+    /** Whether the pattern matches ASCII case-insensitively. */
+    bool ignoreCase() const { return options_.ignoreCase; }
+
+    /**
+     * Required literal factors: a set of ASCII-lower-cased strings
+     * such that every subject containing a match also contains at
+     * least one factor as a substring of its lower-cased form. The
+     * set is conservative in the only safe direction — a factor hit
+     * does not imply a match, but a miss of every factor proves there
+     * is none — which is exactly what a multi-pattern literal
+     * prefilter needs. An empty vector means no factor could be
+     * extracted and callers must always run the full matcher.
+     */
+    std::vector<std::string> literalFactors() const;
+
   private:
     friend class RegexCompiler;
 

@@ -11,7 +11,7 @@
 namespace rememberr {
 
 std::size_t
-levenshteinDistance(std::string_view a, std::string_view b)
+levenshteinDistanceScalar(std::string_view a, std::string_view b)
 {
     if (a.size() < b.size())
         std::swap(a, b);
@@ -35,6 +35,165 @@ levenshteinDistance(std::string_view a, std::string_view b)
     return row[b.size()];
 }
 
+namespace {
+
+/**
+ * Advance one 64-row block of the Myers/Hyyrö bit-vector DP by one
+ * text column. Pv/Mv are the vertical positive/negative delta
+ * vectors, eq the pattern-match bits for the text character, hin the
+ * horizontal delta entering the block's low row (-1, 0 or +1). The
+ * returned horizontal delta is read at houtMask's row — bit 63 when
+ * feeding the next block, the pattern's last-row bit for the final
+ * block (rows above it carry pad characters that never match; they
+ * sit above the last row in the DP, so they cannot influence it).
+ */
+inline int
+advanceBlock(std::uint64_t &pv, std::uint64_t &mv, std::uint64_t eq,
+             int hin, std::uint64_t hout_mask)
+{
+    const std::uint64_t hinNeg = hin < 0 ? 1u : 0u;
+    const std::uint64_t xv = eq | mv;
+    eq |= hinNeg;
+    const std::uint64_t xh = (((eq & pv) + pv) ^ pv) | eq;
+    std::uint64_t ph = mv | ~(xh | pv);
+    std::uint64_t mh = pv & xh;
+    int hout = 0;
+    if (ph & hout_mask)
+        hout = 1;
+    else if (mh & hout_mask)
+        hout = -1;
+    ph <<= 1;
+    mh <<= 1;
+    mh |= hinNeg;
+    if (hin > 0)
+        ph |= 1;
+    pv = mh | ~(xv | ph);
+    mv = ph & xv;
+    return hout;
+}
+
+} // namespace
+
+std::size_t
+levenshteinDistanceBitParallel(std::string_view a, std::string_view b)
+{
+    // The shorter string becomes the pattern: fewer 64-bit blocks.
+    if (a.size() > b.size())
+        std::swap(a, b);
+    const std::size_t m = a.size();
+    if (m == 0)
+        return b.size();
+
+    const std::size_t blocks = (m + 63) / 64;
+    std::vector<std::uint64_t> peq(blocks * 256, 0);
+    for (std::size_t i = 0; i < m; ++i) {
+        peq[static_cast<unsigned char>(a[i]) * blocks + i / 64] |=
+            std::uint64_t{1} << (i % 64);
+    }
+
+    std::vector<std::uint64_t> pv(blocks, ~std::uint64_t{0});
+    std::vector<std::uint64_t> mv(blocks, 0);
+    const std::uint64_t lastMask = std::uint64_t{1}
+                                   << ((m - 1) % 64);
+    const std::uint64_t topMask = std::uint64_t{1} << 63;
+    std::ptrdiff_t score = static_cast<std::ptrdiff_t>(m);
+    for (char c : b) {
+        const std::uint64_t *eqRow =
+            &peq[static_cast<unsigned char>(c) * blocks];
+        int h = 1; // boundary row D[0][j] = j increments by one
+        for (std::size_t blk = 0; blk < blocks; ++blk) {
+            const bool last = blk + 1 == blocks;
+            h = advanceBlock(pv[blk], mv[blk], eqRow[blk], h,
+                             last ? lastMask : topMask);
+        }
+        score += h;
+    }
+    return static_cast<std::size_t>(score);
+}
+
+std::size_t
+levenshteinDistance(std::string_view a, std::string_view b)
+{
+    return levenshteinDistanceBitParallel(a, b);
+}
+
+std::optional<std::size_t>
+levenshteinWithin(std::string_view a, std::string_view b,
+                  std::size_t k)
+{
+    if (a.size() < b.size())
+        std::swap(a, b);
+    const std::size_t n = a.size(); // rows (longer)
+    const std::size_t m = b.size(); // columns (shorter)
+    if (n - m > k)
+        return std::nullopt;
+    if (m == 0)
+        return n <= k ? std::optional<std::size_t>(n)
+                      : std::nullopt;
+    if (k >= n) {
+        // Threshold can never bind; the unbanded kernel is cheaper
+        // than a full-width band.
+        std::size_t d = levenshteinDistanceBitParallel(a, b);
+        return d <= k ? std::optional<std::size_t>(d)
+                      : std::nullopt;
+    }
+
+    // Character-count lower bound: a substitution fixes at most two
+    // histogram mismatches, an insert/delete at most one.
+    {
+        std::array<std::int32_t, 256> diff{};
+        for (char c : a)
+            ++diff[static_cast<unsigned char>(c)];
+        for (char c : b)
+            --diff[static_cast<unsigned char>(c)];
+        std::size_t mismatch = 0;
+        for (std::int32_t d : diff) {
+            mismatch += static_cast<std::size_t>(d < 0 ? -d : d);
+        }
+        if ((mismatch + 1) / 2 > k)
+            return std::nullopt;
+    }
+
+    // Banded rolling-row DP: only cells with |i - j| <= k can stay
+    // at or below k (D[i][j] >= |i - j|); everything else saturates
+    // at BIG. Cells <= k are exact, BIG means "> k".
+    const std::size_t BIG = k + 1;
+    std::vector<std::size_t> row(m + 1);
+    for (std::size_t j = 0; j <= m; ++j)
+        row[j] = j <= k ? j : BIG;
+    for (std::size_t i = 1; i <= n; ++i) {
+        const std::size_t lo = i > k ? i - k : 1;
+        const std::size_t hi = std::min(m, i + k);
+        std::size_t diag = row[lo - 1]; // D[i-1][lo-1]
+        std::size_t left = BIG;        // D[i][lo-1], outside band
+        if (lo == 1) {
+            row[0] = i <= k ? i : BIG;
+            left = row[0];
+        }
+        std::size_t rowMin = left;
+        for (std::size_t j = lo; j <= hi; ++j) {
+            // Above the band's top-right edge the stored value is
+            // stale; the true cell is > k there.
+            const std::size_t up = j == i + k ? BIG : row[j];
+            std::size_t value = std::min({
+                up + 1,
+                left + 1,
+                diag + (a[i - 1] == b[j - 1] ? 0 : 1),
+            });
+            if (value > BIG)
+                value = BIG;
+            diag = row[j];
+            row[j] = value;
+            left = value;
+            rowMin = std::min(rowMin, value);
+        }
+        if (rowMin >= BIG)
+            return std::nullopt; // every continuation exceeds k
+    }
+    return row[m] <= k ? std::optional<std::size_t>(row[m])
+                       : std::nullopt;
+}
+
 std::size_t
 damerauDistance(std::string_view a, std::string_view b)
 {
@@ -43,28 +202,34 @@ damerauDistance(std::string_view a, std::string_view b)
         return m;
     if (m == 0)
         return n;
-    // Full matrix; the transposition case reads two rows back.
-    std::vector<std::vector<std::size_t>> d(
-        n + 1, std::vector<std::size_t>(m + 1));
-    for (std::size_t i = 0; i <= n; ++i)
-        d[i][0] = i;
-    for (std::size_t j = 0; j <= m; ++j)
-        d[0][j] = j;
-    for (std::size_t i = 1; i <= n; ++i) {
-        for (std::size_t j = 1; j <= m; ++j) {
-            std::size_t cost = a[i - 1] == b[j - 1] ? 0 : 1;
-            d[i][j] = std::min({
-                d[i - 1][j] + 1,
-                d[i][j - 1] + 1,
-                d[i - 1][j - 1] + cost,
+    // Three rolling rows (the transposition case reads two rows
+    // back), O(min(n,m)) memory instead of a full matrix.
+    std::string_view x = a, y = b;
+    if (x.size() < y.size())
+        std::swap(x, y);
+    const std::size_t rows = x.size(), cols = y.size();
+    std::vector<std::size_t> prev2(cols + 1), prev(cols + 1),
+        curr(cols + 1);
+    for (std::size_t j = 0; j <= cols; ++j)
+        prev[j] = j;
+    for (std::size_t i = 1; i <= rows; ++i) {
+        curr[0] = i;
+        for (std::size_t j = 1; j <= cols; ++j) {
+            std::size_t cost = x[i - 1] == y[j - 1] ? 0 : 1;
+            curr[j] = std::min({
+                prev[j] + 1,
+                curr[j - 1] + 1,
+                prev[j - 1] + cost,
             });
-            if (i > 1 && j > 1 && a[i - 1] == b[j - 2] &&
-                a[i - 2] == b[j - 1]) {
-                d[i][j] = std::min(d[i][j], d[i - 2][j - 2] + 1);
+            if (i > 1 && j > 1 && x[i - 1] == y[j - 2] &&
+                x[i - 2] == y[j - 1]) {
+                curr[j] = std::min(curr[j], prev2[j - 2] + 1);
             }
         }
+        std::swap(prev2, prev);
+        std::swap(prev, curr);
     }
-    return d[n][m];
+    return prev[cols];
 }
 
 double
@@ -212,6 +377,167 @@ titleSimilarity(std::string_view a, std::string_view b)
         tokenJaccardSimilarity(tokenizeWords(a, opt),
                                tokenizeWords(b, opt));
     return std::max(jw, jac);
+}
+
+std::optional<double>
+levenshteinSimilarityAtLeast(std::string_view a, std::string_view b,
+                             double min_similarity)
+{
+    const std::size_t longest = std::max(a.size(), b.size());
+    if (longest == 0) {
+        return 1.0 >= min_similarity ? std::optional<double>(1.0)
+                                     : std::nullopt;
+    }
+    // sim >= minSim requires d <= longest * (1 - minSim) in real
+    // arithmetic; one extra unit of slack absorbs rounding so the
+    // final decision is always made on the exact similarity double.
+    const double bound =
+        static_cast<double>(longest) * (1.0 - min_similarity);
+    std::size_t k = longest;
+    if (bound < static_cast<double>(longest)) {
+        const double floored = std::floor(std::max(bound, 0.0));
+        k = std::min(longest,
+                     static_cast<std::size_t>(floored) + 1);
+    }
+    const auto d = levenshteinWithin(a, b, k);
+    if (!d)
+        return std::nullopt;
+    const double sim = 1.0 - static_cast<double>(*d) /
+                                 static_cast<double>(longest);
+    if (sim >= min_similarity)
+        return sim;
+    return std::nullopt;
+}
+
+SimilarityKernelStats &
+SimilarityKernelStats::operator+=(const SimilarityKernelStats &o)
+{
+    pairs += o.pairs;
+    screenRejects += o.screenRejects;
+    jaroRuns += o.jaroRuns;
+    kept += o.kept;
+    return *this;
+}
+
+TitleProfile
+makeTitleProfile(std::string_view title)
+{
+    TitleProfile profile;
+    profile.canonical = strings::canonicalize(title);
+    TokenizerOptions opt;
+    opt.dropStopWords = true;
+    profile.tokens = tokenizeWords(title, opt);
+    std::sort(profile.tokens.begin(), profile.tokens.end());
+    profile.tokens.erase(std::unique(profile.tokens.begin(),
+                                     profile.tokens.end()),
+                         profile.tokens.end());
+    for (char c : profile.canonical)
+        ++profile.histogram[static_cast<unsigned char>(c)];
+    return profile;
+}
+
+namespace {
+
+/**
+ * Token Jaccard over sorted distinct token vectors: the same
+ * intersection and union counts — and therefore the same double —
+ * as tokenJaccardSimilarity over the underlying token lists.
+ */
+double
+jaccardSorted(const std::vector<std::string> &a,
+              const std::vector<std::string> &b)
+{
+    if (a.empty() && b.empty())
+        return 1.0;
+    std::size_t inter = 0;
+    auto ia = a.begin();
+    auto ib = b.begin();
+    while (ia != a.end() && ib != b.end()) {
+        const int cmp = ia->compare(*ib);
+        if (cmp == 0) {
+            ++inter;
+            ++ia;
+            ++ib;
+        } else if (cmp < 0) {
+            ++ia;
+        } else {
+            ++ib;
+        }
+    }
+    const std::size_t uni = a.size() + b.size() - inter;
+    if (uni == 0)
+        return 1.0;
+    return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+} // namespace
+
+std::optional<double>
+titleSimilarityAtLeast(const TitleProfile &a, const TitleProfile &b,
+                       double min_keep, SimilarityKernelStats *stats)
+{
+    SimilarityKernelStats local;
+    SimilarityKernelStats &s = stats ? *stats : local;
+    ++s.pairs;
+
+    const double jac = jaccardSorted(a.tokens, b.tokens);
+    double result;
+    if (a.canonical.empty() || b.canonical.empty()) {
+        const double jw =
+            a.canonical.empty() && b.canonical.empty() ? 1.0 : 0.0;
+        result = std::max(jw, jac);
+    } else {
+        // Jaro matches can pair at most min(histA[c], histB[c])
+        // occurrences of each byte, and the transposition term of
+        // the Jaro formula is at most 1, so this bounds Jaro from
+        // above; Winkler's prefix boost is increasing in Jaro, so
+        // boosting the bound by the exact common prefix bounds
+        // Jaro-Winkler.
+        std::size_t common = 0;
+        for (std::size_t c = 0; c < 256; ++c)
+            common += std::min(a.histogram[c], b.histogram[c]);
+        if (common == 0) {
+            // No shared byte: zero Jaro matches and an empty common
+            // prefix, so Jaro-Winkler is exactly 0.
+            result = std::max(0.0, jac);
+        } else {
+            std::size_t prefix = 0;
+            for (std::size_t i = 0;
+                 i < std::min({a.canonical.size(),
+                               b.canonical.size(), std::size_t{4}});
+                 ++i) {
+                if (a.canonical[i] == b.canonical[i])
+                    ++prefix;
+                else
+                    break;
+            }
+            const double md = static_cast<double>(common);
+            const double jaroUB =
+                (md / static_cast<double>(a.canonical.size()) +
+                 md / static_cast<double>(b.canonical.size()) +
+                 1.0) /
+                3.0;
+            const double jwUB =
+                jaroUB + prefix * 0.1 * (1.0 - jaroUB);
+            if (jwUB <= jac) {
+                // max(jw, jac) can only be jac; when they tie,
+                // std::max's pick is the same double anyway.
+                result = jac;
+            } else if (jwUB < min_keep && jac < min_keep) {
+                ++s.screenRejects;
+                return std::nullopt;
+            } else {
+                ++s.jaroRuns;
+                const double jw = jaroWinklerSimilarity(a.canonical,
+                                                        b.canonical);
+                result = std::max(jw, jac);
+            }
+        }
+    }
+    if (result < min_keep)
+        return std::nullopt;
+    ++s.kept;
+    return result;
 }
 
 } // namespace rememberr

@@ -11,14 +11,48 @@
 #ifndef REMEMBERR_TEXT_SIMILARITY_HH
 #define REMEMBERR_TEXT_SIMILARITY_HH
 
+#include <array>
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace rememberr {
 
-/** Levenshtein edit distance (insert/delete/substitute, unit cost). */
+/**
+ * Levenshtein edit distance (insert/delete/substitute, unit cost).
+ * Dispatches to the bit-parallel kernel; identical results to the
+ * scalar reference for every input.
+ */
 std::size_t levenshteinDistance(std::string_view a, std::string_view b);
+
+/**
+ * Scalar rolling-row reference implementation, O(min(n,m)) memory.
+ * Kept public so differential tests (and the kernel benchmarks) can
+ * pin the bit-parallel kernels against an obviously-correct baseline.
+ */
+std::size_t levenshteinDistanceScalar(std::string_view a,
+                                      std::string_view b);
+
+/**
+ * Myers' bit-vector Levenshtein kernel (64-bit blocks, multi-block
+ * for longer strings). Exact: equals the scalar reference for every
+ * input, at roughly one column update per 64 pattern characters.
+ */
+std::size_t levenshteinDistanceBitParallel(std::string_view a,
+                                           std::string_view b);
+
+/**
+ * Thresholded distance: the exact distance when it is <= k, nullopt
+ * otherwise. Pre-rejects on length difference and a character-count
+ * lower bound, then runs a banded O(k * min(n,m)) DP that exits as
+ * soon as every cell of a row exceeds k. Equivalent to computing
+ * levenshteinDistance and comparing against k, only cheaper.
+ */
+std::optional<std::size_t> levenshteinWithin(std::string_view a,
+                                             std::string_view b,
+                                             std::size_t k);
 
 /**
  * Damerau-Levenshtein distance (adds adjacent transposition), the
@@ -56,6 +90,63 @@ double tokenCosineSimilarity(const std::vector<std::string> &a,
  * which is robust to both small edits and word reorderings.
  */
 double titleSimilarity(std::string_view a, std::string_view b);
+
+/**
+ * Levenshtein similarity thresholded at minSimilarity: the exact
+ * levenshteinSimilarity when it is >= minSimilarity, nullopt when
+ * the thresholded kernel proves it below. Bit-identical to computing
+ * the full similarity and comparing.
+ */
+std::optional<double>
+levenshteinSimilarityAtLeast(std::string_view a, std::string_view b,
+                             double min_similarity);
+
+/**
+ * Precomputed per-title state for the thresholded composite
+ * similarity: dedup compares each candidate title against many
+ * others, so canonicalization, tokenization and the byte histogram
+ * move out of the pair loop into one pass per title.
+ */
+struct TitleProfile
+{
+    /** strings::canonicalize of the raw title. */
+    std::string canonical;
+    /** Sorted distinct stop-word-filtered tokens (Jaccard support). */
+    std::vector<std::string> tokens;
+    /** Byte histogram of the canonical text (Jaro upper bound). */
+    std::array<std::uint32_t, 256> histogram{};
+};
+
+TitleProfile makeTitleProfile(std::string_view title);
+
+/** Counters from the thresholded composite kernel. */
+struct SimilarityKernelStats
+{
+    /** Pairs scored. */
+    std::uint64_t pairs = 0;
+    /** Pairs rejected by the histogram screen without running the
+     * quadratic Jaro window loop. */
+    std::uint64_t screenRejects = 0;
+    /** Pairs where the full Jaro-Winkler loop actually ran. */
+    std::uint64_t jaroRuns = 0;
+    /** Pairs at or above the threshold. */
+    std::uint64_t kept = 0;
+
+    SimilarityKernelStats &operator+=(const SimilarityKernelStats &o);
+};
+
+/**
+ * Thresholded composite similarity over precomputed profiles: the
+ * exact titleSimilarity when it is >= minKeep, nullopt otherwise.
+ * A conservative histogram upper bound on Jaro-Winkler skips the
+ * quadratic window loop whenever the pair provably cannot reach
+ * minKeep (or Jaccard already decides the max) — kept pairs and
+ * their scores are bit-identical to titleSimilarity.
+ */
+std::optional<double>
+titleSimilarityAtLeast(const TitleProfile &a, const TitleProfile &b,
+                       double min_keep,
+                       SimilarityKernelStats *stats = nullptr);
 
 } // namespace rememberr
 

@@ -11,6 +11,10 @@
 #include <string>
 #include <vector>
 
+#include "classify/engine.hh"
+#include "classify/prefilter.hh"
+#include "classify/rules.hh"
+#include "text/literal_scan.hh"
 #include "text/regex.hh"
 #include "util/rng.hh"
 
@@ -175,6 +179,187 @@ TEST_P(RegexDifferential, AgreesWithReference)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RegexDifferential,
                          ::testing::Range(0, 8));
+
+/**
+ * Factor soundness over generated patterns: whenever the engine
+ * finds a match, at least one extracted literal factor must occur in
+ * the case-folded subject — otherwise the prefilter would skip a
+ * matching pattern.
+ */
+TEST(LiteralFactors, SoundOverGeneratedPatterns)
+{
+    Rng rng(0xFAC70B5ULL);
+    std::size_t factored = 0;
+    for (int round = 0; round < 2000; ++round) {
+        const std::string pattern = randomPattern(rng);
+        auto compiled = Regex::compile(pattern);
+        ASSERT_TRUE(compiled) << pattern;
+        const std::vector<std::string> factors =
+            compiled.value().literalFactors();
+        if (factors.empty())
+            continue;
+        ++factored;
+        for (int s = 0; s < 16; ++s) {
+            const std::string subject = randomSubject(rng);
+            if (!compiled.value().contains(subject))
+                continue;
+            const std::string folded = foldForScan(subject);
+            bool anyFactorPresent = false;
+            for (const std::string &factor : factors) {
+                if (folded.find(factor) != std::string::npos) {
+                    anyFactorPresent = true;
+                    break;
+                }
+            }
+            ASSERT_TRUE(anyFactorPresent)
+                << "/" << pattern << "/ matched '" << subject
+                << "' but no factor occurred";
+        }
+    }
+    // The generator produces plenty of patterns with literal runs;
+    // if extraction stopped finding them the test would go vacuous.
+    EXPECT_GT(factored, 200u);
+}
+
+/**
+ * Factor soundness over the production rule set: for every rule
+ * pattern, a match in generated prose implies a factor hit. Subjects
+ * are built from rule-set phrases so matches actually happen.
+ */
+TEST(LiteralFactors, SoundOverRuleSetPatterns)
+{
+    std::vector<const Regex *> patterns;
+    for (const CategoryRule &rule : RuleSet::instance().rules()) {
+        for (const Regex &regex : rule.accept)
+            patterns.push_back(&regex);
+        for (const Regex &regex : rule.relevance)
+            patterns.push_back(&regex);
+    }
+    ASSERT_FALSE(patterns.empty());
+
+    static const char *const phrases[] = {
+        "the processor may hang",
+        "a machine check exception is signaled",
+        "page boundary is crossed",
+        "MSR write",
+        "cache line split lock",
+        "unexpected page fault",
+        "PMC may overcount",
+        "system may reset during C6",
+        "spurious corrected error interrupt",
+        "TLB invalidation",
+    };
+    Rng rng(0x5EED5E7ULL);
+    for (int round = 0; round < 200; ++round) {
+        std::string subject;
+        const std::size_t count = 1 + rng.nextBelow(4);
+        for (std::size_t i = 0; i < count; ++i) {
+            if (!subject.empty())
+                subject += rng.nextBool(0.5) ? ". " : " ";
+            subject += phrases[rng.nextBelow(
+                sizeof(phrases) / sizeof(phrases[0]))];
+        }
+        const std::string folded = foldForScan(subject);
+        for (const Regex *regex : patterns) {
+            const std::vector<std::string> factors =
+                regex->literalFactors();
+            if (factors.empty() || !regex->contains(subject))
+                continue;
+            bool anyFactorPresent = false;
+            for (const std::string &factor : factors) {
+                if (folded.find(factor) != std::string::npos) {
+                    anyFactorPresent = true;
+                    break;
+                }
+            }
+            ASSERT_TRUE(anyFactorPresent)
+                << "rule pattern matched '" << subject
+                << "' but no factor occurred";
+        }
+    }
+}
+
+/**
+ * End-to-end prefilter differential: classifyText with the literal
+ * prefilter must produce exactly the decisions of the plain VM
+ * engine on generated corpus-like prose.
+ */
+TEST(ClassifyPrefilter, DecisionsIdenticalWithAndWithoutPrefilter)
+{
+    static const char *const phrases[] = {
+        "the processor may hang",
+        "a machine check exception may be signaled",
+        "when a page boundary is crossed",
+        "writing the MSR",
+        "a cache line split lock is asserted",
+        "an unexpected page fault occurs",
+        "the performance counter may overcount",
+        "the system may reset while exiting C6",
+        "a spurious corrected error interrupt is delivered",
+        "the TLB is not invalidated",
+        "completely unrelated text about nothing in particular",
+    };
+    Rng rng(0xD1FFULL);
+    ClassifyStats stats;
+    for (int round = 0; round < 120; ++round) {
+        std::string body;
+        const std::size_t count = 1 + rng.nextBelow(5);
+        for (std::size_t i = 0; i < count; ++i) {
+            if (!body.empty())
+                body += ". ";
+            body += phrases[rng.nextBelow(
+                sizeof(phrases) / sizeof(phrases[0]))];
+        }
+        const std::string full = "Erratum title\n" + body;
+
+        ClassifyOptions plain;
+        plain.usePrefilter = false;
+        ClassifyOptions fast;
+        fast.usePrefilter = true;
+        fast.stats = &stats;
+        const EngineResult expected =
+            classifyText(body, full, plain);
+        const EngineResult actual = classifyText(body, full, fast);
+
+        ASSERT_EQ(actual.decisions, expected.decisions)
+            << "body: " << body;
+        ASSERT_EQ(actual.manual, expected.manual);
+        for (CategoryId id = 0; id < expected.decisions.size();
+             ++id) {
+            ASSERT_EQ(actual.autoYes.contains(id),
+                      expected.autoYes.contains(id));
+        }
+    }
+    // The prefilter must actually skip VM work on this corpus, and
+    // every skipped pattern is one the VM never needed to run.
+    EXPECT_GT(stats.skipped, 0u);
+    EXPECT_GT(stats.vmRuns, 0u);
+}
+
+/** The automaton screens conservatively: a skipped pattern never
+ * matches, checked pattern-by-pattern against the VM. */
+TEST(ClassifyPrefilter, SkippedPatternsNeverMatch)
+{
+    const ClassifyPrefilter &prefilter =
+        ClassifyPrefilter::instance();
+    const std::string body =
+        "the processor may hang when a page boundary is crossed. "
+        "a machine check exception may be signaled";
+    const std::string folded = foldForScan(body);
+    std::vector<std::uint8_t> hits;
+    prefilter.scanBody(folded, hits);
+
+    std::size_t category = 0;
+    for (const CategoryRule &rule : RuleSet::instance().rules()) {
+        for (std::size_t p = 0; p < rule.accept.size(); ++p) {
+            if (prefilter.acceptState(hits, category, p) ==
+                PrefilterState::Skip) {
+                ASSERT_FALSE(rule.accept[p].contains(body));
+            }
+        }
+        ++category;
+    }
+}
 
 } // namespace
 } // namespace rememberr

@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include "text/literal_scan.hh"
 #include "text/ngram_index.hh"
+#include "text/regex.hh"
 #include "text/similarity.hh"
 #include "text/tokenize.hh"
 
@@ -290,6 +292,156 @@ TEST(NgramIndex, SizeTracksAdds)
     index.add("one");
     index.add("two");
     EXPECT_EQ(index.size(), 2u);
+}
+
+TEST(NgramIndex, ScratchQueryMatchesPlainQuery)
+{
+    NgramIndex index(3);
+    index.add("cache line boundary crossing");
+    index.add("cache line boundary");
+    index.add("unrelated title entirely");
+    index.add("processor may hang");
+
+    NgramQueryScratch scratch;
+    const char *const queries[] = {
+        "cache line boundary crossing", "processor may hang",
+        "zzz yyy xxx", "cache line"};
+    // Repeated queries through the same scratch must match the
+    // plain overload exactly (the scratch resets sparsely).
+    for (int pass = 0; pass < 3; ++pass) {
+        for (const char *query : queries) {
+            auto plain = index.query(query, 0.1);
+            auto fast = index.query(query, scratch, 0.1);
+            ASSERT_EQ(fast.size(), plain.size()) << query;
+            for (std::size_t i = 0; i < plain.size(); ++i) {
+                EXPECT_EQ(fast[i].docId, plain[i].docId);
+                EXPECT_EQ(fast[i].sharedGrams,
+                          plain[i].sharedGrams);
+                EXPECT_EQ(fast[i].overlap, plain[i].overlap);
+            }
+        }
+    }
+}
+
+// ---- Literal scanner ------------------------------------------------
+
+TEST(LiteralScanner, ClassicAhoCorasick)
+{
+    LiteralScanner scanner;
+    scanner.addOwner(0, {"he"});
+    scanner.addOwner(1, {"she"});
+    scanner.addOwner(2, {"his"});
+    scanner.addOwner(3, {"hers"});
+    scanner.build();
+
+    std::vector<std::uint8_t> hits;
+    scanner.scan("ushers", hits);
+    ASSERT_EQ(hits.size(), 4u);
+    EXPECT_EQ(hits[0], 1); // "he" inside "ushers"
+    EXPECT_EQ(hits[1], 1); // "she"
+    EXPECT_EQ(hits[2], 0); // "his" absent
+    EXPECT_EQ(hits[3], 1); // "hers"
+
+    scanner.scan("this", hits);
+    EXPECT_EQ(hits[0], 0);
+    EXPECT_EQ(hits[1], 0);
+    EXPECT_EQ(hits[2], 1);
+    EXPECT_EQ(hits[3], 0);
+
+    scanner.scan("", hits);
+    for (std::uint8_t hit : hits)
+        EXPECT_EQ(hit, 0);
+}
+
+TEST(LiteralScanner, AlternativeNeedlesAnyHitCounts)
+{
+    LiteralScanner scanner;
+    scanner.addOwner(0, {"hang", "freeze"});
+    scanner.addOwner(2, {"tlb"}); // sparse ids allowed
+    scanner.build();
+
+    std::vector<std::uint8_t> hits;
+    scanner.scan("the system may freeze", hits);
+    ASSERT_EQ(hits.size(), 3u);
+    EXPECT_EQ(hits[0], 1);
+    EXPECT_EQ(hits[1], 0);
+    EXPECT_EQ(hits[2], 0);
+
+    scanner.scan("tlb shootdown causes hang", hits);
+    EXPECT_EQ(hits[0], 1);
+    EXPECT_EQ(hits[2], 1);
+}
+
+TEST(FoldForScan, LowerCasesAscii)
+{
+    EXPECT_EQ(foldForScan("MCE on Page-Boundary"),
+              "mce on page-boundary");
+    EXPECT_EQ(foldForScan(""), "");
+}
+
+// ---- Literal factor extraction --------------------------------------
+
+TEST(LiteralFactors, PlainLiteralIsItsOwnFactor)
+{
+    auto regex = Regex::compileOrDie("machine check");
+    auto factors = regex.literalFactors();
+    ASSERT_EQ(factors.size(), 1u);
+    EXPECT_EQ(factors[0], "machine check");
+}
+
+TEST(LiteralFactors, CaseIsFolded)
+{
+    RegexOptions options;
+    options.ignoreCase = true;
+    auto regex = Regex::compileOrDie("Machine Check", options);
+    auto factors = regex.literalFactors();
+    ASSERT_EQ(factors.size(), 1u);
+    EXPECT_EQ(factors[0], "machine check");
+}
+
+TEST(LiteralFactors, AlternationYieldsAlternatives)
+{
+    auto regex = Regex::compileOrDie("hang|freeze");
+    auto factors = regex.literalFactors();
+    ASSERT_EQ(factors.size(), 2u);
+    EXPECT_EQ(factors[0], "freeze"); // sorted
+    EXPECT_EQ(factors[1], "hang");
+}
+
+TEST(LiteralFactors, OptionalPartsExpandIntoAlternatives)
+{
+    // "s?" is optional: factors are alternatives, so every matching
+    // variant must contain at least one of them.
+    auto regex = Regex::compileOrDie("cache lines? split");
+    auto factors = regex.literalFactors();
+    ASSERT_FALSE(factors.empty());
+    for (const std::string variant :
+         {"cache line split", "cache lines split"}) {
+        bool anyPresent = false;
+        for (const auto &factor : factors) {
+            if (variant.find(factor) != std::string::npos) {
+                anyPresent = true;
+                break;
+            }
+        }
+        EXPECT_TRUE(anyPresent) << variant;
+    }
+}
+
+TEST(LiteralFactors, NoFactorForPureWildcards)
+{
+    auto regex = Regex::compileOrDie(".*");
+    EXPECT_TRUE(regex.literalFactors().empty());
+    auto regexClass = Regex::compileOrDie("[abc]+");
+    EXPECT_TRUE(regexClass.literalFactors().empty());
+}
+
+TEST(LiteralFactors, AnchorsContributeNothing)
+{
+    auto regex = Regex::compileOrDie("^reset$");
+    auto factors = regex.literalFactors();
+    ASSERT_EQ(factors.size(), 1u);
+    EXPECT_EQ(factors[0], "reset");
 }
 
 } // namespace

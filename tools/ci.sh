@@ -1,0 +1,48 @@
+#!/bin/sh
+# Local CI driver: the checks a change must pass before it merges.
+#
+#   1. tier-1: configure + build + full ctest suite;
+#   2. source hygiene (tools/check_format.sh);
+#   3. a ThreadSanitizer build running the concurrency-sensitive
+#      tests (parallel executor, observability, the literal
+#      prefilter differential and the similarity kernels, which are
+#      scanned/scored concurrently from dedup and foureyes shards).
+#
+# Usage: tools/ci.sh [build-dir]   (default: build-ci)
+# Exit status: nonzero on the first failing step.
+
+set -eu
+
+root=$(cd "$(dirname "$0")/.." && pwd)
+build=${1:-build-ci}
+tsan_build=${build}-tsan
+jobs=$(nproc 2>/dev/null || echo 4)
+
+step() {
+    printf '\n==== ci: %s ====\n' "$*"
+}
+
+step "tier-1 build (${build})"
+cmake -B "$root/$build" -S "$root" > /dev/null
+cmake --build "$root/$build" -j "$jobs"
+
+step "tier-1 tests"
+(cd "$root/$build" && ctest --output-on-failure -j "$jobs")
+
+step "format check"
+(cd "$root" && sh tools/check_format.sh)
+
+step "thread-sanitizer build (${tsan_build})"
+cmake -B "$root/$tsan_build" -S "$root" \
+    -DREMEMBERR_SANITIZE=thread > /dev/null
+cmake --build "$root/$tsan_build" -j "$jobs" \
+    --target test_parallel test_obs test_similarity_kernels \
+    test_regex_differential
+
+step "thread-sanitizer tests"
+for t in test_parallel test_obs test_similarity_kernels \
+         test_regex_differential; do
+    "$root/$tsan_build/tests/$t"
+done
+
+step "all checks passed"
