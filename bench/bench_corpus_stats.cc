@@ -123,22 +123,22 @@ printStats()
     std::printf("errata in errata (linter findings vs paper):\n");
     std::printf("  revisions claiming the same erratum twice: %d "
                 "(paper: 8 across 3 documents)\n",
-                lint.duplicateRevisionClaims);
+                lint.duplicateRevisionClaims());
     std::printf("  errata missing from revision notes:         %d "
                 "(paper: 12 across 2 documents)\n",
-                lint.missingFromNotes);
+                lint.missingFromNotes());
     std::printf("  reused erratum names:                      %d "
                 "(paper: 1, the AAJ143 case)\n",
-                lint.reusedNames);
+                lint.reusedNames());
     std::printf("  missing or duplicate fields:               %d "
                 "(paper: 7 across 4 documents)\n",
-                lint.missingFields + lint.duplicateFields);
+                lint.missingFields() + lint.duplicateFields());
     std::printf("  erroneous MSR numbers:                     %d "
                 "(paper: 3 across 3 documents)\n",
-                lint.wrongMsrNumbers);
+                lint.wrongMsrNumbers());
     std::printf("  intra-document duplicate pairs:            %d "
                 "(paper: 11 across 6 documents)\n\n",
-                lint.intraDocDuplicates);
+                lint.intraDocDuplicates());
 
     // Dedup pipeline accuracy against ground truth.
     DedupAccuracy accuracy =

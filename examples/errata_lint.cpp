@@ -92,16 +92,16 @@ main(int argc, char **argv)
     LintSummary summary = summarizeFindings(perDoc);
     std::printf("\nTotals vs the paper (Section IV-A):\n");
     std::printf("  duplicate revision claims: %d (paper: 8)\n",
-                summary.duplicateRevisionClaims);
+                summary.duplicateRevisionClaims());
     std::printf("  missing from notes:        %d (paper: 12)\n",
-                summary.missingFromNotes);
+                summary.missingFromNotes());
     std::printf("  reused names:              %d (paper: 1)\n",
-                summary.reusedNames);
+                summary.reusedNames());
     std::printf("  missing/duplicate fields:  %d (paper: 7)\n",
-                summary.missingFields + summary.duplicateFields);
+                summary.missingFields() + summary.duplicateFields());
     std::printf("  wrong MSR numbers:         %d (paper: 3)\n",
-                summary.wrongMsrNumbers);
+                summary.wrongMsrNumbers());
     std::printf("  intra-document duplicates: %d (paper: 11)\n",
-                summary.intraDocDuplicates);
+                summary.intraDocDuplicates());
     return 0;
 }

@@ -20,6 +20,8 @@
 #include "core/pipeline.hh"
 #include "corpus/calibration.hh"
 #include "db/query.hh"
+#include "dedup/dedup.hh"
+#include "diag/check.hh"
 #include "document/format.hh"
 #include "document/lint.hh"
 #include "guidance/guidance.hh"
@@ -108,6 +110,22 @@ usageText()
            "exports\n"
            "  lint      FILE...           lint specification-update "
            "documents\n"
+           "  check     [FILE...]         static analysis: "
+           "per-document, cross-\n"
+           "                              document and rule-set "
+           "checks; without\n"
+           "                              FILEs, the calibrated "
+           "corpus is checked\n"
+           "    --format text|json|sarif  output format (default "
+           "text)\n"
+           "    --out FILE                write the report to FILE\n"
+           "    --baseline FILE           suppress known findings\n"
+           "    --write-baseline FILE     accept current findings\n"
+           "    --disable ID[,ID...]      disable rules by id or "
+           "name\n"
+           "    --severity ID=LEVEL[,...] override rule severities\n"
+           "    --rules | --no-rules      force rule-set analysis "
+           "on/off\n"
            "  classify  FILE              software-assisted "
            "classification\n"
            "  highlight FILE ID CATEGORY  show annotation "
@@ -280,14 +298,190 @@ cmdLint(const ArgList &args, std::ostream &out, std::ostream &err)
             ++failures;
             continue;
         }
+        parsed.value().sourcePath = path;
         auto findings = lintDocument(parsed.value());
         out << path << ": " << findings.size() << " finding(s)\n";
         for (const LintFinding &finding : findings) {
-            out << "  [" << defectKindName(finding.kind) << "] "
-                << finding.detail << "\n";
+            out << "  [" << defectKindName(finding.kind) << "]";
+            if (finding.line > 0)
+                out << " line " << finding.line << ":";
+            out << " " << finding.detail << "\n";
         }
     }
     return failures == 0 ? 0 : 1;
+}
+
+int writeTextFile(const std::string &path,
+                  const std::string &content, const char *what,
+                  std::ostream &err);
+
+int
+cmdCheck(const ArgList &args, std::ostream &out, std::ostream &err)
+{
+    std::string format = args.option("format").value_or("text");
+    if (format != "text" && format != "json" && format != "sarif") {
+        err << "check: unknown format '" << format
+            << "' (expected text, json or sarif)\n";
+        return 2;
+    }
+    if (args.hasFlag("baseline") && args.hasFlag("write-baseline")) {
+        err << "check: --baseline and --write-baseline are "
+               "mutually exclusive\n";
+        return 2;
+    }
+
+    CheckOptions options;
+    if (auto threads = args.intOption("threads"))
+        options.threads = static_cast<std::size_t>(*threads);
+    options.metrics = &MetricsRegistry::global();
+    options.trace = &TraceRecorder::global();
+
+    auto eachToken = [](const std::string &list,
+                        const auto &consume) {
+        std::size_t pos = 0;
+        while (pos <= list.size()) {
+            std::size_t comma = list.find(',', pos);
+            if (comma == std::string::npos)
+                comma = list.size();
+            std::string token = list.substr(pos, comma - pos);
+            pos = comma + 1;
+            if (!token.empty() && !consume(token))
+                return false;
+        }
+        return true;
+    };
+    if (auto disable = args.option("disable")) {
+        bool ok = eachToken(*disable, [&](const std::string &rule) {
+            if (options.config.disable(rule))
+                return true;
+            err << "check: unknown rule '" << rule << "'\n";
+            return false;
+        });
+        if (!ok)
+            return 2;
+    }
+    if (auto overrides = args.option("severity")) {
+        bool ok =
+            eachToken(*overrides, [&](const std::string &token) {
+                std::size_t eq = token.find('=');
+                std::optional<Severity> severity;
+                if (eq != std::string::npos)
+                    severity = parseSeverity(token.substr(eq + 1));
+                if (!severity) {
+                    err << "check: expected RULE=note|warning|error"
+                           ", got '"
+                        << token << "'\n";
+                    return false;
+                }
+                if (!options.config.overrideSeverity(
+                        token.substr(0, eq), *severity)) {
+                    err << "check: unknown rule '"
+                        << token.substr(0, eq) << "'\n";
+                    return false;
+                }
+                return true;
+            });
+        if (!ok)
+            return 2;
+    }
+
+    std::optional<Baseline> baseline;
+    if (auto path = args.option("baseline")) {
+        std::ifstream in(*path);
+        if (!in) {
+            err << "check: cannot open baseline " << *path << "\n";
+            return 1;
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        auto parsed = Baseline::parse(buffer.str());
+        if (!parsed) {
+            err << "check: " << *path << ": "
+                << parsed.error().toString() << "\n";
+            return 1;
+        }
+        baseline.emplace(std::move(parsed.value()));
+        options.baseline = &*baseline;
+    }
+
+    CheckReport report;
+    if (args.positionals().empty()) {
+        // Corpus mode: the calibrated corpus with its pipeline
+        // dedup clusters; rule-set analysis on unless disabled.
+        options.ruleSetChecks = !args.hasFlag("no-rules");
+        const PipelineResult &result = buildPipeline(args);
+        report = runChecks(result.corpus.documents, result.dedup,
+                           options);
+    } else {
+        // File mode: parse and dedup just the given documents.
+        // Rule-set analysis is off by default — it concerns the
+        // classifier's tables, not the documents — but --rules
+        // turns it on (dead-pattern analysis then runs against
+        // these documents).
+        options.ruleSetChecks = args.hasFlag("rules");
+        std::vector<ErrataDocument> documents;
+        for (const std::string &path : args.positionals()) {
+            std::ifstream in(path);
+            if (!in) {
+                err << "check: cannot open " << path << "\n";
+                return 1;
+            }
+            std::ostringstream buffer;
+            buffer << in.rdbuf();
+            auto parsed = parseDocument(buffer.str());
+            if (!parsed) {
+                err << "check: " << path << ": "
+                    << parsed.error().toString() << "\n";
+                return 1;
+            }
+            parsed.value().sourcePath = path;
+            documents.push_back(std::move(parsed.value()));
+        }
+        DedupOptions dedupOptions;
+        dedupOptions.threads = options.threads;
+        DedupResult dedup = deduplicate(documents, dedupOptions);
+        report = runChecks(documents, dedup, options);
+    }
+
+    if (auto path = args.option("write-baseline")) {
+        if (path->empty()) {
+            err << "check: --write-baseline requires a file name\n";
+            return 2;
+        }
+        Baseline accepted =
+            Baseline::fromDiagnostics(report.diagnostics);
+        if (int rc = writeTextFile(*path, accepted.serialize(),
+                                   "baseline", err)) {
+            return rc;
+        }
+        out << "wrote " << *path << " ("
+            << report.diagnostics.size() << " accepted finding(s))\n";
+        return 0;
+    }
+
+    std::string body;
+    if (format == "text") {
+        body = renderText(report.diagnostics, report.suppressed);
+    } else if (format == "json") {
+        body = diagnosticsToJson(report.diagnostics,
+                                 report.suppressed)
+                   .dumpPretty() +
+               "\n";
+    } else {
+        body = diagnosticsToSarif(report.diagnostics).dumpPretty() +
+               "\n";
+    }
+    if (auto path = args.option("out")) {
+        if (path->empty()) {
+            err << "check: --out requires a file name\n";
+            return 2;
+        }
+        if (int rc = writeTextFile(*path, body, "report", err))
+            return rc;
+    } else {
+        out << body;
+    }
+    return report.failed() ? 1 : 0;
 }
 
 int
@@ -775,6 +969,8 @@ runCli(const std::vector<std::string> &args, std::ostream &out,
             return cmdGenerate(parsed, out, err);
         if (command == "lint")
             return cmdLint(parsed, out, err);
+        if (command == "check")
+            return cmdCheck(parsed, out, err);
         if (command == "classify")
             return cmdClassify(parsed, out, err);
         if (command == "highlight")

@@ -6,6 +6,12 @@
  *   stats                       headline numbers vs the paper
  *   generate  --out DIR         write the 28 documents + db exports
  *   lint      FILE...           lint specification-update documents
+ *   check     [FILE...]         static analysis (per-document,
+ *                               cross-document, rule-set); without
+ *                               FILEs the calibrated corpus is
+ *                               checked. --format text|json|sarif,
+ *                               --baseline/--write-baseline FILE,
+ *                               --disable IDs, --severity ID=LEVEL
  *   classify  FILE              software-assisted classification
  *   highlight FILE ID CATEGORY  show annotation highlighting
  *   query     [filters]         query the annotated database

@@ -94,6 +94,10 @@ runPipeline(const PipelineOptions &options)
                                 reparsed.error().toString();
                             return;
                         }
+                        // The text format does not carry the origin;
+                        // keep the generator's pseudo-path.
+                        reparsed.value().sourcePath =
+                            std::move(documents[d].sourcePath);
                         documents[d] = std::move(reparsed.value());
                         if (parsed)
                             parsed->add();

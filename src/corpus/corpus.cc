@@ -22,6 +22,12 @@ defectKindName(DefectKind kind)
         return "WrongMsrNumber";
       case DefectKind::IntraDocDuplicate:
         return "IntraDocDuplicate";
+      case DefectKind::StatusRegression:
+        return "StatusRegression";
+      case DefectKind::DivergentWorkaround:
+        return "DivergentWorkaround";
+      case DefectKind::DanglingReference:
+        return "DanglingReference";
     }
     REMEMBERR_PANIC("defectKindName: bad kind");
 }

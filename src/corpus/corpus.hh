@@ -57,7 +57,12 @@ struct BugSpec
     bool discoveredOnNewest = false;
 };
 
-/** Kinds of injected document defects ("errata in errata"). */
+/**
+ * Kinds of injected document defects ("errata in errata"). The first
+ * seven are per-document; the remaining kinds are cross-document and
+ * only detectable with the whole corpus (and its dedup clusters) in
+ * hand.
+ */
 enum class DefectKind : std::uint8_t
 {
     DuplicateRevisionClaim, ///< two revisions claim the same erratum
@@ -67,7 +72,17 @@ enum class DefectKind : std::uint8_t
     DuplicateField,         ///< a field duplicates another verbatim
     WrongMsrNumber,         ///< MSR number contradicts its name
     IntraDocDuplicate,      ///< same erratum twice in one document
+    StatusRegression,       ///< a duplicate regresses Fixed -> NoFix
+    DivergentWorkaround,    ///< duplicates disagree on the workaround
+    DanglingReference,      ///< notes reference a nonexistent erratum
 };
+
+/**
+ * Number of DefectKind values. Tables indexed by DefectKind size
+ * themselves with this so a new kind cannot silently fall outside
+ * any counter.
+ */
+constexpr std::size_t kDefectKindCount = 10;
 
 std::string_view defectKindName(DefectKind kind);
 

@@ -565,6 +565,7 @@ CorpusGenerator::assembleDocuments(Corpus &corpus)
         const DocumentSpec &spec = inventory[docIdx];
         ErrataDocument &doc = corpus.documents[docIdx];
         doc.design = spec.design;
+        doc.sourcePath = "corpus:" + spec.design.key();
 
         // Revision schedule: release date, then jittered intervals.
         Rng rng = rng_.fork();
@@ -851,6 +852,120 @@ CorpusGenerator::injectDefects(Corpus &corpus)
                     {originalId, copy.localId}});
                 doc.errata.push_back(std::move(copy));
             }
+        }
+    }
+
+    // --- Cross-document defects. Only detectable with the whole
+    //     corpus (and its dedup clusters) in hand; they target AMD
+    //     bugs so they cannot interact with the Intel-only
+    //     intra-document duplicates above. All rows of a shared AMD
+    //     bug carry the same shared numeric id, and the database
+    //     fills entries from the chronologically first row, so
+    //     mutating the latest occurrence leaves the per-document
+    //     ground truth and the database contents untouched.
+
+    // Position of a bug's row inside one document; rowToBug is
+    // ordered by (doc, position), so the first hit is the earliest
+    // row (relevant only under IntraDocDuplicate, which never
+    // touches AMD documents).
+    auto rowPosition = [&](int docIdx,
+                           std::uint32_t bugKey) -> int {
+        for (const auto &[key, bug] : corpus.rowToBug) {
+            if (key.first == docIdx && bug == bugKey)
+                return key.second;
+        }
+        return -1;
+    };
+
+    // A duplicate whose status regresses from Fixed to NoFix in a
+    // newer document: flip the latest occurrence of the first
+    // multi-document Fixed AMD bug.
+    {
+        for (std::size_t b = 0; b < corpus.bugs.size(); ++b) {
+            const BugSpec &bug = corpus.bugs[b];
+            if (bug.vendor != Vendor::Amd ||
+                bug.docIndices.size() < 2 ||
+                bug.fixStatus != FixStatus::Fixed) {
+                continue;
+            }
+            int latest = *std::max_element(bug.docIndices.begin(),
+                                           bug.docIndices.end());
+            int pos = rowPosition(latest,
+                                  static_cast<std::uint32_t>(b));
+            if (pos < 0)
+                continue;
+            Erratum &row =
+                docAt(latest).errata[static_cast<std::size_t>(pos)];
+            row.status = FixStatus::NoFix;
+            corpus.defects.push_back(
+                DefectRecord{DefectKind::StatusRegression, latest,
+                             {row.localId}});
+            break;
+        }
+    }
+
+    // Duplicates that disagree on the workaround text: append a
+    // neutral sentence to the latest occurrence of one shared AMD
+    // bug. The sentence contains none of the workaround-class
+    // keywords, so the classified WorkaroundClass is unchanged.
+    {
+        int statusDoc =
+            corpus.defects.back().kind == DefectKind::StatusRegression
+                ? corpus.defects.back().docIndex
+                : -1;
+        for (std::size_t b = 0; b < corpus.bugs.size(); ++b) {
+            const BugSpec &bug = corpus.bugs[b];
+            if (bug.vendor != Vendor::Amd ||
+                bug.docIndices.size() < 2 ||
+                bug.workaroundText.empty() ||
+                bug.workaroundClass == WorkaroundClass::None) {
+                continue;
+            }
+            int latest = *std::max_element(bug.docIndices.begin(),
+                                           bug.docIndices.end());
+            int pos = rowPosition(latest,
+                                  static_cast<std::uint32_t>(b));
+            if (pos < 0)
+                continue;
+            Erratum &row =
+                docAt(latest).errata[static_cast<std::size_t>(pos)];
+            if (latest == statusDoc &&
+                row.status == FixStatus::NoFix &&
+                bug.fixStatus == FixStatus::Fixed) {
+                continue; // keep the two defects on distinct rows
+            }
+            row.workaroundText += " Refer to the latest revision "
+                                  "guide for additional details.";
+            corpus.defects.push_back(
+                DefectRecord{DefectKind::DivergentWorkaround, latest,
+                             {row.localId}});
+            break;
+        }
+    }
+
+    // A revision summary referencing an erratum the document never
+    // defines: borrow an id from the next AMD document that is
+    // absent from the first one.
+    {
+        const int amdDoc = static_cast<int>(firstAmdDocIndex);
+        ErrataDocument &doc = docAt(amdDoc);
+        const ErrataDocument &donor = docAt(amdDoc + 1);
+        auto defines = [&](const std::string &id) {
+            if (doc.findErratum(id) != nullptr)
+                return true;
+            return std::find(doc.hiddenErrata.begin(),
+                             doc.hiddenErrata.end(),
+                             id) != doc.hiddenErrata.end();
+        };
+        for (const Erratum &candidate : donor.errata) {
+            if (defines(candidate.localId))
+                continue;
+            doc.revisions.back().addedIds.push_back(
+                candidate.localId);
+            corpus.defects.push_back(
+                DefectRecord{DefectKind::DanglingReference, amdDoc,
+                             {candidate.localId}});
+            break;
         }
     }
 }

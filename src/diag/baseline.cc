@@ -1,0 +1,107 @@
+#include "baseline.hh"
+
+#include <cstdint>
+#include <cstdio>
+
+namespace rememberr {
+
+namespace {
+
+/** FNV-1a over the message keeps fingerprints short but specific. */
+std::uint32_t
+fnv1a32(const std::string &text)
+{
+    std::uint32_t hash = 2166136261u;
+    for (char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 16777619u;
+    }
+    return hash;
+}
+
+std::string
+basenameOf(const std::string &path)
+{
+    std::size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? path
+                                      : path.substr(slash + 1);
+}
+
+} // namespace
+
+std::string
+Baseline::fingerprint(const Diagnostic &diagnostic)
+{
+    std::string ids;
+    for (const std::string &id : diagnostic.ids) {
+        if (!ids.empty())
+            ids += ',';
+        ids += id;
+    }
+    char hash[12];
+    std::snprintf(hash, sizeof(hash), "%08x",
+                  fnv1a32(diagnostic.message));
+    return diagnostic.ruleId + ' ' +
+           basenameOf(diagnostic.location.path) + ' ' + ids + ' ' +
+           hash;
+}
+
+Baseline
+Baseline::fromDiagnostics(const std::vector<Diagnostic> &diagnostics)
+{
+    Baseline baseline;
+    for (const Diagnostic &diagnostic : diagnostics)
+        baseline.fingerprints_.insert(fingerprint(diagnostic));
+    return baseline;
+}
+
+Expected<Baseline>
+Baseline::parse(const std::string &text)
+{
+    Baseline baseline;
+    std::size_t pos = 0;
+    int lineNo = 0;
+    while (pos <= text.size()) {
+        std::size_t end = text.find('\n', pos);
+        if (end == std::string::npos)
+            end = text.size();
+        std::string line = text.substr(pos, end - pos);
+        ++lineNo;
+        pos = end + 1;
+        if (line.empty() || line[0] == '#')
+            continue;
+        // Shape check: "RBExxx basename ids hash" (ids may be "").
+        std::size_t spaces = 0;
+        for (char c : line)
+            spaces += c == ' ';
+        if (line.rfind("RBE", 0) != 0 || spaces != 3) {
+            return makeError("baseline: malformed fingerprint",
+                             lineNo);
+        }
+        baseline.fingerprints_.insert(std::move(line));
+    }
+    return baseline;
+}
+
+std::string
+Baseline::serialize() const
+{
+    std::string out =
+        "# rememberr check baseline: accepted findings, one "
+        "fingerprint per line.\n"
+        "# Regenerate with `rememberr check --write-baseline "
+        "<file>`.\n";
+    for (const std::string &fingerprint : fingerprints_) {
+        out += fingerprint;
+        out += '\n';
+    }
+    return out;
+}
+
+bool
+Baseline::contains(const Diagnostic &diagnostic) const
+{
+    return fingerprints_.count(fingerprint(diagnostic)) != 0;
+}
+
+} // namespace rememberr

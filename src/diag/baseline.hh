@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Baseline files: accepted findings that should not fail CI.
+ *
+ * A baseline is the set of fingerprints of known diagnostics. A
+ * check run filters its findings against the baseline and fails
+ * only on fingerprints not present — so a repository can adopt the
+ * checker without first fixing (or losing sight of) every historical
+ * finding. Fingerprints deliberately exclude line numbers: inserting
+ * text above a known finding must not make it "new".
+ */
+
+#ifndef REMEMBERR_DIAG_BASELINE_HH
+#define REMEMBERR_DIAG_BASELINE_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "diagnostic.hh"
+#include "util/expected.hh"
+
+namespace rememberr {
+
+/** A set of accepted diagnostic fingerprints. */
+class Baseline
+{
+  public:
+    /**
+     * Stable identity of one diagnostic:
+     * "<ruleId> <path basename> <ids joined with ','> <fnv1a32 of
+     * the message>". Line numbers are excluded on purpose.
+     */
+    static std::string fingerprint(const Diagnostic &diagnostic);
+
+    /** Collect the fingerprints of a set of diagnostics. */
+    static Baseline
+    fromDiagnostics(const std::vector<Diagnostic> &diagnostics);
+
+    /** Parse the baseline file format produced by serialize(). */
+    static Expected<Baseline> parse(const std::string &text);
+
+    /** One fingerprint per line, sorted; '#' lines are comments. */
+    std::string serialize() const;
+
+    bool contains(const Diagnostic &diagnostic) const;
+
+    std::size_t size() const { return fingerprints_.size(); }
+
+  private:
+    std::set<std::string> fingerprints_;
+};
+
+} // namespace rememberr
+
+#endif // REMEMBERR_DIAG_BASELINE_HH

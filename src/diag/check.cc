@@ -1,0 +1,96 @@
+#include "check.hh"
+
+#include "classify/rules.hh"
+#include "diag/corpus_checks.hh"
+#include "diag/ruleset_checks.hh"
+#include "util/parallel.hh"
+
+namespace rememberr {
+
+CheckReport
+runChecks(const std::vector<ErrataDocument> &documents,
+          const DedupResult &dedup, const CheckOptions &options)
+{
+    std::vector<Diagnostic> all;
+
+    // Per-document checks, merged in document order.
+    {
+        ScopedSpan span(options.trace, "check.documents");
+        using Diagnostics = std::vector<Diagnostic>;
+        Diagnostics docDiags = parallelMapReduce<Diagnostics>(
+            documents.size(), options.threads,
+            [&](std::size_t begin, std::size_t end) {
+                Diagnostics part;
+                for (std::size_t d = begin; d < end; ++d) {
+                    Diagnostics one = checkDocument(
+                        documents[d], options.docOptions);
+                    std::move(one.begin(), one.end(),
+                              std::back_inserter(part));
+                }
+                return part;
+            },
+            [](Diagnostics &acc, Diagnostics &&part) {
+                std::move(part.begin(), part.end(),
+                          std::back_inserter(acc));
+            });
+        if (options.metrics) {
+            options.metrics->counter("check.documents")
+                .add(documents.size());
+            options.metrics->counter("check.document.diagnostics")
+                .add(docDiags.size());
+        }
+        std::move(docDiags.begin(), docDiags.end(),
+                  std::back_inserter(all));
+    }
+
+    // Cross-document checks.
+    {
+        ScopedSpan span(options.trace, "check.corpus");
+        CorpusCheckOptions corpusOptions;
+        corpusOptions.threads = options.threads;
+        corpusOptions.metrics = options.metrics;
+        std::vector<Diagnostic> corpusDiags =
+            checkCorpus(documents, dedup, corpusOptions);
+        std::move(corpusDiags.begin(), corpusDiags.end(),
+                  std::back_inserter(all));
+    }
+
+    // Rule-set analysis. The expensive dead-pattern sweep is
+    // skipped outright when RBE202 is disabled.
+    if (options.ruleSetChecks) {
+        ScopedSpan span(options.trace, "check.ruleset");
+        RulesetCheckOptions rulesetOptions;
+        rulesetOptions.corpus =
+            options.config.enabled("RBE202") ? &documents : nullptr;
+        rulesetOptions.threads = options.threads;
+        rulesetOptions.metrics = options.metrics;
+        std::vector<Diagnostic> rulesetDiags =
+            checkRuleSet(RuleSet::instance(), rulesetOptions);
+        std::move(rulesetDiags.begin(), rulesetDiags.end(),
+                  std::back_inserter(all));
+    }
+
+    all = options.config.apply(std::move(all));
+
+    CheckReport report;
+    if (options.baseline) {
+        for (Diagnostic &diagnostic : all) {
+            if (options.baseline->contains(diagnostic))
+                ++report.suppressed;
+            else
+                report.diagnostics.push_back(std::move(diagnostic));
+        }
+    } else {
+        report.diagnostics = std::move(all);
+    }
+
+    if (options.metrics) {
+        options.metrics->counter("check.diagnostics")
+            .add(report.diagnostics.size());
+        options.metrics->counter("check.suppressed")
+            .add(report.suppressed);
+    }
+    return report;
+}
+
+} // namespace rememberr

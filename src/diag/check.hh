@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The check driver: one entry point running every analysis layer.
+ *
+ * Runs per-document checks (RBE001..007) in parallel over all
+ * documents, cross-document checks (RBE101..105) over the dedup
+ * clusters, and — when requested — rule-set analysis
+ * (RBE201..204); then applies the rule configuration and the
+ * baseline. The output order is deterministic for any thread count.
+ */
+
+#ifndef REMEMBERR_DIAG_CHECK_HH
+#define REMEMBERR_DIAG_CHECK_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "baseline.hh"
+#include "dedup/dedup.hh"
+#include "diag/doc_checks.hh"
+#include "diagnostic.hh"
+#include "model/erratum.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "render.hh"
+
+namespace rememberr {
+
+/** Check-run configuration. */
+struct CheckOptions
+{
+    /** Rule enablement and severity overrides. */
+    RuleConfig config;
+    /** Per-document check knobs (MSR reference). */
+    DocCheckOptions docOptions;
+    /** Run RBE201..204 over the classification rule tables. */
+    bool ruleSetChecks = true;
+    /** Known findings to suppress; null = report everything. */
+    const Baseline *baseline = nullptr;
+    /** Worker threads (0 = all hardware threads, 1 = serial). */
+    std::size_t threads = 1;
+    /** When set, receives check.* counters. */
+    MetricsRegistry *metrics = nullptr;
+    /** When set, records check.* spans. */
+    TraceRecorder *trace = nullptr;
+};
+
+/** Outcome of one check run. */
+struct CheckReport
+{
+    /** New findings, after config filtering and the baseline. */
+    std::vector<Diagnostic> diagnostics;
+    /** Findings suppressed by the baseline. */
+    std::size_t suppressed = 0;
+
+    DiagnosticCounts
+    counts() const
+    {
+        return countDiagnostics(diagnostics, suppressed);
+    }
+
+    /** A run fails on any unsuppressed error or warning. */
+    bool
+    failed() const
+    {
+        DiagnosticCounts c = counts();
+        return c.errors + c.warnings > 0;
+    }
+};
+
+/** Run every check layer over a deduplicated corpus. */
+CheckReport runChecks(const std::vector<ErrataDocument> &documents,
+                      const DedupResult &dedup,
+                      const CheckOptions &options = {});
+
+} // namespace rememberr
+
+#endif // REMEMBERR_DIAG_CHECK_HH

@@ -1,0 +1,244 @@
+#include "corpus_checks.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/parallel.hh"
+#include "util/strings.hh"
+
+namespace rememberr {
+
+namespace {
+
+using Diagnostics = std::vector<Diagnostic>;
+
+Diagnostic
+makeDiagnostic(std::string_view rule_id,
+               std::vector<std::string> ids, std::string message,
+               SourceLocation location,
+               std::vector<SourceLocation> related = {})
+{
+    Diagnostic diagnostic;
+    diagnostic.ruleId = std::string(rule_id);
+    diagnostic.severity = findRule(rule_id)->defaultSeverity;
+    diagnostic.message = std::move(message);
+    diagnostic.location = std::move(location);
+    diagnostic.related = std::move(related);
+    diagnostic.ids = std::move(ids);
+    return diagnostic;
+}
+
+SourceLocation
+rowLocation(const std::vector<ErrataDocument> &documents,
+            const ErratumRef &ref, const std::string &field = {})
+{
+    const ErrataDocument &document =
+        documents[static_cast<std::size_t>(ref.docIndex)];
+    const Erratum &erratum = document.errata[ref.position];
+    SourceLocation location;
+    location.path = document.sourcePath;
+    location.line = field.empty() ? erratum.sourceLine
+                                  : erratum.fieldLine(field);
+    location.field = field;
+    return location;
+}
+
+/** Rules RBE101..RBE103 over one cluster of duplicate rows. */
+void
+checkCluster(const std::vector<ErrataDocument> &documents,
+             std::vector<ErratumRef> rows, Diagnostics &out)
+{
+    if (rows.size() < 2)
+        return;
+    // Documents are inventoried chronologically per vendor, so
+    // (docIndex, position) orders a cluster's rows oldest first.
+    std::sort(rows.begin(), rows.end(),
+              [](const ErratumRef &a, const ErratumRef &b) {
+                  return std::pair(a.docIndex, a.position) <
+                         std::pair(b.docIndex, b.position);
+              });
+    auto erratumOf = [&](const ErratumRef &ref) -> const Erratum & {
+        return documents[static_cast<std::size_t>(ref.docIndex)]
+            .errata[ref.position];
+    };
+
+    // RBE101: Fixed must not regress to NoFix in a newer document.
+    bool regressionReported = false;
+    for (std::size_t i = 0;
+         i < rows.size() && !regressionReported; ++i) {
+        if (erratumOf(rows[i]).status != FixStatus::Fixed)
+            continue;
+        for (std::size_t j = i + 1; j < rows.size(); ++j) {
+            if (rows[j].docIndex == rows[i].docIndex ||
+                erratumOf(rows[j]).status != FixStatus::NoFix) {
+                continue;
+            }
+            const Erratum &fixed = erratumOf(rows[i]);
+            const Erratum &regressed = erratumOf(rows[j]);
+            out.push_back(makeDiagnostic(
+                "RBE101", {fixed.localId, regressed.localId},
+                "'" + regressed.localId +
+                    "' regresses from Fixed to NoFix in a newer "
+                    "document",
+                rowLocation(documents, rows[j], "Status"),
+                {rowLocation(documents, rows[i], "Status")}));
+            regressionReported = true; // one report per cluster
+            break;
+        }
+    }
+
+    // RBE102: duplicates must agree on every MSR number.
+    {
+        std::map<std::string,
+                 std::map<std::uint32_t, ErratumRef>> byName;
+        for (const ErratumRef &ref : rows) {
+            for (const MsrRef &msr : erratumOf(ref).msrs)
+                byName[msr.name].try_emplace(msr.number, ref);
+        }
+        for (const auto &[name, numbers] : byName) {
+            if (numbers.size() < 2)
+                continue;
+            const ErratumRef &first = numbers.begin()->second;
+            const ErratumRef &second =
+                std::next(numbers.begin())->second;
+            out.push_back(makeDiagnostic(
+                "RBE102",
+                {erratumOf(first).localId,
+                 erratumOf(second).localId},
+                "duplicates of '" + erratumOf(first).localId +
+                    "' list " + name + " with " +
+                    std::to_string(numbers.size()) +
+                    " different numbers",
+                rowLocation(documents, second, "MSRs"),
+                {rowLocation(documents, first, "MSRs")}));
+        }
+    }
+
+    // RBE103: duplicates must agree on the workaround.
+    {
+        const ErratumRef &first = rows[0];
+        std::string reference =
+            strings::canonicalize(erratumOf(first).workaroundText);
+        for (std::size_t i = 1; i < rows.size(); ++i) {
+            std::string candidate = strings::canonicalize(
+                erratumOf(rows[i]).workaroundText);
+            if (candidate == reference)
+                continue;
+            out.push_back(makeDiagnostic(
+                "RBE103",
+                {erratumOf(first).localId,
+                 erratumOf(rows[i]).localId},
+                "duplicates of '" + erratumOf(first).localId +
+                    "' disagree on the workaround text",
+                rowLocation(documents, rows[i], "Workaround"),
+                {rowLocation(documents, first, "Workaround")}));
+            break; // one report per cluster
+        }
+    }
+}
+
+/** Rules RBE104..RBE105 over one document. */
+void
+checkDocumentCrossrefs(const ErrataDocument &document,
+                       Diagnostics &out)
+{
+    auto revisionDateLocation = [&](const Revision &revision) {
+        SourceLocation location;
+        location.path = document.sourcePath;
+        location.line = revision.sourceLine;
+        location.field = "Date";
+        return location;
+    };
+
+    // RBE104: revision dates must advance monotonically.
+    for (std::size_t i = 1; i < document.revisions.size(); ++i) {
+        const Revision &prev = document.revisions[i - 1];
+        const Revision &cur = document.revisions[i];
+        if (cur.date < prev.date) {
+            out.push_back(makeDiagnostic(
+                "RBE104", {std::to_string(cur.number)},
+                "revision " + std::to_string(cur.number) +
+                    " is dated " + cur.date.toString() +
+                    ", before revision " +
+                    std::to_string(prev.number) + " (" +
+                    prev.date.toString() + ")",
+                revisionDateLocation(cur),
+                {revisionDateLocation(prev)}));
+        }
+    }
+
+    // RBE105: revision notes must only reference defined errata.
+    std::set<std::string> defined;
+    for (const Erratum &erratum : document.errata)
+        defined.insert(erratum.localId);
+    defined.insert(document.hiddenErrata.begin(),
+                   document.hiddenErrata.end());
+    std::set<std::string> reported;
+    for (const Revision &revision : document.revisions) {
+        for (const std::string &id : revision.addedIds) {
+            if (defined.count(id) || !reported.insert(id).second)
+                continue;
+            SourceLocation location;
+            location.path = document.sourcePath;
+            location.line = revision.sourceLine;
+            location.field = "Added";
+            out.push_back(makeDiagnostic(
+                "RBE105", {id},
+                "revision notes reference '" + id +
+                    "' but the document defines no such erratum",
+                std::move(location)));
+        }
+    }
+}
+
+} // namespace
+
+std::vector<Diagnostic>
+checkCorpus(const std::vector<ErrataDocument> &documents,
+            const DedupResult &dedup,
+            const CorpusCheckOptions &options)
+{
+    // Cluster checks, in cluster-key order. Chunks partition the
+    // cluster index space and merge in order, so the output is
+    // bit-identical for every thread count.
+    Diagnostics clusterDiags = parallelMapReduce<Diagnostics>(
+        dedup.clusters.size(), options.threads,
+        [&](std::size_t begin, std::size_t end) {
+            Diagnostics part;
+            for (std::size_t c = begin; c < end; ++c)
+                checkCluster(documents, dedup.clusters[c], part);
+            return part;
+        },
+        [](Diagnostics &acc, Diagnostics &&part) {
+            std::move(part.begin(), part.end(),
+                      std::back_inserter(acc));
+        });
+
+    // Document checks, in document order.
+    Diagnostics docDiags = parallelMapReduce<Diagnostics>(
+        documents.size(), options.threads,
+        [&](std::size_t begin, std::size_t end) {
+            Diagnostics part;
+            for (std::size_t d = begin; d < end; ++d)
+                checkDocumentCrossrefs(documents[d], part);
+            return part;
+        },
+        [](Diagnostics &acc, Diagnostics &&part) {
+            std::move(part.begin(), part.end(),
+                      std::back_inserter(acc));
+        });
+
+    if (options.metrics) {
+        options.metrics->counter("check.corpus.clusters")
+            .add(dedup.clusters.size());
+        options.metrics->counter("check.corpus.diagnostics")
+            .add(clusterDiags.size() + docDiags.size());
+    }
+
+    std::move(docDiags.begin(), docDiags.end(),
+              std::back_inserter(clusterDiags));
+    return clusterDiags;
+}
+
+} // namespace rememberr

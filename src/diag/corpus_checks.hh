@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Cross-document checks (rules RBE101..RBE105).
+ *
+ * These defects are invisible to a per-document linter: they only
+ * appear when the whole corpus and its dedup clusters are in hand.
+ * Within a cluster of duplicates the checks compare fix status
+ * (Fixed must not regress to NoFix in a newer document), MSR
+ * numbers, and workaround text; per document they verify that
+ * revision dates advance monotonically and that revision notes only
+ * reference errata the document defines.
+ */
+
+#ifndef REMEMBERR_DIAG_CORPUS_CHECKS_HH
+#define REMEMBERR_DIAG_CORPUS_CHECKS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "dedup/dedup.hh"
+#include "diagnostic.hh"
+#include "model/erratum.hh"
+#include "obs/metrics.hh"
+
+namespace rememberr {
+
+/** Cross-document check configuration. */
+struct CorpusCheckOptions
+{
+    /** Worker threads (0 = all hardware threads, 1 = serial). */
+    std::size_t threads = 1;
+    /** When set, receives check.* counters. */
+    MetricsRegistry *metrics = nullptr;
+};
+
+/**
+ * Run rules RBE101..RBE105 over a deduplicated corpus. The dedup
+ * result must be aligned with `documents` (keyByDoc parallel to the
+ * errata vectors). Output order is deterministic for any thread
+ * count: cluster checks in cluster-key order, document checks in
+ * document order.
+ */
+std::vector<Diagnostic>
+checkCorpus(const std::vector<ErrataDocument> &documents,
+            const DedupResult &dedup,
+            const CorpusCheckOptions &options = {});
+
+} // namespace rememberr
+
+#endif // REMEMBERR_DIAG_CORPUS_CHECKS_HH

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The diagnostics framework underlying `rememberr check`.
+ *
+ * Every static-analysis finding — the per-document "errata in
+ * errata" of Section IV-A, cross-document contradictions only
+ * visible with the dedup clusters in hand, and defects in the
+ * classification rule tables themselves — is a Diagnostic: a stable
+ * rule id, a severity, a message and a source location. A central
+ * rule catalog documents every rule; a RuleConfig enables, disables
+ * or re-severities rules per run.
+ */
+
+#ifndef REMEMBERR_DIAG_DIAGNOSTIC_HH
+#define REMEMBERR_DIAG_DIAGNOSTIC_HH
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "corpus/corpus.hh"
+
+namespace rememberr {
+
+/** Diagnostic severity, ordered least to most severe. */
+enum class Severity : std::uint8_t
+{
+    Note,    ///< informational; never fails a check run
+    Warning, ///< likely defect; fails the run unless baselined
+    Error,   ///< definite defect; fails the run unless baselined
+};
+
+std::string_view severityName(Severity severity);
+
+/** Parse "note"/"warning"/"error"; nullopt otherwise. */
+std::optional<Severity> parseSeverity(std::string_view name);
+
+/** Where a diagnostic points. */
+struct SourceLocation
+{
+    /**
+     * Document origin: a file path for documents read from disk, a
+     * "corpus:<design key>" pseudo-path for generated documents, a
+     * "ruleset:<category code>" pseudo-path for rule-table findings.
+     */
+    std::string path;
+    /** 1-based line in the source text; 0 = unknown. */
+    int line = 0;
+    /** Field the finding concerns ("Implications", ...); optional. */
+    std::string field;
+
+    bool operator==(const SourceLocation &other) const = default;
+};
+
+/** One static-analysis finding. */
+struct Diagnostic
+{
+    /** Stable rule id, e.g. "RBE001". */
+    std::string ruleId;
+    /** Resolved severity (defaults plus configured overrides). */
+    Severity severity = Severity::Warning;
+    /** Human-readable explanation. */
+    std::string message;
+    /** Primary location. */
+    SourceLocation location;
+    /** Secondary locations (the other half of a contradiction). */
+    std::vector<SourceLocation> related;
+    /**
+     * Entities involved: document-local erratum ids, or category
+     * codes and pattern slots for rule-set findings. Part of the
+     * baseline fingerprint, so they must be stable across runs.
+     */
+    std::vector<std::string> ids;
+};
+
+/** Catalog entry describing one rule. */
+struct RuleInfo
+{
+    std::string_view id;      ///< "RBE001"
+    std::string_view name;    ///< "duplicate-revision-claim"
+    std::string_view summary; ///< one-line description
+    Severity defaultSeverity = Severity::Warning;
+};
+
+/**
+ * The complete rule catalog, ordered by id:
+ *
+ *   RBE001..007  per-document checks (the migrated linter);
+ *   RBE101..105  cross-document checks over the deduplicated corpus;
+ *   RBE201..204  static analysis of the classification rule tables.
+ */
+const std::vector<RuleInfo> &ruleCatalog();
+
+/** Look up a rule by id ("RBE001") or name; nullptr when unknown. */
+const RuleInfo *findRule(std::string_view id_or_name);
+
+/**
+ * Rule id for a per-document defect kind. Exhaustive: adding a
+ * DefectKind without extending this mapping fails to compile.
+ */
+std::string_view ruleIdForDefect(DefectKind kind);
+
+/** Inverse of ruleIdForDefect; nullopt for non-document rules. */
+std::optional<DefectKind> defectForRuleId(std::string_view rule_id);
+
+/** Per-run rule configuration: enablement and severity overrides. */
+class RuleConfig
+{
+  public:
+    /** Disable one rule by id or name. False when unknown. */
+    bool disable(std::string_view id_or_name);
+
+    /** Override one rule's severity. False when unknown. */
+    bool overrideSeverity(std::string_view id_or_name,
+                          Severity severity);
+
+    bool enabled(std::string_view rule_id) const;
+
+    /** Effective severity: the override, or the catalog default. */
+    Severity severityFor(std::string_view rule_id) const;
+
+    /**
+     * Drop diagnostics of disabled rules and stamp the effective
+     * severity onto the rest, preserving order.
+     */
+    std::vector<Diagnostic>
+    apply(std::vector<Diagnostic> diagnostics) const;
+
+  private:
+    std::map<std::string, bool, std::less<>> enabled_;
+    std::map<std::string, Severity, std::less<>> severities_;
+};
+
+} // namespace rememberr
+
+#endif // REMEMBERR_DIAG_DIAGNOSTIC_HH

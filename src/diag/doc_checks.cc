@@ -1,0 +1,207 @@
+#include "doc_checks.hh"
+
+#include <map>
+#include <set>
+
+#include "corpus/generator.hh"
+#include "util/strings.hh"
+
+namespace rememberr {
+
+namespace {
+
+SourceLocation
+erratumLocation(const ErrataDocument &document,
+                const Erratum &erratum, const std::string &field = {})
+{
+    SourceLocation location;
+    location.path = document.sourcePath;
+    location.line = field.empty() ? erratum.sourceLine
+                                  : erratum.fieldLine(field);
+    location.field = field;
+    return location;
+}
+
+SourceLocation
+revisionLocation(const ErrataDocument &document,
+                 const Revision &revision)
+{
+    SourceLocation location;
+    location.path = document.sourcePath;
+    location.line = revision.sourceLine;
+    location.field = "Revision";
+    return location;
+}
+
+} // namespace
+
+std::vector<Diagnostic>
+checkDocument(const ErrataDocument &document,
+              const DocCheckOptions &options)
+{
+    std::vector<Diagnostic> diagnostics;
+    auto report = [&](DefectKind kind, std::vector<std::string> ids,
+                      std::string message, SourceLocation location,
+                      std::vector<SourceLocation> related = {}) {
+        Diagnostic diagnostic;
+        diagnostic.ruleId = std::string(ruleIdForDefect(kind));
+        diagnostic.severity =
+            findRule(diagnostic.ruleId)->defaultSeverity;
+        diagnostic.message = std::move(message);
+        diagnostic.location = std::move(location);
+        diagnostic.related = std::move(related);
+        diagnostic.ids = std::move(ids);
+        diagnostics.push_back(std::move(diagnostic));
+    };
+
+    // Count how many entries carry each id; a reused name
+    // legitimately appears in multiple revision notes, so it must
+    // not also be flagged as a duplicate revision claim.
+    std::map<std::string, int> idCount;
+    for (const Erratum &erratum : document.errata)
+        ++idCount[erratum.localId];
+
+    // ---- Revision-note consistency ---------------------------------
+    std::map<std::string, std::vector<const Revision *>> claims;
+    for (const Revision &revision : document.revisions) {
+        std::set<std::string> inThisRevision;
+        for (const std::string &id : revision.addedIds) {
+            // The same id twice in one revision is a note defect
+            // too, but only cross-revision claims count for the
+            // paper's "added in two consecutive revisions" category.
+            if (inThisRevision.insert(id).second)
+                claims[id].push_back(&revision);
+        }
+    }
+    for (const auto &[id, revisions] : claims) {
+        std::size_t count = revisions.size();
+        if (count > 1 && idCount[id] <= 1) {
+            report(DefectKind::DuplicateRevisionClaim, {id},
+                   "revision notes claim '" + id + "' was added " +
+                       std::to_string(count) + " times",
+                   revisionLocation(document, *revisions[1]),
+                   {revisionLocation(document, *revisions[0])});
+        }
+    }
+
+    std::set<std::string> reportedMissing;
+    for (const Erratum &erratum : document.errata) {
+        if (!claims.count(erratum.localId) &&
+            reportedMissing.insert(erratum.localId).second) {
+            report(DefectKind::MissingFromNotes, {erratum.localId},
+                   "'" + erratum.localId +
+                       "' never appears in the revision notes",
+                   erratumLocation(document, erratum));
+        }
+    }
+
+    // ---- Identifier reuse ------------------------------------------
+    for (const auto &[id, count] : idCount) {
+        if (count > 1) {
+            // Anchor on the second entry carrying the name; the
+            // first is the legitimate use.
+            SourceLocation second;
+            std::vector<SourceLocation> related;
+            int seen = 0;
+            for (const Erratum &erratum : document.errata) {
+                if (erratum.localId != id)
+                    continue;
+                if (++seen == 1)
+                    related.push_back(
+                        erratumLocation(document, erratum));
+                else if (seen == 2)
+                    second = erratumLocation(document, erratum);
+            }
+            report(DefectKind::ReusedName, {id, id},
+                   "name '" + id + "' refers to " +
+                       std::to_string(count) + " errata",
+                   std::move(second), std::move(related));
+        }
+    }
+
+    // ---- Field integrity -------------------------------------------
+    for (const Erratum &erratum : document.errata) {
+        if (erratum.title.empty() || erratum.description.empty() ||
+            erratum.implications.empty() ||
+            erratum.workaroundText.empty()) {
+            std::string which =
+                erratum.title.empty() ? "title"
+                : erratum.description.empty() ? "description"
+                : erratum.implications.empty() ? "implications"
+                                               : "workaround";
+            std::string field =
+                erratum.title.empty() ? "Title"
+                : erratum.description.empty() ? "Description"
+                : erratum.implications.empty() ? "Implications"
+                                               : "Workaround";
+            report(DefectKind::MissingField, {erratum.localId},
+                   "'" + erratum.localId + "' has an empty " +
+                       which + " field",
+                   erratumLocation(document, erratum, field));
+        } else if (erratum.implications == erratum.description) {
+            report(DefectKind::DuplicateField, {erratum.localId},
+                   "'" + erratum.localId +
+                       "' duplicates the description into the "
+                       "implications field",
+                   erratumLocation(document, erratum,
+                                   "Implications"));
+        }
+    }
+
+    // ---- MSR numbers -----------------------------------------------
+    auto reference = options.msrReference
+                         ? options.msrReference
+                         : [](const std::string &name) {
+                               return canonicalMsrNumber(name);
+                           };
+    for (const Erratum &erratum : document.errata) {
+        for (const MsrRef &msr : erratum.msrs) {
+            std::uint32_t expected = reference(msr.name);
+            if (expected != 0 && msr.number != 0 &&
+                msr.number != expected) {
+                report(DefectKind::WrongMsrNumber,
+                       {erratum.localId},
+                       "'" + erratum.localId + "' lists " +
+                           msr.name +
+                           " with a number contradicting the "
+                           "reference manual",
+                       erratumLocation(document, erratum, "MSRs"));
+            }
+        }
+    }
+
+    // ---- Intra-document duplicates ---------------------------------
+    // Two entries with identical canonical title, description AND
+    // workaround but different ids are the same erratum repeated.
+    // The workaround is part of the fingerprint because entries that
+    // differ only there (the paper's errata-1327/1329 case) may
+    // originate from distinct root causes and must not be flagged.
+    std::map<std::string, std::vector<const Erratum *>> byContent;
+    for (const Erratum &erratum : document.errata) {
+        std::string fingerprint =
+            strings::canonicalize(erratum.title) + "\x1f" +
+            strings::canonicalize(erratum.description) + "\x1f" +
+            strings::canonicalize(erratum.workaroundText);
+        byContent[fingerprint].push_back(&erratum);
+    }
+    for (const auto &[fingerprint, entries] : byContent) {
+        if (entries.size() < 2)
+            continue;
+        for (std::size_t i = 1; i < entries.size(); ++i) {
+            if (entries[0]->localId == entries[i]->localId)
+                continue; // already reported as ReusedName
+            report(DefectKind::IntraDocDuplicate,
+                   {entries[0]->localId, entries[i]->localId},
+                   "'" + entries[0]->localId + "' and '" +
+                       entries[i]->localId +
+                       "' are the same erratum repeated in one "
+                       "document",
+                   erratumLocation(document, *entries[i]),
+                   {erratumLocation(document, *entries[0])});
+        }
+    }
+
+    return diagnostics;
+}
+
+} // namespace rememberr

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Per-document checks (rules RBE001..RBE007).
+ *
+ * The migrated "errata in errata" linter of Section IV-A: revisions
+ * claiming the same erratum twice, errata never mentioned in the
+ * revision notes, reused names, missing or duplicate fields, wrong
+ * MSR numbers and intra-document duplicate entries. Findings carry
+ * source locations from the parser, so every diagnostic points at
+ * file:line. The legacy lintDocument() API in document/lint.hh is a
+ * thin adapter over checkDocument().
+ */
+
+#ifndef REMEMBERR_DIAG_DOC_CHECKS_HH
+#define REMEMBERR_DIAG_DOC_CHECKS_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "diagnostic.hh"
+#include "model/erratum.hh"
+
+namespace rememberr {
+
+/** Per-document check configuration. */
+struct DocCheckOptions
+{
+    /**
+     * Reference resolver from MSR name to architectural number (the
+     * paper cross-checked numbers against the vendor manuals);
+     * returns 0 when the name is unknown. Defaults to the corpus's
+     * canonical numbering.
+     */
+    std::function<std::uint32_t(const std::string &)> msrReference;
+};
+
+/** Run rules RBE001..RBE007 over one parsed document. */
+std::vector<Diagnostic>
+checkDocument(const ErrataDocument &document,
+              const DocCheckOptions &options = {});
+
+} // namespace rememberr
+
+#endif // REMEMBERR_DIAG_DOC_CHECKS_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Legacy linter interface, implemented on the diagnostics
+ * framework. lintDocument() adapts checkDocument()'s Diagnostics
+ * back to LintFindings, so callers of the historical API observe
+ * bit-identical findings to `rememberr check`'s RBE001..RBE007.
+ */
+
+#include "document/lint.hh"
+
+#include "diag/doc_checks.hh"
+#include "util/logging.hh"
+
+namespace rememberr {
+
+std::vector<LintFinding>
+lintDocument(const ErrataDocument &document,
+             const LintOptions &options)
+{
+    DocCheckOptions checkOptions;
+    checkOptions.msrReference = options.msrReference;
+
+    std::vector<LintFinding> findings;
+    for (Diagnostic &diagnostic :
+         checkDocument(document, checkOptions)) {
+        auto kind = defectForRuleId(diagnostic.ruleId);
+        if (!kind) {
+            REMEMBERR_PANIC("lintDocument: non-document rule ",
+                            diagnostic.ruleId);
+        }
+        LintFinding finding;
+        finding.kind = *kind;
+        finding.localIds = std::move(diagnostic.ids);
+        finding.detail = std::move(diagnostic.message);
+        finding.line = diagnostic.location.line;
+        findings.push_back(std::move(finding));
+    }
+    return findings;
+}
+
+LintSummary
+summarizeFindings(
+    const std::vector<std::vector<LintFinding>> &per_document)
+{
+    LintSummary summary;
+    for (const auto &findings : per_document) {
+        for (const LintFinding &finding : findings)
+            ++summary.byKind[static_cast<std::size_t>(finding.kind)];
+    }
+    return summary;
+}
+
+} // namespace rememberr

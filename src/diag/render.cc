@@ -1,0 +1,218 @@
+#include "render.hh"
+
+namespace rememberr {
+
+namespace {
+
+std::string
+locationPrefix(const SourceLocation &location)
+{
+    std::string out = location.path.empty() ? "<unknown>"
+                                            : location.path;
+    if (location.line > 0) {
+        out += ':';
+        out += std::to_string(location.line);
+    }
+    return out;
+}
+
+JsonValue
+locationToJson(const SourceLocation &location)
+{
+    JsonValue value = JsonValue::makeObject();
+    value["path"] = location.path;
+    value["line"] = location.line;
+    if (!location.field.empty())
+        value["field"] = location.field;
+    return value;
+}
+
+/** SARIF severity levels are lower-case strings. */
+std::string
+sarifLevel(Severity severity)
+{
+    return std::string(severityName(severity));
+}
+
+JsonValue
+sarifLocation(const SourceLocation &location)
+{
+    JsonValue artifact = JsonValue::makeObject();
+    artifact["uri"] = location.path;
+    JsonValue physical = JsonValue::makeObject();
+    physical["artifactLocation"] = std::move(artifact);
+    if (location.line > 0) {
+        JsonValue region = JsonValue::makeObject();
+        region["startLine"] = location.line;
+        physical["region"] = std::move(region);
+    }
+    JsonValue wrapper = JsonValue::makeObject();
+    wrapper["physicalLocation"] = std::move(physical);
+    return wrapper;
+}
+
+} // namespace
+
+DiagnosticCounts
+countDiagnostics(const std::vector<Diagnostic> &diagnostics,
+                 std::size_t suppressed)
+{
+    DiagnosticCounts counts;
+    counts.suppressed = suppressed;
+    for (const Diagnostic &diagnostic : diagnostics) {
+        switch (diagnostic.severity) {
+          case Severity::Error:
+            ++counts.errors;
+            break;
+          case Severity::Warning:
+            ++counts.warnings;
+            break;
+          case Severity::Note:
+            ++counts.notes;
+            break;
+        }
+    }
+    return counts;
+}
+
+std::string
+renderText(const std::vector<Diagnostic> &diagnostics,
+           std::size_t suppressed)
+{
+    std::string out;
+    for (const Diagnostic &diagnostic : diagnostics) {
+        out += locationPrefix(diagnostic.location);
+        out += ": ";
+        out += severityName(diagnostic.severity);
+        out += ": ";
+        out += diagnostic.message;
+        out += " [";
+        out += diagnostic.ruleId;
+        out += "]\n";
+        for (const SourceLocation &related : diagnostic.related) {
+            out += "    see also: ";
+            out += locationPrefix(related);
+            out += '\n';
+        }
+    }
+    DiagnosticCounts counts = countDiagnostics(diagnostics,
+                                               suppressed);
+    out += "check: ";
+    out += std::to_string(counts.errors) + " error(s), ";
+    out += std::to_string(counts.warnings) + " warning(s), ";
+    out += std::to_string(counts.notes) + " note(s)";
+    if (counts.suppressed > 0) {
+        out += " (" + std::to_string(counts.suppressed) +
+               " suppressed by baseline)";
+    }
+    out += '\n';
+    return out;
+}
+
+JsonValue
+diagnosticsToJson(const std::vector<Diagnostic> &diagnostics,
+                  std::size_t suppressed)
+{
+    JsonValue list = JsonValue::makeArray();
+    for (const Diagnostic &diagnostic : diagnostics) {
+        JsonValue entry = JsonValue::makeObject();
+        entry["ruleId"] = diagnostic.ruleId;
+        entry["severity"] =
+            std::string(severityName(diagnostic.severity));
+        entry["message"] = diagnostic.message;
+        entry["location"] = locationToJson(diagnostic.location);
+        if (!diagnostic.related.empty()) {
+            JsonValue related = JsonValue::makeArray();
+            for (const SourceLocation &location : diagnostic.related)
+                related.append(locationToJson(location));
+            entry["related"] = std::move(related);
+        }
+        JsonValue ids = JsonValue::makeArray();
+        for (const std::string &id : diagnostic.ids)
+            ids.append(id);
+        entry["ids"] = std::move(ids);
+        list.append(std::move(entry));
+    }
+
+    DiagnosticCounts counts = countDiagnostics(diagnostics,
+                                               suppressed);
+    JsonValue summary = JsonValue::makeObject();
+    summary["errors"] = counts.errors;
+    summary["warnings"] = counts.warnings;
+    summary["notes"] = counts.notes;
+    summary["suppressed"] = counts.suppressed;
+
+    JsonValue root = JsonValue::makeObject();
+    root["diagnostics"] = std::move(list);
+    root["summary"] = std::move(summary);
+    return root;
+}
+
+JsonValue
+diagnosticsToSarif(const std::vector<Diagnostic> &diagnostics)
+{
+    const std::vector<RuleInfo> &catalog = ruleCatalog();
+
+    JsonValue rules = JsonValue::makeArray();
+    for (const RuleInfo &rule : catalog) {
+        JsonValue entry = JsonValue::makeObject();
+        entry["id"] = std::string(rule.id);
+        entry["name"] = std::string(rule.name);
+        JsonValue text = JsonValue::makeObject();
+        text["text"] = std::string(rule.summary);
+        entry["shortDescription"] = std::move(text);
+        JsonValue config = JsonValue::makeObject();
+        config["level"] = sarifLevel(rule.defaultSeverity);
+        entry["defaultConfiguration"] = std::move(config);
+        rules.append(std::move(entry));
+    }
+
+    JsonValue driver = JsonValue::makeObject();
+    driver["name"] = "rememberr-check";
+    driver["informationUri"] =
+        "https://github.com/rememberr/rememberr";
+    driver["rules"] = std::move(rules);
+    JsonValue tool = JsonValue::makeObject();
+    tool["driver"] = std::move(driver);
+
+    JsonValue results = JsonValue::makeArray();
+    for (const Diagnostic &diagnostic : diagnostics) {
+        JsonValue result = JsonValue::makeObject();
+        result["ruleId"] = diagnostic.ruleId;
+        for (std::size_t i = 0; i < catalog.size(); ++i) {
+            if (catalog[i].id == diagnostic.ruleId) {
+                result["ruleIndex"] = i;
+                break;
+            }
+        }
+        result["level"] = sarifLevel(diagnostic.severity);
+        JsonValue message = JsonValue::makeObject();
+        message["text"] = diagnostic.message;
+        result["message"] = std::move(message);
+        JsonValue locations = JsonValue::makeArray();
+        locations.append(sarifLocation(diagnostic.location));
+        result["locations"] = std::move(locations);
+        if (!diagnostic.related.empty()) {
+            JsonValue related = JsonValue::makeArray();
+            for (const SourceLocation &location : diagnostic.related)
+                related.append(sarifLocation(location));
+            result["relatedLocations"] = std::move(related);
+        }
+        results.append(std::move(result));
+    }
+
+    JsonValue run = JsonValue::makeObject();
+    run["tool"] = std::move(tool);
+    run["results"] = std::move(results);
+    JsonValue runs = JsonValue::makeArray();
+    runs.append(std::move(run));
+
+    JsonValue root = JsonValue::makeObject();
+    root["$schema"] =
+        "https://json.schemastore.org/sarif-2.1.0.json";
+    root["version"] = "2.1.0";
+    root["runs"] = std::move(runs);
+    return root;
+}
+
+} // namespace rememberr

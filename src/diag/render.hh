@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Diagnostic renderers: pretty text, JSON, and SARIF 2.1.0.
+ *
+ * SARIF (Static Analysis Results Interchange Format) is the OASIS
+ * interchange format understood by code-review tooling; emitting it
+ * lets `rememberr check` findings flow into the same viewers as any
+ * other static analyzer. The JSON renderer is a simpler structure
+ * for scripting; the text renderer is the human default.
+ */
+
+#ifndef REMEMBERR_DIAG_RENDER_HH
+#define REMEMBERR_DIAG_RENDER_HH
+
+#include <string>
+#include <vector>
+
+#include "diagnostic.hh"
+#include "util/json.hh"
+
+namespace rememberr {
+
+/** Totals of one rendered run. */
+struct DiagnosticCounts
+{
+    std::size_t errors = 0;
+    std::size_t warnings = 0;
+    std::size_t notes = 0;
+    /** Findings suppressed by the baseline (not rendered). */
+    std::size_t suppressed = 0;
+
+    std::size_t total() const { return errors + warnings + notes; }
+};
+
+DiagnosticCounts
+countDiagnostics(const std::vector<Diagnostic> &diagnostics,
+                 std::size_t suppressed = 0);
+
+/**
+ * "path:line: severity: message [ruleId]" per diagnostic, related
+ * locations indented below, then one summary line.
+ */
+std::string renderText(const std::vector<Diagnostic> &diagnostics,
+                       std::size_t suppressed = 0);
+
+/** {"diagnostics": [...], "summary": {...}} */
+JsonValue diagnosticsToJson(
+    const std::vector<Diagnostic> &diagnostics,
+    std::size_t suppressed = 0);
+
+/**
+ * SARIF 2.1.0: one run, the full rule catalog under
+ * tool.driver.rules, one result per diagnostic with ruleIndex into
+ * the catalog. Regions are omitted for unknown (0) lines, as the
+ * SARIF schema requires startLine >= 1.
+ */
+JsonValue diagnosticsToSarif(
+    const std::vector<Diagnostic> &diagnostics);
+
+} // namespace rememberr
+
+#endif // REMEMBERR_DIAG_RENDER_HH

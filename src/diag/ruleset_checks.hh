@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Static analysis of the classification rule tables
+ * (rules RBE201..RBE204).
+ *
+ * The regex tables of Section V-A are code, and code has bugs. Four
+ * checks, all derived from the pattern ASTs (never from timing):
+ *
+ *   RBE201  a pattern whose language is contained in an earlier
+ *           pattern of the same list never changes the outcome;
+ *   RBE202  a pattern matching no erratum of the calibrated corpus
+ *           contributes nothing (measured, not proved);
+ *   RBE203  a pattern without literal factors defeats the
+ *           Aho-Corasick prefilter — every text reaches the VM;
+ *   RBE204  nested variable repetition can backtrack exponentially.
+ */
+
+#ifndef REMEMBERR_DIAG_RULESET_CHECKS_HH
+#define REMEMBERR_DIAG_RULESET_CHECKS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "classify/rules.hh"
+#include "diagnostic.hh"
+#include "model/erratum.hh"
+#include "obs/metrics.hh"
+
+namespace rememberr {
+
+/** Rule-set check configuration. */
+struct RulesetCheckOptions
+{
+    /**
+     * Corpus documents for the dead-pattern check (RBE202); when
+     * null the check is skipped — deadness is a property of a rule
+     * set *against a corpus*, not of the rule set alone.
+     */
+    const std::vector<ErrataDocument> *corpus = nullptr;
+    /** Worker threads (0 = all hardware threads, 1 = serial). */
+    std::size_t threads = 1;
+    /** When set, receives check.* counters. */
+    MetricsRegistry *metrics = nullptr;
+};
+
+/** Run rules RBE201..RBE204 over one rule set. */
+std::vector<Diagnostic>
+checkRuleSet(const RuleSet &rules,
+             const RulesetCheckOptions &options = {});
+
+/**
+ * Same checks over a bare category-rule list. RuleSet is a
+ * singleton, so this is the entry point for checking synthetic
+ * pattern tables (and what checkRuleSet() forwards to).
+ */
+std::vector<Diagnostic>
+checkCategoryRules(const std::vector<CategoryRule> &rules,
+                   const RulesetCheckOptions &options = {});
+
+} // namespace rememberr
+
+#endif // REMEMBERR_DIAG_RULESET_CHECKS_HH

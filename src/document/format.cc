@@ -210,6 +210,7 @@ class FieldReader
             return false;
         key = strings::trim(line.substr(0, colon));
         value = strings::trim(line.substr(colon + 1));
+        fieldLine_ = lineNumber();
         ++pos_;
         while (!atEnd() &&
                strings::startsWith(lines_[pos_], continuationIndent)) {
@@ -221,9 +222,13 @@ class FieldReader
         return true;
     }
 
+    /** 1-based line of the key of the last readField() result. */
+    int fieldLine() const { return fieldLine_; }
+
   private:
     std::vector<std::string> lines_;
     std::size_t pos_ = 0;
+    int fieldLine_ = 0;
 };
 
 Expected<Date>
@@ -353,6 +358,7 @@ parseDocument(const std::string &text)
                     return number.error();
                 revision.number =
                     static_cast<int>(number.value());
+                revision.sourceLine = reader.fieldLine();
             } else if (key == "Date") {
                 auto date = parseDateField(value,
                                            reader.lineNumber());
@@ -397,8 +403,10 @@ parseDocument(const std::string &text)
         bool sawId = false;
         while (reader.readField(key, value)) {
             any = true;
+            erratum.fieldLines[key] = reader.fieldLine();
             if (key == "ID") {
                 erratum.localId = value;
+                erratum.sourceLine = reader.fieldLine();
                 sawId = true;
             } else if (key == "Title") {
                 erratum.title = value;

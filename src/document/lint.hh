@@ -1,17 +1,23 @@
 /**
  * @file
- * The "errata in errata" linter.
+ * The "errata in errata" linter — legacy interface.
  *
  * Section IV-A documents that errata documents contain errors
- * themselves: revisions claiming the same erratum twice, errata never
- * mentioned in the revision notes, reused names, missing or duplicate
- * fields, wrong MSR numbers and intra-document duplicate entries.
- * The linter detects all of these in a parsed document.
+ * themselves: revisions claiming the same erratum twice, errata
+ * never mentioned in the revision notes, reused names, missing or
+ * duplicate fields, wrong MSR numbers and intra-document duplicate
+ * entries.
+ *
+ * The checks themselves live in the diagnostics framework
+ * (diag/doc_checks.hh, rules RBE001..RBE007); this header is a thin
+ * adapter kept for the pipeline and existing callers. New code
+ * should consume Diagnostics via diag/check.hh.
  */
 
 #ifndef REMEMBERR_DOCUMENT_LINT_HH
 #define REMEMBERR_DOCUMENT_LINT_HH
 
+#include <array>
 #include <functional>
 #include <string>
 #include <vector>
@@ -29,6 +35,8 @@ struct LintFinding
     std::vector<std::string> localIds;
     /** Human-readable explanation. */
     std::string detail;
+    /** 1-based source line of the finding; 0 = unknown. */
+    int line = 0;
 };
 
 /** Linter configuration. */
@@ -47,23 +55,42 @@ struct LintOptions
 std::vector<LintFinding> lintDocument(const ErrataDocument &document,
                                       const LintOptions &options = {});
 
-/** Aggregated lint counts per defect kind. */
+/**
+ * Aggregated lint counts: one counter per DefectKind, sized by
+ * kDefectKindCount so a new kind cannot silently escape total().
+ */
 struct LintSummary
 {
-    int duplicateRevisionClaims = 0;
-    int missingFromNotes = 0;
-    int reusedNames = 0;
-    int missingFields = 0;
-    int duplicateFields = 0;
-    int wrongMsrNumbers = 0;
-    int intraDocDuplicates = 0;
+    std::array<int, kDefectKindCount> byKind{};
+
+    int
+    count(DefectKind kind) const
+    {
+        return byKind[static_cast<std::size_t>(kind)];
+    }
+
+    int duplicateRevisionClaims() const
+    { return count(DefectKind::DuplicateRevisionClaim); }
+    int missingFromNotes() const
+    { return count(DefectKind::MissingFromNotes); }
+    int reusedNames() const
+    { return count(DefectKind::ReusedName); }
+    int missingFields() const
+    { return count(DefectKind::MissingField); }
+    int duplicateFields() const
+    { return count(DefectKind::DuplicateField); }
+    int wrongMsrNumbers() const
+    { return count(DefectKind::WrongMsrNumber); }
+    int intraDocDuplicates() const
+    { return count(DefectKind::IntraDocDuplicate); }
 
     int
     total() const
     {
-        return duplicateRevisionClaims + missingFromNotes +
-               reusedNames + missingFields + duplicateFields +
-               wrongMsrNumbers + intraDocDuplicates;
+        int sum = 0;
+        for (int count : byKind)
+            sum += count;
+        return sum;
     }
 };
 

@@ -12,6 +12,7 @@
 #define REMEMBERR_MODEL_ERRATUM_HH
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,22 @@ struct Erratum
     int addedInRevision = 0;
     /** MSRs referenced by the description/implications. */
     std::vector<MsrRef> msrs;
+    /**
+     * 1-based line of the entry's "ID:" field in the source text;
+     * 0 when the entry was not produced by the parser. Diagnostics
+     * anchor on it so every finding points at a file:line.
+     */
+    int sourceLine = 0;
+    /** 1-based line per parsed field key ("Title", "MSRs", ...). */
+    std::map<std::string, int> fieldLines;
+
+    /** Line of one field; falls back to sourceLine when unknown. */
+    int
+    fieldLine(const std::string &field) const
+    {
+        auto it = fieldLines.find(field);
+        return it != fieldLines.end() ? it->second : sourceLine;
+    }
 };
 
 /** One entry of a document's revision history. */
@@ -50,12 +67,20 @@ struct Revision
     /** Local ids the revision summary claims were added. */
     std::vector<std::string> addedIds;
     std::string note;     ///< free-text summary line
+    /** 1-based line of the "Revision:" field; 0 when not parsed. */
+    int sourceLine = 0;
 };
 
 /** A complete specification-update document for one design. */
 struct ErrataDocument
 {
     Design design;
+    /**
+     * Where the document came from: a file path for documents read
+     * from disk, a "corpus:<design key>" pseudo-path for generated
+     * ones. Diagnostics report it as the artifact location.
+     */
+    std::string sourcePath;
     std::vector<Revision> revisions;
     std::vector<Erratum> errata;
     /**

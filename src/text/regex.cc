@@ -928,6 +928,115 @@ Regex::literalFactors() const
     return factors;
 }
 
+namespace {
+
+/** True when the node can match at least one non-empty string. */
+bool
+canMatchNonEmpty(const Node &node)
+{
+    switch (node.kind) {
+      case Node::Kind::Empty:
+      case Node::Kind::Anchor:
+        return false;
+      case Node::Kind::Literal:
+      case Node::Kind::AnyChar:
+      case Node::Kind::Class:
+        return true;
+      case Node::Kind::Group:
+        return canMatchNonEmpty(*node.children[0]);
+      case Node::Kind::Concat:
+      case Node::Kind::Alternate:
+        for (const auto &child : node.children) {
+            if (canMatchNonEmpty(*child))
+                return true;
+        }
+        return false;
+      case Node::Kind::Repeat:
+        return node.max != 0 && canMatchNonEmpty(*node.children[0]);
+    }
+    return false;
+}
+
+/** A repeat where the VM has a choice of iteration counts. */
+bool
+isVariableRepeat(const Node &node)
+{
+    return node.kind == Node::Kind::Repeat &&
+           (node.max < 0 || node.max > node.min);
+}
+
+/** Whether the subtree holds a variable repeat of non-empty text. */
+bool
+containsVariableRepeat(const Node &node)
+{
+    if (isVariableRepeat(node) &&
+        canMatchNonEmpty(*node.children[0])) {
+        return true;
+    }
+    for (const auto &child : node.children) {
+        if (containsVariableRepeat(*child))
+            return true;
+    }
+    return false;
+}
+
+/**
+ * First '(x+)+'-shaped hazard in the subtree: an outer quantifier
+ * that can iterate more than once around an inner variable-count
+ * repetition of non-empty text. The same subject substring can then
+ * be split across outer iterations in exponentially many ways, and
+ * a backtracking VM explores them all on a failing subject.
+ */
+std::optional<std::string>
+findNestedRepeat(const Node &node)
+{
+    if (node.kind == Node::Kind::Repeat &&
+        (node.max < 0 || node.max > 1) &&
+        containsVariableRepeat(*node.children[0])) {
+        std::string bound =
+            node.max < 0 ? std::string("unbounded")
+                         : "up to " + std::to_string(node.max);
+        return "quantifier with " + bound +
+               " iterations encloses another variable-count "
+               "repetition of non-empty text ('(x+)+' shape); a "
+               "failing subject forces exponential backtracking";
+    }
+    for (const auto &child : node.children) {
+        if (auto hit = findNestedRepeat(*child))
+            return hit;
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+std::optional<std::vector<std::string>>
+Regex::exactLiterals() const
+{
+    RegexCompiler compiler(pattern_, options_);
+    auto ast = compiler.parseForAnalysis();
+    if (!ast)
+        return std::nullopt;
+    FactorInfo info = analyzeFactors(*ast);
+    if (!info.exact)
+        return std::nullopt;
+    std::vector<std::string> language = std::move(info.strings);
+    std::sort(language.begin(), language.end());
+    language.erase(std::unique(language.begin(), language.end()),
+                   language.end());
+    return language;
+}
+
+std::optional<std::string>
+Regex::backtrackingHazard() const
+{
+    RegexCompiler compiler(pattern_, options_);
+    auto ast = compiler.parseForAnalysis();
+    if (!ast)
+        return std::nullopt;
+    return findNestedRepeat(*ast);
+}
+
 Expected<Regex>
 Regex::compile(std::string_view pattern, RegexOptions options)
 {

@@ -122,6 +122,26 @@ class Regex
      */
     std::vector<std::string> literalFactors() const;
 
+    /**
+     * The pattern's complete language, when it is finite and small:
+     * every string (ASCII-lower-cased) the pattern can match, and
+     * nothing else. nullopt when the language is infinite, too large
+     * to enumerate, or the pattern failed to re-parse. Rule-set
+     * analysis uses it to decide language containment (shadowing)
+     * without executing the VM.
+     */
+    std::optional<std::vector<std::string>> exactLiterals() const;
+
+    /**
+     * Scan the pattern AST for exponential-backtracking hazards:
+     * a quantifier that can iterate more than once whose body
+     * contains another variable-count repetition of non-empty text
+     * (the '(x+)+' shape). Returns a description of the first hazard
+     * found, nullopt when the pattern is safe. Purely structural —
+     * no timing, no VM execution.
+     */
+    std::optional<std::string> backtrackingHazard() const;
+
   private:
     friend class RegexCompiler;
 

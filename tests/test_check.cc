@@ -1,0 +1,321 @@
+/**
+ * @file
+ * End-to-end tests for `rememberr check`: the calibrated corpus
+ * must report every injected defect class — per-document counts
+ * bit-identical to the legacy lint adapter, plus the cross-document
+ * rules — a clean corpus must report nothing, and the baseline
+ * workflow must suppress accepted findings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "cli/commands.hh"
+#include "corpus/generator.hh"
+#include "dedup/dedup.hh"
+#include "diag/check.hh"
+#include "document/format.hh"
+#include "document/lint.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace rememberr {
+namespace {
+
+struct CliResult
+{
+    int code = 0;
+    std::string out;
+    std::string err;
+};
+
+CliResult
+run(std::vector<std::string> args)
+{
+    setLogQuiet(true);
+    std::ostringstream out, err;
+    CliResult result;
+    result.code = cli::runCli(args, out, err);
+    result.out = out.str();
+    result.err = err.str();
+    return result;
+}
+
+/** Per-rule diagnostic tallies and ids from a check --format=json. */
+struct JsonReport
+{
+    std::map<std::string, int> countByRule;
+    std::map<std::string, std::vector<std::string>> idsByRule;
+    JsonValue summary;
+};
+
+JsonReport
+parseReport(const std::string &json_text)
+{
+    Expected<JsonValue> parsed = parseJson(json_text);
+    EXPECT_TRUE(parsed.hasValue());
+    JsonReport report;
+    if (!parsed)
+        return report;
+    for (const JsonValue &entry :
+         parsed.value().at("diagnostics").asArray()) {
+        const std::string &rule = entry.at("ruleId").asString();
+        ++report.countByRule[rule];
+        for (const JsonValue &id : entry.at("ids").asArray())
+            report.idsByRule[rule].push_back(id.asString());
+    }
+    report.summary = parsed.value().at("summary");
+    return report;
+}
+
+/** A lint-clean document with a distinct prefix per instance. */
+ErrataDocument
+cleanDoc(const std::string &prefix)
+{
+    ErrataDocument doc;
+    doc.design.vendor = Vendor::Intel;
+    doc.design.name = "Core " + prefix;
+    doc.design.releaseDate = Date(2015, 1, 1);
+    doc.sourcePath = "docs/" + prefix + ".txt";
+
+    Revision r1;
+    r1.number = 1;
+    r1.date = Date(2015, 1, 1);
+    r1.addedIds = {prefix + "001", prefix + "002"};
+    Revision r2;
+    r2.number = 2;
+    r2.date = Date(2015, 6, 1);
+    r2.addedIds = {prefix + "003"};
+    doc.revisions = {r1, r2};
+
+    int i = 0;
+    for (const char *suffix : {"001", "002", "003"}) {
+        Erratum erratum;
+        erratum.localId = prefix + suffix;
+        erratum.title = prefix + " title " + std::to_string(i);
+        erratum.description = "The " + prefix + " unit " +
+                              std::to_string(i) +
+                              " may misbehave under load.";
+        erratum.implications = "Unpredictable system behavior.";
+        erratum.workaroundText = "None identified.";
+        erratum.addedInRevision = i < 2 ? 1 : 2;
+        doc.errata.push_back(std::move(erratum));
+        ++i;
+    }
+    return doc;
+}
+
+class CheckFileTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        setLogQuiet(true);
+        dir_ = std::filesystem::temp_directory_path() /
+               ("rememberr_check_test_" + std::to_string(getpid()));
+        std::filesystem::create_directories(dir_);
+    }
+
+    void
+    TearDown() override
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(dir_, ec);
+    }
+
+    std::string
+    writeDoc(const ErrataDocument &doc, const std::string &name)
+    {
+        std::string path = (dir_ / name).string();
+        std::ofstream out(path);
+        out << renderDocument(doc);
+        return path;
+    }
+
+    std::filesystem::path dir_;
+};
+
+// ---- Calibrated corpus --------------------------------------------------
+
+TEST(Check, CorpusReportsEveryDefectClassAndFails)
+{
+    CliResult result = run({"check", "--format=json", "--threads=0"});
+    // Unsuppressed errors and warnings fail the run.
+    EXPECT_EQ(result.code, 1);
+    JsonReport report = parseReport(result.out);
+
+    // The per-document rules must report exactly what the legacy
+    // lint adapter reports — the migration may not change counts.
+    Corpus corpus = generateDefaultCorpus();
+    std::vector<std::vector<LintFinding>> perDoc;
+    for (const ErrataDocument &doc : corpus.documents)
+        perDoc.push_back(lintDocument(doc));
+    LintSummary lint = summarizeFindings(perDoc);
+    for (std::size_t k = 0; k < kDefectKindCount; ++k) {
+        DefectKind kind = static_cast<DefectKind>(k);
+        std::string rule(ruleIdForDefect(kind));
+        if (rule[3] != '0')
+            continue; // cross-document rules: not lint's domain
+        EXPECT_EQ(report.countByRule[rule], lint.count(kind))
+            << rule;
+    }
+    EXPECT_GT(lint.total(), 0);
+
+    // Every injected cross-document defect surfaces exactly once.
+    EXPECT_EQ(report.countByRule["RBE101"], 1);
+    EXPECT_EQ(report.countByRule["RBE102"], 1);
+    EXPECT_EQ(report.countByRule["RBE103"], 1);
+    EXPECT_EQ(report.countByRule["RBE105"], 1);
+    // The generator never injects out-of-order revision dates.
+    EXPECT_EQ(report.countByRule["RBE104"], 0);
+
+    // The ledger's cross-document records line up with the report.
+    std::map<std::string, DefectKind> kindByRule = {
+        {"RBE101", DefectKind::StatusRegression},
+        {"RBE103", DefectKind::DivergentWorkaround},
+        {"RBE105", DefectKind::DanglingReference},
+    };
+    for (const auto &[rule, kind] : kindByRule) {
+        bool found = false;
+        for (const DefectRecord &record : corpus.defects) {
+            if (record.kind != kind)
+                continue;
+            found = true;
+            const std::vector<std::string> &ids =
+                report.idsByRule[rule];
+            for (const std::string &id : record.localIds) {
+                EXPECT_TRUE(std::find(ids.begin(), ids.end(),
+                                      id) != ids.end())
+                    << rule << " should involve " << id;
+            }
+        }
+        EXPECT_TRUE(found) << rule;
+    }
+
+    // The shipped rule tables are structurally clean, so only
+    // document and corpus rules appear.
+    for (const auto &[rule, count] : report.countByRule) {
+        EXPECT_NE(rule[3], '2')
+            << rule << " fired on the calibrated corpus";
+    }
+}
+
+TEST(Check, SarifOutputParsesAndDeclaresSchema)
+{
+    CliResult result = run({"check", "--format=sarif"});
+    EXPECT_EQ(result.code, 1);
+    Expected<JsonValue> sarif = parseJson(result.out);
+    ASSERT_TRUE(sarif.hasValue());
+    EXPECT_EQ(sarif.value().at("version").asString(), "2.1.0");
+    const JsonValue &run0 = sarif.value().at("runs").asArray().at(0);
+    EXPECT_EQ(
+        run0.at("tool").at("driver").at("name").asString(),
+        "rememberr-check");
+    EXPECT_FALSE(run0.at("results").asArray().empty());
+}
+
+TEST(Check, DisableAndSeverityFlagsReachTheConfig)
+{
+    CliResult result =
+        run({"check", "--format=json",
+             "--disable=missing-from-notes",
+             "--severity=RBE006=warning"});
+    EXPECT_EQ(result.code, 1);
+    Expected<JsonValue> parsed = parseJson(result.out);
+    ASSERT_TRUE(parsed.hasValue());
+    for (const JsonValue &entry :
+         parsed.value().at("diagnostics").asArray()) {
+        EXPECT_NE(entry.at("ruleId").asString(), "RBE002");
+        if (entry.at("ruleId").asString() == "RBE006") {
+            EXPECT_EQ(entry.at("severity").asString(), "warning");
+        }
+    }
+}
+
+TEST(Check, UsageErrors)
+{
+    EXPECT_EQ(run({"check", "--format=yaml"}).code, 2);
+    EXPECT_EQ(run({"check", "--disable=RBE999"}).code, 2);
+    EXPECT_EQ(run({"check", "--severity=RBE001=fatal"}).code, 2);
+    EXPECT_EQ(run({"check", "--baseline=a", "--write-baseline=b"})
+                  .code,
+              2);
+    EXPECT_EQ(run({"check", "--baseline=/nonexistent/base"}).code,
+              1);
+}
+
+// ---- Baseline workflow --------------------------------------------------
+
+TEST_F(CheckFileTest, BaselineSuppressesAcceptedFindings)
+{
+    std::string base = (dir_ / "check.baseline").string();
+    CliResult write =
+        run({"check", "--write-baseline=" + base, "--threads=0"});
+    EXPECT_EQ(write.code, 0);
+    ASSERT_TRUE(std::filesystem::exists(base));
+
+    // With every current finding accepted, the run passes.
+    CliResult rerun =
+        run({"check", "--baseline=" + base, "--threads=0"});
+    EXPECT_EQ(rerun.code, 0);
+    EXPECT_NE(rerun.out.find("0 error(s), 0 warning(s)"),
+              std::string::npos);
+    EXPECT_NE(rerun.out.find("suppressed by baseline"),
+              std::string::npos);
+}
+
+// ---- Clean documents ----------------------------------------------------
+
+TEST_F(CheckFileTest, CleanDocumentsProduceNoFalsePositives)
+{
+    std::string a = writeDoc(cleanDoc("A"), "a.txt");
+    std::string b = writeDoc(cleanDoc("B"), "b.txt");
+    CliResult result = run({"check", a, b});
+    EXPECT_EQ(result.code, 0) << result.out << result.err;
+    EXPECT_NE(result.out.find("check: 0 error(s), 0 warning(s), "
+                              "0 note(s)"),
+              std::string::npos);
+}
+
+TEST(Check, CleanCorpusLibraryLevel)
+{
+    std::vector<ErrataDocument> documents = {cleanDoc("A"),
+                                             cleanDoc("B")};
+    DedupResult dedup = deduplicate(documents);
+    CheckOptions options;
+    options.ruleSetChecks = false;
+    CheckReport report = runChecks(documents, dedup, options);
+    EXPECT_TRUE(report.diagnostics.empty());
+    EXPECT_FALSE(report.failed());
+}
+
+TEST_F(CheckFileTest, FileModeFindsInjectedDefects)
+{
+    // A document carrying a defect of each per-document class the
+    // corpus injects into Intel doc 0.
+    setLogQuiet(true);
+    Corpus corpus = generateDefaultCorpus();
+    std::string path = writeDoc(corpus.documents[0], "intel0.txt");
+    CliResult result = run({"check", path, "--format=json"});
+    EXPECT_EQ(result.code, 1);
+    JsonReport report = parseReport(result.out);
+    int total = 0;
+    for (const auto &[rule, count] : report.countByRule) {
+        EXPECT_EQ(rule[3], '0') << rule;
+        total += count;
+    }
+    EXPECT_EQ(total,
+              static_cast<int>(
+                  lintDocument(corpus.documents[0]).size()));
+}
+
+} // namespace
+} // namespace rememberr

@@ -44,12 +44,12 @@ TEST_P(CorpusSeedSweep, DefectCountsAreSeedIndependent)
     for (const ErrataDocument &doc : corpus.documents)
         perDoc.push_back(lintDocument(doc));
     LintSummary summary = summarizeFindings(perDoc);
-    EXPECT_EQ(summary.duplicateRevisionClaims, 8);
-    EXPECT_EQ(summary.missingFromNotes, 12);
-    EXPECT_EQ(summary.reusedNames, 1);
-    EXPECT_EQ(summary.missingFields + summary.duplicateFields, 7);
-    EXPECT_EQ(summary.wrongMsrNumbers, 3);
-    EXPECT_EQ(summary.intraDocDuplicates, 11);
+    EXPECT_EQ(summary.duplicateRevisionClaims(), 8);
+    EXPECT_EQ(summary.missingFromNotes(), 12);
+    EXPECT_EQ(summary.reusedNames(), 1);
+    EXPECT_EQ(summary.missingFields() + summary.duplicateFields(), 7);
+    EXPECT_EQ(summary.wrongMsrNumbers(), 3);
+    EXPECT_EQ(summary.intraDocDuplicates(), 11);
 }
 
 TEST_P(CorpusSeedSweep, EveryDocumentRoundTrips)

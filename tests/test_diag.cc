@@ -1,0 +1,658 @@
+/**
+ * @file
+ * Unit tests for the diagnostics framework: rule catalog and
+ * configuration, baseline fingerprints, the text/JSON/SARIF
+ * renderers (golden strings), the cross-document checks on
+ * synthetic fixtures, and the rule-set static analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <initializer_list>
+
+#include "classify/rules.hh"
+#include "diag/baseline.hh"
+#include "diag/corpus_checks.hh"
+#include "diag/doc_checks.hh"
+#include "diag/render.hh"
+#include "diag/ruleset_checks.hh"
+#include "taxonomy/taxonomy.hh"
+#include "text/regex.hh"
+#include "util/json.hh"
+
+namespace rememberr {
+namespace {
+
+// ---- Fixtures -----------------------------------------------------------
+
+/** Two diagnostics exercising every renderer feature. */
+std::vector<Diagnostic>
+fixtureDiagnostics()
+{
+    Diagnostic missing;
+    missing.ruleId = "RBE004";
+    missing.severity = Severity::Warning;
+    missing.message = "field 'Implications' of 'T001' is empty";
+    missing.location = {"docs/spec.txt", 12, "Implications"};
+    missing.ids = {"T001"};
+
+    Diagnostic regression;
+    regression.ruleId = "RBE101";
+    regression.severity = Severity::Error;
+    regression.message = "'912' regresses from Fixed to NoFix";
+    regression.location = {"corpus:amd/12", 63, "Status"};
+    regression.related = {{"corpus:amd/10", 470, ""}};
+    regression.ids = {"912"};
+
+    return {missing, regression};
+}
+
+ErrataDocument
+cleanDoc()
+{
+    ErrataDocument doc;
+    doc.design.vendor = Vendor::Intel;
+    doc.design.name = "Core T";
+    doc.design.releaseDate = Date(2015, 1, 1);
+    doc.sourcePath = "docs/core-t.txt";
+
+    Revision r1;
+    r1.number = 1;
+    r1.date = Date(2015, 1, 1);
+    r1.addedIds = {"T001", "T002"};
+    r1.sourceLine = 3;
+    Revision r2;
+    r2.number = 2;
+    r2.date = Date(2015, 6, 1);
+    r2.addedIds = {"T003"};
+    r2.sourceLine = 4;
+    doc.revisions = {r1, r2};
+
+    int i = 0;
+    for (const char *id : {"T001", "T002", "T003"}) {
+        Erratum erratum;
+        erratum.localId = id;
+        erratum.title = std::string("Title ") + std::to_string(i);
+        erratum.description =
+            "Description " + std::to_string(i) + ".";
+        erratum.implications = "Implications.";
+        erratum.workaroundText = "None identified.";
+        erratum.addedInRevision = i < 2 ? 1 : 2;
+        erratum.sourceLine = 10 + 10 * i;
+        erratum.fieldLines["Implications"] = 13 + 10 * i;
+        doc.errata.push_back(std::move(erratum));
+        ++i;
+    }
+    return doc;
+}
+
+std::vector<Regex>
+compileAll(std::initializer_list<const char *> patterns)
+{
+    std::vector<Regex> out;
+    for (const char *pattern : patterns)
+        out.push_back(Regex::compileOrDie(pattern));
+    return out;
+}
+
+int
+countRule(const std::vector<Diagnostic> &diagnostics,
+          std::string_view rule_id)
+{
+    return static_cast<int>(std::count_if(
+        diagnostics.begin(), diagnostics.end(),
+        [&](const Diagnostic &d) { return d.ruleId == rule_id; }));
+}
+
+// ---- Rule catalog -------------------------------------------------------
+
+TEST(RuleCatalog, HasSixteenRulesSortedById)
+{
+    const std::vector<RuleInfo> &catalog = ruleCatalog();
+    ASSERT_EQ(catalog.size(), 16u);
+    for (std::size_t i = 1; i < catalog.size(); ++i)
+        EXPECT_LT(catalog[i - 1].id, catalog[i].id);
+}
+
+TEST(RuleCatalog, FindsRulesByIdAndName)
+{
+    const RuleInfo *byId = findRule("RBE003");
+    ASSERT_NE(byId, nullptr);
+    EXPECT_EQ(byId->name, "reused-name");
+    EXPECT_EQ(byId->defaultSeverity, Severity::Error);
+    EXPECT_EQ(findRule("reused-name"), byId);
+    EXPECT_EQ(findRule("RBE999"), nullptr);
+    EXPECT_EQ(findRule(""), nullptr);
+}
+
+TEST(RuleCatalog, DefectKindsRoundTripThroughRuleIds)
+{
+    for (std::size_t k = 0; k < kDefectKindCount; ++k) {
+        DefectKind kind = static_cast<DefectKind>(k);
+        std::string_view id = ruleIdForDefect(kind);
+        ASSERT_NE(findRule(id), nullptr) << id;
+        EXPECT_EQ(defectForRuleId(id), kind);
+    }
+    // Rule-set rules have no DefectKind.
+    EXPECT_EQ(defectForRuleId("RBE201"), std::nullopt);
+    EXPECT_EQ(defectForRuleId("RBE104"), std::nullopt);
+}
+
+TEST(RuleConfig, DisableAndOverrideBySeverity)
+{
+    RuleConfig config;
+    EXPECT_TRUE(config.enabled("RBE001"));
+    EXPECT_TRUE(config.disable("missing-from-notes"));
+    EXPECT_FALSE(config.disable("no-such-rule"));
+    EXPECT_FALSE(config.enabled("RBE002"));
+    EXPECT_TRUE(config.overrideSeverity("RBE001", Severity::Error));
+    EXPECT_EQ(config.severityFor("RBE001"), Severity::Error);
+    EXPECT_EQ(config.severityFor("RBE007"), Severity::Warning);
+
+    std::vector<Diagnostic> diagnostics;
+    Diagnostic claim;
+    claim.ruleId = "RBE001";
+    claim.severity = Severity::Warning;
+    Diagnostic missing;
+    missing.ruleId = "RBE002";
+    diagnostics = {claim, missing};
+
+    std::vector<Diagnostic> kept =
+        config.apply(std::move(diagnostics));
+    ASSERT_EQ(kept.size(), 1u);
+    EXPECT_EQ(kept[0].ruleId, "RBE001");
+    EXPECT_EQ(kept[0].severity, Severity::Error);
+}
+
+TEST(Severity, NamesRoundTrip)
+{
+    for (Severity s :
+         {Severity::Note, Severity::Warning, Severity::Error}) {
+        EXPECT_EQ(parseSeverity(severityName(s)), s);
+    }
+    EXPECT_EQ(parseSeverity("fatal"), std::nullopt);
+}
+
+// ---- Baseline -----------------------------------------------------------
+
+TEST(Baseline, FingerprintIgnoresLineNumbers)
+{
+    std::vector<Diagnostic> diagnostics = fixtureDiagnostics();
+    Diagnostic moved = diagnostics[0];
+    moved.location.line = 999;
+    EXPECT_EQ(Baseline::fingerprint(diagnostics[0]),
+              Baseline::fingerprint(moved));
+    // Rule id, path basename and ids are all part of the identity.
+    EXPECT_TRUE(Baseline::fingerprint(diagnostics[0])
+                    .starts_with("RBE004 spec.txt T001 "));
+
+    Diagnostic reworded = diagnostics[0];
+    reworded.message += " (reworded)";
+    EXPECT_NE(Baseline::fingerprint(diagnostics[0]),
+              Baseline::fingerprint(reworded));
+}
+
+TEST(Baseline, SerializeParseRoundTrip)
+{
+    std::vector<Diagnostic> diagnostics = fixtureDiagnostics();
+    Baseline baseline = Baseline::fromDiagnostics(diagnostics);
+    EXPECT_EQ(baseline.size(), 2u);
+
+    Expected<Baseline> parsed = Baseline::parse(
+        baseline.serialize());
+    ASSERT_TRUE(parsed.hasValue());
+    EXPECT_EQ(parsed.value().size(), 2u);
+    for (const Diagnostic &diagnostic : diagnostics)
+        EXPECT_TRUE(parsed.value().contains(diagnostic));
+
+    Diagnostic other = diagnostics[0];
+    other.ids = {"T002"};
+    EXPECT_FALSE(parsed.value().contains(other));
+}
+
+TEST(Baseline, ParseSkipsCommentsAndRejectsGarbage)
+{
+    Expected<Baseline> empty =
+        Baseline::parse("# header\n\n# another comment\n");
+    ASSERT_TRUE(empty.hasValue());
+    EXPECT_EQ(empty.value().size(), 0u);
+
+    EXPECT_FALSE(Baseline::parse("not a fingerprint\n").hasValue());
+    EXPECT_FALSE(Baseline::parse("RBE001 toofewfields\n").hasValue());
+}
+
+// ---- Renderers ----------------------------------------------------------
+
+TEST(Render, TextGolden)
+{
+    const std::string expected =
+        "docs/spec.txt:12: warning: field 'Implications' of 'T001' "
+        "is empty [RBE004]\n"
+        "corpus:amd/12:63: error: '912' regresses from Fixed to "
+        "NoFix [RBE101]\n"
+        "    see also: corpus:amd/10:470\n"
+        "check: 1 error(s), 1 warning(s), 0 note(s)\n";
+    EXPECT_EQ(renderText(fixtureDiagnostics()), expected);
+}
+
+TEST(Render, TextReportsSuppressedCount)
+{
+    std::string text = renderText(fixtureDiagnostics(), 7);
+    EXPECT_NE(text.find("(7 suppressed by baseline)"),
+              std::string::npos);
+}
+
+TEST(Render, JsonGolden)
+{
+    const std::string expected =
+        "{\"diagnostics\":["
+        "{\"ids\":[\"T001\"],"
+        "\"location\":{\"field\":\"Implications\",\"line\":12,"
+        "\"path\":\"docs/spec.txt\"},"
+        "\"message\":\"field 'Implications' of 'T001' is empty\","
+        "\"ruleId\":\"RBE004\",\"severity\":\"warning\"},"
+        "{\"ids\":[\"912\"],"
+        "\"location\":{\"field\":\"Status\",\"line\":63,"
+        "\"path\":\"corpus:amd/12\"},"
+        "\"message\":\"'912' regresses from Fixed to NoFix\","
+        "\"related\":[{\"line\":470,\"path\":\"corpus:amd/10\"}],"
+        "\"ruleId\":\"RBE101\",\"severity\":\"error\"}],"
+        "\"summary\":{\"errors\":1,\"notes\":0,\"suppressed\":0,"
+        "\"warnings\":1}}";
+    EXPECT_EQ(diagnosticsToJson(fixtureDiagnostics()).dump(),
+              expected);
+}
+
+TEST(Render, SarifResultsGolden)
+{
+    JsonValue sarif = diagnosticsToSarif(fixtureDiagnostics());
+    const std::string expected =
+        "[{\"level\":\"warning\","
+        "\"locations\":[{\"physicalLocation\":"
+        "{\"artifactLocation\":{\"uri\":\"docs/spec.txt\"},"
+        "\"region\":{\"startLine\":12}}}],"
+        "\"message\":{\"text\":\"field 'Implications' of 'T001' is "
+        "empty\"},"
+        "\"ruleId\":\"RBE004\",\"ruleIndex\":3},"
+        "{\"level\":\"error\","
+        "\"locations\":[{\"physicalLocation\":"
+        "{\"artifactLocation\":{\"uri\":\"corpus:amd/12\"},"
+        "\"region\":{\"startLine\":63}}}],"
+        "\"message\":{\"text\":\"'912' regresses from Fixed to "
+        "NoFix\"},"
+        "\"relatedLocations\":[{\"physicalLocation\":"
+        "{\"artifactLocation\":{\"uri\":\"corpus:amd/10\"},"
+        "\"region\":{\"startLine\":470}}}],"
+        "\"ruleId\":\"RBE101\",\"ruleIndex\":7}]";
+    EXPECT_EQ(sarif.at("runs").asArray().at(0).at("results").dump(),
+              expected);
+}
+
+TEST(Render, SarifSchemaShape)
+{
+    JsonValue sarif = diagnosticsToSarif(fixtureDiagnostics());
+    EXPECT_EQ(sarif.at("$schema").asString(),
+              "https://json.schemastore.org/sarif-2.1.0.json");
+    EXPECT_EQ(sarif.at("version").asString(), "2.1.0");
+    ASSERT_TRUE(sarif.at("runs").isArray());
+    ASSERT_EQ(sarif.at("runs").asArray().size(), 1u);
+
+    const JsonValue &run = sarif.at("runs").asArray().at(0);
+    const JsonValue &driver = run.at("tool").at("driver");
+    EXPECT_EQ(driver.at("name").asString(), "rememberr-check");
+    const JsonValue::Array &rules = driver.at("rules").asArray();
+    ASSERT_EQ(rules.size(), ruleCatalog().size());
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+        EXPECT_EQ(rules[i].at("id").asString(), ruleCatalog()[i].id);
+        EXPECT_TRUE(rules[i].contains("shortDescription"));
+        EXPECT_TRUE(rules[i].contains("defaultConfiguration"));
+    }
+
+    // ruleIndex must point back at the catalog entry.
+    for (const JsonValue &result : run.at("results").asArray()) {
+        std::size_t index = static_cast<std::size_t>(
+            result.at("ruleIndex").asNumber());
+        ASSERT_LT(index, rules.size());
+        EXPECT_EQ(result.at("ruleId").asString(),
+                  rules[index].at("id").asString());
+    }
+
+    // The SARIF round-trips through the JSON parser.
+    EXPECT_TRUE(parseJson(sarif.dump()).hasValue());
+}
+
+TEST(Render, SarifOmitsRegionForUnknownLines)
+{
+    Diagnostic diagnostic;
+    diagnostic.ruleId = "RBE203";
+    diagnostic.severity = Severity::Note;
+    diagnostic.message = "no factors";
+    diagnostic.location = {"ruleset:Trg_EXT", 0, "accept[0]"};
+    JsonValue sarif = diagnosticsToSarif({diagnostic});
+    const JsonValue &physical = sarif.at("runs")
+                                    .asArray()
+                                    .at(0)
+                                    .at("results")
+                                    .asArray()
+                                    .at(0)
+                                    .at("locations")
+                                    .asArray()
+                                    .at(0)
+                                    .at("physicalLocation");
+    EXPECT_FALSE(physical.contains("region"));
+}
+
+// ---- Per-document checks ------------------------------------------------
+
+TEST(DocChecks, FindingsCarrySourceLocations)
+{
+    ErrataDocument doc = cleanDoc();
+    doc.errata[1].implications.clear();
+    std::vector<Diagnostic> diagnostics = checkDocument(doc);
+    ASSERT_EQ(diagnostics.size(), 1u);
+    EXPECT_EQ(diagnostics[0].ruleId, "RBE004");
+    EXPECT_EQ(diagnostics[0].location.path, "docs/core-t.txt");
+    EXPECT_EQ(diagnostics[0].location.line, 23);
+    EXPECT_EQ(diagnostics[0].location.field, "Implications");
+    EXPECT_EQ(diagnostics[0].ids,
+              (std::vector<std::string>{"T002"}));
+}
+
+TEST(DocChecks, RelatedLocationLinksBothClaims)
+{
+    ErrataDocument doc = cleanDoc();
+    doc.revisions[1].addedIds.push_back("T001");
+    std::vector<Diagnostic> diagnostics = checkDocument(doc);
+    ASSERT_EQ(diagnostics.size(), 1u);
+    EXPECT_EQ(diagnostics[0].ruleId, "RBE001");
+    // Anchored at the second claiming revision, pointing back at
+    // the first.
+    EXPECT_EQ(diagnostics[0].location.line, 4);
+    ASSERT_EQ(diagnostics[0].related.size(), 1u);
+    EXPECT_EQ(diagnostics[0].related[0].line, 3);
+}
+
+// ---- Cross-document checks ----------------------------------------------
+
+/** Two single-erratum documents forming one dedup cluster. */
+struct ClusterFixture
+{
+    std::vector<ErrataDocument> documents;
+    DedupResult dedup;
+
+    ClusterFixture()
+    {
+        for (int d = 0; d < 2; ++d) {
+            ErrataDocument doc = cleanDoc();
+            doc.sourcePath =
+                "docs/rev" + std::to_string(d) + ".txt";
+            documents.push_back(std::move(doc));
+        }
+        // Erratum 0 of both documents describes the same bug.
+        dedup.clusters = {{ErratumRef{0, 0}, ErratumRef{1, 0}}};
+    }
+};
+
+TEST(CorpusChecks, DetectsStatusRegression)
+{
+    ClusterFixture fx;
+    fx.documents[0].errata[0].status = FixStatus::Fixed;
+    fx.documents[1].errata[0].status = FixStatus::NoFix;
+    std::vector<Diagnostic> diagnostics =
+        checkCorpus(fx.documents, fx.dedup);
+    ASSERT_EQ(countRule(diagnostics, "RBE101"), 1);
+    const Diagnostic &d = diagnostics[0];
+    EXPECT_EQ(d.location.path, "docs/rev1.txt");
+    EXPECT_EQ(d.location.field, "Status");
+    ASSERT_EQ(d.related.size(), 1u);
+    EXPECT_EQ(d.related[0].path, "docs/rev0.txt");
+}
+
+TEST(CorpusChecks, NoFixThenFixedIsProgressNotRegression)
+{
+    ClusterFixture fx;
+    fx.documents[0].errata[0].status = FixStatus::NoFix;
+    fx.documents[1].errata[0].status = FixStatus::Fixed;
+    EXPECT_EQ(countRule(checkCorpus(fx.documents, fx.dedup),
+                        "RBE101"),
+              0);
+}
+
+TEST(CorpusChecks, DetectsDivergentMsrNumbers)
+{
+    ClusterFixture fx;
+    fx.documents[0].errata[0].msrs.push_back(
+        MsrRef{"MC4_STATUS", 0x411});
+    fx.documents[1].errata[0].msrs.push_back(
+        MsrRef{"MC4_STATUS", 0x412});
+    std::vector<Diagnostic> diagnostics =
+        checkCorpus(fx.documents, fx.dedup);
+    ASSERT_EQ(countRule(diagnostics, "RBE102"), 1);
+    EXPECT_NE(diagnostics[0].message.find("2 different numbers"),
+              std::string::npos);
+}
+
+TEST(CorpusChecks, AgreeingMsrNumbersPass)
+{
+    ClusterFixture fx;
+    fx.documents[0].errata[0].msrs.push_back(
+        MsrRef{"MC4_STATUS", 0x411});
+    fx.documents[1].errata[0].msrs.push_back(
+        MsrRef{"MC4_STATUS", 0x411});
+    EXPECT_EQ(countRule(checkCorpus(fx.documents, fx.dedup),
+                        "RBE102"),
+              0);
+}
+
+TEST(CorpusChecks, DetectsDivergentWorkaround)
+{
+    ClusterFixture fx;
+    fx.documents[1].errata[0].workaroundText =
+        "Disable the prefetcher via MSR 0x1A4.";
+    std::vector<Diagnostic> diagnostics =
+        checkCorpus(fx.documents, fx.dedup);
+    ASSERT_EQ(countRule(diagnostics, "RBE103"), 1);
+    EXPECT_EQ(diagnostics[0].location.field, "Workaround");
+}
+
+TEST(CorpusChecks, WhitespaceOnlyWorkaroundDifferencesIgnored)
+{
+    ClusterFixture fx;
+    fx.documents[1].errata[0].workaroundText =
+        "None  identified. ";
+    EXPECT_EQ(countRule(checkCorpus(fx.documents, fx.dedup),
+                        "RBE103"),
+              0);
+}
+
+TEST(CorpusChecks, DetectsNonMonotonicRevisionDates)
+{
+    ClusterFixture fx;
+    fx.documents[0].revisions[1].date = Date(2014, 12, 1);
+    std::vector<Diagnostic> diagnostics =
+        checkCorpus(fx.documents, fx.dedup);
+    ASSERT_EQ(countRule(diagnostics, "RBE104"), 1);
+    const Diagnostic &d = diagnostics[0];
+    EXPECT_EQ(d.location.field, "Date");
+    EXPECT_EQ(d.ids, (std::vector<std::string>{"2"}));
+}
+
+TEST(CorpusChecks, DetectsDanglingReference)
+{
+    ClusterFixture fx;
+    fx.documents[0].revisions[1].addedIds.push_back("GHOST");
+    std::vector<Diagnostic> diagnostics =
+        checkCorpus(fx.documents, fx.dedup);
+    ASSERT_EQ(countRule(diagnostics, "RBE105"), 1);
+    EXPECT_EQ(diagnostics[0].ids,
+              (std::vector<std::string>{"GHOST"}));
+}
+
+TEST(CorpusChecks, HiddenErrataAreValidReferenceTargets)
+{
+    ClusterFixture fx;
+    fx.documents[0].revisions[1].addedIds.push_back("GHOST");
+    fx.documents[0].hiddenErrata.push_back("GHOST");
+    EXPECT_EQ(countRule(checkCorpus(fx.documents, fx.dedup),
+                        "RBE105"),
+              0);
+}
+
+TEST(CorpusChecks, DeterministicAcrossThreadCounts)
+{
+    ClusterFixture fx;
+    fx.documents[0].errata[0].status = FixStatus::Fixed;
+    fx.documents[1].errata[0].status = FixStatus::NoFix;
+    fx.documents[0].revisions[1].addedIds.push_back("GHOST");
+    CorpusCheckOptions serial;
+    serial.threads = 1;
+    CorpusCheckOptions parallel;
+    parallel.threads = 0;
+    std::vector<Diagnostic> a =
+        checkCorpus(fx.documents, fx.dedup, serial);
+    std::vector<Diagnostic> b =
+        checkCorpus(fx.documents, fx.dedup, parallel);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].ruleId, b[i].ruleId);
+        EXPECT_EQ(a[i].message, b[i].message);
+        EXPECT_EQ(a[i].location, b[i].location);
+    }
+}
+
+// ---- Regex analysis primitives ------------------------------------------
+
+TEST(RegexAnalysis, ExactLiteralsOfFiniteLanguages)
+{
+    auto language = [](const char *pattern) {
+        return Regex::compileOrDie(pattern).exactLiterals();
+    };
+    EXPECT_EQ(language("abc"),
+              (std::vector<std::string>{"abc"}));
+    EXPECT_EQ(language("cat|dog"),
+              (std::vector<std::string>{"cat", "dog"}));
+    // Unbounded repetition has no finite language.
+    EXPECT_EQ(language("ab+"), std::nullopt);
+    EXPECT_EQ(language("[0-9]+"), std::nullopt);
+}
+
+TEST(RegexAnalysis, BacktrackingHazardDetectsNestedRepetition)
+{
+    auto hazard = [](const char *pattern) {
+        return Regex::compileOrDie(pattern)
+            .backtrackingHazard()
+            .has_value();
+    };
+    EXPECT_TRUE(hazard("(a+)+"));
+    EXPECT_TRUE(hazard("(a*)*"));
+    EXPECT_FALSE(hazard("abc"));
+    EXPECT_FALSE(hazard("a+b*"));
+    // Fixed iteration counts cannot backtrack combinatorially.
+    EXPECT_FALSE(hazard("(a{2}){3}"));
+}
+
+// ---- Rule-set checks ----------------------------------------------------
+
+CategoryId
+firstCategory()
+{
+    return Taxonomy::instance().categories().front().id;
+}
+
+TEST(RulesetChecks, DetectsShadowedPattern)
+{
+    CategoryRule rule;
+    rule.id = firstCategory();
+    // Anything matching "xbiosy" necessarily contains "bios".
+    rule.accept = compileAll({"bios", "xbiosy"});
+    std::vector<Diagnostic> diagnostics =
+        checkCategoryRules({rule});
+    ASSERT_EQ(countRule(diagnostics, "RBE201"), 1);
+    const Diagnostic &d = diagnostics[0];
+    EXPECT_EQ(d.location.field, "accept[1]");
+    EXPECT_NE(d.message.find("/xbiosy/"), std::string::npos);
+    EXPECT_NE(d.message.find("/bios/"), std::string::npos);
+}
+
+TEST(RulesetChecks, IndependentPatternsAreNotShadowed)
+{
+    CategoryRule rule;
+    rule.id = firstCategory();
+    rule.accept = compileAll({"bios", "firmware"});
+    EXPECT_EQ(countRule(checkCategoryRules({rule}), "RBE201"), 0);
+}
+
+TEST(RulesetChecks, AnchorsDisableShadowAnalysis)
+{
+    CategoryRule rule;
+    rule.id = firstCategory();
+    // "^xbiosy" only matches at the start, so containment of the
+    // literal language no longer implies match containment.
+    rule.accept = compileAll({"bios", "^xbiosy"});
+    EXPECT_EQ(countRule(checkCategoryRules({rule}), "RBE201"), 0);
+}
+
+TEST(RulesetChecks, FlagsEveryFactorlessPattern)
+{
+    CategoryRule rule;
+    rule.id = firstCategory();
+    rule.accept = compileAll({"[0-9]+", "cache"});
+    rule.relevance = compileAll({"[a-f]?[0-9]"});
+    std::vector<Diagnostic> diagnostics =
+        checkCategoryRules({rule});
+    EXPECT_EQ(countRule(diagnostics, "RBE203"), 2);
+    // Per Regex::literalFactors(), "cache" has a factor and must
+    // not be flagged.
+    for (const Diagnostic &d : diagnostics) {
+        if (d.ruleId == "RBE203") {
+            EXPECT_EQ(d.message.find("/cache/"),
+                      std::string::npos);
+        }
+    }
+}
+
+TEST(RulesetChecks, FlagsBacktrackingHazard)
+{
+    CategoryRule rule;
+    rule.id = firstCategory();
+    rule.relevance = compileAll({"(a+)+"});
+    std::vector<Diagnostic> diagnostics =
+        checkCategoryRules({rule});
+    ASSERT_EQ(countRule(diagnostics, "RBE204"), 1);
+}
+
+TEST(RulesetChecks, DeadPatternNeedsCorpus)
+{
+    CategoryRule rule;
+    rule.id = firstCategory();
+    rule.accept = compileAll({"zebra", "cache"});
+
+    // Without a corpus the check is skipped entirely.
+    EXPECT_EQ(countRule(checkCategoryRules({rule}), "RBE202"), 0);
+
+    ErrataDocument doc = cleanDoc();
+    doc.errata[0].description = "The cache controller may hang.";
+    std::vector<ErrataDocument> corpus = {doc};
+    RulesetCheckOptions options;
+    options.corpus = &corpus;
+    std::vector<Diagnostic> diagnostics =
+        checkCategoryRules({rule}, options);
+    ASSERT_EQ(countRule(diagnostics, "RBE202"), 1);
+    EXPECT_NE(diagnostics.back().message.find("/zebra/"),
+              std::string::npos);
+}
+
+TEST(RulesetChecks, RealRuleTablesHaveNoStructuralDefects)
+{
+    // The shipped tables must stay clean: no shadowed, factor-less
+    // or exponentially backtracking patterns.
+    std::vector<Diagnostic> diagnostics =
+        checkRuleSet(RuleSet::instance());
+    EXPECT_EQ(countRule(diagnostics, "RBE201"), 0);
+    EXPECT_EQ(countRule(diagnostics, "RBE203"), 0);
+    EXPECT_EQ(countRule(diagnostics, "RBE204"), 0);
+}
+
+} // namespace
+} // namespace rememberr

@@ -187,8 +187,8 @@ TEST(Lint, SummaryAggregatesAcrossDocuments)
     b.errata[0].implications.clear();
     LintSummary summary = summarizeFindings(
         {lintDocument(a), lintDocument(b)});
-    EXPECT_EQ(summary.duplicateRevisionClaims, 1);
-    EXPECT_EQ(summary.missingFields, 1);
+    EXPECT_EQ(summary.duplicateRevisionClaims(), 1);
+    EXPECT_EQ(summary.missingFields(), 1);
     EXPECT_EQ(summary.total(), 2);
 }
 
@@ -201,12 +201,12 @@ TEST(Lint, FullCorpusCountsMatchPaper)
         perDoc.push_back(lintDocument(doc));
     LintSummary summary = summarizeFindings(perDoc);
     // Section IV-A's counts.
-    EXPECT_EQ(summary.duplicateRevisionClaims, 8);
-    EXPECT_EQ(summary.missingFromNotes, 12);
-    EXPECT_EQ(summary.reusedNames, 1);
-    EXPECT_EQ(summary.missingFields + summary.duplicateFields, 7);
-    EXPECT_EQ(summary.wrongMsrNumbers, 3);
-    EXPECT_EQ(summary.intraDocDuplicates, 11);
+    EXPECT_EQ(summary.duplicateRevisionClaims(), 8);
+    EXPECT_EQ(summary.missingFromNotes(), 12);
+    EXPECT_EQ(summary.reusedNames(), 1);
+    EXPECT_EQ(summary.missingFields() + summary.duplicateFields(), 7);
+    EXPECT_EQ(summary.wrongMsrNumbers(), 3);
+    EXPECT_EQ(summary.intraDocDuplicates(), 11);
 }
 
 } // namespace

@@ -71,12 +71,12 @@ TEST_F(PipelineSmoke, LintFindsInjectedDefects)
 {
     LintSummary summary =
         summarizeFindings(result_->lintFindings);
-    EXPECT_EQ(summary.duplicateRevisionClaims, 8);
-    EXPECT_EQ(summary.missingFromNotes, 12);
-    EXPECT_EQ(summary.reusedNames, 1);
-    EXPECT_EQ(summary.missingFields + summary.duplicateFields, 7);
-    EXPECT_EQ(summary.wrongMsrNumbers, 3);
-    EXPECT_EQ(summary.intraDocDuplicates, 11);
+    EXPECT_EQ(summary.duplicateRevisionClaims(), 8);
+    EXPECT_EQ(summary.missingFromNotes(), 12);
+    EXPECT_EQ(summary.reusedNames(), 1);
+    EXPECT_EQ(summary.missingFields() + summary.duplicateFields(), 7);
+    EXPECT_EQ(summary.wrongMsrNumbers(), 3);
+    EXPECT_EQ(summary.intraDocDuplicates(), 11);
 }
 
 TEST_F(PipelineSmoke, HeadlineStatsInPaperBands)

@@ -3,10 +3,17 @@
 #
 #   1. tier-1: configure + build + full ctest suite;
 #   2. source hygiene (tools/check_format.sh);
-#   3. a ThreadSanitizer build running the concurrency-sensitive
+#   3. corpus static analysis: `rememberr check` against the
+#      accepted-findings baseline (tools/check.baseline) — fails on
+#      any finding not already baselined;
+#   4. clang-tidy via the check_tidy target (skips when clang-tidy
+#      is not installed);
+#   5. a ThreadSanitizer build running the concurrency-sensitive
 #      tests (parallel executor, observability, the literal
 #      prefilter differential and the similarity kernels, which are
-#      scanned/scored concurrently from dedup and foureyes shards).
+#      scanned/scored concurrently from dedup and foureyes shards);
+#   6. an UndefinedBehaviorSanitizer build running the parser,
+#      regex and diagnostics tests, where the bit-twiddling lives.
 #
 # Usage: tools/ci.sh [build-dir]   (default: build-ci)
 # Exit status: nonzero on the first failing step.
@@ -16,6 +23,7 @@ set -eu
 root=$(cd "$(dirname "$0")/.." && pwd)
 build=${1:-build-ci}
 tsan_build=${build}-tsan
+ubsan_build=${build}-ubsan
 jobs=$(nproc 2>/dev/null || echo 4)
 
 step() {
@@ -32,6 +40,13 @@ step "tier-1 tests"
 step "format check"
 (cd "$root" && sh tools/check_format.sh)
 
+step "corpus static analysis (rememberr check)"
+"$root/$build/tools/rememberr_cli" check \
+    --baseline="$root/tools/check.baseline" --threads=0
+
+step "clang-tidy"
+cmake --build "$root/$build" --target check_tidy
+
 step "thread-sanitizer build (${tsan_build})"
 cmake -B "$root/$tsan_build" -S "$root" \
     -DREMEMBERR_SANITIZE=thread > /dev/null
@@ -43,6 +58,18 @@ step "thread-sanitizer tests"
 for t in test_parallel test_obs test_similarity_kernels \
          test_regex_differential; do
     "$root/$tsan_build/tests/$t"
+done
+
+step "undefined-behavior-sanitizer build (${ubsan_build})"
+cmake -B "$root/$ubsan_build" -S "$root" \
+    -DREMEMBERR_SANITIZE=undefined > /dev/null
+cmake --build "$root/$ubsan_build" -j "$jobs" \
+    --target test_document test_regex test_diag test_check
+
+step "undefined-behavior-sanitizer tests"
+for t in test_document test_regex test_diag test_check; do
+    UBSAN_OPTIONS=halt_on_error=1 \
+        "$root/$ubsan_build/tests/$t"
 done
 
 step "all checks passed"
