@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Snapshot cold-start benchmark: how fast is a query-ready database
+ * from the binary snapshot versus rebuilding the whole pipeline
+ * (generate, parse, lint, dedup, classify, assemble)?
+ *
+ * The headline number — rebuild time over mmap-to-Database time —
+ * lands in BENCH_snapshot.json together with the snapshot size and
+ * its content hash, so successive PRs can diff both the speedup and
+ * the format's fingerprint.
+ */
+
+#include "common.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+
+#include "snap/format.hh"
+#include "snap/view.hh"
+#include "snap/writer.hh"
+
+namespace rememberr {
+namespace bench {
+namespace {
+
+double
+wallMs(const std::function<void()> &fn)
+{
+    auto begin = std::chrono::steady_clock::now();
+    fn();
+    auto end = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(end - begin)
+        .count();
+}
+
+std::string
+snapshotPath()
+{
+    return (std::filesystem::temp_directory_path() /
+            "rememberr_bench_snapshot.snap")
+        .string();
+}
+
+const std::string &
+snapshotBytes()
+{
+    static const std::string bytes = snap::writeSnapshot(db());
+    return bytes;
+}
+
+void
+BM_SnapshotWrite(benchmark::State &state)
+{
+    const Database &database = db();
+    for (auto _ : state) {
+        std::string bytes = snap::writeSnapshot(database);
+        benchmark::DoNotOptimize(bytes.data());
+    }
+    state.counters["bytes"] =
+        static_cast<double>(snapshotBytes().size());
+}
+BENCHMARK(BM_SnapshotWrite)->Unit(benchmark::kMillisecond);
+
+void
+BM_SnapshotOpenValidated(benchmark::State &state)
+{
+    const std::string &bytes = snapshotBytes();
+    for (auto _ : state) {
+        auto view = snap::SnapshotView::fromBytes(bytes);
+        benchmark::DoNotOptimize(view.value().contentHash());
+    }
+}
+BENCHMARK(BM_SnapshotOpenValidated)->Unit(benchmark::kMicrosecond);
+
+void
+BM_SnapshotMaterializeDatabase(benchmark::State &state)
+{
+    auto view = snap::SnapshotView::fromBytes(snapshotBytes());
+    for (auto _ : state) {
+        Database database = view.value().database();
+        benchmark::DoNotOptimize(database.entries().data());
+    }
+}
+BENCHMARK(BM_SnapshotMaterializeDatabase)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_SnapshotScanVendorCounts(benchmark::State &state)
+{
+    // The zero-copy path: count rows per vendor straight off the
+    // mapped fixed-width records, no allocation at all.
+    auto view = snap::SnapshotView::fromBytes(snapshotBytes());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            view.value().rowCount(Vendor::Intel));
+        benchmark::DoNotOptimize(
+            view.value().rowCount(Vendor::Amd));
+    }
+}
+BENCHMARK(BM_SnapshotScanVendorCounts)
+    ->Unit(benchmark::kMicrosecond);
+
+void
+printSnapshot()
+{
+    // Cold start, path A: the full pipeline (what every command
+    // without --snapshot pays). Run fresh, not from the bench cache.
+    double rebuildMs = wallMs([] {
+        PipelineResult result = runPipeline(PipelineOptions{});
+        benchmark::DoNotOptimize(
+            result.groundTruth.entries().data());
+    });
+
+    // Cold start, path B: mmap the snapshot file, validate, verify
+    // the content hash and materialize the full Database.
+    const std::string path = snapshotPath();
+    {
+        auto written = snap::writeSnapshotFile(path, db());
+        if (!written) {
+            std::printf("snapshot write failed: %s\n",
+                        written.error().toString().c_str());
+            return;
+        }
+    }
+    double openMs = 0;
+    double materializeMs = 0;
+    std::uint64_t hash = 0;
+    std::size_t bytes = 0;
+    bool equal = false;
+    {
+        auto first = snap::SnapshotView::open(path);
+        if (!first) {
+            std::printf("snapshot open failed: %s\n",
+                        first.error().toString().c_str());
+            return;
+        }
+        snap::SnapshotView view = std::move(first.value());
+        openMs = wallMs([&] {
+            auto reopened = snap::SnapshotView::open(path);
+            view = std::move(reopened.value());
+        });
+        hash = view.contentHash();
+        bytes = view.sizeBytes();
+        Database restored;
+        materializeMs =
+            wallMs([&] { restored = view.database(); });
+        equal = restored == db();
+    }
+    std::filesystem::remove(path);
+
+    double coldMs = openMs + materializeMs;
+    double speedup = coldMs > 0 ? rebuildMs / coldMs : 0.0;
+    std::printf("\ncold start to a query-ready database:\n");
+    std::printf("  pipeline rebuild: %9.1f ms\n", rebuildMs);
+    std::printf("  snapshot mmap:    %9.3f ms open+verify, "
+                "%7.1f ms materialize\n",
+                openMs, materializeMs);
+    std::printf("  speedup:          %9.1fx  (round trip %s, hash "
+                "%s, %zu bytes)\n",
+                speedup, equal ? "bit-identical" : "MISMATCH",
+                snap::hashHex(hash).c_str(), bytes);
+
+    JsonValue root = JsonValue::makeObject();
+    root["rebuild_ms"] = JsonValue(rebuildMs);
+    root["open_ms"] = JsonValue(openMs);
+    root["materialize_ms"] = JsonValue(materializeMs);
+    root["cold_start_ms"] = JsonValue(coldMs);
+    root["speedup"] = JsonValue(speedup);
+    root["bytes"] = JsonValue(static_cast<double>(bytes));
+    root["content_hash"] = JsonValue(snap::hashHex(hash));
+    root["round_trip_equal"] = JsonValue(equal);
+    root["entries"] =
+        JsonValue(static_cast<double>(db().entries().size()));
+    root["documents"] =
+        JsonValue(static_cast<double>(db().documents().size()));
+
+    std::ofstream out("BENCH_snapshot.json");
+    out << root.dumpPretty() << "\n";
+    if (out) {
+        std::printf(
+            "\n[snapshot profile written to BENCH_snapshot.json]\n");
+    }
+}
+
+} // namespace
+} // namespace bench
+} // namespace rememberr
+
+REMEMBERR_BENCH_MAIN(rememberr::bench::printSnapshot)

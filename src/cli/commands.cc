@@ -28,6 +28,9 @@
 #include "obs/pool_metrics.hh"
 #include "report/svg.hh"
 #include "report/table.hh"
+#include "snap/format.hh"
+#include "snap/view.hh"
+#include "snap/writer.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
 
@@ -140,12 +143,22 @@ usageText()
            "(JSON)\n"
            "  figures   --out DIR         write every reproduced "
            "figure (SVG)\n"
+           "  snapshot  --out FILE        write the database as a "
+           "binary\n"
+           "                              snapshot (mmap-able, "
+           "query-ready)\n"
            "  profile                     run the pipeline and "
            "print per-stage\n"
            "                              timings, counters and "
            "worker stats\n"
            "\n"
            "common options:\n"
+           "  --snapshot FILE             serve stats/query/campaign/"
+           "seeds/\n"
+           "                              figures from a binary "
+           "snapshot\n"
+           "                              instead of rebuilding the "
+           "pipeline\n"
            "  --seed N                    corpus generator seed\n"
            "  --threads N                 pipeline worker threads "
            "(default 1;\n"
@@ -197,11 +210,50 @@ buildPipeline(const ArgList &args)
     return it->second;
 }
 
+/**
+ * Resolve the database a read-only command queries: with --snapshot
+ * FILE it is materialized from the memory-mapped snapshot (no corpus
+ * generation, no dedup, no classification — query-ready in the time
+ * it takes to map and decode the file); otherwise it is the ground
+ * truth of the (cached) pipeline run. On success `db` points either
+ * at `storage` or at the cached pipeline result; the non-zero return
+ * is the command's exit code otherwise.
+ */
 int
-cmdStats(const ArgList &args, std::ostream &out)
+resolveDatabase(const ArgList &args,
+                std::optional<Database> &storage,
+                const Database *&db, std::ostream &err)
 {
-    const PipelineResult &result = buildPipeline(args);
-    HeadlineStats stats = headlineStats(result.groundTruth);
+    if (auto path = args.option("snapshot")) {
+        if (path->empty()) {
+            err << "--snapshot requires a file name\n";
+            return 2;
+        }
+        snap::LoadOptions options;
+        options.metrics = &MetricsRegistry::global();
+        options.trace = &TraceRecorder::global();
+        auto view = snap::SnapshotView::open(*path, options);
+        if (!view) {
+            err << "cannot load snapshot " << *path << ": "
+                << view.error().toString() << "\n";
+            return 1;
+        }
+        storage.emplace(view.value().database());
+        db = &*storage;
+        return 0;
+    }
+    db = &buildPipeline(args).groundTruth;
+    return 0;
+}
+
+int
+cmdStats(const ArgList &args, std::ostream &out, std::ostream &err)
+{
+    std::optional<Database> storage;
+    const Database *db = nullptr;
+    if (int rc = resolveDatabase(args, storage, db, err))
+        return rc;
+    HeadlineStats stats = headlineStats(*db);
 
     AsciiTable table;
     table.setColumns({"statistic", "measured", "paper"},
@@ -620,10 +672,12 @@ cmdQuery(const ArgList &args, std::ostream &out, std::ostream &err)
         }
     }
 
-    const PipelineResult &result = buildPipeline(args);
-    const Database &db = result.groundTruth;
+    std::optional<Database> storage;
+    const Database *db = nullptr;
+    if (int rc = resolveDatabase(args, storage, db, err))
+        return rc;
 
-    Query query(db);
+    Query query(*db);
     if (vendorFilter)
         query.vendor(*vendorFilter);
     if (categoryFilter)
@@ -666,14 +720,17 @@ cmdQuery(const ArgList &args, std::ostream &out, std::ostream &err)
 }
 
 int
-cmdCampaign(const ArgList &args, std::ostream &out)
+cmdCampaign(const ArgList &args, std::ostream &out,
+            std::ostream &err)
 {
-    const PipelineResult &result = buildPipeline(args);
+    std::optional<Database> storage;
+    const Database *db = nullptr;
+    if (int rc = resolveDatabase(args, storage, db, err))
+        return rc;
     CampaignOptions options;
     if (auto n = args.intOption("pairs"))
         options.stimulusPairs = static_cast<std::size_t>(*n);
-    TestCampaign campaign =
-        deriveCampaign(result.groundTruth, options);
+    TestCampaign campaign = deriveCampaign(*db, options);
     if (args.hasFlag("json"))
         out << campaign.toJson().dumpPretty() << "\n";
     else
@@ -682,14 +739,16 @@ cmdCampaign(const ArgList &args, std::ostream &out)
 }
 
 int
-cmdSeeds(const ArgList &args, std::ostream &out)
+cmdSeeds(const ArgList &args, std::ostream &out, std::ostream &err)
 {
-    const PipelineResult &result = buildPipeline(args);
+    std::optional<Database> storage;
+    const Database *db = nullptr;
+    if (int rc = resolveDatabase(args, storage, db, err))
+        return rc;
     SeedCorpusOptions options;
     if (auto n = args.intOption("count"))
         options.sequenceCount = static_cast<std::size_t>(*n);
-    SeedCorpus corpus =
-        generateSeedCorpus(result.groundTruth, options);
+    SeedCorpus corpus = generateSeedCorpus(*db, options);
     out << corpus.toJson().dumpPretty() << "\n";
     return 0;
 }
@@ -709,8 +768,11 @@ cmdFigures(const ArgList &args, std::ostream &out,
         err << "figures: cannot create " << *dir << "\n";
         return 1;
     }
-    const PipelineResult &result = buildPipeline(args);
-    const Database &db = result.groundTruth;
+    std::optional<Database> storage;
+    const Database *dbPtr = nullptr;
+    if (int rc = resolveDatabase(args, storage, dbPtr, err))
+        return rc;
+    const Database &db = *dbPtr;
 
     auto write = [&](const std::string &name,
                      const std::string &svg) {
@@ -750,6 +812,41 @@ cmdFigures(const ArgList &args, std::ostream &out,
           svgHeatmap(correlation.codes, correlation.codes,
                      correlation.counts,
                      {.title = "Figure 12: correlation"}));
+    return 0;
+}
+
+int
+cmdSnapshot(const ArgList &args, std::ostream &out,
+            std::ostream &err)
+{
+    auto path = args.option("out");
+    if (!path || path->empty()) {
+        err << "snapshot: --out FILE is required\n";
+        return 2;
+    }
+    const PipelineResult &result = buildPipeline(args);
+    snap::WriteOptions options;
+    options.metrics = &MetricsRegistry::global();
+    options.trace = &TraceRecorder::global();
+    auto written =
+        snap::writeSnapshotFile(*path, result.groundTruth, options);
+    if (!written) {
+        err << "snapshot: " << written.error().toString() << "\n";
+        return 1;
+    }
+    // Re-open what was just written: a structural + hash check that
+    // the file on disk is servable, and the printed hash doubles as
+    // the fingerprint CI pins.
+    auto view = snap::SnapshotView::open(*path);
+    if (!view) {
+        err << "snapshot: verification failed: "
+            << view.error().toString() << "\n";
+        return 1;
+    }
+    out << "wrote " << *path << " (" << written.value()
+        << " bytes, " << view.value().entryCount() << " entries, "
+        << view.value().documentCount() << " documents, hash "
+        << snap::hashHex(view.value().contentHash()) << ")\n";
     return 0;
 }
 
@@ -964,7 +1061,7 @@ runCli(const std::vector<std::string> &args, std::ostream &out,
 
     auto dispatch = [&]() -> int {
         if (command == "stats")
-            return cmdStats(parsed, out);
+            return cmdStats(parsed, out, err);
         if (command == "generate")
             return cmdGenerate(parsed, out, err);
         if (command == "lint")
@@ -978,11 +1075,13 @@ runCli(const std::vector<std::string> &args, std::ostream &out,
         if (command == "query")
             return cmdQuery(parsed, out, err);
         if (command == "campaign")
-            return cmdCampaign(parsed, out);
+            return cmdCampaign(parsed, out, err);
         if (command == "seeds")
-            return cmdSeeds(parsed, out);
+            return cmdSeeds(parsed, out, err);
         if (command == "figures")
             return cmdFigures(parsed, out, err);
+        if (command == "snapshot")
+            return cmdSnapshot(parsed, out, err);
         if (command == "profile")
             return cmdProfile(parsed, out, err);
         err << "unknown command '" << command << "'\n"

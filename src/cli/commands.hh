@@ -18,11 +18,16 @@
  *   campaign                    derive a directed testing campaign
  *   seeds     --count N         emit a fuzzer seed corpus (JSON)
  *   figures   --out DIR         write every reproduced figure (SVG)
+ *   snapshot  --out FILE        write the database as a binary,
+ *                               mmap-able snapshot
  *   profile                     per-stage timing/counter report
  *
  * Every command accepts --metrics-out FILE and --trace-out FILE
  * (pipeline metrics as JSON/CSV, Chrome trace_event JSON) and the
- * --verbose/--quiet log-level pair.
+ * --verbose/--quiet log-level pair. The read-only database commands
+ * (stats, query, campaign, seeds, figures) also accept
+ * --snapshot FILE to serve queries from a snapshot instead of
+ * rebuilding the pipeline.
  *
  * All commands write to the supplied streams so tests can capture
  * output; main() in tools/ forwards to runCli().

@@ -57,6 +57,10 @@
 #include "db/query.hh"
 #include "guidance/guidance.hh"
 
+// Snapshots (binary, mmap-able database images).
+#include "snap/view.hh"
+#include "snap/writer.hh"
+
 // Observability.
 #include "obs/metrics.hh"
 #include "obs/pool_metrics.hh"

@@ -32,6 +32,8 @@ struct Occurrence
     std::string localId;
     /** Disclosure date approximated per the Section IV-B1 rules. */
     Date disclosed;
+
+    bool operator==(const Occurrence &) const = default;
 };
 
 /** One unique erratum with its annotations. */
@@ -63,6 +65,8 @@ struct DbEntry
 
     /** Earliest disclosure across occurrences. */
     Date firstDisclosed() const;
+
+    bool operator==(const DbEntry &) const = default;
 };
 
 /** The queryable annotated database. */
@@ -84,11 +88,28 @@ class Database
     /** Oracle build: keys and labels straight from ground truth. */
     static Database buildFromGroundTruth(const Corpus &corpus);
 
+    /**
+     * Reassemble from previously built parts (snapshot
+     * deserialization). Occurrence docIndex values must be within
+     * the document vector; panics otherwise.
+     */
+    static Database restore(std::vector<DbEntry> entries,
+                            std::vector<ErrataDocument> documents);
+
     const std::vector<DbEntry> &entries() const { return entries_; }
     const std::vector<ErrataDocument> &documents() const
     {
         return documents_;
     }
+
+    /**
+     * Number of documents the entries' occurrence indices refer to.
+     * Equals documents().size() for built/restored databases; for a
+     * database read back from JSON (which does not carry the raw
+     * documents) it preserves the count of the exporting database so
+     * occurrence indices stay checkable.
+     */
+    std::size_t documentCount() const { return documentCount_; }
 
     std::size_t uniqueCount(Vendor vendor) const;
     std::size_t rowCount(Vendor vendor) const;
@@ -96,15 +117,23 @@ class Database
     /** Serialize the entries (not the raw documents). */
     JsonValue toJson() const;
 
-    /** Restore entries from JSON (documents stay empty). */
+    /**
+     * Restore entries from JSON. The raw documents are not part of
+     * the JSON export, so documents() stays empty, but the exported
+     * documentCount is restored and every occurrence docIndex is
+     * validated against it.
+     */
     static Expected<Database> fromJson(const JsonValue &json);
 
     /** Export entries as CSV (one row per unique erratum). */
     std::string toCsv() const;
 
+    bool operator==(const Database &) const = default;
+
   private:
     std::vector<DbEntry> entries_;
     std::vector<ErrataDocument> documents_;
+    std::size_t documentCount_ = 0;
 };
 
 /** Detect the "complex set of conditions" phrasing (Section V-B). */

@@ -6,6 +6,21 @@
 
 namespace rememberr {
 
+bool
+ErrataDocument::operator==(const ErrataDocument &other) const
+{
+    return design.vendor == other.design.vendor &&
+           design.generation == other.design.generation &&
+           design.variant == other.design.variant &&
+           design.name == other.design.name &&
+           design.reference == other.design.reference &&
+           design.releaseDate == other.design.releaseDate &&
+           sourcePath == other.sourcePath &&
+           revisions == other.revisions &&
+           errata == other.errata &&
+           hiddenErrata == other.hiddenErrata;
+}
+
 const Erratum *
 ErrataDocument::findErratum(const std::string &local_id) const
 {

@@ -57,6 +57,8 @@ struct Erratum
         auto it = fieldLines.find(field);
         return it != fieldLines.end() ? it->second : sourceLine;
     }
+
+    bool operator==(const Erratum &) const = default;
 };
 
 /** One entry of a document's revision history. */
@@ -69,6 +71,8 @@ struct Revision
     std::string note;     ///< free-text summary line
     /** 1-based line of the "Revision:" field; 0 when not parsed. */
     int sourceLine = 0;
+
+    bool operator==(const Revision &) const = default;
 };
 
 /** A complete specification-update document for one design. */
@@ -105,6 +109,15 @@ struct ErrataDocument
      *   3. otherwise fall back to the first revision's date.
      */
     Date approximateDisclosureDate(const std::string &local_id) const;
+
+    /**
+     * Full structural equality. Not defaulted: Design::operator==
+     * deliberately compares only the identity triple
+     * (vendor, generation, variant), while snapshot round-trip
+     * checks must also see name, reference and release-date
+     * differences.
+     */
+    bool operator==(const ErrataDocument &other) const;
 };
 
 } // namespace rememberr

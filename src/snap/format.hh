@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Wire format of the binary database snapshot.
+ *
+ * A snapshot is a single little-endian file laid out for mmap-and-go
+ * reading (see DESIGN.md §13):
+ *
+ *   header          fixed 40 bytes: magic, version, endian tag,
+ *                   section count, content hash, file size
+ *   section table   one 24-byte record per section: id, offset,
+ *                   length — readers locate sections by id and skip
+ *                   ids they do not understand
+ *   sections        8-byte-aligned framed payloads
+ *
+ * Sections:
+ *   Strings      every string in the database, deduplicated, as a
+ *                (count, offsets[count+1], blob) table; all other
+ *                sections refer to strings by u32 id
+ *   Entries      fixed 72-byte records, one per unique erratum:
+ *                scalar fields inline, strings as ids, occurrence
+ *                and MSR runs as (offset, count) into the tables
+ *   Occurrences  fixed 16-byte records, grouped per entry
+ *   Msrs         fixed 8-byte records, grouped per entry/erratum
+ *   Documents    (count, offsets[count+1], payloads): the complete
+ *                source documents, framed per document so a reader
+ *                touches only the documents it materializes
+ *
+ * Everything multi-byte is little-endian and accessed through the
+ * memcpy load/store helpers below, so the format is well-defined on
+ * any host and the reads are alignment-safe.
+ */
+
+#ifndef REMEMBERR_SNAP_FORMAT_HH
+#define REMEMBERR_SNAP_FORMAT_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace rememberr {
+namespace snap {
+
+/** File magic: "RMBRSNAP" as raw bytes. */
+constexpr unsigned char kMagic[8] = {'R', 'M', 'B', 'R',
+                                     'S', 'N', 'A', 'P'};
+
+/** Current format version; readers reject anything else. */
+constexpr std::uint32_t kVersion = 1;
+
+/**
+ * Endianness probe. A reader on a byte-swapped host would see
+ * 0x4D3C2B1A and must reject the file instead of mis-decoding it.
+ */
+constexpr std::uint32_t kEndianTag = 0x1A2B3C4D;
+
+constexpr std::size_t kHeaderSize = 40;
+constexpr std::size_t kSectionRecordSize = 24;
+constexpr std::size_t kSectionAlignment = 8;
+
+/** Section identifiers. */
+enum class SectionId : std::uint32_t
+{
+    Strings = 1,
+    Entries = 2,
+    Occurrences = 3,
+    Msrs = 4,
+    Documents = 5,
+};
+
+/** Fixed record sizes (documented layout; see writer.cc/view.cc). */
+constexpr std::size_t kEntryRecordSize = 72;
+constexpr std::size_t kOccurrenceRecordSize = 16;
+constexpr std::size_t kMsrRecordSize = 8;
+
+/** Entry record flag bits. */
+constexpr std::uint8_t kFlagComplexConditions = 1u << 0;
+constexpr std::uint8_t kFlagSimulationOnly = 1u << 1;
+
+// ---- alignment-safe little-endian accessors ----------------------------
+
+inline void
+storeU16(std::string &out, std::uint16_t value)
+{
+    unsigned char bytes[2] = {
+        static_cast<unsigned char>(value & 0xff),
+        static_cast<unsigned char>(value >> 8),
+    };
+    out.append(reinterpret_cast<const char *>(bytes), 2);
+}
+
+inline void
+storeU32(std::string &out, std::uint32_t value)
+{
+    unsigned char bytes[4];
+    for (int i = 0; i < 4; ++i)
+        bytes[i] = static_cast<unsigned char>(value >> (8 * i));
+    out.append(reinterpret_cast<const char *>(bytes), 4);
+}
+
+inline void
+storeU64(std::string &out, std::uint64_t value)
+{
+    unsigned char bytes[8];
+    for (int i = 0; i < 8; ++i)
+        bytes[i] = static_cast<unsigned char>(value >> (8 * i));
+    out.append(reinterpret_cast<const char *>(bytes), 8);
+}
+
+inline void
+storeI32(std::string &out, std::int32_t value)
+{
+    storeU32(out, static_cast<std::uint32_t>(value));
+}
+
+inline void
+storeI64(std::string &out, std::int64_t value)
+{
+    storeU64(out, static_cast<std::uint64_t>(value));
+}
+
+/** Overwrite 8 bytes in place (for patching the header hash). */
+inline void
+patchU64(std::string &out, std::size_t at, std::uint64_t value)
+{
+    for (int i = 0; i < 8; ++i)
+        out[at + i] = static_cast<char>(
+            static_cast<unsigned char>(value >> (8 * i)));
+}
+
+inline std::uint16_t
+loadU16(const unsigned char *p)
+{
+    return static_cast<std::uint16_t>(p[0] |
+                                      (std::uint16_t{p[1]} << 8));
+}
+
+inline std::uint32_t
+loadU32(const unsigned char *p)
+{
+    return p[0] | (std::uint32_t{p[1]} << 8) |
+           (std::uint32_t{p[2]} << 16) | (std::uint32_t{p[3]} << 24);
+}
+
+inline std::uint64_t
+loadU64(const unsigned char *p)
+{
+    return loadU32(p) | (std::uint64_t{loadU32(p + 4)} << 32);
+}
+
+inline std::int32_t
+loadI32(const unsigned char *p)
+{
+    return static_cast<std::int32_t>(loadU32(p));
+}
+
+inline std::int64_t
+loadI64(const unsigned char *p)
+{
+    return static_cast<std::int64_t>(loadU64(p));
+}
+
+/** FNV-1a 64-bit over a byte range (the snapshot content hash). */
+inline std::uint64_t
+fnv1a64(const unsigned char *data, std::size_t size,
+        std::uint64_t state = 1469598103934665603ULL)
+{
+    for (std::size_t i = 0; i < size; ++i) {
+        state ^= data[i];
+        state *= 1099511628211ULL;
+    }
+    return state;
+}
+
+/** Render a 64-bit hash as 16 lower-case hex digits. */
+std::string hashHex(std::uint64_t value);
+
+} // namespace snap
+} // namespace rememberr
+
+#endif // REMEMBERR_SNAP_FORMAT_HH

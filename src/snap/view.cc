@@ -1,0 +1,677 @@
+#include "view.hh"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "format.hh"
+#include "util/logging.hh"
+
+namespace rememberr {
+namespace snap {
+
+namespace {
+
+/** Bounds-checked sequential reader over one document payload. */
+class Cursor
+{
+  public:
+    Cursor(const unsigned char *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    std::uint8_t
+    u8()
+    {
+        need(1);
+        return data_[pos_++];
+    }
+
+    std::uint16_t
+    u16()
+    {
+        need(2);
+        std::uint16_t v = loadU16(data_ + pos_);
+        pos_ += 2;
+        return v;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        need(4);
+        std::uint32_t v = loadU32(data_ + pos_);
+        pos_ += 4;
+        return v;
+    }
+
+    std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+
+    std::int64_t
+    i64()
+    {
+        need(8);
+        std::int64_t v = loadI64(data_ + pos_);
+        pos_ += 8;
+        return v;
+    }
+
+  private:
+    void
+    need(std::size_t n)
+    {
+        if (pos_ + n > size_)
+            REMEMBERR_PANIC("snapshot: document payload overrun at ",
+                            pos_, "+", n, " of ", size_);
+    }
+
+    const unsigned char *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+SnapshotView::SnapshotView(SnapshotView &&other) noexcept
+{
+    *this = std::move(other);
+}
+
+SnapshotView &
+SnapshotView::operator=(SnapshotView &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    if (mapping_)
+        ::munmap(mapping_, size_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    mapping_ = std::exchange(other.mapping_, nullptr);
+    owned_ = std::move(other.owned_);
+    options_ = other.options_;
+    contentHash_ = other.contentHash_;
+    strings_ = other.strings_;
+    entries_ = other.entries_;
+    occurrences_ = other.occurrences_;
+    msrs_ = other.msrs_;
+    documents_ = other.documents_;
+    stringCount_ = other.stringCount_;
+    stringOffsets_ = other.stringOffsets_;
+    stringBlob_ = other.stringBlob_;
+    stringBlobSize_ = other.stringBlobSize_;
+    entryCount_ = other.entryCount_;
+    entryRecords_ = other.entryRecords_;
+    occurrenceCount_ = other.occurrenceCount_;
+    occurrenceRecords_ = other.occurrenceRecords_;
+    msrCount_ = other.msrCount_;
+    msrRecords_ = other.msrRecords_;
+    documentCount_ = other.documentCount_;
+    documentOffsets_ = other.documentOffsets_;
+    documentBlob_ = other.documentBlob_;
+    documentBlobSize_ = other.documentBlobSize_;
+    // If the moved-from view pointed into its own string, our
+    // pointers must be rebased onto the string we now own.
+    if (!owned_.empty() && data_ != nullptr && mapping_ == nullptr) {
+        const unsigned char *base =
+            reinterpret_cast<const unsigned char *>(owned_.data());
+        if (base != data_) {
+            auto rebase = [&](const unsigned char *&p) {
+                if (p)
+                    p = base + (p - data_);
+            };
+            auto rebaseRef = [&](SectionRef &ref) {
+                rebase(ref.data);
+            };
+            rebaseRef(strings_);
+            rebaseRef(entries_);
+            rebaseRef(occurrences_);
+            rebaseRef(msrs_);
+            rebaseRef(documents_);
+            rebase(stringOffsets_);
+            rebase(stringBlob_);
+            rebase(entryRecords_);
+            rebase(occurrenceRecords_);
+            rebase(msrRecords_);
+            rebase(documentOffsets_);
+            rebase(documentBlob_);
+            data_ = base;
+        }
+    }
+    return *this;
+}
+
+SnapshotView::~SnapshotView()
+{
+    if (mapping_)
+        ::munmap(mapping_, size_);
+}
+
+Expected<SnapshotView>
+SnapshotView::open(const std::string &path,
+                   const LoadOptions &options)
+{
+    ScopedSpan span(options.trace, "snap.load.open");
+    auto begin = std::chrono::steady_clock::now();
+
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return makeError("cannot open snapshot " + path);
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+        ::close(fd);
+        return makeError("cannot stat snapshot " + path);
+    }
+    const std::size_t size = static_cast<std::size_t>(st.st_size);
+    if (size == 0) {
+        ::close(fd);
+        return makeError("snapshot " + path + " is empty");
+    }
+    void *mapping =
+        ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (mapping == MAP_FAILED)
+        return makeError("cannot mmap snapshot " + path);
+
+    SnapshotView view;
+    view.mapping_ = mapping;
+    view.data_ = static_cast<const unsigned char *>(mapping);
+    view.size_ = size;
+    view.options_ = options;
+    auto valid = view.validate();
+    if (!valid)
+        return valid.error();
+
+    if (options.metrics) {
+        options.metrics->counter("snap.load.bytes").add(size);
+        auto elapsed =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - begin)
+                .count();
+        options.metrics->gauge("snap.load.open_us")
+            .set(static_cast<std::int64_t>(elapsed));
+    }
+    return view;
+}
+
+Expected<SnapshotView>
+SnapshotView::fromBytes(std::string bytes,
+                        const LoadOptions &options)
+{
+    SnapshotView view;
+    view.owned_ = std::move(bytes);
+    view.data_ =
+        reinterpret_cast<const unsigned char *>(view.owned_.data());
+    view.size_ = view.owned_.size();
+    view.options_ = options;
+    auto valid = view.validate();
+    if (!valid)
+        return valid.error();
+    return view;
+}
+
+Expected<bool>
+SnapshotView::validate()
+{
+    if (size_ < kHeaderSize)
+        return makeError("snapshot truncated: " +
+                         std::to_string(size_) +
+                         " bytes is smaller than the header");
+    if (std::memcmp(data_, kMagic, sizeof(kMagic)) != 0)
+        return makeError("not a rememberr snapshot (bad magic)");
+    const std::uint32_t version = loadU32(data_ + 8);
+    if (version != kVersion)
+        return makeError("unsupported snapshot version " +
+                         std::to_string(version) + " (expected " +
+                         std::to_string(kVersion) + ")");
+    if (loadU32(data_ + 12) != kEndianTag)
+        return makeError(
+            "snapshot endianness does not match this host");
+    const std::uint32_t sectionCount = loadU32(data_ + 16);
+    if (loadU32(data_ + 20) != kHeaderSize)
+        return makeError("snapshot header size mismatch");
+    contentHash_ = loadU64(data_ + 24);
+    const std::uint64_t fileSize = loadU64(data_ + 32);
+    if (fileSize != size_)
+        return makeError(
+            "snapshot truncated: header declares " +
+            std::to_string(fileSize) + " bytes, file has " +
+            std::to_string(size_));
+    if (sectionCount > 64)
+        return makeError("implausible snapshot section count " +
+                         std::to_string(sectionCount));
+    const std::size_t tableEnd =
+        kHeaderSize + sectionCount * kSectionRecordSize;
+    if (tableEnd > size_)
+        return makeError(
+            "snapshot truncated inside the section table");
+
+    for (std::uint32_t s = 0; s < sectionCount; ++s) {
+        const unsigned char *record =
+            data_ + kHeaderSize + s * kSectionRecordSize;
+        const std::uint32_t id = loadU32(record);
+        const std::uint64_t offset = loadU64(record + 8);
+        const std::uint64_t length = loadU64(record + 16);
+        if (offset < tableEnd || offset > size_ ||
+            length > size_ - offset) {
+            return makeError("snapshot section " +
+                             std::to_string(id) +
+                             " lies outside the file");
+        }
+        SectionRef ref{data_ + offset,
+                       static_cast<std::size_t>(length)};
+        switch (static_cast<SectionId>(id)) {
+          case SectionId::Strings: strings_ = ref; break;
+          case SectionId::Entries: entries_ = ref; break;
+          case SectionId::Occurrences: occurrences_ = ref; break;
+          case SectionId::Msrs: msrs_ = ref; break;
+          case SectionId::Documents: documents_ = ref; break;
+          default: break; // unknown sections are skippable by design
+        }
+    }
+    if (!strings_.data || !entries_.data || !occurrences_.data ||
+        !msrs_.data || !documents_.data) {
+        return makeError("snapshot is missing a required section");
+    }
+
+    // Strings: count, pad, offsets[count+1], blob.
+    if (strings_.size < 8)
+        return makeError("snapshot string table too small");
+    stringCount_ = loadU32(strings_.data);
+    const std::size_t offsetsBytes =
+        (static_cast<std::size_t>(stringCount_) + 1) * 4;
+    if (8 + offsetsBytes > strings_.size)
+        return makeError(
+            "snapshot string table truncated: offsets for " +
+            std::to_string(stringCount_) + " strings do not fit");
+    stringOffsets_ = strings_.data + 8;
+    stringBlob_ = strings_.data + 8 + offsetsBytes;
+    stringBlobSize_ = strings_.size - 8 - offsetsBytes;
+    if (loadU32(stringOffsets_ + 4 * stringCount_) !=
+        stringBlobSize_) {
+        return makeError(
+            "snapshot string table blob length mismatch");
+    }
+
+    // Entries: count, pad, fixed records.
+    if (entries_.size < 8)
+        return makeError("snapshot entry table too small");
+    entryCount_ = loadU32(entries_.data);
+    entryRecords_ = entries_.data + 8;
+    if (8 + static_cast<std::size_t>(entryCount_) *
+                kEntryRecordSize !=
+        entries_.size) {
+        return makeError(
+            "snapshot entry table length mismatch: " +
+            std::to_string(entryCount_) + " entries declared");
+    }
+
+    if (occurrences_.size < 8)
+        return makeError("snapshot occurrence table too small");
+    occurrenceCount_ = loadU32(occurrences_.data);
+    occurrenceRecords_ = occurrences_.data + 8;
+    if (8 + static_cast<std::size_t>(occurrenceCount_) *
+                kOccurrenceRecordSize !=
+        occurrences_.size) {
+        return makeError(
+            "snapshot occurrence table length mismatch");
+    }
+
+    if (msrs_.size < 8)
+        return makeError("snapshot MSR table too small");
+    msrCount_ = loadU32(msrs_.data);
+    msrRecords_ = msrs_.data + 8;
+    if (8 + static_cast<std::size_t>(msrCount_) * kMsrRecordSize !=
+        msrs_.size) {
+        return makeError("snapshot MSR table length mismatch");
+    }
+
+    // Documents: count, pad, offsets[count+1] (u64), payload blob.
+    if (documents_.size < 8)
+        return makeError("snapshot document table too small");
+    documentCount_ = loadU32(documents_.data);
+    const std::size_t docOffsetsBytes =
+        (static_cast<std::size_t>(documentCount_) + 1) * 8;
+    if (8 + docOffsetsBytes > documents_.size)
+        return makeError("snapshot document offsets truncated");
+    documentOffsets_ = documents_.data + 8;
+    documentBlob_ = documents_.data + 8 + docOffsetsBytes;
+    documentBlobSize_ = documents_.size - 8 - docOffsetsBytes;
+    if (loadU64(documentOffsets_ + 8 * documentCount_) !=
+        documentBlobSize_) {
+        return makeError(
+            "snapshot document blob length mismatch");
+    }
+
+    if (options_.verifyHash) {
+        const std::size_t tableEndAligned = tableEnd;
+        const std::uint64_t computed = fnv1a64(
+            data_ + tableEndAligned, size_ - tableEndAligned);
+        if (computed != contentHash_) {
+            return makeError(
+                "snapshot content hash mismatch: header says " +
+                hashHex(contentHash_) + ", payload hashes to " +
+                hashHex(computed));
+        }
+    }
+    return true;
+}
+
+// ---- zero-copy accessors ------------------------------------------------
+
+namespace {
+
+/** Entry record field offsets (see writer.cc). */
+constexpr std::size_t kEntryKey = 0;
+constexpr std::size_t kEntryVendor = 4;
+constexpr std::size_t kEntryWorkaroundClass = 5;
+constexpr std::size_t kEntryStatus = 6;
+constexpr std::size_t kEntryFlags = 7;
+constexpr std::size_t kEntryTriggers = 8;
+constexpr std::size_t kEntryContexts = 16;
+constexpr std::size_t kEntryEffects = 24;
+constexpr std::size_t kEntryTitle = 32;
+constexpr std::size_t kEntryDescription = 36;
+constexpr std::size_t kEntryImplications = 40;
+constexpr std::size_t kEntryWorkaroundText = 44;
+constexpr std::size_t kEntryRootCause = 48;
+constexpr std::size_t kEntryMsrOff = 52;
+constexpr std::size_t kEntryMsrCount = 56;
+constexpr std::size_t kEntryOccOff = 60;
+constexpr std::size_t kEntryOccCount = 64;
+
+} // namespace
+
+const unsigned char *
+entryRecord(const unsigned char *records, std::size_t count,
+            std::size_t i)
+{
+    if (i >= count)
+        REMEMBERR_PANIC("snapshot: entry index ", i, " of ", count);
+    return records + i * kEntryRecordSize;
+}
+
+std::uint32_t
+SnapshotView::entryKey(std::size_t i) const
+{
+    return loadU32(entryRecord(entryRecords_, entryCount_, i) +
+                   kEntryKey);
+}
+
+Vendor
+SnapshotView::entryVendor(std::size_t i) const
+{
+    return static_cast<Vendor>(
+        entryRecord(entryRecords_, entryCount_, i)[kEntryVendor]);
+}
+
+WorkaroundClass
+SnapshotView::entryWorkaroundClass(std::size_t i) const
+{
+    return static_cast<WorkaroundClass>(entryRecord(
+        entryRecords_, entryCount_, i)[kEntryWorkaroundClass]);
+}
+
+FixStatus
+SnapshotView::entryStatus(std::size_t i) const
+{
+    return static_cast<FixStatus>(
+        entryRecord(entryRecords_, entryCount_, i)[kEntryStatus]);
+}
+
+CategorySet
+SnapshotView::entryTriggers(std::size_t i) const
+{
+    return CategorySet::fromMask(loadU64(
+        entryRecord(entryRecords_, entryCount_, i) + kEntryTriggers));
+}
+
+CategorySet
+SnapshotView::entryContexts(std::size_t i) const
+{
+    return CategorySet::fromMask(loadU64(
+        entryRecord(entryRecords_, entryCount_, i) + kEntryContexts));
+}
+
+CategorySet
+SnapshotView::entryEffects(std::size_t i) const
+{
+    return CategorySet::fromMask(loadU64(
+        entryRecord(entryRecords_, entryCount_, i) + kEntryEffects));
+}
+
+std::size_t
+SnapshotView::entryOccurrenceCount(std::size_t i) const
+{
+    return loadU32(entryRecord(entryRecords_, entryCount_, i) +
+                   kEntryOccCount);
+}
+
+std::string_view
+SnapshotView::entryTitle(std::size_t i) const
+{
+    return string(loadU32(
+        entryRecord(entryRecords_, entryCount_, i) + kEntryTitle));
+}
+
+std::string_view
+SnapshotView::string(std::uint32_t id) const
+{
+    if (id >= stringCount_)
+        REMEMBERR_PANIC("snapshot: string id ", id, " of ",
+                        stringCount_);
+    const std::uint32_t from = loadU32(stringOffsets_ + 4 * id);
+    const std::uint32_t to = loadU32(stringOffsets_ + 4 * (id + 1));
+    if (from > to || to > stringBlobSize_)
+        REMEMBERR_PANIC("snapshot: corrupt string bounds for id ",
+                        id);
+    return std::string_view(
+        reinterpret_cast<const char *>(stringBlob_) + from,
+        to - from);
+}
+
+std::size_t
+SnapshotView::uniqueCount(Vendor vendor) const
+{
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < entryCount_; ++i) {
+        if (entryVendor(i) == vendor)
+            ++count;
+    }
+    return count;
+}
+
+std::size_t
+SnapshotView::rowCount(Vendor vendor) const
+{
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < entryCount_; ++i) {
+        if (entryVendor(i) == vendor)
+            count += entryOccurrenceCount(i);
+    }
+    return count;
+}
+
+// ---- materialization ----------------------------------------------------
+
+DbEntry
+SnapshotView::entry(std::size_t i) const
+{
+    const unsigned char *record =
+        entryRecord(entryRecords_, entryCount_, i);
+    DbEntry entry;
+    entry.key = loadU32(record + kEntryKey);
+    entry.vendor = static_cast<Vendor>(record[kEntryVendor]);
+    entry.workaroundClass = static_cast<WorkaroundClass>(
+        record[kEntryWorkaroundClass]);
+    entry.status = static_cast<FixStatus>(record[kEntryStatus]);
+    const std::uint8_t flags = record[kEntryFlags];
+    entry.complexConditions = (flags & kFlagComplexConditions) != 0;
+    entry.simulationOnly = (flags & kFlagSimulationOnly) != 0;
+    entry.triggers =
+        CategorySet::fromMask(loadU64(record + kEntryTriggers));
+    entry.contexts =
+        CategorySet::fromMask(loadU64(record + kEntryContexts));
+    entry.effects =
+        CategorySet::fromMask(loadU64(record + kEntryEffects));
+    entry.title = std::string(string(loadU32(record + kEntryTitle)));
+    entry.description =
+        std::string(string(loadU32(record + kEntryDescription)));
+    entry.implications =
+        std::string(string(loadU32(record + kEntryImplications)));
+    entry.workaroundText =
+        std::string(string(loadU32(record + kEntryWorkaroundText)));
+    entry.rootCause =
+        std::string(string(loadU32(record + kEntryRootCause)));
+
+    const std::uint32_t msrOff = loadU32(record + kEntryMsrOff);
+    const std::uint32_t msrCount = loadU32(record + kEntryMsrCount);
+    if (msrOff > msrCount_ || msrCount > msrCount_ - msrOff)
+        REMEMBERR_PANIC("snapshot: MSR run of entry ", i,
+                        " out of bounds");
+    entry.msrs.reserve(msrCount);
+    for (std::uint32_t m = 0; m < msrCount; ++m) {
+        const unsigned char *row =
+            msrRecords_ + (msrOff + m) * kMsrRecordSize;
+        MsrRef msr;
+        msr.name = std::string(string(loadU32(row)));
+        msr.number = loadU32(row + 4);
+        entry.msrs.push_back(std::move(msr));
+    }
+
+    const std::uint32_t occOff = loadU32(record + kEntryOccOff);
+    const std::uint32_t occCount = loadU32(record + kEntryOccCount);
+    if (occOff > occurrenceCount_ ||
+        occCount > occurrenceCount_ - occOff) {
+        REMEMBERR_PANIC("snapshot: occurrence run of entry ", i,
+                        " out of bounds");
+    }
+    entry.occurrences.reserve(occCount);
+    for (std::uint32_t o = 0; o < occCount; ++o) {
+        const unsigned char *row =
+            occurrenceRecords_ +
+            (occOff + o) * kOccurrenceRecordSize;
+        Occurrence occurrence;
+        occurrence.docIndex = static_cast<int>(loadU32(row));
+        occurrence.localId = std::string(string(loadU32(row + 4)));
+        occurrence.disclosed = Date::fromSerial(loadI64(row + 8));
+        entry.occurrences.push_back(std::move(occurrence));
+    }
+    return entry;
+}
+
+ErrataDocument
+SnapshotView::document(std::size_t i) const
+{
+    if (i >= documentCount_)
+        REMEMBERR_PANIC("snapshot: document index ", i, " of ",
+                        documentCount_);
+    const std::uint64_t from = loadU64(documentOffsets_ + 8 * i);
+    const std::uint64_t to = loadU64(documentOffsets_ + 8 * (i + 1));
+    if (from > to || to > documentBlobSize_)
+        REMEMBERR_PANIC("snapshot: corrupt document bounds for ", i);
+    Cursor cursor(documentBlob_ + from,
+                  static_cast<std::size_t>(to - from));
+
+    ErrataDocument doc;
+    doc.design.vendor = static_cast<Vendor>(cursor.u8());
+    doc.design.variant = static_cast<DesignVariant>(cursor.u8());
+    cursor.u16(); // pad
+    doc.design.generation = cursor.i32();
+    doc.design.releaseDate = Date::fromSerial(cursor.i64());
+    doc.design.name = std::string(string(cursor.u32()));
+    doc.design.reference = std::string(string(cursor.u32()));
+    doc.sourcePath = std::string(string(cursor.u32()));
+    const std::uint32_t revisionCount = cursor.u32();
+    const std::uint32_t erratumCount = cursor.u32();
+    const std::uint32_t hiddenCount = cursor.u32();
+
+    doc.revisions.reserve(revisionCount);
+    for (std::uint32_t r = 0; r < revisionCount; ++r) {
+        Revision revision;
+        revision.number = cursor.i32();
+        revision.sourceLine = cursor.i32();
+        revision.date = Date::fromSerial(cursor.i64());
+        revision.note = std::string(string(cursor.u32()));
+        const std::uint32_t addedCount = cursor.u32();
+        revision.addedIds.reserve(addedCount);
+        for (std::uint32_t a = 0; a < addedCount; ++a)
+            revision.addedIds.push_back(
+                std::string(string(cursor.u32())));
+        doc.revisions.push_back(std::move(revision));
+    }
+    doc.hiddenErrata.reserve(hiddenCount);
+    for (std::uint32_t h = 0; h < hiddenCount; ++h)
+        doc.hiddenErrata.push_back(
+            std::string(string(cursor.u32())));
+
+    doc.errata.reserve(erratumCount);
+    for (std::uint32_t e = 0; e < erratumCount; ++e) {
+        Erratum erratum;
+        erratum.localId = std::string(string(cursor.u32()));
+        erratum.title = std::string(string(cursor.u32()));
+        erratum.description = std::string(string(cursor.u32()));
+        erratum.implications = std::string(string(cursor.u32()));
+        erratum.workaroundText = std::string(string(cursor.u32()));
+        erratum.workaroundClass =
+            static_cast<WorkaroundClass>(cursor.u8());
+        erratum.status = static_cast<FixStatus>(cursor.u8());
+        cursor.u16(); // pad
+        erratum.addedInRevision = cursor.i32();
+        erratum.sourceLine = cursor.i32();
+        const std::uint32_t msrCount = cursor.u32();
+        erratum.msrs.reserve(msrCount);
+        for (std::uint32_t m = 0; m < msrCount; ++m) {
+            MsrRef msr;
+            msr.name = std::string(string(cursor.u32()));
+            msr.number = cursor.u32();
+            erratum.msrs.push_back(std::move(msr));
+        }
+        const std::uint32_t fieldLineCount = cursor.u32();
+        for (std::uint32_t f = 0; f < fieldLineCount; ++f) {
+            std::string field = std::string(string(cursor.u32()));
+            erratum.fieldLines[std::move(field)] = cursor.i32();
+        }
+        doc.errata.push_back(std::move(erratum));
+    }
+    return doc;
+}
+
+Database
+SnapshotView::database() const
+{
+    ScopedSpan span(options_.trace, "snap.load.materialize");
+    auto begin = std::chrono::steady_clock::now();
+
+    std::vector<DbEntry> entries;
+    entries.reserve(entryCount_);
+    for (std::size_t i = 0; i < entryCount_; ++i)
+        entries.push_back(entry(i));
+    std::vector<ErrataDocument> documents;
+    documents.reserve(documentCount_);
+    for (std::size_t i = 0; i < documentCount_; ++i)
+        documents.push_back(document(i));
+
+    if (options_.metrics) {
+        options_.metrics->counter("snap.load.entries")
+            .add(entries.size());
+        options_.metrics->counter("snap.load.documents")
+            .add(documents.size());
+        auto elapsed =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - begin)
+                .count();
+        options_.metrics->gauge("snap.load.materialize_us")
+            .set(static_cast<std::int64_t>(elapsed));
+    }
+    return Database::restore(std::move(entries),
+                             std::move(documents));
+}
+
+} // namespace snap
+} // namespace rememberr

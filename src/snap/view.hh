@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Zero-copy snapshot reader.
+ *
+ * `SnapshotView::open` memory-maps a snapshot file and validates its
+ * framing in O(1) — header, endianness, section table, per-section
+ * count/length consistency — without touching the payload bytes.
+ * After open the view answers scalar queries (keys, vendors,
+ * category masks, counts) straight from the mapped records and hands
+ * out `std::string_view`s into the mapped string table; nothing is
+ * deserialized until a caller materializes an entry, a document or
+ * the whole `Database`.
+ *
+ * Corruption is caught at two levels: the structural checks on open
+ * reject truncated or mis-framed files with a structured error, and
+ * `LoadOptions::verifyHash` (on by default) recomputes the header's
+ * FNV-1a content hash over the section bytes — one linear pass, no
+ * allocation — so bit rot inside a well-framed file is also
+ * rejected at open rather than surfacing as garbage query results.
+ */
+
+#ifndef REMEMBERR_SNAP_VIEW_HH
+#define REMEMBERR_SNAP_VIEW_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "db/database.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "util/expected.hh"
+
+namespace rememberr {
+namespace snap {
+
+/** Options for opening a snapshot; both instruments may be null. */
+struct LoadOptions
+{
+    /** Recompute and check the content hash on open. */
+    bool verifyHash = true;
+    MetricsRegistry *metrics = nullptr;
+    TraceRecorder *trace = nullptr;
+};
+
+/** A validated, memory-mapped (or memory-backed) snapshot. */
+class SnapshotView
+{
+  public:
+    /** Map a snapshot file. */
+    static Expected<SnapshotView> open(const std::string &path,
+                                       const LoadOptions &options = {});
+
+    /** Adopt an in-memory snapshot (tests, pipelines). */
+    static Expected<SnapshotView> fromBytes(std::string bytes,
+                                            const LoadOptions &options = {});
+
+    SnapshotView(SnapshotView &&other) noexcept;
+    SnapshotView &operator=(SnapshotView &&other) noexcept;
+    SnapshotView(const SnapshotView &) = delete;
+    SnapshotView &operator=(const SnapshotView &) = delete;
+    ~SnapshotView();
+
+    std::size_t sizeBytes() const { return size_; }
+    std::uint64_t contentHash() const { return contentHash_; }
+
+    std::size_t entryCount() const { return entryCount_; }
+    std::size_t documentCount() const { return documentCount_; }
+    std::size_t stringCount() const { return stringCount_; }
+
+    // ---- zero-copy scalar access (no allocation, no decode) ------
+
+    std::uint32_t entryKey(std::size_t i) const;
+    Vendor entryVendor(std::size_t i) const;
+    WorkaroundClass entryWorkaroundClass(std::size_t i) const;
+    FixStatus entryStatus(std::size_t i) const;
+    CategorySet entryTriggers(std::size_t i) const;
+    CategorySet entryContexts(std::size_t i) const;
+    CategorySet entryEffects(std::size_t i) const;
+    std::size_t entryOccurrenceCount(std::size_t i) const;
+    std::string_view entryTitle(std::size_t i) const;
+
+    /** String by interned id; a view into the mapped bytes. */
+    std::string_view string(std::uint32_t id) const;
+
+    /** Unique errata of a vendor, scanning only fixed records. */
+    std::size_t uniqueCount(Vendor vendor) const;
+    /** Collected rows of a vendor, scanning only fixed records. */
+    std::size_t rowCount(Vendor vendor) const;
+
+    // ---- materialization -----------------------------------------
+
+    /** Deserialize one entry (with occurrences and MSRs). */
+    DbEntry entry(std::size_t i) const;
+
+    /** Deserialize one source document. */
+    ErrataDocument document(std::size_t i) const;
+
+    /**
+     * Deserialize everything into a Database equal to the one the
+     * snapshot was written from (the `--snapshot` fast path for
+     * commands that want the full read API).
+     */
+    Database database() const;
+
+  private:
+    SnapshotView() = default;
+
+    /** Validate framing over [data_, size_); fills the refs. */
+    Expected<bool> validate();
+
+    const unsigned char *data_ = nullptr;
+    std::size_t size_ = 0;
+    /** Non-null when the bytes are mmap-ed (owned mapping). */
+    void *mapping_ = nullptr;
+    /** Backing store when constructed from bytes. */
+    std::string owned_;
+
+    LoadOptions options_;
+    std::uint64_t contentHash_ = 0;
+
+    struct SectionRef
+    {
+        const unsigned char *data = nullptr;
+        std::size_t size = 0;
+    };
+    SectionRef strings_;
+    SectionRef entries_;
+    SectionRef occurrences_;
+    SectionRef msrs_;
+    SectionRef documents_;
+
+    std::uint32_t stringCount_ = 0;
+    const unsigned char *stringOffsets_ = nullptr;
+    const unsigned char *stringBlob_ = nullptr;
+    std::size_t stringBlobSize_ = 0;
+
+    std::uint32_t entryCount_ = 0;
+    const unsigned char *entryRecords_ = nullptr;
+
+    std::uint32_t occurrenceCount_ = 0;
+    const unsigned char *occurrenceRecords_ = nullptr;
+
+    std::uint32_t msrCount_ = 0;
+    const unsigned char *msrRecords_ = nullptr;
+
+    std::uint32_t documentCount_ = 0;
+    const unsigned char *documentOffsets_ = nullptr;
+    const unsigned char *documentBlob_ = nullptr;
+    std::size_t documentBlobSize_ = 0;
+};
+
+} // namespace snap
+} // namespace rememberr
+
+#endif // REMEMBERR_SNAP_VIEW_HH

@@ -1,0 +1,340 @@
+#include "writer.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <unordered_map>
+#include <vector>
+
+#include "format.hh"
+
+namespace rememberr {
+namespace snap {
+
+std::string
+hashHex(std::uint64_t value)
+{
+    char buffer[17];
+    std::snprintf(buffer, sizeof(buffer), "%016llx",
+                  static_cast<unsigned long long>(value));
+    return buffer;
+}
+
+namespace {
+
+/** Deduplicating string table builder. Id 0 is the empty string. */
+class StringTable
+{
+  public:
+    StringTable() { intern(std::string()); }
+
+    std::uint32_t
+    intern(const std::string &text)
+    {
+        auto [it, inserted] = ids_.emplace(
+            text, static_cast<std::uint32_t>(strings_.size()));
+        if (inserted)
+            strings_.push_back(text);
+        return it->second;
+    }
+
+    /** Serialize: count, offsets[count+1], blob. */
+    std::string
+    serialize() const
+    {
+        std::string out;
+        storeU32(out, static_cast<std::uint32_t>(strings_.size()));
+        storeU32(out, 0); // pad to 8
+        std::uint32_t offset = 0;
+        for (const std::string &s : strings_) {
+            storeU32(out, offset);
+            offset += static_cast<std::uint32_t>(s.size());
+        }
+        storeU32(out, offset);
+        for (const std::string &s : strings_)
+            out += s;
+        return out;
+    }
+
+    std::size_t count() const { return strings_.size(); }
+
+  private:
+    std::unordered_map<std::string, std::uint32_t> ids_;
+    std::vector<std::string> strings_;
+};
+
+void
+storeMsrs(std::string &out, StringTable &strings,
+          const std::vector<MsrRef> &msrs)
+{
+    for (const MsrRef &msr : msrs) {
+        storeU32(out, strings.intern(msr.name));
+        storeU32(out, msr.number);
+    }
+}
+
+/**
+ * One document payload. Field order must match
+ * SnapshotView::materializeDocument exactly.
+ */
+std::string
+serializeDocument(const ErrataDocument &doc, StringTable &strings)
+{
+    std::string out;
+    out.push_back(static_cast<char>(doc.design.vendor));
+    out.push_back(static_cast<char>(doc.design.variant));
+    storeU16(out, 0);
+    storeI32(out, doc.design.generation);
+    storeI64(out, doc.design.releaseDate.serial());
+    storeU32(out, strings.intern(doc.design.name));
+    storeU32(out, strings.intern(doc.design.reference));
+    storeU32(out, strings.intern(doc.sourcePath));
+    storeU32(out, static_cast<std::uint32_t>(doc.revisions.size()));
+    storeU32(out, static_cast<std::uint32_t>(doc.errata.size()));
+    storeU32(out,
+             static_cast<std::uint32_t>(doc.hiddenErrata.size()));
+
+    for (const Revision &revision : doc.revisions) {
+        storeI32(out, revision.number);
+        storeI32(out, revision.sourceLine);
+        storeI64(out, revision.date.serial());
+        storeU32(out, strings.intern(revision.note));
+        storeU32(out,
+                 static_cast<std::uint32_t>(revision.addedIds.size()));
+        for (const std::string &id : revision.addedIds)
+            storeU32(out, strings.intern(id));
+    }
+    for (const std::string &id : doc.hiddenErrata)
+        storeU32(out, strings.intern(id));
+
+    for (const Erratum &erratum : doc.errata) {
+        storeU32(out, strings.intern(erratum.localId));
+        storeU32(out, strings.intern(erratum.title));
+        storeU32(out, strings.intern(erratum.description));
+        storeU32(out, strings.intern(erratum.implications));
+        storeU32(out, strings.intern(erratum.workaroundText));
+        out.push_back(static_cast<char>(erratum.workaroundClass));
+        out.push_back(static_cast<char>(erratum.status));
+        storeU16(out, 0);
+        storeI32(out, erratum.addedInRevision);
+        storeI32(out, erratum.sourceLine);
+        storeU32(out,
+                 static_cast<std::uint32_t>(erratum.msrs.size()));
+        storeMsrs(out, strings, erratum.msrs);
+        storeU32(out, static_cast<std::uint32_t>(
+                          erratum.fieldLines.size()));
+        // std::map iterates in key order, keeping output canonical.
+        for (const auto &[field, line] : erratum.fieldLines) {
+            storeU32(out, strings.intern(field));
+            storeI32(out, line);
+        }
+    }
+    return out;
+}
+
+void
+padTo(std::string &out, std::size_t alignment)
+{
+    while (out.size() % alignment != 0)
+        out.push_back('\0');
+}
+
+} // namespace
+
+std::string
+writeSnapshot(const Database &db, const WriteOptions &options)
+{
+    ScopedSpan span(options.trace, "snap.write");
+    auto begin = std::chrono::steady_clock::now();
+
+    StringTable strings;
+    std::string entries;
+    std::string occurrences;
+    std::string msrs;
+    std::uint32_t occurrenceCount = 0;
+    std::uint32_t msrCount = 0;
+
+    // Entries are laid out first so their string ids come before the
+    // (many) document-only strings, but the string table itself is
+    // serialized after everything interned into it.
+    std::string entryRecords;
+    for (const DbEntry &entry : db.entries()) {
+        std::string &out = entryRecords;
+        storeU32(out, entry.key);
+        out.push_back(static_cast<char>(entry.vendor));
+        out.push_back(static_cast<char>(entry.workaroundClass));
+        out.push_back(static_cast<char>(entry.status));
+        std::uint8_t flags = 0;
+        if (entry.complexConditions)
+            flags |= kFlagComplexConditions;
+        if (entry.simulationOnly)
+            flags |= kFlagSimulationOnly;
+        out.push_back(static_cast<char>(flags));
+        storeU64(out, entry.triggers.mask());
+        storeU64(out, entry.contexts.mask());
+        storeU64(out, entry.effects.mask());
+        storeU32(out, strings.intern(entry.title));
+        storeU32(out, strings.intern(entry.description));
+        storeU32(out, strings.intern(entry.implications));
+        storeU32(out, strings.intern(entry.workaroundText));
+        storeU32(out, strings.intern(entry.rootCause));
+        storeU32(out, msrCount);
+        storeU32(out,
+                 static_cast<std::uint32_t>(entry.msrs.size()));
+        storeU32(out, occurrenceCount);
+        storeU32(out, static_cast<std::uint32_t>(
+                          entry.occurrences.size()));
+        storeU32(out, 0); // pad to 72
+
+        storeMsrs(msrs, strings, entry.msrs);
+        msrCount += static_cast<std::uint32_t>(entry.msrs.size());
+        for (const Occurrence &occurrence : entry.occurrences) {
+            storeU32(occurrences,
+                     static_cast<std::uint32_t>(
+                         occurrence.docIndex));
+            storeU32(occurrences,
+                     strings.intern(occurrence.localId));
+            storeI64(occurrences, occurrence.disclosed.serial());
+        }
+        occurrenceCount += static_cast<std::uint32_t>(
+            entry.occurrences.size());
+    }
+    storeU32(entries,
+             static_cast<std::uint32_t>(db.entries().size()));
+    storeU32(entries, 0); // pad to 8
+    entries += entryRecords;
+
+    std::string occurrenceSection;
+    storeU32(occurrenceSection, occurrenceCount);
+    storeU32(occurrenceSection, 0);
+    occurrenceSection += occurrences;
+
+    std::string msrSection;
+    storeU32(msrSection, msrCount);
+    storeU32(msrSection, 0);
+    msrSection += msrs;
+
+    // Documents: framed payloads behind an offset table so a reader
+    // can materialize one document without touching the others.
+    std::string documentSection;
+    {
+        std::vector<std::string> payloads;
+        payloads.reserve(db.documents().size());
+        for (const ErrataDocument &doc : db.documents())
+            payloads.push_back(serializeDocument(doc, strings));
+
+        storeU32(documentSection, static_cast<std::uint32_t>(
+                                      payloads.size()));
+        storeU32(documentSection, 0);
+        std::uint64_t offset = 0;
+        for (const std::string &payload : payloads) {
+            storeU64(documentSection, offset);
+            offset += payload.size();
+        }
+        storeU64(documentSection, offset);
+        for (const std::string &payload : payloads)
+            documentSection += payload;
+    }
+
+    // Strings serialize last (every intern has happened), but land
+    // first in the file so ids can be resolved while scanning.
+    std::string stringSection = strings.serialize();
+
+    struct Section
+    {
+        SectionId id;
+        const std::string *payload;
+    };
+    const Section sections[] = {
+        {SectionId::Strings, &stringSection},
+        {SectionId::Entries, &entries},
+        {SectionId::Occurrences, &occurrenceSection},
+        {SectionId::Msrs, &msrSection},
+        {SectionId::Documents, &documentSection},
+    };
+    constexpr std::size_t sectionCount =
+        sizeof(sections) / sizeof(sections[0]);
+
+    std::string file;
+    file.append(reinterpret_cast<const char *>(kMagic), 8);
+    storeU32(file, kVersion);
+    storeU32(file, kEndianTag);
+    storeU32(file, sectionCount);
+    storeU32(file, static_cast<std::uint32_t>(kHeaderSize));
+    const std::size_t hashAt = file.size();
+    storeU64(file, 0); // content hash, patched below
+    const std::size_t sizeAt = file.size();
+    storeU64(file, 0); // file size, patched below
+
+    // Section table with offsets computed by walking the payloads in
+    // file order, each aligned to 8 bytes.
+    std::size_t offset = kHeaderSize +
+                         sectionCount * kSectionRecordSize;
+    for (const Section &section : sections) {
+        offset = (offset + kSectionAlignment - 1) &
+                 ~(kSectionAlignment - 1);
+        storeU32(file, static_cast<std::uint32_t>(section.id));
+        storeU32(file, 0);
+        storeU64(file, offset);
+        storeU64(file, section.payload->size());
+        offset += section.payload->size();
+    }
+    for (const Section &section : sections) {
+        padTo(file, kSectionAlignment);
+        file += *section.payload;
+    }
+
+    const std::size_t bodyAt = kHeaderSize +
+                               sectionCount * kSectionRecordSize;
+    std::uint64_t hash = fnv1a64(
+        reinterpret_cast<const unsigned char *>(file.data()) + bodyAt,
+        file.size() - bodyAt);
+    patchU64(file, hashAt, hash);
+    patchU64(file, sizeAt, file.size());
+
+    if (options.metrics) {
+        options.metrics->counter("snap.write.bytes")
+            .add(file.size());
+        options.metrics->counter("snap.write.entries")
+            .add(db.entries().size());
+        options.metrics->counter("snap.write.documents")
+            .add(db.documents().size());
+        options.metrics->counter("snap.write.strings")
+            .add(strings.count());
+        auto elapsed =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - begin)
+                .count();
+        options.metrics->gauge("snap.write.us")
+            .set(static_cast<std::int64_t>(elapsed));
+    }
+    return file;
+}
+
+Expected<std::size_t>
+writeSnapshotFile(const std::string &path, const Database &db,
+                  const WriteOptions &options)
+{
+    std::string bytes = writeSnapshot(db, options);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out)
+        return makeError("cannot write snapshot to " + path);
+    return bytes.size();
+}
+
+std::uint64_t
+snapshotContentHash(const std::string &bytes)
+{
+    constexpr std::size_t hashAt = 24;
+    if (bytes.size() < kHeaderSize)
+        return 0;
+    return loadU64(reinterpret_cast<const unsigned char *>(
+                       bytes.data()) +
+                   hashAt);
+}
+
+} // namespace snap
+} // namespace rememberr

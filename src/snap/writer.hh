@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Snapshot writer: serialize a Database into the binary format of
+ * format.hh.
+ *
+ * The writer interns every string once, lays the entries,
+ * occurrences and MSR references out as fixed-width tables and
+ * frames each source document separately, then stamps the header
+ * with an FNV-1a content hash over all section bytes. The output is
+ * a pure function of the database — bit-identical for bit-identical
+ * inputs, independent of thread counts or pointer values — so the
+ * hash doubles as a golden fingerprint for round-trip tests and CI.
+ */
+
+#ifndef REMEMBERR_SNAP_WRITER_HH
+#define REMEMBERR_SNAP_WRITER_HH
+
+#include <string>
+
+#include "db/database.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "util/expected.hh"
+
+namespace rememberr {
+namespace snap {
+
+/** Observability targets for a write; both may be null. */
+struct WriteOptions
+{
+    MetricsRegistry *metrics = nullptr;
+    TraceRecorder *trace = nullptr;
+};
+
+/** Serialize the database into snapshot bytes. */
+std::string writeSnapshot(const Database &db,
+                          const WriteOptions &options = {});
+
+/**
+ * Serialize and write to a file. Returns the byte count written on
+ * success.
+ */
+Expected<std::size_t> writeSnapshotFile(const std::string &path,
+                                        const Database &db,
+                                        const WriteOptions &options = {});
+
+/** The content hash stamped in a snapshot's header. */
+std::uint64_t snapshotContentHash(const std::string &bytes);
+
+} // namespace snap
+} // namespace rememberr
+
+#endif // REMEMBERR_SNAP_WRITER_HH

@@ -129,6 +129,15 @@ class CategorySet
   public:
     CategorySet() = default;
 
+    /** Rebuild a set from a raw mask (snapshot deserialization). */
+    static CategorySet
+    fromMask(std::uint64_t mask)
+    {
+        CategorySet out;
+        out.mask_ = mask;
+        return out;
+    }
+
     void
     insert(CategoryId id)
     {

@@ -77,11 +77,31 @@ Date::fromSerial(std::int64_t days)
 Expected<Date>
 Date::parse(const std::string &text)
 {
-    int y = 0;
-    unsigned m = 0, d = 0;
-    char trail = 0;
-    if (std::sscanf(text.c_str(), "%d-%u-%u%c", &y, &m, &d, &trail) != 3)
+    // Strictly "YYYY-MM-DD", matching toString: exactly ten
+    // characters, zero-padded digit spans, '-' separators. sscanf is
+    // deliberately avoided — it tolerates leading whitespace, '+'/'-'
+    // signs and variable-width fields, all of which would let
+    // strings that cannot round-trip slip through.
+    auto digit = [&](std::size_t i) {
+        return text[i] >= '0' && text[i] <= '9';
+    };
+    bool shaped = text.size() == 10 && text[4] == '-' &&
+                  text[7] == '-';
+    if (shaped) {
+        for (std::size_t i : {0u, 1u, 2u, 3u, 5u, 6u, 8u, 9u})
+            shaped = shaped && digit(i);
+    }
+    if (!shaped)
         return makeError("malformed date '" + text + "'");
+    auto span = [&](std::size_t from, std::size_t to) {
+        int value = 0;
+        for (std::size_t i = from; i < to; ++i)
+            value = value * 10 + (text[i] - '0');
+        return value;
+    };
+    int y = span(0, 4);
+    unsigned m = static_cast<unsigned>(span(5, 7));
+    unsigned d = static_cast<unsigned>(span(8, 10));
     if (m < 1 || m > 12)
         return makeError("month out of range in '" + text + "'");
     if (d < 1 || d > daysInMonth(y, m))

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 
@@ -371,6 +372,54 @@ class JsonParser
         return true;
     }
 
+    /**
+     * Read exactly four hex digits after "\u". Strict: only
+     * [0-9a-fA-F] counts, so signs and whitespace — which strtol
+     * would tolerate — are malformed.
+     */
+    bool
+    parseHexQuad(std::uint32_t &code)
+    {
+        if (pos_ + 4 > text_.size())
+            return fail("truncated \\u escape");
+        code = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = text_[pos_ + static_cast<std::size_t>(i)];
+            std::uint32_t digit;
+            if (c >= '0' && c <= '9')
+                digit = static_cast<std::uint32_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                digit = static_cast<std::uint32_t>(c - 'a') + 10;
+            else if (c >= 'A' && c <= 'F')
+                digit = static_cast<std::uint32_t>(c - 'A') + 10;
+            else
+                return fail("malformed \\u escape");
+            code = (code << 4) | digit;
+        }
+        pos_ += 4;
+        return true;
+    }
+
+    static void
+    appendUtf8(std::string &value, std::uint32_t code)
+    {
+        if (code < 0x80) {
+            value += static_cast<char>(code);
+        } else if (code < 0x800) {
+            value += static_cast<char>(0xc0 | (code >> 6));
+            value += static_cast<char>(0x80 | (code & 0x3f));
+        } else if (code < 0x10000) {
+            value += static_cast<char>(0xe0 | (code >> 12));
+            value += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            value += static_cast<char>(0x80 | (code & 0x3f));
+        } else {
+            value += static_cast<char>(0xf0 | (code >> 18));
+            value += static_cast<char>(0x80 | ((code >> 12) & 0x3f));
+            value += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            value += static_cast<char>(0x80 | (code & 0x3f));
+        }
+    }
+
     bool
     parseRawString(std::string &value)
     {
@@ -394,27 +443,33 @@ class JsonParser
                   case 'b': value += '\b'; break;
                   case 'f': value += '\f'; break;
                   case 'u': {
-                    if (pos_ + 4 > text_.size())
-                        return fail("truncated \\u escape");
-                    std::string hex = text_.substr(pos_, 4);
-                    char *end = nullptr;
-                    long code = std::strtol(hex.c_str(), &end, 16);
-                    if (end != hex.c_str() + 4)
-                        return fail("malformed \\u escape");
-                    pos_ += 4;
-                    if (code < 0x80) {
-                        value += static_cast<char>(code);
-                    } else if (code < 0x800) {
-                        value += static_cast<char>(0xc0 | (code >> 6));
-                        value +=
-                            static_cast<char>(0x80 | (code & 0x3f));
-                    } else {
-                        value += static_cast<char>(0xe0 | (code >> 12));
-                        value += static_cast<char>(
-                            0x80 | ((code >> 6) & 0x3f));
-                        value +=
-                            static_cast<char>(0x80 | (code & 0x3f));
+                    std::uint32_t code = 0;
+                    if (!parseHexQuad(code))
+                        return false;
+                    // UTF-16 surrogate pair: a high surrogate must
+                    // be followed by "\uDC00".."\uDFFF"; the pair
+                    // combines into one supplementary code point.
+                    if (code >= 0xD800 && code <= 0xDBFF) {
+                        if (pos_ + 2 > text_.size() ||
+                            text_[pos_] != '\\' ||
+                            text_[pos_ + 1] != 'u') {
+                            return fail(
+                                "lone high surrogate in \\u escape");
+                        }
+                        pos_ += 2;
+                        std::uint32_t low = 0;
+                        if (!parseHexQuad(low))
+                            return false;
+                        if (low < 0xDC00 || low > 0xDFFF)
+                            return fail("invalid low surrogate in "
+                                        "\\u escape");
+                        code = 0x10000 + ((code - 0xD800) << 10) +
+                               (low - 0xDC00);
+                    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+                        return fail(
+                            "lone low surrogate in \\u escape");
                     }
+                    appendUtf8(value, code);
                     break;
                   }
                   default:

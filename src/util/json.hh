@@ -5,8 +5,9 @@
  * The RemembERR database serializes to JSON (like the original
  * artifact's pandas/JSON dumps). This is a self-contained
  * implementation of the full JSON grammar; \uXXXX escapes decode to
- * UTF-8 (surrogate pairs outside the BMP are not recombined), and
- * the writer emits raw UTF-8 for non-ASCII text.
+ * UTF-8 (surrogate pairs combine into supplementary code points,
+ * lone surrogates are rejected), and the writer emits raw UTF-8 for
+ * non-ASCII text.
  */
 
 #ifndef REMEMBERR_UTIL_JSON_HH

@@ -52,6 +52,31 @@ TEST(Date, ParseRejectsGarbage)
     EXPECT_FALSE(Date::parse("2015-08"));
 }
 
+TEST(Date, ParseRejectsNonCanonicalForms)
+{
+    // Only the exact zero-padded "YYYY-MM-DD" shape that toString
+    // emits may parse; everything sscanf used to wave through must
+    // be rejected because it cannot round-trip.
+    static const char *const rejected[] = {
+        " 2015-08-05",   // leading whitespace
+        "2015-08-05 ",   // trailing whitespace
+        "2015- 8-05",    // embedded whitespace
+        "+2015-08-05",   // signed year
+        "2015-+8-05",    // signed month
+        "2015-08-+5",    // signed day
+        "2015--8-05",    // negative month
+        "2015-8-05",     // month missing zero padding
+        "2015-08-5",     // day missing zero padding
+        "215-08-05",     // short year
+        "02015-08-05",   // long year
+        "2015-08-05x",   // trailing junk
+        "2015/08/05",    // wrong separators
+        "2015-08-0a",    // non-digit day
+    };
+    for (const char *text : rejected)
+        EXPECT_FALSE(Date::parse(text)) << "accepted: " << text;
+}
+
 TEST(Date, ParseToStringRoundTrip)
 {
     Date d(1999, 2, 28);

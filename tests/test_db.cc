@@ -142,6 +142,52 @@ TEST_F(DatabaseTest, JsonRejectsWrongShape)
     EXPECT_FALSE(Database::fromJson(JsonValue::makeObject()));
 }
 
+TEST_F(DatabaseTest, JsonPreservesDocumentCount)
+{
+    auto restored = Database::fromJson(db().toJson());
+    ASSERT_TRUE(restored);
+    // The raw documents are not part of the JSON export, but the
+    // count survives so occurrence indices stay checkable.
+    EXPECT_TRUE(restored.value().documents().empty());
+    EXPECT_EQ(restored.value().documentCount(),
+              db().documentCount());
+}
+
+TEST_F(DatabaseTest, JsonRejectsOutOfRangeDocIndex)
+{
+    // An export claiming fewer documents than its occurrences
+    // reference used to restore silently with dangling indices.
+    JsonValue json = db().toJson();
+    json["documentCount"] = JsonValue(std::int64_t{1});
+    auto restored = Database::fromJson(json);
+    ASSERT_FALSE(restored);
+    EXPECT_NE(restored.error().toString().find("document"),
+              std::string::npos);
+
+    JsonValue negative = db().toJson();
+    negative["entries"].asArray()[0]["occurrences"].asArray()[0]
+        ["doc"] = JsonValue(std::int64_t{-1});
+    EXPECT_FALSE(Database::fromJson(negative));
+}
+
+TEST_F(DatabaseTest, JsonRejectsUnknownEnumNames)
+{
+    JsonValue badVendor = db().toJson();
+    badVendor["entries"].asArray()[0]["vendor"] = "VIA";
+    auto vendor = Database::fromJson(badVendor);
+    ASSERT_FALSE(vendor);
+    EXPECT_NE(vendor.error().toString().find("vendor"),
+              std::string::npos);
+
+    JsonValue badClass = db().toJson();
+    badClass["entries"].asArray()[0]["workaroundClass"] = "Prayer";
+    EXPECT_FALSE(Database::fromJson(badClass));
+
+    JsonValue badStatus = db().toJson();
+    badStatus["entries"].asArray()[0]["status"] = "WontFix";
+    EXPECT_FALSE(Database::fromJson(badStatus));
+}
+
 TEST_F(DatabaseTest, CsvExportParsesBack)
 {
     std::string csv = db().toCsv();

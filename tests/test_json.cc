@@ -111,6 +111,44 @@ TEST(JsonParse, UnicodeEscapesToUtf8)
     EXPECT_EQ(doc.value().asString(), "\xc3\xa9");
 }
 
+TEST(JsonParse, SurrogatePairsCombine)
+{
+    // U+1F600 as a UTF-16 surrogate pair must decode to one 4-byte
+    // UTF-8 sequence, not two 3-byte WTF-8 surrogates.
+    auto doc = parseJson(R"("\uD83D\uDE00")");
+    ASSERT_TRUE(doc);
+    EXPECT_EQ(doc.value().asString(), "\xf0\x9f\x98\x80");
+
+    // Lowest and highest supplementary code points.
+    auto lowest = parseJson(R"("\uD800\uDC00")"); // U+10000
+    ASSERT_TRUE(lowest);
+    EXPECT_EQ(lowest.value().asString(), "\xf0\x90\x80\x80");
+    auto highest = parseJson(R"("\uDBFF\uDFFF")"); // U+10FFFF
+    ASSERT_TRUE(highest);
+    EXPECT_EQ(highest.value().asString(), "\xf4\x8f\xbf\xbf");
+}
+
+TEST(JsonParse, RejectsLoneSurrogates)
+{
+    EXPECT_FALSE(parseJson(R"("\uD83D")"));      // lone high
+    EXPECT_FALSE(parseJson(R"("\uDE00")"));      // lone low
+    EXPECT_FALSE(parseJson(R"("\uD83D\n")"));    // high + other esc
+    EXPECT_FALSE(parseJson(R"("\uD83Dx")"));     // high + raw char
+    EXPECT_FALSE(parseJson(R"("\uD83D\uD83D")")); // high + high
+}
+
+TEST(JsonParse, RejectsMalformedHexQuads)
+{
+    // strtol-style leniency must not be accepted: the four
+    // characters after \u have to be hex digits, nothing else.
+    EXPECT_FALSE(parseJson("\"\\u 123\""));  // leading space
+    EXPECT_FALSE(parseJson("\"\\u+123\""));  // plus sign
+    EXPECT_FALSE(parseJson("\"\\u-123\""));  // minus sign
+    EXPECT_FALSE(parseJson("\"\\u12\""));    // too short
+    EXPECT_FALSE(parseJson("\"\\u12g4\""));  // non-hex digit
+    EXPECT_FALSE(parseJson("\"\\u\""));      // nothing at all
+}
+
 TEST(JsonParse, RejectsMalformed)
 {
     EXPECT_FALSE(parseJson(""));

@@ -6,14 +6,18 @@
 #   3. corpus static analysis: `rememberr check` against the
 #      accepted-findings baseline (tools/check.baseline) — fails on
 #      any finding not already baselined;
-#   4. clang-tidy via the check_tidy target (skips when clang-tidy
+#   4. snapshot determinism: write the binary snapshot at
+#      --threads 1 and --threads 8, require byte-identical files,
+#      then smoke a query through the --snapshot fast path;
+#   5. clang-tidy via the check_tidy target (skips when clang-tidy
 #      is not installed);
-#   5. a ThreadSanitizer build running the concurrency-sensitive
+#   6. a ThreadSanitizer build running the concurrency-sensitive
 #      tests (parallel executor, observability, the literal
 #      prefilter differential and the similarity kernels, which are
 #      scanned/scored concurrently from dedup and foureyes shards);
-#   6. an UndefinedBehaviorSanitizer build running the parser,
-#      regex and diagnostics tests, where the bit-twiddling lives.
+#   7. an UndefinedBehaviorSanitizer build running the parser,
+#      regex, diagnostics and snapshot tests, where the
+#      bit-twiddling lives.
 #
 # Usage: tools/ci.sh [build-dir]   (default: build-ci)
 # Exit status: nonzero on the first failing step.
@@ -44,6 +48,19 @@ step "corpus static analysis (rememberr check)"
 "$root/$build/tools/rememberr_cli" check \
     --baseline="$root/tools/check.baseline" --threads=0
 
+step "snapshot determinism + --snapshot smoke"
+snapdir=$(mktemp -d)
+trap 'rm -rf "$snapdir"' EXIT
+"$root/$build/tools/rememberr_cli" snapshot \
+    --out="$snapdir/t1.snap" --threads=1
+"$root/$build/tools/rememberr_cli" snapshot \
+    --out="$snapdir/t8.snap" --threads=8
+cmp "$snapdir/t1.snap" "$snapdir/t8.snap"
+"$root/$build/tools/rememberr_cli" stats \
+    --snapshot="$snapdir/t1.snap" > /dev/null
+"$root/$build/tools/rememberr_cli" query \
+    --snapshot="$snapdir/t1.snap" --vendor=amd --limit=1 > /dev/null
+
 step "clang-tidy"
 cmake --build "$root/$build" --target check_tidy
 
@@ -64,10 +81,12 @@ step "undefined-behavior-sanitizer build (${ubsan_build})"
 cmake -B "$root/$ubsan_build" -S "$root" \
     -DREMEMBERR_SANITIZE=undefined > /dev/null
 cmake --build "$root/$ubsan_build" -j "$jobs" \
-    --target test_document test_regex test_diag test_check
+    --target test_document test_regex test_diag test_check \
+    test_snapshot
 
 step "undefined-behavior-sanitizer tests"
-for t in test_document test_regex test_diag test_check; do
+for t in test_document test_regex test_diag test_check \
+         test_snapshot; do
     UBSAN_OPTIONS=halt_on_error=1 \
         "$root/$ubsan_build/tests/$t"
 done
