@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Observability overhead benchmark: what does the live metrics layer
+ * cost the pipeline?
+ *
+ * Two end-to-end configurations are compared (min of three runs
+ * each): the null-registry fast path (options.metrics == nullptr,
+ * every instrument site reduced to one pointer test) and the fully
+ * instrumented run (registry + quantile timings + pool stats sink +
+ * a 50 ms JSONL exporter flushing to a temp file). The headline
+ * overhead percentage lands in BENCH_obs.json; the acceptance bar is
+ * under 2%.
+ *
+ * Micro-benchmarks cover the per-call costs behind that number: a
+ * counter add, a sharded quantile observation (single-threaded and
+ * contended), a p99 query, and the disabled-path pointer test.
+ */
+
+#include "common.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+
+#include "obs/exporter.hh"
+#include "obs/pool_metrics.hh"
+#include "obs/quantile.hh"
+
+namespace rememberr {
+namespace bench {
+namespace {
+
+void
+BM_CounterAdd(benchmark::State &state)
+{
+    MetricsRegistry registry;
+    Counter &counter = registry.counter("bench.hits");
+    for (auto _ : state)
+        counter.add(1);
+    benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_CounterAdd);
+
+void
+BM_QuantileObserve(benchmark::State &state)
+{
+    QuantileHistogram quantile;
+    double value = 1.0;
+    for (auto _ : state) {
+        quantile.observe(value);
+        value = value < 1e6 ? value * 1.7 : 1.0;
+    }
+    benchmark::DoNotOptimize(quantile.count());
+}
+BENCHMARK(BM_QuantileObserve);
+
+void
+BM_QuantileObserveContended(benchmark::State &state)
+{
+    static QuantileHistogram quantile;
+    double value = static_cast<double>(state.thread_index() + 1);
+    for (auto _ : state) {
+        quantile.observe(value);
+        value = value < 1e6 ? value * 1.7 : 1.0;
+    }
+    benchmark::DoNotOptimize(quantile.count());
+}
+BENCHMARK(BM_QuantileObserveContended)->Threads(4);
+
+void
+BM_QuantileQueryP99(benchmark::State &state)
+{
+    QuantileHistogram quantile;
+    double value = 1.0;
+    for (int i = 0; i < 10000; ++i) {
+        quantile.observe(value);
+        value = value < 1e6 ? value * 1.01 : 1.0;
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(quantile.quantile(0.99));
+}
+BENCHMARK(BM_QuantileQueryP99)->Unit(benchmark::kMicrosecond);
+
+void
+BM_DisabledRegistryPointerTest(benchmark::State &state)
+{
+    // The shape of every instrument site when observability is off:
+    // test a pointer, skip the work.
+    MetricsRegistry *metrics = nullptr;
+    benchmark::DoNotOptimize(metrics);
+    std::uint64_t skipped = 0;
+    for (auto _ : state) {
+        if (metrics)
+            metrics->counter("never").add(1);
+        else
+            ++skipped;
+    }
+    benchmark::DoNotOptimize(skipped);
+}
+BENCHMARK(BM_DisabledRegistryPointerTest);
+
+double
+minWallMs(int runs, const std::function<void()> &fn)
+{
+    double best = 0.0;
+    for (int i = 0; i < runs; ++i) {
+        auto begin = std::chrono::steady_clock::now();
+        fn();
+        auto end = std::chrono::steady_clock::now();
+        double ms =
+            std::chrono::duration<double, std::milli>(end - begin)
+                .count();
+        best = i == 0 ? ms : std::min(best, ms);
+    }
+    return best;
+}
+
+void
+printObs()
+{
+    constexpr int runs = 3;
+
+    // Path A: observability off. One pointer test per site.
+    double nullMs = minWallMs(runs, [] {
+        PipelineOptions options;
+        PipelineResult result = runPipeline(options);
+        benchmark::DoNotOptimize(
+            result.groundTruth.entries().data());
+    });
+
+    // Path B: everything on — registry, quantile timings, pool
+    // stats, and a live 50 ms JSONL exporter.
+    const std::string seriesPath =
+        (std::filesystem::temp_directory_path() /
+         "rememberr_bench_obs.jsonl")
+            .string();
+    std::uint64_t ticks = 0;
+    std::uint64_t samples = 0;
+    double instrumentedMs = minWallMs(runs, [&] {
+        MetricsRegistry registry;
+        attachPoolMetrics(registry);
+        ExporterOptions exporterOptions;
+        exporterOptions.interval = std::chrono::milliseconds(50);
+        exporterOptions.metrics = &registry;
+        MetricsExporter exporter(seriesPath, exporterOptions);
+        PipelineOptions options;
+        options.metrics = &registry;
+        PipelineResult result = runPipeline(options);
+        benchmark::DoNotOptimize(
+            result.groundTruth.entries().data());
+        exporter.stop();
+        detachPoolMetrics();
+        ticks = exporter.ticks();
+        const QuantileHistogram *total =
+            registry.findQuantile("pipeline.total_lat_us");
+        samples = total ? total->count() : 0;
+    });
+    std::filesystem::remove(seriesPath);
+
+    double overheadPercent =
+        nullMs > 0 ? (instrumentedMs - nullMs) / nullMs * 100.0
+                   : 0.0;
+    std::printf("\nobservability overhead (pipeline, min of %d):\n",
+                runs);
+    std::printf("  disabled (null registry): %9.1f ms\n", nullMs);
+    std::printf("  instrumented + exporter:  %9.1f ms\n",
+                instrumentedMs);
+    std::printf("  overhead:                 %9.2f %%  "
+                "(%llu exporter tick(s))\n",
+                overheadPercent,
+                static_cast<unsigned long long>(ticks));
+
+    JsonValue root = JsonValue::makeObject();
+    root["null_registry_ms"] = JsonValue(nullMs);
+    root["instrumented_ms"] = JsonValue(instrumentedMs);
+    root["overhead_percent"] = JsonValue(overheadPercent);
+    root["exporter_interval_ms"] = JsonValue(50.0);
+    root["exporter_ticks"] =
+        JsonValue(static_cast<double>(ticks));
+    root["pipeline_runs_per_config"] =
+        JsonValue(static_cast<double>(runs));
+    root["total_lat_samples"] =
+        JsonValue(static_cast<double>(samples));
+
+    std::ofstream out("BENCH_obs.json");
+    out << root.dumpPretty() << "\n";
+    if (out)
+        std::printf("\n[overhead profile written to "
+                    "BENCH_obs.json]\n");
+}
+
+} // namespace
+} // namespace bench
+} // namespace rememberr
+
+REMEMBERR_BENCH_MAIN(rememberr::bench::printObs)

@@ -25,12 +25,15 @@
 #include "document/format.hh"
 #include "document/lint.hh"
 #include "guidance/guidance.hh"
+#include "obs/exporter.hh"
+#include "obs/log.hh"
 #include "obs/pool_metrics.hh"
 #include "report/svg.hh"
 #include "report/table.hh"
 #include "snap/format.hh"
 #include "snap/view.hh"
 #include "snap/writer.hh"
+#include "util/fileio.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
 
@@ -151,6 +154,10 @@ usageText()
            "print per-stage\n"
            "                              timings, counters and "
            "worker stats\n"
+           "    --snapshot FILE           profile the mmap fast "
+           "path (open,\n"
+           "                              verify, materialize) "
+           "instead\n"
            "\n"
            "common options:\n"
            "  --snapshot FILE             serve stats/query/campaign/"
@@ -170,6 +177,16 @@ usageText()
            "JSON (open in\n"
            "                              chrome://tracing or "
            "Perfetto)\n"
+           "  --metrics-interval MS       flush metrics every MS "
+           "milliseconds as\n"
+           "                              an append-only JSONL time "
+           "series to the\n"
+           "                              --metrics-out file "
+           "(atomic rewrites)\n"
+           "  --log-json                  structured JSON log "
+           "records on stderr\n"
+           "                              (level, ts_us, thread, "
+           "span, msg)\n"
            "  --verbose | --quiet         raise/silence warn+debug "
            "logging\n";
 }
@@ -192,6 +209,24 @@ pipelineOptionsFromArgs(const ArgList &args)
         options.threads = static_cast<std::size_t>(*threads);
     return options;
 }
+
+/**
+ * RAII attachment of the work-pool stats sink: every parallel
+ * command (not just profile) reports per-worker chunk/busy/idle
+ * counters into its registry while it runs.
+ */
+class PoolMetricsScope
+{
+  public:
+    explicit PoolMetricsScope(MetricsRegistry &registry)
+    {
+        attachPoolMetrics(registry);
+    }
+    ~PoolMetricsScope() { detachPoolMetrics(); }
+
+    PoolMetricsScope(const PoolMetricsScope &) = delete;
+    PoolMetricsScope &operator=(const PoolMetricsScope &) = delete;
+};
 
 const PipelineResult &
 buildPipeline(const ArgList &args)
@@ -387,6 +422,9 @@ cmdCheck(const ArgList &args, std::ostream &out, std::ostream &err)
         options.threads = static_cast<std::size_t>(*threads);
     options.metrics = &MetricsRegistry::global();
     options.trace = &TraceRecorder::global();
+    // Per-worker pool stats for the parallel check stages (and the
+    // pipeline build in corpus mode).
+    PoolMetricsScope poolMetrics(*options.metrics);
 
     auto eachToken = [](const std::string &list,
                         const auto &consume) {
@@ -824,6 +862,9 @@ cmdSnapshot(const ArgList &args, std::ostream &out,
         err << "snapshot: --out FILE is required\n";
         return 2;
     }
+    // Per-worker pool stats for the parallel pipeline build feeding
+    // the snapshot writer.
+    PoolMetricsScope poolMetrics(MetricsRegistry::global());
     const PipelineResult &result = buildPipeline(args);
     snap::WriteOptions options;
     options.metrics = &MetricsRegistry::global();
@@ -850,14 +891,18 @@ cmdSnapshot(const ArgList &args, std::ostream &out,
     return 0;
 }
 
-/** Write `content` to `path`, reporting failures on err. */
+/**
+ * Write `content` to `path`, reporting failures on err. Crash-safe:
+ * the content is staged in a sibling temp file and renamed into
+ * place, so an interrupted run never leaves a truncated report,
+ * baseline, metrics or trace artifact.
+ */
 int
 writeTextFile(const std::string &path, const std::string &content,
               const char *what, std::ostream &err)
 {
-    std::ofstream file(path);
-    file << content;
-    if (!file) {
+    auto written = atomicWriteFile(path, content);
+    if (!written) {
         err << "cannot write " << what << " to " << path << "\n";
         return 1;
     }
@@ -867,14 +912,18 @@ writeTextFile(const std::string &path, const std::string &content,
 /**
  * Handle --metrics-out/--trace-out against the given registry and
  * recorder. Metrics are JSON unless FILE ends in .csv; traces are
- * always Chrome trace_event JSON.
+ * always Chrome trace_event JSON. With `metricsHandled` (a periodic
+ * exporter owned the --metrics-out file as a JSONL series) only the
+ * trace export runs.
  */
 int
 writeObsExports(const ArgList &args, std::ostream &err,
                 const MetricsRegistry &metrics,
-                const TraceRecorder &trace)
+                const TraceRecorder &trace,
+                bool metricsHandled = false)
 {
-    if (auto path = args.option("metrics-out")) {
+    if (auto path = args.option("metrics-out");
+        path && !metricsHandled) {
         if (path->empty()) {
             err << "--metrics-out requires a file name\n";
             return 2;
@@ -898,10 +947,144 @@ writeObsExports(const ArgList &args, std::ostream &err,
     return 0;
 }
 
+/**
+ * Start a private exporter for a profile run when the user asked for
+ * a live series (--metrics-interval was validated in runCli). The
+ * exporter is non-movable, so it is emplaced into the caller's slot;
+ * the slot stays empty otherwise.
+ */
+void
+makeProfileExporter(const ArgList &args, MetricsRegistry &metrics,
+                    std::optional<MetricsExporter> &exporter)
+{
+    if (auto interval = args.intOption("metrics-interval")) {
+        ExporterOptions options;
+        options.interval = std::chrono::milliseconds(*interval);
+        options.metrics = &metrics;
+        exporter.emplace(*args.option("metrics-out"), options);
+    }
+}
+
+/** Stop a profile exporter, surfacing any write failure. */
+int
+stopProfileExporter(std::optional<MetricsExporter> &exporter,
+                    std::ostream &err)
+{
+    if (!exporter)
+        return 0;
+    if (!exporter->stop()) {
+        err << "cannot write metrics to " << exporter->path() << ": "
+            << exporter->lastError() << "\n";
+        return 1;
+    }
+    return 0;
+}
+
+/**
+ * profile --snapshot FILE: time the mmap fast path (open + verify,
+ * then full materialization) instead of the generation pipeline.
+ * Uses the same private-instrument discipline as the pipeline
+ * profile: a fresh registry/recorder per invocation.
+ */
+int
+profileSnapshot(const std::string &path, const ArgList &args,
+                std::ostream &out, std::ostream &err)
+{
+    MetricsRegistry metrics;
+    TraceRecorder trace;
+    std::optional<MetricsExporter> exporter;
+    makeProfileExporter(args, metrics, exporter);
+
+    snap::LoadOptions loadOptions;
+    loadOptions.metrics = &metrics;
+    loadOptions.trace = &trace;
+    auto view = snap::SnapshotView::open(path, loadOptions);
+    if (!view) {
+        err << "profile: cannot load snapshot " << path << ": "
+            << view.error().toString() << "\n";
+        return 1;
+    }
+    Database db = view.value().database();
+
+    auto gaugeUs = [&](const std::string &name) -> std::int64_t {
+        const Gauge *gauge = metrics.findGauge(name);
+        return gauge ? gauge->value() : 0;
+    };
+    auto count = [&](const std::string &name) -> std::uint64_t {
+        const Counter *counter = metrics.findCounter(name);
+        return counter ? counter->value() : 0;
+    };
+    auto ms = [](double us) {
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), "%.1f", us / 1000.0);
+        return std::string(buffer);
+    };
+
+    struct StageRow
+    {
+        const char *stage;
+        const char *gauge;
+        const char *counter;
+        const char *unit;
+    };
+    static constexpr StageRow stages[] = {
+        {"open+verify", "snap.load.open_us", "snap.load.bytes",
+         "bytes"},
+        {"materialize", "snap.load.materialize_us",
+         "snap.load.entries", "db entries"},
+    };
+
+    std::int64_t totalUs = 0;
+    for (const StageRow &row : stages)
+        totalUs += gaugeUs(row.gauge);
+    AsciiTable table;
+    table.setColumns({"stage", "time ms", "share", "items", "unit",
+                      "items/s"},
+                     {Align::Left, Align::Right, Align::Right,
+                      Align::Right, Align::Left, Align::Right});
+    for (const StageRow &row : stages) {
+        std::int64_t us = gaugeUs(row.gauge);
+        std::uint64_t items = count(row.counter);
+        double share =
+            totalUs > 0 ? static_cast<double>(us) / totalUs : 0.0;
+        double rate = us > 0 ? items * 1e6 / us : 0.0;
+        char rateText[32];
+        std::snprintf(rateText, sizeof(rateText), "%.0f", rate);
+        table.addRow({row.stage, ms(static_cast<double>(us)),
+                      strings::formatPercent(share),
+                      std::to_string(items), row.unit, rateText});
+    }
+    table.addSeparator();
+    table.addRow({"total", ms(static_cast<double>(totalUs)),
+                  strings::formatPercent(totalUs > 0 ? 1.0 : 0.0),
+                  std::to_string(db.entries().size()),
+                  "unique errata", ""});
+    out << table.toString();
+    out << "\nsnapshot: " << path << " ("
+        << count("snap.load.bytes") << " bytes, "
+        << view.value().documentCount() << " documents, hash "
+        << snap::hashHex(view.value().contentHash()) << ")\n";
+
+    if (int rc = stopProfileExporter(exporter, err))
+        return rc;
+    return writeObsExports(args, err, metrics, trace,
+                           exporter.has_value());
+}
+
 int
 cmdProfile(const ArgList &args, std::ostream &out,
            std::ostream &err)
 {
+    // profile --snapshot FILE times the load path, not the build
+    // path.
+    if (auto path = args.option("snapshot")) {
+        if (path->empty()) {
+            err << "profile: --snapshot requires a file name\n";
+            return 2;
+        }
+        return profileSnapshot(*path, args, out, err);
+    }
+
     // Profile against private instruments (not the process-global
     // ones) so the report reflects exactly one fresh pipeline run,
     // uncontaminated by earlier commands in the same process and
@@ -911,6 +1094,8 @@ cmdProfile(const ArgList &args, std::ostream &out,
     TraceRecorder trace;
     options.metrics = &metrics;
     options.trace = &trace;
+    std::optional<MetricsExporter> exporter;
+    makeProfileExporter(args, metrics, exporter);
     attachPoolMetrics(metrics);
     PipelineResult result = runPipeline(options);
     detachPoolMetrics();
@@ -998,7 +1183,10 @@ cmdProfile(const ArgList &args, std::ostream &out,
                "to engage it)\n";
     }
 
-    return writeObsExports(args, err, metrics, trace);
+    if (int rc = stopProfileExporter(exporter, err))
+        return rc;
+    return writeObsExports(args, err, metrics, trace,
+                           exporter.has_value());
 }
 
 /**
@@ -1010,8 +1198,8 @@ int
 checkIntOptions(const ArgList &args, std::ostream &err)
 {
     static constexpr const char *intOptions[] = {
-        "seed", "limit", "min-triggers", "pairs", "count",
-        "threads"};
+        "seed",  "limit",   "min-triggers",    "pairs",
+        "count", "threads", "metrics-interval"};
     for (const char *name : intOptions) {
         auto text = args.option(name);
         if (!text)
@@ -1051,13 +1239,51 @@ runCli(const std::vector<std::string> &args, std::ostream &out,
     // Verbosity: commands run quiet by default (the pipeline's
     // warn/inform chatter would drown their output); --verbose
     // enables debug traces, --quiet is the explicit form of the
-    // default.
+    // default. --log-json implies Info — structured records exist to
+    // be collected, so silencing them by default would defeat the
+    // flag — unless --quiet or --verbose says otherwise.
     if (parsed.hasFlag("verbose") && parsed.hasFlag("quiet")) {
         err << "--verbose and --quiet are mutually exclusive\n";
         return 2;
     }
+    bool logJson = parsed.hasFlag("log-json");
     setLogLevel(parsed.hasFlag("verbose") ? LogLevel::Debug
-                                          : LogLevel::Quiet);
+                : logJson && !parsed.hasFlag("quiet")
+                    ? LogLevel::Info
+                    : LogLevel::Quiet);
+
+    // The JSON emitter must be restored on every exit path: tests
+    // (and future embedders) drive runCli repeatedly in one process.
+    struct JsonLogScope
+    {
+        bool active = false;
+        ~JsonLogScope()
+        {
+            if (active)
+                disableJsonLogging();
+        }
+    } jsonLogScope;
+    if (logJson) {
+        enableJsonLogging();
+        jsonLogScope.active = true;
+    }
+
+    // A live metrics series needs a positive period and a file to
+    // own; both are checked before any command work starts.
+    auto metricsInterval = parsed.intOption("metrics-interval");
+    if (parsed.hasFlag("metrics-interval")) {
+        if (!metricsInterval || *metricsInterval <= 0) {
+            err << "--metrics-interval must be a positive number "
+                   "of milliseconds\n";
+            return 2;
+        }
+        auto path = parsed.option("metrics-out");
+        if (!path || path->empty()) {
+            err << "--metrics-interval requires --metrics-out "
+                   "FILE\n";
+            return 2;
+        }
+    }
 
     auto dispatch = [&]() -> int {
         if (command == "stats")
@@ -1088,14 +1314,33 @@ runCli(const std::vector<std::string> &args, std::ostream &out,
             << usageText();
         return 2;
     };
+    // profile exports its own private instruments (and starts its
+    // own exporter); every other command records into the
+    // process-global registry/recorder, so the live exporter wraps
+    // the dispatch and the requested dumps run afterwards.
+    std::optional<MetricsExporter> exporter;
+    if (metricsInterval && command != "profile") {
+        ExporterOptions options;
+        options.interval =
+            std::chrono::milliseconds(*metricsInterval);
+        options.metrics = &MetricsRegistry::global();
+        exporter.emplace(*parsed.option("metrics-out"), options);
+    }
     int rc = dispatch();
-
-    // profile exports its own private instruments; every other
-    // command records into the process-global registry/recorder, so
-    // dump those when asked to.
+    bool metricsHandled = false;
+    if (exporter) {
+        metricsHandled = true;
+        if (!exporter->stop() && rc == 0) {
+            err << "cannot write metrics to " << exporter->path()
+                << ": " << exporter->lastError() << "\n";
+            rc = 1;
+        }
+        exporter.reset();
+    }
     if (rc == 0 && command != "profile") {
         rc = writeObsExports(parsed, err, MetricsRegistry::global(),
-                             TraceRecorder::global());
+                             TraceRecorder::global(),
+                             metricsHandled);
     }
     return rc;
 }

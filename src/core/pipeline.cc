@@ -35,6 +35,14 @@ class StageScope
             metrics_
                 ->gauge(std::string("pipeline.stage_us.") + stage_)
                 .set(static_cast<std::int64_t>(elapsed));
+            // Quantile form of the same timing: one run observes one
+            // sample per stage; repeated runs (and the exporter's
+            // periodic snapshots) turn it into a latency
+            // distribution.
+            metrics_
+                ->quantile(std::string("pipeline.stage_lat_us.") +
+                           stage_)
+                .observe(static_cast<double>(elapsed));
         }
         REMEMBERR_DEBUG("pipeline: stage ", stage_, " took ",
                         elapsed, " us");
@@ -194,6 +202,8 @@ runPipeline(const PipelineOptions &options)
                 .count();
         metrics->gauge("pipeline.total_us")
             .set(static_cast<std::int64_t>(total));
+        metrics->quantile("pipeline.total_lat_us")
+            .observe(static_cast<double>(total));
         metrics->counter("pipeline.runs").add(1);
     }
     return result;

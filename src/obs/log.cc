@@ -1,0 +1,81 @@
+#include "log.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace rememberr {
+
+namespace {
+
+/** One locked write per record, mirroring util/logging's emitLine:
+ * stdio would not keep multi-part writes atomic across threads. */
+void
+writeRecord(const std::string &line)
+{
+    static std::mutex writeMutex;
+    std::lock_guard<std::mutex> lock(writeMutex);
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
+}
+
+} // namespace
+
+std::string
+formatJsonLogRecord(const char *level, const std::string &msg,
+                    std::uint64_t tsUs, std::uint32_t thread,
+                    std::uint64_t span)
+{
+    // Hand-assembled in key order (ts_us, level, thread, span, msg)
+    // rather than via JsonValue: records must stay cheap and must
+    // not reorder keys under the std::map-backed object model.
+    std::string line;
+    line.reserve(msg.size() + 80);
+    line += "{\"ts_us\":";
+    line += std::to_string(tsUs);
+    line += ",\"level\":";
+    line += jsonEscape(level);
+    line += ",\"thread\":";
+    line += std::to_string(thread);
+    line += ",\"span\":";
+    line += std::to_string(span);
+    line += ",\"msg\":";
+    line += jsonEscape(msg);
+    line += "}";
+    return line;
+}
+
+void
+enableJsonLogging(const JsonLogOptions &options)
+{
+    const TraceRecorder *trace = options.trace;
+    auto epoch = std::chrono::steady_clock::now();
+    setLogEmitter([trace, epoch](const char *level,
+                                 const std::string &msg) {
+        std::uint64_t tsUs;
+        if (trace) {
+            tsUs = trace->nowUs();
+        } else {
+            tsUs = static_cast<std::uint64_t>(
+                std::chrono::duration_cast<
+                    std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - epoch)
+                    .count());
+        }
+        writeRecord(formatJsonLogRecord(level, msg, tsUs,
+                                        obsThreadId(),
+                                        activeSpanId()) +
+                    "\n");
+    });
+}
+
+void
+disableJsonLogging()
+{
+    setLogEmitter(nullptr);
+}
+
+} // namespace rememberr

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Structured JSON logging: one self-contained JSON object per
+ * record, machine-joinable with trace spans.
+ *
+ *   {"ts_us": 12345, "level": "warn", "thread": 2, "span": 17,
+ *    "msg": "..."}
+ *
+ * `enableJsonLogging` swaps util/logging's emitter (every
+ * REMEMBERR_WARN / INFORM / DEBUG site, unchanged) for one that
+ * stamps each record with a monotonic timestamp, the obs thread id
+ * and the innermost open span id from the `TraceRecorder` span
+ * stack. A log line's "span" equals the "args.span_id" of the trace
+ * event that encloses it, so a JSONL log stream and a Chrome trace
+ * export join on that key. Records are written to stderr with one
+ * locked write each — concurrent pool workers never interleave.
+ *
+ * Level filtering still happens in util/logging before the emitter
+ * runs, so Quiet stays free and disabled debug traces still cost
+ * only the level check.
+ */
+
+#ifndef REMEMBERR_OBS_LOG_HH
+#define REMEMBERR_OBS_LOG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "obs/trace.hh"
+
+namespace rememberr {
+
+/** How enableJsonLogging stamps and writes records. */
+struct JsonLogOptions
+{
+    /**
+     * Timestamp source: ts_us is this recorder's monotonic clock
+     * (so log records and its trace spans share a time base). Null
+     * falls back to a process epoch taken at enable time.
+     */
+    const TraceRecorder *trace = &TraceRecorder::global();
+};
+
+/**
+ * Build one JSON log record (no trailing newline). Split out so
+ * tests can pin the schema without reaching stderr.
+ */
+std::string formatJsonLogRecord(const char *level,
+                                const std::string &msg,
+                                std::uint64_t tsUs,
+                                std::uint32_t thread,
+                                std::uint64_t span);
+
+/** Install the JSON emitter (replacing any previous emitter). */
+void enableJsonLogging(const JsonLogOptions &options = {});
+
+/** Restore the default "level: message" stderr lines. */
+void disableJsonLogging();
+
+} // namespace rememberr
+
+#endif // REMEMBERR_OBS_LOG_HH

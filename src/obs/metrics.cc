@@ -107,6 +107,16 @@ MetricsRegistry::histogram(const std::string &name,
     return *slot;
 }
 
+QuantileHistogram &
+MetricsRegistry::quantile(const std::string &name, double alpha)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = quantiles_[name];
+    if (!slot)
+        slot = std::make_unique<QuantileHistogram>(alpha);
+    return *slot;
+}
+
 const Counter *
 MetricsRegistry::findCounter(const std::string &name) const
 {
@@ -131,6 +141,14 @@ MetricsRegistry::findHistogram(const std::string &name) const
     return it == histograms_.end() ? nullptr : it->second.get();
 }
 
+const QuantileHistogram *
+MetricsRegistry::findQuantile(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = quantiles_.find(name);
+    return it == quantiles_.end() ? nullptr : it->second.get();
+}
+
 void
 MetricsRegistry::reset()
 {
@@ -140,6 +158,8 @@ MetricsRegistry::reset()
     for (auto &entry : gauges_)
         entry.second->set(0);
     for (auto &entry : histograms_)
+        entry.second->reset();
+    for (auto &entry : quantiles_)
         entry.second->reset();
 }
 
@@ -177,10 +197,23 @@ MetricsRegistry::toJson() const
         body["buckets"] = std::move(buckets);
         histograms[entry.first] = std::move(body);
     }
+    JsonValue quantiles = JsonValue::makeObject();
+    for (const auto &entry : quantiles_) {
+        const QuantileHistogram &q = *entry.second;
+        JsonValue body = JsonValue::makeObject();
+        body["count"] = JsonValue(static_cast<double>(q.count()));
+        body["sum"] = JsonValue(q.sum());
+        body["max"] = JsonValue(q.max());
+        body["p50"] = JsonValue(q.quantile(0.50));
+        body["p95"] = JsonValue(q.quantile(0.95));
+        body["p99"] = JsonValue(q.quantile(0.99));
+        quantiles[entry.first] = std::move(body);
+    }
     JsonValue root = JsonValue::makeObject();
     root["counters"] = std::move(counters);
     root["gauges"] = std::move(gauges);
     root["histograms"] = std::move(histograms);
+    root["quantiles"] = std::move(quantiles);
     return root;
 }
 
@@ -212,6 +245,21 @@ MetricsRegistry::toCsv() const
         csv.addRow({"histogram", entry.first, "le inf",
                     std::to_string(
                         h.bucketCount(h.bounds().size()))});
+    }
+    for (const auto &entry : quantiles_) {
+        const QuantileHistogram &q = *entry.second;
+        csv.addRow({"quantile", entry.first, "count",
+                    std::to_string(q.count())});
+        csv.addRow({"quantile", entry.first, "sum",
+                    formatNumber(q.sum())});
+        csv.addRow({"quantile", entry.first, "max",
+                    formatNumber(q.max())});
+        csv.addRow({"quantile", entry.first, "p50",
+                    formatNumber(q.quantile(0.50))});
+        csv.addRow({"quantile", entry.first, "p95",
+                    formatNumber(q.quantile(0.95))});
+        csv.addRow({"quantile", entry.first, "p99",
+                    formatNumber(q.quantile(0.99))});
     }
     return csv.toString();
 }

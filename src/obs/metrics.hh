@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/quantile.hh"
 #include "util/json.hh"
 
 namespace rememberr {
@@ -118,11 +119,21 @@ class MetricsRegistry
     /** Bounds apply on creation; later calls reuse the instrument. */
     Histogram &histogram(const std::string &name,
                          std::vector<double> bounds = defaultBounds());
+    /**
+     * Log-bucketed quantile histogram (the default for timing
+     * instruments): p50/p95/p99/max with bounded relative error.
+     * Alpha applies on creation; later calls reuse the instrument.
+     */
+    QuantileHistogram &
+    quantile(const std::string &name,
+             double alpha = QuantileHistogram::defaultAlpha());
 
     /** Lookup without creating; null when absent. */
     const Counter *findCounter(const std::string &name) const;
     const Gauge *findGauge(const std::string &name) const;
     const Histogram *findHistogram(const std::string &name) const;
+    const QuantileHistogram *
+    findQuantile(const std::string &name) const;
 
     /** Zero every instrument, keeping registrations (and therefore
      * outstanding references) intact. */
@@ -132,7 +143,9 @@ class MetricsRegistry
      * Snapshot as JSON:
      *   {"counters": {name: n}, "gauges": {name: n},
      *    "histograms": {name: {"count": n, "sum": x,
-     *                          "buckets": [{"le": b, "count": n}]}}}
+     *                          "buckets": [{"le": b, "count": n}]}},
+     *    "quantiles": {name: {"count": n, "sum": x, "max": x,
+     *                         "p50": x, "p95": x, "p99": x}}}
      * Keys are sorted (std::map), so output is deterministic.
      */
     JsonValue toJson() const;
@@ -151,6 +164,8 @@ class MetricsRegistry
     std::map<std::string, std::unique_ptr<Counter>> counters_;
     std::map<std::string, std::unique_ptr<Gauge>> gauges_;
     std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+    std::map<std::string, std::unique_ptr<QuantileHistogram>>
+        quantiles_;
 };
 
 } // namespace rememberr

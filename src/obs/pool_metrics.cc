@@ -17,11 +17,13 @@ attachPoolMetrics(MetricsRegistry &registry)
     Histogram &workerChunks = registry.histogram(
         "parallel.worker_chunks",
         {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
-    Histogram &workerIdle =
-        registry.histogram("parallel.worker_idle_us");
+    QuantileHistogram &workerIdle =
+        registry.quantile("parallel.worker_idle_us");
+    QuantileHistogram &workerBusy =
+        registry.quantile("parallel.worker_busy_us");
 
     setPoolStatsSink([&regions, &workers, &chunks, &busyUs, &idleUs,
-                      &workerChunks, &workerIdle](
+                      &workerChunks, &workerIdle, &workerBusy](
                          const std::vector<WorkerStats> &stats) {
         regions.add(1);
         workers.add(stats.size());
@@ -32,6 +34,7 @@ attachPoolMetrics(MetricsRegistry &registry)
             workerChunks.observe(
                 static_cast<double>(worker.chunks));
             workerIdle.observe(static_cast<double>(worker.idleUs));
+            workerBusy.observe(static_cast<double>(worker.busyUs));
         }
     });
 }

@@ -11,7 +11,13 @@
  *   counter   parallel.busy_us           total in-body time
  *   counter   parallel.idle_us           total claim/drain overhead
  *   histogram parallel.worker_chunks     chunks claimed per worker
- *   histogram parallel.worker_idle_us    idle time per worker
+ *   quantile  parallel.worker_idle_us    idle time per worker
+ *   quantile  parallel.worker_busy_us    busy time per worker
+ *
+ * The timing distributions are log-bucketed quantile histograms
+ * (p50/p95/p99/max with bounded relative error) per the repo-wide
+ * convention that durations go into quantile instruments; only the
+ * small-integer chunk count keeps a fixed-bucket histogram.
  */
 
 #ifndef REMEMBERR_OBS_POOL_METRICS_HH

@@ -1,0 +1,105 @@
+#include "proc.hh"
+
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#define REMEMBERR_HAVE_GETRUSAGE 1
+#endif
+
+namespace rememberr {
+
+namespace {
+
+#ifdef REMEMBERR_HAVE_GETRUSAGE
+
+std::int64_t
+timevalUs(const timeval &tv)
+{
+    return static_cast<std::int64_t>(tv.tv_sec) * 1000000 +
+           static_cast<std::int64_t>(tv.tv_usec);
+}
+
+#endif
+
+#if defined(__linux__)
+
+/** Current RSS from /proc/self/statm field 2 (resident pages). */
+std::int64_t
+statmRssBytes()
+{
+    std::FILE *statm = std::fopen("/proc/self/statm", "r");
+    if (!statm)
+        return -1;
+    long size = 0;
+    long resident = 0;
+    int fields = std::fscanf(statm, "%ld %ld", &size, &resident);
+    std::fclose(statm);
+    if (fields != 2)
+        return -1;
+    long pageSize = sysconf(_SC_PAGESIZE);
+    if (pageSize <= 0)
+        return -1;
+    return static_cast<std::int64_t>(resident) * pageSize;
+}
+
+#endif
+
+} // namespace
+
+ProcSample
+sampleProc()
+{
+    ProcSample sample;
+#ifdef REMEMBERR_HAVE_GETRUSAGE
+    struct rusage usage;
+    if (getrusage(RUSAGE_SELF, &usage) == 0) {
+        sample.userCpuUs = timevalUs(usage.ru_utime);
+        sample.sysCpuUs = timevalUs(usage.ru_stime);
+        sample.voluntaryCtxSwitches =
+            static_cast<std::int64_t>(usage.ru_nvcsw);
+        sample.involuntaryCtxSwitches =
+            static_cast<std::int64_t>(usage.ru_nivcsw);
+        // ru_maxrss is kilobytes on Linux, bytes on macOS.
+#if defined(__APPLE__)
+        sample.maxRssBytes =
+            static_cast<std::int64_t>(usage.ru_maxrss);
+#else
+        sample.maxRssBytes =
+            static_cast<std::int64_t>(usage.ru_maxrss) * 1024;
+#endif
+    }
+#endif
+#if defined(__linux__)
+    sample.rssBytes = statmRssBytes();
+#endif
+    if (sample.rssBytes < 0)
+        sample.rssBytes = sample.maxRssBytes;
+    return sample;
+}
+
+void
+publishProcGauges(MetricsRegistry &registry,
+                  const ProcSample &sample)
+{
+    struct Field
+    {
+        const char *name;
+        std::int64_t value;
+    };
+    const Field fields[] = {
+        {"proc.rss_bytes", sample.rssBytes},
+        {"proc.max_rss_bytes", sample.maxRssBytes},
+        {"proc.cpu_user_us", sample.userCpuUs},
+        {"proc.cpu_sys_us", sample.sysCpuUs},
+        {"proc.ctxsw_voluntary", sample.voluntaryCtxSwitches},
+        {"proc.ctxsw_involuntary", sample.involuntaryCtxSwitches},
+    };
+    for (const Field &field : fields) {
+        if (field.value >= 0)
+            registry.gauge(field.name).set(field.value);
+    }
+}
+
+} // namespace rememberr

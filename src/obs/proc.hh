@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Process resource sampling: RSS, CPU time and context switches as
+ * registry gauges, so the periodic exporter's JSONL time series
+ * carries a continuous health record next to the flow counters.
+ *
+ * Sources: getrusage(RUSAGE_SELF) for CPU time, context switches and
+ * peak RSS (portable across POSIX); /proc/self/statm for the current
+ * resident set (Linux only — elsewhere the current-RSS gauge falls
+ * back to the getrusage peak). Sampling is a handful of syscalls and
+ * one small read; it is driven by the exporter tick, never by the
+ * instrumented code itself.
+ */
+
+#ifndef REMEMBERR_OBS_PROC_HH
+#define REMEMBERR_OBS_PROC_HH
+
+#include <cstdint>
+
+#include "obs/metrics.hh"
+
+namespace rememberr {
+
+/** One point-in-time resource sample; -1 = source unavailable. */
+struct ProcSample
+{
+    /** Current resident set size in bytes (/proc/self/statm). */
+    std::int64_t rssBytes = -1;
+    /** Peak resident set size in bytes (ru_maxrss). */
+    std::int64_t maxRssBytes = -1;
+    /** User-mode CPU time, microseconds (ru_utime). */
+    std::int64_t userCpuUs = -1;
+    /** Kernel-mode CPU time, microseconds (ru_stime). */
+    std::int64_t sysCpuUs = -1;
+    /** Voluntary context switches (ru_nvcsw). */
+    std::int64_t voluntaryCtxSwitches = -1;
+    /** Involuntary context switches (ru_nivcsw). */
+    std::int64_t involuntaryCtxSwitches = -1;
+};
+
+/** Sample the current process. Thread-safe. */
+ProcSample sampleProc();
+
+/**
+ * Publish a sample as gauges:
+ *   proc.rss_bytes, proc.max_rss_bytes, proc.cpu_user_us,
+ *   proc.cpu_sys_us, proc.ctxsw_voluntary, proc.ctxsw_involuntary
+ * Unavailable fields (-1) are skipped, so a registry only ever
+ * carries gauges the platform can actually fill.
+ */
+void publishProcGauges(MetricsRegistry &registry,
+                       const ProcSample &sample);
+
+} // namespace rememberr
+
+#endif // REMEMBERR_OBS_PROC_HH

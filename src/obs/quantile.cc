@@ -1,0 +1,184 @@
+#include "quantile.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace rememberr {
+
+namespace {
+
+/** Shards are a contention valve, not a correctness feature: any
+ * thread may write any shard, readers always merge all of them. Four
+ * covers the container's realistic parallelism without bloating the
+ * per-instrument footprint. */
+constexpr std::size_t kShards = 4;
+
+std::size_t
+shardIndex()
+{
+    static std::atomic<std::size_t> next{0};
+    thread_local std::size_t index =
+        next.fetch_add(1, std::memory_order_relaxed) % kShards;
+    return index;
+}
+
+/** CAS-maximum for atomic<double> (no fetch_max for FP types). */
+void
+atomicMax(std::atomic<double> &slot, double value)
+{
+    double seen = slot.load(std::memory_order_relaxed);
+    while (seen < value &&
+           !slot.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+void
+atomicAdd(std::atomic<double> &slot, double delta)
+{
+    double seen = slot.load(std::memory_order_relaxed);
+    while (!slot.compare_exchange_weak(seen, seen + delta,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+} // namespace
+
+QuantileHistogram::QuantileHistogram(double alpha) : alpha_(alpha)
+{
+    if (!(alpha > 0.0) || !(alpha < 1.0))
+        REMEMBERR_PANIC("quantile alpha must be in (0, 1), got ",
+                        alpha);
+    gamma_ = (1.0 + alpha_) / (1.0 - alpha_);
+    invLogGamma_ = 1.0 / std::log(gamma_);
+    logBuckets_ = static_cast<std::size_t>(
+        std::ceil(std::log(maxTrackable()) * invLogGamma_));
+    shards_.reserve(kShards);
+    for (std::size_t s = 0; s < kShards; ++s)
+        shards_.push_back(std::make_unique<Shard>(logBuckets_ + 2));
+}
+
+std::size_t
+QuantileHistogram::bucketIndex(double value) const
+{
+    if (!(value >= 1.0))
+        return 0; // underflow (also NaN)
+    if (value > maxTrackable())
+        return logBuckets_ + 1; // overflow
+    double j = std::ceil(std::log(value) * invLogGamma_);
+    if (j < 0.0)
+        j = 0.0;
+    auto index = static_cast<std::size_t>(j) + 1;
+    return std::min(index, logBuckets_ + 1);
+}
+
+double
+QuantileHistogram::bucketEstimate(std::size_t index) const
+{
+    if (index == 0)
+        return 0.5;
+    if (index >= logBuckets_ + 1)
+        return max();
+    if (index == 1)
+        return 1.0; // bucket 1 holds exactly value == 1
+    // Bucket index covers (gamma^(index-2), gamma^(index-1)]; the
+    // harmonic point 2 * gamma^(index-1) / (gamma + 1) keeps the
+    // relative error within [-alpha, +alpha) over the whole bucket.
+    return 2.0 *
+           std::pow(gamma_, static_cast<double>(index - 1)) /
+           (gamma_ + 1.0);
+}
+
+void
+QuantileHistogram::observe(double value)
+{
+    Shard &shard = *shards_[shardIndex()];
+    shard.buckets[bucketIndex(value)].fetch_add(
+        1, std::memory_order_relaxed);
+    shard.count.fetch_add(1, std::memory_order_relaxed);
+    atomicAdd(shard.sum, value);
+    atomicMax(shard.max, value);
+}
+
+std::uint64_t
+QuantileHistogram::count() const
+{
+    std::uint64_t total = 0;
+    for (const auto &shard : shards_)
+        total += shard->count.load(std::memory_order_relaxed);
+    return total;
+}
+
+double
+QuantileHistogram::sum() const
+{
+    double total = 0.0;
+    for (const auto &shard : shards_)
+        total += shard->sum.load(std::memory_order_relaxed);
+    return total;
+}
+
+double
+QuantileHistogram::max() const
+{
+    double best = 0.0;
+    for (const auto &shard : shards_) {
+        best = std::max(best,
+                        shard->max.load(std::memory_order_relaxed));
+    }
+    return best;
+}
+
+double
+QuantileHistogram::quantile(double q) const
+{
+    q = std::clamp(q, 0.0, 1.0);
+    // Merge shard buckets once; the copy keeps the walk consistent
+    // even while writers keep observing.
+    std::vector<std::uint64_t> merged(logBuckets_ + 2, 0);
+    std::uint64_t total = 0;
+    for (const auto &shard : shards_) {
+        for (std::size_t b = 0; b < merged.size(); ++b) {
+            std::uint64_t n =
+                shard->buckets[b].load(std::memory_order_relaxed);
+            merged[b] += n;
+            total += n;
+        }
+    }
+    if (total == 0)
+        return 0.0;
+    if (q >= 1.0)
+        return max();
+    // Rank of the q-quantile in the sorted sample (0-based), then
+    // walk buckets until the cumulative count passes it.
+    auto rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(total - 1));
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < merged.size(); ++b) {
+        cumulative += merged[b];
+        if (cumulative > rank) {
+            // The midpoint estimate can overshoot the largest sample
+            // by up to alpha; clamping to the exact tracked maximum
+            // keeps every quantile <= max() without widening the
+            // error bound.
+            return std::min(bucketEstimate(b), max());
+        }
+    }
+    return max();
+}
+
+void
+QuantileHistogram::reset()
+{
+    for (auto &shard : shards_) {
+        for (auto &bucket : shard->buckets)
+            bucket.store(0, std::memory_order_relaxed);
+        shard->count.store(0, std::memory_order_relaxed);
+        shard->sum.store(0.0, std::memory_order_relaxed);
+        shard->max.store(0.0, std::memory_order_relaxed);
+    }
+}
+
+} // namespace rememberr

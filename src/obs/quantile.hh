@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Log-bucketed quantile histogram (DDSketch/HDR-style) for latency
+ * instruments that must answer p50/p95/p99 while the process keeps
+ * running.
+ *
+ * Values are mapped to geometrically spaced buckets with ratio
+ * gamma = (1 + alpha) / (1 - alpha): bucket j (j >= 1) covers
+ * (gamma^(j-1), gamma^j], and the estimate reported for any value in
+ * that bucket is 2 * gamma^j / (gamma + 1), which is within a factor
+ * of [1 - alpha, 1 + alpha) of the true value. Quantile estimation
+ * therefore carries a *bounded relative error* of alpha for any
+ * observation in [1, maxTrackable()] — the guarantee the tests pin.
+ *
+ * Concurrency model:
+ *   - observe() is lock-free: one relaxed fetch_add on a bucket in a
+ *     per-thread shard (threads are striped over a small fixed shard
+ *     set, so concurrent writers almost never share a cache line),
+ *     plus CAS loops for the shard's sum and max;
+ *   - readers (count/sum/max/quantile) merge all shards with relaxed
+ *     loads — mergeability is the point of sharding: a snapshot is
+ *     just a sum over shards, no stop-the-world, no locking;
+ *   - reset() zeroes shards in place, keeping references valid.
+ *
+ * Observations below 1.0 land in an underflow bucket (estimated as
+ * 0.5, outside the relative-error guarantee); observations above
+ * maxTrackable() land in an overflow bucket and are answered from
+ * the exact tracked maximum.
+ */
+
+#ifndef REMEMBERR_OBS_QUANTILE_HH
+#define REMEMBERR_OBS_QUANTILE_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace rememberr {
+
+class QuantileHistogram
+{
+  public:
+    /** @param alpha relative error bound in (0, 1); default 1%. */
+    explicit QuantileHistogram(double alpha = defaultAlpha());
+
+    /** Record one observation. Lock-free; thread-safe. */
+    void observe(double value);
+
+    /** Total observations across all shards. */
+    std::uint64_t count() const;
+
+    /** Sum of all observed values. */
+    double sum() const;
+
+    /** Exact largest observed value (0 when empty). */
+    double max() const;
+
+    /**
+     * Estimate the q-quantile (q in [0, 1]) of everything observed
+     * so far: the value whose rank is floor(q * (count - 1)) in the
+     * sorted sample, within relative error alpha() for observations
+     * in [1, maxTrackable()]. Returns 0 when empty; quantile(1.0)
+     * returns the exact max.
+     */
+    double quantile(double q) const;
+
+    /** The configured relative error bound. */
+    double alpha() const { return alpha_; }
+
+    /** Largest value the log buckets cover (larger observations are
+     * answered from the exact max). */
+    static double maxTrackable() { return 1e9; }
+
+    static double defaultAlpha() { return 0.01; }
+
+    /** Zero every shard in place; outstanding references stay valid. */
+    void reset();
+
+  private:
+    struct Shard
+    {
+        std::vector<std::atomic<std::uint64_t>> buckets;
+        std::atomic<std::uint64_t> count{0};
+        std::atomic<double> sum{0.0};
+        std::atomic<double> max{0.0};
+
+        explicit Shard(std::size_t bucketCount)
+            : buckets(bucketCount)
+        {
+        }
+    };
+
+    std::size_t bucketIndex(double value) const;
+    double bucketEstimate(std::size_t index) const;
+
+    double alpha_;
+    double gamma_;
+    double invLogGamma_;
+    /** buckets: [0] underflow (< 1), [1..logBuckets] log-spaced,
+     * [logBuckets + 1] overflow (> maxTrackable). */
+    std::size_t logBuckets_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+} // namespace rememberr
+
+#endif // REMEMBERR_OBS_QUANTILE_HH

@@ -9,15 +9,20 @@ namespace rememberr {
 
 namespace {
 
-/** Sequential ids so events from different OS threads stay
- * distinguishable even after thread-id reuse. */
-std::uint32_t
-currentTid()
+/** Per-thread stack of open span ids (innermost last). */
+std::vector<std::uint64_t> &
+spanStack()
 {
-    static std::atomic<std::uint32_t> next{1};
-    thread_local std::uint32_t tid =
-        next.fetch_add(1, std::memory_order_relaxed);
-    return tid;
+    thread_local std::vector<std::uint64_t> stack;
+    return stack;
+}
+
+/** Process-unique span ids; 0 is reserved for "no span". */
+std::uint64_t
+nextSpanId()
+{
+    static std::atomic<std::uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
 }
 
 /** Recorder ids for the thread-local buffer cache. Never reused, so
@@ -31,6 +36,24 @@ nextRecorderId()
 }
 
 } // namespace
+
+std::uint32_t
+obsThreadId()
+{
+    // Sequential ids so events from different OS threads stay
+    // distinguishable even after thread-id reuse.
+    static std::atomic<std::uint32_t> next{1};
+    thread_local std::uint32_t tid =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return tid;
+}
+
+std::uint64_t
+activeSpanId()
+{
+    const std::vector<std::uint64_t> &stack = spanStack();
+    return stack.empty() ? 0 : stack.back();
+}
 
 TraceRecorder::TraceRecorder()
     : epoch_(std::chrono::steady_clock::now()),
@@ -59,7 +82,7 @@ TraceRecorder::localBuffer()
 
     std::lock_guard<std::mutex> lock(mutex_);
     auto buffer = std::make_unique<ThreadBuffer>();
-    buffer->tid = currentTid();
+    buffer->tid = obsThreadId();
     buffers_.push_back(std::move(buffer));
     cachedRecorder = recorderId_;
     cachedBuffer = buffers_.back().get();
@@ -68,7 +91,7 @@ TraceRecorder::localBuffer()
 
 void
 TraceRecorder::record(std::string name, std::uint64_t tsUs,
-                      std::uint64_t durUs)
+                      std::uint64_t durUs, std::uint64_t id)
 {
     ThreadBuffer &buffer = localBuffer();
     TraceEvent event;
@@ -76,6 +99,7 @@ TraceRecorder::record(std::string name, std::uint64_t tsUs,
     event.tsUs = tsUs;
     event.durUs = durUs;
     event.tid = buffer.tid;
+    event.id = id;
     std::lock_guard<std::mutex> lock(buffer.mutex);
     buffer.events.push_back(std::move(event));
 }
@@ -126,6 +150,12 @@ TraceRecorder::toChromeJson() const
         entry["pid"] = JsonValue(1);
         entry["tid"] =
             JsonValue(static_cast<double>(event.tid));
+        if (event.id != 0) {
+            JsonValue eventArgs = JsonValue::makeObject();
+            eventArgs["span_id"] =
+                JsonValue(static_cast<double>(event.id));
+            entry["args"] = std::move(eventArgs);
+        }
         events.append(std::move(entry));
     }
     return events.dumpPretty();
@@ -141,15 +171,19 @@ TraceRecorder::global()
 ScopedSpan::ScopedSpan(TraceRecorder *recorder, std::string name)
     : recorder_(recorder), name_(std::move(name))
 {
-    if (recorder_)
+    if (recorder_) {
         startUs_ = recorder_->nowUs();
+        id_ = nextSpanId();
+        spanStack().push_back(id_);
+    }
 }
 
 ScopedSpan::~ScopedSpan()
 {
     if (recorder_) {
+        spanStack().pop_back();
         recorder_->record(std::move(name_), startUs_,
-                          recorder_->nowUs() - startUs_);
+                          recorder_->nowUs() - startUs_, id_);
     }
 }
 

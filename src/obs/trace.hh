@@ -40,9 +40,26 @@ struct TraceEvent
     std::uint64_t tsUs = 0;
     std::uint64_t durUs = 0;
     std::uint32_t tid = 0;
+    /** Process-unique span id (0 = none), assigned when the span
+     * opens so concurrent log records can reference it; exported as
+     * args.span_id in the Chrome JSON. */
+    std::uint64_t id = 0;
 
     bool operator==(const TraceEvent &other) const = default;
 };
+
+/**
+ * Sequential id of the calling thread (1-based, never reused) — the
+ * id trace events and structured log records are stamped with.
+ */
+std::uint32_t obsThreadId();
+
+/**
+ * The innermost live span id on the calling thread (0 when no span
+ * is open). ScopedSpan maintains a per-thread stack of open spans;
+ * structured log records join against trace exports through this id.
+ */
+std::uint64_t activeSpanId();
 
 /** Collects trace events from any number of threads. */
 class TraceRecorder
@@ -55,7 +72,7 @@ class TraceRecorder
 
     /** Append one complete event to the calling thread's buffer. */
     void record(std::string name, std::uint64_t tsUs,
-                std::uint64_t durUs);
+                std::uint64_t durUs, std::uint64_t id = 0);
 
     /** Merge all buffers, sorted by (tsUs, durUs desc, name). */
     std::vector<TraceEvent> snapshot() const;
@@ -105,10 +122,14 @@ class ScopedSpan
     /** Microseconds since the span started (0 when disabled). */
     std::uint64_t elapsedUs() const;
 
+    /** This span's process-unique id (0 when disabled). */
+    std::uint64_t id() const { return id_; }
+
   private:
     TraceRecorder *recorder_;
     std::string name_;
     std::uint64_t startUs_ = 0;
+    std::uint64_t id_ = 0;
 };
 
 } // namespace rememberr

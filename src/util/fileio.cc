@@ -1,0 +1,63 @@
+#include "fileio.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace rememberr {
+
+namespace {
+
+/** Unique sibling temp name: pid + a process-wide sequence keep
+ * concurrent writers (tests run commands in parallel processes and
+ * the exporter thread rewrites its series repeatedly) from clobbering
+ * each other's staging files. */
+std::string
+tempName(const std::string &path)
+{
+    static std::atomic<std::uint64_t> sequence{0};
+    long pid = 0;
+#if defined(__unix__) || defined(__APPLE__)
+    pid = static_cast<long>(::getpid());
+#endif
+    return path + ".tmp." + std::to_string(pid) + "." +
+           std::to_string(
+               sequence.fetch_add(1, std::memory_order_relaxed));
+}
+
+} // namespace
+
+Expected<std::size_t>
+atomicWriteFile(const std::string &path, const std::string &content)
+{
+    const std::string temp = tempName(path);
+    {
+        std::ofstream out(temp,
+                          std::ios::binary | std::ios::trunc);
+        out.write(content.data(),
+                  static_cast<std::streamsize>(content.size()));
+        out.flush();
+        if (!out) {
+            std::error_code ec;
+            std::filesystem::remove(temp, ec);
+            return makeError("cannot write " + temp);
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(temp, path, ec);
+    if (ec) {
+        std::error_code removeEc;
+        std::filesystem::remove(temp, removeEc);
+        return makeError("cannot rename " + temp + " to " + path +
+                         ": " + ec.message());
+    }
+    return content.size();
+}
+
+} // namespace rememberr

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Crash-safe file writes: content lands in a temp file in the
+ * destination's directory and is renamed into place, so readers (and
+ * interrupted runs) only ever observe either the previous complete
+ * file or the new complete file — never a truncated artifact.
+ */
+
+#ifndef REMEMBERR_UTIL_FILEIO_HH
+#define REMEMBERR_UTIL_FILEIO_HH
+
+#include <cstddef>
+#include <string>
+
+#include "util/expected.hh"
+
+namespace rememberr {
+
+/**
+ * Write `content` to `path` atomically: write + flush a unique
+ * sibling temp file, then rename over `path` (atomic on POSIX when
+ * source and destination share a filesystem, which the sibling
+ * placement guarantees). The temp file is removed on failure.
+ * Returns the byte count written.
+ */
+Expected<std::size_t> atomicWriteFile(const std::string &path,
+                                      const std::string &content);
+
+} // namespace rememberr
+
+#endif // REMEMBERR_UTIL_FILEIO_HH

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 
@@ -10,6 +11,22 @@ namespace rememberr {
 namespace {
 
 std::atomic<int> levelFlag{static_cast<int>(LogLevel::Info)};
+
+std::mutex &
+emitterMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+/** Shared so a concurrent setLogEmitter cannot destroy the emitter
+ * under a thread that already picked it up. */
+std::shared_ptr<LogEmitter> &
+emitterSlot()
+{
+    static std::shared_ptr<LogEmitter> slot;
+    return slot;
+}
 
 /**
  * Write one already-formatted line to stderr. The message is
@@ -33,7 +50,34 @@ emitLine(const char *prefix, const std::string &msg)
     std::fflush(stderr);
 }
 
+/** Route one record through the installed emitter, or the default
+ * single-write stderr line when none is installed. */
+void
+emit(const char *level, const std::string &msg)
+{
+    std::shared_ptr<LogEmitter> emitter;
+    {
+        std::lock_guard<std::mutex> lock(emitterMutex());
+        emitter = emitterSlot();
+    }
+    if (emitter)
+        (*emitter)(level, msg);
+    else
+        emitLine(level, msg);
+}
+
 } // namespace
+
+void
+setLogEmitter(LogEmitter emitter)
+{
+    std::lock_guard<std::mutex> lock(emitterMutex());
+    if (emitter)
+        emitterSlot() =
+            std::make_shared<LogEmitter>(std::move(emitter));
+    else
+        emitterSlot().reset();
+}
 
 void
 setLogLevel(LogLevel level)
@@ -66,8 +110,8 @@ namespace detail {
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    emitLine("panic",
-             msg + " (" + file + ":" + std::to_string(line) + ")");
+    emit("panic",
+         msg + " (" + file + ":" + std::to_string(line) + ")");
     std::abort();
 }
 
@@ -84,21 +128,21 @@ void
 warnImpl(const std::string &msg)
 {
     if (logLevel() >= LogLevel::Info)
-        emitLine("warn", msg);
+        emit("warn", msg);
 }
 
 void
 informImpl(const std::string &msg)
 {
     if (logLevel() >= LogLevel::Info)
-        emitLine("info", msg);
+        emit("info", msg);
 }
 
 void
 debugImpl(const std::string &msg)
 {
     if (logLevel() == LogLevel::Debug)
-        emitLine("debug", msg);
+        emit("debug", msg);
 }
 
 } // namespace detail

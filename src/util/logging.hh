@@ -17,6 +17,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -59,6 +60,23 @@ LogLevel logLevel();
  * LogLevel::Info. Tests silence warn()/inform() through this. */
 void setLogQuiet(bool quiet);
 bool logQuiet();
+
+/**
+ * Formats and writes one log record that passed the level check.
+ * `level` is one of "warn", "info", "debug" (panic also routes its
+ * last words through the emitter before aborting). The emitter must
+ * be thread-safe; records may arrive concurrently from pool workers.
+ */
+using LogEmitter =
+    std::function<void(const char *level, const std::string &msg)>;
+
+/**
+ * Replace how records are emitted (e.g. the structured JSON emitter
+ * in obs/log); null restores the default "level: message" stderr
+ * lines. Thread-safe; in-flight records finish with the emitter they
+ * started with.
+ */
+void setLogEmitter(LogEmitter emitter);
 
 } // namespace rememberr
 

@@ -491,6 +491,103 @@ TEST(Cli, MetricsOutToUnwritablePathFails)
     EXPECT_NE(result.err.find("cannot write"), std::string::npos);
 }
 
+TEST_F(CliObsFileTest, MetricsIntervalWritesJsonlSeries)
+{
+    std::string path = (dir_ / "series.jsonl").string();
+    CliResult result = run({"stats", "--metrics-interval", "10",
+                            "--metrics-out", path});
+    EXPECT_EQ(result.code, 0);
+
+    std::istringstream in(slurp(path));
+    std::string line;
+    std::size_t lines = 0;
+    double lastSeq = -1.0;
+    while (std::getline(in, line)) {
+        ++lines;
+        auto parsed = parseJson(line);
+        ASSERT_TRUE(parsed) << line;
+        const JsonValue &record = parsed.value();
+        EXPECT_TRUE(record.contains("seq"));
+        EXPECT_TRUE(record.contains("elapsed_ms"));
+        EXPECT_TRUE(record.contains("counters"));
+        EXPECT_TRUE(record.contains("quantiles"));
+        EXPECT_GT(record.at("seq").asNumber(), lastSeq);
+        lastSeq = record.at("seq").asNumber();
+    }
+    // At minimum the shutdown snapshot; a slow run adds periodic
+    // ticks in front of it.
+    EXPECT_GE(lines, 1u);
+}
+
+TEST(Cli, MetricsIntervalRequiresMetricsOut)
+{
+    CliResult result = run({"stats", "--metrics-interval", "10"});
+    EXPECT_EQ(result.code, 2);
+    EXPECT_NE(result.err.find("--metrics-out"), std::string::npos);
+}
+
+TEST(Cli, MetricsIntervalMustBePositive)
+{
+    CliResult result = run({"stats", "--metrics-interval", "0",
+                            "--metrics-out", "m.jsonl"});
+    EXPECT_EQ(result.code, 2);
+    EXPECT_NE(result.err.find("positive"), std::string::npos);
+}
+
+TEST_F(CliObsFileTest, ProfileSnapshotTimesTheLoadPath)
+{
+    std::string snapPath = (dir_ / "db.snap").string();
+    ASSERT_EQ(run({"snapshot", "--out", snapPath}).code, 0);
+
+    CliResult result = run({"profile", "--snapshot", snapPath});
+    EXPECT_EQ(result.code, 0);
+    EXPECT_NE(result.out.find("open+verify"), std::string::npos);
+    EXPECT_NE(result.out.find("materialize"), std::string::npos);
+    EXPECT_NE(result.out.find("unique errata"), std::string::npos);
+}
+
+TEST(Cli, ProfileSnapshotMissingFileFails)
+{
+    CliResult result =
+        run({"profile", "--snapshot", "/nonexistent/db.snap"});
+    EXPECT_EQ(result.code, 1);
+    EXPECT_NE(result.err.find("cannot load snapshot"),
+              std::string::npos);
+}
+
+TEST(Cli, LogJsonEmitsStructuredRecordsAndRestoresDefault)
+{
+    // A fresh seed forces a real pipeline run (the per-seed cache
+    // would otherwise swallow the debug records this test expects).
+    testing::internal::CaptureStderr();
+    CliResult result =
+        run({"stats", "--log-json", "--verbose", "--seed",
+             "424242"});
+    std::string captured = testing::internal::GetCapturedStderr();
+    EXPECT_EQ(result.code, 0);
+
+    std::istringstream in(captured);
+    std::string line;
+    std::size_t records = 0;
+    while (std::getline(in, line)) {
+        auto parsed = parseJson(line);
+        ASSERT_TRUE(parsed) << line;
+        EXPECT_EQ(parsed.value().at("level").asString(), "debug");
+        EXPECT_TRUE(parsed.value().contains("ts_us"));
+        EXPECT_TRUE(parsed.value().contains("span"));
+        ++records;
+    }
+    EXPECT_GT(records, 0u);
+
+    // runCli restores the plain emitter on exit.
+    setLogLevel(LogLevel::Info);
+    testing::internal::CaptureStderr();
+    REMEMBERR_WARN("plain");
+    EXPECT_EQ(testing::internal::GetCapturedStderr(),
+              "warn: plain\n");
+    setLogQuiet(true);
+}
+
 } // namespace
 } // namespace cli
 } // namespace rememberr

@@ -146,7 +146,8 @@ TEST(Metrics, JsonExportGolden)
         "{\"count\":1,\"le\":1},"
         "{\"count\":1,\"le\":10},"
         "{\"count\":1,\"le\":\"inf\"}],"
-        "\"count\":3,\"sum\":106.5}}}");
+        "\"count\":3,\"sum\":106.5}},"
+        "\"quantiles\":{}}");
 }
 
 TEST(Metrics, CsvExportGolden)

@@ -1,0 +1,539 @@
+/**
+ * @file
+ * Tests for the live observability layer: log-bucketed quantile
+ * histograms (error bound vs exact percentiles, lock-free shards),
+ * the periodic JSONL metrics exporter (schema, clean shutdown,
+ * failure reporting), the process resource sampler, structured JSON
+ * log records, and crash-safe atomic file writes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "obs/exporter.hh"
+#include "obs/log.hh"
+#include "obs/metrics.hh"
+#include "obs/proc.hh"
+#include "obs/quantile.hh"
+#include "obs/trace.hh"
+#include "util/fileio.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+#include "util/parallel.hh"
+#include "util/strings.hh"
+
+namespace rememberr {
+namespace {
+
+// ---- Quantile histogram -------------------------------------------------
+
+TEST(Quantile, EmptyReportsZeros)
+{
+    QuantileHistogram q;
+    EXPECT_EQ(q.count(), 0u);
+    EXPECT_EQ(q.sum(), 0.0);
+    EXPECT_EQ(q.max(), 0.0);
+    EXPECT_EQ(q.quantile(0.5), 0.0);
+    EXPECT_EQ(q.quantile(0.99), 0.0);
+}
+
+TEST(Quantile, SingleValueWithinRelativeErrorBound)
+{
+    QuantileHistogram q;
+    q.observe(1234.0);
+    EXPECT_EQ(q.count(), 1u);
+    EXPECT_EQ(q.sum(), 1234.0);
+    EXPECT_EQ(q.max(), 1234.0);
+    for (double p : {0.0, 0.5, 0.95, 0.99}) {
+        EXPECT_NEAR(q.quantile(p), 1234.0, 1234.0 * q.alpha())
+            << "p=" << p;
+    }
+    // q = 1 is answered from the exact tracked maximum.
+    EXPECT_EQ(q.quantile(1.0), 1234.0);
+}
+
+TEST(Quantile, SubUnitValuesLandInUnderflowBucket)
+{
+    QuantileHistogram q;
+    q.observe(0.25);
+    // Below the sketch's resolution floor (1.0) the estimate is the
+    // underflow midpoint, clamped to the exact max.
+    EXPECT_EQ(q.quantile(0.5), 0.25);
+    q.observe(0.75);
+    EXPECT_EQ(q.max(), 0.75);
+}
+
+/**
+ * Deterministic log-uniform samples over [1, 1e6]: the fixed-point
+ * iteration of a linear congruential generator keeps the test
+ * reproducible without touching global random state.
+ */
+std::vector<double>
+logUniformSamples(std::size_t n)
+{
+    std::vector<double> values;
+    values.reserve(n);
+    std::uint64_t state = 0x243f6a8885a308d3ull;
+    for (std::size_t i = 0; i < n; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        double u = static_cast<double>(state >> 11) /
+                   static_cast<double>(1ull << 53);
+        values.push_back(std::exp(u * std::log(1e6)));
+    }
+    return values;
+}
+
+TEST(Quantile, EstimatesTrackExactPercentilesWithinAlpha)
+{
+    QuantileHistogram q;
+    std::vector<double> values = logUniformSamples(10000);
+    for (double v : values)
+        q.observe(v);
+
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    // The documented contract: each estimate is within alpha
+    // (relative) of the exact sample percentile
+    // sorted[floor(p * (n - 1))]. The small epsilon absorbs
+    // floating-point edge effects at bucket boundaries.
+    for (double p : {0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95,
+                     0.99, 0.999}) {
+        double exact = sorted[static_cast<std::size_t>(
+            p * static_cast<double>(sorted.size() - 1))];
+        double estimate = q.quantile(p);
+        EXPECT_LE(std::abs(estimate - exact),
+                  exact * (q.alpha() + 1e-9))
+            << "p=" << p << " exact=" << exact
+            << " estimate=" << estimate;
+    }
+    EXPECT_EQ(q.quantile(1.0), sorted.back());
+}
+
+TEST(Quantile, QuantilesAreMonotoneAndBoundedByMax)
+{
+    QuantileHistogram q;
+    for (double v : logUniformSamples(2000))
+        q.observe(v);
+    double previous = 0.0;
+    for (double p : {0.1, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+        double estimate = q.quantile(p);
+        EXPECT_GE(estimate, previous) << "p=" << p;
+        EXPECT_LE(estimate, q.max()) << "p=" << p;
+        previous = estimate;
+    }
+}
+
+TEST(Quantile, TighterAlphaGivesTighterEstimates)
+{
+    QuantileHistogram coarse(0.05);
+    QuantileHistogram fine(0.001);
+    std::vector<double> values = logUniformSamples(5000);
+    for (double v : values) {
+        coarse.observe(v);
+        fine.observe(v);
+    }
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    double exact =
+        sorted[static_cast<std::size_t>(0.95 * (sorted.size() - 1))];
+    EXPECT_LE(std::abs(fine.quantile(0.95) - exact),
+              exact * (0.001 + 1e-9));
+    EXPECT_LE(std::abs(coarse.quantile(0.95) - exact),
+              exact * (0.05 + 1e-9));
+}
+
+TEST(Quantile, ResetClearsEverything)
+{
+    QuantileHistogram q;
+    q.observe(10.0);
+    q.observe(100.0);
+    q.reset();
+    EXPECT_EQ(q.count(), 0u);
+    EXPECT_EQ(q.sum(), 0.0);
+    EXPECT_EQ(q.max(), 0.0);
+    EXPECT_EQ(q.quantile(0.5), 0.0);
+}
+
+TEST(Quantile, ConcurrentObservationsLoseNothing)
+{
+    QuantileHistogram q;
+    constexpr std::size_t n = 100000;
+    parallelFor(n, 4, [&](std::size_t i) {
+        q.observe(static_cast<double>(i % 1000) + 1.0);
+    });
+    EXPECT_EQ(q.count(), n);
+    EXPECT_EQ(q.max(), 1000.0);
+    // All estimates stay inside the observed value range.
+    EXPECT_GE(q.quantile(0.5), 1.0 * (1.0 - q.alpha()));
+    EXPECT_LE(q.quantile(0.99), 1000.0);
+}
+
+TEST(Quantile, RegistryExportsCountSumMaxAndPercentiles)
+{
+    MetricsRegistry registry;
+    QuantileHistogram &q = registry.quantile("stage.lat_us");
+    EXPECT_EQ(&registry.quantile("stage.lat_us"), &q);
+    q.observe(100.0);
+    q.observe(200.0);
+
+    JsonValue json = registry.toJson();
+    const JsonValue &body =
+        json.at("quantiles").at("stage.lat_us");
+    EXPECT_EQ(body.at("count").asNumber(), 2.0);
+    EXPECT_EQ(body.at("sum").asNumber(), 300.0);
+    EXPECT_EQ(body.at("max").asNumber(), 200.0);
+    EXPECT_TRUE(body.contains("p50"));
+    EXPECT_TRUE(body.contains("p95"));
+    EXPECT_TRUE(body.contains("p99"));
+
+    std::string csv = registry.toCsv();
+    EXPECT_NE(csv.find("quantile,stage.lat_us,count,2"),
+              std::string::npos);
+    EXPECT_NE(csv.find("quantile,stage.lat_us,p99,"),
+              std::string::npos);
+}
+
+// ---- Periodic JSONL exporter --------------------------------------------
+
+class ExporterTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("rememberr_obs_live_" + std::to_string(getpid()));
+        std::filesystem::create_directories(dir_);
+    }
+
+    void
+    TearDown() override
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(dir_, ec);
+    }
+
+    std::vector<std::string>
+    readLines(const std::string &path) const
+    {
+        std::ifstream in(path);
+        std::vector<std::string> lines;
+        std::string line;
+        while (std::getline(in, line))
+            lines.push_back(line);
+        return lines;
+    }
+
+    std::filesystem::path dir_;
+};
+
+TEST_F(ExporterTest, SeriesLinesAreSelfContainedAndOrdered)
+{
+    MetricsRegistry registry;
+    registry.counter("work.items").add(7);
+    std::string path = (dir_ / "series.jsonl").string();
+    {
+        ExporterOptions options;
+        options.interval = std::chrono::milliseconds(5);
+        options.metrics = &registry;
+        MetricsExporter exporter(path, options);
+        std::this_thread::sleep_for(std::chrono::milliseconds(40));
+        EXPECT_TRUE(exporter.stop());
+        EXPECT_TRUE(exporter.lastError().empty());
+    }
+
+    std::vector<std::string> lines = readLines(path);
+    ASSERT_GE(lines.size(), 2u);
+    double lastSeq = -1.0;
+    for (const std::string &line : lines) {
+        auto parsed = parseJson(line);
+        ASSERT_TRUE(parsed) << line;
+        const JsonValue &record = parsed.value();
+        ASSERT_TRUE(record.isObject());
+        // Every line carries the full schema: the series is usable
+        // from any line without back-references.
+        for (const char *key : {"seq", "elapsed_ms", "counters",
+                                "gauges", "histograms", "quantiles"})
+            EXPECT_TRUE(record.contains(key)) << key;
+        EXPECT_EQ(record.at("counters").at("work.items").asNumber(),
+                  7.0);
+        EXPECT_GT(record.at("seq").asNumber(), lastSeq);
+        lastSeq = record.at("seq").asNumber();
+    }
+}
+
+TEST_F(ExporterTest, StopTakesFinalSnapshotBeforeJoining)
+{
+    MetricsRegistry registry;
+    std::string path = (dir_ / "final.jsonl").string();
+    ExporterOptions options;
+    options.interval = std::chrono::minutes(10);
+    options.metrics = &registry;
+    MetricsExporter exporter(path, options);
+    registry.counter("late.arrival").add(1);
+    EXPECT_TRUE(exporter.stop());
+    // No periodic tick ever fired, yet the file ends with the
+    // process's last state.
+    std::vector<std::string> lines = readLines(path);
+    ASSERT_EQ(lines.size(), 1u);
+    auto parsed = parseJson(lines[0]);
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(parsed.value()
+                  .at("counters")
+                  .at("late.arrival")
+                  .asNumber(),
+              1.0);
+    // stop() is idempotent.
+    EXPECT_TRUE(exporter.stop());
+    EXPECT_EQ(readLines(path).size(), 1u);
+}
+
+TEST_F(ExporterTest, ProcGaugesRideInTheSeries)
+{
+    MetricsRegistry registry;
+    std::string path = (dir_ / "proc.jsonl").string();
+    ExporterOptions options;
+    options.interval = std::chrono::minutes(10);
+    options.metrics = &registry;
+    MetricsExporter exporter(path, options);
+    exporter.flushNow();
+    EXPECT_TRUE(exporter.stop());
+
+    std::vector<std::string> lines = readLines(path);
+    ASSERT_GE(lines.size(), 1u);
+    auto parsed = parseJson(lines.back());
+    ASSERT_TRUE(parsed);
+#ifdef __unix__
+    const JsonValue &gauges = parsed.value().at("gauges");
+    EXPECT_TRUE(gauges.contains("proc.max_rss_bytes"));
+    EXPECT_TRUE(gauges.contains("proc.cpu_user_us"));
+#endif
+}
+
+TEST_F(ExporterTest, ConcurrentWritersAndFlushesStayConsistent)
+{
+    MetricsRegistry registry;
+    Counter &items = registry.counter("load.items");
+    QuantileHistogram &latency = registry.quantile("load.lat_us");
+    std::string path = (dir_ / "concurrent.jsonl").string();
+    ExporterOptions options;
+    options.interval = std::chrono::milliseconds(2);
+    options.metrics = &registry;
+    MetricsExporter exporter(path, options);
+
+    constexpr std::size_t n = 20000;
+    parallelFor(n, 4, [&](std::size_t i) {
+        items.add(1);
+        latency.observe(static_cast<double>(i % 500) + 1.0);
+        if (i % 4096 == 0)
+            exporter.flushNow();
+    });
+    EXPECT_TRUE(exporter.stop());
+    EXPECT_GE(exporter.ticks(), 1u);
+
+    // The final line (stop()'s snapshot) sees every observation.
+    std::vector<std::string> lines = readLines(path);
+    ASSERT_GE(lines.size(), 1u);
+    auto parsed = parseJson(lines.back());
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(parsed.value()
+                  .at("counters")
+                  .at("load.items")
+                  .asNumber(),
+              static_cast<double>(n));
+    EXPECT_EQ(parsed.value()
+                  .at("quantiles")
+                  .at("load.lat_us")
+                  .at("count")
+                  .asNumber(),
+              static_cast<double>(n));
+}
+
+TEST_F(ExporterTest, WriteFailureIsReportedByStopNotThrown)
+{
+    MetricsRegistry registry;
+    std::string path =
+        (dir_ / "missing" / "series.jsonl").string();
+    ExporterOptions options;
+    options.interval = std::chrono::minutes(10);
+    options.metrics = &registry;
+    MetricsExporter exporter(path, options);
+    exporter.flushNow();
+    EXPECT_FALSE(exporter.stop());
+    EXPECT_FALSE(exporter.lastError().empty());
+}
+
+// ---- Process resource sampler -------------------------------------------
+
+TEST(Proc, SampleReportsPlausibleResourceUsage)
+{
+    // Touch some memory and burn a little CPU so the sample has
+    // something to see.
+    std::vector<double> ballast(1 << 16, 1.5);
+    double sink = 0.0;
+    for (double v : ballast)
+        sink += v;
+    ASSERT_GT(sink, 0.0);
+
+    ProcSample sample = sampleProc();
+#ifdef __unix__
+    EXPECT_GT(sample.maxRssBytes, 0);
+    EXPECT_GE(sample.userCpuUs + sample.sysCpuUs, 0);
+    EXPECT_GE(sample.voluntaryCtxSwitches, 0);
+#endif
+#ifdef __linux__
+    EXPECT_GT(sample.rssBytes, 0);
+#endif
+}
+
+TEST(Proc, PublishSkipsUnavailableFields)
+{
+    MetricsRegistry registry;
+    ProcSample sample;
+    sample.rssBytes = 4096;
+    // Everything else stays -1 (unavailable) and must not be
+    // published.
+    publishProcGauges(registry, sample);
+    EXPECT_NE(registry.findGauge("proc.rss_bytes"), nullptr);
+    EXPECT_EQ(registry.findGauge("proc.cpu_user_us"), nullptr);
+    EXPECT_EQ(registry.findGauge("proc.ctxsw_voluntary"), nullptr);
+    EXPECT_EQ(registry.gauge("proc.rss_bytes").value(), 4096);
+}
+
+// ---- Structured JSON log records ----------------------------------------
+
+TEST(JsonLog, RecordGolden)
+{
+    EXPECT_EQ(formatJsonLogRecord("warn", "disk \"full\"", 123, 7,
+                                  42),
+              "{\"ts_us\":123,\"level\":\"warn\",\"thread\":7,"
+              "\"span\":42,\"msg\":\"disk \\\"full\\\"\"}");
+    EXPECT_EQ(formatJsonLogRecord("info", "", 0, 1, 0),
+              "{\"ts_us\":0,\"level\":\"info\",\"thread\":1,"
+              "\"span\":0,\"msg\":\"\"}");
+}
+
+TEST(JsonLog, EmitterProducesParseableRecords)
+{
+    LogLevel saved = logLevel();
+    setLogLevel(LogLevel::Info);
+    enableJsonLogging();
+    testing::internal::CaptureStderr();
+    REMEMBERR_WARN("quantile overflow: ", 3, " samples dropped");
+    std::string captured = testing::internal::GetCapturedStderr();
+    disableJsonLogging();
+    setLogLevel(saved);
+
+    auto parsed = parseJson(captured);
+    ASSERT_TRUE(parsed) << captured;
+    const JsonValue &record = parsed.value();
+    EXPECT_EQ(record.at("level").asString(), "warn");
+    EXPECT_EQ(record.at("msg").asString(),
+              "quantile overflow: 3 samples dropped");
+    EXPECT_GE(record.at("ts_us").asNumber(), 0.0);
+    EXPECT_GE(record.at("thread").asNumber(), 1.0);
+    // No span was open when the record fired.
+    EXPECT_EQ(record.at("span").asNumber(), 0.0);
+}
+
+TEST(JsonLog, RecordsCarryTheEnclosingSpanId)
+{
+    LogLevel saved = logLevel();
+    setLogLevel(LogLevel::Info);
+    enableJsonLogging();
+    TraceRecorder recorder;
+    std::string captured;
+    {
+        ScopedSpan span(&recorder, "stage");
+        EXPECT_EQ(activeSpanId(), span.id());
+        EXPECT_NE(span.id(), 0u);
+        testing::internal::CaptureStderr();
+        REMEMBERR_INFORM("inside");
+        captured = testing::internal::GetCapturedStderr();
+    }
+    disableJsonLogging();
+    setLogLevel(saved);
+    EXPECT_EQ(activeSpanId(), 0u);
+
+    auto parsed = parseJson(captured);
+    ASSERT_TRUE(parsed) << captured;
+    EXPECT_GT(parsed.value().at("span").asNumber(), 0.0);
+    // The trace export carries the same correlation key.
+    std::string chrome = recorder.toChromeJson();
+    EXPECT_NE(chrome.find("\"span_id\""), std::string::npos);
+}
+
+TEST(JsonLog, DisableRestoresPlainTextEmission)
+{
+    LogLevel saved = logLevel();
+    setLogLevel(LogLevel::Info);
+    enableJsonLogging();
+    disableJsonLogging();
+    testing::internal::CaptureStderr();
+    REMEMBERR_WARN("plain again");
+    std::string captured = testing::internal::GetCapturedStderr();
+    setLogLevel(saved);
+    EXPECT_EQ(captured, "warn: plain again\n");
+}
+
+// ---- Crash-safe file writes ---------------------------------------------
+
+class AtomicWriteTest : public ExporterTest
+{
+};
+
+TEST_F(AtomicWriteTest, WritesContentAndReportsSize)
+{
+    std::string path = (dir_ / "out.txt").string();
+    auto written = atomicWriteFile(path, "hello\n");
+    ASSERT_TRUE(written);
+    EXPECT_EQ(written.value(), 6u);
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_EQ(buffer.str(), "hello\n");
+}
+
+TEST_F(AtomicWriteTest, ReplacesExistingFileCompletely)
+{
+    std::string path = (dir_ / "out.txt").string();
+    ASSERT_TRUE(atomicWriteFile(path,
+                                "a very long previous body\n"));
+    ASSERT_TRUE(atomicWriteFile(path, "short\n"));
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_EQ(buffer.str(), "short\n");
+}
+
+TEST_F(AtomicWriteTest, LeavesNoTempFilesBehind)
+{
+    std::string path = (dir_ / "out.txt").string();
+    ASSERT_TRUE(atomicWriteFile(path, "x"));
+    std::size_t entries = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir_)) {
+        (void)entry;
+        ++entries;
+    }
+    EXPECT_EQ(entries, 1u);
+}
+
+TEST_F(AtomicWriteTest, FailsCleanlyIntoMissingDirectory)
+{
+    std::string path = (dir_ / "no" / "such" / "dir.txt").string();
+    auto written = atomicWriteFile(path, "x");
+    EXPECT_FALSE(written);
+}
+
+} // namespace
+} // namespace rememberr

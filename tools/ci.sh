@@ -9,13 +9,18 @@
 #   4. snapshot determinism: write the binary snapshot at
 #      --threads 1 and --threads 8, require byte-identical files,
 #      then smoke a query through the --snapshot fast path;
-#   5. clang-tidy via the check_tidy target (skips when clang-tidy
+#   5. live observability: a pipeline command run with
+#      --metrics-interval 50 --log-json, with the JSONL metrics
+#      series and the structured log stream both validated by
+#      tools/jsonl_check;
+#   6. clang-tidy via the check_tidy target (skips when clang-tidy
 #      is not installed);
-#   6. a ThreadSanitizer build running the concurrency-sensitive
-#      tests (parallel executor, observability, the literal
-#      prefilter differential and the similarity kernels, which are
+#   7. a ThreadSanitizer build running the concurrency-sensitive
+#      tests (parallel executor, observability including the sharded
+#      quantiles and the exporter thread, the literal prefilter
+#      differential and the similarity kernels, which are
 #      scanned/scored concurrently from dedup and foureyes shards);
-#   7. an UndefinedBehaviorSanitizer build running the parser,
+#   8. an UndefinedBehaviorSanitizer build running the parser,
 #      regex, diagnostics and snapshot tests, where the
 #      bit-twiddling lives.
 #
@@ -61,6 +66,20 @@ cmp "$snapdir/t1.snap" "$snapdir/t8.snap"
 "$root/$build/tools/rememberr_cli" query \
     --snapshot="$snapdir/t1.snap" --vendor=amd --limit=1 > /dev/null
 
+step "live observability (--metrics-interval, --log-json)"
+"$root/$build/tools/rememberr_cli" stats \
+    --seed=7 --metrics-interval=50 --log-json --verbose \
+    --metrics-out="$snapdir/series.jsonl" \
+    > /dev/null 2> "$snapdir/log.jsonl"
+"$root/$build/tools/jsonl_check" \
+    --require seq,elapsed_ms,counters,gauges,histograms,quantiles \
+    "$snapdir/series.jsonl"
+"$root/$build/tools/jsonl_check" \
+    --require ts_us,level,thread,span,msg \
+    "$snapdir/log.jsonl"
+"$root/$build/tools/rememberr_cli" profile \
+    --snapshot="$snapdir/t1.snap" > /dev/null
+
 step "clang-tidy"
 cmake --build "$root/$build" --target check_tidy
 
@@ -68,12 +87,12 @@ step "thread-sanitizer build (${tsan_build})"
 cmake -B "$root/$tsan_build" -S "$root" \
     -DREMEMBERR_SANITIZE=thread > /dev/null
 cmake --build "$root/$tsan_build" -j "$jobs" \
-    --target test_parallel test_obs test_similarity_kernels \
-    test_regex_differential
+    --target test_parallel test_obs test_obs_live \
+    test_similarity_kernels test_regex_differential
 
 step "thread-sanitizer tests"
-for t in test_parallel test_obs test_similarity_kernels \
-         test_regex_differential; do
+for t in test_parallel test_obs test_obs_live \
+         test_similarity_kernels test_regex_differential; do
     "$root/$tsan_build/tests/$t"
 done
 

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * JSONL stream validator for CI: every non-empty line must parse as
+ * a self-contained JSON object, and each object must contain every
+ * key named with --require. Used to gate the metrics exporter's
+ * time-series files and the --log-json record stream.
+ *
+ *   jsonl_check [--require key1,key2,...] [--min-lines N] FILE
+ *
+ * Exit status: 0 when the whole stream validates, 1 on any parse
+ * failure, missing key or short stream, 2 on usage errors.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/json.hh"
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: jsonl_check [--require key1,key2,...] "
+                 "[--min-lines N] FILE\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> required;
+    std::size_t minLines = 1;
+    std::string path;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--require" && i + 1 < argc) {
+            std::string list = argv[++i];
+            std::size_t pos = 0;
+            while (pos <= list.size()) {
+                std::size_t comma = list.find(',', pos);
+                if (comma == std::string::npos)
+                    comma = list.size();
+                std::string key = list.substr(pos, comma - pos);
+                if (!key.empty())
+                    required.push_back(key);
+                pos = comma + 1;
+            }
+        } else if (arg == "--min-lines" && i + 1 < argc) {
+            minLines = static_cast<std::size_t>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            return usage();
+        }
+    }
+    if (path.empty())
+        return usage();
+
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "jsonl_check: cannot open %s\n",
+                     path.c_str());
+        return 1;
+    }
+
+    std::string line;
+    std::size_t lineNo = 0;
+    std::size_t records = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (line.empty())
+            continue;
+        auto parsed = rememberr::parseJson(line);
+        if (!parsed) {
+            std::fprintf(stderr,
+                         "jsonl_check: %s:%zu: parse error: %s\n",
+                         path.c_str(), lineNo,
+                         parsed.error().toString().c_str());
+            return 1;
+        }
+        if (!parsed.value().isObject()) {
+            std::fprintf(stderr,
+                         "jsonl_check: %s:%zu: not a JSON object\n",
+                         path.c_str(), lineNo);
+            return 1;
+        }
+        for (const std::string &key : required) {
+            if (!parsed.value().contains(key)) {
+                std::fprintf(
+                    stderr,
+                    "jsonl_check: %s:%zu: missing key \"%s\"\n",
+                    path.c_str(), lineNo, key.c_str());
+                return 1;
+            }
+        }
+        ++records;
+    }
+    if (records < minLines) {
+        std::fprintf(stderr,
+                     "jsonl_check: %s: %zu record(s), expected at "
+                     "least %zu\n",
+                     path.c_str(), records, minLines);
+        return 1;
+    }
+    std::printf("jsonl_check: %s: %zu record(s) ok\n", path.c_str(),
+                records);
+    return 0;
+}
