@@ -1,0 +1,494 @@
+/**
+ * @file
+ * Parsing fast-path microbenchmarks: the lazy-DFA linear regex tier
+ * against the backtracking VM it screens, and the table-driven
+ * tokenizer against its per-character `<cctype>` reference — each
+ * with equivalence hashes proving the fast paths change no decision,
+ * no span and no token. A dedicated hazard set shows the linear
+ * tier's guaranteed-linear bound where the VM hits its step budget.
+ * Results land in BENCH_parse.json so successive PRs can diff the
+ * trajectory; `--smoke` runs the equivalence checks only (exit 1 on
+ * any divergence) for the CI leg.
+ */
+
+#include "common.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "classify/engine.hh"
+#include "classify/rules.hh"
+#include "obs/metrics.hh"
+#include "text/regex.hh"
+#include "text/tokenize.hh"
+
+namespace rememberr {
+namespace bench {
+namespace {
+
+/** FNV-1a 64-bit, the usual trick for order-sensitive run hashes. */
+struct Fnv
+{
+    std::uint64_t state = 1469598103934665603ULL;
+
+    void
+    add(std::uint64_t value)
+    {
+        for (int byte = 0; byte < 8; ++byte) {
+            state ^= (value >> (byte * 8)) & 0xff;
+            state *= 1099511628211ULL;
+        }
+    }
+
+    void
+    addText(std::string_view text)
+    {
+        for (unsigned char c : text) {
+            state ^= c;
+            state *= 1099511628211ULL;
+        }
+        add(text.size());
+    }
+};
+
+std::string
+hex(std::uint64_t value)
+{
+    char buffer[19];
+    std::snprintf(buffer, sizeof(buffer), "%016llx",
+                  static_cast<unsigned long long>(value));
+    return buffer;
+}
+
+double
+wallMs(const std::function<void()> &fn)
+{
+    auto begin = std::chrono::steady_clock::now();
+    fn();
+    auto end = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(end - begin)
+        .count();
+}
+
+/** Restore the process regex tier on scope exit. */
+struct TierScope
+{
+    RegexTier saved = regexTier();
+    ~TierScope() { setRegexTier(saved); }
+};
+
+/** Corpus prose (title + body per erratum), the matcher haystacks. */
+const std::vector<std::string> &
+corpusTexts(std::size_t cap)
+{
+    static const std::vector<std::string> texts = [] {
+        std::vector<std::string> built;
+        for (const ErrataDocument &doc :
+             pipeline().corpus.documents) {
+            for (const Erratum &erratum : doc.errata)
+                built.push_back(erratumFullText(erratum));
+        }
+        return built;
+    }();
+    static std::vector<std::string> capped;
+    if (cap >= texts.size())
+        return texts;
+    if (capped.size() != cap)
+        capped.assign(texts.begin(),
+                      texts.begin() + static_cast<long>(cap));
+    return capped;
+}
+
+/** Every classification rule pattern, the matcher needles. */
+const std::vector<const Regex *> &
+rulePatterns()
+{
+    static const std::vector<const Regex *> patterns = [] {
+        std::vector<const Regex *> built;
+        for (const CategoryRule &rule : RuleSet::instance().rules()) {
+            for (const Regex &regex : rule.accept)
+                built.push_back(&regex);
+            for (const Regex &regex : rule.relevance)
+                built.push_back(&regex);
+        }
+        return built;
+    }();
+    return patterns;
+}
+
+/** contains() for every (pattern, text) pair under the active tier,
+ * hashing the decisions; per-text scan time feeds the quantile. */
+std::uint64_t
+decideAll(const std::vector<std::string> &texts,
+          QuantileHistogram *perText)
+{
+    const auto &patterns = rulePatterns();
+    Fnv hash;
+    for (const std::string &text : texts) {
+        auto begin = std::chrono::steady_clock::now();
+        for (const Regex *regex : patterns)
+            hash.add(regex->contains(text) ? 1 : 0);
+        auto end = std::chrono::steady_clock::now();
+        if (perText)
+            perText->observe(
+                std::chrono::duration<double, std::micro>(end - begin)
+                    .count());
+    }
+    return hash.state;
+}
+
+/** Leftmost spans for every groupless rule pattern under the active
+ * tier (Pike NFA vs backtracking VM), hashing (found, begin, end). */
+std::uint64_t
+spanAll(const std::vector<std::string> &texts)
+{
+    Fnv hash;
+    for (const std::string &text : texts) {
+        for (const Regex *regex : rulePatterns()) {
+            if (!regex->linearSpanEligible())
+                continue;
+            auto match = regex->search(text);
+            hash.add(match.has_value() ? 1 : 0);
+            if (match) {
+                hash.add(match->begin);
+                hash.add(match->end);
+            }
+        }
+    }
+    return hash.state;
+}
+
+/** The worst-case set: nested variable repetition the backtracking
+ * VM explodes on (budget-capped), all linear for the DFA tier. The
+ * empty-loop family ('(?:a*)*b') is deliberately absent — on
+ * *matching* subjects its greedy empty iterations also exhaust the
+ * VM, so VM-vs-linear decision hashes could not be pinned equal. */
+struct HazardCase
+{
+    const char *pattern;
+    bool anchorsEnd; // '(a+)+$' matches the bare run, not run+'b'
+};
+
+constexpr HazardCase kHazards[] = {
+    {"(?:a+)+b", false},
+    {"(a+)+$", true},
+    {"(?:a|a)+b", false},
+    {"(?:a+){2,}b", false},
+};
+
+struct HazardResult
+{
+    std::uint64_t vmHash = 0;
+    std::uint64_t linearHash = 0;
+    double vmMs = 0.0;
+    double linearMs = 0.0;
+    std::uint64_t budgetEvents = 0;
+};
+
+HazardResult
+runHazards(int repeats)
+{
+    const std::string run(40, 'a');
+    const std::string runB = run + "b";
+
+    std::vector<Regex> regexes;
+    for (const HazardCase &hazard : kHazards)
+        regexes.push_back(Regex::compileOrDie(hazard.pattern));
+
+    Counter &exhausted = MetricsRegistry::global().counter(
+        "text.regex.budget_exhausted");
+    const std::uint64_t exhaustedBefore = exhausted.value();
+
+    HazardResult result;
+    auto decide = [&](Fnv &hash) {
+        for (std::size_t i = 0; i < regexes.size(); ++i) {
+            // One subject matches, the other is the exponential
+            // blind alley; both tiers must agree on both (the VM's
+            // budget exhaustion reports no-match, same verdict).
+            hash.add(regexes[i].contains(runB) ? 1 : 0);
+            hash.add(regexes[i].contains(run) ? 1 : 0);
+        }
+    };
+
+    TierScope scope;
+    setRegexTier(RegexTier::Backtracking);
+    {
+        Fnv hash;
+        decide(hash);
+        result.vmHash = hash.state;
+    }
+    result.vmMs = wallMs([&] {
+        for (int r = 0; r < repeats; ++r) {
+            Fnv hash;
+            decide(hash);
+            benchmark::DoNotOptimize(hash.state);
+        }
+    });
+    setRegexTier(RegexTier::Linear);
+    {
+        Fnv hash;
+        decide(hash);
+        result.linearHash = hash.state;
+    }
+    result.linearMs = wallMs([&] {
+        for (int r = 0; r < repeats; ++r) {
+            Fnv hash;
+            decide(hash);
+            benchmark::DoNotOptimize(hash.state);
+        }
+    });
+    result.budgetEvents = exhausted.value() - exhaustedBefore;
+    return result;
+}
+
+std::uint64_t
+tokenizeAll(const std::vector<std::string> &texts, bool reference,
+            QuantileHistogram *perText)
+{
+    TokenizerOptions options;
+    options.dropStopWords = true;
+    options.minLength = 2;
+    Fnv hash;
+    for (const std::string &text : texts) {
+        auto begin = std::chrono::steady_clock::now();
+        std::vector<Token> tokens =
+            reference ? tokenizeReference(text, options)
+                      : tokenize(text, options);
+        auto end = std::chrono::steady_clock::now();
+        for (const Token &token : tokens) {
+            hash.addText(token.text);
+            hash.add(token.begin);
+            hash.add(token.end);
+        }
+        if (perText)
+            perText->observe(
+                std::chrono::duration<double, std::micro>(end - begin)
+                    .count());
+    }
+    return hash.state;
+}
+
+JsonValue
+quantileJson(const QuantileHistogram &histogram)
+{
+    JsonValue out = JsonValue::makeObject();
+    out["count"] =
+        JsonValue(static_cast<double>(histogram.count()));
+    out["p50_us"] = JsonValue(histogram.quantile(0.5));
+    out["p95_us"] = JsonValue(histogram.quantile(0.95));
+    out["p99_us"] = JsonValue(histogram.quantile(0.99));
+    out["max_us"] = JsonValue(histogram.max());
+    return out;
+}
+
+int
+runParse(bool smoke)
+{
+    const std::size_t textCap = smoke ? 48 : 512;
+    const int hazardRepeats = smoke ? 2 : 10;
+    const auto &texts = corpusTexts(textCap);
+    bool identical = true;
+
+    MetricsRegistry metrics;
+    QuantileHistogram &regexUs = metrics.quantile("parse.regex_us");
+    QuantileHistogram &tokenizeUs =
+        metrics.quantile("parse.tokenize_us");
+
+    JsonValue root = JsonValue::makeObject();
+    root["schema"] = JsonValue("rememberr-bench-parse-v1");
+    root["smoke"] = JsonValue(smoke ? 1.0 : 0.0);
+
+    TierScope tierScope;
+
+    // ---- rule-pattern decisions: VM vs lazy-DFA tier ---------------
+    {
+        setRegexTier(RegexTier::Linear);
+        decideAll(texts, nullptr); // warm the DFA caches
+        const std::uint64_t hashLinear = decideAll(texts, &regexUs);
+        const double linearMs =
+            wallMs([&] { decideAll(texts, nullptr); });
+        setRegexTier(RegexTier::Backtracking);
+        const std::uint64_t hashVm = decideAll(texts, nullptr);
+        const double vmMs =
+            wallMs([&] { decideAll(texts, nullptr); });
+        const double speedup = linearMs > 0.0 ? vmMs / linearMs
+                                              : 0.0;
+        identical = identical && hashVm == hashLinear;
+
+        std::printf("rule decisions: %zu patterns x %zu texts\n",
+                    rulePatterns().size(), texts.size());
+        std::printf("  backtracking VM %8.1f ms   hash %s\n", vmMs,
+                    hex(hashVm).c_str());
+        std::printf("  lazy DFA tier   %8.1f ms   hash %s\n",
+                    linearMs, hex(hashLinear).c_str());
+        std::printf("  speedup %.2fx, decisions %s\n", speedup,
+                    hashVm == hashLinear ? "IDENTICAL" : "DIVERGED");
+
+        JsonValue decisions = JsonValue::makeObject();
+        decisions["patterns"] = JsonValue(
+            static_cast<double>(rulePatterns().size()));
+        decisions["texts"] =
+            JsonValue(static_cast<double>(texts.size()));
+        decisions["vm_ms"] = JsonValue(vmMs);
+        decisions["dfa_ms"] = JsonValue(linearMs);
+        decisions["speedup"] = JsonValue(speedup);
+        decisions["decision_hash_vm"] = JsonValue(hex(hashVm));
+        decisions["decision_hash_dfa"] = JsonValue(hex(hashLinear));
+        decisions["decisions_identical"] =
+            JsonValue(hashVm == hashLinear ? 1.0 : 0.0);
+        root["decisions"] = std::move(decisions);
+    }
+
+    // ---- leftmost spans: Pike NFA vs backtracking VM ---------------
+    {
+        setRegexTier(RegexTier::Linear);
+        const std::uint64_t hashPike = spanAll(texts);
+        const double pikeMs = wallMs([&] { spanAll(texts); });
+        setRegexTier(RegexTier::Backtracking);
+        const std::uint64_t hashVm = spanAll(texts);
+        const double vmMs = wallMs([&] { spanAll(texts); });
+        identical = identical && hashVm == hashPike;
+
+        std::printf("\nleftmost spans (groupless patterns):\n");
+        std::printf("  backtracking VM %8.1f ms   hash %s\n", vmMs,
+                    hex(hashVm).c_str());
+        std::printf("  Pike NFA        %8.1f ms   hash %s\n", pikeMs,
+                    hex(hashPike).c_str());
+        std::printf("  spans %s\n", hashVm == hashPike
+                                        ? "IDENTICAL"
+                                        : "DIVERGED");
+
+        JsonValue spans = JsonValue::makeObject();
+        spans["vm_ms"] = JsonValue(vmMs);
+        spans["pike_ms"] = JsonValue(pikeMs);
+        spans["span_hash_vm"] = JsonValue(hex(hashVm));
+        spans["span_hash_pike"] = JsonValue(hex(hashPike));
+        spans["spans_identical"] =
+            JsonValue(hashVm == hashPike ? 1.0 : 0.0);
+        root["spans"] = std::move(spans);
+    }
+
+    // ---- hazard set: guaranteed-linear where the VM explodes -------
+    {
+        const HazardResult hazard = runHazards(hazardRepeats);
+        const double speedup = hazard.linearMs > 0.0
+                                   ? hazard.vmMs / hazard.linearMs
+                                   : 0.0;
+        identical = identical && hazard.vmHash == hazard.linearHash;
+
+        std::printf("\nhazard set (%zu nested-repetition patterns, "
+                    "%d rounds):\n",
+                    std::size(kHazards), hazardRepeats);
+        std::printf("  backtracking VM %8.1f ms   hash %s "
+                    "(%llu budget exhaustions)\n",
+                    hazard.vmMs, hex(hazard.vmHash).c_str(),
+                    static_cast<unsigned long long>(
+                        hazard.budgetEvents));
+        std::printf("  lazy DFA tier   %8.3f ms   hash %s\n",
+                    hazard.linearMs,
+                    hex(hazard.linearHash).c_str());
+        std::printf("  speedup %.1fx, decisions %s\n", speedup,
+                    hazard.vmHash == hazard.linearHash
+                        ? "IDENTICAL"
+                        : "DIVERGED");
+
+        JsonValue hazardJson = JsonValue::makeObject();
+        hazardJson["patterns"] =
+            JsonValue(static_cast<double>(std::size(kHazards)));
+        hazardJson["rounds"] =
+            JsonValue(static_cast<double>(hazardRepeats));
+        hazardJson["vm_ms"] = JsonValue(hazard.vmMs);
+        hazardJson["dfa_ms"] = JsonValue(hazard.linearMs);
+        hazardJson["speedup"] = JsonValue(speedup);
+        hazardJson["decision_hash_vm"] =
+            JsonValue(hex(hazard.vmHash));
+        hazardJson["decision_hash_dfa"] =
+            JsonValue(hex(hazard.linearHash));
+        hazardJson["decisions_identical"] = JsonValue(
+            hazard.vmHash == hazard.linearHash ? 1.0 : 0.0);
+        hazardJson["vm_budget_exhaustions"] = JsonValue(
+            static_cast<double>(hazard.budgetEvents));
+        root["hazards"] = std::move(hazardJson);
+    }
+
+    // ---- tokenizer: table-driven vs per-character cctype -----------
+    {
+        const std::uint64_t hashTable =
+            tokenizeAll(texts, false, &tokenizeUs);
+        const double tableMs =
+            wallMs([&] { tokenizeAll(texts, false, nullptr); });
+        const std::uint64_t hashReference =
+            tokenizeAll(texts, true, nullptr);
+        const double referenceMs =
+            wallMs([&] { tokenizeAll(texts, true, nullptr); });
+        const double speedup =
+            tableMs > 0.0 ? referenceMs / tableMs : 0.0;
+        identical = identical && hashTable == hashReference;
+
+        std::printf("\ntokenizer over %zu texts:\n", texts.size());
+        std::printf("  cctype branchy  %8.1f ms   hash %s\n",
+                    referenceMs, hex(hashReference).c_str());
+        std::printf("  table-driven    %8.1f ms   hash %s\n",
+                    tableMs, hex(hashTable).c_str());
+        std::printf("  speedup %.2fx, tokens %s\n", speedup,
+                    hashTable == hashReference ? "IDENTICAL"
+                                               : "DIVERGED");
+
+        JsonValue tokenizer = JsonValue::makeObject();
+        tokenizer["texts"] =
+            JsonValue(static_cast<double>(texts.size()));
+        tokenizer["branchy_ms"] = JsonValue(referenceMs);
+        tokenizer["table_ms"] = JsonValue(tableMs);
+        tokenizer["speedup"] = JsonValue(speedup);
+        tokenizer["token_hash_branchy"] =
+            JsonValue(hex(hashReference));
+        tokenizer["token_hash_table"] = JsonValue(hex(hashTable));
+        tokenizer["tokens_identical"] =
+            JsonValue(hashTable == hashReference ? 1.0 : 0.0);
+        root["tokenizer"] = std::move(tokenizer);
+    }
+
+    JsonValue quantiles = JsonValue::makeObject();
+    quantiles["regex_scan"] = quantileJson(regexUs);
+    quantiles["tokenize"] = quantileJson(tokenizeUs);
+    root["per_text_quantiles"] = std::move(quantiles);
+    std::printf("\nper-text timings: regex p50 %.1f us p99 %.1f us, "
+                "tokenize p50 %.1f us p99 %.1f us\n",
+                regexUs.quantile(0.5), regexUs.quantile(0.99),
+                tokenizeUs.quantile(0.5), tokenizeUs.quantile(0.99));
+
+    if (!identical) {
+        std::printf("\nFAIL: fast-path output diverged from the "
+                    "reference\n");
+        return 1;
+    }
+    if (smoke) {
+        std::printf("\nsmoke OK: all equivalence hashes identical\n");
+        return 0;
+    }
+    std::ofstream out("BENCH_parse.json");
+    out << root.dumpPretty() << "\n";
+    if (out)
+        std::printf("\n[parse profile written to "
+                    "BENCH_parse.json]\n");
+    return 0;
+}
+
+} // namespace
+} // namespace bench
+} // namespace rememberr
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+    return rememberr::bench::runParse(smoke);
+}

@@ -46,10 +46,12 @@ classifyText(const std::string &body, const std::string &full,
                                          : localStats;
 
     // One linear scan per haystack answers, for every pattern at
-    // once, whether its required literal factors occur; the VM then
-    // only runs on possible matches. A skipped pattern cannot match,
-    // so the first-match-wins loops below take the same branches as
-    // without the prefilter.
+    // once, whether its required literal factors occur; the matcher
+    // then only runs on possible matches. A skipped pattern cannot
+    // match, so the first-match-wins loops below take the same
+    // branches as without the prefilter. Survivors run through
+    // Regex::contains, i.e. the linear DFA tier by default — the
+    // backtracking VM only executes under --regex-tier=vm.
     const ClassifyPrefilter *prefilter = nullptr;
     std::vector<std::uint8_t> bodyHits;
     std::vector<std::uint8_t> fullHits;

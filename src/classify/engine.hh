@@ -52,9 +52,10 @@ std::string erratumFullText(const Erratum &erratum);
 /** Counters describing one classification's prefilter behavior. */
 struct ClassifyStats
 {
-    /** Patterns the VM ran because a literal factor occurred. */
+    /** Patterns matched because a literal factor occurred. */
     std::uint64_t prefilterHits = 0;
-    /** Patterns the backtracking VM actually evaluated. */
+    /** Patterns the regex engine (linear tier by default, the
+     * backtracking VM under --regex-tier=vm) actually evaluated. */
     std::uint64_t vmRuns = 0;
     /** Patterns skipped because a required factor was absent. */
     std::uint64_t skipped = 0;
@@ -74,7 +75,7 @@ struct ClassifyStats
 struct ClassifyOptions
 {
     /** Screen patterns with the Aho–Corasick literal prefilter and
-     * run the regex VM only on possible matches. Decisions are
+     * run the regex engine only on possible matches. Decisions are
      * identical either way. */
     bool usePrefilter = true;
     /** Optional per-call counters (not thread-shared). */

@@ -84,8 +84,9 @@ ruleCatalog()
          "falls through the prefilter to the regex VM",
          Severity::Note},
         {"RBE204", "backtracking-hazard",
-         "a rule pattern contains nested variable repetition and "
-         "can backtrack exponentially",
+         "a rule pattern contains nested variable repetition that "
+         "backtracks exponentially on the VM; the finding reports "
+         "whether the linear DFA tier neutralizes it",
          Severity::Warning},
     };
     return catalog;

@@ -138,12 +138,22 @@ checkPatternList(CategoryId category, const char *list,
                     "through the prefilter to the regex VM"));
         }
 
-        // RBE204: nested variable repetition.
+        // RBE204: nested variable repetition. Since the linear DFA
+        // tier became the default, the hazard only bites paths that
+        // still reach the backtracking VM — report which case this
+        // pattern is in so the finding is actionable.
         if (auto hazard = patterns[i].backtrackingHazard()) {
+            const char *tierNote =
+                patterns[i].linearSpanEligible()
+                    ? " [neutralized: decisions and spans run on "
+                      "the linear DFA tier]"
+                    : " [decisions run on the linear DFA tier, but "
+                      "capture groups keep span extraction on the "
+                      "backtracking VM]";
             out.push_back(patternDiagnostic(
                 "RBE204", ref,
                 "pattern /" + patterns[i].pattern() + "/: " +
-                    *hazard));
+                    *hazard + tierNote));
         }
     }
 }

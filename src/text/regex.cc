@@ -1,28 +1,20 @@
 #include "regex.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <memory>
 
+#include "obs/metrics.hh"
+#include "text/regex_linear.hh"
 #include "util/logging.hh"
 
 namespace rememberr {
 
 namespace {
 
-inline char
-foldCase(char c)
-{
-    return static_cast<char>(
-        std::tolower(static_cast<unsigned char>(c)));
-}
-
-inline bool
-isWordChar(char c)
-{
-    unsigned char u = static_cast<unsigned char>(c);
-    return std::isalnum(u) || c == '_';
-}
+using redetail::foldCase;
+using redetail::isWordChar;
 
 /** Parsed pattern AST. */
 struct Node
@@ -72,7 +64,7 @@ struct Node
 } // namespace
 
 bool
-Regex::CharClass::matches(unsigned char c, bool ignore_case) const
+redetail::CharClass::matches(unsigned char c, bool ignore_case) const
 {
     auto inRanges = [&](unsigned char probe) {
         for (const auto &[lo, hi] : ranges) {
@@ -122,6 +114,7 @@ class RegexCompiler
             return makeError(error_);
         emit(regex, {Regex::Op::Save, 1, 0, 0});
         emit(regex, {Regex::Op::Accept, 0, 0, 0});
+        regex.linear_ = std::make_shared<RegexLinearCache>();
         return regex;
     }
 
@@ -1086,6 +1079,22 @@ Regex::runFrom(std::string_view subject, std::size_t start,
 
     for (;;) {
         if (++steps > options_.stepLimit) {
+            // Structured, counted event instead of a silent miss:
+            // exhaustion means the VM *gave up*, not that the subject
+            // provably fails to match, so operators need to see it.
+            static Counter &exhaustedCounter =
+                MetricsRegistry::global().counter(
+                    "text.regex.budget_exhausted");
+            exhaustedCounter.add();
+            static std::atomic<bool> warnedOnce{false};
+            if (!warnedOnce.exchange(true,
+                                     std::memory_order_relaxed)) {
+                REMEMBERR_WARN(
+                    "regex VM step budget exhausted for /", pattern_,
+                    "/ (limit ", options_.stepLimit,
+                    "); treating as no-match — further occurrences "
+                    "are counted in text.regex.budget_exhausted");
+            }
             if (exhausted)
                 *exhausted = true;
             return false;
@@ -1202,16 +1211,38 @@ Regex::runFrom(std::string_view subject, std::size_t start,
     }
 }
 
+namespace {
+
+std::atomic<int> g_regexTier{static_cast<int>(RegexTier::Linear)};
+
+} // namespace
+
+void
+setRegexTier(RegexTier tier)
+{
+    g_regexTier.store(static_cast<int>(tier),
+                      std::memory_order_relaxed);
+}
+
+RegexTier
+regexTier()
+{
+    return static_cast<RegexTier>(
+        g_regexTier.load(std::memory_order_relaxed));
+}
+
+// ---- backtracking-VM oracle entry points ---------------------------
+
 bool
-Regex::fullMatch(std::string_view subject) const
+Regex::fullMatchBacktracking(std::string_view subject) const
 {
     RegexMatch match;
     return runFrom(subject, 0, match, nullptr, true);
 }
 
 std::optional<RegexMatch>
-Regex::search(std::string_view subject, std::size_t from,
-              bool *exhausted) const
+Regex::searchBacktracking(std::string_view subject, std::size_t from,
+                          bool *exhausted) const
 {
     if (exhausted)
         *exhausted = false;
@@ -1227,6 +1258,41 @@ Regex::search(std::string_view subject, std::size_t from,
         }
     }
     return std::nullopt;
+}
+
+bool
+Regex::containsBacktracking(std::string_view subject) const
+{
+    return searchBacktracking(subject).has_value();
+}
+
+// ---- tier-routed public queries ------------------------------------
+
+bool
+Regex::fullMatch(std::string_view subject) const
+{
+    if (regexTier() == RegexTier::Linear)
+        return RegexLinear::fullMatch(*this, subject);
+    return fullMatchBacktracking(subject);
+}
+
+std::optional<RegexMatch>
+Regex::search(std::string_view subject, std::size_t from,
+              bool *exhausted) const
+{
+    if (regexTier() == RegexTier::Linear) {
+        if (exhausted)
+            *exhausted = false;
+        if (linearSpanEligible())
+            return RegexLinear::searchSpan(*this, subject, from);
+        // Capture groups keep span extraction on the VM; the DFA
+        // still quick-rejects non-matching subjects in linear time,
+        // which is the common case after prefiltering.
+        if (!RegexLinear::contains(*this, subject, from))
+            return std::nullopt;
+        return searchBacktracking(subject, from, exhausted);
+    }
+    return searchBacktracking(subject, from, exhausted);
 }
 
 std::vector<RegexMatch>
@@ -1248,7 +1314,9 @@ Regex::findAll(std::string_view subject) const
 bool
 Regex::contains(std::string_view subject) const
 {
-    return search(subject).has_value();
+    if (regexTier() == RegexTier::Linear)
+        return RegexLinear::contains(*this, subject);
+    return containsBacktracking(subject);
 }
 
 std::string

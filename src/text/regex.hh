@@ -16,20 +16,33 @@
  *   - quantifiers * + ? {m} {m,} {m,n}, each with a lazy '?' variant
  *   - anchors ^ $ and word boundaries \b \B
  *
- * The implementation compiles to a small bytecode program executed by
- * a backtracking VM. A per-match step budget turns pathological
- * backtracking into a reported error instead of a hang.
+ * Patterns compile to a small Thompson-style bytecode program (see
+ * regex_program.hh) executed by one of two tiers:
+ *
+ *   - the **linear tier** (default, regex_linear.{hh,cc}): an
+ *     incrementally built lazy DFA answers match decisions and a
+ *     priority-ordered Pike NFA simulation produces leftmost match
+ *     spans, both in guaranteed O(subject) time — exponential
+ *     backtracking is structurally impossible;
+ *   - the **backtracking VM** (this file): full semantics including
+ *     capture-group extraction, guarded by a per-match step budget
+ *     that turns pathological backtracking into a counted,
+ *     warned-once event (`text.regex.budget_exhausted`). The VM
+ *     remains the differential oracle for the linear tier and runs
+ *     span extraction for patterns with capture groups.
  */
 
 #ifndef REMEMBERR_TEXT_REGEX_HH
 #define REMEMBERR_TEXT_REGEX_HH
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "text/regex_program.hh"
 #include "util/expected.hh"
 
 namespace rememberr {
@@ -68,7 +81,25 @@ struct RegexOptions
     std::size_t stepLimit = 1u << 20;
 };
 
-/** A compiled regular expression. Immutable and cheap to copy. */
+/**
+ * Which engine answers match queries. Linear is the default; the
+ * backtracking VM stays selectable as the differential oracle (the
+ * benches and `--regex-tier=vm` use it).
+ */
+enum class RegexTier : int
+{
+    Linear = 0,
+    Backtracking = 1,
+};
+
+/** Set/read the process-wide match tier. Thread-safe. */
+void setRegexTier(RegexTier tier);
+RegexTier regexTier();
+
+class RegexLinearCache;
+
+/** A compiled regular expression. Immutable and cheap to copy
+ * (copies share the compiled program's lazy-DFA cache). */
 class Regex
 {
   public:
@@ -88,8 +119,10 @@ class Regex
 
     /**
      * Find the leftmost match at or after position from.
-     * Returns nullopt when there is no match (or the step budget is
-     * exhausted, in which case exhausted is set when non-null).
+     * Returns nullopt when there is no match (or, on the
+     * backtracking VM span path, the step budget is exhausted, in
+     * which case exhausted is set when non-null; the linear tier
+     * never exhausts).
      */
     std::optional<RegexMatch> search(std::string_view subject,
                                      std::size_t from = 0,
@@ -101,6 +134,18 @@ class Regex
     /** True when the pattern occurs anywhere in the subject. */
     bool contains(std::string_view subject) const;
 
+    // ---- backtracking-VM oracle entry points -----------------------
+    // Same queries, forced through the backtracking VM regardless of
+    // the process tier. The differential tests and bench_parse
+    // compare these against the linear tier; production code should
+    // call the plain methods above.
+
+    bool fullMatchBacktracking(std::string_view subject) const;
+    std::optional<RegexMatch>
+    searchBacktracking(std::string_view subject, std::size_t from = 0,
+                       bool *exhausted = nullptr) const;
+    bool containsBacktracking(std::string_view subject) const;
+
     /** The original pattern text. */
     const std::string &pattern() const { return pattern_; }
 
@@ -109,6 +154,16 @@ class Regex
 
     /** Whether the pattern matches ASCII case-insensitively. */
     bool ignoreCase() const { return options_.ignoreCase; }
+
+    /**
+     * Whether leftmost span extraction runs on the linear tier.
+     * Capture groups are the one construct the DFA/Pike tier does
+     * not express; patterns carrying them keep span extraction on
+     * the backtracking VM (decisions still run on the DFA). RBE204
+     * uses this to report whether a backtracking hazard is actually
+     * neutralized.
+     */
+    bool linearSpanEligible() const { return groupCount_ == 0; }
 
     /**
      * Required literal factors: a set of ASCII-lower-cased strings
@@ -144,37 +199,11 @@ class Regex
 
   private:
     friend class RegexCompiler;
+    friend class RegexLinear;
 
-    enum class Op : std::uint8_t {
-        Char,       ///< match a single (possibly case-folded) byte
-        Any,        ///< match any byte except '\n'
-        Class,      ///< match a character class by table index
-        Split,      ///< try arg1 first, then arg2 (priority)
-        Jump,       ///< unconditional jump to arg1
-        Save,       ///< record current position in slot arg1
-        Bol,        ///< assert beginning of subject or after '\n'
-        Eol,        ///< assert end of subject or before '\n'
-        WordB,      ///< assert a word boundary
-        NotWordB,   ///< assert no word boundary
-        Accept,     ///< match complete
-    };
-
-    struct Inst
-    {
-        Op op;
-        std::int32_t arg1 = 0;
-        std::int32_t arg2 = 0;
-        char ch = 0;
-    };
-
-    struct CharClass
-    {
-        bool negated = false;
-        /** Inclusive byte ranges. */
-        std::vector<std::pair<unsigned char, unsigned char>> ranges;
-
-        bool matches(unsigned char c, bool ignore_case) const;
-    };
+    using Op = redetail::Op;
+    using Inst = redetail::Inst;
+    using CharClass = redetail::CharClass;
 
     bool runFrom(std::string_view subject, std::size_t start,
                  RegexMatch &out, bool *exhausted,
@@ -185,6 +214,8 @@ class Regex
     std::vector<Inst> program_;
     std::vector<CharClass> classes_;
     int groupCount_ = 0;
+    /** Lazily filled DFA state cache, shared across copies. */
+    std::shared_ptr<RegexLinearCache> linear_;
 };
 
 /** Escape all regex metacharacters so text matches literally. */

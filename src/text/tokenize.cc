@@ -1,47 +1,72 @@
 #include "tokenize.hh"
 
+#include <array>
 #include <cctype>
+#include <cstdint>
 
 namespace rememberr {
 
 namespace {
 
-inline bool
-isTokenChar(char c)
-{
-    unsigned char u = static_cast<unsigned char>(c);
-    return std::isalnum(u) != 0;
-}
+// ---- table-driven byte classification ------------------------------
+//
+// The tokenizer runs over every document on every ingest, dedup and
+// index pass, so the per-character `<cctype>` calls (each an indirect
+// locale-table lookup through a function call) are replaced with two
+// constexpr 256-entry tables: one classification byte and one
+// lowercase map. `tokenizeReference` below keeps the original
+// implementation as the differential oracle; the ASCII-only "C"
+// locale behavior the reference relies on is exactly what the tables
+// encode.
 
-inline bool
-isJoinerChar(char c)
+constexpr std::uint8_t kDigit = 1;   ///< '0'..'9'
+constexpr std::uint8_t kAlpha = 2;   ///< 'a'..'z', 'A'..'Z'
+constexpr std::uint8_t kJoiner = 4;  ///< intra-word '-', '_', '.'
+constexpr std::uint8_t kToken = kDigit | kAlpha;
+
+constexpr auto kCharTable = [] {
+    std::array<std::uint8_t, 256> table{};
+    for (int c = '0'; c <= '9'; ++c)
+        table[static_cast<std::size_t>(c)] |= kDigit;
+    for (int c = 'a'; c <= 'z'; ++c)
+        table[static_cast<std::size_t>(c)] |= kAlpha;
+    for (int c = 'A'; c <= 'Z'; ++c)
+        table[static_cast<std::size_t>(c)] |= kAlpha;
+    table['-'] |= kJoiner;
+    table['_'] |= kJoiner;
+    table['.'] |= kJoiner;
+    return table;
+}();
+
+constexpr auto kLowerTable = [] {
+    std::array<char, 256> table{};
+    for (int c = 0; c < 256; ++c)
+        table[static_cast<std::size_t>(c)] = static_cast<char>(c);
+    for (int c = 'A'; c <= 'Z'; ++c) {
+        table[static_cast<std::size_t>(c)] =
+            static_cast<char>(c - 'A' + 'a');
+    }
+    return table;
+}();
+
+inline std::uint8_t
+classOf(char c)
 {
-    return c == '-' || c == '_' || c == '.';
+    return kCharTable[static_cast<unsigned char>(c)];
 }
 
 inline char
-lowerChar(char c)
+lowerByte(char c)
 {
-    return static_cast<char>(
-        std::tolower(static_cast<unsigned char>(c)));
-}
-
-bool
-isNumeric(const std::string &token)
-{
-    for (char c : token) {
-        if (!std::isdigit(static_cast<unsigned char>(c)))
-            return false;
-    }
-    return !token.empty();
+    return kLowerTable[static_cast<unsigned char>(c)];
 }
 
 } // namespace
 
-const std::unordered_set<std::string> &
+const StopWordSet &
 stopWords()
 {
-    static const std::unordered_set<std::string> words = {
+    static const StopWordSet words = {
         "a",     "an",   "and",  "are",  "as",   "at",    "be",
         "by",    "can",  "do",   "does", "for",  "from",  "has",
         "have",  "if",   "in",   "into", "is",   "it",    "its",
@@ -57,20 +82,110 @@ std::vector<Token>
 tokenize(std::string_view text, const TokenizerOptions &options)
 {
     std::vector<Token> tokens;
+    const std::size_t n = text.size();
+    // One scratch string reused across tokens: dropped tokens (stop
+    // words, too-short, numeric) cost no allocation at all.
+    std::string word;
+    std::size_t i = 0;
+    while (i < n) {
+        if (!(classOf(text[i]) & kToken)) {
+            ++i;
+            continue;
+        }
+        std::size_t start = i;
+        word.clear();
+        bool allDigits = true;
+        while (i < n) {
+            std::uint8_t cls = classOf(text[i]);
+            if (cls & kToken) {
+                // Absorb the whole alphanumeric run in one chunk.
+                std::size_t run = i;
+                while (run < n && (classOf(text[run]) & kToken))
+                    ++run;
+                for (std::size_t j = i; j < run; ++j) {
+                    if (!(classOf(text[j]) & kDigit))
+                        allDigits = false;
+                    word += lowerByte(text[j]);
+                }
+                i = run;
+            } else if ((cls & kJoiner) && i + 1 < n &&
+                       (classOf(text[i + 1]) & kToken)) {
+                word += text[i];
+                allDigits = false;
+                ++i;
+            } else {
+                break;
+            }
+        }
+        if (word.size() < options.minLength)
+            continue;
+        if (!options.keepNumbers && allDigits)
+            continue;
+        if (options.dropStopWords &&
+            stopWords().contains(std::string_view(word))) {
+            continue;
+        }
+        tokens.push_back(Token{word, start, i});
+    }
+    return tokens;
+}
+
+// ---- reference implementation (differential oracle) ----------------
+
+namespace {
+
+inline bool
+refIsTokenChar(char c)
+{
+    unsigned char u = static_cast<unsigned char>(c);
+    return std::isalnum(u) != 0;
+}
+
+inline bool
+refIsJoinerChar(char c)
+{
+    return c == '-' || c == '_' || c == '.';
+}
+
+inline char
+refLowerChar(char c)
+{
+    return static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c)));
+}
+
+bool
+refIsNumeric(const std::string &token)
+{
+    for (char c : token) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return false;
+    }
+    return !token.empty();
+}
+
+} // namespace
+
+std::vector<Token>
+tokenizeReference(std::string_view text,
+                  const TokenizerOptions &options)
+{
+    std::vector<Token> tokens;
     std::size_t i = 0;
     while (i < text.size()) {
-        if (!isTokenChar(text[i])) {
+        if (!refIsTokenChar(text[i])) {
             ++i;
             continue;
         }
         std::size_t start = i;
         std::string word;
         while (i < text.size()) {
-            if (isTokenChar(text[i])) {
-                word += lowerChar(text[i]);
+            if (refIsTokenChar(text[i])) {
+                word += refLowerChar(text[i]);
                 ++i;
-            } else if (isJoinerChar(text[i]) && i + 1 < text.size() &&
-                       isTokenChar(text[i + 1])) {
+            } else if (refIsJoinerChar(text[i]) &&
+                       i + 1 < text.size() &&
+                       refIsTokenChar(text[i + 1])) {
                 word += text[i];
                 ++i;
             } else {
@@ -79,7 +194,7 @@ tokenize(std::string_view text, const TokenizerOptions &options)
         }
         if (word.size() < options.minLength)
             continue;
-        if (!options.keepNumbers && isNumeric(word))
+        if (!options.keepNumbers && refIsNumeric(word))
             continue;
         if (options.dropStopWords && stopWords().count(word))
             continue;
@@ -106,7 +221,8 @@ characterNgrams(std::string_view text, std::size_t n)
     std::string lowered;
     lowered.reserve(text.size());
     for (char c : text)
-        lowered += lowerChar(c);
+        lowered += lowerByte(c);
+    grams.reserve(lowered.size() - n + 1);
     for (std::size_t i = 0; i + n <= lowered.size(); ++i)
         grams.push_back(lowered.substr(i, n));
     return grams;

@@ -10,6 +10,7 @@
 #ifndef REMEMBERR_TEXT_TOKENIZE_HH
 #define REMEMBERR_TEXT_TOKENIZE_HH
 
+#include <functional>
 #include <string>
 #include <string_view>
 #include <unordered_set>
@@ -48,12 +49,40 @@ struct TokenizerOptions
 std::vector<Token> tokenize(std::string_view text,
                             const TokenizerOptions &options = {});
 
+/**
+ * Reference tokenizer: the original per-character `<cctype>`
+ * implementation, kept as the differential oracle for the
+ * table-driven `tokenize`. Byte-identical output is asserted by the
+ * tests (over all 256 byte values) and by bench_parse's equivalence
+ * hashes; production code should call `tokenize`.
+ */
+std::vector<Token>
+tokenizeReference(std::string_view text,
+                  const TokenizerOptions &options = {});
+
 /** Just the token strings, in order. */
 std::vector<std::string> tokenizeWords(std::string_view text,
                                        const TokenizerOptions &opt = {});
 
+/** Transparent string hash so set probes accept string_view (or a
+ * reused scratch string) without building a temporary std::string. */
+struct StopWordHash
+{
+    using is_transparent = void;
+
+    std::size_t
+    operator()(std::string_view s) const
+    {
+        return std::hash<std::string_view>{}(s);
+    }
+};
+
+/** Stop-word set with heterogeneous (string_view) lookup. */
+using StopWordSet =
+    std::unordered_set<std::string, StopWordHash, std::equal_to<>>;
+
 /** The built-in stop-word list used when dropStopWords is set. */
-const std::unordered_set<std::string> &stopWords();
+const StopWordSet &stopWords();
 
 /** Character n-grams of the (lower-cased) text, n >= 1. */
 std::vector<std::string> characterNgrams(std::string_view text,

@@ -242,11 +242,21 @@ TEST(RegexStepLimit, ReportsExhaustion)
     options.stepLimit = 2000;
     // Classic catastrophic backtracking pattern.
     auto regex = Regex::compileOrDie("(a+)+$", options);
+    const std::string subject = "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaab";
+
+    // The backtracking oracle blows its step budget and says so.
     bool exhausted = false;
-    auto match = regex.search(
-        "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaab", 0, &exhausted);
-    EXPECT_FALSE(match);
+    auto vmMatch = regex.searchBacktracking(subject, 0, &exhausted);
+    EXPECT_FALSE(vmMatch);
     EXPECT_TRUE(exhausted);
+
+    // The default (linear) tier decides the same subject without
+    // exhausting: the hazard class is structurally neutralized.
+    exhausted = false;
+    auto match = regex.search(subject, 0, &exhausted);
+    EXPECT_FALSE(match);
+    EXPECT_FALSE(exhausted);
+    EXPECT_FALSE(regex.contains(subject));
 }
 
 TEST(RegexEscape, EscapesMetacharacters)

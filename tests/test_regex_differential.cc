@@ -8,7 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "classify/engine.hh"
@@ -16,6 +18,7 @@
 #include "classify/rules.hh"
 #include "text/literal_scan.hh"
 #include "text/regex.hh"
+#include "text/regex_linear.hh"
 #include "util/rng.hh"
 
 namespace rememberr {
@@ -334,6 +337,263 @@ TEST(ClassifyPrefilter, DecisionsIdenticalWithAndWithoutPrefilter)
     // every skipped pattern is one the VM never needed to run.
     EXPECT_GT(stats.skipped, 0u);
     EXPECT_GT(stats.vmRuns, 0u);
+}
+
+// ---- linear tier vs backtracking VM --------------------------------
+//
+// The lazy-DFA/Pike tier must agree with the backtracking VM on
+// every decision and every leftmost span. The one sanctioned
+// divergence is VM step-budget exhaustion (the VM gives up and
+// reports no-match); those cases are skipped for span comparison and
+// asserted boolean-equal where both report a result.
+
+/**
+ * Pattern generator exercising the full supported dialect: classes,
+ * groups (capturing and not), anchors, word boundaries, escape
+ * classes, bounded/unbounded/lazy quantifiers and alternation.
+ */
+std::string
+randomRichPattern(Rng &rng, int depth = 0)
+{
+    auto atom = [&]() -> std::string {
+        switch (rng.nextBelow(depth >= 2 ? 8 : 10)) {
+          case 0: return "a";
+          case 1: return "b";
+          case 2: return "0";
+          case 3: return ".";
+          case 4: return "\\d";
+          case 5: return "\\w";
+          case 6: return "\\s";
+          case 7: {
+            static const char *const classes[] = {
+                "[ab]",  "[a-c]", "[^ab]",   "[a-z0-9]",
+                "[\\d]", "[^a]",  "[b-c_x]",
+            };
+            return classes[rng.nextBelow(7)];
+          }
+          case 8:
+            return "(?:" + randomRichPattern(rng, depth + 1) + ")";
+          default:
+            return "(" + randomRichPattern(rng, depth + 1) + ")";
+        }
+    };
+    std::string pattern;
+    std::size_t pieces = 1 + rng.nextBelow(3);
+    for (std::size_t i = 0; i < pieces; ++i) {
+        pattern += atom();
+        switch (rng.nextBelow(8)) {
+          case 0: pattern += '*'; break;
+          case 1: pattern += '+'; break;
+          case 2: pattern += '?'; break;
+          case 3:
+            pattern += '{';
+            pattern += static_cast<char>('0' + rng.nextBelow(3));
+            if (rng.nextBool(0.5)) {
+                pattern += ',';
+                if (rng.nextBool(0.7))
+                    pattern +=
+                        static_cast<char>('2' + rng.nextBelow(3));
+            }
+            pattern += '}';
+            break;
+          default: break;
+        }
+        // Lazy variant of whatever quantifier was emitted.
+        if ((pattern.back() == '*' || pattern.back() == '+' ||
+             pattern.back() == '}') &&
+            rng.nextBool(0.25)) {
+            pattern += '?';
+        }
+        if (rng.nextBool(0.1))
+            pattern += rng.nextBool(0.5) ? "\\b" : "\\B";
+    }
+    if (depth == 0 && rng.nextBool(0.15))
+        pattern.insert(0, "^");
+    if (depth == 0 && rng.nextBool(0.15))
+        pattern += "$";
+    if (rng.nextBool(0.25) && depth < 2)
+        pattern += "|" + randomRichPattern(rng, depth + 1);
+    return pattern;
+}
+
+std::string
+randomRichSubject(Rng &rng)
+{
+    static const char chars[] = {'a', 'b', 'c', 'x', '0', '1',
+                                 ' ', '\n', '-', '_'};
+    std::string subject;
+    std::size_t length = rng.nextBelow(13);
+    for (std::size_t i = 0; i < length; ++i)
+        subject += chars[rng.nextBelow(sizeof(chars))];
+    return subject;
+}
+
+class LinearVsBacktracking : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(LinearVsBacktracking, DecisionsAndSpansAgree)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+    for (int round = 0; round < 250; ++round) {
+        std::string pattern = randomRichPattern(rng);
+        RegexOptions options;
+        options.ignoreCase = rng.nextBool(0.2);
+        auto compiled = Regex::compile(pattern, options);
+        ASSERT_TRUE(compiled) << pattern;
+        const Regex &regex = compiled.value();
+        for (int s = 0; s < 8; ++s) {
+            std::string subject = randomRichSubject(rng);
+
+            bool exhausted = false;
+            auto vmMatch =
+                regex.searchBacktracking(subject, 0, &exhausted);
+            if (exhausted)
+                continue; // the VM gave up; nothing to compare
+            auto linMatch = regex.search(subject);
+
+            ASSERT_EQ(linMatch.has_value(), vmMatch.has_value())
+                << "/" << pattern << "/ on '" << subject << "'";
+            if (linMatch) {
+                ASSERT_EQ(linMatch->begin, vmMatch->begin)
+                    << "/" << pattern << "/ on '" << subject << "'";
+                ASSERT_EQ(linMatch->end, vmMatch->end)
+                    << "/" << pattern << "/ on '" << subject << "'";
+            }
+            ASSERT_EQ(regex.contains(subject),
+                      regex.containsBacktracking(subject))
+                << "/" << pattern << "/ contains '" << subject
+                << "'";
+            ASSERT_EQ(regex.fullMatch(subject),
+                      regex.fullMatchBacktracking(subject))
+                << "/" << pattern << "/ fullMatch '" << subject
+                << "'";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinearVsBacktracking,
+                         ::testing::Range(0, 8));
+
+/**
+ * The RBE204 hazard corpus: patterns whose failing subjects force
+ * exponential VM backtracking. The linear tier must decide them
+ * instantly and correctly; the VM (with a small budget) exhausts on
+ * the failing subjects and agrees on the matching ones.
+ */
+TEST(LinearVsBacktracking, HazardCorpusNeutralized)
+{
+    static const char *const hazards[] = {
+        "(?:a+)+b", "(a+)+$",       "(?:a*)*b",
+        "(?:a|a)+b", "(?:a+){2,}b", "(\\w+)+b",
+    };
+    const std::string without(40, 'a');
+    const std::string with = without + "b";
+
+    for (const char *patternText : hazards) {
+        RegexOptions options;
+        options.stepLimit = 50000; // keep the exhausting VM fast
+        auto regex = Regex::compileOrDie(patternText, options);
+
+        // '(a+)+$' matches the bare a-run (it ends at $); the
+        // b-terminated patterns match the b-terminated subject. The
+        // other subject is the exponential-failure case for the VM.
+        const bool anchorPattern =
+            std::string(patternText) == "(a+)+$";
+        const std::string &matching = anchorPattern ? without : with;
+        const std::string &failing = anchorPattern ? with : without;
+
+        // Correct decisions, no budget, no blowup.
+        EXPECT_TRUE(regex.contains(matching)) << patternText;
+        EXPECT_FALSE(regex.contains(failing)) << patternText;
+
+        // Span agreement on the matching subject when the VM can
+        // still answer there.
+        bool exhausted = false;
+        auto vmMatch =
+            regex.searchBacktracking(matching, 0, &exhausted);
+        if (!exhausted) {
+            auto linMatch = regex.search(matching);
+            ASSERT_TRUE(vmMatch.has_value()) << patternText;
+            ASSERT_TRUE(linMatch.has_value()) << patternText;
+            EXPECT_EQ(linMatch->begin, vmMatch->begin) << patternText;
+            EXPECT_EQ(linMatch->end, vmMatch->end) << patternText;
+        }
+
+        // On the failing subject the VM exhausts (that is the
+        // hazard); both tiers still report the same no-match.
+        exhausted = false;
+        auto gaveUp =
+            regex.searchBacktracking(failing, 0, &exhausted);
+        EXPECT_FALSE(gaveUp.has_value()) << patternText;
+        EXPECT_TRUE(exhausted) << patternText;
+    }
+}
+
+/**
+ * Flush-on-overflow: with the state cap shrunk to almost nothing the
+ * DFA keeps flushing and falls back to the uncached NFA — decisions
+ * must not change.
+ */
+TEST(LinearVsBacktracking, DecisionsSurviveCacheFlush)
+{
+    RegexLinear::setMaxDfaStatesForTest(3);
+    Rng rng(0xF1A5ULL);
+    for (int round = 0; round < 60; ++round) {
+        std::string pattern = randomRichPattern(rng);
+        auto compiled = Regex::compile(pattern);
+        ASSERT_TRUE(compiled) << pattern;
+        const Regex &regex = compiled.value();
+        for (int s = 0; s < 4; ++s) {
+            std::string subject = randomRichSubject(rng);
+            bool exhausted = false;
+            auto vmMatch =
+                regex.searchBacktracking(subject, 0, &exhausted);
+            if (exhausted)
+                continue;
+            ASSERT_EQ(regex.contains(subject), vmMatch.has_value())
+                << "/" << pattern << "/ on '" << subject << "'";
+        }
+    }
+    RegexLinear::setMaxDfaStatesForTest(0);
+}
+
+/**
+ * One compiled Regex, many threads: the shared lazy-DFA cache must
+ * stay consistent under concurrent scans (exercised under TSan in
+ * tools/ci.sh).
+ */
+TEST(LinearVsBacktracking, SharedRegexScansConcurrently)
+{
+    auto regex = Regex::compileOrDie(
+        "(?:hang|fault|err[a-z0-9_]*)\\b|machine check");
+    static const char *const subjects[] = {
+        "the processor may hang",
+        "an err_code_17 is latched",
+        "a machine check exception",
+        "errxyz without boundary_",
+        "completely unrelated text",
+        "faults and hangs everywhere",
+    };
+    bool expected[6];
+    for (int i = 0; i < 6; ++i)
+        expected[i] = regex.containsBacktracking(subjects[i]);
+
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([&] {
+            for (int round = 0; round < 300; ++round) {
+                for (int i = 0; i < 6; ++i) {
+                    if (regex.contains(subjects[i]) != expected[i])
+                        mismatches.fetch_add(1);
+                }
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(mismatches.load(), 0);
 }
 
 /** The automaton screens conservatively: a skipped pattern never

@@ -11,11 +11,82 @@
 #include "text/regex.hh"
 #include "text/similarity.hh"
 #include "text/tokenize.hh"
+#include "util/rng.hh"
 
 namespace rememberr {
 namespace {
 
 // ---- Tokenizer -----------------------------------------------------
+
+// ---- table-driven vs <cctype> reference differential ---------------
+//
+// The production tokenizer classifies and lowercases through
+// constexpr 256-entry tables; tokenizeReference keeps the original
+// per-character <cctype> implementation. The two must agree on
+// every byte value and every option combination — token text AND
+// source spans.
+
+std::vector<TokenizerOptions>
+tokenizerOptionGrid()
+{
+    std::vector<TokenizerOptions> grid;
+    for (bool stop : {false, true}) {
+        for (bool numbers : {true, false}) {
+            for (std::size_t minLen : {std::size_t{1},
+                                       std::size_t{3}}) {
+                TokenizerOptions options;
+                options.dropStopWords = stop;
+                options.keepNumbers = numbers;
+                options.minLength = minLen;
+                grid.push_back(options);
+            }
+        }
+    }
+    return grid;
+}
+
+TEST(TokenizeDifferential, AgreesOverAllByteValues)
+{
+    // Every byte value, each embedded in token-relevant contexts so
+    // classification, joiner and lowercase behavior all trigger.
+    for (const TokenizerOptions &options : tokenizerOptionGrid()) {
+        for (int b = 0; b < 256; ++b) {
+            char c = static_cast<char>(b);
+            const std::string probes[] = {
+                std::string(1, c),
+                "a" + std::string(1, c) + "b",
+                "A" + std::string(1, c),
+                std::string(1, c) + "7",
+                "x1" + std::string(1, c) + std::string(1, c) + "Y2",
+                "the " + std::string(1, c) + " 42",
+            };
+            for (const std::string &probe : probes) {
+                EXPECT_EQ(tokenize(probe, options),
+                          tokenizeReference(probe, options))
+                    << "byte " << b << " in '" << probe << "'";
+            }
+        }
+    }
+}
+
+TEST(TokenizeDifferential, AgreesOverRandomByteStrings)
+{
+    Rng rng(0x70C3ULL);
+    const auto grid = tokenizerOptionGrid();
+    for (int round = 0; round < 4000; ++round) {
+        std::string text;
+        std::size_t length = rng.nextBelow(48);
+        for (std::size_t i = 0; i < length; ++i) {
+            text += static_cast<char>(
+                static_cast<unsigned char>(rng.nextBelow(256)));
+        }
+        const TokenizerOptions &options =
+            grid[rng.nextBelow(grid.size())];
+        ASSERT_EQ(tokenize(text, options),
+                  tokenizeReference(text, options))
+            << "round " << round;
+    }
+}
 
 TEST(Tokenize, BasicWords)
 {

@@ -13,16 +13,23 @@
 #      --metrics-interval 50 --log-json, with the JSONL metrics
 #      series and the structured log stream both validated by
 #      tools/jsonl_check;
-#   6. clang-tidy via the check_tidy target (skips when clang-tidy
+#   6. parse fast-path equivalence: `bench_parse --smoke` asserts
+#      the lazy-DFA regex tier and the table-driven tokenizer
+#      reproduce the backtracking VM / cctype reference outputs
+#      hash-for-hash;
+#   7. clang-tidy via the check_tidy target (skips when clang-tidy
 #      is not installed);
-#   7. a ThreadSanitizer build running the concurrency-sensitive
+#   8. a ThreadSanitizer build running the concurrency-sensitive
 #      tests (parallel executor, observability including the sharded
 #      quantiles and the exporter thread, the literal prefilter
-#      differential and the similarity kernels, which are
-#      scanned/scored concurrently from dedup and foureyes shards);
-#   8. an UndefinedBehaviorSanitizer build running the parser,
-#      regex, diagnostics and snapshot tests, where the
-#      bit-twiddling lives.
+#      differential, the regex tier differential — whose shared
+#      lazy-DFA cache is built under concurrent scans — and the
+#      similarity kernels, which are scanned/scored concurrently
+#      from dedup and foureyes shards);
+#   9. an UndefinedBehaviorSanitizer build running the parser,
+#      regex (including the tier differential and the tokenizer
+#      byte-table differential), diagnostics and snapshot tests,
+#      where the bit-twiddling lives.
 #
 # Usage: tools/ci.sh [build-dir]   (default: build-ci)
 # Exit status: nonzero on the first failing step.
@@ -80,6 +87,9 @@ step "live observability (--metrics-interval, --log-json)"
 "$root/$build/tools/rememberr_cli" profile \
     --snapshot="$snapdir/t1.snap" > /dev/null
 
+step "parse fast-path equivalence (bench_parse --smoke)"
+"$root/$build/bench/bench_parse" --smoke
+
 step "clang-tidy"
 cmake --build "$root/$build" --target check_tidy
 
@@ -100,12 +110,12 @@ step "undefined-behavior-sanitizer build (${ubsan_build})"
 cmake -B "$root/$ubsan_build" -S "$root" \
     -DREMEMBERR_SANITIZE=undefined > /dev/null
 cmake --build "$root/$ubsan_build" -j "$jobs" \
-    --target test_document test_regex test_diag test_check \
-    test_snapshot
+    --target test_document test_regex test_regex_differential \
+    test_text test_diag test_check test_snapshot
 
 step "undefined-behavior-sanitizer tests"
-for t in test_document test_regex test_diag test_check \
-         test_snapshot; do
+for t in test_document test_regex test_regex_differential \
+         test_text test_diag test_check test_snapshot; do
     UBSAN_OPTIONS=halt_on_error=1 \
         "$root/$ubsan_build/tests/$t"
 done
