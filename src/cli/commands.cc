@@ -1,11 +1,15 @@
 #include "commands.hh"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "util/parallel.hh"
 
@@ -30,6 +34,7 @@
 #include "obs/pool_metrics.hh"
 #include "report/svg.hh"
 #include "report/table.hh"
+#include "serve/server.hh"
 #include "snap/format.hh"
 #include "snap/view.hh"
 #include "snap/writer.hh"
@@ -151,6 +156,25 @@ usageText()
            "binary\n"
            "                              snapshot (mmap-able, "
            "query-ready)\n"
+           "  serve                       long-lived query daemon: "
+           "answers JSON\n"
+           "                              query lines over TCP "
+           "(SIGINT/SIGTERM\n"
+           "                              shut it down gracefully)\n"
+           "    --port N                  TCP port, 0..65535 "
+           "(default 0 =\n"
+           "                              ephemeral; see "
+           "--port-file)\n"
+           "    --max-connections N       active+queued connections "
+           "before\n"
+           "                              rejecting (default 64)\n"
+           "    --cache N                 cached responses across "
+           "shards\n"
+           "                              (default 1024; 0 "
+           "disables)\n"
+           "    --port-file FILE          write the bound port to "
+           "FILE once\n"
+           "                              listening (atomic write)\n"
            "  profile                     run the pipeline and "
            "print per-stage\n"
            "                              timings, counters and "
@@ -952,6 +976,125 @@ writeObsExports(const ArgList &args, std::ostream &err,
     return 0;
 }
 
+#if defined(__unix__) || defined(__APPLE__)
+/** SIGINT/SIGTERM latch for `serve`; the handler may only set it. */
+volatile std::sig_atomic_t serveStopRequested = 0;
+
+extern "C" void
+serveSignalHandler(int)
+{
+    serveStopRequested = 1;
+}
+#endif
+
+/**
+ * serve: bind a TCP port and answer query requests until a signal
+ * (or a caller-driven stop in tests) asks for a graceful shutdown.
+ * The database comes from resolveDatabase, so `--snapshot FILE` is
+ * the intended production path (mmap once, serve forever) and the
+ * cached pipeline build is the fallback. A periodic metrics exporter
+ * (--metrics-interval + --metrics-out) makes the `serve.*` counters
+ * and latency quantiles a live JSONL series while the daemon runs.
+ */
+int
+cmdServe(const ArgList &args, std::ostream &out, std::ostream &err)
+{
+    serve::ServeOptions options;
+    // checkIntOptions already rejected malformed or negative values;
+    // the upper bounds are serve-specific.
+    if (auto port = args.intOption("port")) {
+        if (*port > 65535) {
+            err << "--port must be in [0, 65535], got " << *port
+                << "\n";
+            return 2;
+        }
+        options.port = static_cast<int>(*port);
+    }
+    if (auto maxConnections = args.intOption("max-connections")) {
+        if (*maxConnections < 1) {
+            err << "--max-connections must be at least 1, got "
+                << *maxConnections << "\n";
+            return 2;
+        }
+        options.maxConnections =
+            static_cast<std::size_t>(*maxConnections);
+    }
+    if (auto cache = args.intOption("cache"))
+        options.cacheCapacity = static_cast<std::size_t>(*cache);
+    // Workers each own one connection at a time, so unlike the
+    // pipeline the daemon wants a floor above the core count: a
+    // couple of idle-ish clients must not starve each other on a
+    // small machine. --threads still overrides exactly.
+    if (auto threads = args.intOption("threads"))
+        options.workers = static_cast<std::size_t>(*threads);
+    else
+        options.workers =
+            std::max<std::size_t>(resolveThreadCount(0), 4);
+    options.metrics = &MetricsRegistry::global();
+    options.trace = &TraceRecorder::global();
+
+    std::optional<Database> storage;
+    const Database *db = nullptr;
+    if (int rc = resolveDatabase(args, storage, db, err))
+        return rc;
+
+    serve::Server server(*db, options);
+    if (auto started = server.start(); !started) {
+        err << "serve: " << started.error().toString() << "\n";
+        return 1;
+    }
+    if (auto portFile = args.option("port-file")) {
+        if (portFile->empty()) {
+            err << "--port-file requires a file name\n";
+            return 2;
+        }
+        // Atomic (and directory-fsynced): a supervisor polling for
+        // this file never reads a partial port number.
+        if (!atomicWriteFile(*portFile,
+                             std::to_string(server.port()) + "\n")) {
+            err << "serve: cannot write port file " << *portFile
+                << "\n";
+            return 1;
+        }
+    }
+    out << "serving " << db->entries().size() << " errata on "
+        << "127.0.0.1:" << server.port() << " (workers "
+        << resolveThreadCount(options.workers) << ", cache "
+        << options.cacheCapacity << ", max connections "
+        << options.maxConnections << ")" << std::endl;
+
+#if defined(__unix__) || defined(__APPLE__)
+    serveStopRequested = 0;
+    struct sigaction action
+    {
+    };
+    action.sa_handler = serveSignalHandler;
+    sigemptyset(&action.sa_mask);
+    struct sigaction oldInt
+    {
+    };
+    struct sigaction oldTerm
+    {
+    };
+    ::sigaction(SIGINT, &action, &oldInt);
+    ::sigaction(SIGTERM, &action, &oldTerm);
+    while (serveStopRequested == 0 && server.running())
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ::sigaction(SIGINT, &oldInt, nullptr);
+    ::sigaction(SIGTERM, &oldTerm, nullptr);
+#endif
+    server.stop();
+
+    serve::ServerStats stats = server.stats();
+    serve::ShardedLruCache::Stats cacheStats =
+        server.cache().stats();
+    out << "served " << stats.requests << " requests ("
+        << stats.errors << " errors, " << stats.rejected
+        << " rejected, cache " << cacheStats.hits << " hits / "
+        << cacheStats.misses << " misses)\n";
+    return 0;
+}
+
 /**
  * Start a private exporter for a profile run when the user asked for
  * a live series (--metrics-interval was validated in runCli). The
@@ -1203,8 +1346,9 @@ int
 checkIntOptions(const ArgList &args, std::ostream &err)
 {
     static constexpr const char *intOptions[] = {
-        "seed",  "limit",   "min-triggers",    "pairs",
-        "count", "threads", "metrics-interval"};
+        "seed",    "limit", "min-triggers",     "pairs",
+        "count",   "threads", "metrics-interval", "port",
+        "max-connections", "cache"};
     for (const char *name : intOptions) {
         auto text = args.option(name);
         if (!text)
@@ -1334,6 +1478,8 @@ runCli(const std::vector<std::string> &args, std::ostream &out,
             return cmdFigures(parsed, out, err);
         if (command == "snapshot")
             return cmdSnapshot(parsed, out, err);
+        if (command == "serve")
+            return cmdServe(parsed, out, err);
         if (command == "profile")
             return cmdProfile(parsed, out, err);
         err << "unknown command '" << command << "'\n"

@@ -20,6 +20,9 @@
  *   figures   --out DIR         write every reproduced figure (SVG)
  *   snapshot  --out FILE        write the database as a binary,
  *                               mmap-able snapshot
+ *   serve                       long-lived TCP query daemon
+ *                               (--port, --max-connections, --cache,
+ *                               --port-file; see DESIGN.md §16)
  *   profile                     per-stage timing/counter report
  *
  * Every command accepts --metrics-out FILE and --trace-out FILE

@@ -1,0 +1,101 @@
+#include "cache.hh"
+
+namespace rememberr {
+namespace serve {
+
+ShardedLruCache::ShardedLruCache(std::size_t capacity,
+                                 std::size_t shards)
+    : capacity_(capacity)
+{
+    if (shards == 0)
+        shards = 1;
+    if (capacity_ > 0) {
+        perShard_ = capacity_ / shards;
+        if (perShard_ == 0) {
+            // Fewer entries than shards: collapse to one shard so
+            // the total capacity stays exact.
+            shards = 1;
+            perShard_ = capacity_;
+        }
+        shards_.reserve(shards);
+        for (std::size_t i = 0; i < shards; ++i)
+            shards_.push_back(std::make_unique<Shard>());
+    }
+}
+
+ShardedLruCache::Shard &
+ShardedLruCache::shardFor(const std::string &key)
+{
+    return *shards_[std::hash<std::string>{}(key) %
+                    shards_.size()];
+}
+
+ShardedLruCache::Value
+ShardedLruCache::get(const std::string &key)
+{
+    if (!enabled())
+        return nullptr;
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+        ++shard.misses;
+        return nullptr;
+    }
+    ++shard.hits;
+    // Bump to most-recently-used; splice relinks in place, so the
+    // index iterator stays valid.
+    shard.order.splice(shard.order.begin(), shard.order,
+                       it->second);
+    return it->second->value;
+}
+
+void
+ShardedLruCache::put(const std::string &key, Value value)
+{
+    if (!enabled())
+        return;
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+        it->second->value = std::move(value);
+        shard.order.splice(shard.order.begin(), shard.order,
+                           it->second);
+        return;
+    }
+    shard.order.push_front(Entry{key, std::move(value)});
+    shard.index.emplace(key, shard.order.begin());
+    while (shard.order.size() > perShard_) {
+        shard.index.erase(shard.order.back().key);
+        shard.order.pop_back();
+        ++shard.evictions;
+    }
+}
+
+ShardedLruCache::Stats
+ShardedLruCache::stats() const
+{
+    Stats total;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        total.hits += shard->hits;
+        total.misses += shard->misses;
+        total.evictions += shard->evictions;
+    }
+    return total;
+}
+
+std::size_t
+ShardedLruCache::size() const
+{
+    std::size_t total = 0;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        total += shard->order.size();
+    }
+    return total;
+}
+
+} // namespace serve
+} // namespace rememberr

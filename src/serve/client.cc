@@ -1,0 +1,167 @@
+#include "client.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define REMEMBERR_SERVE_POSIX 1
+#include <arpa/inet.h>
+#include <cerrno>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+#endif
+
+namespace rememberr {
+namespace serve {
+
+Expected<Client>
+Client::connect(const std::string &host, int port)
+{
+#ifndef REMEMBERR_SERVE_POSIX
+    (void)host;
+    (void)port;
+    return makeError("serve client requires POSIX sockets");
+#else
+    if (port <= 0 || port > 65535)
+        return makeError("port must be in [1, 65535]");
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return makeError("cannot create socket");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        return makeError("bad address '" + host + "'");
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return makeError("cannot connect to " + host + ":" +
+                         std::to_string(port));
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return Client(fd);
+#endif
+}
+
+Client::Client(Client &&other) noexcept
+    : fd_(other.fd_), inbuf_(std::move(other.inbuf_))
+{
+    other.fd_ = -1;
+}
+
+Client &
+Client::operator=(Client &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        inbuf_ = std::move(other.inbuf_);
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+Client::~Client()
+{
+    close();
+}
+
+Expected<bool>
+Client::sendLine(const std::string &line)
+{
+    return sendText(line + "\n");
+}
+
+Expected<bool>
+Client::sendText(const std::string &text)
+{
+#ifndef REMEMBERR_SERVE_POSIX
+    (void)text;
+    return makeError("serve client requires POSIX sockets");
+#else
+    if (fd_ < 0)
+        return makeError("client not connected");
+    std::size_t sent = 0;
+    while (sent < text.size()) {
+        ssize_t wrote = ::send(fd_, text.data() + sent,
+                               text.size() - sent, MSG_NOSIGNAL);
+        if (wrote < 0) {
+            if (errno == EINTR)
+                continue;
+            return makeError("send failed");
+        }
+        sent += static_cast<std::size_t>(wrote);
+    }
+    return true;
+#endif
+}
+
+Expected<std::string>
+Client::readLine(int timeoutMs)
+{
+#ifndef REMEMBERR_SERVE_POSIX
+    (void)timeoutMs;
+    return makeError("serve client requires POSIX sockets");
+#else
+    if (fd_ < 0)
+        return makeError("client not connected");
+    for (;;) {
+        std::size_t newline = inbuf_.find('\n');
+        if (newline != std::string::npos) {
+            std::string line = inbuf_.substr(0, newline);
+            inbuf_.erase(0, newline + 1);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            return line;
+        }
+        pollfd waiter{fd_, POLLIN, 0};
+        int ready = ::poll(&waiter, 1, timeoutMs);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            return makeError("poll failed");
+        }
+        if (ready == 0)
+            return makeError("timed out waiting for response");
+        char chunk[16384];
+        ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (got == 0)
+            return makeError("connection closed by server");
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            return makeError("recv failed");
+        }
+        inbuf_.append(chunk, static_cast<std::size_t>(got));
+    }
+#endif
+}
+
+void
+Client::closeWrite()
+{
+#ifdef REMEMBERR_SERVE_POSIX
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_WR);
+#endif
+}
+
+void
+Client::close()
+{
+#ifdef REMEMBERR_SERVE_POSIX
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+#endif
+}
+
+} // namespace serve
+} // namespace rememberr

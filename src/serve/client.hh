@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Minimal blocking line-protocol client for the query daemon.
+ *
+ * Used by `bench_serve`, `tests/test_serve.cc` and anyone scripting
+ * against a running `rememberr serve`: connect, write JSON request
+ * lines, read JSON response lines back in order. The client buffers
+ * reads, so pipelined responses are split correctly.
+ */
+
+#ifndef REMEMBERR_SERVE_CLIENT_HH
+#define REMEMBERR_SERVE_CLIENT_HH
+
+#include <string>
+
+#include "util/expected.hh"
+
+namespace rememberr {
+namespace serve {
+
+class Client
+{
+  public:
+    /** Connect to host:port; fails fast (no retry loop). */
+    static Expected<Client> connect(const std::string &host,
+                                    int port);
+
+    Client(Client &&other) noexcept;
+    Client &operator=(Client &&other) noexcept;
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+    ~Client();
+
+    /** Send one request line (a '\n' is appended). */
+    Expected<bool> sendLine(const std::string &line);
+
+    /** Send raw bytes verbatim (for malformed-input tests). */
+    Expected<bool> sendText(const std::string &text);
+
+    /**
+     * Read the next response line (without its '\n').
+     * Errors on timeout, connection close, or socket failure.
+     */
+    Expected<std::string> readLine(int timeoutMs = 30000);
+
+    /** Half-close the write side; the daemon sees end-of-stream. */
+    void closeWrite();
+
+    void close();
+    bool connected() const { return fd_ >= 0; }
+
+  private:
+    explicit Client(int fd) : fd_(fd) {}
+
+    int fd_ = -1;
+    std::string inbuf_;
+};
+
+} // namespace serve
+} // namespace rememberr
+
+#endif // REMEMBERR_SERVE_CLIENT_HH

@@ -2,17 +2,25 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
 
 #if defined(__unix__) || defined(__APPLE__)
+#define REMEMBERR_FILEIO_POSIX 1
+#include <cerrno>
+#include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 #endif
 
 namespace rememberr {
 
 namespace {
+
+std::atomic<std::uint64_t> fileSyncs{0};
+std::atomic<std::uint64_t> dirSyncs{0};
 
 /** Unique sibling temp name: pid + a process-wide sequence keep
  * concurrent writers (tests run commands in parallel processes and
@@ -31,11 +39,96 @@ tempName(const std::string &path)
                sequence.fetch_add(1, std::memory_order_relaxed));
 }
 
+#ifdef REMEMBERR_FILEIO_POSIX
+
+/** write(2) the whole buffer, retrying on EINTR / short writes. */
+bool
+writeFully(int fd, const char *data, std::size_t size)
+{
+    std::size_t written = 0;
+    while (written < size) {
+        ssize_t wrote = ::write(fd, data + written, size - written);
+        if (wrote < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        written += static_cast<std::size_t>(wrote);
+    }
+    return true;
+}
+
+/**
+ * fsync the directory containing `path`, making a completed rename
+ * in it durable. Failure is reported (metadata might still be
+ * volatile), but the rename itself already happened — callers get an
+ * error, not a rolled-back file.
+ */
+bool
+syncParentDirectory(const std::string &path)
+{
+    std::string dir =
+        std::filesystem::path(path).parent_path().string();
+    if (dir.empty())
+        dir = ".";
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return false;
+    bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    if (ok)
+        dirSyncs.fetch_add(1, std::memory_order_relaxed);
+    return ok;
+}
+
+Expected<std::size_t>
+atomicWriteFilePosix(const std::string &path,
+                     const std::string &content)
+{
+    const std::string temp = tempName(path);
+    int fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                    0644);
+    if (fd < 0)
+        return makeError("cannot create " + temp);
+    if (!writeFully(fd, content.data(), content.size())) {
+        ::close(fd);
+        ::unlink(temp.c_str());
+        return makeError("cannot write " + temp);
+    }
+    // Data must be on disk before the rename publishes it; otherwise
+    // a crash could leave the new name pointing at a zero-length (or
+    // partial) file.
+    if (::fsync(fd) != 0) {
+        ::close(fd);
+        ::unlink(temp.c_str());
+        return makeError("cannot fsync " + temp);
+    }
+    fileSyncs.fetch_add(1, std::memory_order_relaxed);
+    if (::close(fd) != 0) {
+        ::unlink(temp.c_str());
+        return makeError("cannot close " + temp);
+    }
+    if (::rename(temp.c_str(), path.c_str()) != 0) {
+        int savedErrno = errno;
+        ::unlink(temp.c_str());
+        return makeError("cannot rename " + temp + " to " + path +
+                         ": " + std::strerror(savedErrno));
+    }
+    if (!syncParentDirectory(path))
+        return makeError("cannot fsync directory of " + path);
+    return content.size();
+}
+
+#endif // REMEMBERR_FILEIO_POSIX
+
 } // namespace
 
 Expected<std::size_t>
 atomicWriteFile(const std::string &path, const std::string &content)
 {
+#ifdef REMEMBERR_FILEIO_POSIX
+    return atomicWriteFilePosix(path, content);
+#else
     const std::string temp = tempName(path);
     {
         std::ofstream out(temp,
@@ -58,6 +151,16 @@ atomicWriteFile(const std::string &path, const std::string &content)
                          ": " + ec.message());
     }
     return content.size();
+#endif
+}
+
+FileIoStats
+fileIoStats()
+{
+    FileIoStats stats;
+    stats.fileSyncs = fileSyncs.load(std::memory_order_relaxed);
+    stats.dirSyncs = dirSyncs.load(std::memory_order_relaxed);
+    return stats;
 }
 
 } // namespace rememberr

@@ -4,12 +4,20 @@
  * destination's directory and is renamed into place, so readers (and
  * interrupted runs) only ever observe either the previous complete
  * file or the new complete file — never a truncated artifact.
+ *
+ * On POSIX the write is also durable: the temp file is fsync'd
+ * before the rename and the containing directory is fsync'd after
+ * it. Without the directory sync the rename itself lives only in the
+ * directory's in-memory metadata, so a power loss shortly after a
+ * "successful" write could roll the whole rename back — the classic
+ * atomic-rename durability hole.
  */
 
 #ifndef REMEMBERR_UTIL_FILEIO_HH
 #define REMEMBERR_UTIL_FILEIO_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "util/expected.hh"
@@ -17,14 +25,30 @@
 namespace rememberr {
 
 /**
- * Write `content` to `path` atomically: write + flush a unique
- * sibling temp file, then rename over `path` (atomic on POSIX when
- * source and destination share a filesystem, which the sibling
- * placement guarantees). The temp file is removed on failure.
- * Returns the byte count written.
+ * Write `content` to `path` atomically: write + fsync a unique
+ * sibling temp file, rename over `path` (atomic on POSIX when source
+ * and destination share a filesystem, which the sibling placement
+ * guarantees), then fsync the containing directory so the rename
+ * survives a crash. The temp file is removed on failure. Returns the
+ * byte count written.
  */
 Expected<std::size_t> atomicWriteFile(const std::string &path,
                                       const std::string &content);
+
+/**
+ * Cumulative durability counters for this process; tests use them to
+ * prove the fsync path actually ran (a write that silently skipped
+ * the directory sync would still produce correct file contents).
+ */
+struct FileIoStats
+{
+    /** fsync(tempfile) calls that succeeded. */
+    std::uint64_t fileSyncs = 0;
+    /** fsync(containing directory) calls that succeeded. */
+    std::uint64_t dirSyncs = 0;
+};
+
+FileIoStats fileIoStats();
 
 } // namespace rememberr
 

@@ -162,6 +162,46 @@ TEST(Cli, NegativeThreadsRejected)
     EXPECT_NE(result.err.find("non-negative"), std::string::npos);
 }
 
+TEST(Cli, ServePortOutOfRangeRejected)
+{
+    CliResult result = run({"serve", "--port=99999"});
+    EXPECT_EQ(result.code, 2);
+    EXPECT_NE(result.err.find("--port must be in [0, 65535]"),
+              std::string::npos);
+}
+
+TEST(Cli, ServeNegativePortRejected)
+{
+    CliResult result = run({"serve", "--port=-1"});
+    EXPECT_EQ(result.code, 2);
+    EXPECT_NE(result.err.find("non-negative"), std::string::npos);
+}
+
+TEST(Cli, ServeMaxConnectionsZeroRejected)
+{
+    CliResult result = run({"serve", "--max-connections=0"});
+    EXPECT_EQ(result.code, 2);
+    EXPECT_NE(result.err.find("--max-connections must be at least 1"),
+              std::string::npos);
+}
+
+TEST(Cli, ServeMalformedCacheRejected)
+{
+    CliResult result = run({"serve", "--cache=lots"});
+    EXPECT_EQ(result.code, 2);
+    EXPECT_NE(result.err.find("invalid integer"),
+              std::string::npos);
+    EXPECT_NE(result.err.find("--cache"), std::string::npos);
+}
+
+TEST(Cli, UsageMentionsServe)
+{
+    CliResult result = run({"help"});
+    EXPECT_NE(result.err.find("serve"), std::string::npos);
+    EXPECT_NE(result.err.find("--max-connections"),
+              std::string::npos);
+}
+
 TEST(Cli, ThreadsOptionMatchesSerialOutput)
 {
     CliResult serial = run({"stats"});

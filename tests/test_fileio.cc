@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Regression tests for crash-durable atomic writes: beyond the
+ * atomicity contract (covered in test_obs_live.cc), every successful
+ * write on POSIX must fsync the temp file before the rename and
+ * fsync the containing directory after it. The FileIoStats counters
+ * exist precisely so these tests can prove the sync path ran —
+ * contents alone look identical whether or not durability was
+ * skipped.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <unistd.h>
+
+#include "util/fileio.hh"
+
+namespace rememberr {
+namespace {
+
+class FileIoTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("rememberr_fileio_" + std::to_string(getpid()));
+        std::filesystem::create_directories(dir_);
+    }
+
+    void
+    TearDown() override
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(dir_, ec);
+    }
+
+    std::string
+    path(const std::string &name) const
+    {
+        return (dir_ / name).string();
+    }
+
+    static std::string
+    slurp(const std::string &file)
+    {
+        std::ifstream in(file, std::ios::binary);
+        return std::string(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+    }
+
+    std::filesystem::path dir_;
+};
+
+TEST_F(FileIoTest, SuccessfulWriteSyncsFileAndDirectory)
+{
+    FileIoStats before = fileIoStats();
+    auto written = atomicWriteFile(path("a.txt"), "payload\n");
+    ASSERT_TRUE(written) << written.error().toString();
+    EXPECT_EQ(written.value(), 8u);
+    EXPECT_EQ(slurp(path("a.txt")), "payload\n");
+
+    FileIoStats after = fileIoStats();
+    // One data sync (the temp file) and one metadata sync (the
+    // containing directory, making the rename durable) per write.
+    EXPECT_EQ(after.fileSyncs, before.fileSyncs + 1);
+    EXPECT_EQ(after.dirSyncs, before.dirSyncs + 1);
+}
+
+TEST_F(FileIoTest, EverySuccessfulWriteSyncsAgain)
+{
+    FileIoStats before = fileIoStats();
+    ASSERT_TRUE(atomicWriteFile(path("b.txt"), "one"));
+    ASSERT_TRUE(atomicWriteFile(path("b.txt"), "two"));
+    ASSERT_TRUE(atomicWriteFile(path("b.txt"), "three"));
+    EXPECT_EQ(slurp(path("b.txt")), "three");
+
+    FileIoStats after = fileIoStats();
+    EXPECT_EQ(after.fileSyncs, before.fileSyncs + 3);
+    EXPECT_EQ(after.dirSyncs, before.dirSyncs + 3);
+}
+
+TEST_F(FileIoTest, RelativePathSyncsWorkingDirectory)
+{
+    // A bare filename has no parent component; the sync must fall
+    // back to "." instead of failing on open("").
+    std::filesystem::path old = std::filesystem::current_path();
+    std::filesystem::current_path(dir_);
+    FileIoStats before = fileIoStats();
+    auto written = atomicWriteFile("bare.txt", "x");
+    std::filesystem::current_path(old);
+    ASSERT_TRUE(written) << written.error().toString();
+
+    FileIoStats after = fileIoStats();
+    EXPECT_EQ(after.dirSyncs, before.dirSyncs + 1);
+    EXPECT_EQ(slurp(path("bare.txt")), "x");
+}
+
+TEST_F(FileIoTest, FailedWriteSyncsNothing)
+{
+    FileIoStats before = fileIoStats();
+    auto written =
+        atomicWriteFile(path("missing/deep/c.txt"), "x");
+    EXPECT_FALSE(written);
+
+    FileIoStats after = fileIoStats();
+    EXPECT_EQ(after.fileSyncs, before.fileSyncs);
+    EXPECT_EQ(after.dirSyncs, before.dirSyncs);
+}
+
+TEST_F(FileIoTest, FailureLeavesNoTempFiles)
+{
+    ASSERT_FALSE(atomicWriteFile(path("nodir/d.txt"), "x"));
+    ASSERT_TRUE(atomicWriteFile(path("e.txt"), "kept"));
+    std::size_t files = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir_)) {
+        (void)entry;
+        ++files;
+    }
+    EXPECT_EQ(files, 1u);
+    EXPECT_EQ(slurp(path("e.txt")), "kept");
+}
+
+} // namespace
+} // namespace rememberr

@@ -1,0 +1,417 @@
+/**
+ * @file
+ * Tests for the query daemon stack: QuerySpec normalization (the
+ * cache key), the sharded LRU result cache, and the TCP server's
+ * protocol behaviour — malformed/truncated/oversized request lines,
+ * pipelining, connection limits, graceful shutdown, and a
+ * concurrent-clients hammer that doubles as the TSan workload for
+ * the sharded cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.hh"
+#include "db/query_spec.hh"
+#include "serve/cache.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace rememberr {
+namespace {
+
+// ---- QuerySpec: the canonical cache key ---------------------------------
+
+TEST(QuerySpec, CanonicalIsSpellingInsensitive)
+{
+    auto a = QuerySpec::fromJson(
+        parseJson("{\"op\":\"count\",\"vendor\":\"Intel\"}")
+            .value());
+    auto b = QuerySpec::fromJson(
+        parseJson("{\"op\":\"count\",\"vendor\":\"INTEL\"}")
+            .value());
+    ASSERT_TRUE(a);
+    ASSERT_TRUE(b);
+    EXPECT_EQ(a.value().canonical(), b.value().canonical());
+    EXPECT_EQ(a.value().fingerprint(), b.value().fingerprint());
+}
+
+TEST(QuerySpec, CanonicalSeparatesDifferentQueries)
+{
+    auto a = QuerySpec::fromJson(
+        parseJson("{\"op\":\"count\",\"vendor\":\"intel\"}")
+            .value());
+    auto b = QuerySpec::fromJson(
+        parseJson("{\"op\":\"count\",\"vendor\":\"amd\"}").value());
+    ASSERT_TRUE(a);
+    ASSERT_TRUE(b);
+    EXPECT_NE(a.value().canonical(), b.value().canonical());
+    EXPECT_NE(a.value().fingerprint(), b.value().fingerprint());
+}
+
+TEST(QuerySpec, RejectsUnknownOpAndFields)
+{
+    EXPECT_FALSE(QuerySpec::fromJson(
+        parseJson("{\"op\":\"drop\"}").value()));
+    EXPECT_FALSE(QuerySpec::fromJson(
+        parseJson("{\"op\":\"count\",\"bogus\":1}").value()));
+    EXPECT_FALSE(QuerySpec::fromJson(
+        parseJson("{\"vendor\":\"intel\"}").value()));
+    EXPECT_FALSE(QuerySpec::fromJson(
+        parseJson("{\"op\":\"run\",\"limit\":100000}").value()));
+    EXPECT_FALSE(QuerySpec::fromJson(
+        parseJson("{\"op\":\"count\",\"disclosed_from\":"
+                  "\"2020-01-01\"}")
+            .value()));
+}
+
+// ---- Sharded LRU cache --------------------------------------------------
+
+serve::ShardedLruCache::Value
+boxed(const std::string &text)
+{
+    return std::make_shared<const std::string>(text);
+}
+
+TEST(ServeCache, EvictsLeastRecentlyUsed)
+{
+    serve::ShardedLruCache cache(2, 1);
+    cache.put("a", boxed("1"));
+    cache.put("b", boxed("2"));
+    ASSERT_TRUE(cache.get("a")); // bump a: b is now LRU
+    cache.put("c", boxed("3"));
+    EXPECT_TRUE(cache.get("a"));
+    EXPECT_FALSE(cache.get("b"));
+    EXPECT_TRUE(cache.get("c"));
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ServeCache, ZeroCapacityDisables)
+{
+    serve::ShardedLruCache cache(0);
+    EXPECT_FALSE(cache.enabled());
+    cache.put("a", boxed("1"));
+    EXPECT_FALSE(cache.get("a"));
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ServeCache, RefreshReplacesValueWithoutGrowth)
+{
+    serve::ShardedLruCache cache(4, 1);
+    cache.put("a", boxed("old"));
+    cache.put("a", boxed("new"));
+    auto hit = cache.get("a");
+    ASSERT_TRUE(hit);
+    EXPECT_EQ(*hit, "new");
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+// ---- Server protocol ----------------------------------------------------
+
+class ServeTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        setLogQuiet(true);
+        PipelineOptions options;
+        options.roundTripDocuments = false;
+        options.lint = false;
+        result_ = new PipelineResult(runPipeline(options));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete result_;
+        result_ = nullptr;
+    }
+
+    static const Database &db() { return result_->groundTruth; }
+
+    static std::unique_ptr<serve::Server>
+    startServer(serve::ServeOptions options = {})
+    {
+        if (options.workers == 0)
+            options.workers = 2;
+        auto server =
+            std::make_unique<serve::Server>(db(), options);
+        auto started = server->start();
+        EXPECT_TRUE(started) << started.error().toString();
+        return server;
+    }
+
+    static serve::Client
+    connect(const serve::Server &server)
+    {
+        auto client =
+            serve::Client::connect("127.0.0.1", server.port());
+        EXPECT_TRUE(client) << client.error().toString();
+        return std::move(client.value());
+    }
+
+    static std::string
+    expected(const std::string &line)
+    {
+        auto spec =
+            QuerySpec::fromJson(parseJson(line).value());
+        EXPECT_TRUE(spec) << spec.error().toString();
+        return spec.value().execute(db()).dump();
+    }
+
+    static PipelineResult *result_;
+};
+
+PipelineResult *ServeTest::result_ = nullptr;
+
+TEST_F(ServeTest, AnswersPingAndCount)
+{
+    auto server = startServer();
+    serve::Client client = connect(*server);
+    ASSERT_TRUE(client.sendLine("{\"op\":\"ping\"}"));
+    auto pong = client.readLine();
+    ASSERT_TRUE(pong);
+    EXPECT_EQ(pong.value(), "{\"ok\":true,\"op\":\"ping\"}");
+
+    std::string request = "{\"op\":\"count\",\"vendor\":\"intel\"}";
+    ASSERT_TRUE(client.sendLine(request));
+    auto count = client.readLine();
+    ASSERT_TRUE(count);
+    EXPECT_EQ(count.value(), expected(request));
+}
+
+TEST_F(ServeTest, MalformedLineGetsErrorAndConnectionSurvives)
+{
+    auto server = startServer();
+    serve::Client client = connect(*server);
+    ASSERT_TRUE(client.sendLine("this is not json"));
+    auto error = client.readLine();
+    ASSERT_TRUE(error);
+    auto parsed = parseJson(error.value());
+    ASSERT_TRUE(parsed);
+    EXPECT_FALSE(parsed.value().at("ok").asBool());
+    EXPECT_TRUE(parsed.value().contains("error"));
+
+    // A protocol error is per-line, not per-connection.
+    ASSERT_TRUE(client.sendLine("{\"op\":\"ping\"}"));
+    auto pong = client.readLine();
+    ASSERT_TRUE(pong);
+    EXPECT_EQ(pong.value(), "{\"ok\":true,\"op\":\"ping\"}");
+}
+
+TEST_F(ServeTest, BadRequestShapesAllAnswerWithErrors)
+{
+    auto server = startServer();
+    serve::Client client = connect(*server);
+    const char *bad[] = {
+        "{\"op\":\"count\",\"vendor\":\"via\"}",
+        "{\"op\":\"count\",\"limit\":5}",
+        "{\"op\":\"group\",\"by\":\"vendor\"}",
+        "{\"op\":\"run\",\"min_triggers\":-1}",
+        "[1,2,3]",
+        "\"just a string\"",
+        "{\"op\":\"ping\",\"vendor\":\"intel\"}",
+    };
+    for (const char *line : bad) {
+        ASSERT_TRUE(client.sendLine(line)) << line;
+        auto response = client.readLine();
+        ASSERT_TRUE(response) << line;
+        auto parsed = parseJson(response.value());
+        ASSERT_TRUE(parsed) << line;
+        EXPECT_FALSE(parsed.value().at("ok").asBool()) << line;
+    }
+}
+
+TEST_F(ServeTest, EmptyAndCarriageReturnLinesAreIgnored)
+{
+    auto server = startServer();
+    serve::Client client = connect(*server);
+    ASSERT_TRUE(
+        client.sendText("\n\r\n{\"op\":\"ping\"}\r\n\n"));
+    auto pong = client.readLine();
+    ASSERT_TRUE(pong);
+    EXPECT_EQ(pong.value(), "{\"ok\":true,\"op\":\"ping\"}");
+}
+
+TEST_F(ServeTest, TruncatedLineIsNeverAnswered)
+{
+    auto server = startServer();
+    serve::Client client = connect(*server);
+    // No terminating newline: the fragment must not be executed.
+    ASSERT_TRUE(client.sendText("{\"op\":\"count\""));
+    client.closeWrite();
+    auto response = client.readLine(2000);
+    EXPECT_FALSE(response); // connection closes without a response
+}
+
+TEST_F(ServeTest, OversizedLineIsRejected)
+{
+    serve::ServeOptions options;
+    options.maxLineBytes = 128;
+    auto server = startServer(options);
+    serve::Client client = connect(*server);
+    std::string huge = "{\"op\":\"count\",\"vendor\":\"" +
+                       std::string(500, 'x') + "\"}";
+    ASSERT_TRUE(client.sendLine(huge));
+    auto response = client.readLine();
+    ASSERT_TRUE(response);
+    EXPECT_NE(response.value().find("exceeds"),
+              std::string::npos);
+}
+
+TEST_F(ServeTest, PipelinedRequestsAnswerInOrder)
+{
+    auto server = startServer();
+    serve::Client client = connect(*server);
+    std::vector<std::string> requests = {
+        "{\"op\":\"count\",\"vendor\":\"intel\"}",
+        "{\"op\":\"count\",\"vendor\":\"amd\"}",
+        "{\"op\":\"group\",\"by\":\"workaround\"}",
+        "{\"op\":\"run\",\"limit\":3}",
+        "{\"op\":\"count\",\"vendor\":\"intel\"}", // cache hit
+        "{\"op\":\"ping\"}",
+    };
+    std::string batch;
+    for (const std::string &request : requests)
+        batch += request + "\n";
+    ASSERT_TRUE(client.sendText(batch));
+    for (const std::string &request : requests) {
+        auto response = client.readLine();
+        ASSERT_TRUE(response) << request;
+        if (request.find("ping") == std::string::npos)
+            EXPECT_EQ(response.value(), expected(request))
+                << request;
+    }
+    EXPECT_GE(server->cache().stats().hits, 1u);
+}
+
+TEST_F(ServeTest, RejectsConnectionsBeyondLimit)
+{
+    serve::ServeOptions options;
+    options.workers = 1;
+    options.maxConnections = 1;
+    auto server = startServer(options);
+    serve::Client first = connect(*server);
+    ASSERT_TRUE(first.sendLine("{\"op\":\"ping\"}"));
+    ASSERT_TRUE(first.readLine());
+
+    serve::Client second = connect(*server);
+    auto busy = second.readLine(5000);
+    ASSERT_TRUE(busy);
+    EXPECT_NE(busy.value().find("busy"), std::string::npos);
+    EXPECT_GE(server->stats().rejected, 1u);
+
+    // The first connection is unaffected.
+    ASSERT_TRUE(first.sendLine("{\"op\":\"ping\"}"));
+    EXPECT_TRUE(first.readLine());
+}
+
+TEST_F(ServeTest, StatsOpReportsCountersUncached)
+{
+    auto server = startServer();
+    serve::Client client = connect(*server);
+    ASSERT_TRUE(client.sendLine("{\"op\":\"stats\"}"));
+    auto first = client.readLine();
+    ASSERT_TRUE(first);
+    auto parsed = parseJson(first.value());
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(parsed.value().at("entries").asNumber(),
+              static_cast<double>(db().entries().size()));
+    // A second stats call must reflect the first (not be cached).
+    ASSERT_TRUE(client.sendLine("{\"op\":\"stats\"}"));
+    auto second = client.readLine();
+    ASSERT_TRUE(second);
+    EXPECT_NE(first.value(), second.value());
+}
+
+TEST_F(ServeTest, StopDrainsAndRefusesNewConnections)
+{
+    auto server = startServer();
+    {
+        serve::Client client = connect(*server);
+        ASSERT_TRUE(client.sendLine("{\"op\":\"ping\"}"));
+        ASSERT_TRUE(client.readLine());
+    }
+    int port = server->port();
+    server->stop();
+    EXPECT_FALSE(server->running());
+    EXPECT_FALSE(serve::Client::connect("127.0.0.1", port));
+    server->stop(); // idempotent
+}
+
+/**
+ * The TSan workload: several clients hammer a deliberately tiny
+ * cache with a shared hot set, so concurrent get/put/evict races on
+ * the shards and response shared_ptrs are exercised while every
+ * response is still checked against in-process execution.
+ */
+TEST_F(ServeTest, ConcurrentClientsAgreeWithLocalExecution)
+{
+    serve::ServeOptions options;
+    options.workers = 4;
+    options.cacheCapacity = 4; // force constant eviction
+    auto server = startServer(options);
+
+    std::vector<std::string> requests = {
+        "{\"op\":\"count\",\"vendor\":\"intel\"}",
+        "{\"op\":\"count\",\"vendor\":\"amd\"}",
+        "{\"op\":\"count\",\"min_triggers\":2}",
+        "{\"op\":\"group\",\"by\":\"workaround\"}",
+        "{\"op\":\"group\",\"by\":\"class\",\"axis\":\"effect\"}",
+        "{\"op\":\"run\",\"limit\":2}",
+        "{\"op\":\"count\",\"workaround\":\"none\"}",
+        "{\"op\":\"count\",\"status\":\"fixed\"}",
+    };
+    std::vector<std::string> answers;
+    answers.reserve(requests.size());
+    for (const std::string &request : requests)
+        answers.push_back(expected(request));
+
+    constexpr int kClients = 4;
+    constexpr int kRounds = 50;
+    std::vector<std::thread> threads;
+    std::atomic<int> failures{0};
+    threads.reserve(kClients);
+    for (int t = 0; t < kClients; ++t) {
+        threads.emplace_back([&, t] {
+            auto client =
+                serve::Client::connect("127.0.0.1", server->port());
+            if (!client) {
+                failures.fetch_add(1);
+                return;
+            }
+            for (int round = 0; round < kRounds; ++round) {
+                std::size_t i = static_cast<std::size_t>(
+                    (round + t) % requests.size());
+                if (!client.value().sendLine(requests[i])) {
+                    failures.fetch_add(1);
+                    return;
+                }
+                auto response = client.value().readLine();
+                if (!response ||
+                    response.value() != answers[i]) {
+                    failures.fetch_add(1);
+                    return;
+                }
+            }
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    EXPECT_EQ(failures.load(), 0);
+    auto stats = server->cache().stats();
+    EXPECT_GT(stats.evictions, 0u);
+    EXPECT_GT(stats.hits, 0u);
+}
+
+} // namespace
+} // namespace rememberr

@@ -17,16 +17,24 @@
 #      the lazy-DFA regex tier and the table-driven tokenizer
 #      reproduce the backtracking VM / cctype reference outputs
 #      hash-for-hash;
-#   7. clang-tidy via the check_tidy target (skips when clang-tidy
+#   7. serve daemon: start `rememberr serve` on an ephemeral port
+#      against the snapshot from step 4, run `bench_serve --smoke`
+#      (daemon responses must be bit-identical to in-process query
+#      execution over cache miss, hit and pipelined paths), validate
+#      the BENCH_serve.json schema with jsonl_check --single, then
+#      SIGTERM the daemon and require a clean (graceful-drain) exit;
+#   8. clang-tidy via the check_tidy target (skips when clang-tidy
 #      is not installed);
-#   8. a ThreadSanitizer build running the concurrency-sensitive
+#   9. a ThreadSanitizer build running the concurrency-sensitive
 #      tests (parallel executor, observability including the sharded
 #      quantiles and the exporter thread, the literal prefilter
 #      differential, the regex tier differential — whose shared
-#      lazy-DFA cache is built under concurrent scans — and the
+#      lazy-DFA cache is built under concurrent scans — the
 #      similarity kernels, which are scanned/scored concurrently
-#      from dedup and foureyes shards);
-#   9. an UndefinedBehaviorSanitizer build running the parser,
+#      from dedup and foureyes shards, and the serve stack, whose
+#      sharded LRU cache and worker pool are hammered by concurrent
+#      clients);
+#  10. an UndefinedBehaviorSanitizer build running the parser,
 #      regex (including the tier differential and the tokenizer
 #      byte-table differential), diagnostics and snapshot tests,
 #      where the bit-twiddling lives.
@@ -90,6 +98,30 @@ step "live observability (--metrics-interval, --log-json)"
 step "parse fast-path equivalence (bench_parse --smoke)"
 "$root/$build/bench/bench_parse" --smoke
 
+step "serve daemon (equivalence, schema, graceful shutdown)"
+"$root/$build/tools/rememberr_cli" serve \
+    --snapshot="$snapdir/t1.snap" --port=0 \
+    --port-file="$snapdir/port" > "$snapdir/serve.log" 2>&1 &
+serve_pid=$!
+tries=0
+while [ ! -f "$snapdir/port" ] && [ "$tries" -lt 100 ]; do
+    sleep 0.1
+    tries=$((tries + 1))
+done
+[ -f "$snapdir/port" ] || {
+    echo "serve daemon never published its port" >&2
+    cat "$snapdir/serve.log" >&2
+    exit 1
+}
+(cd "$snapdir" && "$root/$build/bench/bench_serve" --smoke \
+    --port "$(cat "$snapdir/port")")
+"$root/$build/tools/jsonl_check" --single \
+    --require schema,equivalent,qps,latency_us,queries,cache \
+    "$snapdir/BENCH_serve.json"
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+grep -q "^served " "$snapdir/serve.log"
+
 step "clang-tidy"
 cmake --build "$root/$build" --target check_tidy
 
@@ -98,11 +130,12 @@ cmake -B "$root/$tsan_build" -S "$root" \
     -DREMEMBERR_SANITIZE=thread > /dev/null
 cmake --build "$root/$tsan_build" -j "$jobs" \
     --target test_parallel test_obs test_obs_live \
-    test_similarity_kernels test_regex_differential
+    test_similarity_kernels test_regex_differential test_serve
 
 step "thread-sanitizer tests"
 for t in test_parallel test_obs test_obs_live \
-         test_similarity_kernels test_regex_differential; do
+         test_similarity_kernels test_regex_differential \
+         test_serve; do
     "$root/$tsan_build/tests/$t"
 done
 

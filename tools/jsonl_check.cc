@@ -6,6 +6,11 @@
  * time-series files and the --log-json record stream.
  *
  *   jsonl_check [--require key1,key2,...] [--min-lines N] FILE
+ *   jsonl_check --single [--require key1,key2,...] FILE
+ *
+ * With --single the whole file is one (possibly pretty-printed,
+ * multi-line) JSON object instead of a line-delimited stream — the
+ * mode the BENCH_*.json artifacts are validated in.
  *
  * Exit status: 0 when the whole stream validates, 1 on any parse
  * failure, missing key or short stream, 2 on usage errors.
@@ -14,6 +19,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -25,7 +31,8 @@ int
 usage()
 {
     std::fprintf(stderr,
-                 "usage: jsonl_check [--require key1,key2,...] "
+                 "usage: jsonl_check [--single] "
+                 "[--require key1,key2,...] "
                  "[--min-lines N] FILE\n");
     return 2;
 }
@@ -37,11 +44,14 @@ main(int argc, char **argv)
 {
     std::vector<std::string> required;
     std::size_t minLines = 1;
+    bool single = false;
     std::string path;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
-        if (arg == "--require" && i + 1 < argc) {
+        if (arg == "--single") {
+            single = true;
+        } else if (arg == "--require" && i + 1 < argc) {
             std::string list = argv[++i];
             std::size_t pos = 0;
             while (pos <= list.size()) {
@@ -72,6 +82,37 @@ main(int argc, char **argv)
         std::fprintf(stderr, "jsonl_check: cannot open %s\n",
                      path.c_str());
         return 1;
+    }
+
+    if (single) {
+        std::string body{std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>()};
+        auto parsed = rememberr::parseJson(body);
+        if (!parsed) {
+            std::fprintf(stderr,
+                         "jsonl_check: %s: parse error: %s\n",
+                         path.c_str(),
+                         parsed.error().toString().c_str());
+            return 1;
+        }
+        if (!parsed.value().isObject()) {
+            std::fprintf(stderr,
+                         "jsonl_check: %s: not a JSON object\n",
+                         path.c_str());
+            return 1;
+        }
+        for (const std::string &key : required) {
+            if (!parsed.value().contains(key)) {
+                std::fprintf(stderr,
+                             "jsonl_check: %s: missing key "
+                             "\"%s\"\n",
+                             path.c_str(), key.c_str());
+                return 1;
+            }
+        }
+        std::printf("jsonl_check: %s: single object ok\n",
+                    path.c_str());
+        return 0;
     }
 
     std::string line;
