@@ -93,6 +93,16 @@ buildShapes()
         shapes.push_back(base + ",\"limit\":5}");
         shapes.push_back(base + ",\"limit\":20}");
     }
+    // Provably-empty conjunctions: the daemon's query lint elides
+    // these without touching the database, and the responses must
+    // still be bit-identical to in-process execution.
+    shapes.push_back("{\"op\":\"count\",\"exact_triggers\":1,"
+                     "\"min_triggers\":4}");
+    shapes.push_back("{\"op\":\"run\",\"limit\":5,"
+                     "\"disclosed_from\":\"2022-01-01\","
+                     "\"disclosed_to\":\"2020-12-31\"}");
+    shapes.push_back("{\"op\":\"group\",\"by\":\"workaround\","
+                     "\"exact_triggers\":0,\"min_triggers\":2}");
     shapes.push_back("{\"op\":\"ping\"}");
     return shapes;
 }
@@ -417,6 +427,16 @@ runServe(bool smoke, int externalPort, std::size_t clientsArg,
     if (server)
         server->stop();
 
+    // The equivalence pass sent each provably-empty shape three
+    // times (miss, hit, pipelined); the daemon's elision counter
+    // must have moved or the lint short-circuit is not wired in.
+    double elided =
+        serverStats.isObject() && serverStats.contains("elided")
+            ? serverStats.at("elided").asNumber()
+            : -1.0;
+    std::printf("elided: %.0f provably-empty queries answered "
+                "without touching the database\n", elided);
+
     JsonValue root = JsonValue::makeObject();
     root["schema"] = JsonValue("rememberr-bench-serve-v1");
     root["smoke"] = JsonValue(smoke);
@@ -427,6 +447,7 @@ runServe(bool smoke, int externalPort, std::size_t clientsArg,
     root["queries"] = JsonValue(static_cast<std::size_t>(total));
     root["seconds"] = JsonValue(seconds);
     root["qps"] = JsonValue(qps);
+    root["elided"] = JsonValue(elided);
     JsonValue latencyJson = JsonValue::makeObject();
     latencyJson["p50"] = JsonValue(latency.quantile(0.5));
     latencyJson["p95"] = JsonValue(latency.quantile(0.95));
@@ -459,6 +480,12 @@ runServe(bool smoke, int externalPort, std::size_t clientsArg,
         std::fprintf(stderr,
                      "FAIL: daemon responses diverge from "
                      "in-process query execution\n");
+        return 1;
+    }
+    if (elided <= 0) {
+        std::fprintf(stderr,
+                     "FAIL: provably-empty queries were not "
+                     "elided (counter %.0f)\n", elided);
         return 1;
     }
     if (smoke)

@@ -138,6 +138,14 @@ usageText()
            "    --severity ID=LEVEL[,...] override rule severities\n"
            "    --rules | --no-rules      force rule-set analysis "
            "on/off\n"
+           "    --explain                 print witness texts under "
+           "findings\n"
+           "    --list-rules              print the rule catalog "
+           "and exit\n"
+           "    --automata-budget N       product-state budget for "
+           "the\n"
+           "                              language analysis "
+           "(default 4096)\n"
            "  classify  FILE              software-assisted "
            "classification\n"
            "  highlight FILE ID CATEGORY  show annotation "
@@ -434,6 +442,20 @@ int writeTextFile(const std::string &path,
 int
 cmdCheck(const ArgList &args, std::ostream &out, std::ostream &err)
 {
+    if (args.hasFlag("list-rules")) {
+        for (const RuleInfo &rule : ruleCatalog()) {
+            out << rule.id << "  " << severityName(rule.defaultSeverity);
+            // Pad to the widest severity name ("warning").
+            for (std::size_t pad = severityName(rule.defaultSeverity)
+                                       .size();
+                 pad < 7; ++pad)
+                out << ' ';
+            out << "  " << rule.name << "\n        " << rule.summary
+                << "\n";
+        }
+        return 0;
+    }
+
     std::string format = args.option("format").value_or("text");
     if (format != "text" && format != "json" && format != "sarif") {
         err << "check: unknown format '" << format
@@ -449,6 +471,13 @@ cmdCheck(const ArgList &args, std::ostream &out, std::ostream &err)
     CheckOptions options;
     if (auto threads = args.intOption("threads"))
         options.threads = static_cast<std::size_t>(*threads);
+    if (auto budget = args.intOption("automata-budget")) {
+        if (*budget < 1) {
+            err << "check: --automata-budget must be positive\n";
+            return 2;
+        }
+        options.automataBudget = static_cast<std::size_t>(*budget);
+    }
     options.metrics = &MetricsRegistry::global();
     options.trace = &TraceRecorder::global();
     // Per-worker pool stats for the parallel check stages (and the
@@ -580,7 +609,8 @@ cmdCheck(const ArgList &args, std::ostream &out, std::ostream &err)
 
     std::string body;
     if (format == "text") {
-        body = renderText(report.diagnostics, report.suppressed);
+        body = renderText(report.diagnostics, report.suppressed,
+                          args.hasFlag("explain"));
     } else if (format == "json") {
         body = diagnosticsToJson(report.diagnostics,
                                  report.suppressed)

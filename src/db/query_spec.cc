@@ -397,6 +397,44 @@ QuerySpec::toQuery(const Database &db) const
     return query;
 }
 
+std::optional<std::string>
+QuerySpec::emptyReason() const
+{
+    if (op == Op::Ping)
+        return std::nullopt;
+    if (exactTriggers && minTriggers && *minTriggers > 0 &&
+        *exactTriggers < *minTriggers) {
+        return "exact_triggers=" + std::to_string(*exactTriggers) +
+               " contradicts min_triggers=" +
+               std::to_string(*minTriggers);
+    }
+    if (disclosedFrom && *disclosedTo < *disclosedFrom) {
+        return "disclosure window " + disclosedFrom->toString() +
+               ".." + disclosedTo->toString() + " is empty";
+    }
+    return std::nullopt;
+}
+
+JsonValue
+QuerySpec::executeEmpty() const
+{
+    JsonValue response = JsonValue::makeObject();
+    response["ok"] = JsonValue(true);
+    response["op"] = JsonValue(std::string(queryOpName(op)));
+    if (op == Op::Ping)
+        return response;
+    response["query"] = JsonValue(canonical());
+    if (op == Op::Count) {
+        response["count"] = JsonValue(std::size_t{0});
+    } else if (op == Op::Run) {
+        response["total"] = JsonValue(std::size_t{0});
+        response["entries"] = JsonValue::makeArray();
+    } else {
+        response["groups"] = JsonValue::makeArray();
+    }
+    return response;
+}
+
 JsonValue
 QuerySpec::execute(const Database &db) const
 {

@@ -94,6 +94,23 @@ struct QuerySpec
      * pure function of (spec, db).
      */
     JsonValue execute(const Database &db) const;
+
+    /**
+     * Static lint: when the filter conjunction is provably empty on
+     * *every* database — contradictory trigger-count constraints, an
+     * inverted disclosure window — returns a human-readable reason;
+     * nullopt when the query may match. Purely syntactic on the
+     * spec, so the serve daemon can elide execution entirely.
+     */
+    std::optional<std::string> emptyReason() const;
+
+    /**
+     * Render the response for a query with no matches without
+     * touching any database. Bit-identical to `execute(db)` whenever
+     * `emptyReason()` is set (pinned by tests): empty renders of
+     * count/run/group never read matched entries.
+     */
+    JsonValue executeEmpty() const;
 };
 
 /** Printable op name ("ping", "count", "run", "group"). */

@@ -64,6 +64,7 @@ runChecks(const std::vector<ErrataDocument> &documents,
             options.config.enabled("RBE202") ? &documents : nullptr;
         rulesetOptions.threads = options.threads;
         rulesetOptions.metrics = options.metrics;
+        rulesetOptions.automataBudget = options.automataBudget;
         std::vector<Diagnostic> rulesetDiags =
             checkRuleSet(RuleSet::instance(), rulesetOptions);
         std::move(rulesetDiags.begin(), rulesetDiags.end(),

@@ -5,7 +5,7 @@
  * Runs per-document checks (RBE001..007) in parallel over all
  * documents, cross-document checks (RBE101..105) over the dedup
  * clusters, and — when requested — rule-set analysis
- * (RBE201..204); then applies the rule configuration and the
+ * (RBE201..207); then applies the rule configuration and the
  * baseline. The output order is deterministic for any thread count.
  */
 
@@ -33,8 +33,10 @@ struct CheckOptions
     RuleConfig config;
     /** Per-document check knobs (MSR reference). */
     DocCheckOptions docOptions;
-    /** Run RBE201..204 over the classification rule tables. */
+    /** Run RBE201..207 over the classification rule tables. */
     bool ruleSetChecks = true;
+    /** Automata state budget for RBE201/205/206 (see RBE207). */
+    std::size_t automataBudget = 4096;
     /** Known findings to suppress; null = report everything. */
     const Baseline *baseline = nullptr;
     /** Worker threads (0 = all hardware threads, 1 = serial). */

@@ -88,6 +88,19 @@ ruleCatalog()
          "backtracks exponentially on the VM; the finding reports "
          "whether the linear DFA tier neutralizes it",
          Severity::Warning},
+        {"RBE205", "equivalent-patterns",
+         "two patterns of one list accept exactly the same texts; "
+         "one of them is redundant",
+         Severity::Warning},
+        {"RBE206", "uncovered-accept-pattern",
+         "an accept pattern matches texts its category's relevance "
+         "list rejects, so classification depends on evaluation "
+         "order; the finding carries a witness text",
+         Severity::Warning},
+        {"RBE207", "analysis-budget-exceeded",
+         "the automata analysis hit its state budget before "
+         "deciding a pattern pair, so that pair is unverified",
+         Severity::Note},
     };
     return catalog;
 }

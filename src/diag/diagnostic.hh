@@ -73,6 +73,13 @@ struct Diagnostic
      * baseline fingerprint, so they must be stable across runs.
      */
     std::vector<std::string> ids;
+    /**
+     * Counterexample string for language-level findings (RBE201,
+     * RBE205, RBE206): a shortest text exhibiting the defect, raw
+     * bytes — renderers escape it. Shown by `check --explain` and
+     * the JSON renderer; absent for all other rules.
+     */
+    std::optional<std::string> witness;
 };
 
 /** Catalog entry describing one rule. */
@@ -89,7 +96,7 @@ struct RuleInfo
  *
  *   RBE001..007  per-document checks (the migrated linter);
  *   RBE101..105  cross-document checks over the deduplicated corpus;
- *   RBE201..204  static analysis of the classification rule tables.
+ *   RBE201..207  static analysis of the classification rule tables.
  */
 const std::vector<RuleInfo> &ruleCatalog();
 

@@ -1,5 +1,7 @@
 #include "render.hh"
 
+#include "text/regex_automata.hh"
+
 namespace rememberr {
 
 namespace {
@@ -77,7 +79,7 @@ countDiagnostics(const std::vector<Diagnostic> &diagnostics,
 
 std::string
 renderText(const std::vector<Diagnostic> &diagnostics,
-           std::size_t suppressed)
+           std::size_t suppressed, bool explain)
 {
     std::string out;
     for (const Diagnostic &diagnostic : diagnostics) {
@@ -93,6 +95,11 @@ renderText(const std::vector<Diagnostic> &diagnostics,
             out += "    see also: ";
             out += locationPrefix(related);
             out += '\n';
+        }
+        if (explain && diagnostic.witness) {
+            out += "    witness: \"";
+            out += escapeWitness(*diagnostic.witness);
+            out += "\"\n";
         }
     }
     DiagnosticCounts counts = countDiagnostics(diagnostics,
@@ -131,6 +138,8 @@ diagnosticsToJson(const std::vector<Diagnostic> &diagnostics,
         for (const std::string &id : diagnostic.ids)
             ids.append(id);
         entry["ids"] = std::move(ids);
+        if (diagnostic.witness)
+            entry["witness"] = *diagnostic.witness;
         list.append(std::move(entry));
     }
 

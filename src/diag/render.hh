@@ -38,10 +38,13 @@ countDiagnostics(const std::vector<Diagnostic> &diagnostics,
 
 /**
  * "path:line: severity: message [ruleId]" per diagnostic, related
- * locations indented below, then one summary line.
+ * locations indented below, then one summary line. With `explain`,
+ * findings carrying a witness get an indented "witness:" line with
+ * the escaped counterexample text (`check --explain`).
  */
 std::string renderText(const std::vector<Diagnostic> &diagnostics,
-                       std::size_t suppressed = 0);
+                       std::size_t suppressed = 0,
+                       bool explain = false);
 
 /** {"diagnostics": [...], "summary": {...}} */
 JsonValue diagnosticsToJson(

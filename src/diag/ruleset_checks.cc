@@ -91,13 +91,25 @@ languageSubsumed(const std::vector<std::string> &language,
     return !language.empty();
 }
 
-/** RBE201/RBE203/RBE204 over one pattern list. */
+/** "; e.g. \"...\" ..." clause shared by RBE201/RBE205 messages. */
+std::string
+exampleClause(const std::optional<std::string> &word)
+{
+    if (!word)
+        return "";
+    return "; e.g. \"" + escapeWitness(*word) +
+           "\" already fires the earlier pattern";
+}
+
+/** RBE201/RBE203/RBE204/RBE205/RBE207 over one pattern list. */
 void
 checkPatternList(CategoryId category, const char *list,
                  const std::vector<Regex> &patterns,
-                 Diagnostics &out)
+                 const AutomataOptions &automata, Diagnostics &out)
 {
-    // Exact languages, computed once per pattern.
+    // Exact literal languages, computed once per pattern: the fast
+    // screen. A pair of finite literal languages is decided by
+    // substring cover alone; everything else goes to the automata.
     std::vector<std::optional<std::vector<std::string>>> languages;
     languages.reserve(patterns.size());
     for (const Regex &regex : patterns) {
@@ -110,22 +122,70 @@ checkPatternList(CategoryId category, const char *list,
     for (std::size_t i = 0; i < patterns.size(); ++i) {
         PatternRef ref{category, list, i, &patterns[i]};
 
-        // RBE201: subsumed by an earlier pattern of the same list.
-        if (languages[i]) {
-            for (std::size_t j = 0; j < i; ++j) {
-                if (!languages[j] ||
-                    !languageSubsumed(*languages[i],
-                                      *languages[j])) {
+        // RBE201/RBE205: language containment against every earlier
+        // pattern of the same list. One finding per pattern.
+        for (std::size_t j = 0; j < i; ++j) {
+            bool shadowed = false;
+            bool bothWays = false;
+            if (languages[i] && languages[j]) {
+                shadowed = languageSubsumed(*languages[i],
+                                            *languages[j]);
+                bothWays = shadowed &&
+                           languageSubsumed(*languages[j],
+                                            *languages[i]);
+            } else {
+                AutomataResult incl = RegexAutomata::includes(
+                    patterns[i], patterns[j], automata);
+                if (incl.budgetExhausted()) {
+                    out.push_back(patternDiagnostic(
+                        "RBE207", ref,
+                        "containment of /" + patterns[i].pattern() +
+                            "/ in earlier pattern /" +
+                            patterns[j].pattern() +
+                            "/ is undecided within the " +
+                            std::to_string(automata.stateBudget) +
+                            "-state analysis budget"));
                     continue;
                 }
-                out.push_back(patternDiagnostic(
+                shadowed = incl.holds();
+                if (shadowed) {
+                    // Reverse direction only distinguishes RBE205
+                    // from RBE201; on budget exhaustion fall back
+                    // to the weaker (still true) RBE201 claim.
+                    bothWays = RegexAutomata::includes(
+                                   patterns[j], patterns[i],
+                                   automata)
+                                   .holds();
+                }
+            }
+            if (!shadowed)
+                continue;
+
+            std::optional<std::string> word =
+                RegexAutomata::shortestAcceptedWord(patterns[i],
+                                                    automata);
+            Diagnostic diagnostic;
+            if (bothWays) {
+                diagnostic = patternDiagnostic(
+                    "RBE205", ref,
+                    "pattern /" + patterns[i].pattern() +
+                        "/ accepts exactly the same texts as "
+                        "earlier pattern /" +
+                        patterns[j].pattern() +
+                        "/; one of them is redundant" +
+                        exampleClause(word));
+            } else {
+                diagnostic = patternDiagnostic(
                     "RBE201", ref,
                     "pattern /" + patterns[i].pattern() +
                         "/ is shadowed by earlier pattern /" +
                         patterns[j].pattern() +
-                        "/ and can never change the outcome"));
-                break;
+                        "/ and can never change the outcome" +
+                        exampleClause(word));
             }
+            diagnostic.witness = word;
+            out.push_back(std::move(diagnostic));
+            break;
         }
 
         // RBE203: no literal factor means the Aho-Corasick
@@ -208,12 +268,58 @@ checkCategoryRules(const std::vector<CategoryRule> &rules,
 {
     Diagnostics out;
     std::size_t patternCount = 0;
+    AutomataOptions automata;
+    automata.stateBudget = options.automataBudget;
 
-    // Structural checks: cheap AST work, serial, category order.
+    // Structural checks: automata + AST work, serial, category order.
     for (const CategoryRule &rule : rules) {
-        checkPatternList(rule.id, "accept", rule.accept, out);
-        checkPatternList(rule.id, "relevance", rule.relevance, out);
+        checkPatternList(rule.id, "accept", rule.accept, automata,
+                         out);
+        checkPatternList(rule.id, "relevance", rule.relevance,
+                         automata, out);
         patternCount += rule.accept.size() + rule.relevance.size();
+    }
+
+    // RBE206: an accept pattern whose language escapes the union of
+    // the category's relevance patterns. The engine checks accept
+    // against body text (a substring of the full text the relevance
+    // screen sees), so a text in L(accept)\∪L(relevance) really can
+    // classify AutoYes while the relevance screen calls it
+    // irrelevant — the classification depends on list order.
+    for (const CategoryRule &rule : rules) {
+        if (rule.relevance.empty())
+            continue;
+        std::vector<const Regex *> relevance;
+        for (const Regex &regex : rule.relevance)
+            relevance.push_back(&regex);
+        for (std::size_t i = 0; i < rule.accept.size(); ++i) {
+            PatternRef ref{rule.id, "accept", i, &rule.accept[i]};
+            AutomataResult cover = RegexAutomata::includedInUnion(
+                rule.accept[i], relevance, automata);
+            if (cover.budgetExhausted()) {
+                out.push_back(patternDiagnostic(
+                    "RBE207", ref,
+                    "coverage of accept pattern /" +
+                        rule.accept[i].pattern() +
+                        "/ by the relevance list is undecided "
+                        "within the " +
+                        std::to_string(automata.stateBudget) +
+                        "-state analysis budget"));
+                continue;
+            }
+            if (!cover.fails())
+                continue;
+            Diagnostic diagnostic = patternDiagnostic(
+                "RBE206", ref,
+                "accept pattern /" + rule.accept[i].pattern() +
+                    "/ matches text the relevance list rejects "
+                    "(\"" +
+                    escapeWitness(cover.witness) +
+                    "\"), so classification depends on list "
+                    "order");
+            diagnostic.witness = cover.witness;
+            out.push_back(std::move(diagnostic));
+        }
     }
 
     // RBE202: patterns that never fire on the calibrated corpus.

@@ -146,6 +146,7 @@ Server::stats() const
     out.rejected = rejected_.load(std::memory_order_relaxed);
     out.bytesIn = bytesIn_.load(std::memory_order_relaxed);
     out.bytesOut = bytesOut_.load(std::memory_order_relaxed);
+    out.elided = elided_.load(std::memory_order_relaxed);
     return out;
 }
 
@@ -419,6 +420,18 @@ Server::handleLine(const std::string &line)
             spec.value().execute(db_).dump()));
     }
 
+    // Provably-empty filter conjunctions never touch the database:
+    // the static lint proves the result set empty on *any* database,
+    // so the response is rendered from the spec alone (executeEmpty
+    // is bit-identical to execute — pinned in tests/test_serve.cc).
+    std::optional<std::string> emptyReason =
+        spec.value().emptyReason();
+    if (emptyReason) {
+        elided_.fetch_add(1, std::memory_order_relaxed);
+        if (metrics)
+            metrics->counter("serve.query.elided").add();
+    }
+
     std::string key = spec.value().canonical();
     if (ShardedLruCache::Value hit = cache_.get(key)) {
         if (metrics)
@@ -428,7 +441,8 @@ Server::handleLine(const std::string &line)
     if (metrics && cache_.enabled())
         metrics->counter("serve.cache.miss").add();
     auto response = std::make_shared<const std::string>(
-        spec.value().execute(db_).dump());
+        emptyReason ? spec.value().executeEmpty().dump()
+                    : spec.value().execute(db_).dump());
     cache_.put(key, response);
     return finish(std::move(response));
 }
@@ -449,6 +463,8 @@ Server::statsResponse() const
         JsonValue(static_cast<std::size_t>(counts.errors));
     response["rejected"] =
         JsonValue(static_cast<std::size_t>(counts.rejected));
+    response["elided"] =
+        JsonValue(static_cast<std::size_t>(counts.elided));
     JsonValue cacheJson = JsonValue::makeObject();
     cacheJson["capacity"] = JsonValue(cache_.capacity());
     cacheJson["size"] = JsonValue(cache_.size());

@@ -79,6 +79,8 @@ struct ServerStats
     std::uint64_t rejected = 0;
     std::uint64_t bytesIn = 0;
     std::uint64_t bytesOut = 0;
+    /** Queries answered from the static empty-result lint alone. */
+    std::uint64_t elided = 0;
 };
 
 class Server
@@ -147,6 +149,7 @@ class Server
     std::atomic<std::uint64_t> rejected_{0};
     std::atomic<std::uint64_t> bytesIn_{0};
     std::atomic<std::uint64_t> bytesOut_{0};
+    std::atomic<std::uint64_t> elided_{0};
 };
 
 } // namespace serve

@@ -200,6 +200,7 @@ class Regex
   private:
     friend class RegexCompiler;
     friend class RegexLinear;
+    friend struct RegexAutomataAccess;
 
     using Op = redetail::Op;
     using Inst = redetail::Inst;

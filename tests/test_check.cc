@@ -200,12 +200,17 @@ TEST(Check, CorpusReportsEveryDefectClassAndFails)
         EXPECT_TRUE(found) << rule;
     }
 
-    // The shipped rule tables are structurally clean, so only
-    // document and corpus rules appear.
+    // The shipped rule tables are clean under the structural rules;
+    // the automata coverage rule (RBE206) genuinely fires — accept
+    // patterns escaping their relevance screens — and rides in
+    // tools/check.baseline for CI runs.
     for (const auto &[rule, count] : report.countByRule) {
+        if (rule == "RBE206")
+            continue;
         EXPECT_NE(rule[3], '2')
             << rule << " fired on the calibrated corpus";
     }
+    EXPECT_GT(report.countByRule["RBE206"], 0);
 }
 
 TEST(Check, SarifOutputParsesAndDeclaresSchema)
@@ -245,6 +250,7 @@ TEST(Check, UsageErrors)
     EXPECT_EQ(run({"check", "--format=yaml"}).code, 2);
     EXPECT_EQ(run({"check", "--disable=RBE999"}).code, 2);
     EXPECT_EQ(run({"check", "--severity=RBE001=fatal"}).code, 2);
+    EXPECT_EQ(run({"check", "--automata-budget=0"}).code, 2);
     EXPECT_EQ(run({"check", "--baseline=a", "--write-baseline=b"})
                   .code,
               2);

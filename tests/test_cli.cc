@@ -13,6 +13,7 @@
 
 #include "cli/commands.hh"
 #include "core/pipeline.hh"
+#include "diag/diagnostic.hh"
 #include "document/format.hh"
 #include "util/csv.hh"
 #include "util/json.hh"
@@ -119,6 +120,27 @@ TEST(Cli, UnknownCommandFails)
     EXPECT_EQ(result.code, 2);
     EXPECT_NE(result.err.find("unknown command"),
               std::string::npos);
+}
+
+TEST(Cli, CheckListRulesPrintsTheCatalog)
+{
+    CliResult result = run({"check", "--list-rules"});
+    EXPECT_EQ(result.code, 0);
+    // Every catalog entry appears with id, severity, name, summary.
+    EXPECT_NE(result.out.find("RBE001  warning  "
+                              "duplicate-revision-claim"),
+              std::string::npos);
+    EXPECT_NE(result.out.find("RBE207  note     "
+                              "analysis-budget-exceeded"),
+              std::string::npos);
+    EXPECT_NE(result.out.find(
+                  "a rule pattern is subsumed by an earlier"),
+              std::string::npos);
+    // One id + summary pair per rule.
+    std::size_t lines = 0;
+    for (char c : result.out)
+        lines += c == '\n';
+    EXPECT_EQ(lines, 2 * ruleCatalog().size());
 }
 
 TEST(Cli, StatsPrintsPaperComparison)

@@ -315,6 +315,97 @@ TEST_F(ServeTest, RejectsConnectionsBeyondLimit)
     EXPECT_TRUE(first.readLine());
 }
 
+// ---- Provably-empty query elision ---------------------------------------
+
+TEST(QuerySpecLint, DetectsProvablyEmptyConjunctions)
+{
+    JsonValue contradictory = parseJson(
+        "{\"op\":\"count\",\"exact_triggers\":1,"
+        "\"min_triggers\":3}").value();
+    auto spec = QuerySpec::fromJson(contradictory);
+    ASSERT_TRUE(spec);
+    ASSERT_TRUE(spec.value().emptyReason().has_value());
+    EXPECT_NE(spec.value().emptyReason()->find("contradicts"),
+              std::string::npos);
+
+    JsonValue inverted = parseJson(
+        "{\"op\":\"run\",\"disclosed_from\":\"2020-05-01\","
+        "\"disclosed_to\":\"2019-01-01\"}").value();
+    auto window = QuerySpec::fromJson(inverted);
+    ASSERT_TRUE(window);
+    ASSERT_TRUE(window.value().emptyReason().has_value());
+
+    // Satisfiable specs are never flagged: min below exact, a
+    // forward window, a plain filter.
+    for (const char *line :
+         {"{\"op\":\"count\",\"exact_triggers\":3,"
+          "\"min_triggers\":3}",
+          "{\"op\":\"count\",\"vendor\":\"intel\"}",
+          "{\"op\":\"group\",\"by\":\"class\"}",
+          "{\"op\":\"ping\"}"}) {
+        auto ok = QuerySpec::fromJson(parseJson(line).value());
+        ASSERT_TRUE(ok) << line;
+        EXPECT_FALSE(ok.value().emptyReason().has_value()) << line;
+    }
+}
+
+TEST_F(ServeTest, ExecuteEmptyIsBitIdenticalToExecution)
+{
+    // For every op shape, the database-free empty render must equal
+    // the full execution byte for byte — the daemon's elision path
+    // depends on it.
+    for (const char *line :
+         {"{\"op\":\"count\",\"exact_triggers\":2,"
+          "\"min_triggers\":9}",
+          "{\"op\":\"run\",\"exact_triggers\":0,"
+          "\"min_triggers\":5,\"limit\":7}",
+          "{\"op\":\"group\",\"by\":\"workaround\","
+          "\"exact_triggers\":1,\"min_triggers\":2}",
+          "{\"op\":\"group\",\"by\":\"class\",\"axis\":\"effect\","
+          "\"disclosed_from\":\"2021-01-01\","
+          "\"disclosed_to\":\"2020-01-01\"}"}) {
+        auto spec = QuerySpec::fromJson(parseJson(line).value());
+        ASSERT_TRUE(spec) << line;
+        ASSERT_TRUE(spec.value().emptyReason().has_value()) << line;
+        EXPECT_EQ(spec.value().executeEmpty().dump(),
+                  spec.value().execute(db()).dump())
+            << line;
+    }
+}
+
+TEST_F(ServeTest, ProvablyEmptyQueriesAreElided)
+{
+    auto server = startServer();
+    serve::Client client = connect(*server);
+    std::string request =
+        "{\"op\":\"count\",\"exact_triggers\":1,"
+        "\"min_triggers\":4}";
+    ASSERT_TRUE(client.sendLine(request));
+    auto answer = client.readLine();
+    ASSERT_TRUE(answer);
+    // Response over the socket matches in-process execution bit
+    // for bit, even though the daemon never touched the database.
+    EXPECT_EQ(answer.value(), expected(request));
+
+    // Elisions are counted — on the cache-hit path too.
+    ASSERT_TRUE(client.sendLine(request));
+    ASSERT_TRUE(client.readLine());
+    EXPECT_EQ(server->stats().elided, 2u);
+
+    ASSERT_TRUE(client.sendLine("{\"op\":\"stats\"}"));
+    auto stats = client.readLine();
+    ASSERT_TRUE(stats);
+    auto parsed = parseJson(stats.value());
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(parsed.value().at("elided").asNumber(), 2.0);
+
+    // An ordinary query is never counted as elided.
+    ASSERT_TRUE(client.sendLine(
+        "{\"op\":\"count\",\"vendor\":\"amd\"}"));
+    ASSERT_TRUE(client.readLine());
+    EXPECT_EQ(server->stats().elided, 2u);
+}
+
 TEST_F(ServeTest, StatsOpReportsCountersUncached)
 {
     auto server = startServer();

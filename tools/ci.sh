@@ -5,7 +5,8 @@
 #   2. source hygiene (tools/check_format.sh);
 #   3. corpus static analysis: `rememberr check` against the
 #      accepted-findings baseline (tools/check.baseline) — fails on
-#      any finding not already baselined;
+#      any finding not already baselined — plus a strict-JSON
+#      validation of the SARIF artifact via jsonl_check --single;
 #   4. snapshot determinism: write the binary snapshot at
 #      --threads 1 and --threads 8, require byte-identical files,
 #      then smoke a query through the --snapshot fast path;
@@ -31,13 +32,14 @@
 #      differential, the regex tier differential — whose shared
 #      lazy-DFA cache is built under concurrent scans — the
 #      similarity kernels, which are scanned/scored concurrently
-#      from dedup and foureyes shards, and the serve stack, whose
+#      from dedup and foureyes shards, the serve stack, whose
 #      sharded LRU cache and worker pool are hammered by concurrent
-#      clients);
+#      clients, and the automata decision procedures);
 #  10. an UndefinedBehaviorSanitizer build running the parser,
-#      regex (including the tier differential and the tokenizer
-#      byte-table differential), diagnostics and snapshot tests,
-#      where the bit-twiddling lives.
+#      regex (including the tier differential, the tokenizer
+#      byte-table differential and the automata procedures),
+#      diagnostics, snapshot, file-io and CLI tests, where the
+#      bit-twiddling lives.
 #
 # Usage: tools/ci.sh [build-dir]   (default: build-ci)
 # Exit status: nonzero on the first failing step.
@@ -49,6 +51,18 @@ build=${1:-build-ci}
 tsan_build=${build}-tsan
 ubsan_build=${build}-ubsan
 jobs=$(nproc 2>/dev/null || echo 4)
+
+# Sanitizer target lists, shared by the build and run loops below so
+# the two can never drift apart.
+tsan_tests="test_parallel test_obs test_obs_live
+    test_similarity_kernels test_regex_differential test_serve
+    test_automata"
+ubsan_tests="test_document test_regex test_regex_differential
+    test_text test_diag test_check test_snapshot test_fileio
+    test_cli test_automata"
+
+scratch=$(mktemp -d)
+trap 'rm -rf "$scratch"' EXIT
 
 step() {
     printf '\n==== ci: %s ====\n' "$*"
@@ -67,10 +81,14 @@ step "format check"
 step "corpus static analysis (rememberr check)"
 "$root/$build/tools/rememberr_cli" check \
     --baseline="$root/tools/check.baseline" --threads=0
+"$root/$build/tools/rememberr_cli" check \
+    --baseline="$root/tools/check.baseline" --threads=0 \
+    --format=sarif --out="$scratch/check.sarif"
+"$root/$build/tools/jsonl_check" --single \
+    --require '$schema',version,runs "$scratch/check.sarif"
 
 step "snapshot determinism + --snapshot smoke"
-snapdir=$(mktemp -d)
-trap 'rm -rf "$snapdir"' EXIT
+snapdir="$scratch"
 "$root/$build/tools/rememberr_cli" snapshot \
     --out="$snapdir/t1.snap" --threads=1
 "$root/$build/tools/rememberr_cli" snapshot \
@@ -116,7 +134,7 @@ done
 (cd "$snapdir" && "$root/$build/bench/bench_serve" --smoke \
     --port "$(cat "$snapdir/port")")
 "$root/$build/tools/jsonl_check" --single \
-    --require schema,equivalent,qps,latency_us,queries,cache \
+    --require schema,equivalent,qps,latency_us,queries,cache,elided \
     "$snapdir/BENCH_serve.json"
 kill -TERM "$serve_pid"
 wait "$serve_pid"
@@ -128,27 +146,22 @@ cmake --build "$root/$build" --target check_tidy
 step "thread-sanitizer build (${tsan_build})"
 cmake -B "$root/$tsan_build" -S "$root" \
     -DREMEMBERR_SANITIZE=thread > /dev/null
-cmake --build "$root/$tsan_build" -j "$jobs" \
-    --target test_parallel test_obs test_obs_live \
-    test_similarity_kernels test_regex_differential test_serve
+# shellcheck disable=SC2086
+cmake --build "$root/$tsan_build" -j "$jobs" --target $tsan_tests
 
 step "thread-sanitizer tests"
-for t in test_parallel test_obs test_obs_live \
-         test_similarity_kernels test_regex_differential \
-         test_serve; do
+for t in $tsan_tests; do
     "$root/$tsan_build/tests/$t"
 done
 
 step "undefined-behavior-sanitizer build (${ubsan_build})"
 cmake -B "$root/$ubsan_build" -S "$root" \
     -DREMEMBERR_SANITIZE=undefined > /dev/null
-cmake --build "$root/$ubsan_build" -j "$jobs" \
-    --target test_document test_regex test_regex_differential \
-    test_text test_diag test_check test_snapshot
+# shellcheck disable=SC2086
+cmake --build "$root/$ubsan_build" -j "$jobs" --target $ubsan_tests
 
 step "undefined-behavior-sanitizer tests"
-for t in test_document test_regex test_regex_differential \
-         test_text test_diag test_check test_snapshot; do
+for t in $ubsan_tests; do
     UBSAN_OPTIONS=halt_on_error=1 \
         "$root/$ubsan_build/tests/$t"
 done
